@@ -1,0 +1,130 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! fine vs coarse granularity on the query path, the regret threshold η,
+//! the not-tiling threshold α, and codec knobs (deblocking, motion search)
+//! that the cost model's robustness depends on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tasm_bench::{bench_dir, micro_partition, micro_storage, BenchVideo};
+use tasm_codec::{encode_video, EncoderConfig, TileLayout};
+use tasm_core::{
+    partition, run_workload, Granularity, RunQuery, Strategy, Tasm, TasmConfig,
+};
+use tasm_data::{SceneSpec, SyntheticVideo};
+use tasm_detect::yolo::SimulatedYolo;
+use tasm_index::MemoryIndex;
+use tasm_video::{FrameSource, VecFrameSource};
+
+fn scene(frames: u32) -> SyntheticVideo {
+    SyntheticVideo::new(SceneSpec {
+        width: 320,
+        height: 192,
+        frames,
+        ..SceneSpec::test_scene()
+    })
+}
+
+/// Fine vs coarse tiles on the decode path for the same query.
+fn granularity_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/granularity");
+    g.sample_size(10);
+    for granularity in [Granularity::Fine, Granularity::Coarse] {
+        let name = format!("{granularity:?}").to_lowercase();
+        let video = scene(30);
+        let mut bv = BenchVideo::from_video(video, &format!("abl-gran-{name}"));
+        bv.apply_layout(|video, frames| {
+            let boxes: Vec<_> = frames
+                .clone()
+                .flat_map(|f| video.ground_truth_for(f, "car"))
+                .collect();
+            Some(partition(
+                video.width(),
+                video.height(),
+                &boxes,
+                &micro_partition(granularity),
+            ))
+        });
+        g.bench_function(format!("query_{name}"), move |b| {
+            b.iter(|| bv.time_select("car"))
+        });
+    }
+    g.finish();
+}
+
+/// Workload cost under different regret thresholds η (η=0 re-tiles
+/// immediately; η=1 is the paper's default; η=4 is very conservative).
+fn eta_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/eta");
+    g.sample_size(10);
+    let video = scene(60);
+    let queries: Vec<RunQuery> = (0..8)
+        .map(|i| RunQuery { label: "car".into(), frames: (i % 2) * 30..(i % 2) * 30 + 30 })
+        .collect();
+    for eta in [0.0, 1.0, 4.0] {
+        let video_ref = &video;
+        let queries_ref = &queries;
+        g.bench_function(format!("eta_{eta}"), move |b| {
+            b.iter(|| {
+                let cfg = TasmConfig {
+                    eta,
+                    storage: micro_storage(),
+                    partition: micro_partition(Granularity::Fine),
+                    ..Default::default()
+                };
+                let mut tasm = Tasm::open(
+                    bench_dir(&format!("abl-eta-{eta}")),
+                    Box::new(MemoryIndex::in_memory()),
+                    cfg,
+                )
+                .unwrap();
+                tasm.ingest("v", video_ref, 30).unwrap();
+                let truth = |f: u32| video_ref.ground_truth(f);
+                let mut det = SimulatedYolo::full(1);
+                run_workload(
+                    &mut tasm,
+                    "v",
+                    queries_ref,
+                    Strategy::IncrementalRegret,
+                    &mut det,
+                    &truth,
+                    None,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Codec knobs: encode cost with and without deblocking / motion search.
+/// The cost model assumes decode ∝ pixels; these verify the proportionality
+/// constant is robust to configuration.
+fn codec_knob_ablation(c: &mut Criterion) {
+    let video = scene(30);
+    let frames: Vec<_> = (0..30).map(|i| video.frame(i)).collect();
+    let src = VecFrameSource::new(frames);
+    let layout = TileLayout::untiled(320, 192);
+
+    let mut g = c.benchmark_group("ablation/codec");
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("default", EncoderConfig::default()),
+        ("no_deblock", EncoderConfig { deblock: false, ..Default::default() }),
+        ("no_motion", EncoderConfig { search_range: 0, ..Default::default() }),
+        ("gop_5", EncoderConfig { gop_len: 5, ..Default::default() }),
+    ] {
+        let src_ref = &src;
+        let layout_ref = &layout;
+        g.bench_function(format!("encode_{name}"), move |b| {
+            b.iter(|| encode_video(src_ref, layout_ref, &cfg, false).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    granularity_ablation,
+    eta_ablation,
+    codec_knob_ablation
+);
+criterion_main!(benches);

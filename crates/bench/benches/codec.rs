@@ -1,0 +1,98 @@
+//! Criterion microbenchmarks of the codec substrate: encode and decode
+//! throughput, tiled vs untiled, and homomorphic stitching overhead.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use tasm_codec::{encode_video, EncoderConfig, StitchedVideo, TileLayout};
+use tasm_data::{SceneSpec, SyntheticVideo};
+use tasm_video::{FrameSource, VecFrameSource};
+
+fn scene(frames: u32) -> VecFrameSource {
+    let v = SyntheticVideo::new(SceneSpec {
+        width: 320,
+        height: 192,
+        frames,
+        ..SceneSpec::test_scene()
+    });
+    VecFrameSource::new((0..frames).map(|i| v.frame(i)).collect())
+}
+
+fn encode_benches(c: &mut Criterion) {
+    let src = scene(30);
+    let samples = 30u64 * 320 * 192 * 3 / 2;
+    let cfg = EncoderConfig { gop_len: 30, ..Default::default() };
+
+    let mut g = c.benchmark_group("codec/encode");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(samples));
+    g.bench_function("untiled_30f", |b| {
+        let layout = TileLayout::untiled(320, 192);
+        b.iter(|| encode_video(&src, &layout, &cfg, false).unwrap())
+    });
+    g.bench_function("tiled_2x2_30f", |b| {
+        let layout = TileLayout::uniform(320, 192, 2, 2).unwrap();
+        b.iter(|| encode_video(&src, &layout, &cfg, false).unwrap())
+    });
+    g.bench_function("tiled_2x2_parallel_30f", |b| {
+        let layout = TileLayout::uniform(320, 192, 2, 2).unwrap();
+        b.iter(|| encode_video(&src, &layout, &cfg, true).unwrap())
+    });
+    g.bench_function("no_motion_search_30f", |b| {
+        let layout = TileLayout::untiled(320, 192);
+        let cfg = EncoderConfig { search_range: 0, ..cfg };
+        b.iter(|| encode_video(&src, &layout, &cfg, false).unwrap())
+    });
+    g.finish();
+}
+
+fn decode_benches(c: &mut Criterion) {
+    let src = scene(30);
+    let cfg = EncoderConfig { gop_len: 30, ..Default::default() };
+    let untiled = {
+        let layout = TileLayout::untiled(320, 192);
+        encode_video(&src, &layout, &cfg, false).unwrap().0.remove(0)
+    };
+    let layout4 = TileLayout::uniform(320, 192, 2, 2).unwrap();
+    let tiled = encode_video(&src, &layout4, &cfg, false).unwrap().0;
+
+    let mut g = c.benchmark_group("codec/decode");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(30u64 * 320 * 192 * 3 / 2));
+    g.bench_function("full_gop_untiled", |b| {
+        b.iter(|| untiled.decode_all().unwrap())
+    });
+    g.bench_function("single_tile_of_4", |b| {
+        b.iter(|| tiled[0].decode_all().unwrap())
+    });
+    g.bench_function("range_with_warmup", |b| {
+        b.iter(|| untiled.decode_range(20..30).unwrap())
+    });
+    g.finish();
+}
+
+fn stitch_benches(c: &mut Criterion) {
+    let src = scene(30);
+    let cfg = EncoderConfig { gop_len: 30, ..Default::default() };
+    let layout = TileLayout::uniform(320, 192, 2, 2).unwrap();
+    let tiles = encode_video(&src, &layout, &cfg, false).unwrap().0;
+
+    let mut g = c.benchmark_group("codec/stitch");
+    g.sample_size(20);
+    g.bench_function("stitch_metadata_only", |b| {
+        b.iter_batched(
+            || (layout.clone(), tiles.clone()),
+            |(l, t)| StitchedVideo::stitch(l, t).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    let stitched = StitchedVideo::stitch(layout.clone(), tiles).unwrap();
+    g.bench_function("decode_stitched_30f", |b| {
+        b.iter(|| stitched.decode_all().unwrap())
+    });
+    g.bench_function("serialize_roundtrip", |b| {
+        b.iter(|| StitchedVideo::from_bytes(&stitched.to_bytes()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, encode_benches, decode_benches, stitch_benches);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion microbenchmarks of layout generation and geometry: the
+//! partitioner (fine/coarse), uniform grids, tile intersection, and the
+//! cost-model estimator — the operations on TASM's query-time hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tasm_codec::TileLayout;
+use tasm_core::{estimate_work, partition, Granularity, PartitionConfig};
+use tasm_index::Detection;
+use tasm_video::Rect;
+
+fn boxes(n: u32) -> Vec<Rect> {
+    (0..n)
+        .map(|i| {
+            let x = (i * 97) % 560;
+            let y = (i * 61) % 300;
+            Rect::new(x, y, 48 + (i % 3) * 16, 32 + (i % 2) * 16)
+        })
+        .collect()
+}
+
+fn partition_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("layout/partition");
+    for n in [4u32, 32, 256] {
+        let bs = boxes(n);
+        let fine = PartitionConfig { granularity: Granularity::Fine, ..Default::default() };
+        let coarse = PartitionConfig { granularity: Granularity::Coarse, ..Default::default() };
+        g.bench_function(format!("fine_{n}_boxes"), |b| {
+            b.iter(|| partition(640, 352, &bs, &fine))
+        });
+        g.bench_function(format!("coarse_{n}_boxes"), |b| {
+            b.iter(|| partition(640, 352, &bs, &coarse))
+        });
+    }
+    g.bench_function("uniform_5x5", |b| {
+        b.iter(|| TileLayout::uniform(640, 352, 5, 5).unwrap())
+    });
+    g.finish();
+}
+
+fn geometry_benches(c: &mut Criterion) {
+    let layout = partition(640, 352, &boxes(32), &PartitionConfig::default());
+    let query = Rect::new(200, 100, 64, 48);
+
+    let mut g = c.benchmark_group("layout/geometry");
+    g.bench_function("tiles_intersecting", |b| {
+        b.iter(|| layout.tiles_intersecting(&query))
+    });
+    g.bench_function("boundary_intersects", |b| {
+        b.iter(|| layout.boundary_intersects(&query))
+    });
+    g.bench_function("covered_area", |b| b.iter(|| layout.covered_area(&query)));
+    g.finish();
+}
+
+fn cost_benches(c: &mut Criterion) {
+    let layout = partition(640, 352, &boxes(32), &PartitionConfig::default());
+    let dets: Vec<Detection> = boxes(32)
+        .into_iter()
+        .enumerate()
+        .map(|(i, bbox)| Detection { frame: (i as u32) % 30, bbox })
+        .collect();
+
+    let mut g = c.benchmark_group("layout/cost");
+    g.bench_function("estimate_work_32_dets", |b| {
+        b.iter(|| estimate_work(&layout, &dets, 0..30, 0, 30))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, partition_benches, geometry_benches, cost_benches);
+criterion_main!(benches);

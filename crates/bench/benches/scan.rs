@@ -1,0 +1,86 @@
+//! Criterion benchmarks of the `Scan` access method end to end: untiled vs
+//! object-tiled decode for the same query, narrow vs wide time ranges, and
+//! CNF predicate evaluation against the index.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tasm_bench::{micro_partition, BenchVideo};
+use tasm_core::{partition, Granularity, LabelPredicate};
+use tasm_data::{SceneSpec, SyntheticVideo};
+use tasm_video::FrameSource;
+
+fn prepare(tag: &str, tiled: bool) -> BenchVideo {
+    let video = SyntheticVideo::new(SceneSpec {
+        width: 320,
+        height: 192,
+        frames: 60,
+        ..SceneSpec::test_scene()
+    });
+    let mut bv = BenchVideo::from_video(video, tag);
+    if tiled {
+        bv.apply_layout(|video, frames| {
+            let boxes: Vec<_> = frames
+                .clone()
+                .flat_map(|f| video.ground_truth_for(f, "car"))
+                .collect();
+            Some(partition(
+                video.width(),
+                video.height(),
+                &boxes,
+                &micro_partition(Granularity::Fine),
+            ))
+        });
+    }
+    bv
+}
+
+fn scan_benches(c: &mut Criterion) {
+    let mut untiled = prepare("scan-bench-untiled", false);
+    let mut tiled = prepare("scan-bench-tiled", true);
+
+    let mut g = c.benchmark_group("scan");
+    g.sample_size(20);
+    g.bench_function("untiled_full_video", |b| {
+        b.iter(|| {
+            untiled
+                .tasm
+                .scan("v", &LabelPredicate::label("car"), 0..60)
+                .unwrap()
+        })
+    });
+    g.bench_function("tiled_full_video", |b| {
+        b.iter(|| {
+            tiled
+                .tasm
+                .scan("v", &LabelPredicate::label("car"), 0..60)
+                .unwrap()
+        })
+    });
+    g.bench_function("tiled_one_second", |b| {
+        b.iter(|| {
+            tiled
+                .tasm
+                .scan("v", &LabelPredicate::label("car"), 30..60)
+                .unwrap()
+        })
+    });
+    g.bench_function("tiled_disjunction", |b| {
+        b.iter(|| {
+            tiled
+                .tasm
+                .scan("v", &LabelPredicate::any_of(&["car", "person"]), 0..60)
+                .unwrap()
+        })
+    });
+    g.bench_function("tiled_conjunction", |b| {
+        b.iter(|| {
+            tiled
+                .tasm
+                .scan("v", &LabelPredicate::label("car").and(&["person"]), 0..60)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, scan_benches);
+criterion_main!(benches);

@@ -1,0 +1,189 @@
+//! Figure 10 — the not-tiling decision rule.
+//!
+//! Scatter of measured query-time improvement against the estimated pixel
+//! ratio `P(v,q,L) / P(v,q,ω)` over many (video, object, layout) points.
+//! Paper finding: thresholding at α = 0.8 captures nearly every layout that
+//! would slow queries down; the few improvements forfeited above the
+//! threshold are small (< 20%).
+//!
+//! Run with `cargo run --release -p tasm-bench --bin fig10`.
+
+use serde::Serialize;
+use tasm_bench::{improvement_pct, micro_partition, scaled_secs, write_result, BenchVideo};
+use tasm_codec::TileLayout;
+use tasm_core::{partition, Granularity};
+use tasm_data::Dataset;
+use tasm_video::Rect;
+
+#[derive(Serialize)]
+struct Point {
+    dataset: &'static str,
+    object: &'static str,
+    layout: String,
+    pixel_ratio: f64,
+    improvement_pct: f64,
+}
+
+#[derive(Serialize)]
+struct Fig10 {
+    alpha: f64,
+    points: Vec<Point>,
+    /// Layouts that hurt (< 0 improvement) and were correctly rejected.
+    hurting_rejected: usize,
+    /// Layouts that hurt but would have been accepted (false accepts).
+    hurting_accepted: usize,
+    /// Helpful layouts rejected by the rule (forfeited improvement).
+    helping_rejected: usize,
+    /// The largest improvement forfeited by the rule.
+    max_forfeited_pct: f64,
+}
+
+fn main() {
+    let duration = scaled_secs(2);
+    let alpha = 0.8;
+    let cases: Vec<(Dataset, u64, &str, &str)> = vec![
+        (Dataset::VisualRoad2K, 1, "car", "person"),
+        (Dataset::VisualRoad2K, 2, "person", "car"),
+        (Dataset::NetflixPublic, 3, "bird", "person"),
+        (Dataset::Xiph, 4, "car", "boat"),
+        (Dataset::Mot16, 5, "person", "car"),
+        (Dataset::ElFuenteDense, 6, "person", "food"),
+        (Dataset::NetflixOpenSource, 7, "sheep", "person"),
+        (Dataset::ElFuenteSparse, 8, "boat", "person"),
+    ];
+
+    let mut points: Vec<Point> = Vec::new();
+    for (ds, seed, object, other) in cases {
+        let tag = format!("fig10-{}-{seed}", ds.name());
+        let mut bv = BenchVideo::prepare(ds, duration, seed, &tag);
+        let (w, h) = (bv.video.spec().width, bv.video.spec().height);
+        let untiled = (0..3).map(|_| bv.time_select(object).0).fold(f64::INFINITY, f64::min);
+        let all = bv.video.labels();
+
+        // Layout suite: object layouts (same/different/all, fine+coarse) and
+        // uniform grids — a spread of good and bad choices.
+        let mut suite: Vec<(String, Vec<&str>, Option<TileLayout>)> = vec![
+            ("same/fine".into(), vec![object], None),
+            ("same/coarse".into(), vec![object], None),
+            ("different/fine".into(), vec![other], None),
+            ("different/coarse".into(), vec![other], None),
+            ("all/fine".into(), all.clone(), None),
+        ];
+        suite.push((
+            "uniform3x3".into(),
+            vec![],
+            Some(TileLayout::uniform(w, h, 3, 3).expect("uniform")),
+        ));
+        suite.push((
+            "uniform5x5".into(),
+            vec![],
+            Some(TileLayout::uniform(w, h, 5, 5).expect("uniform")),
+        ));
+
+        for (idx, (name, labels, fixed)) in suite.into_iter().enumerate() {
+            let granularity = if name.contains("coarse") {
+                Granularity::Coarse
+            } else {
+                Granularity::Fine
+            };
+            // Apply per-SOT layouts, tracking the estimated pixel ratio of
+            // the whole query under the applied layouts.
+            let mut ratio_num = 0.0f64;
+            let mut ratio_den = 0.0f64;
+            bv.apply_layout(|video, frames| {
+                let layout = match &fixed {
+                    Some(l) => l.clone(),
+                    None => {
+                        let boxes: Vec<Rect> = frames
+                            .clone()
+                            .flat_map(|f| {
+                                video
+                                    .ground_truth(f)
+                                    .into_iter()
+                                    .filter(|(l, _)| labels.contains(l))
+                                    .map(|(_, b)| b)
+                            })
+                            .collect();
+                        partition(w, h, &boxes, &micro_partition(granularity))
+                    }
+                };
+                // Pixel ratio for the *query* object under this layout.
+                let qboxes: Vec<Rect> = frames
+                    .clone()
+                    .flat_map(|f| video.ground_truth_for(f, object))
+                    .collect();
+                let mut needed = vec![false; layout.tile_count() as usize];
+                for b in &qboxes {
+                    for t in layout.tiles_intersecting(b) {
+                        needed[t as usize] = true;
+                    }
+                }
+                let covered: u64 = layout
+                    .tiles()
+                    .filter(|(i, _)| needed[*i as usize])
+                    .map(|(_, r)| r.area())
+                    .sum();
+                if !qboxes.is_empty() {
+                    ratio_num += covered as f64;
+                    ratio_den += (w as u64 * h as u64) as f64;
+                }
+                Some(layout)
+            });
+            let ratio = if ratio_den > 0.0 { ratio_num / ratio_den } else { 1.0 };
+            let t = (0..3).map(|_| bv.time_select(object).0).fold(f64::INFINITY, f64::min);
+            let _ = idx;
+            points.push(Point {
+                dataset: ds.name(),
+                object,
+                layout: name,
+                pixel_ratio: ratio,
+                improvement_pct: improvement_pct(untiled, t),
+            });
+        }
+    }
+
+    let hurting_rejected = points
+        .iter()
+        .filter(|p| p.improvement_pct < 0.0 && p.pixel_ratio > alpha)
+        .count();
+    let hurting_accepted = points
+        .iter()
+        .filter(|p| p.improvement_pct < 0.0 && p.pixel_ratio <= alpha)
+        .count();
+    let helping_rejected = points
+        .iter()
+        .filter(|p| p.improvement_pct > 0.0 && p.pixel_ratio > alpha)
+        .count();
+    let max_forfeited = points
+        .iter()
+        .filter(|p| p.pixel_ratio > alpha)
+        .map(|p| p.improvement_pct)
+        .fold(0.0f64, f64::max);
+
+    println!("# Figure 10: pixel-ratio threshold for the not-tiling rule\n");
+    println!("| dataset | object | layout | P(L)/P(ω) | improvement % |");
+    println!("|---|---|---|---|---|");
+    for p in &points {
+        println!(
+            "| {} | {} | {} | {:.2} | {:+.0} |",
+            p.dataset, p.object, p.layout, p.pixel_ratio, p.improvement_pct
+        );
+    }
+    println!("\nWith α = {alpha}:");
+    println!("  layouts that hurt and are rejected by the rule : {hurting_rejected}");
+    println!("  layouts that hurt but slip past the rule       : {hurting_accepted}");
+    println!("  helpful layouts forfeited by the rule          : {helping_rejected}");
+    println!("  largest forfeited improvement                  : {max_forfeited:.0}% (paper: < 20%)");
+
+    write_result(
+        "fig10",
+        &Fig10 {
+            alpha,
+            points,
+            hurting_rejected,
+            hurting_accepted,
+            helping_rejected,
+            max_forfeited_pct: max_forfeited,
+        },
+    );
+}

@@ -1,0 +1,38 @@
+//! Runs every table/figure harness in sequence (the full reproduction).
+//!
+//! `cargo run --release -p tasm-bench --bin run_all`
+//!
+//! Respects `TASM_BENCH_SCALE` (e.g. `TASM_BENCH_SCALE=0.3` for a quick
+//! pass). Each harness also runs standalone; see DESIGN.md for the mapping
+//! from paper table/figure to binary.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1",
+        "fit_cost_model",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    for bin in bins {
+        println!("\n================================================================");
+        println!("==  {bin}");
+        println!("================================================================\n");
+        let status = Command::new(exe_dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+    println!("\nAll experiments complete; JSON results are in results/.");
+}

@@ -1,0 +1,335 @@
+//! Bit-level I/O with exponential-Golomb entropy codes.
+//!
+//! The codec's entropy layer uses unsigned (`ue`) and signed (`se`)
+//! exp-Golomb codes, the same family HEVC uses for header syntax. They are
+//! simple, prefix-free, and favour small magnitudes, which matches the
+//! residual statistics of quantized DCT coefficients.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Error raised when a bitstream ends prematurely or contains an invalid code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitstreamError {
+    /// The reader ran past the end of the buffer.
+    UnexpectedEof,
+    /// An exp-Golomb prefix was longer than any value we ever encode.
+    CodeTooLong,
+}
+
+impl std::fmt::Display for BitstreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BitstreamError::UnexpectedEof => write!(f, "bitstream ended unexpectedly"),
+            BitstreamError::CodeTooLong => write!(f, "exp-Golomb code exceeds 32-bit range"),
+        }
+    }
+}
+
+impl std::error::Error for BitstreamError {}
+
+/// Writes bits MSB-first into a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: BytesMut,
+    /// Bits accumulated but not yet flushed to `buf` (kept in the high bits).
+    acc: u64,
+    /// Number of valid bits in `acc`.
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the low `n` bits of `value`, MSB first. `n` must be ≤ 32.
+    #[inline]
+    pub fn put_bits(&mut self, value: u32, n: u32) {
+        debug_assert!(n <= 32);
+        debug_assert!(n == 32 || value < (1u32 << n), "value does not fit in {n} bits");
+        if n == 0 {
+            return;
+        }
+        self.acc |= (value as u64) << (64 - self.nbits - n);
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.buf.put_u8((self.acc >> 56) as u8);
+            self.acc <<= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Writes a single flag bit.
+    #[inline]
+    pub fn put_bit(&mut self, bit: bool) {
+        self.put_bits(bit as u32, 1);
+    }
+
+    /// Writes an unsigned exp-Golomb code (`ue(v)`): `leading_zeros(v+1)`
+    /// zero bits, then the binary of `v + 1`.
+    #[inline]
+    pub fn put_ue(&mut self, v: u32) {
+        debug_assert!(v < u32::MAX, "ue(v) requires v + 1 to fit in u32");
+        let code = v + 1;
+        let len = 32 - code.leading_zeros(); // bits in code
+        self.put_bits(0, len - 1);
+        self.put_bits(code, len);
+    }
+
+    /// Writes a signed exp-Golomb code (`se(v)`), mapping
+    /// 0, 1, -1, 2, -2, … to 0, 1, 2, 3, 4, …
+    #[inline]
+    pub fn put_se(&mut self, v: i32) {
+        let mapped = if v <= 0 {
+            (-(v as i64) * 2) as u32
+        } else {
+            (v as u32) * 2 - 1
+        };
+        self.put_ue(mapped);
+    }
+
+    /// Pads with zero bits to the next byte boundary and returns the bytes.
+    pub fn finish(mut self) -> Bytes {
+        if self.nbits > 0 {
+            self.buf.put_u8((self.acc >> 56) as u8);
+        }
+        self.buf.freeze()
+    }
+
+    /// Number of whole bytes the stream would occupy if finished now.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len() + if self.nbits > 0 { 1 } else { 0 }
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next bit position from the start of `data`.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0 }
+    }
+
+    /// Remaining unread bits.
+    pub fn remaining_bits(&self) -> usize {
+        self.data.len() * 8 - self.pos
+    }
+
+    /// Reads `n` bits (≤ 32), MSB first.
+    #[inline]
+    pub fn get_bits(&mut self, n: u32) -> Result<u32, BitstreamError> {
+        debug_assert!(n <= 32);
+        if n as usize > self.remaining_bits() {
+            return Err(BitstreamError::UnexpectedEof);
+        }
+        let mut out = 0u32;
+        let mut remaining = n;
+        while remaining > 0 {
+            let byte = self.data[self.pos / 8];
+            let bit_off = (self.pos % 8) as u32;
+            let avail = 8 - bit_off;
+            let take = avail.min(remaining);
+            let shifted = (byte as u32) >> (avail - take);
+            let mask = if take == 32 { u32::MAX } else { (1u32 << take) - 1 };
+            out = (out << take) | (shifted & mask);
+            self.pos += take as usize;
+            remaining -= take;
+        }
+        Ok(out)
+    }
+
+    /// Reads a single flag bit.
+    #[inline]
+    pub fn get_bit(&mut self) -> Result<bool, BitstreamError> {
+        Ok(self.get_bits(1)? == 1)
+    }
+
+    /// Reads an unsigned exp-Golomb code.
+    #[inline]
+    pub fn get_ue(&mut self) -> Result<u32, BitstreamError> {
+        let mut zeros = 0u32;
+        loop {
+            if self.remaining_bits() == 0 {
+                return Err(BitstreamError::UnexpectedEof);
+            }
+            if self.get_bits(1)? == 1 {
+                break;
+            }
+            zeros += 1;
+            if zeros > 31 {
+                return Err(BitstreamError::CodeTooLong);
+            }
+        }
+        let rest = self.get_bits(zeros)?;
+        let code = (1u32 << zeros) | rest;
+        Ok(code - 1)
+    }
+
+    /// Reads a signed exp-Golomb code.
+    #[inline]
+    pub fn get_se(&mut self) -> Result<i32, BitstreamError> {
+        let mapped = self.get_ue()?;
+        if mapped % 2 == 1 {
+            Ok(mapped.div_ceil(2) as i32)
+        } else {
+            Ok(-((mapped / 2) as i32))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b101, 3);
+        w.put_bits(0xFFFF, 16);
+        w.put_bit(false);
+        w.put_bits(7, 5);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(3).unwrap(), 0b101);
+        assert_eq!(r.get_bits(16).unwrap(), 0xFFFF);
+        assert!(!r.get_bit().unwrap());
+        assert_eq!(r.get_bits(5).unwrap(), 7);
+    }
+
+    #[test]
+    fn ue_small_values() {
+        // Classic exp-Golomb examples: 0 -> "1", 1 -> "010", 2 -> "011".
+        let mut w = BitWriter::new();
+        for v in 0..=10 {
+            w.put_ue(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for v in 0..=10 {
+            assert_eq!(r.get_ue().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn ue_bit_pattern() {
+        let mut w = BitWriter::new();
+        w.put_ue(0);
+        let b = w.finish();
+        assert_eq!(b[0], 0b1000_0000);
+        let mut w = BitWriter::new();
+        w.put_ue(1); // 010
+        w.put_ue(2); // 011
+        let b = w.finish();
+        assert_eq!(b[0], 0b0100_1100);
+    }
+
+    #[test]
+    fn se_roundtrip() {
+        let values = [0, 1, -1, 2, -2, 17, -17, 255, -255, 4096, -4096];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.put_se(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.get_se().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn large_ue_values() {
+        let values = [0, 1, 100, 1000, 65535, 1 << 20, u32::MAX - 1];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.put_ue(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.get_ue().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn eof_detected() {
+        let mut r = BitReader::new(&[0b0000_0000]);
+        assert!(r.get_ue().is_err());
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.get_bits(1), Err(BitstreamError::UnexpectedEof));
+    }
+
+    #[test]
+    fn byte_len_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.byte_len(), 0);
+        w.put_bit(true);
+        assert_eq!(w.byte_len(), 1);
+        w.put_bits(0, 7);
+        assert_eq!(w.byte_len(), 1);
+        w.put_bit(true);
+        assert_eq!(w.byte_len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_ue_roundtrip(values in proptest::collection::vec(0u32..1_000_000, 0..200)) {
+            let mut w = BitWriter::new();
+            for &v in &values {
+                w.put_ue(v);
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for &v in &values {
+                prop_assert_eq!(r.get_ue().unwrap(), v);
+            }
+        }
+
+        #[test]
+        fn prop_se_roundtrip(values in proptest::collection::vec(-500_000i32..500_000, 0..200)) {
+            let mut w = BitWriter::new();
+            for &v in &values {
+                w.put_se(v);
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for &v in &values {
+                prop_assert_eq!(r.get_se().unwrap(), v);
+            }
+        }
+
+        #[test]
+        fn prop_mixed_roundtrip(ops in proptest::collection::vec((0u32..3, 0u32..100_000), 0..100)) {
+            let mut w = BitWriter::new();
+            for &(kind, v) in &ops {
+                match kind {
+                    0 => w.put_bits(v & 0xFF, 8),
+                    1 => w.put_ue(v),
+                    _ => w.put_se(v as i32 - 50_000),
+                }
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for &(kind, v) in &ops {
+                match kind {
+                    0 => prop_assert_eq!(r.get_bits(8).unwrap(), v & 0xFF),
+                    1 => prop_assert_eq!(r.get_ue().unwrap(), v),
+                    _ => prop_assert_eq!(r.get_se().unwrap(), v as i32 - 50_000),
+                }
+            }
+        }
+    }
+}

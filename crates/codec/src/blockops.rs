@@ -1,0 +1,219 @@
+//! Pixel-block helpers shared by the encoder and decoder.
+//!
+//! All functions operate on a single plane stored row-major with an explicit
+//! stride, using 8×8 blocks (the transform size). Coordinates are in the
+//! plane's own sample grid (chroma coordinates for chroma planes).
+
+use crate::dct::{BLOCK, BLOCK_AREA};
+
+/// Zigzag scan order for an 8×8 coefficient block (JPEG/MPEG order):
+/// low frequencies first so runs of trailing zeros compress well.
+pub const ZIGZAG: [usize; BLOCK_AREA] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Loads an 8×8 block of samples as `i32`.
+#[inline]
+pub fn load_block(plane: &[u8], stride: usize, x: usize, y: usize) -> [i32; BLOCK_AREA] {
+    let mut out = [0i32; BLOCK_AREA];
+    for row in 0..BLOCK {
+        let base = (y + row) * stride + x;
+        for col in 0..BLOCK {
+            out[row * BLOCK + col] = plane[base + col] as i32;
+        }
+    }
+    out
+}
+
+/// Stores an 8×8 block, clamping each value to the 8-bit sample range.
+#[inline]
+pub fn store_block(plane: &mut [u8], stride: usize, x: usize, y: usize, values: &[i32; BLOCK_AREA]) {
+    for row in 0..BLOCK {
+        let base = (y + row) * stride + x;
+        for col in 0..BLOCK {
+            plane[base + col] = values[row * BLOCK + col].clamp(0, 255) as u8;
+        }
+    }
+}
+
+/// Copies an 8×8 block between planes (used for SKIP blocks and motion
+/// compensation with integer vectors).
+#[inline]
+pub fn copy_block(
+    dst: &mut [u8],
+    dst_stride: usize,
+    dx: usize,
+    dy: usize,
+    src: &[u8],
+    src_stride: usize,
+    sx: usize,
+    sy: usize,
+) {
+    for row in 0..BLOCK {
+        let d = (dy + row) * dst_stride + dx;
+        let s = (sy + row) * src_stride + sx;
+        dst[d..d + BLOCK].copy_from_slice(&src[s..s + BLOCK]);
+    }
+}
+
+/// Sum of absolute differences between a block in `a` and a block in `b`.
+#[inline]
+pub fn sad(
+    a: &[u8],
+    a_stride: usize,
+    ax: usize,
+    ay: usize,
+    b: &[u8],
+    b_stride: usize,
+    bx: usize,
+    by: usize,
+) -> u32 {
+    let mut total = 0u32;
+    for row in 0..BLOCK {
+        let pa = &a[(ay + row) * a_stride + ax..][..BLOCK];
+        let pb = &b[(by + row) * b_stride + bx..][..BLOCK];
+        for (&x, &y) in pa.iter().zip(pb) {
+            total += (x as i32 - y as i32).unsigned_abs();
+        }
+    }
+    total
+}
+
+/// DC intra prediction: the mean of the reconstructed samples directly above
+/// and to the left of the block *within the same tile*, or 128 when the block
+/// touches the tile's top-left corner. Mirrors HEVC DC mode restricted to the
+/// tile (prediction never crosses tile boundaries — that is what makes tiles
+/// independently decodable).
+#[inline]
+pub fn dc_predict(recon: &[u8], stride: usize, x: usize, y: usize) -> i32 {
+    let mut sum = 0u32;
+    let mut count = 0u32;
+    if y > 0 {
+        let base = (y - 1) * stride + x;
+        for col in 0..BLOCK {
+            sum += recon[base + col] as u32;
+        }
+        count += BLOCK as u32;
+    }
+    if x > 0 {
+        for row in 0..BLOCK {
+            sum += recon[(y + row) * stride + x - 1] as u32;
+        }
+        count += BLOCK as u32;
+    }
+    if count == 0 {
+        128
+    } else {
+        ((sum + count / 2) / count) as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; BLOCK_AREA];
+        for &z in &ZIGZAG {
+            assert!(!seen[z], "duplicate index {z}");
+            seen[z] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // First few entries follow the classic pattern.
+        assert_eq!(&ZIGZAG[..6], &[0, 1, 8, 16, 9, 2]);
+        assert_eq!(ZIGZAG[63], 63);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut plane = vec![0u8; 16 * 16];
+        for (i, p) in plane.iter_mut().enumerate() {
+            *p = (i % 251) as u8;
+        }
+        let block = load_block(&plane, 16, 8, 8);
+        let mut out = vec![0u8; 16 * 16];
+        store_block(&mut out, 16, 8, 8, &block);
+        for row in 8..16 {
+            for col in 8..16 {
+                assert_eq!(out[row * 16 + col], plane[row * 16 + col]);
+            }
+        }
+    }
+
+    #[test]
+    fn store_clamps_to_u8() {
+        let mut plane = vec![0u8; 64];
+        let mut vals = [0i32; BLOCK_AREA];
+        vals[0] = -50;
+        vals[1] = 300;
+        vals[2] = 128;
+        store_block(&mut plane, 8, 0, 0, &vals);
+        assert_eq!(plane[0], 0);
+        assert_eq!(plane[1], 255);
+        assert_eq!(plane[2], 128);
+    }
+
+    #[test]
+    fn sad_zero_for_identical() {
+        let plane = vec![99u8; 64];
+        assert_eq!(sad(&plane, 8, 0, 0, &plane, 8, 0, 0), 0);
+    }
+
+    #[test]
+    fn sad_counts_differences() {
+        let a = vec![10u8; 64];
+        let b = vec![13u8; 64];
+        assert_eq!(sad(&a, 8, 0, 0, &b, 8, 0, 0), 3 * 64);
+    }
+
+    #[test]
+    fn copy_block_moves_pixels() {
+        let mut src = vec![0u8; 16 * 16];
+        src[3 * 16 + 4] = 200; // inside block at (0,0)? No: (4,3)
+        let mut dst = vec![0u8; 16 * 16];
+        copy_block(&mut dst, 16, 8, 8, &src, 16, 0, 0);
+        assert_eq!(dst[(8 + 3) * 16 + 8 + 4], 200);
+    }
+
+    #[test]
+    fn dc_predict_corner_is_mid_gray() {
+        let recon = vec![77u8; 64];
+        assert_eq!(dc_predict(&recon, 8, 0, 0), 128);
+    }
+
+    #[test]
+    fn dc_predict_uses_top_and_left() {
+        // 16x16 plane: row 7 (above block at (8,8)) = 100, col 7 = 50.
+        let mut recon = vec![0u8; 16 * 16];
+        for col in 8..16 {
+            recon[7 * 16 + col] = 100;
+        }
+        for row in 8..16 {
+            recon[row * 16 + 7] = 50;
+        }
+        assert_eq!(dc_predict(&recon, 16, 8, 8), 75);
+    }
+
+    #[test]
+    fn dc_predict_top_only() {
+        // Block at (0, 8): no left neighbours, top row 7 = 200.
+        let mut recon = vec![0u8; 16 * 16];
+        for col in 0..8 {
+            recon[7 * 16 + col] = 200;
+        }
+        assert_eq!(dc_predict(&recon, 16, 0, 8), 200);
+    }
+
+    #[test]
+    fn dc_predict_left_only() {
+        // Block at (8, 0): no top neighbours, left column 7 = 60.
+        let mut recon = vec![0u8; 16 * 16];
+        for row in 0..8 {
+            recon[row * 16 + 7] = 60;
+        }
+        assert_eq!(dc_predict(&recon, 16, 8, 0), 60);
+    }
+}

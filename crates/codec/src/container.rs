@@ -1,0 +1,370 @@
+//! The TVF ("tile video file") container format.
+//!
+//! Each tile of a tiled video is stored as its own TVF file, exactly as the
+//! paper stores each tile as a separate video on disk (Figure 1 and §3.4.5).
+//! A TVF records the tile dimensions, GOP structure, quantizer, and a frame
+//! table, followed by the concatenated frame payloads. The frame table gives
+//! random access to any GOP: decoding frame `f` starts at the latest
+//! keyframe at or before `f`.
+
+use crate::decoder::{DecodeError, TileDecoder};
+use crate::encoder::EncodedFrame;
+use crate::stats::DecodeStats;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::ops::Range;
+use std::time::Instant;
+use tasm_video::Frame;
+
+/// Magic bytes identifying a TVF stream.
+pub const TVF_MAGIC: [u8; 4] = *b"TVF1";
+
+/// Errors raised when parsing a container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainerError {
+    /// The magic bytes or version did not match.
+    BadMagic,
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// A header field held an invalid value.
+    InvalidHeader(&'static str),
+    /// Decoding a frame payload failed.
+    Decode(DecodeError),
+}
+
+impl From<DecodeError> for ContainerError {
+    fn from(e: DecodeError) -> Self {
+        ContainerError::Decode(e)
+    }
+}
+
+impl std::fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContainerError::BadMagic => write!(f, "not a TVF stream"),
+            ContainerError::Truncated => write!(f, "container truncated"),
+            ContainerError::InvalidHeader(what) => write!(f, "invalid header: {what}"),
+            ContainerError::Decode(e) => write!(f, "decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}
+
+/// An encoded single-tile video: the unit TASM stores on disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileVideo {
+    /// Tile width in luma pixels.
+    pub width: u32,
+    /// Tile height in luma pixels.
+    pub height: u32,
+    /// GOP length the stream was encoded with.
+    pub gop_len: u32,
+    /// Quantization parameter.
+    pub qp: u8,
+    /// Whether the in-loop deblocking filter is active.
+    pub deblock: bool,
+    /// Encoded frames in display order.
+    pub frames: Vec<EncodedFrame>,
+}
+
+impl TileVideo {
+    /// Number of frames in the stream.
+    pub fn frame_count(&self) -> u32 {
+        self.frames.len() as u32
+    }
+
+    /// Total compressed payload size (excluding the container header).
+    pub fn payload_bytes(&self) -> u64 {
+        self.frames.iter().map(|f| f.data.len() as u64).sum()
+    }
+
+    /// Total size when serialized, header included.
+    pub fn size_bytes(&self) -> u64 {
+        // header: magic(4) + version(1) + w(4) + h(4) + gop(4) + qp(1) +
+        // flags(1) + count(4); per frame: len(4) + flags(1) + qp(1).
+        23 + self.frames.len() as u64 * 6 + self.payload_bytes()
+    }
+
+    /// Index of the latest keyframe at or before `frame`.
+    ///
+    /// # Panics
+    /// Panics if `frame` is out of range.
+    pub fn keyframe_before(&self, frame: u32) -> u32 {
+        assert!(
+            frame < self.frame_count(),
+            "frame {frame} out of range ({} frames)",
+            self.frame_count()
+        );
+        (0..=frame)
+            .rev()
+            .find(|&i| self.frames[i as usize].is_key)
+            .expect("stream starts with a keyframe")
+    }
+
+    /// Serializes to bytes.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.size_bytes() as usize);
+        buf.put_slice(&TVF_MAGIC);
+        buf.put_u8(1); // version
+        buf.put_u32_le(self.width);
+        buf.put_u32_le(self.height);
+        buf.put_u32_le(self.gop_len);
+        buf.put_u8(self.qp);
+        buf.put_u8(u8::from(self.deblock));
+        buf.put_u32_le(self.frames.len() as u32);
+        for f in &self.frames {
+            buf.put_u32_le(f.data.len() as u32);
+            buf.put_u8(u8::from(f.is_key));
+            buf.put_u8(f.qp);
+        }
+        for f in &self.frames {
+            buf.put_slice(&f.data);
+        }
+        buf.freeze()
+    }
+
+    /// Parses a serialized TVF stream.
+    pub fn from_bytes(mut data: &[u8]) -> Result<Self, ContainerError> {
+        if data.remaining() < 23 {
+            return Err(ContainerError::Truncated);
+        }
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if magic != TVF_MAGIC || data.get_u8() != 1 {
+            return Err(ContainerError::BadMagic);
+        }
+        let width = data.get_u32_le();
+        let height = data.get_u32_le();
+        let gop_len = data.get_u32_le();
+        let qp = data.get_u8();
+        let deblock = data.get_u8() != 0;
+        let count = data.get_u32_le() as usize;
+        if width == 0 || height == 0 {
+            return Err(ContainerError::InvalidHeader("zero dimension"));
+        }
+        if gop_len == 0 {
+            return Err(ContainerError::InvalidHeader("zero GOP length"));
+        }
+        if qp > crate::quant::MAX_QP {
+            return Err(ContainerError::InvalidHeader("QP out of range"));
+        }
+        if data.remaining() < count * 6 {
+            return Err(ContainerError::Truncated);
+        }
+        let mut table = Vec::with_capacity(count);
+        for _ in 0..count {
+            let len = data.get_u32_le() as usize;
+            let is_key = data.get_u8() != 0;
+            let frame_qp = data.get_u8();
+            if frame_qp > crate::quant::MAX_QP {
+                return Err(ContainerError::InvalidHeader("frame QP out of range"));
+            }
+            table.push((len, is_key, frame_qp));
+        }
+        if count > 0 && !table[0].1 {
+            return Err(ContainerError::InvalidHeader("first frame must be a keyframe"));
+        }
+        let mut frames = Vec::with_capacity(count);
+        for (len, is_key, frame_qp) in table {
+            if data.remaining() < len {
+                return Err(ContainerError::Truncated);
+            }
+            frames.push(EncodedFrame {
+                is_key,
+                qp: frame_qp,
+                data: Bytes::copy_from_slice(&data[..len]),
+            });
+            data.advance(len);
+        }
+        Ok(TileVideo {
+            width,
+            height,
+            gop_len,
+            qp,
+            deblock,
+            frames,
+        })
+    }
+
+    /// Decodes frames `range` (display order), returning the requested
+    /// frames and exact accounting of the work performed.
+    ///
+    /// Decoding starts at the preceding keyframe — as in any GOP-structured
+    /// codec, frames between the keyframe and `range.start` must be decoded
+    /// and discarded, and that warm-up work is included in the stats. This
+    /// is the cost structure TASM's layout optimizer reasons about.
+    pub fn decode_range(&self, range: Range<u32>) -> Result<(Vec<Frame>, DecodeStats), ContainerError> {
+        assert!(range.start <= range.end, "invalid range");
+        if range.start >= self.frame_count() || range.end > self.frame_count() {
+            return Err(ContainerError::InvalidHeader("frame range out of bounds"));
+        }
+        if range.is_empty() {
+            return Ok((Vec::new(), DecodeStats::new()));
+        }
+        let start = self.keyframe_before(range.start);
+        let t0 = Instant::now();
+        let mut dec = TileDecoder::new(self.width, self.height, self.qp, self.deblock);
+        let mut out = Vec::with_capacity(range.len());
+        let mut stats = DecodeStats::new();
+        let samples_per_frame =
+            self.width as u64 * self.height as u64 + (self.width as u64 * self.height as u64) / 2;
+        for i in start..range.end {
+            let ef = &self.frames[i as usize];
+            let frame = dec.decode_next_qp(&ef.data, ef.is_key, ef.qp)?;
+            stats.frames_decoded += 1;
+            stats.samples_decoded += samples_per_frame;
+            stats.tile_chunks_decoded += 1;
+            stats.bytes_read += ef.data.len() as u64;
+            stats.blocks_decoded += dec.blocks_per_frame();
+            if i >= range.start {
+                out.push(frame);
+            }
+        }
+        stats.decode_time = t0.elapsed();
+        Ok((out, stats))
+    }
+
+    /// Decodes the whole stream.
+    pub fn decode_all(&self) -> Result<(Vec<Frame>, DecodeStats), ContainerError> {
+        self.decode_range(0..self.frame_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{EncoderConfig, TileEncoder};
+    use tasm_video::{Plane, Rect};
+
+    fn encode_test_video(n: u32, gop: u32) -> TileVideo {
+        let cfg = EncoderConfig {
+            gop_len: gop,
+            ..Default::default()
+        };
+        let mut enc = TileEncoder::new(cfg, Rect::new(0, 0, 32, 32));
+        let frames: Vec<EncodedFrame> = (0..n)
+            .map(|i| {
+                // Textured background + a moving patch, so keyframes carry
+                // real intra cost while P-frames mostly skip.
+                let mut f = Frame::filled(32, 32, 100, 128, 128);
+                for y in 0..32 {
+                    for x in 0..32 {
+                        f.set_sample(Plane::Y, x, y, ((x * 11 + y * 5) % 200 + 20) as u8);
+                    }
+                }
+                f.fill_rect(Rect::new((i * 2) % 24, 4, 8, 8), 220, 90, 160);
+                enc.encode_next(&f)
+            })
+            .collect();
+        TileVideo {
+            width: 32,
+            height: 32,
+            gop_len: gop,
+            qp: cfg.qp,
+            deblock: cfg.deblock,
+            frames,
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let v = encode_test_video(10, 4);
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len() as u64, v.size_bytes());
+        let back = TileVideo::from_bytes(&bytes).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let v = encode_test_video(2, 2);
+        let mut bytes = v.to_bytes().to_vec();
+        bytes[0] = b'X';
+        assert_eq!(TileVideo::from_bytes(&bytes), Err(ContainerError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let v = encode_test_video(4, 2);
+        let bytes = v.to_bytes();
+        for cut in [0, 10, 22, bytes.len() - 1] {
+            assert!(
+                TileVideo::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn keyframe_before_finds_gop_start() {
+        let v = encode_test_video(10, 4);
+        assert_eq!(v.keyframe_before(0), 0);
+        assert_eq!(v.keyframe_before(3), 0);
+        assert_eq!(v.keyframe_before(4), 4);
+        assert_eq!(v.keyframe_before(7), 4);
+        assert_eq!(v.keyframe_before(9), 8);
+    }
+
+    #[test]
+    fn decode_range_includes_warmup_in_stats() {
+        let v = encode_test_video(10, 4);
+        // Request frames 6..8: decode must start at keyframe 4.
+        let (frames, stats) = v.decode_range(6..8).unwrap();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(stats.frames_decoded, 4); // frames 4,5,6,7
+        assert_eq!(stats.tile_chunks_decoded, 4);
+        assert!(stats.samples_decoded > 0);
+        assert!(stats.bytes_read > 0);
+    }
+
+    #[test]
+    fn decode_range_matches_decode_all() {
+        let v = encode_test_video(8, 4);
+        let (all, _) = v.decode_all().unwrap();
+        let (some, _) = v.decode_range(5..8).unwrap();
+        assert_eq!(all.len(), 8);
+        assert_eq!(some.len(), 3);
+        for (a, b) in all[5..].iter().zip(&some) {
+            assert_eq!(a.plane(Plane::Y), b.plane(Plane::Y));
+            assert_eq!(a.plane(Plane::U), b.plane(Plane::U));
+        }
+    }
+
+    #[test]
+    fn empty_range_is_free() {
+        let v = encode_test_video(4, 2);
+        let (frames, stats) = v.decode_range(2..2).unwrap();
+        assert!(frames.is_empty());
+        assert_eq!(stats, DecodeStats::new());
+    }
+
+    #[test]
+    fn out_of_bounds_range_is_error() {
+        let v = encode_test_video(4, 2);
+        assert!(v.decode_range(0..5).is_err());
+        assert!(v.decode_range(4..4).is_err());
+    }
+
+    #[test]
+    fn keyframes_cost_more_than_p_frames() {
+        let v = encode_test_video(8, 4);
+        let key_avg: f64 = v
+            .frames
+            .iter()
+            .filter(|f| f.is_key)
+            .map(|f| f.data.len() as f64)
+            .sum::<f64>()
+            / 2.0;
+        let p_avg: f64 = v
+            .frames
+            .iter()
+            .filter(|f| !f.is_key)
+            .map(|f| f.data.len() as f64)
+            .sum::<f64>()
+            / 6.0;
+        assert!(
+            key_avg > 2.0 * p_avg,
+            "keyframes ({key_avg:.0}B) should dominate P-frames ({p_avg:.0}B)"
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! 8×8 separable DCT-II / DCT-III transform pair.
+//!
+//! The transform operates on `i32` residuals and uses a fixed-point basis
+//! (scaled by 2¹³, like HEVC's integer transforms) so that encode and decode
+//! are bit-exact across platforms. The forward/inverse pair is not lossless —
+//! it is a transform, and quantization downstream discards precision — but
+//! `forward` followed by `inverse` reconstructs residuals within ±1, which is
+//! below the quantizer's dead zone for every QP we use.
+
+/// Transform block edge length in samples.
+pub const BLOCK: usize = 8;
+
+/// Number of coefficients in a block.
+pub const BLOCK_AREA: usize = BLOCK * BLOCK;
+
+/// Fixed-point scale (2^13) for the DCT basis.
+const SCALE_BITS: i64 = 13;
+#[cfg(test)]
+const SCALE: f64 = (1i64 << SCALE_BITS) as f64;
+
+/// Basis matrix `C[k][n] = c(k) * cos((2n+1) k π / 16)` in Q13 fixed point.
+const fn basis() -> [[i32; BLOCK]; BLOCK] {
+    // const fn cannot call cos(); table computed offline and verified by the
+    // `basis_matches_float` test below.
+    [
+        [2896, 2896, 2896, 2896, 2896, 2896, 2896, 2896],
+        [4017, 3406, 2276, 799, -799, -2276, -3406, -4017],
+        [3784, 1567, -1567, -3784, -3784, -1567, 1567, 3784],
+        [3406, -799, -4017, -2276, 2276, 4017, 799, -3406],
+        [2896, -2896, -2896, 2896, 2896, -2896, -2896, 2896],
+        [2276, -4017, 799, 3406, -3406, -799, 4017, -2276],
+        [1567, -3784, 3784, -1567, -1567, 3784, -3784, 1567],
+        [799, -2276, 3406, -4017, 4017, -3406, 2276, -799],
+    ]
+}
+
+const BASIS: [[i32; BLOCK]; BLOCK] = basis();
+
+/// Forward 8×8 DCT of a residual block (row-major), producing coefficients
+/// at the same nominal scale as the input.
+pub fn forward(block: &[i32; BLOCK_AREA]) -> [i32; BLOCK_AREA] {
+    let mut tmp = [0i64; BLOCK_AREA];
+    // Transform rows: tmp = block * C^T
+    for r in 0..BLOCK {
+        for k in 0..BLOCK {
+            let mut acc = 0i64;
+            for n in 0..BLOCK {
+                acc += block[r * BLOCK + n] as i64 * BASIS[k][n] as i64;
+            }
+            tmp[r * BLOCK + k] = acc;
+        }
+    }
+    // Transform columns: out = C * tmp. The basis is orthonormal at scale
+    // 2^13, so the 2-D product carries a 2^26 factor that we shift away.
+    let mut out = [0i32; BLOCK_AREA];
+    let round = 1i64 << (2 * SCALE_BITS - 1);
+    for c in 0..BLOCK {
+        for k in 0..BLOCK {
+            let mut acc = 0i64;
+            for n in 0..BLOCK {
+                acc += tmp[n * BLOCK + c] * BASIS[k][n] as i64;
+            }
+            out[k * BLOCK + c] = ((acc + round) >> (2 * SCALE_BITS)) as i32;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT, reconstructing the residual block.
+pub fn inverse(coef: &[i32; BLOCK_AREA]) -> [i32; BLOCK_AREA] {
+    let mut tmp = [0i64; BLOCK_AREA];
+    // Inverse over columns: tmp = C^T * coef
+    for c in 0..BLOCK {
+        for n in 0..BLOCK {
+            let mut acc = 0i64;
+            for k in 0..BLOCK {
+                acc += coef[k * BLOCK + c] as i64 * BASIS[k][n] as i64;
+            }
+            tmp[n * BLOCK + c] = acc;
+        }
+    }
+    // Inverse over rows with rounding and the remaining 1/4-ish normalization.
+    let mut out = [0i32; BLOCK_AREA];
+    let round = 1i64 << (2 * SCALE_BITS - 1);
+    for r in 0..BLOCK {
+        for n in 0..BLOCK {
+            let mut acc = 0i64;
+            for k in 0..BLOCK {
+                acc += tmp[r * BLOCK + k] * BASIS[k][n] as i64;
+            }
+            out[r * BLOCK + n] = ((acc + round) >> (2 * SCALE_BITS)) as i32;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn float_basis() -> [[f64; BLOCK]; BLOCK] {
+        let mut m = [[0.0; BLOCK]; BLOCK];
+        for (k, row) in m.iter_mut().enumerate() {
+            let ck = if k == 0 { (1.0f64 / 8.0).sqrt() } else { (2.0f64 / 8.0).sqrt() };
+            for (n, cell) in row.iter_mut().enumerate() {
+                *cell =
+                    ck * ((2.0 * n as f64 + 1.0) * k as f64 * std::f64::consts::PI / 16.0).cos();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn basis_matches_float() {
+        // The const table is the orthonormal DCT-II basis in Q13: each entry
+        // must equal round(c(k) · cos((2n+1)kπ/16) · 2^13) within 1 ulp.
+        let fb = float_basis();
+        for k in 0..BLOCK {
+            for n in 0..BLOCK {
+                let expected = fb[k][n] * SCALE;
+                let got = BASIS[k][n] as f64;
+                assert!(
+                    (got - expected).abs() <= 1.0,
+                    "basis[{k}][{n}] = {got}, expected {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dc_block_transforms_to_dc_coefficient() {
+        let block = [100i32; BLOCK_AREA];
+        let coef = forward(&block);
+        // DC coefficient should carry all energy: 8 * 100 = 800 for orthonormal.
+        assert!(coef[0] > 0);
+        for (i, &c) in coef.iter().enumerate().skip(1) {
+            assert!(c.abs() <= 1, "AC coefficient {i} = {c} should be ~0");
+        }
+        let back = inverse(&coef);
+        for &v in &back {
+            assert!((v - 100).abs() <= 1, "reconstruction {v} != 100");
+        }
+    }
+
+    #[test]
+    fn roundtrip_error_within_one() {
+        // Deterministic pseudo-random residuals in the range the encoder sees.
+        let mut state = 0x12345678u32;
+        let mut next = move || {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            ((state >> 16) as i32 % 512) - 256
+        };
+        for _ in 0..50 {
+            let mut block = [0i32; BLOCK_AREA];
+            for v in block.iter_mut() {
+                *v = next();
+            }
+            let coef = forward(&block);
+            let back = inverse(&coef);
+            for (a, b) in block.iter().zip(&back) {
+                assert!((a - b).abs() <= 1, "roundtrip error {} vs {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let a = [37i32; BLOCK_AREA];
+        let mut b = [0i32; BLOCK_AREA];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = (i as i32 % 17) - 8;
+        }
+        let mut sum = [0i32; BLOCK_AREA];
+        for i in 0..BLOCK_AREA {
+            sum[i] = a[i] + b[i];
+        }
+        let fa = forward(&a);
+        let fb = forward(&b);
+        let fsum = forward(&sum);
+        for i in 0..BLOCK_AREA {
+            assert!((fa[i] + fb[i] - fsum[i]).abs() <= 2, "linearity violated at {i}");
+        }
+    }
+
+    #[test]
+    fn energy_preserved() {
+        // Parseval: orthonormal transform preserves energy (within rounding).
+        let mut block = [0i32; BLOCK_AREA];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i * 7919) % 255) as i32 - 127;
+        }
+        let coef = forward(&block);
+        let e_in: i64 = block.iter().map(|&v| (v as i64) * (v as i64)).sum();
+        let e_out: i64 = coef.iter().map(|&v| (v as i64) * (v as i64)).sum();
+        let ratio = e_out as f64 / e_in as f64;
+        assert!((ratio - 1.0).abs() < 0.02, "energy ratio {ratio}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_within_one(block in proptest::array::uniform32(-255i32..=255)) {
+            // proptest offers fixed-size arrays up to 32; tile it to 64.
+            let mut full = [0i32; BLOCK_AREA];
+            for i in 0..BLOCK_AREA {
+                full[i] = block[i % 32];
+            }
+            let back = inverse(&forward(&full));
+            for (a, b) in full.iter().zip(&back) {
+                prop_assert!((a - b).abs() <= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! In-loop deblocking filter.
+//!
+//! Block-transform codecs exhibit discontinuities at transform-block edges;
+//! an in-loop filter smooths them and is applied identically by encoder and
+//! decoder (the filtered frame is the reference for subsequent prediction).
+//!
+//! Crucially for TASM, the filter operates on each tile's reconstruction in
+//! isolation: it can never reach across a tile boundary, because tiles decode
+//! independently. Interior block edges get filtered, *tile* edges do not —
+//! which is exactly the boundary-artifact mechanism the paper cites ([44],
+//! §2) as the quality cost of tiling, and what Figure 6(b) measures.
+
+use tasm_video::{Frame, Plane};
+
+/// Applies the weak deblocking filter in place to one reconstructed tile.
+///
+/// `qstep` controls the filter strength thresholds: stronger quantization
+/// produces larger discontinuities that still count as blocking artifacts
+/// rather than real edges.
+pub fn deblock_frame(frame: &mut Frame, qstep: i32) {
+    // Edges with a step larger than `beta` are treated as real image content
+    // and left alone; corrections are clamped to ±tc.
+    let beta = 2 * qstep + 8;
+    let tc = qstep / 2 + 1;
+    for plane in Plane::ALL {
+        let w = frame.plane_width(plane) as usize;
+        let h = frame.plane_height(plane) as usize;
+        let data = frame.plane_mut(plane);
+        filter_vertical_edges(data, w, h, beta, tc);
+        filter_horizontal_edges(data, w, h, beta, tc);
+    }
+}
+
+/// Filters vertical block edges (pixels left/right of columns 8, 16, …).
+/// Plane widths are multiples of 8, so `x + 1 < w` always holds at an edge.
+fn filter_vertical_edges(data: &mut [u8], w: usize, h: usize, beta: i32, tc: i32) {
+    let mut x = 8;
+    while x < w {
+        for y in 0..h {
+            let row = y * w;
+            let p1 = data[row + x - 2] as i32;
+            let p0 = data[row + x - 1] as i32;
+            let q0 = data[row + x] as i32;
+            let q1 = data[row + x + 1] as i32;
+            if let Some((np0, nq0)) = weak_filter(p1, p0, q0, q1, beta, tc) {
+                data[row + x - 1] = np0;
+                data[row + x] = nq0;
+            }
+        }
+        x += 8;
+    }
+}
+
+/// Filters horizontal block edges (pixels above/below rows 8, 16, …).
+/// Plane heights are multiples of 8, so `y + 1 < h` always holds at an edge.
+fn filter_horizontal_edges(data: &mut [u8], w: usize, h: usize, beta: i32, tc: i32) {
+    let mut y = 8;
+    while y < h {
+        for x in 0..w {
+            let p1 = data[(y - 2) * w + x] as i32;
+            let p0 = data[(y - 1) * w + x] as i32;
+            let q0 = data[y * w + x] as i32;
+            let q1 = data[(y + 1) * w + x] as i32;
+            if let Some((np0, nq0)) = weak_filter(p1, p0, q0, q1, beta, tc) {
+                data[(y - 1) * w + x] = np0;
+                data[y * w + x] = nq0;
+            }
+        }
+        y += 8;
+    }
+}
+
+/// H.264-style weak filter on the two samples adjacent to an edge.
+/// Returns the corrected pair, or `None` when the edge should not be touched.
+#[inline]
+fn weak_filter(p1: i32, p0: i32, q0: i32, q1: i32, beta: i32, tc: i32) -> Option<(u8, u8)> {
+    let step = (p0 - q0).abs();
+    if step == 0 || step >= beta {
+        return None;
+    }
+    // Require the inside of each block to be smooth, so true texture edges
+    // are not blurred.
+    if (p1 - p0).abs() >= beta / 2 || (q1 - q0).abs() >= beta / 2 {
+        return None;
+    }
+    let delta = ((q0 - p0) * 4 + (p1 - q1) + 4) >> 3;
+    let delta = delta.clamp(-tc, tc);
+    Some((
+        (p0 + delta).clamp(0, 255) as u8,
+        (q0 - delta).clamp(0, 255) as u8,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasm_video::Rect;
+
+    #[test]
+    fn weak_filter_smooths_small_step() {
+        // Flat 100 | 104 edge: blocking artifact, should be pulled together.
+        let (p0, q0) = weak_filter(100, 100, 104, 104, 40, 9).unwrap();
+        assert!(p0 > 100 && q0 < 104, "filter should reduce the step: {p0} {q0}");
+    }
+
+    #[test]
+    fn weak_filter_preserves_strong_edges() {
+        // A 100-step edge is real content.
+        assert!(weak_filter(100, 100, 200, 200, 40, 9).is_none());
+        // Identical samples need no filtering.
+        assert!(weak_filter(50, 50, 50, 50, 40, 9).is_none());
+    }
+
+    #[test]
+    fn weak_filter_respects_texture() {
+        // Noisy insides (p1 far from p0) indicate texture, not blocking.
+        assert!(weak_filter(10, 100, 104, 104, 40, 9).is_none());
+    }
+
+    #[test]
+    fn deblock_reduces_block_edge_step() {
+        let mut f = Frame::filled(32, 32, 100, 128, 128);
+        // Create an artificial blocking step at x=8 in luma.
+        f.fill_rect(Rect::new(8, 0, 24, 32), 106, 128, 128);
+        let before = (f.sample(Plane::Y, 7, 4) as i32 - f.sample(Plane::Y, 8, 4) as i32).abs();
+        deblock_frame(&mut f, 16);
+        let after = (f.sample(Plane::Y, 7, 4) as i32 - f.sample(Plane::Y, 8, 4) as i32).abs();
+        assert!(after < before, "step should shrink: {before} -> {after}");
+    }
+
+    #[test]
+    fn deblock_leaves_flat_frame_unchanged() {
+        let mut f = Frame::filled(32, 32, 90, 128, 128);
+        let orig = f.clone();
+        deblock_frame(&mut f, 16);
+        assert_eq!(f, orig);
+    }
+
+    #[test]
+    fn deblock_is_deterministic() {
+        let mut a = Frame::filled(32, 32, 100, 128, 128);
+        a.fill_rect(Rect::new(8, 8, 8, 8), 110, 120, 136);
+        let mut b = a.clone();
+        deblock_frame(&mut a, 16);
+        deblock_frame(&mut b, 16);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,351 @@
+//! The tile decoder, mirroring [`crate::encoder`] bit-exactly.
+
+use crate::bitstream::{BitReader, BitstreamError};
+use crate::blockops::{copy_block, dc_predict, store_block, ZIGZAG};
+use crate::dct::{inverse, BLOCK, BLOCK_AREA};
+use crate::deblock::deblock_frame;
+use crate::quant::{dequantize_block, qstep};
+use tasm_video::{Frame, Plane};
+
+/// Errors surfaced while decoding a tile bitstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The entropy layer failed (truncated or corrupt stream).
+    Bitstream(BitstreamError),
+    /// A syntax element held an impossible value.
+    InvalidSyntax(&'static str),
+    /// A P-frame arrived before any keyframe.
+    MissingReference,
+}
+
+impl From<BitstreamError> for DecodeError {
+    fn from(e: BitstreamError) -> Self {
+        DecodeError::Bitstream(e)
+    }
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Bitstream(e) => write!(f, "bitstream error: {e}"),
+            DecodeError::InvalidSyntax(what) => write!(f, "invalid syntax: {what}"),
+            DecodeError::MissingReference => {
+                write!(f, "P-frame encountered with no prior keyframe")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Streaming decoder for one tile's bitstream.
+pub struct TileDecoder {
+    width: u32,
+    height: u32,
+    default_qp: u8,
+    deblock: bool,
+    recon_prev: Option<Frame>,
+}
+
+impl TileDecoder {
+    /// Creates a decoder for a tile of the given dimensions, QP, and deblock
+    /// setting (all recorded in the container header).
+    pub fn new(width: u32, height: u32, qp: u8, deblock: bool) -> Self {
+        TileDecoder {
+            width,
+            height,
+            default_qp: qp,
+            deblock,
+            recon_prev: None,
+        }
+    }
+
+    /// Decodes the next frame chunk at the stream's base QP.
+    pub fn decode_next(&mut self, data: &[u8], is_key: bool) -> Result<Frame, DecodeError> {
+        self.decode_next_qp(data, is_key, self.default_qp)
+    }
+
+    /// Decodes the next frame chunk with an explicit per-frame QP (frames
+    /// vary in QP under rate control; the container records each frame's).
+    pub fn decode_next_qp(
+        &mut self,
+        data: &[u8],
+        is_key: bool,
+        qp: u8,
+    ) -> Result<Frame, DecodeError> {
+        if !is_key && self.recon_prev.is_none() {
+            return Err(DecodeError::MissingReference);
+        }
+        let mut r = BitReader::new(data);
+        let qs = qstep(qp);
+        let mut recon = Frame::black(self.width, self.height);
+        for plane in Plane::ALL {
+            self.decode_plane(&mut r, plane, &mut recon, is_key, qs)?;
+        }
+        if self.deblock {
+            deblock_frame(&mut recon, qs);
+        }
+        self.recon_prev = Some(recon.clone());
+        Ok(recon)
+    }
+
+    /// Number of 8×8 blocks in one frame of this tile across all planes
+    /// (used for decode accounting).
+    pub fn blocks_per_frame(&self) -> u64 {
+        let luma = (self.width as u64 / BLOCK as u64) * (self.height as u64 / BLOCK as u64);
+        // Chroma planes are quarter size, so together they add half.
+        luma + luma / 2
+    }
+
+    fn decode_plane(
+        &mut self,
+        r: &mut BitReader<'_>,
+        plane: Plane,
+        recon: &mut Frame,
+        is_key: bool,
+        qs: i32,
+    ) -> Result<(), DecodeError> {
+        let pw = recon.plane_width(plane) as usize;
+        let ph = recon.plane_height(plane) as usize;
+        // Split borrows: the previous frame is immutable, current is mutable.
+        let prev_frame = self.recon_prev.take();
+        let prev_plane = prev_frame.as_ref().map(|f| f.plane(plane));
+        let stride = pw;
+        let result = (|| {
+            let recon_plane = recon.plane_mut(plane);
+            let mut y = 0;
+            while y < ph {
+                let mut x = 0;
+                while x < pw {
+                    decode_block(r, recon_plane, prev_plane, stride, x, y, pw, ph, qs, is_key)?;
+                    x += BLOCK;
+                }
+                y += BLOCK;
+            }
+            Ok(())
+        })();
+        self.recon_prev = prev_frame;
+        result
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decode_block(
+    r: &mut BitReader<'_>,
+    recon: &mut [u8],
+    prev: Option<&[u8]>,
+    stride: usize,
+    x: usize,
+    y: usize,
+    pw: usize,
+    ph: usize,
+    qs: i32,
+    is_key: bool,
+) -> Result<(), DecodeError> {
+    if is_key {
+        let pred = dc_predict(recon, stride, x, y);
+        let vals = read_residual(r, qs, |_| pred)?;
+        store_block(recon, stride, x, y, &vals);
+        return Ok(());
+    }
+    let prev = prev.ok_or(DecodeError::MissingReference)?;
+    match r.get_ue()? {
+        0 => {
+            // SKIP: copy co-located block.
+            copy_block(recon, stride, x, y, prev, stride, x, y);
+            Ok(())
+        }
+        1 => {
+            // INTER: motion vector + optional residual.
+            let mvx = r.get_se()?;
+            let mvy = r.get_se()?;
+            let rx = x as i32 + mvx;
+            let ry = y as i32 + mvy;
+            if rx < 0 || ry < 0 || rx + BLOCK as i32 > pw as i32 || ry + BLOCK as i32 > ph as i32 {
+                return Err(DecodeError::InvalidSyntax("motion vector outside tile"));
+            }
+            let (rx, ry) = (rx as usize, ry as usize);
+            let vals = read_residual(r, qs, |i| {
+                prev[(ry + i / BLOCK) * stride + rx + i % BLOCK] as i32
+            })?;
+            store_block(recon, stride, x, y, &vals);
+            Ok(())
+        }
+        2 => {
+            // INTRA fallback inside a P-frame.
+            let pred = dc_predict(recon, stride, x, y);
+            let vals = read_residual(r, qs, |_| pred)?;
+            store_block(recon, stride, x, y, &vals);
+            Ok(())
+        }
+        _ => Err(DecodeError::InvalidSyntax("unknown block mode")),
+    }
+}
+
+/// Reads a coded-block flag plus coefficients, dequantizes, inverse
+/// transforms, and returns prediction + residual per sample.
+fn read_residual(
+    r: &mut BitReader<'_>,
+    qs: i32,
+    pred_at: impl Fn(usize) -> i32,
+) -> Result<[i32; BLOCK_AREA], DecodeError> {
+    let mut out = [0i32; BLOCK_AREA];
+    if !r.get_bit()? {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = pred_at(i);
+        }
+        return Ok(out);
+    }
+    let nnz = r.get_ue()? as usize + 1;
+    if nnz > BLOCK_AREA {
+        return Err(DecodeError::InvalidSyntax("too many coefficients"));
+    }
+    let mut coefs = [0i32; BLOCK_AREA];
+    let mut pos = 0usize;
+    for _ in 0..nnz {
+        let run = r.get_ue()? as usize;
+        pos += run;
+        if pos >= BLOCK_AREA {
+            return Err(DecodeError::InvalidSyntax("coefficient run overflows block"));
+        }
+        let level = r.get_se()?;
+        if level == 0 {
+            return Err(DecodeError::InvalidSyntax("zero level coded as nonzero"));
+        }
+        coefs[ZIGZAG[pos]] = level;
+        pos += 1;
+    }
+    dequantize_block(&mut coefs, qs);
+    let res = inverse(&coefs);
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = pred_at(i) + res[i];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{EncoderConfig, TileEncoder};
+    use tasm_video::Rect;
+
+    fn textured_frame(w: u32, h: u32, seed: u32) -> Frame {
+        let mut f = Frame::black(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let v = ((x * 3 + y * 7 + seed * 13) % 200 + 20) as u8;
+                f.set_sample(Plane::Y, x, y, v);
+            }
+        }
+        for y in 0..h / 2 {
+            for x in 0..w / 2 {
+                f.set_sample(Plane::U, x, y, ((x + y + seed) % 128 + 64) as u8);
+                f.set_sample(Plane::V, x, y, ((x * 2 + seed) % 128 + 64) as u8);
+            }
+        }
+        f
+    }
+
+    /// Encoder and decoder must produce the same reconstruction — this is
+    /// the fundamental closed-loop property of the codec.
+    #[test]
+    fn encode_decode_reconstruction_matches() {
+        let cfg = EncoderConfig {
+            gop_len: 4,
+            qp: 28,
+            ..Default::default()
+        };
+        let mut enc = TileEncoder::new(cfg, Rect::new(0, 0, 48, 32));
+        let mut dec = TileDecoder::new(48, 32, cfg.qp, cfg.deblock);
+        for i in 0..10 {
+            let frame = textured_frame(48, 32, i);
+            let chunk = enc.encode_next(&frame);
+            let out = dec.decode_next(&chunk.data, chunk.is_key).unwrap();
+            assert_eq!(out.width(), 48);
+            assert_eq!(out.height(), 32);
+            // Reconstruction should be within quantization error of source.
+            let report = tasm_video::psnr_frames(&frame, &out);
+            assert!(
+                report.y > 28.0,
+                "frame {i}: luma PSNR {:.1} too low",
+                report.y
+            );
+        }
+    }
+
+    #[test]
+    fn near_lossless_at_low_qp() {
+        let cfg = EncoderConfig {
+            gop_len: 2,
+            qp: 4,
+            deblock: false,
+            ..Default::default()
+        };
+        let mut enc = TileEncoder::new(cfg, Rect::new(0, 0, 32, 32));
+        let mut dec = TileDecoder::new(32, 32, cfg.qp, false);
+        for i in 0..4 {
+            let frame = textured_frame(32, 32, i);
+            let chunk = enc.encode_next(&frame);
+            let out = dec.decode_next(&chunk.data, chunk.is_key).unwrap();
+            // qstep == 1 plus DCT rounding: every sample within ±2.
+            for plane in Plane::ALL {
+                for (a, b) in frame.plane(plane).iter().zip(out.plane(plane)) {
+                    assert!(
+                        (*a as i32 - *b as i32).abs() <= 2,
+                        "plane {plane:?}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_region_decodes_same_as_full_frame_region() {
+        // Independence: encoding a sub-rectangle as its own tile must decode
+        // to the same pixels regardless of the rest of the frame.
+        let cfg = EncoderConfig::default();
+        let frame = textured_frame(64, 64, 3);
+        let mut enc = TileEncoder::new(cfg, Rect::new(16, 16, 32, 32));
+        let chunk = enc.encode_next(&frame);
+        let mut dec = TileDecoder::new(32, 32, cfg.qp, cfg.deblock);
+        let out = dec.decode_next(&chunk.data, chunk.is_key).unwrap();
+        let reference = frame.crop(Rect::new(16, 16, 32, 32));
+        let report = tasm_video::psnr_frames(&reference, &out);
+        assert!(report.y > 28.0, "tile PSNR {:.1}", report.y);
+    }
+
+    #[test]
+    fn p_frame_without_keyframe_is_error() {
+        let mut dec = TileDecoder::new(32, 32, 28, true);
+        assert_eq!(
+            dec.decode_next(&[0u8; 4], false),
+            Err(DecodeError::MissingReference)
+        );
+    }
+
+    #[test]
+    fn truncated_stream_is_error_not_panic() {
+        let cfg = EncoderConfig::default();
+        let mut enc = TileEncoder::new(cfg, Rect::new(0, 0, 32, 32));
+        let frame = textured_frame(32, 32, 0);
+        let chunk = enc.encode_next(&frame);
+        let mut dec = TileDecoder::new(32, 32, cfg.qp, cfg.deblock);
+        let truncated = &chunk.data[..chunk.data.len() / 2];
+        assert!(dec.decode_next(truncated, true).is_err());
+    }
+
+    #[test]
+    fn garbage_stream_is_error_not_panic() {
+        let mut dec = TileDecoder::new(32, 32, 28, true);
+        let garbage: Vec<u8> = (0..64u16).map(|i| (i * 37 % 251) as u8).collect();
+        // Must not panic; may error or produce nonsense pixels.
+        let _ = dec.decode_next(&garbage, true);
+    }
+
+    #[test]
+    fn blocks_per_frame_accounting() {
+        let dec = TileDecoder::new(64, 32, 28, true);
+        // Luma: 8x4 = 32 blocks; chroma adds half: 48.
+        assert_eq!(dec.blocks_per_frame(), 48);
+    }
+}

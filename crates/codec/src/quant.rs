@@ -1,0 +1,122 @@
+//! Scalar quantization of transform coefficients.
+//!
+//! Quantization is the lossy stage of the codec: coefficients are divided by
+//! a step size derived from the quantization parameter (QP) with the HEVC
+//! convention that the step doubles every 6 QP (`qstep = 2^((qp-4)/6)`).
+//! Lower QP means finer steps, higher quality, and larger bitstreams.
+
+/// Maximum supported quantization parameter.
+pub const MAX_QP: u8 = 51;
+
+/// Quantization step size for a QP, following the HEVC doubling rule,
+/// clamped to at least 1 (QP ≤ 4 is effectively near-lossless).
+pub fn qstep(qp: u8) -> i32 {
+    assert!(qp <= MAX_QP, "qp {qp} out of range");
+    let step = 2f64.powf((qp as f64 - 4.0) / 6.0);
+    (step.round() as i32).max(1)
+}
+
+/// Quantizes one coefficient: symmetric round-to-nearest with step `qstep`.
+#[inline]
+pub fn quantize(coef: i32, qstep: i32) -> i32 {
+    let sign = if coef < 0 { -1 } else { 1 };
+    let mag = coef.unsigned_abs() as i64;
+    let q = (2 * mag + qstep as i64) / (2 * qstep as i64);
+    sign * q as i32
+}
+
+/// Reconstructs a coefficient from its quantized level.
+#[inline]
+pub fn dequantize(level: i32, qstep: i32) -> i32 {
+    level.saturating_mul(qstep)
+}
+
+/// Quantizes a whole block in place, returning the number of nonzero levels.
+pub fn quantize_block(coefs: &mut [i32], qstep: i32) -> usize {
+    let mut nonzero = 0;
+    for c in coefs.iter_mut() {
+        *c = quantize(*c, qstep);
+        if *c != 0 {
+            nonzero += 1;
+        }
+    }
+    nonzero
+}
+
+/// Dequantizes a whole block in place.
+pub fn dequantize_block(levels: &mut [i32], qstep: i32) {
+    for l in levels.iter_mut() {
+        *l = dequantize(*l, qstep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qstep_doubles_every_six() {
+        assert_eq!(qstep(4), 1);
+        assert_eq!(qstep(10), 2);
+        assert_eq!(qstep(16), 4);
+        assert_eq!(qstep(22), 8);
+        assert_eq!(qstep(28), 16);
+        assert_eq!(qstep(34), 32);
+        assert_eq!(qstep(40), 64);
+    }
+
+    #[test]
+    fn qstep_clamped_to_one_at_low_qp() {
+        for qp in 0..=4 {
+            assert_eq!(qstep(qp), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn qstep_rejects_out_of_range() {
+        let _ = qstep(52);
+    }
+
+    #[test]
+    fn quantize_step_one_is_identity() {
+        for v in [-300, -1, 0, 1, 2, 255, 12345] {
+            assert_eq!(dequantize(quantize(v, 1), 1), v);
+        }
+    }
+
+    #[test]
+    fn quantize_rounds_to_nearest() {
+        // step 16: 7 -> 0, 8 -> 1 (ties round up in magnitude), 23 -> 1, 24 -> 2
+        assert_eq!(quantize(7, 16), 0);
+        assert_eq!(quantize(8, 16), 1);
+        assert_eq!(quantize(23, 16), 1);
+        assert_eq!(quantize(24, 16), 2);
+        assert_eq!(quantize(-8, 16), -1);
+        assert_eq!(quantize(-7, 16), 0);
+    }
+
+    #[test]
+    fn reconstruction_error_bounded_by_half_step() {
+        for qp in [10u8, 22, 28, 34] {
+            let s = qstep(qp);
+            for v in -1000..=1000 {
+                let r = dequantize(quantize(v, s), s);
+                assert!(
+                    (v - r).abs() <= s / 2 + 1,
+                    "qp {qp}: value {v} reconstructed as {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_block_counts_nonzero() {
+        let mut block = vec![0, 5, 40, -40, 7, -8];
+        let nnz = quantize_block(&mut block, 16);
+        assert_eq!(block, vec![0, 0, 3, -3, 0, -1]);
+        assert_eq!(nnz, 3);
+        dequantize_block(&mut block, 16);
+        assert_eq!(block, vec![0, 0, 48, -48, 0, -16]);
+    }
+}

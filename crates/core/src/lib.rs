@@ -1,0 +1,62 @@
+//! # TASM: a tile-based storage manager for video analytics
+//!
+//! A from-scratch Rust reproduction of *TASM: A Tile-Based Storage Manager
+//! for Video Analytics* (Daum et al., ICDE 2021). TASM sits at the bottom of
+//! a video database system and accelerates queries that retrieve objects
+//! from videos by optimizing the on-disk *tile layout* of each part of the
+//! video around the objects queries actually target.
+//!
+//! ## What lives where
+//!
+//! * [`partition`] — non-uniform layout generation around bounding boxes
+//!   (fine/coarse granularity, §3.4.2);
+//! * [`cost`] — the `C = β·P + γ·T` query cost model, the `R(s, L)`
+//!   re-encode model, and their least-squares calibration (§4.1);
+//! * [`storage`] — each tile stored as its own video file, per-SOT layouts,
+//!   re-tiling by transcode (§3.4.5);
+//! * [`scan`] — the `Scan(video, L, T)` access method with CNF label
+//!   predicates (§3.1);
+//! * [`tasm`] — the facade: `AddMetadata`, `Scan`, KQKO optimization (§4.2),
+//!   incremental-more and regret-based re-tiling (§4.4);
+//! * [`runner`] — workload execution under the strategies compared in §5.3;
+//! * [`edge`] — capture-time tiling on a simulated edge camera (§4.3).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use tasm_core::{LabelPredicate, Tasm, TasmConfig};
+//! use tasm_index::MemoryIndex;
+//! use tasm_video::{Frame, Rect, VecFrameSource};
+//!
+//! let mut tasm = Tasm::open(
+//!     "/tmp/tasm-store",
+//!     Box::new(MemoryIndex::in_memory()),
+//!     TasmConfig::default(),
+//! ).unwrap();
+//!
+//! let video = VecFrameSource::new(vec![Frame::black(640, 352); 60]);
+//! tasm.ingest("traffic", &video, 30).unwrap();
+//! tasm.add_metadata("traffic", "car", 0, Rect::new(100, 80, 64, 40)).unwrap();
+//!
+//! // Retrieve just the car pixels; only the tiles containing them decode.
+//! let result = tasm.scan("traffic", &LabelPredicate::label("car"), 0..30).unwrap();
+//! println!("decoded {} samples", result.stats.samples_decoded);
+//! ```
+
+pub mod cost;
+pub mod edge;
+pub mod partition;
+pub mod runner;
+pub mod scan;
+pub mod storage;
+pub mod tasm;
+
+pub use cost::{estimate_work, fit_linear, pixel_ratio, CostModel, EncodeModel, Work, WorkSample};
+pub use edge::{edge_ingest, EdgeConfig, EdgeReport};
+pub use partition::{partition, Granularity, PartitionConfig};
+pub use runner::{run_workload, QueryRecord, RunQuery, Strategy, TruthFn, WorkloadReport};
+pub use scan::{scan, LabelPredicate, RegionPixels, ScanError, ScanResult};
+pub use storage::{
+    RetileStats, SotEntry, StorageConfig, StoreError, VideoManifest, VideoStore,
+};
+pub use tasm::{Tasm, TasmConfig, TasmError};

@@ -1,0 +1,359 @@
+//! The `Scan` access method (§3.1).
+//!
+//! `Scan(video, L, T)` retrieves the pixels satisfying a CNF predicate `L`
+//! over object labels, optionally restricted to a time range `T`. For each
+//! disjunctive clause TASM retrieves pixels inside boxes of *any* of its
+//! labels; conjunctions intersect the clauses' regions ("red cars" = boxes
+//! labelled car ∩ boxes labelled red).
+//!
+//! Execution: look up boxes in the semantic index, map them to the tiles of
+//! each overlapping SOT, decode only those tiles, and crop the requested
+//! regions. Reported stats include the index lookup time and the decode
+//! work, as the paper's reported query times do.
+
+use crate::cost::Work;
+use crate::storage::{StoreError, VideoManifest, VideoStore};
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::time::{Duration, Instant};
+use tasm_codec::DecodeStats;
+use tasm_index::{IndexResult, SemanticIndex};
+use tasm_video::{Frame, Rect};
+
+/// A CNF predicate over labels: an AND of OR-clauses.
+///
+/// `(car ∨ bicycle) ∧ red` retrieves pixels of red cars and red bicycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelPredicate {
+    clauses: Vec<Vec<String>>,
+}
+
+impl LabelPredicate {
+    /// A single-label predicate (the common case in the evaluation).
+    pub fn label(label: &str) -> Self {
+        LabelPredicate { clauses: vec![vec![label.to_string()]] }
+    }
+
+    /// One disjunctive clause: any of `labels`.
+    pub fn any_of(labels: &[&str]) -> Self {
+        assert!(!labels.is_empty(), "clause must name at least one label");
+        LabelPredicate {
+            clauses: vec![labels.iter().map(|l| l.to_string()).collect()],
+        }
+    }
+
+    /// Conjunction with another clause.
+    pub fn and(mut self, labels: &[&str]) -> Self {
+        assert!(!labels.is_empty(), "clause must name at least one label");
+        self.clauses.push(labels.iter().map(|l| l.to_string()).collect());
+        self
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Vec<String>] {
+        &self.clauses
+    }
+
+    /// All labels mentioned anywhere in the predicate.
+    pub fn labels(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .clauses
+            .iter()
+            .flat_map(|c| c.iter().map(|s| s.as_str()))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Evaluates the predicate against the index: per-frame target regions.
+    pub fn target_regions(
+        &self,
+        index: &mut dyn SemanticIndex,
+        video: u32,
+        frames: Range<u32>,
+    ) -> IndexResult<BTreeMap<u32, Vec<Rect>>> {
+        // Per clause: per-frame union list of boxes for any clause label.
+        let mut per_clause: Vec<BTreeMap<u32, Vec<Rect>>> = Vec::with_capacity(self.clauses.len());
+        for clause in &self.clauses {
+            let mut frame_boxes: BTreeMap<u32, Vec<Rect>> = BTreeMap::new();
+            for label in clause {
+                for d in index.query(video, label, frames.clone())? {
+                    frame_boxes.entry(d.frame).or_default().push(d.bbox);
+                }
+            }
+            per_clause.push(frame_boxes);
+        }
+        // Conjunction: fold clause regions by intersection. Small frames use
+        // direct pairwise tests; larger box sets go through the spatial grid
+        // the paper proposes for conjunctive predicates (§3.2).
+        let mut iter = per_clause.into_iter();
+        let Some(mut acc) = iter.next() else {
+            return Ok(BTreeMap::new());
+        };
+        for clause in iter {
+            let mut next: BTreeMap<u32, Vec<Rect>> = BTreeMap::new();
+            for (frame, lhs) in &acc {
+                if let Some(rhs) = clause.get(frame) {
+                    let regions = intersect_box_sets(lhs, rhs);
+                    if !regions.is_empty() {
+                        next.insert(*frame, regions);
+                    }
+                }
+            }
+            acc = next;
+        }
+        Ok(acc)
+    }
+}
+
+/// Pixels returned for one matched region.
+#[derive(Debug, Clone)]
+pub struct RegionPixels {
+    /// Frame the region belongs to.
+    pub frame: u32,
+    /// The region rectangle in frame coordinates.
+    pub rect: Rect,
+    /// The decoded pixels (dimensions = `rect` aligned outward to chroma
+    /// parity).
+    pub pixels: Frame,
+}
+
+/// Result of a `Scan` call.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// Matched regions with their pixels, frame order.
+    pub regions: Vec<RegionPixels>,
+    /// Exact decode accounting.
+    pub stats: DecodeStats,
+    /// Time spent querying the semantic index.
+    pub lookup_time: Duration,
+    /// Tiles-and-pixels estimate actually incurred (for cost-model
+    /// validation): mirrors `stats` in estimator units.
+    pub work: Work,
+}
+
+impl ScanResult {
+    /// Total seconds (lookup + decode), the paper's reported query time.
+    pub fn seconds(&self) -> f64 {
+        self.lookup_time.as_secs_f64() + self.stats.seconds()
+    }
+}
+
+/// Executes `Scan(video, predicate, frames)` against stored tiles.
+pub fn scan(
+    store: &VideoStore,
+    manifest: &VideoManifest,
+    index: &mut dyn SemanticIndex,
+    video_id: u32,
+    predicate: &LabelPredicate,
+    frames: Range<u32>,
+) -> Result<ScanResult, ScanError> {
+    let t0 = Instant::now();
+    let frames = frames.start..frames.end.min(manifest.frame_count);
+    let regions = predicate
+        .target_regions(index, video_id, frames.clone())
+        .map_err(ScanError::Index)?;
+    let lookup_time = t0.elapsed();
+
+    let mut result = ScanResult {
+        lookup_time,
+        ..Default::default()
+    };
+    if regions.is_empty() {
+        return Ok(result);
+    }
+
+    for sot_idx in manifest.sots_for_range(frames.clone()) {
+        let sot = &manifest.sots[sot_idx];
+        // Regions and needed tiles for this SOT.
+        let mut needed: Vec<u32> = Vec::new();
+        let mut first_frame = u32::MAX;
+        let mut last_frame = 0u32;
+        for (&frame, rects) in regions.range(sot.start..sot.end) {
+            for r in rects {
+                for t in sot.layout.tiles_intersecting(r) {
+                    if !needed.contains(&t) {
+                        needed.push(t);
+                    }
+                }
+            }
+            first_frame = first_frame.min(frame);
+            last_frame = last_frame.max(frame);
+        }
+        if needed.is_empty() {
+            continue;
+        }
+        needed.sort_unstable();
+
+        let local = (first_frame - sot.start)..(last_frame - sot.start + 1);
+        let (tile_frames, stats) = store
+            .decode_tiles(manifest, sot_idx, &needed, local.clone())
+            .map_err(ScanError::Store)?;
+        result.stats += stats;
+        result.work.pixels += stats.samples_decoded;
+        result.work.tile_chunks += stats.tile_chunks_decoded;
+
+        // Crop each region from the decoded tiles.
+        for (&frame, rects) in regions.range(sot.start..sot.end) {
+            let local_idx = (frame - sot.start - local.start) as usize;
+            for r in rects {
+                let aligned = align_out(r, manifest.width, manifest.height);
+                if aligned.is_empty() {
+                    continue;
+                }
+                let mut canvas = Frame::black(aligned.w, aligned.h);
+                for (t, frames_of_tile) in &tile_frames {
+                    let trect = sot.layout.tile_rect_by_index(*t);
+                    if let Some(overlap) = trect.intersect(&aligned) {
+                        let tile_frame = &frames_of_tile[local_idx];
+                        let src_rect = Rect::new(
+                            overlap.x - trect.x,
+                            overlap.y - trect.y,
+                            overlap.w,
+                            overlap.h,
+                        );
+                        let src_aligned = align_in(&src_rect);
+                        if src_aligned.is_empty() {
+                            continue;
+                        }
+                        canvas.blit(
+                            tile_frame,
+                            src_aligned,
+                            overlap.x + (src_aligned.x - src_rect.x) - aligned.x,
+                            overlap.y + (src_aligned.y - src_rect.y) - aligned.y,
+                        );
+                    }
+                }
+                result.regions.push(RegionPixels { frame, rect: *r, pixels: canvas });
+            }
+        }
+    }
+    Ok(result)
+}
+
+/// Errors from scan execution.
+#[derive(Debug)]
+pub enum ScanError {
+    /// Semantic index failure.
+    Index(tasm_index::TreeError),
+    /// Storage failure.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanError::Index(e) => write!(f, "scan index error: {e}"),
+            ScanError::Store(e) => write!(f, "scan store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+/// Pairwise intersections between two box sets. Beyond a small size product
+/// the spatial grid of `tasm-index` prunes the candidate pairs.
+fn intersect_box_sets(lhs: &[Rect], rhs: &[Rect]) -> Vec<Rect> {
+    const GRID_THRESHOLD: usize = 64;
+    if lhs.len() * rhs.len() <= GRID_THRESHOLD {
+        let mut out = Vec::new();
+        for a in lhs {
+            for b in rhs {
+                if let Some(i) = a.intersect(b) {
+                    out.push(i);
+                }
+            }
+        }
+        return out;
+    }
+    let hull = Rect::hull(lhs.iter().chain(rhs));
+    let grid = tasm_index::SpatialGrid::from_boxes(
+        hull.right().max(64),
+        hull.bottom().max(64),
+        lhs,
+    );
+    let mut out = Vec::new();
+    for b in rhs {
+        out.extend(grid.intersections(b));
+    }
+    out
+}
+
+/// Aligns a rectangle outward to even coordinates (chroma parity), clamped
+/// to the frame.
+fn align_out(r: &Rect, w: u32, h: u32) -> Rect {
+    let x = r.x & !1;
+    let y = r.y & !1;
+    let right = (r.right() + 1) & !1;
+    let bottom = (r.bottom() + 1) & !1;
+    Rect::new(x, y, right - x, bottom - y).clamp_to(w, h)
+}
+
+/// Aligns a rectangle inward to even coordinates.
+fn align_in(r: &Rect) -> Rect {
+    let x = (r.x + 1) & !1;
+    let y = (r.y + 1) & !1;
+    let right = r.right() & !1;
+    let bottom = r.bottom() & !1;
+    Rect::new(x, y, right.saturating_sub(x), bottom.saturating_sub(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_constructors() {
+        let p = LabelPredicate::label("car");
+        assert_eq!(p.clauses().len(), 1);
+        assert_eq!(p.labels(), vec!["car"]);
+
+        let p = LabelPredicate::any_of(&["car", "bicycle"]).and(&["red"]);
+        assert_eq!(p.clauses().len(), 2);
+        assert_eq!(p.labels(), vec!["bicycle", "car", "red"]);
+    }
+
+    #[test]
+    fn disjunction_unions_boxes() {
+        let mut idx = tasm_index::MemoryIndex::in_memory();
+        idx.add_metadata(0, "car", 3, Rect::new(0, 0, 10, 10)).unwrap();
+        idx.add_metadata(0, "bicycle", 3, Rect::new(50, 50, 10, 10)).unwrap();
+        idx.add_metadata(0, "person", 3, Rect::new(90, 90, 10, 10)).unwrap();
+        let p = LabelPredicate::any_of(&["car", "bicycle"]);
+        let regions = p.target_regions(&mut idx, 0, 0..10).unwrap();
+        assert_eq!(regions[&3].len(), 2);
+    }
+
+    #[test]
+    fn conjunction_intersects_boxes() {
+        let mut idx = tasm_index::MemoryIndex::in_memory();
+        idx.add_metadata(0, "car", 3, Rect::new(0, 0, 20, 20)).unwrap();
+        idx.add_metadata(0, "red", 3, Rect::new(10, 10, 20, 20)).unwrap();
+        idx.add_metadata(0, "red", 4, Rect::new(10, 10, 20, 20)).unwrap(); // no car on 4
+        let p = LabelPredicate::label("car").and(&["red"]);
+        let regions = p.target_regions(&mut idx, 0, 0..10).unwrap();
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[&3], vec![Rect::new(10, 10, 10, 10)]);
+    }
+
+    #[test]
+    fn disjoint_conjunction_is_empty() {
+        let mut idx = tasm_index::MemoryIndex::in_memory();
+        idx.add_metadata(0, "car", 3, Rect::new(0, 0, 10, 10)).unwrap();
+        idx.add_metadata(0, "red", 3, Rect::new(50, 50, 10, 10)).unwrap();
+        let p = LabelPredicate::label("car").and(&["red"]);
+        assert!(p.target_regions(&mut idx, 0, 0..10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        assert_eq!(align_out(&Rect::new(3, 3, 5, 5), 100, 100), Rect::new(2, 2, 6, 6));
+        assert_eq!(align_out(&Rect::new(0, 0, 4, 4), 100, 100), Rect::new(0, 0, 4, 4));
+        assert_eq!(align_in(&Rect::new(3, 3, 5, 5)), Rect::new(4, 4, 4, 4));
+        assert!(align_in(&Rect::new(3, 3, 1, 1)).is_empty());
+    }
+
+    // Full end-to-end scan tests (with real encoded tiles) live in
+    // tests/end_to_end.rs at the workspace level.
+}

@@ -1,0 +1,596 @@
+//! Tile-based data storage (§3.4.5).
+//!
+//! TASM stores each tile as a separate video file so that every tile is a
+//! spatial random-access point (Figure 1). A video is a concatenation of
+//! SOTs (sequences of tiles, §2): each SOT has its own layout and its own
+//! directory of tile files, and layouts change only at GOP boundaries.
+//!
+//! ```text
+//! root/<video>/manifest.json
+//! root/<video>/sot_000000_000030/tile_000.tvf
+//! root/<video>/sot_000000_000030/tile_001.tvf
+//! root/<video>/sot_000030_000060/tile_000.tvf
+//! ```
+//!
+//! Re-tiling a SOT ([`VideoStore::retile`]) decodes its current tiles and
+//! re-encodes under the new layout — the `R(s, L)` cost in the incremental
+//! policies.
+
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use tasm_codec::{
+    encode_video, ContainerError, DecodeStats, EncodeStats, EncoderConfig, LayoutError,
+    StitchError, StitchedVideo, TileLayout, TileVideo,
+};
+use tasm_video::{Frame, FrameSource, SliceSource, VecFrameSource};
+
+/// Errors from the storage layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// Manifest (de)serialization failure.
+    Manifest(serde_json::Error),
+    /// Codec container failure.
+    Container(ContainerError),
+    /// Invalid layout for this video.
+    Layout(LayoutError),
+    /// Stitching failure during retile.
+    Stitch(StitchError),
+    /// Caller referenced a video/SOT/tile that does not exist.
+    NotFound(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StoreError::Manifest(e) => write!(f, "manifest error: {e}"),
+            StoreError::Container(e) => write!(f, "container error: {e}"),
+            StoreError::Layout(e) => write!(f, "layout error: {e}"),
+            StoreError::Stitch(e) => write!(f, "stitch error: {e}"),
+            StoreError::NotFound(what) => write!(f, "not found: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for StoreError {
+    fn from(e: serde_json::Error) -> Self {
+        StoreError::Manifest(e)
+    }
+}
+
+impl From<ContainerError> for StoreError {
+    fn from(e: ContainerError) -> Self {
+        StoreError::Container(e)
+    }
+}
+
+impl From<LayoutError> for StoreError {
+    fn from(e: LayoutError) -> Self {
+        StoreError::Layout(e)
+    }
+}
+
+impl From<StitchError> for StoreError {
+    fn from(e: StitchError) -> Self {
+        StoreError::Stitch(e)
+    }
+}
+
+/// Encoding parameters for a stored video.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StorageConfig {
+    /// Quantization parameter.
+    pub qp: u8,
+    /// GOP length in frames (one second at 30 fps by default, §2).
+    pub gop_len: u32,
+    /// SOT duration in frames; must be a multiple of `gop_len` (layout
+    /// duration, §3.4.3).
+    pub sot_frames: u32,
+    /// Motion search range.
+    pub search_range: u8,
+    /// In-loop deblocking.
+    pub deblock: bool,
+    /// Rate-control mode (constant QP by default; target-rate mode emulates
+    /// hardware encoders under a bit budget).
+    pub rate: tasm_codec::encoder::RateControl,
+    /// Encode tiles on multiple threads (bit-identical output either way).
+    pub parallel_encode: bool,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig {
+            qp: 28,
+            gop_len: 30,
+            sot_frames: 30,
+            search_range: 7,
+            deblock: true,
+            rate: tasm_codec::encoder::RateControl::ConstantQp,
+            parallel_encode: true,
+        }
+    }
+}
+
+impl StorageConfig {
+    fn encoder(&self) -> EncoderConfig {
+        EncoderConfig {
+            gop_len: self.gop_len,
+            qp: self.qp,
+            search_range: self.search_range,
+            deblock: self.deblock,
+            rate: self.rate,
+        }
+    }
+}
+
+/// One sequence of tiles: a frame range sharing a layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SotEntry {
+    /// First frame (global, inclusive).
+    pub start: u32,
+    /// Last frame (global, exclusive).
+    pub end: u32,
+    /// Layout used for these frames.
+    pub layout: TileLayout,
+    /// How many times this SOT has been re-tiled (diagnostics).
+    pub retile_count: u32,
+}
+
+impl SotEntry {
+    /// Frames in this SOT.
+    pub fn frames(&self) -> Range<u32> {
+        self.start..self.end
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Persistent description of a stored video.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoManifest {
+    /// Video name (directory name under the store root).
+    pub name: String,
+    /// Frame width.
+    pub width: u32,
+    /// Frame height.
+    pub height: u32,
+    /// Frames per second (metadata).
+    pub fps: u32,
+    /// Total frames.
+    pub frame_count: u32,
+    /// Encoding parameters shared by all SOTs.
+    pub config: StorageConfig,
+    /// The video's SOTs in temporal order.
+    pub sots: Vec<SotEntry>,
+}
+
+impl VideoManifest {
+    /// Index of the SOT containing `frame`.
+    pub fn sot_for_frame(&self, frame: u32) -> Option<usize> {
+        // SOTs are fixed-length except the last; direct computation.
+        if frame >= self.frame_count {
+            return None;
+        }
+        Some((frame / self.config.sot_frames) as usize)
+    }
+
+    /// Indices of the SOTs overlapping `frames`.
+    pub fn sots_for_range(&self, frames: Range<u32>) -> Range<usize> {
+        if frames.start >= frames.end || frames.start >= self.frame_count {
+            return 0..0;
+        }
+        let first = (frames.start / self.config.sot_frames) as usize;
+        let last_frame = frames.end.min(self.frame_count) - 1;
+        let last = (last_frame / self.config.sot_frames) as usize;
+        first..(last + 1).min(self.sots.len())
+    }
+}
+
+/// Costs of a retile operation (decode existing + encode new).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RetileStats {
+    /// Work to decode the SOT's current tiles.
+    pub decode: DecodeStats,
+    /// Work to encode the new layout.
+    pub encode: EncodeStats,
+}
+
+impl RetileStats {
+    /// Total wall-clock seconds of the transcode.
+    pub fn seconds(&self) -> f64 {
+        self.decode.seconds() + self.encode.seconds()
+    }
+}
+
+/// The on-disk tile store.
+pub struct VideoStore {
+    root: PathBuf,
+}
+
+impl VideoStore {
+    /// Opens (creating) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(VideoStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Ingests a video: splits it into SOTs, encodes each under the layout
+    /// chosen by `layout_for`, writes tile files and the manifest.
+    ///
+    /// `layout_for(sot_index, frames)` returns the initial layout for each
+    /// SOT (untiled `ω` for lazy strategies, object layouts for eager/edge).
+    pub fn ingest(
+        &self,
+        name: &str,
+        src: &dyn FrameSource,
+        fps: u32,
+        cfg: StorageConfig,
+        mut layout_for: impl FnMut(usize, Range<u32>) -> TileLayout,
+    ) -> Result<(VideoManifest, EncodeStats), StoreError> {
+        assert!(cfg.sot_frames > 0 && cfg.sot_frames % cfg.gop_len == 0,
+            "SOT duration must be a positive multiple of the GOP length");
+        assert!(!name.is_empty() && !name.contains(['/', '\\']), "invalid video name");
+        let dir = self.root.join(name);
+        if dir.exists() {
+            fs::remove_dir_all(&dir)?;
+        }
+        fs::create_dir_all(&dir)?;
+
+        let mut sots = Vec::new();
+        let mut total = EncodeStats::default();
+        let mut start = 0u32;
+        let mut sot_idx = 0usize;
+        while start < src.len() {
+            let end = (start + cfg.sot_frames).min(src.len());
+            let layout = layout_for(sot_idx, start..end);
+            layout.check_covers(src.width(), src.height())?;
+            let slice = SliceSource::new(src, start, end - start);
+            let (tiles, stats) =
+                encode_video(&slice, &layout, &cfg.encoder(), cfg.parallel_encode)?;
+            total += stats;
+            self.write_sot_files(name, start, end, &tiles)?;
+            sots.push(SotEntry { start, end, layout, retile_count: 0 });
+            start = end;
+            sot_idx += 1;
+        }
+
+        let manifest = VideoManifest {
+            name: name.to_string(),
+            width: src.width(),
+            height: src.height(),
+            fps,
+            frame_count: src.len(),
+            config: cfg,
+            sots,
+        };
+        self.save_manifest(&manifest)?;
+        Ok((manifest, total))
+    }
+
+    /// Loads a video's manifest.
+    pub fn load_manifest(&self, name: &str) -> Result<VideoManifest, StoreError> {
+        let path = self.root.join(name).join("manifest.json");
+        if !path.exists() {
+            return Err(StoreError::NotFound(format!("video '{name}'")));
+        }
+        Ok(serde_json::from_slice(&fs::read(path)?)?)
+    }
+
+    /// Persists a manifest (after retiling).
+    pub fn save_manifest(&self, manifest: &VideoManifest) -> Result<(), StoreError> {
+        let path = self.root.join(&manifest.name).join("manifest.json");
+        fs::write(path, serde_json::to_vec_pretty(manifest)?)?;
+        Ok(())
+    }
+
+    /// Reads one tile file of one SOT.
+    pub fn read_tile(
+        &self,
+        manifest: &VideoManifest,
+        sot_idx: usize,
+        tile_idx: u32,
+    ) -> Result<TileVideo, StoreError> {
+        let sot = manifest
+            .sots
+            .get(sot_idx)
+            .ok_or_else(|| StoreError::NotFound(format!("SOT {sot_idx}")))?;
+        let path = self.tile_path(&manifest.name, sot.start, sot.end, tile_idx);
+        if !path.exists() {
+            return Err(StoreError::NotFound(path.display().to_string()));
+        }
+        Ok(TileVideo::from_bytes(&fs::read(path)?)?)
+    }
+
+    /// Decodes a set of tiles of one SOT over a *local* frame range,
+    /// returning per-tile frames plus exact accounting.
+    pub fn decode_tiles(
+        &self,
+        manifest: &VideoManifest,
+        sot_idx: usize,
+        tile_indices: &[u32],
+        local_frames: Range<u32>,
+    ) -> Result<(Vec<(u32, Vec<Frame>)>, DecodeStats), StoreError> {
+        let mut stats = DecodeStats::default();
+        let mut out = Vec::with_capacity(tile_indices.len());
+        for &t in tile_indices {
+            let tile = self.read_tile(manifest, sot_idx, t)?;
+            let (frames, s) = tile.decode_range(local_frames.clone())?;
+            stats += s;
+            out.push((t, frames));
+        }
+        Ok((out, stats))
+    }
+
+    /// Re-encodes one SOT under `new_layout` (the incremental policies'
+    /// re-tile operation). Updates and persists the manifest.
+    pub fn retile(
+        &self,
+        manifest: &mut VideoManifest,
+        sot_idx: usize,
+        new_layout: TileLayout,
+    ) -> Result<RetileStats, StoreError> {
+        new_layout.check_covers(manifest.width, manifest.height)?;
+        let sot = manifest
+            .sots
+            .get(sot_idx)
+            .ok_or_else(|| StoreError::NotFound(format!("SOT {sot_idx}")))?
+            .clone();
+        if sot.layout == new_layout {
+            return Ok(RetileStats::default());
+        }
+
+        // Decode the SOT in full from its current tiles.
+        let old_tile_count = sot.layout.tile_count();
+        let tiles: Vec<TileVideo> = (0..old_tile_count)
+            .map(|t| self.read_tile(manifest, sot_idx, t))
+            .collect::<Result<_, _>>()?;
+        let stitched = StitchedVideo::stitch(sot.layout.clone(), tiles)?;
+        let (frames, decode) = stitched.decode_all()?;
+
+        // Re-encode under the new layout.
+        let src = VecFrameSource::new(frames);
+        let (new_tiles, encode) = encode_video(
+            &src,
+            &new_layout,
+            &manifest.config.encoder(),
+            manifest.config.parallel_encode,
+        )?;
+
+        // Replace files: remove stale tiles, write new ones.
+        let dir = self.sot_dir(&manifest.name, sot.start, sot.end);
+        fs::remove_dir_all(&dir)?;
+        self.write_sot_files(&manifest.name, sot.start, sot.end, &new_tiles)?;
+
+        let entry = &mut manifest.sots[sot_idx];
+        entry.layout = new_layout;
+        entry.retile_count += 1;
+        self.save_manifest(manifest)?;
+        Ok(RetileStats { decode, encode })
+    }
+
+    /// Total bytes of all tile files of a video.
+    pub fn video_size_bytes(&self, manifest: &VideoManifest) -> Result<u64, StoreError> {
+        let mut total = 0;
+        for (i, sot) in manifest.sots.iter().enumerate() {
+            for t in 0..sot.layout.tile_count() {
+                let path = self.tile_path(&manifest.name, sot.start, sot.end, t);
+                total += fs::metadata(&path)
+                    .map_err(|_| StoreError::NotFound(format!("SOT {i} tile {t}")))?
+                    .len();
+            }
+        }
+        Ok(total)
+    }
+
+    fn sot_dir(&self, name: &str, start: u32, end: u32) -> PathBuf {
+        self.root.join(name).join(format!("sot_{start:06}_{end:06}"))
+    }
+
+    fn tile_path(&self, name: &str, start: u32, end: u32, tile: u32) -> PathBuf {
+        self.sot_dir(name, start, end).join(format!("tile_{tile:03}.tvf"))
+    }
+
+    fn write_sot_files(
+        &self,
+        name: &str,
+        start: u32,
+        end: u32,
+        tiles: &[TileVideo],
+    ) -> Result<(), StoreError> {
+        let dir = self.sot_dir(name, start, end);
+        fs::create_dir_all(&dir)?;
+        for (i, tile) in tiles.iter().enumerate() {
+            fs::write(self.tile_path(name, start, end, i as u32), tile.to_bytes())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasm_video::{Plane, Rect};
+
+    fn test_source(frames: u32) -> VecFrameSource {
+        VecFrameSource::new(
+            (0..frames)
+                .map(|i| {
+                    let mut f = Frame::filled(64, 64, 90, 128, 128);
+                    for y in 0..64 {
+                        for x in 0..64 {
+                            f.set_sample(Plane::Y, x, y, ((x * 3 + y * 5 + i * 2) % 200 + 20) as u8);
+                        }
+                    }
+                    f.fill_rect(Rect::new((i * 4) % 48, 16, 16, 16), 230, 90, 160);
+                    f
+                })
+                .collect(),
+        )
+    }
+
+    fn temp_store(tag: &str) -> VideoStore {
+        let dir = std::env::temp_dir().join(format!("tasm-store-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        VideoStore::open(dir).unwrap()
+    }
+
+    fn small_cfg() -> StorageConfig {
+        StorageConfig {
+            gop_len: 5,
+            sot_frames: 10,
+            parallel_encode: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ingest_creates_sots_and_manifest() {
+        let store = temp_store("ingest");
+        let src = test_source(25);
+        let (manifest, stats) = store
+            .ingest("v", &src, 30, small_cfg(), |_, _| TileLayout::untiled(64, 64))
+            .unwrap();
+        assert_eq!(manifest.sots.len(), 3); // 10 + 10 + 5
+        assert_eq!(manifest.sots[2].frames(), 20..25);
+        assert!(stats.bytes_produced > 0);
+        let loaded = store.load_manifest("v").unwrap();
+        assert_eq!(loaded, manifest);
+        assert!(store.video_size_bytes(&manifest).unwrap() > 0);
+    }
+
+    #[test]
+    fn sot_lookup_by_frame() {
+        let store = temp_store("lookup");
+        let src = test_source(25);
+        let (m, _) = store
+            .ingest("v", &src, 30, small_cfg(), |_, _| TileLayout::untiled(64, 64))
+            .unwrap();
+        assert_eq!(m.sot_for_frame(0), Some(0));
+        assert_eq!(m.sot_for_frame(9), Some(0));
+        assert_eq!(m.sot_for_frame(10), Some(1));
+        assert_eq!(m.sot_for_frame(24), Some(2));
+        assert_eq!(m.sot_for_frame(25), None);
+        assert_eq!(m.sots_for_range(5..15), 0..2);
+        assert_eq!(m.sots_for_range(10..11), 1..2);
+        assert_eq!(m.sots_for_range(0..25), 0..3);
+        assert_eq!(m.sots_for_range(30..40), 0..0);
+    }
+
+    #[test]
+    fn decode_tiles_returns_requested_frames() {
+        let store = temp_store("decode");
+        let src = test_source(20);
+        let layout = TileLayout::uniform(64, 64, 2, 2).unwrap();
+        let (m, _) = store
+            .ingest("v", &src, 30, small_cfg(), move |_, _| layout.clone())
+            .unwrap();
+        let (tiles, stats) = store.decode_tiles(&m, 0, &[0, 3], 2..6).unwrap();
+        assert_eq!(tiles.len(), 2);
+        assert_eq!(tiles[0].1.len(), 4);
+        assert!(stats.samples_decoded > 0);
+        // Warmup from the GOP start at frame 0 is charged.
+        assert_eq!(stats.frames_decoded, 2 * 6);
+    }
+
+    #[test]
+    fn retile_preserves_content() {
+        let store = temp_store("retile");
+        let src = test_source(10);
+        let (mut m, _) = store
+            .ingest("v", &src, 30, small_cfg(), |_, _| TileLayout::untiled(64, 64))
+            .unwrap();
+        let new_layout = TileLayout::uniform(64, 64, 2, 2).unwrap();
+        let stats = store.retile(&mut m, 0, new_layout.clone()).unwrap();
+        assert!(stats.encode.bytes_produced > 0);
+        assert!(stats.seconds() > 0.0);
+        assert_eq!(m.sots[0].layout, new_layout);
+        assert_eq!(m.sots[0].retile_count, 1);
+
+        // The re-tiled SOT still decodes to (approximately) the source.
+        let (tiles, _) = store.decode_tiles(&m, 0, &[0, 1, 2, 3], 0..10).unwrap();
+        let mut composite = Frame::black(64, 64);
+        for (t, frames) in &tiles {
+            let rect = new_layout.tile_rect_by_index(*t);
+            composite.blit(&frames[3], frames[3].rect(), rect.x, rect.y);
+        }
+        let r = tasm_video::psnr_frames(&src.frame(3), &composite);
+        assert!(r.y > 26.0, "retiled PSNR {:.1}", r.y);
+
+        // Manifest on disk reflects the new layout.
+        let reloaded = store.load_manifest("v").unwrap();
+        assert_eq!(reloaded.sots[0].layout, m.sots[0].layout);
+    }
+
+    #[test]
+    fn retile_to_same_layout_is_free() {
+        let store = temp_store("retile-noop");
+        let src = test_source(10);
+        let (mut m, _) = store
+            .ingest("v", &src, 30, small_cfg(), |_, _| TileLayout::untiled(64, 64))
+            .unwrap();
+        let stats = store.retile(&mut m, 0, TileLayout::untiled(64, 64)).unwrap();
+        assert_eq!(stats.encode.bytes_produced, 0);
+        assert_eq!(m.sots[0].retile_count, 0);
+    }
+
+    #[test]
+    fn missing_video_reports_not_found() {
+        let store = temp_store("missing");
+        assert!(matches!(
+            store.load_manifest("nope"),
+            Err(StoreError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn reingest_replaces_existing_video() {
+        let store = temp_store("reingest");
+        let src = test_source(10);
+        let (m1, _) = store
+            .ingest("v", &src, 30, small_cfg(), |_, _| TileLayout::untiled(64, 64))
+            .unwrap();
+        let layout = TileLayout::uniform(64, 64, 1, 2).unwrap();
+        let (m2, _) = store
+            .ingest("v", &src, 30, small_cfg(), move |_, _| layout.clone())
+            .unwrap();
+        assert_ne!(m1.sots[0].layout, m2.sots[0].layout);
+        // Old single-tile files are gone; new layout has 2 tiles.
+        assert!(store.read_tile(&m2, 0, 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the GOP")]
+    fn sot_must_align_to_gops() {
+        let store = temp_store("align");
+        let src = test_source(10);
+        let cfg = StorageConfig { gop_len: 4, sot_frames: 10, ..Default::default() };
+        let _ = store.ingest("v", &src, 30, cfg, |_, _| TileLayout::untiled(64, 64));
+    }
+}

@@ -1,0 +1,791 @@
+//! The TASM storage manager facade.
+//!
+//! [`Tasm`] ties the pieces together: the on-disk tile store, the semantic
+//! index, the cost model, and the per-video policy state used by the
+//! incremental tiling strategies. It exposes the paper's API surface —
+//! `AddMetadata` (§3.1), `Scan` (§3.1) — plus the layout optimization entry
+//! points of §4 (KQKO, incremental-more, regret-based).
+
+use crate::cost::{estimate_work, pixel_ratio, CostModel, EncodeModel};
+use crate::partition::{partition, PartitionConfig};
+use crate::scan::{scan, LabelPredicate, ScanError, ScanResult};
+use crate::storage::{RetileStats, StorageConfig, StoreError, VideoManifest, VideoStore};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+use std::path::PathBuf;
+use tasm_codec::TileLayout;
+use tasm_index::{Detection, SemanticIndex, TreeError};
+use tasm_video::{FrameSource, Rect};
+
+/// Configuration of the storage manager's policies.
+#[derive(Debug, Clone)]
+pub struct TasmConfig {
+    /// Not-tiling threshold α (§3.4.4): a layout must decode fewer than
+    /// `α · P(ω)` pixels to be considered useful. Paper value: 0.8.
+    pub alpha: f64,
+    /// Regret threshold η (§4.4): re-tile once accumulated regret exceeds
+    /// `η · R(s, L)`. Paper value: 1.0.
+    pub eta: f64,
+    /// Layout generation parameters (granularity, minimum tile dims).
+    pub partition: PartitionConfig,
+    /// Encoding parameters for stored videos.
+    pub storage: StorageConfig,
+    /// The fitted query cost model.
+    pub cost: CostModel,
+    /// The fitted re-encode cost model.
+    pub encode: EncodeModel,
+    /// Largest seen-object set for which every subset is considered as an
+    /// alternative layout; beyond this only singletons and the full set are
+    /// tracked (the paper enumerates subsets; this caps the blow-up).
+    pub max_subset_objects: usize,
+}
+
+impl Default for TasmConfig {
+    fn default() -> Self {
+        TasmConfig {
+            alpha: 0.8,
+            eta: 1.0,
+            partition: PartitionConfig::default(),
+            storage: StorageConfig::default(),
+            cost: CostModel::default(),
+            encode: EncodeModel::default(),
+            max_subset_objects: 4,
+        }
+    }
+}
+
+/// Errors from the facade.
+#[derive(Debug)]
+pub enum TasmError {
+    /// Storage layer failure.
+    Store(StoreError),
+    /// Semantic index failure.
+    Index(TreeError),
+    /// Scan failure.
+    Scan(ScanError),
+    /// Unknown video name.
+    UnknownVideo(String),
+}
+
+impl std::fmt::Display for TasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TasmError::Store(e) => write!(f, "{e}"),
+            TasmError::Index(e) => write!(f, "{e}"),
+            TasmError::Scan(e) => write!(f, "{e}"),
+            TasmError::UnknownVideo(name) => write!(f, "unknown video '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for TasmError {}
+
+impl From<StoreError> for TasmError {
+    fn from(e: StoreError) -> Self {
+        TasmError::Store(e)
+    }
+}
+
+impl From<TreeError> for TasmError {
+    fn from(e: TreeError) -> Self {
+        TasmError::Index(e)
+    }
+}
+
+impl From<ScanError> for TasmError {
+    fn from(e: ScanError) -> Self {
+        TasmError::Scan(e)
+    }
+}
+
+/// Per-SOT incremental-policy state.
+#[derive(Debug, Default, Clone)]
+struct SotPolicy {
+    /// Queries that touched this SOT: (label, frame window ∩ SOT).
+    history: Vec<(String, Range<u32>)>,
+    /// Accumulated regret per alternative layout, keyed by the sorted
+    /// object subset the layout is designed around.
+    regret: BTreeMap<Vec<String>, f64>,
+    /// Labels queried against this SOT (incremental-more state).
+    queried: BTreeSet<String>,
+}
+
+/// Per-video registration.
+struct VideoEntry {
+    id: u32,
+    manifest: VideoManifest,
+    /// Objects seen in queries so far (the paper's `O_Q'`).
+    seen_objects: BTreeSet<String>,
+    sots: Vec<SotPolicy>,
+}
+
+/// The storage manager.
+pub struct Tasm {
+    store: VideoStore,
+    index: Box<dyn SemanticIndex>,
+    cfg: TasmConfig,
+    videos: BTreeMap<String, VideoEntry>,
+}
+
+/// Stable video id: FNV-1a of the name. Ids must survive process restarts
+/// because the persistent semantic index keys detections by id.
+fn video_id_for(name: &str) -> u32 {
+    let h = name.bytes().fold(0x811c9dc5u32, |acc, b| {
+        (acc ^ b as u32).wrapping_mul(0x01000193)
+    });
+    h
+}
+
+impl Tasm {
+    /// Opens a storage manager rooted at `root` with the given index.
+    pub fn open(
+        root: impl Into<PathBuf>,
+        index: Box<dyn SemanticIndex>,
+        cfg: TasmConfig,
+    ) -> Result<Self, TasmError> {
+        Ok(Tasm {
+            store: VideoStore::open(root)?,
+            index,
+            cfg,
+            videos: BTreeMap::new(),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TasmConfig {
+        &self.cfg
+    }
+
+    /// Access to the underlying store (harness instrumentation).
+    pub fn store(&self) -> &VideoStore {
+        &self.store
+    }
+
+    /// Access to the semantic index (harness instrumentation).
+    pub fn index_mut(&mut self) -> &mut dyn SemanticIndex {
+        self.index.as_mut()
+    }
+
+    /// Ingests a video untiled (`ω` for every SOT) — the starting point of
+    /// the lazy and incremental strategies.
+    pub fn ingest(&mut self, name: &str, src: &dyn FrameSource, fps: u32) -> Result<u32, TasmError> {
+        let (w, h) = (src.width(), src.height());
+        self.ingest_with(name, src, fps, move |_, _| TileLayout::untiled(w, h))
+    }
+
+    /// Ingests a video with per-SOT initial layouts (eager and edge
+    /// strategies supply object layouts here).
+    pub fn ingest_with(
+        &mut self,
+        name: &str,
+        src: &dyn FrameSource,
+        fps: u32,
+        layout_for: impl FnMut(usize, Range<u32>) -> TileLayout,
+    ) -> Result<u32, TasmError> {
+        let (manifest, _) = self
+            .store
+            .ingest(name, src, fps, self.cfg.storage, layout_for)?;
+        let id = video_id_for(name);
+        let n_sots = manifest.sots.len();
+        self.videos.insert(
+            name.to_string(),
+            VideoEntry {
+                id,
+                manifest,
+                seen_objects: BTreeSet::new(),
+                sots: vec![SotPolicy::default(); n_sots],
+            },
+        );
+        Ok(id)
+    }
+
+    /// Attaches a video already present in the store (e.g. after a process
+    /// restart): loads its manifest from disk without re-encoding anything.
+    /// Tile layouts, the semantic index, and on-disk files are all reused;
+    /// only in-memory policy state (regret, query history) starts fresh.
+    pub fn attach(&mut self, name: &str) -> Result<u32, TasmError> {
+        let manifest = self.store.load_manifest(name)?;
+        let id = video_id_for(name);
+        let n_sots = manifest.sots.len();
+        self.videos.insert(
+            name.to_string(),
+            VideoEntry {
+                id,
+                manifest,
+                seen_objects: BTreeSet::new(),
+                sots: vec![SotPolicy::default(); n_sots],
+            },
+        );
+        Ok(id)
+    }
+
+    /// True if the store already holds a video named `name`.
+    pub fn has_stored_video(&self, name: &str) -> bool {
+        self.store.load_manifest(name).is_ok()
+    }
+
+    /// The numeric id assigned to a video at ingest.
+    pub fn video_id(&self, name: &str) -> Result<u32, TasmError> {
+        Ok(self.entry(name)?.id)
+    }
+
+    /// The current manifest of a video.
+    pub fn manifest(&self, name: &str) -> Result<&VideoManifest, TasmError> {
+        Ok(&self.entry(name)?.manifest)
+    }
+
+    /// Total on-disk size of a video's tiles.
+    pub fn video_size_bytes(&self, name: &str) -> Result<u64, TasmError> {
+        Ok(self.store.video_size_bytes(&self.entry(name)?.manifest)?)
+    }
+
+    /// `AddMetadata(video, frame, label, bbox)` (§3.1): records a detection
+    /// produced during query processing or ingest.
+    pub fn add_metadata(
+        &mut self,
+        name: &str,
+        label: &str,
+        frame: u32,
+        bbox: Rect,
+    ) -> Result<(), TasmError> {
+        let id = self.video_id(name)?;
+        self.index.add_metadata(id, label, frame, bbox)?;
+        Ok(())
+    }
+
+    /// Marks a frame as processed by a detector (lazy strategies need to
+    /// distinguish "no objects" from "not analyzed", §4.3).
+    pub fn mark_processed(&mut self, name: &str, frame: u32) -> Result<(), TasmError> {
+        let id = self.video_id(name)?;
+        self.index.mark_processed(id, frame)?;
+        Ok(())
+    }
+
+    /// Number of frames in `frames` already processed by a detector.
+    pub fn processed_count(&mut self, name: &str, frames: Range<u32>) -> Result<u32, TasmError> {
+        let id = self.video_id(name)?;
+        Ok(self.index.processed_count(id, frames)?)
+    }
+
+    /// `Scan(video, L, T)` (§3.1): retrieves the pixels satisfying the
+    /// predicate, decoding only the necessary tiles.
+    pub fn scan(
+        &mut self,
+        name: &str,
+        predicate: &LabelPredicate,
+        frames: Range<u32>,
+    ) -> Result<ScanResult, TasmError> {
+        let entry = self
+            .videos
+            .get(name)
+            .ok_or_else(|| TasmError::UnknownVideo(name.to_string()))?;
+        Ok(scan(
+            &self.store,
+            &entry.manifest,
+            self.index.as_mut(),
+            entry.id,
+            predicate,
+            frames,
+        )?)
+    }
+
+    // ------------------------------------------------------------------
+    // §4.2 — known queries, known objects (KQKO)
+    // ------------------------------------------------------------------
+
+    /// Computes the KQKO layout for one SOT around `objects`: a fine-grained
+    /// non-uniform layout around their boxes, or `None` when the not-tiling
+    /// rule (α) says tiling would not help.
+    pub fn kqko_layout(
+        &mut self,
+        name: &str,
+        sot_idx: usize,
+        objects: &[String],
+    ) -> Result<Option<TileLayout>, TasmError> {
+        let entry = self.entry(name)?;
+        let id = entry.id;
+        let (w, h) = (entry.manifest.width, entry.manifest.height);
+        let sot = entry.manifest.sots[sot_idx].clone();
+        let gop = entry.manifest.config.gop_len;
+
+        let dets = self.detections_for(id, objects, sot.frames())?;
+        if dets.is_empty() {
+            return Ok(None);
+        }
+        let boxes: Vec<Rect> = dets.iter().map(|d| d.bbox).collect();
+        let layout = partition(w, h, &boxes, &self.cfg.partition);
+        if layout.is_untiled() {
+            return Ok(None);
+        }
+        // Not-tiling rule over the whole-SOT query for these objects.
+        let ratio = pixel_ratio(&layout, &dets, sot.frames(), sot.start, gop);
+        if ratio > self.cfg.alpha {
+            return Ok(None);
+        }
+        Ok(Some(layout))
+    }
+
+    /// Runs the KQKO optimization over every SOT (the "all objects"/eager
+    /// strategy pre-tiles with `objects` = everything detected). Returns the
+    /// accumulated transcode cost.
+    pub fn kqko_retile_all(
+        &mut self,
+        name: &str,
+        objects: &[String],
+    ) -> Result<RetileStats, TasmError> {
+        let n_sots = self.entry(name)?.manifest.sots.len();
+        let mut total = RetileStats::default();
+        for sot_idx in 0..n_sots {
+            if let Some(layout) = self.kqko_layout(name, sot_idx, objects)? {
+                total = add_retile(total, self.retile(name, sot_idx, layout)?);
+            }
+        }
+        Ok(total)
+    }
+
+    /// Re-tiles one SOT, updating the manifest.
+    pub fn retile(
+        &mut self,
+        name: &str,
+        sot_idx: usize,
+        layout: TileLayout,
+    ) -> Result<RetileStats, TasmError> {
+        let entry = self
+            .videos
+            .get_mut(name)
+            .ok_or_else(|| TasmError::UnknownVideo(name.to_string()))?;
+        let stats = self.store.retile(&mut entry.manifest, sot_idx, layout)?;
+        // Regret resets relative to the new current layout.
+        entry.sots[sot_idx].regret.clear();
+        Ok(stats)
+    }
+
+    // ------------------------------------------------------------------
+    // §5.3 — "incremental, more": re-tile around all queried objects as
+    // soon as a query for a new object type arrives.
+    // ------------------------------------------------------------------
+
+    /// Observes a query under the incremental-more policy; returns any
+    /// transcode cost paid.
+    pub fn observe_more(
+        &mut self,
+        name: &str,
+        label: &str,
+        frames: Range<u32>,
+    ) -> Result<RetileStats, TasmError> {
+        let sot_range = {
+            let entry = self.entry(name)?;
+            entry.manifest.sots_for_range(frames.clone())
+        };
+        let mut total = RetileStats::default();
+        for sot_idx in sot_range {
+            let is_new = {
+                let entry = self.entry_mut(name)?;
+                entry.sots[sot_idx].queried.insert(label.to_string())
+            };
+            if !is_new {
+                continue;
+            }
+            let objects: Vec<String> = {
+                let entry = self.entry(name)?;
+                entry.sots[sot_idx].queried.iter().cloned().collect()
+            };
+            if let Some(layout) = self.kqko_layout(name, sot_idx, &objects)? {
+                let current = self.entry(name)?.manifest.sots[sot_idx].layout.clone();
+                if layout != current {
+                    total = add_retile(total, self.retile(name, sot_idx, layout)?);
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    // ------------------------------------------------------------------
+    // §4.4 — regret-based incremental tiling
+    // ------------------------------------------------------------------
+
+    /// Observes a query under the regret policy: accumulates regret for the
+    /// alternative layouts of every touched SOT and re-tiles those whose
+    /// best alternative's regret exceeds `η · R(s, L)`. Returns any
+    /// transcode cost paid.
+    pub fn observe_regret(
+        &mut self,
+        name: &str,
+        label: &str,
+        frames: Range<u32>,
+    ) -> Result<RetileStats, TasmError> {
+        let (id, sot_range, gop, w, h) = {
+            let e = self.entry(name)?;
+            (
+                e.id,
+                e.manifest.sots_for_range(frames.clone()),
+                e.manifest.config.gop_len,
+                e.manifest.width,
+                e.manifest.height,
+            )
+        };
+        self.entry_mut(name)?.seen_objects.insert(label.to_string());
+        let alternatives = self.alternative_subsets(name)?;
+        let mut total = RetileStats::default();
+
+        for sot_idx in sot_range {
+            let sot = self.entry(name)?.manifest.sots[sot_idx].clone();
+            let window = frames.start.max(sot.start)..frames.end.min(sot.end);
+            if window.is_empty() {
+                continue;
+            }
+
+            // Record history first (new alternatives replay it).
+            let prior_history = self.entry(name)?.sots[sot_idx].history.clone();
+            self.entry_mut(name)?.sots[sot_idx]
+                .history
+                .push((label.to_string(), window.clone()));
+
+            for subset in &alternatives {
+                let alt_layout = match self.subset_layout(id, subset, &sot, w, h)? {
+                    Some(l) => l,
+                    None => continue,
+                };
+                let is_new = !self.entry(name)?.sots[sot_idx].regret.contains_key(subset);
+                let mut delta = 0.0;
+                if is_new {
+                    // Retroactive regret over the query history (§4.4).
+                    for (hl, hw) in &prior_history {
+                        delta += self.query_delta(id, hl, hw.clone(), &sot, gop, &alt_layout)?;
+                    }
+                }
+                delta += self.query_delta(id, label, window.clone(), &sot, gop, &alt_layout)?;
+                let entry = self.entry_mut(name)?;
+                *entry.sots[sot_idx].regret.entry(subset.clone()).or_insert(0.0) += delta;
+            }
+
+            // Pick the best alternative exceeding the threshold.
+            let reencode_cost = self.cfg.encode.reencode_cost(w, h, sot.len());
+            let threshold = self.cfg.eta * reencode_cost;
+            let best: Option<(Vec<String>, f64)> = {
+                let entry = self.entry(name)?;
+                entry.sots[sot_idx]
+                    .regret
+                    .iter()
+                    .filter(|(_, &d)| d > threshold)
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("regret is finite"))
+                    .map(|(k, &d)| (k.clone(), d))
+            };
+            if let Some((subset, _)) = best {
+                if let Some(layout) = self.subset_layout(id, &subset, &sot, w, h)? {
+                    if layout != sot.layout && !self.would_hurt(id, &layout, sot_idx, name, gop)? {
+                        total = add_retile(total, self.retile(name, sot_idx, layout)?);
+                    } else {
+                        // Unusable alternative: forget it so it stops
+                        // winning the argmax every query.
+                        self.entry_mut(name)?.sots[sot_idx].regret.remove(&subset);
+                    }
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Regret accumulated for a subset on a SOT (tests/diagnostics).
+    pub fn regret_for(&self, name: &str, sot_idx: usize, subset: &[String]) -> Option<f64> {
+        self.videos
+            .get(name)?
+            .sots
+            .get(sot_idx)?
+            .regret
+            .get(subset)
+            .copied()
+    }
+
+    // --- internals ---
+
+    fn entry(&self, name: &str) -> Result<&VideoEntry, TasmError> {
+        self.videos
+            .get(name)
+            .ok_or_else(|| TasmError::UnknownVideo(name.to_string()))
+    }
+
+    fn entry_mut(&mut self, name: &str) -> Result<&mut VideoEntry, TasmError> {
+        self.videos
+            .get_mut(name)
+            .ok_or_else(|| TasmError::UnknownVideo(name.to_string()))
+    }
+
+    /// Candidate object subsets for alternative layouts: all non-empty
+    /// subsets while small, singletons + the full set beyond the cap.
+    fn alternative_subsets(&self, name: &str) -> Result<Vec<Vec<String>>, TasmError> {
+        let seen: Vec<String> = self.entry(name)?.seen_objects.iter().cloned().collect();
+        let mut out = Vec::new();
+        if seen.is_empty() {
+            return Ok(out);
+        }
+        if seen.len() <= self.cfg.max_subset_objects {
+            let n = seen.len();
+            for mask in 1u32..(1 << n) {
+                let subset: Vec<String> = (0..n)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| seen[i].clone())
+                    .collect();
+                out.push(subset);
+            }
+        } else {
+            for s in &seen {
+                out.push(vec![s.clone()]);
+            }
+            out.push(seen.clone());
+        }
+        Ok(out)
+    }
+
+    /// Layout around a subset's detected boxes in a SOT, or `None` when no
+    /// boxes exist or no cut is possible.
+    fn subset_layout(
+        &mut self,
+        video_id: u32,
+        subset: &[String],
+        sot: &crate::storage::SotEntry,
+        w: u32,
+        h: u32,
+    ) -> Result<Option<TileLayout>, TasmError> {
+        let dets = self.detections_for(video_id, subset, sot.frames())?;
+        if dets.is_empty() {
+            return Ok(None);
+        }
+        let boxes: Vec<Rect> = dets.iter().map(|d| d.bbox).collect();
+        let layout = partition(w, h, &boxes, &self.cfg.partition);
+        Ok(if layout.is_untiled() { None } else { Some(layout) })
+    }
+
+    /// Estimated improvement `∆(q, L_cur, L_alt)` of one query on one SOT.
+    fn query_delta(
+        &mut self,
+        video_id: u32,
+        label: &str,
+        window: Range<u32>,
+        sot: &crate::storage::SotEntry,
+        gop: u32,
+        alt: &TileLayout,
+    ) -> Result<f64, TasmError> {
+        let dets = self.index.query(video_id, label, window.clone())?;
+        let cur = estimate_work(&sot.layout, &dets, window.clone(), sot.start, gop);
+        let new = estimate_work(alt, &dets, window, sot.start, gop);
+        Ok(self.cfg.cost.cost(cur) - self.cfg.cost.cost(new))
+    }
+
+    /// The α safety check over the SOT's query history: a layout "hurts" if
+    /// any past query would decode ≥ α of the untiled pixels (§5.3).
+    fn would_hurt(
+        &mut self,
+        video_id: u32,
+        layout: &TileLayout,
+        sot_idx: usize,
+        name: &str,
+        gop: u32,
+    ) -> Result<bool, TasmError> {
+        let (sot, history) = {
+            let e = self.entry(name)?;
+            (e.manifest.sots[sot_idx].clone(), e.sots[sot_idx].history.clone())
+        };
+        for (label, window) in &history {
+            let dets = self.index.query(video_id, label, window.clone())?;
+            if dets.is_empty() {
+                continue;
+            }
+            let r = pixel_ratio(layout, &dets, window.clone(), sot.start, gop);
+            if r >= self.cfg.alpha {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    fn detections_for(
+        &mut self,
+        video_id: u32,
+        objects: &[String],
+        frames: Range<u32>,
+    ) -> Result<Vec<Detection>, TasmError> {
+        let mut dets = Vec::new();
+        for o in objects {
+            dets.extend(self.index.query(video_id, o, frames.clone())?);
+        }
+        Ok(dets)
+    }
+}
+
+fn add_retile(mut a: RetileStats, b: RetileStats) -> RetileStats {
+    a.decode += b.decode;
+    a.encode += b.encode;
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasm_index::MemoryIndex;
+    use tasm_video::{Frame, Plane, VecFrameSource};
+
+    fn source(frames: u32) -> VecFrameSource {
+        VecFrameSource::new(
+            (0..frames)
+                .map(|i| {
+                    let mut f = Frame::filled(128, 96, 90, 128, 128);
+                    for y in 0..96 {
+                        for x in 0..128 {
+                            f.set_sample(Plane::Y, x, y, ((x * 3 + y * 7) % 180 + 30) as u8);
+                        }
+                    }
+                    // A "car" moving along the top and a static "person"
+                    // bottom-right.
+                    f.fill_rect(Rect::new((i * 2) % 96, 8, 24, 16), 220, 90, 170);
+                    f.fill_rect(Rect::new(96, 64, 12, 24), 60, 170, 90);
+                    f
+                })
+                .collect(),
+        )
+    }
+
+    fn tasm(tag: &str) -> Tasm {
+        let dir = std::env::temp_dir().join(format!("tasm-facade-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = TasmConfig {
+            storage: StorageConfig {
+                gop_len: 5,
+                sot_frames: 10,
+                parallel_encode: false,
+                ..Default::default()
+            },
+            partition: PartitionConfig {
+                min_tile_width: 32,
+                min_tile_height: 16,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        Tasm::open(dir, Box::new(MemoryIndex::in_memory()), cfg).unwrap()
+    }
+
+    fn populate_truth(t: &mut Tasm, frames: u32) {
+        for i in 0..frames {
+            t.add_metadata("v", "car", i, Rect::new((i * 2) % 96, 8, 24, 16)).unwrap();
+            t.add_metadata("v", "person", i, Rect::new(96, 64, 12, 24)).unwrap();
+            t.mark_processed("v", i).unwrap();
+        }
+    }
+
+    #[test]
+    fn ingest_scan_roundtrip() {
+        let mut t = tasm("scan");
+        let src = source(20);
+        t.ingest("v", &src, 30).unwrap();
+        populate_truth(&mut t, 20);
+        let result = t.scan("v", &LabelPredicate::label("car"), 0..10).unwrap();
+        assert_eq!(result.regions.len(), 10, "one car region per frame");
+        assert!(result.stats.samples_decoded > 0);
+        assert!(result.seconds() > 0.0);
+        // Region pixels carry the bright car texture.
+        let r = &result.regions[0];
+        let bright = r.pixels.plane(Plane::Y).iter().filter(|&&v| v > 180).count();
+        assert!(bright > 50, "car pixels should be bright, got {bright}");
+    }
+
+    #[test]
+    fn scan_unknown_video_fails() {
+        let mut t = tasm("unknown");
+        assert!(matches!(
+            t.scan("nope", &LabelPredicate::label("car"), 0..10),
+            Err(TasmError::UnknownVideo(_))
+        ));
+    }
+
+    #[test]
+    fn kqko_tiles_around_objects_and_reduces_decode() {
+        let mut t = tasm("kqko");
+        let src = source(20);
+        t.ingest("v", &src, 30).unwrap();
+        populate_truth(&mut t, 20);
+
+        let before = t.scan("v", &LabelPredicate::label("person"), 0..10).unwrap();
+        let cost = t.kqko_retile_all("v", &["person".to_string()]).unwrap();
+        assert!(cost.encode.bytes_produced > 0, "should have re-tiled");
+        let after = t.scan("v", &LabelPredicate::label("person"), 0..10).unwrap();
+        assert!(
+            after.stats.samples_decoded < before.stats.samples_decoded,
+            "tiling should reduce decoded samples: {} -> {}",
+            before.stats.samples_decoded,
+            after.stats.samples_decoded
+        );
+        // Layout is recorded in the manifest.
+        assert!(!t.manifest("v").unwrap().sots[0].layout.is_untiled());
+    }
+
+    #[test]
+    fn kqko_declines_when_no_detections() {
+        let mut t = tasm("kqko-empty");
+        let src = source(10);
+        t.ingest("v", &src, 30).unwrap();
+        let l = t.kqko_layout("v", 0, &["car".to_string()]).unwrap();
+        assert!(l.is_none());
+    }
+
+    #[test]
+    fn incremental_more_retiles_on_new_object() {
+        let mut t = tasm("more");
+        let src = source(20);
+        t.ingest("v", &src, 30).unwrap();
+        populate_truth(&mut t, 20);
+
+        let cost1 = t.observe_more("v", "car", 0..10).unwrap();
+        assert!(cost1.encode.bytes_produced > 0, "first query should tile");
+        let l1 = t.manifest("v").unwrap().sots[0].layout.clone();
+        // Repeat query: no work.
+        let cost2 = t.observe_more("v", "car", 0..10).unwrap();
+        assert_eq!(cost2.encode.bytes_produced, 0);
+        // New object: re-tile around both.
+        let cost3 = t.observe_more("v", "person", 0..10).unwrap();
+        assert!(cost3.encode.bytes_produced > 0);
+        let l2 = t.manifest("v").unwrap().sots[0].layout.clone();
+        assert_ne!(l1, l2, "layout should now cover both objects");
+    }
+
+    #[test]
+    fn regret_accumulates_then_retiles() {
+        let mut t = tasm("regret");
+        let src = source(20);
+        t.ingest("v", &src, 30).unwrap();
+        populate_truth(&mut t, 20);
+
+        let mut paid = 0u64;
+        let mut retiled_at = None;
+        for q in 0..50 {
+            let cost = t.observe_regret("v", "car", 0..10).unwrap();
+            paid += cost.encode.bytes_produced;
+            if cost.encode.bytes_produced > 0 && retiled_at.is_none() {
+                retiled_at = Some(q);
+            }
+        }
+        let retiled_at = retiled_at.expect("repeated queries must eventually trigger re-tiling");
+        assert!(retiled_at > 0, "should not re-tile on the very first query");
+        assert!(paid > 0);
+        assert!(!t.manifest("v").unwrap().sots[0].layout.is_untiled());
+        // After the retile, regret for the chosen subset was reset.
+        let r = t.regret_for("v", 0, &["car".to_string()]);
+        assert!(r.is_none() || r.unwrap() < 1.0);
+    }
+
+    #[test]
+    fn regret_considers_multi_object_subsets() {
+        let mut t = tasm("subsets");
+        let src = source(20);
+        t.ingest("v", &src, 30).unwrap();
+        populate_truth(&mut t, 20);
+        t.observe_regret("v", "car", 0..10).unwrap();
+        t.observe_regret("v", "person", 0..10).unwrap();
+        // The {car, person} subset exists and has accumulated regret.
+        let both = vec!["car".to_string(), "person".to_string()];
+        assert!(
+            t.regret_for("v", 0, &both).is_some(),
+            "combined subset should be tracked"
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Query workload generators (§5.3 of the paper).
+//!
+//! A workload is an ordered list of [`Query`]s, each naming an object class
+//! and a frame range. The six generators below reproduce the paper's
+//! Workloads 1–6; lengths are expressed in frames so the same generators
+//! work at any scaled duration.
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// One query: "SELECT `label` FROM video WHERE start ≤ t < end".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Query {
+    /// Target object class.
+    pub label: String,
+    /// Frame range scanned.
+    pub frames: Range<u32>,
+}
+
+impl Query {
+    /// Convenience constructor.
+    pub fn new(label: &str, frames: Range<u32>) -> Self {
+        Query { label: label.to_string(), frames }
+    }
+}
+
+/// Parameters shared by the workload generators.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadParams {
+    /// Total frames in the target video.
+    pub video_frames: u32,
+    /// Length of each query's frame window.
+    pub query_frames: u32,
+    /// RNG seed (workloads are deterministic given their parameters).
+    pub seed: u64,
+}
+
+impl WorkloadParams {
+    /// Standard parameters: windows of `query_frames` over a video.
+    pub fn new(video_frames: u32, query_frames: u32, seed: u64) -> Self {
+        assert!(video_frames > 0 && query_frames > 0);
+        WorkloadParams { video_frames, query_frames, seed }
+    }
+
+    fn clamp_window(&self, start: u32) -> Range<u32> {
+        let start = start.min(self.video_frames.saturating_sub(self.query_frames));
+        start..(start + self.query_frames).min(self.video_frames)
+    }
+}
+
+/// Workload 1: 100 queries for the same class ("car"), start frames uniform
+/// over the entire video.
+pub fn workload1(p: WorkloadParams) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    (0..100)
+        .map(|_| {
+            let start = rng.gen_range(0..p.video_frames);
+            Query::new("car", p.clamp_window(start))
+        })
+        .collect()
+}
+
+/// Workload 2: 100 queries, 50/50 cars or people, restricted to the first
+/// 25% of the video.
+pub fn workload2(p: WorkloadParams) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let limit = (p.video_frames / 4).max(1);
+    (0..100)
+        .map(|_| {
+            let label = if rng.gen_bool(0.5) { "car" } else { "person" };
+            let start = rng.gen_range(0..limit);
+            Query::new(label, p.clamp_window(start))
+        })
+        .collect()
+}
+
+/// Workload 3: 100 queries — 47.5% cars, 47.5% people, 5% traffic lights —
+/// with Zipfian start frames (biased toward the beginning).
+pub fn workload3(p: WorkloadParams) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let zipf = Zipf::new(p.video_frames as usize, 1.0);
+    (0..100)
+        .map(|_| {
+            let r: f64 = rng.gen();
+            let label = if r < 0.475 {
+                "car"
+            } else if r < 0.95 {
+                "person"
+            } else {
+                "traffic_light"
+            };
+            let start = zipf.sample(&mut rng) as u32;
+            Query::new(label, p.clamp_window(start))
+        })
+        .collect()
+}
+
+/// Workload 4: 200 queries whose target drifts over time — first third cars,
+/// middle third people, final third cars again — with Zipfian starts.
+pub fn workload4(p: WorkloadParams) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let zipf = Zipf::new(p.video_frames as usize, 1.0);
+    (0..200)
+        .map(|i| {
+            let label = if (67..134).contains(&i) { "person" } else { "car" };
+            let start = zipf.sample(&mut rng) as u32;
+            Query::new(label, p.clamp_window(start))
+        })
+        .collect()
+}
+
+/// Workload 5: 200 queries over diverse dense scenes where tiling does not
+/// help — uniform starts, each query randomly targeting one of the scene's
+/// primary classes.
+pub fn workload5(p: WorkloadParams, primary_labels: &[&str]) -> Vec<Query> {
+    assert!(!primary_labels.is_empty(), "need at least one primary label");
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    (0..200)
+        .map(|_| {
+            let label = primary_labels[rng.gen_range(0..primary_labels.len())];
+            let start = rng.gen_range(0..p.video_frames);
+            Query::new(label, p.clamp_window(start))
+        })
+        .collect()
+}
+
+/// Workload 6: 200 queries for a single class with uniform starts, on videos
+/// where tiling around that class helps but tiling around everything hurts.
+pub fn workload6(p: WorkloadParams, label: &str) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    (0..200)
+        .map(|_| {
+            let start = rng.gen_range(0..p.video_frames);
+            Query::new(label, p.clamp_window(start))
+        })
+        .collect()
+}
+
+/// The microbenchmark query of §5.2: "SELECT o FROM v" — all frames.
+pub fn select_all(label: &str, video_frames: u32) -> Query {
+    Query::new(label, 0..video_frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> WorkloadParams {
+        WorkloadParams::new(3000, 60, 99)
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        assert_eq!(workload1(params()), workload1(params()));
+        assert_eq!(workload3(params()), workload3(params()));
+    }
+
+    #[test]
+    fn w1_single_label_uniform() {
+        let w = workload1(params());
+        assert_eq!(w.len(), 100);
+        assert!(w.iter().all(|q| q.label == "car"));
+        assert!(w.iter().all(|q| q.frames.end <= 3000));
+        assert!(w.iter().all(|q| q.frames.len() == 60));
+        // Uniform: a decent share of queries land in the back half.
+        let back = w.iter().filter(|q| q.frames.start >= 1500).count();
+        assert!(back > 25, "only {back} queries in the back half");
+    }
+
+    #[test]
+    fn w2_restricted_to_first_quarter() {
+        let w = workload2(params());
+        assert!(w.iter().all(|q| q.frames.start < 750));
+        let cars = w.iter().filter(|q| q.label == "car").count();
+        assert!((25..=75).contains(&cars), "car share {cars} should be ~50");
+    }
+
+    #[test]
+    fn w3_label_mix_and_zipf_bias() {
+        let w = workload3(params());
+        let lights = w.iter().filter(|q| q.label == "traffic_light").count();
+        assert!(lights <= 20, "traffic lights should be rare, got {lights}");
+        let front = w.iter().filter(|q| q.frames.start < 750).count();
+        assert!(front > 50, "Zipf should bias to the front, got {front}");
+    }
+
+    #[test]
+    fn w4_label_drift_in_thirds() {
+        let w = workload4(params());
+        assert_eq!(w.len(), 200);
+        assert!(w[..67].iter().all(|q| q.label == "car"));
+        assert!(w[67..134].iter().all(|q| q.label == "person"));
+        assert!(w[134..].iter().all(|q| q.label == "car"));
+    }
+
+    #[test]
+    fn w5_uses_primary_labels() {
+        let w = workload5(params(), &["person", "food"]);
+        assert_eq!(w.len(), 200);
+        assert!(w.iter().all(|q| q.label == "person" || q.label == "food"));
+        assert!(w.iter().any(|q| q.label == "person"));
+        assert!(w.iter().any(|q| q.label == "food"));
+    }
+
+    #[test]
+    fn w6_single_label() {
+        let w = workload6(params(), "bird");
+        assert!(w.iter().all(|q| q.label == "bird"));
+    }
+
+    #[test]
+    fn windows_clamped_to_video() {
+        let p = WorkloadParams::new(50, 60, 1); // window longer than video
+        let w = workload1(p);
+        assert!(w.iter().all(|q| q.frames.start == 0 && q.frames.end == 50));
+    }
+
+    #[test]
+    fn select_all_covers_video() {
+        let q = select_all("car", 777);
+        assert_eq!(q.frames, 0..777);
+    }
+}

@@ -1,0 +1,111 @@
+//! Zipfian sampling over frame positions.
+//!
+//! Workloads 3 and 4 in the paper pick query start frames "according to a
+//! Zipfian distribution, so queries are more likely to target frames at the
+//! beginning of the video" (§5.3).
+
+use rand::Rng;
+
+/// A Zipf distribution over `{0, 1, …, n-1}` with exponent `s`.
+///
+/// Sampling uses the precomputed CDF with binary search — O(log n) per draw,
+/// exact for any `s >= 0` (s = 0 degenerates to uniform).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one outcome");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws one sample (0-based rank).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // First index whose CDF value exceeds u.
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (n ≥ 1 by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_biases_toward_low_ranks() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10], "rank 0 should beat rank 10");
+        assert!(counts[0] > counts[50] * 5, "rank 0 should dwarf rank 50");
+        // All mass within range.
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let expected = 5_000.0;
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.15,
+                "uniform bin off: {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_outcome() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

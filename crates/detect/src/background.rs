@@ -1,0 +1,272 @@
+//! Background subtraction.
+//!
+//! §5.2.4 of the paper evaluates tile layouts built from "KNN-based
+//! background segmentation implemented in OpenCV" and finds they perform
+//! about 3% *worse* than not tiling: the detector does not find the right
+//! foreground pixels, especially when the camera moves, and queried objects
+//! are sometimes stationary (background by definition).
+//!
+//! This module implements a genuine (if simple) subtractor so those failure
+//! modes arise from real pixel processing, not a hard-coded penalty: a
+//! per-pixel running-average background model, thresholded difference,
+//! occupancy pooling into 8×8 cells, and connected-component box extraction.
+
+use crate::{Detector, RawDetection};
+use tasm_video::{Frame, Plane, Rect};
+
+/// Label attached to foreground regions (there is no class information).
+pub const FOREGROUND_LABEL: &str = "foreground";
+
+/// Running-average background subtractor.
+pub struct BackgroundSubtractor {
+    /// Per-pixel background model in 8.8 fixed point (luma only).
+    model: Vec<u32>,
+    width: u32,
+    height: u32,
+    /// Learning rate numerator: model += (pixel - model) / RATE.
+    rate: u32,
+    /// |pixel − background| threshold for foreground.
+    threshold: i32,
+    /// Fraction of foreground pixels for a cell to count as occupied.
+    cell_occupancy: f64,
+    frames_seen: u32,
+}
+
+impl BackgroundSubtractor {
+    /// Creates a subtractor with the default parameters.
+    pub fn new() -> Self {
+        BackgroundSubtractor {
+            model: Vec::new(),
+            width: 0,
+            height: 0,
+            rate: 16,
+            threshold: 24,
+            cell_occupancy: 0.25,
+            frames_seen: 0,
+        }
+    }
+
+    /// Number of frames consumed so far.
+    pub fn frames_seen(&self) -> u32 {
+        self.frames_seen
+    }
+
+    fn ensure_model(&mut self, frame: &Frame) {
+        let (w, h) = (frame.width(), frame.height());
+        if self.width != w || self.height != h {
+            self.width = w;
+            self.height = h;
+            self.model = frame.plane(Plane::Y).iter().map(|&p| (p as u32) << 8).collect();
+        }
+    }
+
+    /// Updates the model with one frame and returns a per-cell foreground
+    /// mask (cells are 8×8 luma pixels), dimensions (cells_w, cells_h).
+    fn foreground_cells(&mut self, frame: &Frame) -> (Vec<bool>, usize, usize) {
+        self.ensure_model(frame);
+        let w = self.width as usize;
+        let h = self.height as usize;
+        let cw = w / 8;
+        let ch = h / 8;
+        let mut counts = vec![0u32; cw * ch];
+        let luma = frame.plane(Plane::Y);
+        for y in 0..h {
+            let row = y * w;
+            for x in 0..w {
+                let pix = luma[row + x] as i32;
+                let bg = (self.model[row + x] >> 8) as i32;
+                if (pix - bg).abs() > self.threshold {
+                    counts[(y / 8) * cw + x / 8] += 1;
+                }
+                // Exponential update toward the new pixel.
+                let m = self.model[row + x] as i64;
+                let target = (pix as i64) << 8;
+                self.model[row + x] = (m + (target - m) / self.rate as i64) as u32;
+            }
+        }
+        let need = (64.0 * self.cell_occupancy) as u32;
+        (counts.iter().map(|&c| c >= need).collect(), cw, ch)
+    }
+}
+
+impl Default for BackgroundSubtractor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Detector for BackgroundSubtractor {
+    fn name(&self) -> &'static str {
+        "bg-subtraction"
+    }
+
+    fn seconds_per_frame(&self) -> f64 {
+        // Cheap classical CV: hundreds of fps even on modest hardware.
+        1.0 / 400.0
+    }
+
+    fn needs_pixels(&self) -> bool {
+        true
+    }
+
+    fn detect(
+        &mut self,
+        _frame_idx: u32,
+        pixels: Option<&Frame>,
+        _truth: &[(&'static str, Rect)],
+    ) -> Vec<RawDetection> {
+        let Some(frame) = pixels else {
+            debug_assert!(false, "background subtraction requires pixels");
+            return Vec::new();
+        };
+        let first = self.frames_seen == 0 && self.model.is_empty();
+        let (cells, cw, ch) = self.foreground_cells(frame);
+        self.frames_seen += 1;
+        if first {
+            // The model was just initialized from this frame: everything
+            // matches the background, nothing to report.
+            return Vec::new();
+        }
+        components(&cells, cw, ch)
+            .into_iter()
+            .map(|cell_rect| RawDetection {
+                label: FOREGROUND_LABEL.to_string(),
+                bbox: Rect::new(
+                    cell_rect.x * 8,
+                    cell_rect.y * 8,
+                    cell_rect.w * 8,
+                    cell_rect.h * 8,
+                ),
+                confidence: 0.5,
+            })
+            .collect()
+    }
+}
+
+/// 4-connected component bounding boxes over a boolean cell grid.
+fn components(cells: &[bool], cw: usize, ch: usize) -> Vec<Rect> {
+    let mut seen = vec![false; cells.len()];
+    let mut out = Vec::new();
+    let mut stack = Vec::new();
+    for start in 0..cells.len() {
+        if !cells[start] || seen[start] {
+            continue;
+        }
+        let (mut min_x, mut min_y) = (cw as u32, ch as u32);
+        let (mut max_x, mut max_y) = (0u32, 0u32);
+        stack.push(start);
+        seen[start] = true;
+        while let Some(i) = stack.pop() {
+            let (x, y) = ((i % cw) as u32, (i / cw) as u32);
+            min_x = min_x.min(x);
+            min_y = min_y.min(y);
+            max_x = max_x.max(x);
+            max_y = max_y.max(y);
+            let neighbours = [
+                (x > 0).then(|| i - 1),
+                (x + 1 < cw as u32).then(|| i + 1),
+                (y > 0).then(|| i - cw),
+                (y + 1 < ch as u32).then(|| i + cw),
+            ];
+            for n in neighbours.into_iter().flatten() {
+                if cells[n] && !seen[n] {
+                    seen[n] = true;
+                    stack.push(n);
+                }
+            }
+        }
+        out.push(Rect::new(min_x, min_y, max_x - min_x + 1, max_y - min_y + 1));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_with_square(x: u32, luma: u8) -> Frame {
+        let mut f = Frame::filled(128, 96, 80, 128, 128);
+        f.fill_rect(Rect::new(x, 32, 24, 24), luma, 128, 128);
+        f
+    }
+
+    #[test]
+    fn static_scene_has_no_foreground() {
+        let mut d = BackgroundSubtractor::new();
+        let f = Frame::filled(128, 96, 80, 128, 128);
+        for i in 0..5 {
+            assert!(d.detect(i, Some(&f), &[]).is_empty(), "frame {i}");
+        }
+    }
+
+    #[test]
+    fn moving_object_detected() {
+        let mut d = BackgroundSubtractor::new();
+        // Warm up the model on the empty scene.
+        let bg = Frame::filled(128, 96, 80, 128, 128);
+        for i in 0..10 {
+            d.detect(i, Some(&bg), &[]);
+        }
+        // A bright square appears.
+        let dets = d.detect(10, Some(&frame_with_square(40, 220)), &[]);
+        assert!(!dets.is_empty(), "appearing object should be foreground");
+        let b = dets[0].bbox;
+        assert!(
+            b.intersects(&Rect::new(40, 32, 24, 24)),
+            "box {b:?} should cover the square"
+        );
+        assert_eq!(dets[0].label, FOREGROUND_LABEL);
+    }
+
+    #[test]
+    fn stationary_object_absorbs_into_background() {
+        let mut d = BackgroundSubtractor::new();
+        let f = frame_with_square(40, 220);
+        // Model initialized from the first frame: the square is background
+        // immediately — the paper's "queried objects will occasionally be in
+        // the background" failure.
+        d.detect(0, Some(&f), &[]);
+        let dets = d.detect(1, Some(&f), &[]);
+        assert!(dets.is_empty(), "stationary object must vanish: {dets:?}");
+    }
+
+    #[test]
+    fn camera_pan_floods_the_mask() {
+        let mut d = BackgroundSubtractor::new();
+        // Textured background that shifts every frame (camera pan).
+        let textured = |off: u32| {
+            let mut f = Frame::black(128, 96);
+            for y in 0..96 {
+                for x in 0..128u32 {
+                    let v = (((x + off) / 4 + y / 4) % 2) as u8 * 120 + 60;
+                    f.set_sample(Plane::Y, x, y, v);
+                }
+            }
+            f
+        };
+        for i in 0..5 {
+            d.detect(i, Some(&textured(i)), &[]);
+        }
+        let dets = d.detect(5, Some(&textured(5 * 4)), &[]);
+        // Everything moves -> huge useless foreground regions.
+        let covered: u64 = dets.iter().map(|d| d.bbox.area()).sum();
+        assert!(
+            covered > (128 * 96) / 3,
+            "pan should flood the mask, covered only {covered}"
+        );
+    }
+
+    #[test]
+    fn components_merges_adjacent_cells() {
+        let mut cells = vec![false; 16];
+        // 4x4 grid: cells (0,0), (1,0), (1,1) touch; (3,3) isolated.
+        cells[0] = true;
+        cells[1] = true;
+        cells[5] = true;
+        cells[15] = true;
+        let boxes = components(&cells, 4, 4);
+        assert_eq!(boxes.len(), 2);
+        assert!(boxes.contains(&Rect::new(0, 0, 2, 2)));
+        assert!(boxes.contains(&Rect::new(3, 3, 1, 1)));
+    }
+}

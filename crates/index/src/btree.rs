@@ -1,0 +1,878 @@
+//! A disk-backed B+tree with fixed-size keys and values.
+//!
+//! This is the storage engine under the semantic index: 16-byte composite
+//! keys ([`crate::key::RecordKey`]) map to 16-byte bounding-box values.
+//! Interior nodes hold separator keys; all records live in leaves, which are
+//! chained left-to-right for range scans. The paper's prototype used SQLite
+//! for this role; we implement the B-tree directly (see DESIGN.md).
+//!
+//! Deletion removes entries in place and may leave pages underfull; pages
+//! are never merged or returned to a free list. The semantic index is
+//! append-dominated (detections are added, essentially never removed), so
+//! lazy deletion is the right trade-off and is documented behaviour.
+
+use crate::key::{RecordKey, KEY_LEN, VALUE_LEN};
+use crate::pager::{Page, PageId, PageStore, Pager, PAGE_SIZE};
+use std::io;
+use tasm_video::Rect;
+
+const MAGIC: &[u8; 4] = b"TSIX";
+const VERSION: u8 = 1;
+
+const NODE_INTERNAL: u8 = 1;
+const NODE_LEAF: u8 = 2;
+
+/// Leaf header: type(1) + pad(1) + count(2) + next_leaf(4).
+const LEAF_HDR: usize = 8;
+/// Records per leaf.
+pub const LEAF_CAP: usize = (PAGE_SIZE - LEAF_HDR) / (KEY_LEN + VALUE_LEN); // 127
+
+/// Internal header: type(1) + pad(1) + count(2).
+const INT_HDR: usize = 4;
+/// Keys per internal node (children = keys + 1).
+pub const INT_CAP: usize = (PAGE_SIZE - INT_HDR - 4) / (KEY_LEN + 4); // 204
+const INT_CHILDREN_OFF: usize = INT_HDR;
+const INT_KEYS_OFF: usize = INT_CHILDREN_OFF + 4 * (INT_CAP + 1);
+
+/// Bytes reserved in the meta page for a higher layer (label dictionary
+/// pointers, sequence counters, …).
+pub const USER_META_LEN: usize = 32;
+
+/// Errors from the tree.
+#[derive(Debug)]
+pub enum TreeError {
+    /// Backend I/O failure.
+    Io(io::Error),
+    /// The file is not a valid index (bad magic/version) or a page is
+    /// structurally inconsistent.
+    Corrupt(&'static str),
+}
+
+impl From<io::Error> for TreeError {
+    fn from(e: io::Error) -> Self {
+        TreeError::Io(e)
+    }
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::Io(e) => write!(f, "index I/O error: {e}"),
+            TreeError::Corrupt(what) => write!(f, "index corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+#[derive(Debug, Clone)]
+struct Meta {
+    root: PageId,
+    next_page: PageId,
+    entry_count: u64,
+    user: [u8; USER_META_LEN],
+}
+
+impl Meta {
+    fn to_page(&self) -> Page {
+        let mut p = Page::zeroed();
+        p.data[0..4].copy_from_slice(MAGIC);
+        p.data[4] = VERSION;
+        p.data[8..12].copy_from_slice(&self.root.to_le_bytes());
+        p.data[12..16].copy_from_slice(&self.next_page.to_le_bytes());
+        p.data[16..24].copy_from_slice(&self.entry_count.to_le_bytes());
+        p.data[24..24 + USER_META_LEN].copy_from_slice(&self.user);
+        p
+    }
+
+    fn from_page(p: &Page) -> Result<Option<Meta>, TreeError> {
+        if p.data[0..4] == [0, 0, 0, 0] {
+            return Ok(None); // fresh file
+        }
+        if &p.data[0..4] != MAGIC {
+            return Err(TreeError::Corrupt("bad magic"));
+        }
+        if p.data[4] != VERSION {
+            return Err(TreeError::Corrupt("unsupported version"));
+        }
+        let le32 = |o: usize| u32::from_le_bytes(p.data[o..o + 4].try_into().unwrap());
+        let le64 = |o: usize| u64::from_le_bytes(p.data[o..o + 8].try_into().unwrap());
+        let mut user = [0u8; USER_META_LEN];
+        user.copy_from_slice(&p.data[24..24 + USER_META_LEN]);
+        Ok(Some(Meta {
+            root: le32(8),
+            next_page: le32(12),
+            entry_count: le64(16),
+            user,
+        }))
+    }
+}
+
+/// A B+tree over a page store.
+pub struct BTree<S: PageStore> {
+    pager: Pager<S>,
+    meta: Meta,
+}
+
+type EncodedKey = [u8; KEY_LEN];
+
+impl<S: PageStore> BTree<S> {
+    /// Opens a tree, initializing a fresh one if the store is empty.
+    pub fn open(store: S, cache_pages: usize) -> Result<Self, TreeError> {
+        let mut pager = Pager::new(store, cache_pages);
+        let meta_page = pager.read(0)?;
+        let meta = match Meta::from_page(&meta_page)? {
+            Some(m) => m,
+            None => {
+                // Fresh: page 1 is an empty leaf root.
+                let meta = Meta {
+                    root: 1,
+                    next_page: 2,
+                    entry_count: 0,
+                    user: [0u8; USER_META_LEN],
+                };
+                let mut leaf = Page::zeroed();
+                leaf.data[0] = NODE_LEAF;
+                pager.write(1, leaf)?;
+                pager.write(0, meta.to_page())?;
+                meta
+            }
+        };
+        Ok(BTree { pager, meta })
+    }
+
+    /// Number of records in the tree.
+    pub fn len(&self) -> u64 {
+        self.meta.entry_count
+    }
+
+    /// True if the tree holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.meta.entry_count == 0
+    }
+
+    /// The higher layer's reserved metadata bytes.
+    pub fn user_meta(&self) -> &[u8; USER_META_LEN] {
+        &self.meta.user
+    }
+
+    /// Overwrites the reserved metadata bytes (persisted on flush).
+    pub fn set_user_meta(&mut self, user: [u8; USER_META_LEN]) {
+        self.meta.user = user;
+    }
+
+    /// Allocates a fresh page for the higher layer (e.g. dictionary chains).
+    pub fn alloc_page(&mut self) -> PageId {
+        let id = self.meta.next_page;
+        self.meta.next_page += 1;
+        id
+    }
+
+    /// Raw page read for the higher layer.
+    pub fn read_page(&mut self, id: PageId) -> Result<Page, TreeError> {
+        Ok(self.pager.read(id)?)
+    }
+
+    /// Raw page write for the higher layer.
+    pub fn write_page(&mut self, id: PageId, page: Page) -> Result<(), TreeError> {
+        Ok(self.pager.write(id, page)?)
+    }
+
+    /// Inserts a record; returns the previous value if the key existed.
+    pub fn insert(&mut self, key: RecordKey, value: [u8; VALUE_LEN]) -> Result<Option<Rect>, TreeError> {
+        let ek = key.encode();
+        let (replaced, split) = self.insert_rec(self.meta.root, &ek, &value)?;
+        if let Some((sep, right)) = split {
+            // Grow the tree: new root with two children.
+            let old_root = self.meta.root;
+            let new_root = self.alloc_page();
+            let mut page = Page::zeroed();
+            page.data[0] = NODE_INTERNAL;
+            int_set_count(&mut page, 1);
+            int_set_child(&mut page, 0, old_root);
+            int_set_child(&mut page, 1, right);
+            int_set_key(&mut page, 0, &sep);
+            self.pager.write(new_root, page)?;
+            self.meta.root = new_root;
+        }
+        if replaced.is_none() {
+            self.meta.entry_count += 1;
+        }
+        Ok(replaced)
+    }
+
+    /// Point lookup.
+    pub fn get(&mut self, key: &RecordKey) -> Result<Option<Rect>, TreeError> {
+        let ek = key.encode();
+        let leaf_id = self.find_leaf(&ek)?;
+        let page = self.pager.read(leaf_id)?;
+        let count = leaf_count(&page);
+        match leaf_search(&page, count, &ek) {
+            Ok(i) => Ok(Some(crate::key::decode_value(leaf_value(&page, i)))),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Removes a record, returning its value if present. Lazy: pages are
+    /// never merged.
+    pub fn delete(&mut self, key: &RecordKey) -> Result<Option<Rect>, TreeError> {
+        let ek = key.encode();
+        let leaf_id = self.find_leaf(&ek)?;
+        let mut page = self.pager.read(leaf_id)?;
+        let count = leaf_count(&page);
+        match leaf_search(&page, count, &ek) {
+            Ok(i) => {
+                let value = crate::key::decode_value(leaf_value(&page, i));
+                leaf_remove(&mut page, count, i);
+                self.pager.write(leaf_id, page)?;
+                self.meta.entry_count -= 1;
+                Ok(Some(value))
+            }
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Returns all records with `lo <= key < hi` in key order.
+    pub fn range(&mut self, lo: &RecordKey, hi: &RecordKey) -> Result<Vec<(RecordKey, Rect)>, TreeError> {
+        let mut out = Vec::new();
+        self.range_for_each(lo, hi, |k, v| {
+            out.push((k, v));
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Streams records with `lo <= key < hi` to `visit`; stop early by
+    /// returning `false`.
+    pub fn range_for_each(
+        &mut self,
+        lo: &RecordKey,
+        hi: &RecordKey,
+        mut visit: impl FnMut(RecordKey, Rect) -> bool,
+    ) -> Result<(), TreeError> {
+        let elo = lo.encode();
+        let ehi = hi.encode();
+        if elo >= ehi {
+            return Ok(());
+        }
+        let mut leaf_id = self.find_leaf(&elo)?;
+        loop {
+            let page = self.pager.read(leaf_id)?;
+            let count = leaf_count(&page);
+            let start = match leaf_search(&page, count, &elo) {
+                Ok(i) | Err(i) => i,
+            };
+            for i in start..count {
+                let k = leaf_key(&page, i);
+                if k >= &ehi[..] {
+                    return Ok(());
+                }
+                let key = RecordKey::decode(k);
+                let value = crate::key::decode_value(leaf_value(&page, i));
+                if !visit(key, value) {
+                    return Ok(());
+                }
+            }
+            let next = leaf_next(&page);
+            if next == 0 {
+                return Ok(());
+            }
+            leaf_id = next;
+        }
+    }
+
+    /// First record with `key >= from`, if any. Used for skip-scans
+    /// (e.g. enumerating the distinct labels of a video).
+    pub fn seek(&mut self, from: &RecordKey) -> Result<Option<(RecordKey, Rect)>, TreeError> {
+        let ek = from.encode();
+        let mut leaf_id = self.find_leaf(&ek)?;
+        loop {
+            let page = self.pager.read(leaf_id)?;
+            let count = leaf_count(&page);
+            let start = match leaf_search(&page, count, &ek) {
+                Ok(i) | Err(i) => i,
+            };
+            if start < count {
+                let key = RecordKey::decode(leaf_key(&page, start));
+                let value = crate::key::decode_value(leaf_value(&page, start));
+                return Ok(Some((key, value)));
+            }
+            let next = leaf_next(&page);
+            if next == 0 {
+                return Ok(None);
+            }
+            leaf_id = next;
+        }
+    }
+
+    /// Flushes dirty pages (including metadata) to the backend.
+    pub fn flush(&mut self) -> Result<(), TreeError> {
+        self.pager.write(0, self.meta.to_page())?;
+        self.pager.flush()?;
+        Ok(())
+    }
+
+    /// Tree height (1 = a single leaf); used by tests and diagnostics.
+    pub fn height(&mut self) -> Result<u32, TreeError> {
+        let mut h = 1;
+        let mut id = self.meta.root;
+        loop {
+            let page = self.pager.read(id)?;
+            match page.data[0] {
+                NODE_LEAF => return Ok(h),
+                NODE_INTERNAL => {
+                    id = int_child(&page, 0);
+                    h += 1;
+                }
+                _ => return Err(TreeError::Corrupt("unknown node type")),
+            }
+        }
+    }
+
+    // --- internals ---
+
+    fn find_leaf(&mut self, key: &EncodedKey) -> Result<PageId, TreeError> {
+        let mut id = self.meta.root;
+        loop {
+            let page = self.pager.read(id)?;
+            match page.data[0] {
+                NODE_LEAF => return Ok(id),
+                NODE_INTERNAL => {
+                    let count = int_count(&page);
+                    let idx = int_descend_index(&page, count, key);
+                    id = int_child(&page, idx);
+                }
+                _ => return Err(TreeError::Corrupt("unknown node type")),
+            }
+        }
+    }
+
+    /// Recursive insert; returns (replaced value, optional split (sep, right)).
+    #[allow(clippy::type_complexity)]
+    fn insert_rec(
+        &mut self,
+        id: PageId,
+        key: &EncodedKey,
+        value: &[u8; VALUE_LEN],
+    ) -> Result<(Option<Rect>, Option<(EncodedKey, PageId)>), TreeError> {
+        let mut page = self.pager.read(id)?;
+        match page.data[0] {
+            NODE_LEAF => {
+                let count = leaf_count(&page);
+                match leaf_search(&page, count, key) {
+                    Ok(i) => {
+                        // Overwrite existing value.
+                        let old = crate::key::decode_value(leaf_value(&page, i));
+                        leaf_set_value(&mut page, i, value);
+                        self.pager.write(id, page)?;
+                        Ok((Some(old), None))
+                    }
+                    Err(i) => {
+                        if count < LEAF_CAP {
+                            leaf_insert_at(&mut page, count, i, key, value);
+                            self.pager.write(id, page)?;
+                            Ok((None, None))
+                        } else {
+                            let (sep, right) = self.split_leaf(id, &mut page, i, key, value)?;
+                            Ok((None, Some((sep, right))))
+                        }
+                    }
+                }
+            }
+            NODE_INTERNAL => {
+                let count = int_count(&page);
+                let idx = int_descend_index(&page, count, key);
+                let child = int_child(&page, idx);
+                let (replaced, split) = self.insert_rec(child, key, value)?;
+                if let Some((sep, right)) = split {
+                    // Re-read: the recursive call may have evicted our copy.
+                    let mut page = self.pager.read(id)?;
+                    let count = int_count(&page);
+                    if count < INT_CAP {
+                        int_insert_at(&mut page, count, idx, &sep, right);
+                        self.pager.write(id, page)?;
+                        Ok((replaced, None))
+                    } else {
+                        let up = self.split_internal(id, &mut page, idx, &sep, right)?;
+                        Ok((replaced, Some(up)))
+                    }
+                } else {
+                    Ok((replaced, None))
+                }
+            }
+            _ => Err(TreeError::Corrupt("unknown node type")),
+        }
+    }
+
+    /// Splits a full leaf while inserting (key, value) at position `pos`.
+    fn split_leaf(
+        &mut self,
+        id: PageId,
+        page: &mut Page,
+        pos: usize,
+        key: &EncodedKey,
+        value: &[u8; VALUE_LEN],
+    ) -> Result<(EncodedKey, PageId), TreeError> {
+        // Materialize all entries plus the new one, then redistribute.
+        let count = leaf_count(page);
+        let mut entries: Vec<(EncodedKey, [u8; VALUE_LEN])> = Vec::with_capacity(count + 1);
+        for i in 0..count {
+            let mut k = [0u8; KEY_LEN];
+            k.copy_from_slice(leaf_key(page, i));
+            let mut v = [0u8; VALUE_LEN];
+            v.copy_from_slice(leaf_value(page, i));
+            entries.push((k, v));
+        }
+        entries.insert(pos, (*key, *value));
+        let mid = entries.len() / 2;
+
+        let right_id = self.alloc_page();
+        let mut right = Page::zeroed();
+        right.data[0] = NODE_LEAF;
+        leaf_set_next(&mut right, leaf_next(page));
+        for (i, (k, v)) in entries[mid..].iter().enumerate() {
+            leaf_insert_at(&mut right, i, i, k, v);
+        }
+
+        let mut left = Page::zeroed();
+        left.data[0] = NODE_LEAF;
+        leaf_set_next(&mut left, right_id);
+        for (i, (k, v)) in entries[..mid].iter().enumerate() {
+            leaf_insert_at(&mut left, i, i, k, v);
+        }
+
+        let sep = entries[mid].0;
+        self.pager.write(id, left)?;
+        self.pager.write(right_id, right)?;
+        Ok((sep, right_id))
+    }
+
+    /// Splits a full internal node while inserting (sep, right_child) at
+    /// child slot `pos`.
+    fn split_internal(
+        &mut self,
+        id: PageId,
+        page: &mut Page,
+        pos: usize,
+        sep: &EncodedKey,
+        right_child: PageId,
+    ) -> Result<(EncodedKey, PageId), TreeError> {
+        let count = int_count(page);
+        let mut keys: Vec<EncodedKey> = Vec::with_capacity(count + 1);
+        let mut children: Vec<PageId> = Vec::with_capacity(count + 2);
+        for i in 0..count {
+            let mut k = [0u8; KEY_LEN];
+            k.copy_from_slice(int_key(page, i));
+            keys.push(k);
+        }
+        for i in 0..=count {
+            children.push(int_child(page, i));
+        }
+        keys.insert(pos, *sep);
+        children.insert(pos + 1, right_child);
+
+        let mid = keys.len() / 2; // keys[mid] moves up
+        let up = keys[mid];
+
+        let right_id = self.alloc_page();
+        let mut right = Page::zeroed();
+        right.data[0] = NODE_INTERNAL;
+        let right_keys = &keys[mid + 1..];
+        int_set_count(&mut right, right_keys.len());
+        for (i, k) in right_keys.iter().enumerate() {
+            int_set_key(&mut right, i, k);
+        }
+        for (i, &c) in children[mid + 1..].iter().enumerate() {
+            int_set_child(&mut right, i, c);
+        }
+
+        let mut left = Page::zeroed();
+        left.data[0] = NODE_INTERNAL;
+        int_set_count(&mut left, mid);
+        for (i, k) in keys[..mid].iter().enumerate() {
+            int_set_key(&mut left, i, k);
+        }
+        for (i, &c) in children[..=mid].iter().enumerate() {
+            int_set_child(&mut left, i, c);
+        }
+
+        self.pager.write(id, left)?;
+        self.pager.write(right_id, right)?;
+        Ok((up, right_id))
+    }
+}
+
+// --- leaf page accessors ---
+
+fn leaf_count(p: &Page) -> usize {
+    u16::from_le_bytes(p.data[2..4].try_into().unwrap()) as usize
+}
+
+fn leaf_set_count(p: &mut Page, c: usize) {
+    p.data[2..4].copy_from_slice(&(c as u16).to_le_bytes());
+}
+
+fn leaf_next(p: &Page) -> PageId {
+    u32::from_le_bytes(p.data[4..8].try_into().unwrap())
+}
+
+fn leaf_set_next(p: &mut Page, n: PageId) {
+    p.data[4..8].copy_from_slice(&n.to_le_bytes());
+}
+
+fn leaf_entry_off(i: usize) -> usize {
+    LEAF_HDR + i * (KEY_LEN + VALUE_LEN)
+}
+
+fn leaf_key(p: &Page, i: usize) -> &[u8] {
+    &p.data[leaf_entry_off(i)..leaf_entry_off(i) + KEY_LEN]
+}
+
+fn leaf_value(p: &Page, i: usize) -> &[u8] {
+    &p.data[leaf_entry_off(i) + KEY_LEN..leaf_entry_off(i) + KEY_LEN + VALUE_LEN]
+}
+
+fn leaf_set_value(p: &mut Page, i: usize, v: &[u8; VALUE_LEN]) {
+    let off = leaf_entry_off(i) + KEY_LEN;
+    p.data[off..off + VALUE_LEN].copy_from_slice(v);
+}
+
+/// Binary search by encoded key: Ok(position) if found, Err(insert position).
+fn leaf_search(p: &Page, count: usize, key: &EncodedKey) -> Result<usize, usize> {
+    let mut lo = 0usize;
+    let mut hi = count;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        match leaf_key(p, mid).cmp(&key[..]) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Ok(mid),
+        }
+    }
+    Err(lo)
+}
+
+fn leaf_insert_at(p: &mut Page, count: usize, i: usize, key: &EncodedKey, value: &[u8; VALUE_LEN]) {
+    debug_assert!(count < LEAF_CAP && i <= count);
+    let entry = KEY_LEN + VALUE_LEN;
+    // Shift entries [i, count) right by one slot.
+    let src = leaf_entry_off(i);
+    let dst = src + entry;
+    let end = leaf_entry_off(count);
+    p.data.copy_within(src..end, dst);
+    p.data[src..src + KEY_LEN].copy_from_slice(key);
+    p.data[src + KEY_LEN..src + entry].copy_from_slice(value);
+    leaf_set_count(p, count + 1);
+}
+
+fn leaf_remove(p: &mut Page, count: usize, i: usize) {
+    debug_assert!(i < count);
+    let entry = KEY_LEN + VALUE_LEN;
+    let dst = leaf_entry_off(i);
+    let src = dst + entry;
+    let end = leaf_entry_off(count);
+    p.data.copy_within(src..end, dst);
+    leaf_set_count(p, count - 1);
+}
+
+// --- internal page accessors ---
+
+fn int_count(p: &Page) -> usize {
+    u16::from_le_bytes(p.data[2..4].try_into().unwrap()) as usize
+}
+
+fn int_set_count(p: &mut Page, c: usize) {
+    p.data[2..4].copy_from_slice(&(c as u16).to_le_bytes());
+}
+
+fn int_child(p: &Page, i: usize) -> PageId {
+    let off = INT_CHILDREN_OFF + i * 4;
+    u32::from_le_bytes(p.data[off..off + 4].try_into().unwrap())
+}
+
+fn int_set_child(p: &mut Page, i: usize, c: PageId) {
+    let off = INT_CHILDREN_OFF + i * 4;
+    p.data[off..off + 4].copy_from_slice(&c.to_le_bytes());
+}
+
+fn int_key(p: &Page, i: usize) -> &[u8] {
+    let off = INT_KEYS_OFF + i * KEY_LEN;
+    &p.data[off..off + KEY_LEN]
+}
+
+fn int_set_key(p: &mut Page, i: usize, k: &EncodedKey) {
+    let off = INT_KEYS_OFF + i * KEY_LEN;
+    p.data[off..off + KEY_LEN].copy_from_slice(k);
+}
+
+/// Child index to descend into for `key`: the first child whose key range
+/// can contain it (child i covers keys in [key[i-1], key[i])).
+fn int_descend_index(p: &Page, count: usize, key: &EncodedKey) -> usize {
+    let mut lo = 0usize;
+    let mut hi = count;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if int_key(p, mid) <= &key[..] {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn int_insert_at(p: &mut Page, count: usize, child_idx: usize, sep: &EncodedKey, right: PageId) {
+    debug_assert!(count < INT_CAP);
+    // Shift keys [child_idx, count) and children [child_idx+1, count+1).
+    let ko = INT_KEYS_OFF + child_idx * KEY_LEN;
+    let kend = INT_KEYS_OFF + count * KEY_LEN;
+    p.data.copy_within(ko..kend, ko + KEY_LEN);
+    let co = INT_CHILDREN_OFF + (child_idx + 1) * 4;
+    let cend = INT_CHILDREN_OFF + (count + 1) * 4;
+    p.data.copy_within(co..cend, co + 4);
+    p.data[ko..ko + KEY_LEN].copy_from_slice(sep);
+    p.data[co..co + 4].copy_from_slice(&right.to_le_bytes());
+    int_set_count(p, count + 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::encode_value;
+    use crate::pager::MemStore;
+
+    fn mem_tree() -> BTree<MemStore> {
+        BTree::open(MemStore::default(), 64).unwrap()
+    }
+
+    fn key(n: u32) -> RecordKey {
+        RecordKey::new(n / 1000, (n / 100) % 10, n % 100, n)
+    }
+
+    fn value(n: u32) -> [u8; VALUE_LEN] {
+        encode_value(&Rect::new(n, n + 1, n + 2, n + 3))
+    }
+
+    #[test]
+    fn insert_get_single() {
+        let mut t = mem_tree();
+        assert!(t.is_empty());
+        t.insert(key(5), value(5)).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&key(5)).unwrap(), Some(Rect::new(5, 6, 7, 8)));
+        assert_eq!(t.get(&key(6)).unwrap(), None);
+    }
+
+    #[test]
+    fn insert_overwrites_duplicate_key() {
+        let mut t = mem_tree();
+        t.insert(key(1), value(1)).unwrap();
+        let old = t.insert(key(1), value(99)).unwrap();
+        assert_eq!(old, Some(Rect::new(1, 2, 3, 4)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&key(1)).unwrap(), Some(Rect::new(99, 100, 101, 102)));
+    }
+
+    #[test]
+    fn many_inserts_split_leaves_and_internals() {
+        let mut t = mem_tree();
+        let n = 50_000u32;
+        // Insert in a scrambled order to exercise splits everywhere.
+        let mut keys: Vec<u32> = (0..n).collect();
+        let mut state = 12345u64;
+        for i in (1..keys.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            keys.swap(i, j);
+        }
+        for &k in &keys {
+            t.insert(RecordKey::new(0, 0, k, 0), value(k)).unwrap();
+        }
+        assert_eq!(t.len(), n as u64);
+        assert!(t.height().unwrap() >= 3, "tree should have grown: height {}", t.height().unwrap());
+        // Spot-check.
+        for k in [0u32, 1, 127, 128, 4095, 4096, n - 1] {
+            assert_eq!(
+                t.get(&RecordKey::new(0, 0, k, 0)).unwrap(),
+                Some(Rect::new(k, k + 1, k + 2, k + 3)),
+                "key {k}"
+            );
+        }
+        // Full ordered scan sees every key exactly once, in order.
+        let all = t
+            .range(&RecordKey::new(0, 0, 0, 0), &RecordKey::new(0, 1, 0, 0))
+            .unwrap();
+        assert_eq!(all.len(), n as usize);
+        for (i, (k, _)) in all.iter().enumerate() {
+            assert_eq!(k.frame, i as u32);
+        }
+    }
+
+    #[test]
+    fn range_scan_respects_bounds() {
+        let mut t = mem_tree();
+        for f in 0..100u32 {
+            t.insert(RecordKey::new(1, 2, f, 0), value(f)).unwrap();
+        }
+        // Other (video, label) pairs must not leak into the range.
+        t.insert(RecordKey::new(1, 1, 50, 0), value(999)).unwrap();
+        t.insert(RecordKey::new(1, 3, 50, 0), value(999)).unwrap();
+        t.insert(RecordKey::new(2, 2, 50, 0), value(999)).unwrap();
+
+        let hits = t
+            .range(&RecordKey::range_start(1, 2, 10), &RecordKey::range_start(1, 2, 20))
+            .unwrap();
+        assert_eq!(hits.len(), 10);
+        assert!(hits.iter().all(|(k, _)| k.video == 1 && k.label == 2));
+        assert_eq!(hits[0].0.frame, 10);
+        assert_eq!(hits[9].0.frame, 19);
+    }
+
+    #[test]
+    fn empty_and_inverted_ranges() {
+        let mut t = mem_tree();
+        t.insert(key(1), value(1)).unwrap();
+        assert!(t
+            .range(&RecordKey::new(5, 0, 0, 0), &RecordKey::new(4, 0, 0, 0))
+            .unwrap()
+            .is_empty());
+        assert!(t
+            .range(&RecordKey::new(3, 0, 0, 0), &RecordKey::new(3, 0, 0, 0))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn seek_finds_next_record() {
+        let mut t = mem_tree();
+        t.insert(RecordKey::new(1, 5, 10, 0), value(1)).unwrap();
+        t.insert(RecordKey::new(1, 9, 3, 0), value(2)).unwrap();
+        let (k, _) = t.seek(&RecordKey::new(1, 6, 0, 0)).unwrap().unwrap();
+        assert_eq!((k.video, k.label, k.frame), (1, 9, 3));
+        assert!(t.seek(&RecordKey::new(2, 0, 0, 0)).unwrap().is_none());
+        let (k, _) = t.seek(&RecordKey::new(0, 0, 0, 0)).unwrap().unwrap();
+        assert_eq!((k.video, k.label), (1, 5));
+    }
+
+    #[test]
+    fn delete_removes_records() {
+        let mut t = mem_tree();
+        for f in 0..300u32 {
+            t.insert(RecordKey::new(0, 0, f, 0), value(f)).unwrap();
+        }
+        assert_eq!(t.delete(&RecordKey::new(0, 0, 150, 0)).unwrap(), Some(Rect::new(150, 151, 152, 153)));
+        assert_eq!(t.delete(&RecordKey::new(0, 0, 150, 0)).unwrap(), None);
+        assert_eq!(t.len(), 299);
+        assert_eq!(t.get(&RecordKey::new(0, 0, 150, 0)).unwrap(), None);
+        // Neighbours intact.
+        assert!(t.get(&RecordKey::new(0, 0, 149, 0)).unwrap().is_some());
+        assert!(t.get(&RecordKey::new(0, 0, 151, 0)).unwrap().is_some());
+    }
+
+    #[test]
+    fn early_termination_of_streaming_scan() {
+        let mut t = mem_tree();
+        for f in 0..100u32 {
+            t.insert(RecordKey::new(0, 0, f, 0), value(f)).unwrap();
+        }
+        let mut seen = 0;
+        t.range_for_each(
+            &RecordKey::new(0, 0, 0, 0),
+            &RecordKey::new(0, 0, 100, 0),
+            |_, _| {
+                seen += 1;
+                seen < 7
+            },
+        )
+        .unwrap();
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let mut store = MemStore::default();
+        {
+            let mut t = BTree::open(&mut store, 16).unwrap();
+            for f in 0..1000u32 {
+                t.insert(RecordKey::new(3, 1, f, 0), value(f)).unwrap();
+            }
+            let mut user = [0u8; USER_META_LEN];
+            user[0] = 0xEE;
+            t.set_user_meta(user);
+            t.flush().unwrap();
+        }
+        {
+            let mut t = BTree::open(&mut store, 16).unwrap();
+            assert_eq!(t.len(), 1000);
+            assert_eq!(t.user_meta()[0], 0xEE);
+            assert_eq!(
+                t.get(&RecordKey::new(3, 1, 567, 0)).unwrap(),
+                Some(Rect::new(567, 568, 569, 570))
+            );
+        }
+    }
+
+    #[test]
+    fn small_cache_still_correct() {
+        // Force constant eviction with a tiny cache.
+        let mut t = BTree::open(MemStore::default(), 8).unwrap();
+        for f in 0..5000u32 {
+            t.insert(RecordKey::new(0, 0, f, 0), value(f)).unwrap();
+        }
+        for f in (0..5000u32).step_by(371) {
+            assert_eq!(
+                t.get(&RecordKey::new(0, 0, f, 0)).unwrap(),
+                Some(Rect::new(f, f + 1, f + 2, f + 3))
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::key::encode_value;
+    use crate::pager::MemStore;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The tree must agree with a reference BTreeMap under arbitrary
+        /// interleavings of inserts, deletes, and range queries.
+        #[test]
+        fn prop_matches_btreemap(ops in proptest::collection::vec(
+            (0u8..3, 0u32..500, 0u32..500), 1..300
+        )) {
+            let mut tree = BTree::open(MemStore::default(), 16).unwrap();
+            let mut model: BTreeMap<RecordKey, Rect> = BTreeMap::new();
+            for (op, a, b) in ops {
+                let k = RecordKey::new(0, a % 3, a, b % 4);
+                match op {
+                    0 => {
+                        let r = Rect::new(a, b, a + 1, b + 1);
+                        tree.insert(k, encode_value(&r)).unwrap();
+                        model.insert(k, r);
+                    }
+                    1 => {
+                        let got = tree.delete(&k).unwrap();
+                        let expected = model.remove(&k);
+                        prop_assert_eq!(got, expected);
+                    }
+                    _ => {
+                        let lo = RecordKey::new(0, a % 3, a.min(b), 0);
+                        let hi = RecordKey::new(0, a % 3, a.max(b), 4);
+                        let got = tree.range(&lo, &hi).unwrap();
+                        let expected: Vec<(RecordKey, Rect)> = model
+                            .range(lo..hi)
+                            .map(|(k, v)| (*k, *v))
+                            .collect();
+                        prop_assert_eq!(got, expected);
+                    }
+                }
+                prop_assert_eq!(tree.len(), model.len() as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Label dictionary: interns label strings ("car", "person", …) to the
+//! `u32` identifiers used in index keys.
+//!
+//! Identifier 0 is reserved for the internal *processed-frame* marker (the
+//! record TASM writes when a detector has run on a frame, so that "no boxes"
+//! can be distinguished from "never looked"). Real labels start at 1.
+//!
+//! Persistence is a sidecar tab-separated file (`id\tname` per line),
+//! append-only: label sets are tiny (object classes), so a human-readable
+//! format beats embedding strings in pages.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// Reserved label id marking frames a detector has processed.
+pub const PROCESSED_LABEL: u32 = 0;
+
+/// First id handed out to a real label.
+pub const FIRST_LABEL: u32 = 1;
+
+/// Bidirectional label-string ↔ id mapping.
+pub struct LabelDict {
+    /// `names[i]` is the label with id `i + FIRST_LABEL`.
+    names: Vec<String>,
+    ids: HashMap<String, u32>,
+    backing: Option<PathBuf>,
+}
+
+impl LabelDict {
+    /// An ephemeral in-memory dictionary.
+    pub fn in_memory() -> Self {
+        LabelDict {
+            names: Vec::new(),
+            ids: HashMap::new(),
+            backing: None,
+        }
+    }
+
+    /// Opens (or creates) a file-backed dictionary.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut dict = LabelDict {
+            names: Vec::new(),
+            ids: HashMap::new(),
+            backing: Some(path.to_path_buf()),
+        };
+        if path.exists() {
+            let reader = BufReader::new(File::open(path)?);
+            for line in reader.lines() {
+                let line = line?;
+                if line.is_empty() {
+                    continue;
+                }
+                let (id_str, name) = line.split_once('\t').ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "malformed dictionary line")
+                })?;
+                let id: u32 = id_str.parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "malformed dictionary id")
+                })?;
+                let expected = dict.names.len() as u32 + FIRST_LABEL;
+                if id != expected {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "dictionary ids must be dense and ordered",
+                    ));
+                }
+                dict.ids.insert(name.to_string(), id);
+                dict.names.push(name.to_string());
+            }
+        }
+        Ok(dict)
+    }
+
+    /// Returns the id for `name`, interning it if new.
+    pub fn intern(&mut self, name: &str) -> io::Result<u32> {
+        if let Some(&id) = self.ids.get(name) {
+            return Ok(id);
+        }
+        assert!(
+            !name.contains(['\t', '\n']),
+            "label names may not contain tabs or newlines"
+        );
+        let id = self.names.len() as u32 + FIRST_LABEL;
+        if let Some(path) = &self.backing {
+            let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+            writeln!(f, "{id}\t{name}")?;
+        }
+        self.ids.insert(name.to_string(), id);
+        self.names.push(name.to_string());
+        Ok(id)
+    }
+
+    /// Looks up an existing label id.
+    pub fn lookup(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    /// The label string for `id` (never the reserved marker).
+    pub fn name(&self, id: u32) -> Option<&str> {
+        if id < FIRST_LABEL {
+            return None;
+        }
+        self.names.get((id - FIRST_LABEL) as usize).map(|s| s.as_str())
+    }
+
+    /// Number of interned labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no labels are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = LabelDict::in_memory();
+        let car = d.intern("car").unwrap();
+        let person = d.intern("person").unwrap();
+        assert_eq!(car, FIRST_LABEL);
+        assert_eq!(person, FIRST_LABEL + 1);
+        assert_eq!(d.intern("car").unwrap(), car);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn lookup_and_name() {
+        let mut d = LabelDict::in_memory();
+        let id = d.intern("bicycle").unwrap();
+        assert_eq!(d.lookup("bicycle"), Some(id));
+        assert_eq!(d.lookup("unknown"), None);
+        assert_eq!(d.name(id), Some("bicycle"));
+        assert_eq!(d.name(PROCESSED_LABEL), None);
+        assert_eq!(d.name(999), None);
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("tasm-dict-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("labels.tsv");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut d = LabelDict::open(&path).unwrap();
+            d.intern("car").unwrap();
+            d.intern("person").unwrap();
+        }
+        {
+            let mut d = LabelDict::open(&path).unwrap();
+            assert_eq!(d.len(), 2);
+            assert_eq!(d.lookup("car"), Some(FIRST_LABEL));
+            assert_eq!(d.lookup("person"), Some(FIRST_LABEL + 1));
+            // New labels continue after the persisted ones.
+            assert_eq!(d.intern("boat").unwrap(), FIRST_LABEL + 2);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_file_rejected() {
+        let dir = std::env::temp_dir().join(format!("tasm-dict-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("labels.tsv");
+        std::fs::write(&path, "5\tcar\n").unwrap(); // ids must start at 1
+        assert!(LabelDict::open(&path).is_err());
+        std::fs::write(&path, "not a dictionary\n").unwrap();
+        assert!(LabelDict::open(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "tabs or newlines")]
+    fn tab_in_label_rejected() {
+        let mut d = LabelDict::in_memory();
+        let _ = d.intern("bad\tlabel");
+    }
+}

@@ -1,0 +1,359 @@
+//! The semantic index: TASM's store of object metadata (§3.2–3.3).
+//!
+//! The index maps `(video, label, time)` to object bounding boxes. It is
+//! populated incrementally through `AddMetadata` as the query processor (or
+//! an edge camera) detects objects, and queried by the storage manager both
+//! to answer `Scan` calls and to design tile layouts.
+//!
+//! Alongside detections, the index records which frames a detector has
+//! *processed*: TASM's lazy strategies must distinguish "no objects found on
+//! this frame" from "this frame was never analyzed" (§4.3).
+
+use crate::btree::{BTree, TreeError, USER_META_LEN};
+use crate::dict::{LabelDict, FIRST_LABEL, PROCESSED_LABEL};
+use crate::key::{encode_value, RecordKey};
+use crate::pager::{FileStore, MemStore, PageStore};
+use std::ops::Range;
+use std::path::Path;
+use tasm_video::Rect;
+
+/// Result alias for index operations.
+pub type IndexResult<T> = Result<T, TreeError>;
+
+/// A detection returned for a specific queried label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Detection {
+    /// Frame the object appears on.
+    pub frame: u32,
+    /// Object bounding box in luma pixel coordinates.
+    pub bbox: Rect,
+}
+
+/// A detection with its label, for whole-video queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledDetection {
+    /// Object class.
+    pub label: String,
+    /// Frame the object appears on.
+    pub frame: u32,
+    /// Object bounding box in luma pixel coordinates.
+    pub bbox: Rect,
+}
+
+/// Object-safe interface the storage manager programs against.
+pub trait SemanticIndex {
+    /// Records one bounding box for `label` on `frame` of `video`
+    /// (the paper's `AddMetadata`).
+    fn add_metadata(&mut self, video: u32, label: &str, frame: u32, bbox: Rect) -> IndexResult<()>;
+
+    /// All detections of `label` in `frames`, ordered by frame.
+    fn query(&mut self, video: u32, label: &str, frames: Range<u32>) -> IndexResult<Vec<Detection>>;
+
+    /// All detections of any label in `frames`.
+    fn query_all(&mut self, video: u32, frames: Range<u32>) -> IndexResult<Vec<LabeledDetection>>;
+
+    /// Distinct labels with at least one detection in `video`.
+    fn labels(&mut self, video: u32) -> IndexResult<Vec<String>>;
+
+    /// Marks `frame` as processed by a detector.
+    fn mark_processed(&mut self, video: u32, frame: u32) -> IndexResult<()>;
+
+    /// Number of frames in `frames` already processed by a detector.
+    fn processed_count(&mut self, video: u32, frames: Range<u32>) -> IndexResult<u32>;
+
+    /// Total detections stored (all videos), excluding processed markers.
+    fn detection_count(&self) -> u64;
+
+    /// Persists buffered state.
+    fn flush(&mut self) -> IndexResult<()>;
+}
+
+/// B+tree-backed semantic index, generic over the page backend.
+pub struct Index<S: PageStore> {
+    tree: BTree<S>,
+    dict: LabelDict,
+    /// Monotonic uniquifier for keys; persisted in the tree's user metadata.
+    seq: u64,
+    /// Detections stored (excludes processed markers); persisted likewise.
+    detections: u64,
+}
+
+/// An ephemeral index for tests and benchmarks.
+pub type MemoryIndex = Index<MemStore>;
+
+/// A disk-backed index (page file + label dictionary side file).
+pub type PersistentIndex = Index<FileStore>;
+
+impl MemoryIndex {
+    /// Creates an empty in-memory index.
+    pub fn in_memory() -> Self {
+        Index::from_parts(
+            BTree::open(MemStore::default(), 256).expect("in-memory open cannot fail"),
+            LabelDict::in_memory(),
+        )
+    }
+}
+
+impl Default for MemoryIndex {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+impl PersistentIndex {
+    /// Opens (or creates) a persistent index inside `dir`.
+    pub fn open(dir: &Path) -> IndexResult<Self> {
+        std::fs::create_dir_all(dir).map_err(TreeError::Io)?;
+        let store = FileStore::open(&dir.join("index.pages")).map_err(TreeError::Io)?;
+        let tree = BTree::open(store, 1024)?;
+        let dict = LabelDict::open(&dir.join("labels.tsv")).map_err(TreeError::Io)?;
+        Ok(Index::from_parts(tree, dict))
+    }
+}
+
+impl<S: PageStore> Index<S> {
+    fn from_parts(tree: BTree<S>, dict: LabelDict) -> Self {
+        let user = tree.user_meta();
+        let seq = u64::from_le_bytes(user[0..8].try_into().unwrap());
+        let detections = u64::from_le_bytes(user[8..16].try_into().unwrap());
+        Index {
+            tree,
+            dict,
+            seq,
+            detections,
+        }
+    }
+
+    fn next_seq(&mut self) -> u32 {
+        self.seq += 1;
+        (self.seq & 0xFFFF_FFFF) as u32
+    }
+
+    /// The underlying tree length, markers included (diagnostics).
+    pub fn record_count(&self) -> u64 {
+        self.tree.len()
+    }
+}
+
+impl<S: PageStore> SemanticIndex for Index<S> {
+    fn add_metadata(&mut self, video: u32, label: &str, frame: u32, bbox: Rect) -> IndexResult<()> {
+        let label_id = self.dict.intern(label).map_err(TreeError::Io)?;
+        let seq = self.next_seq();
+        self.tree
+            .insert(RecordKey::new(video, label_id, frame, seq), encode_value(&bbox))?;
+        self.detections += 1;
+        Ok(())
+    }
+
+    fn query(&mut self, video: u32, label: &str, frames: Range<u32>) -> IndexResult<Vec<Detection>> {
+        let Some(label_id) = self.dict.lookup(label) else {
+            return Ok(Vec::new());
+        };
+        if frames.start >= frames.end {
+            return Ok(Vec::new());
+        }
+        let lo = RecordKey::range_start(video, label_id, frames.start);
+        let hi = RecordKey::range_start(video, label_id, frames.end);
+        Ok(self
+            .tree
+            .range(&lo, &hi)?
+            .into_iter()
+            .map(|(k, bbox)| Detection { frame: k.frame, bbox })
+            .collect())
+    }
+
+    fn query_all(&mut self, video: u32, frames: Range<u32>) -> IndexResult<Vec<LabeledDetection>> {
+        let mut out = Vec::new();
+        for label in self.labels(video)? {
+            let label_owned = label.clone();
+            for d in self.query(video, &label, frames.clone())? {
+                out.push(LabeledDetection {
+                    label: label_owned.clone(),
+                    frame: d.frame,
+                    bbox: d.bbox,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    fn labels(&mut self, video: u32) -> IndexResult<Vec<String>> {
+        // Skip-scan: jump from label to label instead of reading every record.
+        let mut out = Vec::new();
+        let mut probe = RecordKey::new(video, FIRST_LABEL, 0, 0);
+        while let Some((k, _)) = self.tree.seek(&probe)? {
+            if k.video != video {
+                break;
+            }
+            if let Some(name) = self.dict.name(k.label) {
+                out.push(name.to_string());
+            }
+            let Some(next_label) = k.label.checked_add(1) else {
+                break;
+            };
+            probe = RecordKey::new(video, next_label, 0, 0);
+        }
+        Ok(out)
+    }
+
+    fn mark_processed(&mut self, video: u32, frame: u32) -> IndexResult<()> {
+        // Idempotent: seq 0, so re-marking overwrites the same record.
+        self.tree.insert(
+            RecordKey::new(video, PROCESSED_LABEL, frame, 0),
+            encode_value(&Rect::new(0, 0, 0, 0)),
+        )?;
+        Ok(())
+    }
+
+    fn processed_count(&mut self, video: u32, frames: Range<u32>) -> IndexResult<u32> {
+        if frames.start >= frames.end {
+            return Ok(0);
+        }
+        let lo = RecordKey::range_start(video, PROCESSED_LABEL, frames.start);
+        let hi = RecordKey::range_start(video, PROCESSED_LABEL, frames.end);
+        let mut count = 0u32;
+        self.tree.range_for_each(&lo, &hi, |_, _| {
+            count += 1;
+            true
+        })?;
+        Ok(count)
+    }
+
+    fn detection_count(&self) -> u64 {
+        self.detections
+    }
+
+    fn flush(&mut self) -> IndexResult<()> {
+        let mut user = [0u8; USER_META_LEN];
+        user[0..8].copy_from_slice(&self.seq.to_le_bytes());
+        user[8..16].copy_from_slice(&self.detections.to_le_bytes());
+        self.tree.set_user_meta(user);
+        self.tree.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bbox(n: u32) -> Rect {
+        Rect::new(n * 10, n * 10, 32, 32)
+    }
+
+    #[test]
+    fn add_and_query_single_label() {
+        let mut idx = MemoryIndex::in_memory();
+        idx.add_metadata(1, "car", 10, bbox(1)).unwrap();
+        idx.add_metadata(1, "car", 12, bbox(2)).unwrap();
+        idx.add_metadata(1, "car", 30, bbox(3)).unwrap();
+        let hits = idx.query(1, "car", 0..20).unwrap();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0], Detection { frame: 10, bbox: bbox(1) });
+        assert_eq!(hits[1], Detection { frame: 12, bbox: bbox(2) });
+    }
+
+    #[test]
+    fn multiple_boxes_same_frame_kept() {
+        let mut idx = MemoryIndex::in_memory();
+        idx.add_metadata(0, "person", 5, bbox(1)).unwrap();
+        idx.add_metadata(0, "person", 5, bbox(2)).unwrap();
+        idx.add_metadata(0, "person", 5, bbox(3)).unwrap();
+        assert_eq!(idx.query(0, "person", 5..6).unwrap().len(), 3);
+        assert_eq!(idx.detection_count(), 3);
+    }
+
+    #[test]
+    fn unknown_label_and_video_return_empty() {
+        let mut idx = MemoryIndex::in_memory();
+        idx.add_metadata(0, "car", 1, bbox(1)).unwrap();
+        assert!(idx.query(0, "giraffe", 0..100).unwrap().is_empty());
+        assert!(idx.query(7, "car", 0..100).unwrap().is_empty());
+        #[allow(clippy::reversed_empty_ranges)]
+        let inverted = 50..10;
+        assert!(idx.query(0, "car", inverted).unwrap().is_empty());
+    }
+
+    #[test]
+    fn labels_are_per_video() {
+        let mut idx = MemoryIndex::in_memory();
+        idx.add_metadata(0, "car", 1, bbox(1)).unwrap();
+        idx.add_metadata(0, "person", 2, bbox(2)).unwrap();
+        idx.add_metadata(1, "bird", 3, bbox(3)).unwrap();
+        let mut l0 = idx.labels(0).unwrap();
+        l0.sort();
+        assert_eq!(l0, vec!["car", "person"]);
+        assert_eq!(idx.labels(1).unwrap(), vec!["bird"]);
+        assert!(idx.labels(2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn query_all_includes_every_label() {
+        let mut idx = MemoryIndex::in_memory();
+        idx.add_metadata(0, "car", 1, bbox(1)).unwrap();
+        idx.add_metadata(0, "person", 1, bbox(2)).unwrap();
+        idx.add_metadata(0, "person", 50, bbox(3)).unwrap();
+        let all = idx.query_all(0, 0..10).unwrap();
+        assert_eq!(all.len(), 2);
+        assert!(all.iter().any(|d| d.label == "car" && d.frame == 1));
+        assert!(all.iter().any(|d| d.label == "person" && d.frame == 1));
+    }
+
+    #[test]
+    fn processed_markers_do_not_pollute_labels_or_counts() {
+        let mut idx = MemoryIndex::in_memory();
+        idx.mark_processed(0, 1).unwrap();
+        idx.mark_processed(0, 2).unwrap();
+        idx.mark_processed(0, 2).unwrap(); // idempotent
+        idx.add_metadata(0, "car", 1, bbox(1)).unwrap();
+        assert_eq!(idx.labels(0).unwrap(), vec!["car"]);
+        assert_eq!(idx.detection_count(), 1);
+        assert_eq!(idx.processed_count(0, 0..10).unwrap(), 2);
+        assert_eq!(idx.processed_count(0, 3..10).unwrap(), 0);
+        assert_eq!(idx.processed_count(1, 0..10).unwrap(), 0);
+    }
+
+    #[test]
+    fn persistent_index_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("tasm-idx-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let mut idx = PersistentIndex::open(&dir).unwrap();
+            for f in 0..500u32 {
+                idx.add_metadata(3, "car", f, bbox(f)).unwrap();
+                if f % 2 == 0 {
+                    idx.mark_processed(3, f).unwrap();
+                }
+            }
+            idx.add_metadata(3, "person", 7, bbox(7)).unwrap();
+            idx.flush().unwrap();
+        }
+        {
+            let mut idx = PersistentIndex::open(&dir).unwrap();
+            assert_eq!(idx.detection_count(), 501);
+            assert_eq!(idx.query(3, "car", 100..110).unwrap().len(), 10);
+            let mut labels = idx.labels(3).unwrap();
+            labels.sort();
+            assert_eq!(labels, vec!["car", "person"]);
+            assert_eq!(idx.processed_count(3, 0..500).unwrap(), 250);
+            // Sequence counter restored: new inserts do not collide.
+            idx.add_metadata(3, "car", 7, bbox(1000)).unwrap();
+            assert_eq!(idx.detection_count(), 502);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn large_volume_query_window() {
+        let mut idx = MemoryIndex::in_memory();
+        // 20k detections across two labels and 2000 frames.
+        for f in 0..2000u32 {
+            for i in 0..5 {
+                idx.add_metadata(0, if i % 2 == 0 { "car" } else { "person" }, f, bbox(i))
+                    .unwrap();
+            }
+        }
+        let cars = idx.query(0, "car", 500..600).unwrap();
+        assert_eq!(cars.len(), 3 * 100);
+        assert!(cars.windows(2).all(|w| w[0].frame <= w[1].frame));
+    }
+}

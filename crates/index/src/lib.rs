@@ -1,0 +1,32 @@
+//! Semantic index substrate for the TASM reproduction.
+//!
+//! TASM maintains metadata about video contents — object labels and bounding
+//! boxes — in a *semantic index* implemented as "a B-tree clustered on
+//! (video, label, time)" (§3.2 of the paper). The paper's prototype stores
+//! this in SQLite; here the index is built from scratch:
+//!
+//! * [`pager`] — 4 KiB pages over a file (or memory) with a bounded
+//!   write-back cache;
+//! * [`btree`] — a B+tree with fixed-size composite keys, chained leaves for
+//!   range scans, and skip-scan `seek`;
+//! * [`dict`] — the label dictionary interning class names to key ids;
+//! * [`index`] — the [`SemanticIndex`] trait plus its persistent and
+//!   in-memory implementations, including processed-frame tracking used by
+//!   TASM's lazy detection strategies (§4.3);
+//! * [`spatial`] — the grid spatial index the paper proposes for
+//!   accelerating conjunctive predicates (§3.2).
+
+pub mod btree;
+pub mod dict;
+pub mod index;
+pub mod key;
+pub mod pager;
+pub mod spatial;
+
+pub use btree::{BTree, TreeError};
+pub use dict::LabelDict;
+pub use index::{
+    Detection, Index, IndexResult, LabeledDetection, MemoryIndex, PersistentIndex, SemanticIndex,
+};
+pub use key::RecordKey;
+pub use spatial::SpatialGrid;

@@ -1,0 +1,313 @@
+//! Page-oriented storage with a write-back cache.
+//!
+//! The semantic index stores fixed 4 KiB pages through a [`Pager`], which
+//! fronts a [`PageStore`] backend (a file on disk, or memory for tests) with
+//! a bounded write-back cache. Pages are copied in and out of the cache;
+//! at index scale (thousands of detections per video) the copies are far
+//! cheaper than the borrow gymnastics they avoid.
+
+use std::collections::{HashMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Size of every page in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifies a page within a store. Page 0 is reserved for metadata.
+pub type PageId = u32;
+
+/// A fixed-size page buffer.
+#[derive(Clone)]
+pub struct Page {
+    /// Raw page contents.
+    pub data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Page {
+    /// A zero-filled page.
+    pub fn zeroed() -> Self {
+        Page {
+            data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap(),
+        }
+    }
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Page::zeroed()
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Page({} bytes)", PAGE_SIZE)
+    }
+}
+
+/// Backend capable of storing numbered pages.
+pub trait PageStore {
+    /// Reads page `id` into `buf`. Reading a page that was never written
+    /// returns zeroes (sparse semantics).
+    fn read(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> io::Result<()>;
+    /// Writes page `id`.
+    fn write(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> io::Result<()>;
+    /// Flushes to durable storage.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+impl<S: PageStore + ?Sized> PageStore for &mut S {
+    fn read(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> io::Result<()> {
+        (**self).read(id, buf)
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> io::Result<()> {
+        (**self).write(id, buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        (**self).sync()
+    }
+}
+
+/// In-memory page store (tests and ephemeral indexes).
+#[derive(Default)]
+pub struct MemStore {
+    pages: HashMap<PageId, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl PageStore for MemStore {
+    fn read(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> io::Result<()> {
+        match self.pages.get(&id) {
+            Some(p) => buf.copy_from_slice(&p[..]),
+            None => buf.fill(0),
+        }
+        Ok(())
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> io::Result<()> {
+        self.pages.insert(id, Box::new(*buf));
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// File-backed page store.
+pub struct FileStore {
+    file: File,
+}
+
+impl FileStore {
+    /// Opens (creating if necessary) a page file at `path`.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(FileStore { file })
+    }
+}
+
+impl PageStore for FileStore {
+    fn read(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> io::Result<()> {
+        let offset = id as u64 * PAGE_SIZE as u64;
+        let len = self.file.metadata()?.len();
+        if offset >= len {
+            buf.fill(0);
+            return Ok(());
+        }
+        self.file.seek(SeekFrom::Start(offset))?;
+        let available = ((len - offset) as usize).min(PAGE_SIZE);
+        self.file.read_exact(&mut buf[..available])?;
+        buf[available..].fill(0);
+        Ok(())
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> io::Result<()> {
+        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        self.file.write_all(buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+struct CacheEntry {
+    page: Page,
+    dirty: bool,
+}
+
+/// Write-back page cache over a [`PageStore`].
+pub struct Pager<S: PageStore> {
+    store: S,
+    cache: HashMap<PageId, CacheEntry>,
+    /// FIFO order used for eviction (approximate LRU is unnecessary here;
+    /// B+tree access patterns are dominated by the hot upper levels, which
+    /// get re-inserted on every miss anyway).
+    order: VecDeque<PageId>,
+    capacity: usize,
+}
+
+impl<S: PageStore> Pager<S> {
+    /// Creates a pager holding at most `capacity` cached pages.
+    pub fn new(store: S, capacity: usize) -> Self {
+        assert!(capacity >= 8, "pager cache must hold at least 8 pages");
+        Pager {
+            store,
+            cache: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Reads a page (through the cache).
+    pub fn read(&mut self, id: PageId) -> io::Result<Page> {
+        if let Some(entry) = self.cache.get(&id) {
+            return Ok(entry.page.clone());
+        }
+        let mut page = Page::zeroed();
+        self.store.read(id, &mut page.data)?;
+        self.insert_cache(id, page.clone(), false)?;
+        Ok(page)
+    }
+
+    /// Writes a page into the cache; it reaches the store on flush/eviction.
+    pub fn write(&mut self, id: PageId, page: Page) -> io::Result<()> {
+        self.insert_cache(id, page, true)
+    }
+
+    /// Flushes all dirty pages and syncs the backend.
+    pub fn flush(&mut self) -> io::Result<()> {
+        let mut dirty: Vec<PageId> = self
+            .cache
+            .iter()
+            .filter(|(_, e)| e.dirty)
+            .map(|(&id, _)| id)
+            .collect();
+        dirty.sort_unstable();
+        for id in dirty {
+            let entry = self.cache.get_mut(&id).expect("dirty page present");
+            self.store.write(id, &entry.page.data)?;
+            entry.dirty = false;
+        }
+        self.store.sync()
+    }
+
+    /// Number of pages currently cached (for tests).
+    pub fn cached_pages(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn insert_cache(&mut self, id: PageId, page: Page, dirty: bool) -> io::Result<()> {
+        if let Some(entry) = self.cache.get_mut(&id) {
+            entry.page = page;
+            entry.dirty = entry.dirty || dirty;
+            return Ok(());
+        }
+        while self.cache.len() >= self.capacity {
+            self.evict_one()?;
+        }
+        self.cache.insert(id, CacheEntry { page, dirty });
+        self.order.push_back(id);
+        Ok(())
+    }
+
+    fn evict_one(&mut self) -> io::Result<()> {
+        while let Some(victim) = self.order.pop_front() {
+            if let Some(entry) = self.cache.remove(&victim) {
+                if entry.dirty {
+                    self.store.write(victim, &entry.page.data)?;
+                }
+                return Ok(());
+            }
+            // Stale order entry (page was re-inserted); keep looking.
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_store_sparse_reads_zero() {
+        let mut s = MemStore::default();
+        let mut buf = [1u8; PAGE_SIZE];
+        s.read(42, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn pager_roundtrip() {
+        let mut p = Pager::new(MemStore::default(), 8);
+        let mut page = Page::zeroed();
+        page.data[0] = 0xAB;
+        page.data[PAGE_SIZE - 1] = 0xCD;
+        p.write(3, page).unwrap();
+        let back = p.read(3).unwrap();
+        assert_eq!(back.data[0], 0xAB);
+        assert_eq!(back.data[PAGE_SIZE - 1], 0xCD);
+    }
+
+    #[test]
+    fn eviction_preserves_dirty_pages() {
+        let mut p = Pager::new(MemStore::default(), 8);
+        // Write more pages than the cache holds.
+        for i in 0..32u32 {
+            let mut page = Page::zeroed();
+            page.data[0] = i as u8;
+            p.write(i, page).unwrap();
+        }
+        assert!(p.cached_pages() <= 8);
+        // All pages must still be readable with their contents.
+        for i in 0..32u32 {
+            assert_eq!(p.read(i).unwrap().data[0], i as u8, "page {i}");
+        }
+    }
+
+    #[test]
+    fn flush_persists_to_store() {
+        let mut store = MemStore::default();
+        {
+            let mut p = Pager::new(&mut store, 8);
+            let mut page = Page::zeroed();
+            page.data[10] = 7;
+            p.write(1, page).unwrap();
+            p.flush().unwrap();
+        }
+        let mut buf = [0u8; PAGE_SIZE];
+        store.read(1, &mut buf).unwrap();
+        assert_eq!(buf[10], 7);
+    }
+
+    #[test]
+    fn file_store_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("tasm-pager-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.db");
+        {
+            let mut s = FileStore::open(&path).unwrap();
+            let mut buf = [0u8; PAGE_SIZE];
+            buf[5] = 99;
+            s.write(2, &buf).unwrap();
+            s.sync().unwrap();
+        }
+        {
+            let mut s = FileStore::open(&path).unwrap();
+            let mut buf = [0u8; PAGE_SIZE];
+            s.read(2, &mut buf).unwrap();
+            assert_eq!(buf[5], 99);
+            // Unwritten page reads as zeroes.
+            s.read(100, &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == 0));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

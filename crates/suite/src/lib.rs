@@ -1,0 +1,1 @@
+//! Workspace glue crate: hosts the repository-level examples (`/examples`) and cross-crate integration tests (`/tests`). See the `tasm-core` crate for the library itself.

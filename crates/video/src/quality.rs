@@ -1,0 +1,173 @@
+//! Video quality metrics.
+//!
+//! The paper evaluates tiling quality with PSNR over the stitched tiled video
+//! against the original (Figure 6(b)): ≥30 dB is acceptable, ≥40 dB is good.
+//! We provide per-plane and combined PSNR over frames and sequences.
+
+use crate::frame::{Frame, Plane};
+
+/// Mean squared error between two equal-length sample slices.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn mse(a: &[u8], b: &[u8]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mse requires equal-length inputs");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: u64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x as i64 - y as i64;
+            (d * d) as u64
+        })
+        .sum();
+    sum as f64 / a.len() as f64
+}
+
+/// PSNR in dB from an MSE value, for 8-bit samples.
+/// Identical inputs (MSE = 0) report `f64::INFINITY`.
+pub fn psnr(mse_value: f64) -> f64 {
+    if mse_value <= 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0_f64 * 255.0 / mse_value).log10()
+    }
+}
+
+/// PSNR per plane plus the standard 6/1/1-weighted combined value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PsnrReport {
+    /// Luma PSNR in dB.
+    pub y: f64,
+    /// Cb PSNR in dB.
+    pub u: f64,
+    /// Cr PSNR in dB.
+    pub v: f64,
+    /// Weighted PSNR: (6·Y + U + V) / 8, the common YUV aggregation.
+    pub combined: f64,
+}
+
+/// Computes PSNR between two frames of identical dimensions.
+///
+/// # Panics
+/// Panics if the frames differ in size.
+pub fn psnr_frames(a: &Frame, b: &Frame) -> PsnrReport {
+    assert_eq!(a.width(), b.width(), "frame widths differ");
+    assert_eq!(a.height(), b.height(), "frame heights differ");
+    accumulate([a].into_iter().zip([b]))
+}
+
+/// Computes PSNR over a pair of equal-length frame sequences, pooling MSE
+/// across all frames before converting to dB (the standard way to report
+/// sequence PSNR, and what FFmpeg's `psnr` filter does).
+///
+/// # Panics
+/// Panics if the sequences differ in length or any frame pair differs in size.
+pub fn psnr_sequence<'a, A, B>(a: A, b: B) -> PsnrReport
+where
+    A: IntoIterator<Item = &'a Frame>,
+    B: IntoIterator<Item = &'a Frame>,
+{
+    let a: Vec<&Frame> = a.into_iter().collect();
+    let b: Vec<&Frame> = b.into_iter().collect();
+    assert_eq!(a.len(), b.len(), "sequence lengths differ");
+    assert!(!a.is_empty(), "cannot compute PSNR of empty sequences");
+    accumulate(a.into_iter().zip(b))
+}
+
+fn accumulate<'a, I: Iterator<Item = (&'a Frame, &'a Frame)>>(pairs: I) -> PsnrReport {
+    let mut sums = [0.0f64; 3];
+    let mut counts = [0u64; 3];
+    for (fa, fb) in pairs {
+        assert_eq!(fa.width(), fb.width(), "frame widths differ");
+        assert_eq!(fa.height(), fb.height(), "frame heights differ");
+        for (i, plane) in Plane::ALL.iter().enumerate() {
+            let pa = fa.plane(*plane);
+            let pb = fb.plane(*plane);
+            sums[i] += mse(pa, pb) * pa.len() as f64;
+            counts[i] += pa.len() as u64;
+        }
+    }
+    let m = |i: usize| if counts[i] == 0 { 0.0 } else { sums[i] / counts[i] as f64 };
+    let (my, mu, mv) = (m(0), m(1), m(2));
+    let combined_mse = (6.0 * my + mu + mv) / 8.0;
+    PsnrReport {
+        y: psnr(my),
+        u: psnr(mu),
+        v: psnr(mv),
+        combined: psnr(combined_mse),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Rect;
+
+    #[test]
+    fn mse_identical_is_zero() {
+        assert_eq!(mse(&[1, 2, 3], &[1, 2, 3]), 0.0);
+        assert_eq!(mse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        // Differences of 3 and 4 -> (9 + 16) / 2 = 12.5
+        assert_eq!(mse(&[10, 10], &[13, 6]), 12.5);
+    }
+
+    #[test]
+    fn psnr_of_zero_mse_is_infinite() {
+        assert!(psnr(0.0).is_infinite());
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // MSE = 255^2 -> PSNR = 0 dB
+        assert!((psnr(255.0 * 255.0)).abs() < 1e-9);
+        // MSE = 1 -> 48.13 dB
+        assert!((psnr(1.0) - 48.130803608679074).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frame_psnr_identical() {
+        let f = Frame::filled(16, 16, 128, 128, 128);
+        let r = psnr_frames(&f, &f);
+        assert!(r.y.is_infinite());
+        assert!(r.combined.is_infinite());
+    }
+
+    #[test]
+    fn frame_psnr_detects_luma_noise() {
+        let a = Frame::filled(16, 16, 128, 128, 128);
+        let mut b = a.clone();
+        b.fill_rect(Rect::new(0, 0, 16, 16), 129, 128, 128);
+        let r = psnr_frames(&a, &b);
+        // MSE_y = 1 everywhere -> 48.13 dB; chroma untouched.
+        assert!((r.y - 48.130803608679074).abs() < 1e-9);
+        assert!(r.u.is_infinite());
+        assert!(r.combined > r.y, "combined pools chroma zeros");
+        assert!(r.combined.is_finite());
+    }
+
+    #[test]
+    fn sequence_psnr_pools_mse() {
+        let a = Frame::filled(8, 8, 100, 128, 128);
+        let mut noisy = a.clone();
+        noisy.fill_rect(Rect::new(0, 0, 8, 8), 102, 128, 128);
+        // One identical pair + one pair with luma MSE 4 -> pooled MSE 2.
+        let seq_a = [a.clone(), a.clone()];
+        let seq_b = [a.clone(), noisy];
+        let r = psnr_sequence(seq_a.iter(), seq_b.iter());
+        assert!((r.y - psnr(2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn sequence_length_mismatch_panics() {
+        let a = Frame::black(8, 8);
+        let _ = psnr_sequence([&a].into_iter().map(|f| f), Vec::<&Frame>::new());
+    }
+}
