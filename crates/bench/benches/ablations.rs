@@ -6,9 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use tasm_bench::{bench_dir, micro_partition, micro_storage, BenchVideo};
 use tasm_codec::{encode_video, EncoderConfig, TileLayout};
-use tasm_core::{
-    partition, run_workload, Granularity, RunQuery, Strategy, Tasm, TasmConfig,
-};
+use tasm_core::{partition, run_workload, Granularity, RunQuery, Strategy, Tasm, TasmConfig};
 use tasm_data::{SceneSpec, SyntheticVideo};
 use tasm_detect::yolo::SimulatedYolo;
 use tasm_index::MemoryIndex;
@@ -57,7 +55,10 @@ fn eta_ablation(c: &mut Criterion) {
     g.sample_size(10);
     let video = scene(60);
     let queries: Vec<RunQuery> = (0..8)
-        .map(|i| RunQuery { label: "car".into(), frames: (i % 2) * 30..(i % 2) * 30 + 30 })
+        .map(|i| RunQuery {
+            label: "car".into(),
+            frames: (i % 2) * 30..(i % 2) * 30 + 30,
+        })
         .collect();
     for eta in [0.0, 1.0, 4.0] {
         let video_ref = &video;
@@ -68,6 +69,10 @@ fn eta_ablation(c: &mut Criterion) {
                     eta,
                     storage: micro_storage(),
                     partition: micro_partition(Granularity::Fine),
+                    // Serial + uncached so the eta comparison measures
+                    // decode/retile cost, not cache-hit latency.
+                    workers: 1,
+                    cache_bytes: 0,
                     ..Default::default()
                 };
                 let mut tasm = Tasm::open(
@@ -108,9 +113,27 @@ fn codec_knob_ablation(c: &mut Criterion) {
     g.sample_size(10);
     for (name, cfg) in [
         ("default", EncoderConfig::default()),
-        ("no_deblock", EncoderConfig { deblock: false, ..Default::default() }),
-        ("no_motion", EncoderConfig { search_range: 0, ..Default::default() }),
-        ("gop_5", EncoderConfig { gop_len: 5, ..Default::default() }),
+        (
+            "no_deblock",
+            EncoderConfig {
+                deblock: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no_motion",
+            EncoderConfig {
+                search_range: 0,
+                ..Default::default()
+            },
+        ),
+        (
+            "gop_5",
+            EncoderConfig {
+                gop_len: 5,
+                ..Default::default()
+            },
+        ),
     ] {
         let src_ref = &src;
         let layout_ref = &layout;

@@ -19,7 +19,10 @@ fn scene(frames: u32) -> VecFrameSource {
 fn encode_benches(c: &mut Criterion) {
     let src = scene(30);
     let samples = 30u64 * 320 * 192 * 3 / 2;
-    let cfg = EncoderConfig { gop_len: 30, ..Default::default() };
+    let cfg = EncoderConfig {
+        gop_len: 30,
+        ..Default::default()
+    };
 
     let mut g = c.benchmark_group("codec/encode");
     g.sample_size(10);
@@ -38,7 +41,10 @@ fn encode_benches(c: &mut Criterion) {
     });
     g.bench_function("no_motion_search_30f", |b| {
         let layout = TileLayout::untiled(320, 192);
-        let cfg = EncoderConfig { search_range: 0, ..cfg };
+        let cfg = EncoderConfig {
+            search_range: 0,
+            ..cfg
+        };
         b.iter(|| encode_video(&src, &layout, &cfg, false).unwrap())
     });
     g.finish();
@@ -46,10 +52,16 @@ fn encode_benches(c: &mut Criterion) {
 
 fn decode_benches(c: &mut Criterion) {
     let src = scene(30);
-    let cfg = EncoderConfig { gop_len: 30, ..Default::default() };
+    let cfg = EncoderConfig {
+        gop_len: 30,
+        ..Default::default()
+    };
     let untiled = {
         let layout = TileLayout::untiled(320, 192);
-        encode_video(&src, &layout, &cfg, false).unwrap().0.remove(0)
+        encode_video(&src, &layout, &cfg, false)
+            .unwrap()
+            .0
+            .remove(0)
     };
     let layout4 = TileLayout::uniform(320, 192, 2, 2).unwrap();
     let tiled = encode_video(&src, &layout4, &cfg, false).unwrap().0;
@@ -71,7 +83,10 @@ fn decode_benches(c: &mut Criterion) {
 
 fn stitch_benches(c: &mut Criterion) {
     let src = scene(30);
-    let cfg = EncoderConfig { gop_len: 30, ..Default::default() };
+    let cfg = EncoderConfig {
+        gop_len: 30,
+        ..Default::default()
+    };
     let layout = TileLayout::uniform(320, 192, 2, 2).unwrap();
     let tiles = encode_video(&src, &layout, &cfg, false).unwrap().0;
 

@@ -10,7 +10,8 @@ fn populate(idx: &mut dyn SemanticIndex, frames: u32, boxes_per_frame: u32) {
     for f in 0..frames {
         for i in 0..boxes_per_frame {
             let label = if i % 2 == 0 { "car" } else { "person" };
-            idx.add_metadata(0, label, f, Rect::new(10 * i, 20, 48, 32)).unwrap();
+            idx.add_metadata(0, label, f, Rect::new(10 * i, 20, 48, 32))
+                .unwrap();
         }
     }
 }

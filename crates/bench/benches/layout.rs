@@ -22,8 +22,14 @@ fn partition_benches(c: &mut Criterion) {
     let mut g = c.benchmark_group("layout/partition");
     for n in [4u32, 32, 256] {
         let bs = boxes(n);
-        let fine = PartitionConfig { granularity: Granularity::Fine, ..Default::default() };
-        let coarse = PartitionConfig { granularity: Granularity::Coarse, ..Default::default() };
+        let fine = PartitionConfig {
+            granularity: Granularity::Fine,
+            ..Default::default()
+        };
+        let coarse = PartitionConfig {
+            granularity: Granularity::Coarse,
+            ..Default::default()
+        };
         g.bench_function(format!("fine_{n}_boxes"), |b| {
             b.iter(|| partition(640, 352, &bs, &fine))
         });
@@ -57,7 +63,10 @@ fn cost_benches(c: &mut Criterion) {
     let dets: Vec<Detection> = boxes(32)
         .into_iter()
         .enumerate()
-        .map(|(i, bbox)| Detection { frame: (i as u32) % 30, bbox })
+        .map(|(i, bbox)| Detection {
+            frame: (i as u32) % 30,
+            bbox,
+        })
         .collect();
 
     let mut g = c.benchmark_group("layout/cost");

@@ -1,6 +1,7 @@
 //! Criterion benchmarks of the `Scan` access method end to end: untiled vs
-//! object-tiled decode for the same query, narrow vs wide time ranges, and
-//! CNF predicate evaluation against the index.
+//! object-tiled decode for the same query, narrow vs wide time ranges, CNF
+//! predicate evaluation against the index, and the execution pipeline's
+//! scaling axes — worker count and decoded-GOP cache warmth.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tasm_bench::{micro_partition, BenchVideo};
@@ -9,13 +10,21 @@ use tasm_data::{SceneSpec, SyntheticVideo};
 use tasm_video::FrameSource;
 
 fn prepare(tag: &str, tiled: bool) -> BenchVideo {
+    // Serial + uncached, like micro_config(): the untiled-vs-tiled groups
+    // measure tiling benefit alone, not multicore speedup.
+    prepare_exec(tag, tiled, 1, 0)
+}
+
+/// Like `prepare`, with explicit pipeline settings (worker count and
+/// decoded-GOP cache budget).
+fn prepare_exec(tag: &str, tiled: bool, workers: usize, cache_bytes: u64) -> BenchVideo {
     let video = SyntheticVideo::new(SceneSpec {
         width: 320,
         height: 192,
         frames: 60,
         ..SceneSpec::test_scene()
     });
-    let mut bv = BenchVideo::from_video(video, tag);
+    let mut bv = BenchVideo::from_video_exec(video, tag, workers, cache_bytes);
     if tiled {
         bv.apply_layout(|video, frames| {
             let boxes: Vec<_> = frames
@@ -82,5 +91,59 @@ fn scan_benches(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, scan_benches);
+/// The pipeline's scaling axes: serial vs multi-worker decode on a cold
+/// cache, and cold vs warm decoded-GOP cache at a fixed worker count. The
+/// warm variants are what repeated-query workloads (Figures 8/9) hit.
+fn pipeline_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan/pipeline");
+    g.sample_size(10);
+
+    let mut serial = prepare_exec("scan-pipe-serial", true, 1, 0);
+    g.bench_function("workers_1_cold", |b| {
+        b.iter(|| {
+            serial
+                .tasm
+                .scan("v", &LabelPredicate::label("car"), 0..60)
+                .unwrap()
+        })
+    });
+    let mut auto = prepare_exec("scan-pipe-auto", true, 0, 0);
+    g.bench_function("workers_auto_cold", |b| {
+        b.iter(|| {
+            auto.tasm
+                .scan("v", &LabelPredicate::label("car"), 0..60)
+                .unwrap()
+        })
+    });
+
+    let mut warm = prepare_exec("scan-pipe-warm", true, 0, 256 << 20);
+    // Populate the cache once, then measure steady-state warm scans.
+    warm.tasm
+        .scan("v", &LabelPredicate::label("car"), 0..60)
+        .unwrap();
+    g.bench_function("workers_auto_warm", |b| {
+        b.iter(|| {
+            warm.tasm
+                .scan("v", &LabelPredicate::label("car"), 0..60)
+                .unwrap()
+        })
+    });
+
+    let mut warm_serial = prepare_exec("scan-pipe-warm-serial", true, 1, 256 << 20);
+    warm_serial
+        .tasm
+        .scan("v", &LabelPredicate::label("car"), 0..60)
+        .unwrap();
+    g.bench_function("workers_1_warm", |b| {
+        b.iter(|| {
+            warm_serial
+                .tasm
+                .scan("v", &LabelPredicate::label("car"), 0..60)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, scan_benches, pipeline_benches);
 criterion_main!(benches);

@@ -57,7 +57,9 @@ fn main() {
         let tag = format!("fig10-{}-{seed}", ds.name());
         let mut bv = BenchVideo::prepare(ds, duration, seed, &tag);
         let (w, h) = (bv.video.spec().width, bv.video.spec().height);
-        let untiled = (0..3).map(|_| bv.time_select(object).0).fold(f64::INFINITY, f64::min);
+        let untiled = (0..3)
+            .map(|_| bv.time_select(object).0)
+            .fold(f64::INFINITY, f64::min);
         let all = bv.video.labels();
 
         // Layout suite: object layouts (same/different/all, fine+coarse) and
@@ -129,8 +131,14 @@ fn main() {
                 }
                 Some(layout)
             });
-            let ratio = if ratio_den > 0.0 { ratio_num / ratio_den } else { 1.0 };
-            let t = (0..3).map(|_| bv.time_select(object).0).fold(f64::INFINITY, f64::min);
+            let ratio = if ratio_den > 0.0 {
+                ratio_num / ratio_den
+            } else {
+                1.0
+            };
+            let t = (0..3)
+                .map(|_| bv.time_select(object).0)
+                .fold(f64::INFINITY, f64::min);
             let _ = idx;
             points.push(Point {
                 dataset: ds.name(),
@@ -173,7 +181,9 @@ fn main() {
     println!("  layouts that hurt and are rejected by the rule : {hurting_rejected}");
     println!("  layouts that hurt but slip past the rule       : {hurting_accepted}");
     println!("  helpful layouts forfeited by the rule          : {helping_rejected}");
-    println!("  largest forfeited improvement                  : {max_forfeited:.0}% (paper: < 20%)");
+    println!(
+        "  largest forfeited improvement                  : {max_forfeited:.0}% (paper: < 20%)"
+    );
 
     write_result(
         "fig10",

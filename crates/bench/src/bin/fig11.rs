@@ -32,7 +32,10 @@ use tasm_index::MemoryIndex;
 
 const STRATEGIES: [(&str, Strategy); 4] = [
     ("not-tiled", Strategy::NotTiled),
-    ("all-objects", Strategy::PretileAllObjects { then_regret: false }),
+    (
+        "all-objects",
+        Strategy::PretileAllObjects { then_regret: false },
+    ),
     ("incremental-more", Strategy::IncrementalMore),
     ("incremental-regret", Strategy::IncrementalRegret),
 ];
@@ -57,7 +60,10 @@ fn run_video(
     let truth = |f: u32| video.ground_truth(f);
     let run_queries: Vec<RunQuery> = queries
         .iter()
-        .map(|q| RunQuery { label: q.label.clone(), frames: q.frames.clone() })
+        .map(|q| RunQuery {
+            label: q.label.clone(),
+            frames: q.frames.clone(),
+        })
         .collect();
 
     let mut reports: BTreeMap<&'static str, WorkloadReport> = BTreeMap::new();
@@ -70,8 +76,16 @@ fn run_video(
         .expect("open");
         tasm.ingest("v", video, 30).expect("ingest");
         let mut detector = SimulatedYolo::full(1);
-        let report = run_workload(&mut tasm, "v", &run_queries, strategy, &mut detector, &truth, None)
-            .expect("workload");
+        let report = run_workload(
+            &mut tasm,
+            "v",
+            &run_queries,
+            strategy,
+            &mut detector,
+            &truth,
+            None,
+        )
+        .expect("workload");
         reports.insert(name, report);
     }
 
@@ -136,10 +150,10 @@ fn main() {
         })
         .collect();
 
-    let workloads: Vec<(String, Vec<(usize, Vec<Query>)>, bool)> = {
+    type WorkloadRow = (String, Vec<(usize, Vec<Query>)>, bool);
+    let workloads: Vec<WorkloadRow> = {
         let mut w = Vec::new();
-        let sparse_params =
-            |seed: u64| WorkloadParams::new(dur_sparse * 30, qlen, 1000 + seed);
+        let sparse_params = |seed: u64| WorkloadParams::new(dur_sparse * 30, qlen, 1000 + seed);
         let dense_params = |seed: u64| WorkloadParams::new(dur_dense * 30, qlen, 2000 + seed);
         w.push((
             "W1".to_string(),
@@ -173,7 +187,11 @@ fn main() {
             "W5".to_string(),
             (0..dense_videos.len())
                 .map(|i| {
-                    let ds = if i % 2 == 0 { Dataset::ElFuenteDense } else { Dataset::NetflixOpenSource };
+                    let ds = if i % 2 == 0 {
+                        Dataset::ElFuenteDense
+                    } else {
+                        Dataset::NetflixOpenSource
+                    };
                     (i, workload5(dense_params(i as u64), ds.primary_labels()))
                 })
                 .collect(),
@@ -204,10 +222,17 @@ fn main() {
         let mut finals: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
         let mut all_curves: BTreeMap<&'static str, Vec<Vec<f64>>> = BTreeMap::new();
         for (vi, queries) in &per_video {
-            let video = if sparse { &sparse_videos[*vi] } else { &dense_videos[*vi] };
+            let video = if sparse {
+                &sparse_videos[*vi]
+            } else {
+                &dense_videos[*vi]
+            };
             let curves = run_video(video, queries, &format!("{wname}-{vi}"));
             for (name, curve) in curves {
-                finals.entry(name).or_default().push(*curve.last().expect("curve"));
+                finals
+                    .entry(name)
+                    .or_default()
+                    .push(*curve.last().expect("curve"));
                 all_curves.entry(name).or_default().push(deciles(&curve));
             }
         }
@@ -229,7 +254,9 @@ fn main() {
             table2.insert(name.to_string(), (q1, m, q3));
         }
 
-        println!("\n## {wname}: cumulative decode + re-tiling time (normalized; baseline = #queries)\n");
+        println!(
+            "\n## {wname}: cumulative decode + re-tiling time (normalized; baseline = #queries)\n"
+        );
         println!("| strategy | 25% | 50% | 75% | 100% | Table 2 final [q1, med, q3] |");
         println!("|---|---|---|---|---|---|");
         for (name, curve) in &curves {
@@ -239,7 +266,11 @@ fn main() {
                 curve[2], curve[5], curve[7], curve[10], t2.0, t2.1, t2.2
             );
         }
-        results.push(WorkloadResult { workload: wname, curves, table2 });
+        results.push(WorkloadResult {
+            workload: wname,
+            curves,
+            table2,
+        });
     }
 
     println!("\nPaper Table 2 medians for comparison (normalized totals):");

@@ -21,8 +21,14 @@ use tasm_index::MemoryIndex;
 
 const STRATEGIES: [(&str, Strategy); 4] = [
     ("not-tiled", Strategy::NotTiled),
-    ("pretile-all-objects", Strategy::PretileAllObjects { then_regret: true }),
-    ("pretile-background-subtraction", Strategy::PretileForeground),
+    (
+        "pretile-all-objects",
+        Strategy::PretileAllObjects { then_regret: true },
+    ),
+    (
+        "pretile-background-subtraction",
+        Strategy::PretileForeground,
+    ),
     ("incremental-regret", Strategy::IncrementalRegret),
 ];
 
@@ -41,14 +47,23 @@ fn main() {
 
     let mut all_curves: BTreeMap<&'static str, Vec<Vec<f64>>> = BTreeMap::new();
     for seed in 0..n_seeds {
-        let ds = if seed % 2 == 0 { Dataset::ElFuenteDense } else { Dataset::NetflixOpenSource };
+        let ds = if seed % 2 == 0 {
+            Dataset::ElFuenteDense
+        } else {
+            Dataset::NetflixOpenSource
+        };
         let video = ds.build(duration, 300 + seed);
         let truth = |f: u32| video.ground_truth(f);
-        let queries: Vec<RunQuery> =
-            workload5(WorkloadParams::new(duration * 30, 30, 3000 + seed), ds.primary_labels())
-                .into_iter()
-                .map(|q| RunQuery { label: q.label, frames: q.frames })
-                .collect();
+        let queries: Vec<RunQuery> = workload5(
+            WorkloadParams::new(duration * 30, 30, 3000 + seed),
+            ds.primary_labels(),
+        )
+        .into_iter()
+        .map(|q| RunQuery {
+            label: q.label,
+            frames: q.frames,
+        })
+        .collect();
 
         // Baseline costs per query (decode only).
         let mut base_costs: Vec<f64> = Vec::new();
@@ -92,8 +107,8 @@ fn main() {
             for (i, r) in report.records.iter().enumerate() {
                 let cost = r.decode_seconds + r.retile_seconds + r.detect_seconds;
                 if i == 0 {
-                    cum += (report.initial_tile_seconds + report.initial_detect_seconds)
-                        / mean_base;
+                    cum +=
+                        (report.initial_tile_seconds + report.initial_detect_seconds) / mean_base;
                 }
                 cum += cost / base_costs[i];
                 curve.push(cum);
@@ -122,14 +137,20 @@ fn main() {
     println!("| strategy | 10% | 25% | 50% | 100% |");
     println!("|---|---|---|---|---|");
     for (name, c) in &curves {
-        println!("| {name} | {:.0} | {:.0} | {:.0} | {:.0} |", c[1], c[2], c[5], c[10]);
+        println!(
+            "| {name} | {:.0} | {:.0} | {:.0} | {:.0} |",
+            c[1], c[2], c[5], c[10]
+        );
     }
     println!("\nShape check (paper): both pre-tiling strategies start far above the");
     println!("baseline because of up-front detection and never catch up, while");
     println!("incremental-regret tracks the baseline from the start.");
     let ok = finals["pretile-all-objects"] > finals["incremental-regret"]
         && finals["pretile-background-subtraction"] > finals["incremental-regret"];
-    println!("up-front cost fails to amortize: {}", if ok { "REPRODUCED" } else { "NOT reproduced" });
+    println!(
+        "up-front cost fails to amortize: {}",
+        if ok { "REPRODUCED" } else { "NOT reproduced" }
+    );
 
     write_result("fig12", &Fig12 { curves, finals });
 }

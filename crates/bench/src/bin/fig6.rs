@@ -50,7 +50,9 @@ struct Fig6 {
 
 /// Median decode time of repeated SELECTs (min-of-3 per §timing noise).
 fn timed(bv: &mut BenchVideo, label: &str) -> f64 {
-    (0..3).map(|_| bv.time_select(label).0).fold(f64::INFINITY, f64::min)
+    (0..3)
+        .map(|_| bv.time_select(label).0)
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// Sequence PSNR of the stored (tiled) video against the raw original.
@@ -165,8 +167,14 @@ fn main() {
         .iter()
         .filter(|c| c.best_nonuniform_improvement_pct > 0.0)
         .collect();
-    let uni: Vec<f64> = benefiting.iter().map(|c| c.best_uniform_improvement_pct).collect();
-    let non: Vec<f64> = benefiting.iter().map(|c| c.best_nonuniform_improvement_pct).collect();
+    let uni: Vec<f64> = benefiting
+        .iter()
+        .map(|c| c.best_uniform_improvement_pct)
+        .collect();
+    let non: Vec<f64> = benefiting
+        .iter()
+        .map(|c| c.best_nonuniform_improvement_pct)
+        .collect();
     let gap: Vec<f64> = benefiting
         .iter()
         .map(|c| c.best_nonuniform_improvement_pct - c.best_uniform_improvement_pct)
@@ -219,7 +227,9 @@ fn main() {
             let cfg = EncoderConfig {
                 gop_len: 30,
                 qp: 28,
-                rate: RateControl::TargetRate { millibits_per_sample: millibits },
+                rate: RateControl::TargetRate {
+                    millibits_per_sample: millibits,
+                },
                 ..Default::default()
             };
             let mut decoded = Vec::new();
@@ -269,11 +279,29 @@ fn main() {
     println!("\n## Summary (median [IQR]) — paper values in parentheses\n");
     println!("| metric | this repo | paper |");
     println!("|---|---|---|");
-    println!("| 6(a) best uniform improvement % | {} | avg 37 |", report.uniform_improvement.display(0));
-    println!("| 6(a) best non-uniform improvement % | {} | avg 51 |", report.nonuniform_improvement.display(0));
-    println!("| 6(a) non-uniform gain over uniform (pp) | {} | avg ~10 |", report.nonuniform_over_uniform.display(0));
-    println!("| 6(b) PSNR best uniform (dB) | {} | ~36 |", report.psnr_uniform.display(1));
-    println!("| 6(b) PSNR best non-uniform (dB) | {} | ~40 |", report.psnr_nonuniform.display(1));
-    println!("| 6(b) PSNR re-encoded untiled (dB) | {} | ~46 |", report.psnr_reencode.display(1));
+    println!(
+        "| 6(a) best uniform improvement % | {} | avg 37 |",
+        report.uniform_improvement.display(0)
+    );
+    println!(
+        "| 6(a) best non-uniform improvement % | {} | avg 51 |",
+        report.nonuniform_improvement.display(0)
+    );
+    println!(
+        "| 6(a) non-uniform gain over uniform (pp) | {} | avg ~10 |",
+        report.nonuniform_over_uniform.display(0)
+    );
+    println!(
+        "| 6(b) PSNR best uniform (dB) | {} | ~36 |",
+        report.psnr_uniform.display(1)
+    );
+    println!(
+        "| 6(b) PSNR best non-uniform (dB) | {} | ~40 |",
+        report.psnr_nonuniform.display(1)
+    );
+    println!(
+        "| 6(b) PSNR re-encoded untiled (dB) | {} | ~46 |",
+        report.psnr_reencode.display(1)
+    );
     write_result("fig6", &report);
 }

@@ -42,7 +42,9 @@ fn main() {
         .map(|(ds, seed, object)| {
             let tag = format!("fig7-{}-{seed}-{object}", ds.name());
             let mut bv = BenchVideo::prepare(ds, duration, seed, &tag);
-            let untiled = (0..3).map(|_| bv.time_select(object).0).fold(f64::INFINITY, f64::min);
+            let untiled = (0..3)
+                .map(|_| bv.time_select(object).0)
+                .fold(f64::INFINITY, f64::min);
             (bv, object, untiled)
         })
         .collect();
@@ -58,7 +60,9 @@ fn main() {
             let layout = TileLayout::uniform(bv.video.spec().width, bv.video.spec().height, *r, *c)
                 .expect("uniform layout");
             bv.apply_layout(|_, _| Some(layout.clone()));
-            let t = (0..3).map(|_| bv.time_select(object).0).fold(f64::INFINITY, f64::min);
+            let t = (0..3)
+                .map(|_| bv.time_select(object).0)
+                .fold(f64::INFINITY, f64::min);
             improvements.push(improvement_pct(*untiled, t));
         }
         let summary = Summary::of(&improvements);
@@ -75,8 +79,14 @@ fn main() {
         });
     }
 
-    let iqr_first = results.first().map(|g| g.improvement.q3 - g.improvement.q1).unwrap_or(0.0);
-    let iqr_last = results.last().map(|g| g.improvement.q3 - g.improvement.q1).unwrap_or(0.0);
+    let iqr_first = results
+        .first()
+        .map(|g| g.improvement.q3 - g.improvement.q1)
+        .unwrap_or(0.0);
+    let iqr_last = results
+        .last()
+        .map(|g| g.improvement.q3 - g.improvement.q1)
+        .unwrap_or(0.0);
     println!("\nIQR widens from {iqr_first:.0} pp (2x2) to {iqr_last:.0} pp (7x10): the same");
     println!("uniform grid does not work equally well on all videos (paper: 1%-58% IQR at 7x10).");
     write_result("fig7", &results);

@@ -20,7 +20,9 @@
 
 use serde::Serialize;
 use std::collections::BTreeMap;
-use tasm_bench::{improvement_pct, micro_partition, scaled_secs, write_result, BenchVideo, Summary};
+use tasm_bench::{
+    improvement_pct, micro_partition, scaled_secs, write_result, BenchVideo, Summary,
+};
 use tasm_core::{partition, Granularity};
 use tasm_data::Dataset;
 use tasm_detect::background::BackgroundSubtractor;
@@ -37,7 +39,9 @@ struct Fig8 {
 }
 
 fn time_min(bv: &mut BenchVideo, label: &str) -> f64 {
-    (0..3).map(|_| bv.time_select(label).0).fold(f64::INFINITY, f64::min)
+    (0..3)
+        .map(|_| bv.time_select(label).0)
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// Applies a per-SOT layout around `layout_labels` at `granularity` and
@@ -61,7 +65,12 @@ fn run_condition(
                     .map(|(_, b)| b)
             })
             .collect();
-        Some(partition(video.width(), video.height(), &boxes, &micro_partition(g)))
+        Some(partition(
+            video.width(),
+            video.height(),
+            &boxes,
+            &micro_partition(g),
+        ))
     });
     improvement_pct(untiled, time_min(bv, query_label))
 }

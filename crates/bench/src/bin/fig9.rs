@@ -13,9 +13,7 @@
 //! Run with `cargo run --release -p tasm-bench --bin fig9`.
 
 use serde::Serialize;
-use tasm_bench::{
-    bench_dir, improvement_pct, micro_partition, scaled_secs, write_result, Summary,
-};
+use tasm_bench::{bench_dir, improvement_pct, micro_partition, scaled_secs, write_result, Summary};
 use tasm_core::{partition, Granularity, LabelPredicate, StorageConfig, Tasm, TasmConfig};
 use tasm_data::Dataset;
 use tasm_index::MemoryIndex;
@@ -50,8 +48,16 @@ fn main() {
     let mut prepared: Vec<Prepared> = Vec::new();
     for (ds, seed, object) in &cases {
         let video = ds.build(duration, *seed);
+        // Serial, uncached execution: this figure measures per-query
+        // decode cost as the paper's system incurs it.
         let cfg = TasmConfig {
-            storage: StorageConfig { gop_len: 30, sot_frames: 30, ..Default::default() },
+            storage: StorageConfig {
+                gop_len: 30,
+                sot_frames: 30,
+                ..Default::default()
+            },
+            workers: 1,
+            cache_bytes: 0,
             ..Default::default()
         };
         let mut tasm = Tasm::open(
@@ -74,7 +80,13 @@ fn main() {
             })
             .fold(f64::INFINITY, f64::min);
         let bytes = tasm.video_size_bytes("v").expect("size");
-        prepared.push(Prepared { tasm, video, object, untiled_secs: t, untiled_bytes: bytes });
+        prepared.push(Prepared {
+            tasm,
+            video,
+            object,
+            untiled_secs: t,
+            untiled_bytes: bytes,
+        });
     }
 
     println!("# Figure 9: SOT duration vs query time and storage\n");
@@ -95,6 +107,8 @@ fn main() {
                     sot_frames: frames_per_sot,
                     ..Default::default()
                 },
+                workers: 1,
+                cache_bytes: 0,
                 ..Default::default()
             };
             let mut tasm = Tasm::open(
@@ -155,7 +169,11 @@ fn main() {
             size.display(0),
             paper[si]
         );
-        rows.push(DurationRow { sot_seconds: ss, improvement: imp, size_vs_untiled: size });
+        rows.push(DurationRow {
+            sot_seconds: ss,
+            improvement: imp,
+            size_vs_untiled: size,
+        });
     }
 
     println!("\nShape check: improvement should fall and storage should shrink");

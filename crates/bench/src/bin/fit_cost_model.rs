@@ -68,8 +68,7 @@ fn main() {
             bv.apply_layout(|_, _| Some(l.clone()));
             let retile_secs = t0.elapsed().as_secs_f64();
             if !layout.is_untiled() {
-                let samples_encoded =
-                    (w as u64 * h as u64 * 3 / 2) * bv.video.len() as u64;
+                let samples_encoded = (w as u64 * h as u64 * 3 / 2) * bv.video.len() as u64;
                 encode_samples.push((samples_encoded, retile_secs));
             }
             for label in &labels {
@@ -81,7 +80,11 @@ fn main() {
                     if pixels == 0 {
                         continue;
                     }
-                    let s = WorkSample { pixels, tile_chunks: chunks, seconds: secs };
+                    let s = WorkSample {
+                        pixels,
+                        tile_chunks: chunks,
+                        seconds: secs,
+                    };
                     best = Some(match best {
                         Some(b) if b.seconds <= s.seconds => b,
                         _ => s,
@@ -109,7 +112,10 @@ fn main() {
     println!("| R² | {:.4} | 0.996 |", fit.r2);
     println!("| encode model (s/sample) | {encode_spp:.3e} | n/a |");
     println!("\nSuggested defaults for `CostModel`/`EncodeModel`:");
-    println!("  beta = {:.3e}, gamma = {:.3e}, seconds_per_sample = {:.3e}", fit.beta, fit.gamma, encode_spp);
+    println!(
+        "  beta = {:.3e}, gamma = {:.3e}, seconds_per_sample = {:.3e}",
+        fit.beta, fit.gamma, encode_spp
+    );
 
     write_result(
         "fit_cost_model",

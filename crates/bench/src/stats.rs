@@ -28,7 +28,11 @@ pub fn quartiles(xs: &[f64]) -> (f64, f64, f64) {
     assert!(!xs.is_empty(), "quartiles of empty sample");
     let mut s = xs.to_vec();
     s.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
-    (percentile(&s, 0.25), percentile(&s, 0.5), percentile(&s, 0.75))
+    (
+        percentile(&s, 0.25),
+        percentile(&s, 0.5),
+        percentile(&s, 0.75),
+    )
 }
 
 /// Interpolated percentile of a **sorted** sample, `p` in [0, 1].
@@ -64,7 +68,12 @@ impl Summary {
     /// Panics on empty input.
     pub fn of(xs: &[f64]) -> Summary {
         let (q1, median, q3) = quartiles(xs);
-        Summary { q1, median, q3, n: xs.len() }
+        Summary {
+            q1,
+            median,
+            q3,
+            n: xs.len(),
+        }
     }
 
     /// Renders as `median [q1, q3]` with the given precision.

@@ -75,9 +75,7 @@ impl Args {
     ) -> Result<T, ArgError> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| ArgError::Invalid(key, v.clone())),
+            Some(v) => v.parse().map_err(|_| ArgError::Invalid(key, v.clone())),
         }
     }
 }
@@ -115,6 +113,9 @@ mod tests {
             Err(ArgError::Invalid("seconds", _))
         ));
         let a = Args::parse(&[]).unwrap();
-        assert!(matches!(a.required("store"), Err(ArgError::Required("store"))));
+        assert!(matches!(
+            a.required("store"),
+            Err(ArgError::Required("store"))
+        ));
     }
 }

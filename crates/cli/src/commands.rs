@@ -24,11 +24,15 @@ tasm — tile-based storage manager for video analytics
 USAGE:
   tasm ingest  --store DIR --name NAME --dataset PRESET --seconds N [--seed N]
   tasm detect  --store DIR --name NAME [--detector yolov3|yolov3-tiny] [--stride K]
-  tasm scan    --store DIR --name NAME --label LABEL [--start F] [--end F]
+  tasm scan    --store DIR --name NAME --label LABEL [--start F] [--end F] [--repeat N]
   tasm retile  --store DIR --name NAME --labels L1,L2
   tasm observe --store DIR --name NAME --label LABEL [--start F] [--end F]
   tasm info    --store DIR [--name NAME]
   tasm presets
+
+EXECUTION (any command):
+  --workers N    decode worker threads (0 = one per core, default)
+  --cache-mb N   decoded-GOP cache budget in MiB (0 disables; default 256)
 
 PRESETS: visual-road-2k, visual-road-4k, netflix-public, netflix-open-source,
          xiph, mot16, el-fuente-sparse, el-fuente-dense";
@@ -61,18 +65,22 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
     }
 }
 
-fn open_tasm(store: &str) -> Result<Tasm, Box<dyn Error>> {
+fn open_tasm(store: &str, args: &Args) -> Result<Tasm, Box<dyn Error>> {
     let root = PathBuf::from(store);
     let index = PersistentIndex::open(&root.join("index"))?;
-    Ok(Tasm::open(
-        root.join("videos"),
-        Box::new(index),
-        TasmConfig::default(),
-    )?)
+    let cfg = TasmConfig {
+        workers: args.get_or("workers", 0usize)?,
+        cache_bytes: args.get_or("cache-mb", 256u64)? << 20,
+        ..TasmConfig::default()
+    };
+    Ok(Tasm::open(root.join("videos"), Box::new(index), cfg)?)
 }
 
 fn spec_path(store: &str, name: &str) -> PathBuf {
-    Path::new(store).join("videos").join(name).join("scene.json")
+    Path::new(store)
+        .join("videos")
+        .join(name)
+        .join("scene.json")
 }
 
 /// Loads the scene spec persisted at ingest and rebuilds the video, then
@@ -106,9 +114,12 @@ fn ingest(args: &Args) -> CmdResult {
         .ok_or_else(|| format!("unknown dataset '{dataset_name}' (see `tasm presets`)"))?;
     let video = dataset.build(seconds, seed);
 
-    let mut tasm = open_tasm(store)?;
+    let mut tasm = open_tasm(store, args)?;
     tasm.ingest(name, &video, 30)?;
-    std::fs::write(spec_path(store, name), serde_json::to_vec_pretty(video.spec())?)?;
+    std::fs::write(
+        spec_path(store, name),
+        serde_json::to_vec_pretty(video.spec())?,
+    )?;
     let bytes = tasm.video_size_bytes(name)?;
     println!(
         "ingested '{name}': {} frames at {}x{}, {} SOTs, {:.1} KiB on disk",
@@ -127,7 +138,7 @@ fn detect(args: &Args) -> CmdResult {
     let which = args.get("detector").unwrap_or("yolov3");
     let stride: u32 = args.get_or("stride", 1)?;
 
-    let mut tasm = open_tasm(store)?;
+    let mut tasm = open_tasm(store, args)?;
     let video = register(&mut tasm, store, name)?;
     let inner: Box<dyn Detector> = match which {
         "yolov3" => Box::new(SimulatedYolo::full(1)),
@@ -159,19 +170,30 @@ fn scan(args: &Args) -> CmdResult {
     let store = args.required("store")?;
     let name = args.required("name")?;
     let label = args.required("label")?;
-    let mut tasm = open_tasm(store)?;
+    let mut tasm = open_tasm(store, args)?;
     let video = register(&mut tasm, store, name)?;
     let start: u32 = args.get_or("start", 0)?;
     let end: u32 = args.get_or("end", video.len())?;
 
-    let result = tasm.scan(name, &LabelPredicate::label(label), start..end)?;
-    println!(
-        "scan '{label}' over frames {start}..{end}: {} regions, {} samples decoded, {} tile-chunks, {:.2} ms",
-        result.regions.len(),
-        result.stats.samples_decoded,
-        result.stats.tile_chunks_decoded,
-        result.seconds() * 1e3
-    );
+    let repeat: u32 = args.get_or("repeat", 1)?;
+    for run in 0..repeat.max(1) {
+        let result = tasm.scan(name, &LabelPredicate::label(label), start..end)?;
+        println!(
+            "scan '{label}' over frames {start}..{end}: {} regions, {} samples decoded, {} tile-chunks, {} cache hits ({} samples reused), {:.2} ms",
+            result.regions.len(),
+            result.stats.samples_decoded,
+            result.stats.tile_chunks_decoded,
+            result.cache.hits,
+            result.cache.samples_reused,
+            result.seconds() * 1e3
+        );
+        if repeat > 1 && run == 0 {
+            println!(
+                "  (repeating {} more times against the warm decoded-GOP cache)",
+                repeat - 1
+            );
+        }
+    }
     Ok(())
 }
 
@@ -187,11 +209,15 @@ fn retile(args: &Args) -> CmdResult {
     if labels.is_empty() {
         return Err("--labels needs at least one label".into());
     }
-    let mut tasm = open_tasm(store)?;
+    let mut tasm = open_tasm(store, args)?;
     register(&mut tasm, store, name)?;
     let stats = tasm.kqko_retile_all(name, &labels)?;
     let manifest = tasm.manifest(name)?;
-    let tiled = manifest.sots.iter().filter(|s| !s.layout.is_untiled()).count();
+    let tiled = manifest
+        .sots
+        .iter()
+        .filter(|s| !s.layout.is_untiled())
+        .count();
     println!(
         "retiled around [{}]: {}/{} SOTs tiled, transcode {:.2}s, new size {:.1} KiB",
         labels.join(", "),
@@ -207,14 +233,17 @@ fn observe(args: &Args) -> CmdResult {
     let store = args.required("store")?;
     let name = args.required("name")?;
     let label = args.required("label")?;
-    let mut tasm = open_tasm(store)?;
+    let mut tasm = open_tasm(store, args)?;
     let video = register(&mut tasm, store, name)?;
     let start: u32 = args.get_or("start", 0)?;
     let end: u32 = args.get_or("end", video.len())?;
 
     let stats = tasm.observe_regret(name, label, start..end)?;
     if stats.encode.bytes_produced > 0 {
-        println!("regret threshold crossed: re-tiled ({:.2}s transcode)", stats.seconds());
+        println!(
+            "regret threshold crossed: re-tiled ({:.2}s transcode)",
+            stats.seconds()
+        );
     } else {
         println!("regret recorded; no re-tile yet");
     }
@@ -226,7 +255,7 @@ fn info(args: &Args) -> CmdResult {
     let videos_dir = Path::new(store).join("videos");
     let entries = std::fs::read_dir(&videos_dir)
         .map_err(|_| format!("no store at '{store}' (run `tasm ingest` first)"))?;
-    let mut tasm = open_tasm(store)?;
+    let mut tasm = open_tasm(store, args)?;
     for entry in entries {
         let entry = entry?;
         if !entry.path().is_dir() {
@@ -283,8 +312,19 @@ mod tests {
         .expect("ingest");
         run(&format!("detect --store {s} --name cam --stride 2")).expect("detect");
         run(&format!("scan --store {s} --name cam --label car")).expect("scan");
+        run(&format!(
+            "scan --store {s} --name cam --label car --repeat 2 --workers 2 --cache-mb 64"
+        ))
+        .expect("scan with execution flags");
+        run(&format!(
+            "scan --store {s} --name cam --label car --cache-mb 0 --workers 1"
+        ))
+        .expect("scan serial uncached");
         run(&format!("retile --store {s} --name cam --labels car")).expect("retile");
-        run(&format!("observe --store {s} --name cam --label car --end 30")).expect("observe");
+        run(&format!(
+            "observe --store {s} --name cam --label car --end 30"
+        ))
+        .expect("observe");
         run(&format!("info --store {s}")).expect("info");
     }
 

@@ -47,7 +47,10 @@ impl BitWriter {
     #[inline]
     pub fn put_bits(&mut self, value: u32, n: u32) {
         debug_assert!(n <= 32);
-        debug_assert!(n == 32 || value < (1u32 << n), "value does not fit in {n} bits");
+        debug_assert!(
+            n == 32 || value < (1u32 << n),
+            "value does not fit in {n} bits"
+        );
         if n == 0 {
             return;
         }
@@ -137,7 +140,11 @@ impl<'a> BitReader<'a> {
             let avail = 8 - bit_off;
             let take = avail.min(remaining);
             let shifted = (byte as u32) >> (avail - take);
-            let mask = if take == 32 { u32::MAX } else { (1u32 << take) - 1 };
+            let mask = if take == 32 {
+                u32::MAX
+            } else {
+                (1u32 << take) - 1
+            };
             out = (out << take) | (shifted & mask);
             self.pos += take as usize;
             remaining -= take;

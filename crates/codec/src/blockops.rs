@@ -9,9 +9,9 @@ use crate::dct::{BLOCK, BLOCK_AREA};
 /// Zigzag scan order for an 8×8 coefficient block (JPEG/MPEG order):
 /// low frequencies first so runs of trailing zeros compress well.
 pub const ZIGZAG: [usize; BLOCK_AREA] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// Loads an 8×8 block of samples as `i32`.
@@ -29,7 +29,13 @@ pub fn load_block(plane: &[u8], stride: usize, x: usize, y: usize) -> [i32; BLOC
 
 /// Stores an 8×8 block, clamping each value to the 8-bit sample range.
 #[inline]
-pub fn store_block(plane: &mut [u8], stride: usize, x: usize, y: usize, values: &[i32; BLOCK_AREA]) {
+pub fn store_block(
+    plane: &mut [u8],
+    stride: usize,
+    x: usize,
+    y: usize,
+    values: &[i32; BLOCK_AREA],
+) {
     for row in 0..BLOCK {
         let base = (y + row) * stride + x;
         for col in 0..BLOCK {
@@ -41,6 +47,7 @@ pub fn store_block(plane: &mut [u8], stride: usize, x: usize, y: usize, values: 
 /// Copies an 8×8 block between planes (used for SKIP blocks and motion
 /// compensation with integer vectors).
 #[inline]
+#[allow(clippy::too_many_arguments)]
 pub fn copy_block(
     dst: &mut [u8],
     dst_stride: usize,
@@ -60,6 +67,7 @@ pub fn copy_block(
 
 /// Sum of absolute differences between a block in `a` and a block in `b`.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 pub fn sad(
     a: &[u8],
     a_stride: usize,
@@ -103,11 +111,9 @@ pub fn dc_predict(recon: &[u8], stride: usize, x: usize, y: usize) -> i32 {
         }
         count += BLOCK as u32;
     }
-    if count == 0 {
-        128
-    } else {
-        ((sum + count / 2) / count) as i32
-    }
+    (sum + count / 2)
+        .checked_div(count)
+        .map_or(128, |v| v as i32)
 }
 
 #[cfg(test)]

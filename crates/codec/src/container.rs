@@ -162,7 +162,9 @@ impl TileVideo {
             table.push((len, is_key, frame_qp));
         }
         if count > 0 && !table[0].1 {
-            return Err(ContainerError::InvalidHeader("first frame must be a keyframe"));
+            return Err(ContainerError::InvalidHeader(
+                "first frame must be a keyframe",
+            ));
         }
         let mut frames = Vec::with_capacity(count);
         for (len, is_key, frame_qp) in table {
@@ -193,7 +195,10 @@ impl TileVideo {
     /// codec, frames between the keyframe and `range.start` must be decoded
     /// and discarded, and that warm-up work is included in the stats. This
     /// is the cost structure TASM's layout optimizer reasons about.
-    pub fn decode_range(&self, range: Range<u32>) -> Result<(Vec<Frame>, DecodeStats), ContainerError> {
+    pub fn decode_range(
+        &self,
+        range: Range<u32>,
+    ) -> Result<(Vec<Frame>, DecodeStats), ContainerError> {
         assert!(range.start <= range.end, "invalid range");
         if range.start >= self.frame_count() || range.end > self.frame_count() {
             return Err(ContainerError::InvalidHeader("frame range out of bounds"));
@@ -202,13 +207,63 @@ impl TileVideo {
             return Ok((Vec::new(), DecodeStats::new()));
         }
         let start = self.keyframe_before(range.start);
+        self.decode_span(start, range.start, range.end, None)
+    }
+
+    /// Resumes decoding at `from`, producing frames `from..end`.
+    ///
+    /// `from` must either be a keyframe, or `reference` must hold the
+    /// decoder's reconstruction of frame `from - 1` (e.g. the last frame of
+    /// a cached GOP prefix). Resuming from a reference is bit-exact with a
+    /// decode that started at the preceding keyframe, but is charged only
+    /// for the frames actually decoded — this is what lets a decoded-GOP
+    /// cache extend a partial entry without re-paying the warm-up.
+    pub fn decode_resume(
+        &self,
+        from: u32,
+        end: u32,
+        reference: Option<&Frame>,
+    ) -> Result<(Vec<Frame>, DecodeStats), ContainerError> {
+        assert!(from <= end, "invalid range");
+        if end > self.frame_count() {
+            return Err(ContainerError::InvalidHeader("frame range out of bounds"));
+        }
+        if from == end {
+            return Ok((Vec::new(), DecodeStats::new()));
+        }
+        if reference.is_none() && !self.frames[from as usize].is_key {
+            return Err(ContainerError::InvalidHeader(
+                "resume point is not a keyframe and no reference was supplied",
+            ));
+        }
+        self.decode_span(from, from, end, reference)
+    }
+
+    /// Shared decode loop: decodes `start..end`, returning frames
+    /// `keep_from..end` and accounting for every frame decoded.
+    fn decode_span(
+        &self,
+        start: u32,
+        keep_from: u32,
+        end: u32,
+        reference: Option<&Frame>,
+    ) -> Result<(Vec<Frame>, DecodeStats), ContainerError> {
         let t0 = Instant::now();
-        let mut dec = TileDecoder::new(self.width, self.height, self.qp, self.deblock);
-        let mut out = Vec::with_capacity(range.len());
+        let mut dec = match reference {
+            Some(r) => TileDecoder::with_reference(
+                self.width,
+                self.height,
+                self.qp,
+                self.deblock,
+                r.clone(),
+            ),
+            None => TileDecoder::new(self.width, self.height, self.qp, self.deblock),
+        };
+        let mut out = Vec::with_capacity((end - keep_from) as usize);
         let mut stats = DecodeStats::new();
         let samples_per_frame =
             self.width as u64 * self.height as u64 + (self.width as u64 * self.height as u64) / 2;
-        for i in start..range.end {
+        for i in start..end {
             let ef = &self.frames[i as usize];
             let frame = dec.decode_next_qp(&ef.data, ef.is_key, ef.qp)?;
             stats.frames_decoded += 1;
@@ -216,7 +271,7 @@ impl TileVideo {
             stats.tile_chunks_decoded += 1;
             stats.bytes_read += ef.data.len() as u64;
             stats.blocks_decoded += dec.blocks_per_frame();
-            if i >= range.start {
+            if i >= keep_from {
                 out.push(frame);
             }
         }
@@ -328,6 +383,24 @@ mod tests {
             assert_eq!(a.plane(Plane::Y), b.plane(Plane::Y));
             assert_eq!(a.plane(Plane::U), b.plane(Plane::U));
         }
+    }
+
+    #[test]
+    fn decode_resume_matches_full_decode() {
+        let v = encode_test_video(10, 4);
+        let (all, _) = v.decode_all().unwrap();
+        // Resume mid-GOP using the previous reconstruction as reference.
+        let (tail, stats) = v.decode_resume(6, 10, Some(&all[5])).unwrap();
+        assert_eq!(tail.len(), 4);
+        assert_eq!(stats.frames_decoded, 4); // no warm-up charged
+        for (a, b) in all[6..].iter().zip(&tail) {
+            assert_eq!(a, b, "resumed decode must be bit-identical");
+        }
+        // Resume at a keyframe needs no reference.
+        let (from_key, _) = v.decode_resume(4, 8, None).unwrap();
+        assert_eq!(&all[4..8], &from_key[..]);
+        // Mid-GOP without a reference is an error.
+        assert!(v.decode_resume(6, 8, None).is_err());
     }
 
     #[test]

@@ -101,7 +101,11 @@ mod tests {
     fn float_basis() -> [[f64; BLOCK]; BLOCK] {
         let mut m = [[0.0; BLOCK]; BLOCK];
         for (k, row) in m.iter_mut().enumerate() {
-            let ck = if k == 0 { (1.0f64 / 8.0).sqrt() } else { (2.0f64 / 8.0).sqrt() };
+            let ck = if k == 0 {
+                (1.0f64 / 8.0).sqrt()
+            } else {
+                (2.0f64 / 8.0).sqrt()
+            };
             for (n, cell) in row.iter_mut().enumerate() {
                 *cell =
                     ck * ((2.0 * n as f64 + 1.0) * k as f64 * std::f64::consts::PI / 16.0).cos();
@@ -178,7 +182,10 @@ mod tests {
         let fb = forward(&b);
         let fsum = forward(&sum);
         for i in 0..BLOCK_AREA {
-            assert!((fa[i] + fb[i] - fsum[i]).abs() <= 2, "linearity violated at {i}");
+            assert!(
+                (fa[i] + fb[i] - fsum[i]).abs() <= 2,
+                "linearity violated at {i}"
+            );
         }
     }
 

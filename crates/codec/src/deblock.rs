@@ -100,7 +100,10 @@ mod tests {
     fn weak_filter_smooths_small_step() {
         // Flat 100 | 104 edge: blocking artifact, should be pulled together.
         let (p0, q0) = weak_filter(100, 100, 104, 104, 40, 9).unwrap();
-        assert!(p0 > 100 && q0 < 104, "filter should reduce the step: {p0} {q0}");
+        assert!(
+            p0 > 100 && q0 < 104,
+            "filter should reduce the step: {p0} {q0}"
+        );
     }
 
     #[test]

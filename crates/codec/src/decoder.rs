@@ -60,6 +60,30 @@ impl TileDecoder {
         }
     }
 
+    /// Creates a decoder primed with a reference reconstruction, so decoding
+    /// can *resume* mid-GOP: `reference` must be the decoder's output for
+    /// the frame immediately preceding the next chunk fed in. Because the
+    /// decode loop is deterministic and closed (each P-frame depends only on
+    /// the previous reconstruction), resuming this way is bit-exact with a
+    /// decode that started from the keyframe.
+    pub fn with_reference(
+        width: u32,
+        height: u32,
+        qp: u8,
+        deblock: bool,
+        reference: Frame,
+    ) -> Self {
+        assert_eq!(reference.width(), width, "reference width mismatch");
+        assert_eq!(reference.height(), height, "reference height mismatch");
+        TileDecoder {
+            width,
+            height,
+            default_qp: qp,
+            deblock,
+            recon_prev: Some(reference),
+        }
+    }
+
     /// Decodes the next frame chunk at the stream's base QP.
     pub fn decode_next(&mut self, data: &[u8], is_key: bool) -> Result<Frame, DecodeError> {
         self.decode_next_qp(data, is_key, self.default_qp)
@@ -206,7 +230,9 @@ fn read_residual(
         let run = r.get_ue()? as usize;
         pos += run;
         if pos >= BLOCK_AREA {
-            return Err(DecodeError::InvalidSyntax("coefficient run overflows block"));
+            return Err(DecodeError::InvalidSyntax(
+                "coefficient run overflows block",
+            ));
         }
         let level = r.get_se()?;
         if level == 0 {

@@ -53,8 +53,7 @@ pub fn encode_video(
 
     let stats = EncodeStats {
         frames_encoded: src.len() as u64 * videos.len() as u64,
-        samples_encoded: src.len() as u64
-            * (src.width() as u64 * src.height() as u64 * 3 / 2),
+        samples_encoded: src.len() as u64 * (src.width() as u64 * src.height() as u64 * 3 / 2),
         bytes_produced: videos.iter().map(|v| v.size_bytes()).sum(),
         encode_time: t0.elapsed(),
     };
@@ -67,7 +66,9 @@ fn encode_one_tile(
     cfg: &EncoderConfig,
 ) -> Vec<EncodedFrame> {
     let mut enc = TileEncoder::new(*cfg, rect);
-    (0..src.len()).map(|i| enc.encode_next(&src.frame(i))).collect()
+    (0..src.len())
+        .map(|i| enc.encode_next(&src.frame(i)))
+        .collect()
 }
 
 /// Parallel path: each worker owns a subset of tiles and pulls frames from
@@ -82,17 +83,16 @@ fn encode_tiles_parallel(
         .unwrap_or(4)
         .min(rects.len());
     let mut out: Vec<Vec<EncodedFrame>> = vec![Vec::new(); rects.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let chunk = rects.len().div_ceil(threads);
         for (slot_chunk, rect_chunk) in out.chunks_mut(chunk).zip(rects.chunks(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (slot, &rect) in slot_chunk.iter_mut().zip(rect_chunk) {
                     *slot = encode_one_tile(src, rect, cfg);
                 }
             });
         }
-    })
-    .expect("tile encode worker panicked");
+    });
     out
 }
 
@@ -116,7 +116,8 @@ mod tests {
     fn untiled_encode_produces_single_stream() {
         let src = moving_source(6, 64, 48);
         let layout = TileLayout::untiled(64, 48);
-        let (videos, stats) = encode_video(&src, &layout, &EncoderConfig::default(), false).unwrap();
+        let (videos, stats) =
+            encode_video(&src, &layout, &EncoderConfig::default(), false).unwrap();
         assert_eq!(videos.len(), 1);
         assert_eq!(videos[0].frame_count(), 6);
         assert!(stats.bytes_produced > 0);

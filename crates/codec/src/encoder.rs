@@ -131,10 +131,10 @@ impl TileEncoder {
     pub fn new(cfg: EncoderConfig, rect: Rect) -> Self {
         assert!(!rect.is_empty(), "tile rectangle must be non-empty");
         assert!(
-            rect.x % crate::grid::TILE_ALIGN == 0
-                && rect.y % crate::grid::TILE_ALIGN == 0
-                && rect.w % crate::grid::TILE_ALIGN == 0
-                && rect.h % crate::grid::TILE_ALIGN == 0,
+            rect.x.is_multiple_of(crate::grid::TILE_ALIGN)
+                && rect.y.is_multiple_of(crate::grid::TILE_ALIGN)
+                && rect.w.is_multiple_of(crate::grid::TILE_ALIGN)
+                && rect.h.is_multiple_of(crate::grid::TILE_ALIGN),
             "tile rectangle {rect:?} must be {}-aligned",
             crate::grid::TILE_ALIGN
         );
@@ -172,7 +172,7 @@ impl TileEncoder {
             src.height(),
             self.rect
         );
-        let is_key = self.frame_idx % self.cfg.gop_len == 0 || self.recon_prev.is_none();
+        let is_key = self.frame_idx.is_multiple_of(self.cfg.gop_len) || self.recon_prev.is_none();
         let mut recon = Frame::black(self.rect.w, self.rect.h);
         let mut writer = BitWriter::new();
 
@@ -199,7 +199,10 @@ impl TileEncoder {
     /// against the budget and nudge the next frame's QP. Keyframes get a 4×
     /// allowance (intra frames are inherently larger).
     fn update_rate_control(&mut self, bits: i64, was_key: bool) {
-        let RateControl::TargetRate { millibits_per_sample } = self.cfg.rate else {
+        let RateControl::TargetRate {
+            millibits_per_sample,
+        } = self.cfg.rate
+        else {
             return;
         };
         let samples = (self.rect.w as i64 * self.rect.h as i64) * 3 / 2;
@@ -319,7 +322,16 @@ impl TileEncoder {
         let prev = prev_plane.expect("P-frame requires a previous reconstruction");
 
         // 1. SKIP probe at the zero vector.
-        let sad0 = sad(src_plane, src_stride, src_x, src_y, prev, recon_stride, x, y);
+        let sad0 = sad(
+            src_plane,
+            src_stride,
+            src_x,
+            src_y,
+            prev,
+            recon_stride,
+            x,
+            y,
+        );
         if sad0 <= skip_thresh {
             w.put_ue(Mode::Skip as u32);
             crate::blockops::copy_block(recon_plane, recon_stride, x, y, prev, recon_stride, x, y);
@@ -329,7 +341,17 @@ impl TileEncoder {
         // 2. Motion search (clamped inside the tile).
         let (mv, best_sad) = if range > 0 {
             three_step_search(
-                src_plane, src_stride, src_x, src_y, prev, recon_stride, x, y, pw, ph, range,
+                src_plane,
+                src_stride,
+                src_x,
+                src_y,
+                prev,
+                recon_stride,
+                x,
+                y,
+                pw,
+                ph,
+                range,
             )
         } else {
             ((0, 0), sad0)
@@ -368,6 +390,7 @@ impl TileEncoder {
 
     /// Intra path: subtract the DC prediction, transform-code the residual,
     /// and write the reconstruction into `recon`.
+    #[allow(clippy::too_many_arguments)]
     fn code_residual_and_reconstruct(
         &self,
         w: &mut BitWriter,
@@ -585,8 +608,7 @@ mod tests {
                 src[(18 + r) * 64 + 20 + c] = 200;
             }
         }
-        let ((mvx, mvy), sad) =
-            three_step_search(&src, 64, 20, 18, &prev, 64, 20, 18, 64, 64, 7);
+        let ((mvx, mvy), sad) = three_step_search(&src, 64, 20, 18, &prev, 64, 20, 18, 64, 64, 7);
         assert_eq!((mvx, mvy), (-4, -2));
         assert_eq!(sad, 0);
     }
@@ -606,7 +628,9 @@ mod tests {
         let cfg = EncoderConfig {
             gop_len: 4,
             qp: 20,
-            rate: RateControl::TargetRate { millibits_per_sample: 50 }, // 0.05 bpp: very tight
+            rate: RateControl::TargetRate {
+                millibits_per_sample: 50,
+            }, // 0.05 bpp: very tight
             ..Default::default()
         };
         let mut enc = TileEncoder::new(cfg, Rect::new(0, 0, 64, 64));
@@ -622,12 +646,21 @@ mod tests {
     #[test]
     fn rate_control_hits_smaller_size_than_constant_qp() {
         let run = |rate: RateControl| -> u64 {
-            let cfg = EncoderConfig { gop_len: 8, qp: 20, rate, ..Default::default() };
+            let cfg = EncoderConfig {
+                gop_len: 8,
+                qp: 20,
+                rate,
+                ..Default::default()
+            };
             let mut enc = TileEncoder::new(cfg, Rect::new(0, 0, 64, 64));
-            (0..24).map(|i| enc.encode_next(&textured(i)).data.len() as u64).sum()
+            (0..24)
+                .map(|i| enc.encode_next(&textured(i)).data.len() as u64)
+                .sum()
         };
         let cqp = run(RateControl::ConstantQp);
-        let rc = run(RateControl::TargetRate { millibits_per_sample: 100 });
+        let rc = run(RateControl::TargetRate {
+            millibits_per_sample: 100,
+        });
         assert!(
             rc < cqp,
             "0.1 bpp target ({rc} B) should undercut constant QP 20 ({cqp} B)"
@@ -640,7 +673,9 @@ mod tests {
         let cfg = EncoderConfig {
             gop_len: 4,
             qp: 24,
-            rate: RateControl::TargetRate { millibits_per_sample: 200 },
+            rate: RateControl::TargetRate {
+                millibits_per_sample: 200,
+            },
             ..Default::default()
         };
         let mut enc = TileEncoder::new(cfg, Rect::new(0, 0, 64, 64));
@@ -648,7 +683,9 @@ mod tests {
         for i in 0..12 {
             let src = textured(i);
             let chunk = enc.encode_next(&src);
-            let out = dec.decode_next_qp(&chunk.data, chunk.is_key, chunk.qp).unwrap();
+            let out = dec
+                .decode_next_qp(&chunk.data, chunk.is_key, chunk.qp)
+                .unwrap();
             let r = tasm_video::psnr_frames(&src, &out);
             assert!(r.y > 20.0, "frame {i} PSNR {:.1} (qp {})", r.y, chunk.qp);
         }

@@ -36,13 +36,19 @@ impl std::fmt::Display for LayoutError {
         match self {
             LayoutError::Empty => write!(f, "layout must have at least one row and column"),
             LayoutError::Misaligned { dim } => {
-                write!(f, "tile dimension {dim} is not a positive multiple of {TILE_ALIGN}")
+                write!(
+                    f,
+                    "tile dimension {dim} is not a positive multiple of {TILE_ALIGN}"
+                )
             }
             LayoutError::CoverageMismatch { expected, got } => {
                 write!(f, "tile dimensions sum to {got}, frame needs {expected}")
             }
             LayoutError::TooManyTiles { requested, max } => {
-                write!(f, "requested {requested} tiles but alignment permits at most {max}")
+                write!(
+                    f,
+                    "requested {requested} tiles but alignment permits at most {max}"
+                )
             }
         }
     }
@@ -71,7 +77,10 @@ impl TileLayout {
                 return Err(LayoutError::Misaligned { dim: d });
             }
         }
-        Ok(TileLayout { col_widths, row_heights })
+        Ok(TileLayout {
+            col_widths,
+            row_heights,
+        })
     }
 
     /// The untiled layout `ω`: a single tile covering a `w`×`h` frame.
@@ -135,10 +144,16 @@ impl TileLayout {
     /// Verifies the layout exactly covers a `w`×`h` frame.
     pub fn check_covers(&self, w: u32, h: u32) -> Result<(), LayoutError> {
         if self.frame_width() != w {
-            return Err(LayoutError::CoverageMismatch { expected: w, got: self.frame_width() });
+            return Err(LayoutError::CoverageMismatch {
+                expected: w,
+                got: self.frame_width(),
+            });
         }
         if self.frame_height() != h {
-            return Err(LayoutError::CoverageMismatch { expected: h, got: self.frame_height() });
+            return Err(LayoutError::CoverageMismatch {
+                expected: h,
+                got: self.frame_height(),
+            });
         }
         Ok(())
     }
@@ -147,7 +162,12 @@ impl TileLayout {
     pub fn tile_rect(&self, row: u32, col: u32) -> Rect {
         let x: u32 = self.col_widths[..col as usize].iter().sum();
         let y: u32 = self.row_heights[..row as usize].iter().sum();
-        Rect::new(x, y, self.col_widths[col as usize], self.row_heights[row as usize])
+        Rect::new(
+            x,
+            y,
+            self.col_widths[col as usize],
+            self.row_heights[row as usize],
+        )
     }
 
     /// Rectangle of the tile with raster index `idx`.
@@ -234,12 +254,15 @@ fn split_even(total: u32, parts: u32) -> Result<Vec<u32>, LayoutError> {
     if parts == 0 {
         return Err(LayoutError::Empty);
     }
-    if total == 0 || total % TILE_ALIGN != 0 {
+    if total == 0 || !total.is_multiple_of(TILE_ALIGN) {
         return Err(LayoutError::Misaligned { dim: total });
     }
     let units = total / TILE_ALIGN;
     if parts > units {
-        return Err(LayoutError::TooManyTiles { requested: parts, max: units });
+        return Err(LayoutError::TooManyTiles {
+            requested: parts,
+            max: units,
+        });
     }
     let base = units / parts;
     let extra = units % parts;
@@ -285,7 +308,10 @@ mod tests {
     fn uniform_rejects_too_many_tiles() {
         assert!(matches!(
             TileLayout::uniform(64, 64, 1, 5),
-            Err(LayoutError::TooManyTiles { requested: 5, max: 4 })
+            Err(LayoutError::TooManyTiles {
+                requested: 5,
+                max: 4
+            })
         ));
     }
 
@@ -332,7 +358,10 @@ mod tests {
         let l = TileLayout::uniform(320, 160, 2, 2).unwrap();
         // Tiles: 160x80 each.
         assert_eq!(l.tiles_intersecting(&Rect::new(0, 0, 10, 10)), vec![0]);
-        assert_eq!(l.tiles_intersecting(&Rect::new(150, 70, 20, 20)), vec![0, 1, 2, 3]);
+        assert_eq!(
+            l.tiles_intersecting(&Rect::new(150, 70, 20, 20)),
+            vec![0, 1, 2, 3]
+        );
         assert_eq!(l.tiles_intersecting(&Rect::new(200, 100, 10, 10)), vec![3]);
         assert!(l.tiles_intersecting(&Rect::new(5, 5, 0, 0)).is_empty());
     }

@@ -122,11 +122,7 @@ impl StitchedVideo {
 
     /// Total serialized size.
     pub fn size_bytes(&self) -> u64 {
-        let header = 4
-            + 1
-            + 2
-            + 2
-            + 4 * (self.layout.cols() as u64 + self.layout.rows() as u64);
+        let header = 4 + 1 + 2 + 2 + 4 * (self.layout.cols() as u64 + self.layout.rows() as u64);
         header + self.tiles.iter().map(|t| 8 + t.size_bytes()).sum::<u64>()
     }
 

@@ -58,7 +58,13 @@ impl CostModel {
     /// Panics if fewer than three samples are provided.
     pub fn fit(samples: &[WorkSample]) -> (CostModel, f64) {
         let fit = fit_linear(samples);
-        (CostModel { beta: fit.beta, gamma: fit.gamma }, fit.r2)
+        (
+            CostModel {
+                beta: fit.beta,
+                gamma: fit.gamma,
+            },
+            fit.r2,
+        )
     }
 }
 
@@ -74,7 +80,9 @@ impl Default for EncodeModel {
     fn default() -> Self {
         // Calibrated alongside the decode model; software encode with motion
         // search is roughly 2-3× decode.
-        EncodeModel { seconds_per_sample: 8.2e-9 }
+        EncodeModel {
+            seconds_per_sample: 8.2e-9,
+        }
     }
 }
 
@@ -143,7 +151,11 @@ pub fn fit_linear(samples: &[WorkSample]) -> FitResult {
         ss_res += (s.seconds - pred).powi(2);
         ss_tot += (s.seconds - mean_y).powi(2);
     }
-    let r2 = if ss_tot <= 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot <= 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     FitResult { beta, gamma, r2 }
 }
 
@@ -220,7 +232,10 @@ mod tests {
     use super::*;
 
     fn det(frame: u32, x: u32, y: u32) -> Detection {
-        Detection { frame, bbox: Rect::new(x, y, 32, 32) }
+        Detection {
+            frame,
+            bbox: Rect::new(x, y, 32, 32),
+        }
     }
 
     #[test]
@@ -236,7 +251,11 @@ mod tests {
             .collect();
         let fit = fit_linear(&samples);
         assert!((fit.beta - beta).abs() / beta < 1e-6, "beta {}", fit.beta);
-        assert!((fit.gamma - gamma).abs() / gamma < 1e-6, "gamma {}", fit.gamma);
+        assert!(
+            (fit.gamma - gamma).abs() / gamma < 1e-6,
+            "gamma {}",
+            fit.gamma
+        );
         assert!(fit.r2 > 0.9999, "r2 {}", fit.r2);
     }
 
@@ -259,7 +278,10 @@ mod tests {
     fn estimate_work_empty_inputs() {
         let l = TileLayout::untiled(640, 352);
         assert_eq!(estimate_work(&l, &[], 0..30, 0, 30), Work::default());
-        assert_eq!(estimate_work(&l, &[det(0, 0, 0)], 10..10, 0, 30), Work::default());
+        assert_eq!(
+            estimate_work(&l, &[det(0, 0, 0)], 10..10, 0, 30),
+            Work::default()
+        );
     }
 
     #[test]
@@ -278,7 +300,10 @@ mod tests {
         assert_eq!(w.tile_chunks, 30);
         assert_eq!(w.pixels, 30 * (320 * 176) * 3 / 2);
         // Box straddling all four tiles.
-        let center = Detection { frame: 0, bbox: Rect::new(300, 160, 40, 40) };
+        let center = Detection {
+            frame: 0,
+            bbox: Rect::new(300, 160, 40, 40),
+        };
         let w = estimate_work(&l, &[center], 0..30, 0, 30);
         assert_eq!(w.tile_chunks, 120);
         assert_eq!(w.pixels, 30 * (640 * 352) * 3 / 2);
@@ -297,7 +322,10 @@ mod tests {
     #[test]
     fn pixel_ratio_bounds() {
         let fine = TileLayout::new(vec![64, 512, 64], vec![32, 288, 32]).unwrap();
-        let dets = [Detection { frame: 0, bbox: Rect::new(0, 0, 48, 24) }];
+        let dets = [Detection {
+            frame: 0,
+            bbox: Rect::new(0, 0, 48, 24),
+        }];
         let r = pixel_ratio(&fine, &dets, 0..30, 0, 30);
         assert!(r > 0.0 && r < 1.0, "ratio {r}");
         let omega = TileLayout::untiled(640, 352);
@@ -308,11 +336,20 @@ mod tests {
     #[test]
     fn cost_model_orders_layouts() {
         let m = CostModel::default();
-        let small = Work { pixels: 1_000_000, tile_chunks: 30 };
-        let large = Work { pixels: 10_000_000, tile_chunks: 30 };
+        let small = Work {
+            pixels: 1_000_000,
+            tile_chunks: 30,
+        };
+        let large = Work {
+            pixels: 10_000_000,
+            tile_chunks: 30,
+        };
         assert!(m.cost(small) < m.cost(large));
         // Many tiny tiles can cost more than fewer larger ones.
-        let many_tiles = Work { pixels: 1_000_000, tile_chunks: 3000 };
+        let many_tiles = Work {
+            pixels: 1_000_000,
+            tile_chunks: 3000,
+        };
         assert!(m.cost(many_tiles) > m.cost(small));
     }
 

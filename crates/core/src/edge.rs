@@ -9,8 +9,8 @@
 //! bandwidth — both effects are reported in [`EdgeReport`].
 
 use crate::partition::partition;
-use crate::tasm::{Tasm, TasmError};
 use crate::runner::TruthFn;
+use crate::tasm::{Tasm, TasmError};
 use tasm_codec::TileLayout;
 use tasm_detect::{Detector, RawDetection};
 use tasm_video::{FrameSource, Rect};
@@ -270,7 +270,9 @@ mod tests {
             }
         }
         let edge_scan = t.scan("v", &LabelPredicate::label("car"), 10..20).unwrap();
-        let lazy_scan = lazy.scan("v", &LabelPredicate::label("car"), 10..20).unwrap();
+        let lazy_scan = lazy
+            .scan("v", &LabelPredicate::label("car"), 10..20)
+            .unwrap();
         assert!(
             edge_scan.stats.samples_decoded < lazy_scan.stats.samples_decoded,
             "edge {} vs lazy {}",

@@ -14,6 +14,9 @@
 //!   re-encode model, and their least-squares calibration (§4.1);
 //! * [`storage`] — each tile stored as its own video file, per-SOT layouts,
 //!   re-tiling by transcode (§3.4.5);
+//! * [`exec`] — the parallel tile-decode execution pipeline: per-(SOT, tile)
+//!   decode planning, a scoped-thread executor, and the shared decoded-GOP
+//!   cache (buffer-pool-style LRU with a byte budget);
 //! * [`scan`] — the `Scan(video, L, T)` access method with CNF label
 //!   predicates (§3.1);
 //! * [`tasm`] — the facade: `AddMetadata`, `Scan`, KQKO optimization (§4.2),
@@ -42,9 +45,44 @@
 //! let result = tasm.scan("traffic", &LabelPredicate::label("car"), 0..30).unwrap();
 //! println!("decoded {} samples", result.stats.samples_decoded);
 //! ```
+//!
+//! ## Execution pipeline and decoded-GOP cache
+//!
+//! `Scan` no longer decodes tiles in a serial loop. A query is *planned*
+//! into independent per-(SOT, tile) decode requests, which an executor fans
+//! out across scoped worker threads — tile bitstreams share nothing, so
+//! they decode in parallel and the results are reassembled in deterministic
+//! order (pixels and work accounting are bit-identical at any worker
+//! count). Between planning and execution sits a shared, byte-budgeted LRU
+//! cache of decoded GOP prefixes, keyed by
+//! `(video, SOT, tile, GOP, layout epoch)`, so overlapping and repeated
+//! queries reuse decode work instead of repeating it; re-tiling or
+//! re-ingesting invalidates the affected entries. Cache reuse is reported
+//! separately ([`ScanResult::cache`]) from real decode work
+//! ([`ScanResult::stats`]), keeping the §4.1 cost model calibrated.
+//!
+//! Two [`TasmConfig`] knobs control the pipeline:
+//!
+//! * [`TasmConfig::workers`] — decode worker threads. `0` (default) uses
+//!   one per available core; `1` reproduces strictly serial execution.
+//! * [`TasmConfig::cache_bytes`] — decoded-GOP cache budget in bytes.
+//!   `0` disables caching; the default is 256 MiB.
+//!
+//! ```no_run
+//! use tasm_core::{Tasm, TasmConfig};
+//! use tasm_index::MemoryIndex;
+//!
+//! let cfg = TasmConfig {
+//!     workers: 8,                 // decode on 8 threads
+//!     cache_bytes: 512 << 20,     // half a GiB of warm GOPs
+//!     ..TasmConfig::default()
+//! };
+//! let tasm = Tasm::open("/tmp/tasm-store", Box::new(MemoryIndex::in_memory()), cfg);
+//! ```
 
 pub mod cost;
 pub mod edge;
+pub mod exec;
 pub mod partition;
 pub mod runner;
 pub mod scan;
@@ -53,10 +91,9 @@ pub mod tasm;
 
 pub use cost::{estimate_work, fit_linear, pixel_ratio, CostModel, EncodeModel, Work, WorkSample};
 pub use edge::{edge_ingest, EdgeConfig, EdgeReport};
+pub use exec::{CacheStats, DecodedTile, DecodedTileCache, TileDecodeRequest};
 pub use partition::{partition, Granularity, PartitionConfig};
 pub use runner::{run_workload, QueryRecord, RunQuery, Strategy, TruthFn, WorkloadReport};
 pub use scan::{scan, LabelPredicate, RegionPixels, ScanError, ScanResult};
-pub use storage::{
-    RetileStats, SotEntry, StorageConfig, StoreError, VideoManifest, VideoStore,
-};
+pub use storage::{RetileStats, SotEntry, StorageConfig, StoreError, VideoManifest, VideoStore};
 pub use tasm::{Tasm, TasmConfig, TasmError};

@@ -56,18 +56,14 @@ impl Default for PartitionConfig {
 /// * the layout exactly covers the frame;
 /// * no interior boundary intersects any input box;
 /// * every tile respects the configured minimum dimensions.
-pub fn partition(
-    frame_w: u32,
-    frame_h: u32,
-    boxes: &[Rect],
-    cfg: &PartitionConfig,
-) -> TileLayout {
+pub fn partition(frame_w: u32, frame_h: u32, boxes: &[Rect], cfg: &PartitionConfig) -> TileLayout {
     assert!(
-        frame_w % TILE_ALIGN == 0 && frame_h % TILE_ALIGN == 0,
+        frame_w.is_multiple_of(TILE_ALIGN) && frame_h.is_multiple_of(TILE_ALIGN),
         "frame dimensions must be tile-aligned"
     );
     assert!(
-        cfg.min_tile_width % TILE_ALIGN == 0 && cfg.min_tile_height % TILE_ALIGN == 0,
+        cfg.min_tile_width.is_multiple_of(TILE_ALIGN)
+            && cfg.min_tile_height.is_multiple_of(TILE_ALIGN),
         "minimum tile dimensions must be multiples of {TILE_ALIGN}"
     );
     let boxes: Vec<Rect> = boxes
@@ -127,7 +123,10 @@ fn axis_cuts(total: u32, min_dim: u32, occupied: &[(u32, u32)], g: Granularity) 
             // One band containing all intervals.
             match (occupied.first(), occupied.last()) {
                 (Some(&(a, _)), Some(&(_, b))) => {
-                    vec![a / TILE_ALIGN * TILE_ALIGN, b.div_ceil(TILE_ALIGN) * TILE_ALIGN]
+                    vec![
+                        a / TILE_ALIGN * TILE_ALIGN,
+                        b.div_ceil(TILE_ALIGN) * TILE_ALIGN,
+                    ]
                 }
                 _ => Vec::new(),
             }
@@ -200,7 +199,9 @@ mod tests {
     }
 
     fn check_invariants(layout: &TileLayout, boxes: &[Rect]) {
-        layout.check_covers(W, H).expect("layout must cover the frame");
+        layout
+            .check_covers(W, H)
+            .expect("layout must cover the frame");
         for b in boxes {
             assert!(
                 !layout.boundary_intersects(b),
@@ -235,10 +236,7 @@ mod tests {
 
     #[test]
     fn coarse_layout_puts_all_boxes_in_one_tile() {
-        let boxes = [
-            Rect::new(100, 50, 40, 40),
-            Rect::new(400, 200, 60, 60),
-        ];
+        let boxes = [Rect::new(100, 50, 40, 40), Rect::new(400, 200, 60, 60)];
         let l = partition(W, H, &boxes, &coarse());
         check_invariants(&l, &boxes);
         // Both boxes must share a single tile.
@@ -252,10 +250,7 @@ mod tests {
 
     #[test]
     fn fine_separates_two_distant_boxes() {
-        let boxes = [
-            Rect::new(64, 64, 40, 40),
-            Rect::new(480, 240, 60, 60),
-        ];
+        let boxes = [Rect::new(64, 64, 40, 40), Rect::new(480, 240, 60, 60)];
         let l = partition(W, H, &boxes, &fine());
         check_invariants(&l, &boxes);
         let t0 = l.tiles_intersecting(&boxes[0]);
@@ -270,10 +265,7 @@ mod tests {
 
     #[test]
     fn overlapping_boxes_share_a_tile() {
-        let boxes = [
-            Rect::new(200, 100, 80, 80),
-            Rect::new(240, 140, 80, 80),
-        ];
+        let boxes = [Rect::new(200, 100, 80, 80), Rect::new(240, 140, 80, 80)];
         let l = partition(W, H, &boxes, &fine());
         check_invariants(&l, &boxes);
     }
@@ -326,8 +318,7 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_box() -> impl Strategy<Value = Rect> {
-        (0u32..600, 0u32..320, 4u32..200, 4u32..150)
-            .prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+        (0u32..600, 0u32..320, 4u32..200, 4u32..150).prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
     }
 
     proptest! {

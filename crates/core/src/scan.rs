@@ -12,8 +12,9 @@
 //! work, as the paper's reported query times do.
 
 use crate::cost::Work;
+use crate::exec::{self, CacheStats, TileDecodeRequest};
 use crate::storage::{StoreError, VideoManifest, VideoStore};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::Range;
 use std::time::{Duration, Instant};
 use tasm_codec::DecodeStats;
@@ -31,7 +32,9 @@ pub struct LabelPredicate {
 impl LabelPredicate {
     /// A single-label predicate (the common case in the evaluation).
     pub fn label(label: &str) -> Self {
-        LabelPredicate { clauses: vec![vec![label.to_string()]] }
+        LabelPredicate {
+            clauses: vec![vec![label.to_string()]],
+        }
     }
 
     /// One disjunctive clause: any of `labels`.
@@ -45,7 +48,8 @@ impl LabelPredicate {
     /// Conjunction with another clause.
     pub fn and(mut self, labels: &[&str]) -> Self {
         assert!(!labels.is_empty(), "clause must name at least one label");
-        self.clauses.push(labels.iter().map(|l| l.to_string()).collect());
+        self.clauses
+            .push(labels.iter().map(|l| l.to_string()).collect());
         self
     }
 
@@ -124,19 +128,29 @@ pub struct RegionPixels {
 pub struct ScanResult {
     /// Matched regions with their pixels, frame order.
     pub regions: Vec<RegionPixels>,
-    /// Exact decode accounting.
+    /// Exact decode accounting — only work actually performed; frames
+    /// served by the decoded-GOP cache are *not* counted here, so the
+    /// §4.1 cost model stays calibrated against real decode effort.
     pub stats: DecodeStats,
+    /// Decoded-GOP cache reuse for this scan.
+    pub cache: CacheStats,
     /// Time spent querying the semantic index.
     pub lookup_time: Duration,
+    /// Wall-clock time of the decode execution phase. With `workers > 1`
+    /// this is *elapsed* time, not the sum of per-worker decode times —
+    /// `stats.decode_time` holds that sum (the cost model's work measure).
+    pub exec_time: Duration,
     /// Tiles-and-pixels estimate actually incurred (for cost-model
     /// validation): mirrors `stats` in estimator units.
     pub work: Work,
 }
 
 impl ScanResult {
-    /// Total seconds (lookup + decode), the paper's reported query time.
+    /// Total wall-clock seconds (lookup + decode execution), the paper's
+    /// reported query time. Parallel decode shortens this without changing
+    /// `stats` — query latency and decode work are separate quantities.
     pub fn seconds(&self) -> f64 {
-        self.lookup_time.as_secs_f64() + self.stats.seconds()
+        self.lookup_time.as_secs_f64() + self.exec_time.as_secs_f64()
     }
 }
 
@@ -164,19 +178,18 @@ pub fn scan(
         return Ok(result);
     }
 
+    // --- Planning: reduce the query to per-(SOT, tile) decode requests ---
+    let mut sot_plans: Vec<(usize, Range<u32>)> = Vec::new();
+    let mut requests: Vec<TileDecodeRequest> = Vec::new();
     for sot_idx in manifest.sots_for_range(frames.clone()) {
         let sot = &manifest.sots[sot_idx];
-        // Regions and needed tiles for this SOT.
-        let mut needed: Vec<u32> = Vec::new();
+        // Needed tiles for this SOT (BTreeSet: dedup + sorted raster order).
+        let mut needed: BTreeSet<u32> = BTreeSet::new();
         let mut first_frame = u32::MAX;
         let mut last_frame = 0u32;
         for (&frame, rects) in regions.range(sot.start..sot.end) {
             for r in rects {
-                for t in sot.layout.tiles_intersecting(r) {
-                    if !needed.contains(&t) {
-                        needed.push(t);
-                    }
-                }
+                needed.extend(sot.layout.tiles_intersecting(r));
             }
             first_frame = first_frame.min(frame);
             last_frame = last_frame.max(frame);
@@ -184,29 +197,49 @@ pub fn scan(
         if needed.is_empty() {
             continue;
         }
-        needed.sort_unstable();
-
         let local = (first_frame - sot.start)..(last_frame - sot.start + 1);
-        let (tile_frames, stats) = store
-            .decode_tiles(manifest, sot_idx, &needed, local.clone())
-            .map_err(ScanError::Store)?;
-        result.stats += stats;
-        result.work.pixels += stats.samples_decoded;
-        result.work.tile_chunks += stats.tile_chunks_decoded;
+        requests.extend(needed.into_iter().map(|tile| TileDecodeRequest {
+            sot_idx,
+            tile,
+            local_span: local.clone(),
+        }));
+        sot_plans.push((sot_idx, local));
+    }
+    if requests.is_empty() {
+        return Ok(result);
+    }
 
-        // Crop each region from the decoded tiles.
+    // --- Execution: fan the requests out across the store's workers ---
+    let t1 = Instant::now();
+    let (decoded, stats, cache) =
+        exec::execute(store, manifest, &requests).map_err(ScanError::Store)?;
+    result.exec_time = t1.elapsed();
+    result.stats += stats;
+    result.cache += cache;
+    result.work.pixels += stats.samples_decoded;
+    result.work.tile_chunks += stats.tile_chunks_decoded;
+    let by_tile: HashMap<(usize, u32), &exec::DecodedTile> =
+        decoded.iter().map(|d| ((d.sot_idx, d.tile), d)).collect();
+
+    // --- Reassembly: crop each region from its SOT's decoded tiles ---
+    for (sot_idx, local) in sot_plans {
+        let sot = &manifest.sots[sot_idx];
         for (&frame, rects) in regions.range(sot.start..sot.end) {
-            let local_idx = (frame - sot.start - local.start) as usize;
+            let local_idx = frame - sot.start;
+            debug_assert!(local.contains(&local_idx));
             for r in rects {
                 let aligned = align_out(r, manifest.width, manifest.height);
                 if aligned.is_empty() {
                     continue;
                 }
                 let mut canvas = Frame::black(aligned.w, aligned.h);
-                for (t, frames_of_tile) in &tile_frames {
-                    let trect = sot.layout.tile_rect_by_index(*t);
+                for t in sot.layout.tiles_intersecting(&aligned) {
+                    let Some(tile) = by_tile.get(&(sot_idx, t)) else {
+                        continue;
+                    };
+                    let trect = sot.layout.tile_rect_by_index(t);
                     if let Some(overlap) = trect.intersect(&aligned) {
-                        let tile_frame = &frames_of_tile[local_idx];
+                        let tile_frame = tile.frame_at(local_idx);
                         let src_rect = Rect::new(
                             overlap.x - trect.x,
                             overlap.y - trect.y,
@@ -225,7 +258,11 @@ pub fn scan(
                         );
                     }
                 }
-                result.regions.push(RegionPixels { frame, rect: *r, pixels: canvas });
+                result.regions.push(RegionPixels {
+                    frame,
+                    rect: *r,
+                    pixels: canvas,
+                });
             }
         }
     }
@@ -268,11 +305,8 @@ fn intersect_box_sets(lhs: &[Rect], rhs: &[Rect]) -> Vec<Rect> {
         return out;
     }
     let hull = Rect::hull(lhs.iter().chain(rhs));
-    let grid = tasm_index::SpatialGrid::from_boxes(
-        hull.right().max(64),
-        hull.bottom().max(64),
-        lhs,
-    );
+    let grid =
+        tasm_index::SpatialGrid::from_boxes(hull.right().max(64), hull.bottom().max(64), lhs);
     let mut out = Vec::new();
     for b in rhs {
         out.extend(grid.intersections(b));
@@ -317,9 +351,12 @@ mod tests {
     #[test]
     fn disjunction_unions_boxes() {
         let mut idx = tasm_index::MemoryIndex::in_memory();
-        idx.add_metadata(0, "car", 3, Rect::new(0, 0, 10, 10)).unwrap();
-        idx.add_metadata(0, "bicycle", 3, Rect::new(50, 50, 10, 10)).unwrap();
-        idx.add_metadata(0, "person", 3, Rect::new(90, 90, 10, 10)).unwrap();
+        idx.add_metadata(0, "car", 3, Rect::new(0, 0, 10, 10))
+            .unwrap();
+        idx.add_metadata(0, "bicycle", 3, Rect::new(50, 50, 10, 10))
+            .unwrap();
+        idx.add_metadata(0, "person", 3, Rect::new(90, 90, 10, 10))
+            .unwrap();
         let p = LabelPredicate::any_of(&["car", "bicycle"]);
         let regions = p.target_regions(&mut idx, 0, 0..10).unwrap();
         assert_eq!(regions[&3].len(), 2);
@@ -328,9 +365,12 @@ mod tests {
     #[test]
     fn conjunction_intersects_boxes() {
         let mut idx = tasm_index::MemoryIndex::in_memory();
-        idx.add_metadata(0, "car", 3, Rect::new(0, 0, 20, 20)).unwrap();
-        idx.add_metadata(0, "red", 3, Rect::new(10, 10, 20, 20)).unwrap();
-        idx.add_metadata(0, "red", 4, Rect::new(10, 10, 20, 20)).unwrap(); // no car on 4
+        idx.add_metadata(0, "car", 3, Rect::new(0, 0, 20, 20))
+            .unwrap();
+        idx.add_metadata(0, "red", 3, Rect::new(10, 10, 20, 20))
+            .unwrap();
+        idx.add_metadata(0, "red", 4, Rect::new(10, 10, 20, 20))
+            .unwrap(); // no car on 4
         let p = LabelPredicate::label("car").and(&["red"]);
         let regions = p.target_regions(&mut idx, 0, 0..10).unwrap();
         assert_eq!(regions.len(), 1);
@@ -340,16 +380,24 @@ mod tests {
     #[test]
     fn disjoint_conjunction_is_empty() {
         let mut idx = tasm_index::MemoryIndex::in_memory();
-        idx.add_metadata(0, "car", 3, Rect::new(0, 0, 10, 10)).unwrap();
-        idx.add_metadata(0, "red", 3, Rect::new(50, 50, 10, 10)).unwrap();
+        idx.add_metadata(0, "car", 3, Rect::new(0, 0, 10, 10))
+            .unwrap();
+        idx.add_metadata(0, "red", 3, Rect::new(50, 50, 10, 10))
+            .unwrap();
         let p = LabelPredicate::label("car").and(&["red"]);
         assert!(p.target_regions(&mut idx, 0, 0..10).unwrap().is_empty());
     }
 
     #[test]
     fn alignment_helpers() {
-        assert_eq!(align_out(&Rect::new(3, 3, 5, 5), 100, 100), Rect::new(2, 2, 6, 6));
-        assert_eq!(align_out(&Rect::new(0, 0, 4, 4), 100, 100), Rect::new(0, 0, 4, 4));
+        assert_eq!(
+            align_out(&Rect::new(3, 3, 5, 5), 100, 100),
+            Rect::new(2, 2, 6, 6)
+        );
+        assert_eq!(
+            align_out(&Rect::new(0, 0, 4, 4), 100, 100),
+            Rect::new(0, 0, 4, 4)
+        );
         assert_eq!(align_in(&Rect::new(3, 3, 5, 5)), Rect::new(4, 4, 4, 4));
         assert!(align_in(&Rect::new(3, 3, 1, 1)).is_empty());
     }

@@ -16,11 +16,13 @@
 //! re-encodes under the new layout — the `R(s, L)` cost in the incremental
 //! policies.
 
+use crate::exec::{self, CacheStats, DecodedTileCache, TileDecodeRequest};
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io;
 use std::ops::Range;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use tasm_codec::{
     encode_video, ContainerError, DecodeStats, EncodeStats, EncoderConfig, LayoutError,
     StitchError, StitchedVideo, TileLayout, TileVideo,
@@ -207,6 +209,9 @@ impl VideoManifest {
     }
 }
 
+/// Per-tile decode output: `(tile raster index, frames over the local span)`.
+pub type DecodedTiles = Vec<(u32, Vec<Arc<Frame>>)>;
+
 /// Costs of a retile operation (decode existing + encode new).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RetileStats {
@@ -223,17 +228,86 @@ impl RetileStats {
     }
 }
 
-/// The on-disk tile store.
+/// The on-disk tile store, with its attached decode-execution settings:
+/// worker count for the parallel tile-decode pipeline and an optional
+/// shared decoded-GOP cache.
 pub struct VideoStore {
     root: PathBuf,
+    /// Canonical identity of this store in shared-cache keys.
+    store_id: Arc<str>,
+    workers: usize,
+    cache: Option<Arc<DecodedTileCache>>,
 }
 
 impl VideoStore {
-    /// Opens (creating) a store rooted at `root`.
+    /// Opens (creating) a store rooted at `root` with default execution
+    /// settings: auto worker count, no decoded-tile cache.
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        Self::open_with(root, 0, 0)
+    }
+
+    /// Opens a store with explicit execution settings: `workers` decode
+    /// threads (`0` = one per available core) and a decoded-GOP cache of
+    /// `cache_bytes` (`0` disables caching).
+    pub fn open_with(
+        root: impl Into<PathBuf>,
+        workers: usize,
+        cache_bytes: u64,
+    ) -> Result<Self, StoreError> {
+        let cache = (cache_bytes > 0).then(|| Arc::new(DecodedTileCache::new(cache_bytes)));
+        Self::open_shared(root, workers, cache)
+    }
+
+    /// Opens a store sharing an existing decoded-GOP cache — lets several
+    /// store handles (e.g. per-connection `Tasm` instances over the same
+    /// directory) hit each other's warm GOPs.
+    pub fn open_shared(
+        root: impl Into<PathBuf>,
+        workers: usize,
+        cache: Option<Arc<DecodedTileCache>>,
+    ) -> Result<Self, StoreError> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(VideoStore { root })
+        // Canonicalize so two handles over the same directory share cache
+        // entries regardless of how the path was spelled.
+        let store_id: Arc<str> = Arc::from(
+            fs::canonicalize(&root)
+                .unwrap_or_else(|_| root.clone())
+                .to_string_lossy()
+                .as_ref(),
+        );
+        Ok(VideoStore {
+            root,
+            store_id,
+            workers,
+            cache,
+        })
+    }
+
+    /// Identity of this store in shared decoded-GOP cache keys.
+    pub(crate) fn store_id(&self) -> Arc<str> {
+        self.store_id.clone()
+    }
+
+    /// Worker threads the decode executor will use.
+    pub(crate) fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+
+    /// The attached decoded-GOP cache, if any.
+    pub fn decoded_cache(&self) -> Option<&DecodedTileCache> {
+        self.cache.as_deref()
+    }
+
+    /// Shareable handle to the decoded-GOP cache, if any.
+    pub fn decoded_cache_handle(&self) -> Option<Arc<DecodedTileCache>> {
+        self.cache.clone()
     }
 
     /// The store's root directory.
@@ -254,14 +328,23 @@ impl VideoStore {
         cfg: StorageConfig,
         mut layout_for: impl FnMut(usize, Range<u32>) -> TileLayout,
     ) -> Result<(VideoManifest, EncodeStats), StoreError> {
-        assert!(cfg.sot_frames > 0 && cfg.sot_frames % cfg.gop_len == 0,
-            "SOT duration must be a positive multiple of the GOP length");
-        assert!(!name.is_empty() && !name.contains(['/', '\\']), "invalid video name");
+        assert!(
+            cfg.sot_frames > 0 && cfg.sot_frames.is_multiple_of(cfg.gop_len),
+            "SOT duration must be a positive multiple of the GOP length"
+        );
+        assert!(
+            !name.is_empty() && !name.contains(['/', '\\']),
+            "invalid video name"
+        );
         let dir = self.root.join(name);
         if dir.exists() {
             fs::remove_dir_all(&dir)?;
         }
         fs::create_dir_all(&dir)?;
+        // Any cached GOPs of a previous video under this name are stale.
+        if let Some(cache) = &self.cache {
+            cache.invalidate_video(&self.store_id, name);
+        }
 
         let mut sots = Vec::new();
         let mut total = EncodeStats::default();
@@ -276,7 +359,12 @@ impl VideoStore {
                 encode_video(&slice, &layout, &cfg.encoder(), cfg.parallel_encode)?;
             total += stats;
             self.write_sot_files(name, start, end, &tiles)?;
-            sots.push(SotEntry { start, end, layout, retile_count: 0 });
+            sots.push(SotEntry {
+                start,
+                end,
+                layout,
+                retile_count: 0,
+            });
             start = end;
             sot_idx += 1;
         }
@@ -328,24 +416,63 @@ impl VideoStore {
         Ok(TileVideo::from_bytes(&fs::read(path)?)?)
     }
 
-    /// Decodes a set of tiles of one SOT over a *local* frame range,
-    /// returning per-tile frames plus exact accounting.
+    /// Plans the decode of a set of tiles of one SOT over a *local* frame
+    /// range: one [`TileDecodeRequest`] per tile. Planning is pure — the
+    /// work happens in [`exec::execute`].
+    pub fn plan_decode_tiles(
+        &self,
+        manifest: &VideoManifest,
+        sot_idx: usize,
+        tile_indices: &[u32],
+        local_frames: Range<u32>,
+    ) -> Result<Vec<TileDecodeRequest>, StoreError> {
+        let sot = manifest
+            .sots
+            .get(sot_idx)
+            .ok_or_else(|| StoreError::NotFound(format!("SOT {sot_idx}")))?;
+        if local_frames.start >= local_frames.end || local_frames.end > sot.len() {
+            return Err(StoreError::NotFound(format!(
+                "local frames {local_frames:?} of SOT {sot_idx}"
+            )));
+        }
+        Ok(tile_indices
+            .iter()
+            .map(|&tile| TileDecodeRequest {
+                sot_idx,
+                tile,
+                local_span: local_frames.clone(),
+            })
+            .collect())
+    }
+
+    /// Decodes a set of tiles of one SOT over a *local* frame range through
+    /// the parallel execution pipeline, returning per-tile frames plus
+    /// exact accounting of the decode work (cache reuse excluded — see
+    /// [`VideoStore::decode_tiles_cached`] for the cache counters).
     pub fn decode_tiles(
         &self,
         manifest: &VideoManifest,
         sot_idx: usize,
         tile_indices: &[u32],
         local_frames: Range<u32>,
-    ) -> Result<(Vec<(u32, Vec<Frame>)>, DecodeStats), StoreError> {
-        let mut stats = DecodeStats::default();
-        let mut out = Vec::with_capacity(tile_indices.len());
-        for &t in tile_indices {
-            let tile = self.read_tile(manifest, sot_idx, t)?;
-            let (frames, s) = tile.decode_range(local_frames.clone())?;
-            stats += s;
-            out.push((t, frames));
-        }
-        Ok((out, stats))
+    ) -> Result<(DecodedTiles, DecodeStats), StoreError> {
+        let (tiles, stats, _) =
+            self.decode_tiles_cached(manifest, sot_idx, tile_indices, local_frames)?;
+        Ok((tiles, stats))
+    }
+
+    /// [`VideoStore::decode_tiles`] with cache-reuse accounting included.
+    pub fn decode_tiles_cached(
+        &self,
+        manifest: &VideoManifest,
+        sot_idx: usize,
+        tile_indices: &[u32],
+        local_frames: Range<u32>,
+    ) -> Result<(DecodedTiles, DecodeStats, CacheStats), StoreError> {
+        let plan = self.plan_decode_tiles(manifest, sot_idx, tile_indices, local_frames)?;
+        let (decoded, stats, cache) = exec::execute(self, manifest, &plan)?;
+        let out = decoded.into_iter().map(|d| (d.tile, d.frames)).collect();
+        Ok((out, stats, cache))
     }
 
     /// Re-encodes one SOT under `new_layout` (the incremental policies'
@@ -392,6 +519,11 @@ impl VideoStore {
         entry.layout = new_layout;
         entry.retile_count += 1;
         self.save_manifest(manifest)?;
+        // The layout epoch in cache keys changed with `retile_count`; drop
+        // the stale entries eagerly to reclaim their bytes.
+        if let Some(cache) = &self.cache {
+            cache.invalidate_sot(&self.store_id, &manifest.name, sot.start);
+        }
         Ok(RetileStats { decode, encode })
     }
 
@@ -410,11 +542,14 @@ impl VideoStore {
     }
 
     fn sot_dir(&self, name: &str, start: u32, end: u32) -> PathBuf {
-        self.root.join(name).join(format!("sot_{start:06}_{end:06}"))
+        self.root
+            .join(name)
+            .join(format!("sot_{start:06}_{end:06}"))
     }
 
     fn tile_path(&self, name: &str, start: u32, end: u32, tile: u32) -> PathBuf {
-        self.sot_dir(name, start, end).join(format!("tile_{tile:03}.tvf"))
+        self.sot_dir(name, start, end)
+            .join(format!("tile_{tile:03}.tvf"))
     }
 
     fn write_sot_files(
@@ -445,7 +580,12 @@ mod tests {
                     let mut f = Frame::filled(64, 64, 90, 128, 128);
                     for y in 0..64 {
                         for x in 0..64 {
-                            f.set_sample(Plane::Y, x, y, ((x * 3 + y * 5 + i * 2) % 200 + 20) as u8);
+                            f.set_sample(
+                                Plane::Y,
+                                x,
+                                y,
+                                ((x * 3 + y * 5 + i * 2) % 200 + 20) as u8,
+                            );
                         }
                     }
                     f.fill_rect(Rect::new((i * 4) % 48, 16, 16, 16), 230, 90, 160);
@@ -475,7 +615,9 @@ mod tests {
         let store = temp_store("ingest");
         let src = test_source(25);
         let (manifest, stats) = store
-            .ingest("v", &src, 30, small_cfg(), |_, _| TileLayout::untiled(64, 64))
+            .ingest("v", &src, 30, small_cfg(), |_, _| {
+                TileLayout::untiled(64, 64)
+            })
             .unwrap();
         assert_eq!(manifest.sots.len(), 3); // 10 + 10 + 5
         assert_eq!(manifest.sots[2].frames(), 20..25);
@@ -490,7 +632,9 @@ mod tests {
         let store = temp_store("lookup");
         let src = test_source(25);
         let (m, _) = store
-            .ingest("v", &src, 30, small_cfg(), |_, _| TileLayout::untiled(64, 64))
+            .ingest("v", &src, 30, small_cfg(), |_, _| {
+                TileLayout::untiled(64, 64)
+            })
             .unwrap();
         assert_eq!(m.sot_for_frame(0), Some(0));
         assert_eq!(m.sot_for_frame(9), Some(0));
@@ -524,7 +668,9 @@ mod tests {
         let store = temp_store("retile");
         let src = test_source(10);
         let (mut m, _) = store
-            .ingest("v", &src, 30, small_cfg(), |_, _| TileLayout::untiled(64, 64))
+            .ingest("v", &src, 30, small_cfg(), |_, _| {
+                TileLayout::untiled(64, 64)
+            })
             .unwrap();
         let new_layout = TileLayout::uniform(64, 64, 2, 2).unwrap();
         let stats = store.retile(&mut m, 0, new_layout.clone()).unwrap();
@@ -553,9 +699,13 @@ mod tests {
         let store = temp_store("retile-noop");
         let src = test_source(10);
         let (mut m, _) = store
-            .ingest("v", &src, 30, small_cfg(), |_, _| TileLayout::untiled(64, 64))
+            .ingest("v", &src, 30, small_cfg(), |_, _| {
+                TileLayout::untiled(64, 64)
+            })
             .unwrap();
-        let stats = store.retile(&mut m, 0, TileLayout::untiled(64, 64)).unwrap();
+        let stats = store
+            .retile(&mut m, 0, TileLayout::untiled(64, 64))
+            .unwrap();
         assert_eq!(stats.encode.bytes_produced, 0);
         assert_eq!(m.sots[0].retile_count, 0);
     }
@@ -574,7 +724,9 @@ mod tests {
         let store = temp_store("reingest");
         let src = test_source(10);
         let (m1, _) = store
-            .ingest("v", &src, 30, small_cfg(), |_, _| TileLayout::untiled(64, 64))
+            .ingest("v", &src, 30, small_cfg(), |_, _| {
+                TileLayout::untiled(64, 64)
+            })
             .unwrap();
         let layout = TileLayout::uniform(64, 64, 1, 2).unwrap();
         let (m2, _) = store
@@ -590,7 +742,11 @@ mod tests {
     fn sot_must_align_to_gops() {
         let store = temp_store("align");
         let src = test_source(10);
-        let cfg = StorageConfig { gop_len: 4, sot_frames: 10, ..Default::default() };
+        let cfg = StorageConfig {
+            gop_len: 4,
+            sot_frames: 10,
+            ..Default::default()
+        };
         let _ = store.ingest("v", &src, 30, cfg, |_, _| TileLayout::untiled(64, 64));
     }
 }

@@ -38,6 +38,14 @@ pub struct TasmConfig {
     /// alternative layout; beyond this only singletons and the full set are
     /// tracked (the paper enumerates subsets; this caps the blow-up).
     pub max_subset_objects: usize,
+    /// Worker threads for the parallel tile-decode pipeline. `0` = one per
+    /// available core. `1` reproduces the old strictly serial execution
+    /// (bit-identical results either way).
+    pub workers: usize,
+    /// Byte budget of the decoded-GOP cache shared by every scan through
+    /// this instance. `0` disables caching; repeated queries over the same
+    /// GOPs then re-decode from disk.
+    pub cache_bytes: u64,
 }
 
 impl Default for TasmConfig {
@@ -50,6 +58,8 @@ impl Default for TasmConfig {
             cost: CostModel::default(),
             encode: EncodeModel::default(),
             max_subset_objects: 4,
+            workers: 0,
+            cache_bytes: 256 << 20,
         }
     }
 }
@@ -144,7 +154,7 @@ impl Tasm {
         cfg: TasmConfig,
     ) -> Result<Self, TasmError> {
         Ok(Tasm {
-            store: VideoStore::open(root)?,
+            store: VideoStore::open_with(root, cfg.workers, cfg.cache_bytes)?,
             index,
             cfg,
             videos: BTreeMap::new(),
@@ -168,7 +178,12 @@ impl Tasm {
 
     /// Ingests a video untiled (`ω` for every SOT) — the starting point of
     /// the lazy and incremental strategies.
-    pub fn ingest(&mut self, name: &str, src: &dyn FrameSource, fps: u32) -> Result<u32, TasmError> {
+    pub fn ingest(
+        &mut self,
+        name: &str,
+        src: &dyn FrameSource,
+        fps: u32,
+    ) -> Result<u32, TasmError> {
         let (w, h) = (src.width(), src.height());
         self.ingest_with(name, src, fps, move |_, _| TileLayout::untiled(w, h))
     }
@@ -456,7 +471,10 @@ impl Tasm {
                 }
                 delta += self.query_delta(id, label, window.clone(), &sot, gop, &alt_layout)?;
                 let entry = self.entry_mut(name)?;
-                *entry.sots[sot_idx].regret.entry(subset.clone()).or_insert(0.0) += delta;
+                *entry.sots[sot_idx]
+                    .regret
+                    .entry(subset.clone())
+                    .or_insert(0.0) += delta;
             }
 
             // Pick the best alternative exceeding the threshold.
@@ -553,7 +571,11 @@ impl Tasm {
         }
         let boxes: Vec<Rect> = dets.iter().map(|d| d.bbox).collect();
         let layout = partition(w, h, &boxes, &self.cfg.partition);
-        Ok(if layout.is_untiled() { None } else { Some(layout) })
+        Ok(if layout.is_untiled() {
+            None
+        } else {
+            Some(layout)
+        })
     }
 
     /// Estimated improvement `∆(q, L_cur, L_alt)` of one query on one SOT.
@@ -584,7 +606,10 @@ impl Tasm {
     ) -> Result<bool, TasmError> {
         let (sot, history) = {
             let e = self.entry(name)?;
-            (e.manifest.sots[sot_idx].clone(), e.sots[sot_idx].history.clone())
+            (
+                e.manifest.sots[sot_idx].clone(),
+                e.sots[sot_idx].history.clone(),
+            )
         };
         for (label, window) in &history {
             let dets = self.index.query(video_id, label, window.clone())?;
@@ -667,8 +692,10 @@ mod tests {
 
     fn populate_truth(t: &mut Tasm, frames: u32) {
         for i in 0..frames {
-            t.add_metadata("v", "car", i, Rect::new((i * 2) % 96, 8, 24, 16)).unwrap();
-            t.add_metadata("v", "person", i, Rect::new(96, 64, 12, 24)).unwrap();
+            t.add_metadata("v", "car", i, Rect::new((i * 2) % 96, 8, 24, 16))
+                .unwrap();
+            t.add_metadata("v", "person", i, Rect::new(96, 64, 12, 24))
+                .unwrap();
             t.mark_processed("v", i).unwrap();
         }
     }
@@ -685,7 +712,12 @@ mod tests {
         assert!(result.seconds() > 0.0);
         // Region pixels carry the bright car texture.
         let r = &result.regions[0];
-        let bright = r.pixels.plane(Plane::Y).iter().filter(|&&v| v > 180).count();
+        let bright = r
+            .pixels
+            .plane(Plane::Y)
+            .iter()
+            .filter(|&&v| v > 180)
+            .count();
         assert!(bright > 50, "car pixels should be bright, got {bright}");
     }
 
@@ -705,10 +737,14 @@ mod tests {
         t.ingest("v", &src, 30).unwrap();
         populate_truth(&mut t, 20);
 
-        let before = t.scan("v", &LabelPredicate::label("person"), 0..10).unwrap();
+        let before = t
+            .scan("v", &LabelPredicate::label("person"), 0..10)
+            .unwrap();
         let cost = t.kqko_retile_all("v", &["person".to_string()]).unwrap();
         assert!(cost.encode.bytes_produced > 0, "should have re-tiled");
-        let after = t.scan("v", &LabelPredicate::label("person"), 0..10).unwrap();
+        let after = t
+            .scan("v", &LabelPredicate::label("person"), 0..10)
+            .unwrap();
         assert!(
             after.stats.samples_decoded < before.stats.samples_decoded,
             "tiling should reduce decoded samples: {} -> {}",

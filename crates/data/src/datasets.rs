@@ -58,8 +58,7 @@ impl Dataset {
     ];
 
     /// The sparse subset used where the paper evaluates on Visual Road.
-    pub const SPARSE: [Dataset; 3] =
-        [Dataset::VisualRoad2K, Dataset::VisualRoad4K, Dataset::Mot16];
+    pub const SPARSE: [Dataset; 3] = [Dataset::VisualRoad2K, Dataset::VisualRoad4K, Dataset::Mot16];
 
     /// The dense subset used in Workloads 5–6.
     pub const DENSE: [Dataset; 3] = [
@@ -97,10 +96,7 @@ impl Dataset {
 
     /// Whether objects are dense (≥ 20% mean coverage) in this preset.
     pub fn is_dense(&self) -> bool {
-        matches!(
-            self,
-            Dataset::NetflixOpenSource | Dataset::ElFuenteDense
-        )
+        matches!(self, Dataset::NetflixOpenSource | Dataset::ElFuenteDense)
     }
 
     /// Builds the scene spec. `duration_s` is the simulated duration in
@@ -119,9 +115,11 @@ impl Dataset {
                 0.9,
                 0.0,
             ),
-            Dataset::NetflixPublic => {
-                (vec![(ObjectClass::Person, 1), (ObjectClass::Bird, 2)], 1.6, 0.0)
-            }
+            Dataset::NetflixPublic => (
+                vec![(ObjectClass::Person, 1), (ObjectClass::Bird, 2)],
+                1.6,
+                0.0,
+            ),
             Dataset::NetflixOpenSource => (
                 vec![
                     (ObjectClass::Person, 9),
@@ -145,9 +143,11 @@ impl Dataset {
                 1.0,
                 0.3,
             ),
-            Dataset::ElFuenteSparse => {
-                (vec![(ObjectClass::Boat, 2), (ObjectClass::Person, 1)], 1.0, 0.05)
-            }
+            Dataset::ElFuenteSparse => (
+                vec![(ObjectClass::Boat, 2), (ObjectClass::Person, 1)],
+                1.0,
+                0.05,
+            ),
             Dataset::ElFuenteDense => (
                 vec![
                     (ObjectClass::Person, 11),
@@ -203,9 +203,17 @@ mod tests {
             let v = d.build(2, 42);
             let cov = v.mean_coverage();
             if d.is_dense() {
-                assert!(cov >= 0.20, "{}: coverage {cov:.3} should be dense", d.name());
+                assert!(
+                    cov >= 0.20,
+                    "{}: coverage {cov:.3} should be dense",
+                    d.name()
+                );
             } else {
-                assert!(cov < 0.20, "{}: coverage {cov:.3} should be sparse", d.name());
+                assert!(
+                    cov < 0.20,
+                    "{}: coverage {cov:.3} should be sparse",
+                    d.name()
+                );
             }
         }
     }

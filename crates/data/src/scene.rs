@@ -54,16 +54,54 @@ impl ObjectClass {
     /// pixels/frame at 640-wide scale. Rough visual plausibility only.
     fn profile(&self) -> ClassProfile {
         match self {
-            ObjectClass::Car => ClassProfile { w: 0.11, h: 0.07, speed: 2.4, base_luma: 150 },
-            ObjectClass::Person => ClassProfile { w: 0.035, h: 0.095, speed: 0.8, base_luma: 110 },
-            ObjectClass::Bird => ClassProfile { w: 0.05, h: 0.04, speed: 3.2, base_luma: 190 },
-            ObjectClass::Boat => ClassProfile { w: 0.16, h: 0.09, speed: 1.0, base_luma: 170 },
-            ObjectClass::Sheep => ClassProfile { w: 0.06, h: 0.05, speed: 0.5, base_luma: 210 },
-            ObjectClass::Bicycle => ClassProfile { w: 0.06, h: 0.06, speed: 1.8, base_luma: 90 },
-            ObjectClass::TrafficLight => {
-                ClassProfile { w: 0.02, h: 0.05, speed: 0.0, base_luma: 60 }
-            }
-            ObjectClass::Food => ClassProfile { w: 0.05, h: 0.05, speed: 0.2, base_luma: 140 },
+            ObjectClass::Car => ClassProfile {
+                w: 0.11,
+                h: 0.07,
+                speed: 2.4,
+                base_luma: 150,
+            },
+            ObjectClass::Person => ClassProfile {
+                w: 0.035,
+                h: 0.095,
+                speed: 0.8,
+                base_luma: 110,
+            },
+            ObjectClass::Bird => ClassProfile {
+                w: 0.05,
+                h: 0.04,
+                speed: 3.2,
+                base_luma: 190,
+            },
+            ObjectClass::Boat => ClassProfile {
+                w: 0.16,
+                h: 0.09,
+                speed: 1.0,
+                base_luma: 170,
+            },
+            ObjectClass::Sheep => ClassProfile {
+                w: 0.06,
+                h: 0.05,
+                speed: 0.5,
+                base_luma: 210,
+            },
+            ObjectClass::Bicycle => ClassProfile {
+                w: 0.06,
+                h: 0.06,
+                speed: 1.8,
+                base_luma: 90,
+            },
+            ObjectClass::TrafficLight => ClassProfile {
+                w: 0.02,
+                h: 0.05,
+                speed: 0.0,
+                base_luma: 60,
+            },
+            ObjectClass::Food => ClassProfile {
+                w: 0.05,
+                h: 0.05,
+                speed: 0.2,
+                base_luma: 140,
+            },
         }
     }
 }
@@ -198,7 +236,7 @@ impl SyntheticVideo {
     /// Panics if dimensions are not multiples of 16 or the scene is empty.
     pub fn new(spec: SceneSpec) -> Self {
         assert!(
-            spec.width % 16 == 0 && spec.height % 16 == 0,
+            spec.width.is_multiple_of(16) && spec.height.is_multiple_of(16),
             "scene dimensions must be multiples of 16 (codec tile alignment)"
         );
         assert!(spec.frames > 0, "scene must have at least one frame");
@@ -268,7 +306,10 @@ impl SyntheticVideo {
     pub fn ground_truth(&self, t: u32) -> Vec<(&'static str, Rect)> {
         self.objects
             .iter()
-            .filter_map(|o| o.bbox(t, self.spec.width, self.spec.height).map(|b| (o.class.label(), b)))
+            .filter_map(|o| {
+                o.bbox(t, self.spec.width, self.spec.height)
+                    .map(|b| (o.class.label(), b))
+            })
             .collect()
     }
 
@@ -358,13 +399,22 @@ impl SyntheticVideo {
                 let local = splitmix(
                     obj.tex ^ (((x - rect.x) / 5) as u64) ^ ((((y - rect.y) / 5) as u64) << 20),
                 );
-                let stripe = if ((x - rect.x) / 5 + (y - rect.y) / 5) % 2 == 0 { 25 } else { 0 };
+                let stripe = if ((x - rect.x) / 5 + (y - rect.y) / 5).is_multiple_of(2) {
+                    25
+                } else {
+                    0
+                };
                 let v = obj.base_luma as i32 + stripe + (local % 14) as i32 - 7;
                 yplane[row + x as usize] = v.clamp(0, 255) as u8;
             }
         }
         // Chroma: flat per-object colour.
-        let crect = Rect::new(rect.x / 2, rect.y / 2, rect.w.div_ceil(2), rect.h.div_ceil(2));
+        let crect = Rect::new(
+            rect.x / 2,
+            rect.y / 2,
+            rect.w.div_ceil(2),
+            rect.h.div_ceil(2),
+        );
         let cw = (w / 2) as usize;
         let uplane = frame.plane_mut(Plane::U);
         for y in crect.y..crect.bottom() {
@@ -430,8 +480,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = SyntheticVideo::new(SceneSpec { seed: 1, ..SceneSpec::test_scene() });
-        let b = SyntheticVideo::new(SceneSpec { seed: 2, ..SceneSpec::test_scene() });
+        let a = SyntheticVideo::new(SceneSpec {
+            seed: 1,
+            ..SceneSpec::test_scene()
+        });
+        let b = SyntheticVideo::new(SceneSpec {
+            seed: 2,
+            ..SceneSpec::test_scene()
+        });
         assert_ne!(a.frame(0), b.frame(0));
     }
 
@@ -461,11 +517,7 @@ mod tests {
         let b0 = v.ground_truth_for(0, "car");
         let b30 = v.ground_truth_for(30, "car");
         assert!(!b0.is_empty() && !b30.is_empty());
-        let moved = b0
-            .iter()
-            .zip(&b30)
-            .filter(|(a, b)| a != b)
-            .count();
+        let moved = b0.iter().zip(&b30).filter(|(a, b)| a != b).count();
         assert!(moved >= 1, "at least one car should move over 30 frames");
     }
 

@@ -23,7 +23,10 @@ pub struct Query {
 impl Query {
     /// Convenience constructor.
     pub fn new(label: &str, frames: Range<u32>) -> Self {
-        Query { label: label.to_string(), frames }
+        Query {
+            label: label.to_string(),
+            frames,
+        }
     }
 }
 
@@ -42,7 +45,11 @@ impl WorkloadParams {
     /// Standard parameters: windows of `query_frames` over a video.
     pub fn new(video_frames: u32, query_frames: u32, seed: u64) -> Self {
         assert!(video_frames > 0 && query_frames > 0);
-        WorkloadParams { video_frames, query_frames, seed }
+        WorkloadParams {
+            video_frames,
+            query_frames,
+            seed,
+        }
     }
 
     fn clamp_window(&self, start: u32) -> Range<u32> {
@@ -105,7 +112,11 @@ pub fn workload4(p: WorkloadParams) -> Vec<Query> {
     let zipf = Zipf::new(p.video_frames as usize, 1.0);
     (0..200)
         .map(|i| {
-            let label = if (67..134).contains(&i) { "person" } else { "car" };
+            let label = if (67..134).contains(&i) {
+                "person"
+            } else {
+                "car"
+            };
             let start = zipf.sample(&mut rng) as u32;
             Query::new(label, p.clamp_window(start))
         })
@@ -116,7 +127,10 @@ pub fn workload4(p: WorkloadParams) -> Vec<Query> {
 /// help — uniform starts, each query randomly targeting one of the scene's
 /// primary classes.
 pub fn workload5(p: WorkloadParams, primary_labels: &[&str]) -> Vec<Query> {
-    assert!(!primary_labels.is_empty(), "need at least one primary label");
+    assert!(
+        !primary_labels.is_empty(),
+        "need at least one primary label"
+    );
     let mut rng = StdRng::seed_from_u64(p.seed);
     (0..200)
         .map(|_| {

@@ -56,7 +56,11 @@ impl BackgroundSubtractor {
         if self.width != w || self.height != h {
             self.width = w;
             self.height = h;
-            self.model = frame.plane(Plane::Y).iter().map(|&p| (p as u32) << 8).collect();
+            self.model = frame
+                .plane(Plane::Y)
+                .iter()
+                .map(|&p| (p as u32) << 8)
+                .collect();
         }
     }
 
@@ -175,7 +179,12 @@ fn components(cells: &[bool], cw: usize, ch: usize) -> Vec<Rect> {
                 }
             }
         }
-        out.push(Rect::new(min_x, min_y, max_x - min_x + 1, max_y - min_y + 1));
+        out.push(Rect::new(
+            min_x,
+            min_y,
+            max_x - min_x + 1,
+            max_y - min_y + 1,
+        ));
     }
     out
 }

@@ -74,7 +74,7 @@ impl<D: Detector> Detector for SampledDetector<D> {
         truth: &[(&'static str, Rect)],
     ) -> Vec<RawDetection> {
         self.offered += 1;
-        if frame_idx % self.stride == 0 {
+        if frame_idx.is_multiple_of(self.stride) {
             self.held = self.inner.detect(frame_idx, pixels, truth);
             self.processed += 1;
         }

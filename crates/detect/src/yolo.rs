@@ -88,7 +88,11 @@ impl SimulatedYolo {
 
     /// A custom configuration (for ablations).
     pub fn with_config(cfg: YoloConfig, seed: u64) -> Self {
-        SimulatedYolo { cfg, platform: Platform::ServerGpu, seed }
+        SimulatedYolo {
+            cfg,
+            platform: Platform::ServerGpu,
+            seed,
+        }
     }
 
     /// Moves the detector to a platform (changes only the cost profile).
@@ -145,7 +149,8 @@ impl Detector for SimulatedYolo {
         let frame_area = fw as f64 * fh as f64;
         let mut out = Vec::with_capacity(truth.len());
         for (i, (label, bbox)) in truth.iter().enumerate() {
-            let h = splitmix(self.seed ^ ((frame_idx as u64) << 24) ^ (i as u64) ^ hash_label(label));
+            let h =
+                splitmix(self.seed ^ ((frame_idx as u64) << 24) ^ (i as u64) ^ hash_label(label));
             // Size gate: small objects are invisible to this detector.
             if (bbox.area() as f64) < self.cfg.min_area_frac * frame_area {
                 continue;
@@ -262,7 +267,11 @@ mod tests {
                 let overlaps_truth = t
                     .iter()
                     .any(|(l, b)| *l == det.label && det.bbox.iou(b) > 0.3);
-                assert!(overlaps_truth, "jittered box {:?} drifted too far", det.bbox);
+                assert!(
+                    overlaps_truth,
+                    "jittered box {:?} drifted too far",
+                    det.bbox
+                );
                 assert!((0.5..=1.0).contains(&det.confidence));
             }
         }

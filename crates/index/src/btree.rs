@@ -179,7 +179,11 @@ impl<S: PageStore> BTree<S> {
     }
 
     /// Inserts a record; returns the previous value if the key existed.
-    pub fn insert(&mut self, key: RecordKey, value: [u8; VALUE_LEN]) -> Result<Option<Rect>, TreeError> {
+    pub fn insert(
+        &mut self,
+        key: RecordKey,
+        value: [u8; VALUE_LEN],
+    ) -> Result<Option<Rect>, TreeError> {
         let ek = key.encode();
         let (replaced, split) = self.insert_rec(self.meta.root, &ek, &value)?;
         if let Some((sep, right)) = split {
@@ -233,7 +237,11 @@ impl<S: PageStore> BTree<S> {
     }
 
     /// Returns all records with `lo <= key < hi` in key order.
-    pub fn range(&mut self, lo: &RecordKey, hi: &RecordKey) -> Result<Vec<(RecordKey, Rect)>, TreeError> {
+    pub fn range(
+        &mut self,
+        lo: &RecordKey,
+        hi: &RecordKey,
+    ) -> Result<Vec<(RecordKey, Rect)>, TreeError> {
         let mut out = Vec::new();
         self.range_for_each(lo, hi, |k, v| {
             out.push((k, v));
@@ -681,7 +689,9 @@ mod tests {
         let mut keys: Vec<u32> = (0..n).collect();
         let mut state = 12345u64;
         for i in (1..keys.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (state >> 33) as usize % (i + 1);
             keys.swap(i, j);
         }
@@ -689,7 +699,11 @@ mod tests {
             t.insert(RecordKey::new(0, 0, k, 0), value(k)).unwrap();
         }
         assert_eq!(t.len(), n as u64);
-        assert!(t.height().unwrap() >= 3, "tree should have grown: height {}", t.height().unwrap());
+        assert!(
+            t.height().unwrap() >= 3,
+            "tree should have grown: height {}",
+            t.height().unwrap()
+        );
         // Spot-check.
         for k in [0u32, 1, 127, 128, 4095, 4096, n - 1] {
             assert_eq!(
@@ -720,7 +734,10 @@ mod tests {
         t.insert(RecordKey::new(2, 2, 50, 0), value(999)).unwrap();
 
         let hits = t
-            .range(&RecordKey::range_start(1, 2, 10), &RecordKey::range_start(1, 2, 20))
+            .range(
+                &RecordKey::range_start(1, 2, 10),
+                &RecordKey::range_start(1, 2, 20),
+            )
             .unwrap();
         assert_eq!(hits.len(), 10);
         assert!(hits.iter().all(|(k, _)| k.video == 1 && k.label == 2));
@@ -760,7 +777,10 @@ mod tests {
         for f in 0..300u32 {
             t.insert(RecordKey::new(0, 0, f, 0), value(f)).unwrap();
         }
-        assert_eq!(t.delete(&RecordKey::new(0, 0, 150, 0)).unwrap(), Some(Rect::new(150, 151, 152, 153)));
+        assert_eq!(
+            t.delete(&RecordKey::new(0, 0, 150, 0)).unwrap(),
+            Some(Rect::new(150, 151, 152, 153))
+        );
         assert_eq!(t.delete(&RecordKey::new(0, 0, 150, 0)).unwrap(), None);
         assert_eq!(t.len(), 299);
         assert_eq!(t.get(&RecordKey::new(0, 0, 150, 0)).unwrap(), None);

@@ -101,7 +101,9 @@ impl LabelDict {
         if id < FIRST_LABEL {
             return None;
         }
-        self.names.get((id - FIRST_LABEL) as usize).map(|s| s.as_str())
+        self.names
+            .get((id - FIRST_LABEL) as usize)
+            .map(|s| s.as_str())
     }
 
     /// Number of interned labels.

@@ -47,7 +47,8 @@ pub trait SemanticIndex {
     fn add_metadata(&mut self, video: u32, label: &str, frame: u32, bbox: Rect) -> IndexResult<()>;
 
     /// All detections of `label` in `frames`, ordered by frame.
-    fn query(&mut self, video: u32, label: &str, frames: Range<u32>) -> IndexResult<Vec<Detection>>;
+    fn query(&mut self, video: u32, label: &str, frames: Range<u32>)
+        -> IndexResult<Vec<Detection>>;
 
     /// All detections of any label in `frames`.
     fn query_all(&mut self, video: u32, frames: Range<u32>) -> IndexResult<Vec<LabeledDetection>>;
@@ -139,13 +140,20 @@ impl<S: PageStore> SemanticIndex for Index<S> {
     fn add_metadata(&mut self, video: u32, label: &str, frame: u32, bbox: Rect) -> IndexResult<()> {
         let label_id = self.dict.intern(label).map_err(TreeError::Io)?;
         let seq = self.next_seq();
-        self.tree
-            .insert(RecordKey::new(video, label_id, frame, seq), encode_value(&bbox))?;
+        self.tree.insert(
+            RecordKey::new(video, label_id, frame, seq),
+            encode_value(&bbox),
+        )?;
         self.detections += 1;
         Ok(())
     }
 
-    fn query(&mut self, video: u32, label: &str, frames: Range<u32>) -> IndexResult<Vec<Detection>> {
+    fn query(
+        &mut self,
+        video: u32,
+        label: &str,
+        frames: Range<u32>,
+    ) -> IndexResult<Vec<Detection>> {
         let Some(label_id) = self.dict.lookup(label) else {
             return Ok(Vec::new());
         };
@@ -158,7 +166,10 @@ impl<S: PageStore> SemanticIndex for Index<S> {
             .tree
             .range(&lo, &hi)?
             .into_iter()
-            .map(|(k, bbox)| Detection { frame: k.frame, bbox })
+            .map(|(k, bbox)| Detection {
+                frame: k.frame,
+                bbox,
+            })
             .collect())
     }
 
@@ -248,8 +259,20 @@ mod tests {
         idx.add_metadata(1, "car", 30, bbox(3)).unwrap();
         let hits = idx.query(1, "car", 0..20).unwrap();
         assert_eq!(hits.len(), 2);
-        assert_eq!(hits[0], Detection { frame: 10, bbox: bbox(1) });
-        assert_eq!(hits[1], Detection { frame: 12, bbox: bbox(2) });
+        assert_eq!(
+            hits[0],
+            Detection {
+                frame: 10,
+                bbox: bbox(1)
+            }
+        );
+        assert_eq!(
+            hits[1],
+            Detection {
+                frame: 12,
+                bbox: bbox(2)
+            }
+        );
     }
 
     #[test]

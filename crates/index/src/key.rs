@@ -30,7 +30,12 @@ pub struct RecordKey {
 impl RecordKey {
     /// Creates a key.
     pub fn new(video: u32, label: u32, frame: u32, seq: u32) -> Self {
-        RecordKey { video, label, frame, seq }
+        RecordKey {
+            video,
+            label,
+            frame,
+            seq,
+        }
     }
 
     /// Smallest key for `(video, label)` — the start of a clustered range.

@@ -129,7 +129,8 @@ impl PageStore for FileStore {
     }
 
     fn write(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> io::Result<()> {
-        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        self.file
+            .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
         self.file.write_all(buf)
     }
 

@@ -153,7 +153,9 @@ mod tests {
         assert_eq!(hits, vec![Rect::new(10, 10, 50, 50)]);
         let hits = g.query_intersecting(&Rect::new(310, 210, 10, 10));
         assert_eq!(hits, vec![Rect::new(300, 200, 40, 40)]);
-        assert!(g.query_intersecting(&Rect::new(100, 100, 20, 20)).is_empty());
+        assert!(g
+            .query_intersecting(&Rect::new(100, 100, 20, 20))
+            .is_empty());
     }
 
     #[test]
@@ -181,7 +183,9 @@ mod tests {
         g.insert(Rect::new(600, 320, 100, 100)); // extends past the frame
         let hits = g.query_intersecting(&Rect::new(630, 340, 500, 500));
         assert_eq!(hits.len(), 1);
-        assert!(g.query_intersecting(&Rect::new(5000, 5000, 10, 10)).is_empty());
+        assert!(g
+            .query_intersecting(&Rect::new(5000, 5000, 10, 10))
+            .is_empty());
     }
 
     #[test]
@@ -198,8 +202,7 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_rect() -> impl Strategy<Value = Rect> {
-        (0u32..640, 0u32..352, 1u32..200, 1u32..150)
-            .prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+        (0u32..640, 0u32..352, 1u32..200, 1u32..150).prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
     }
 
     proptest! {

@@ -57,7 +57,7 @@ impl Frame {
     pub fn filled(width: u32, height: u32, y: u8, u: u8, v: u8) -> Self {
         assert!(width > 0 && height > 0, "frame dimensions must be nonzero");
         assert!(
-            width % 2 == 0 && height % 2 == 0,
+            width.is_multiple_of(2) && height.is_multiple_of(2),
             "4:2:0 frame dimensions must be even (got {width}x{height})"
         );
         let luma = (width as usize) * (height as usize);
@@ -145,7 +145,10 @@ impl Frame {
     /// stay aligned; the copy is clipped to both frames.
     pub fn blit(&mut self, src: &Frame, src_rect: Rect, dst_x: u32, dst_y: u32) {
         debug_assert!(
-            src_rect.x % 2 == 0 && src_rect.y % 2 == 0 && dst_x % 2 == 0 && dst_y % 2 == 0,
+            src_rect.x.is_multiple_of(2)
+                && src_rect.y.is_multiple_of(2)
+                && dst_x.is_multiple_of(2)
+                && dst_y.is_multiple_of(2),
             "blit coordinates must be chroma-aligned (even)"
         );
         let src_rect = src_rect.clamp_to(src.width, src.height);
@@ -158,7 +161,10 @@ impl Frame {
             let shift = plane.subsample_shift();
             let sw = src.plane_width(plane) as usize;
             let dw = self.plane_width(plane) as usize;
-            let (sx, sy) = ((src_rect.x >> shift) as usize, (src_rect.y >> shift) as usize);
+            let (sx, sy) = (
+                (src_rect.x >> shift) as usize,
+                (src_rect.y >> shift) as usize,
+            );
             let (dx, dy) = ((dst_x >> shift) as usize, (dst_y >> shift) as usize);
             let (cw, ch) = ((avail_w >> shift) as usize, (avail_h >> shift) as usize);
             let sp = src.plane(plane);
@@ -184,7 +190,10 @@ impl Frame {
             self.height
         );
         assert!(
-            rect.x % 2 == 0 && rect.y % 2 == 0 && rect.w % 2 == 0 && rect.h % 2 == 0,
+            rect.x.is_multiple_of(2)
+                && rect.y.is_multiple_of(2)
+                && rect.w.is_multiple_of(2)
+                && rect.h.is_multiple_of(2),
             "crop rect must be chroma-aligned: {rect:?}"
         );
         let mut out = Frame::black(rect.w, rect.h);

@@ -90,7 +90,13 @@ fn accumulate<'a, I: Iterator<Item = (&'a Frame, &'a Frame)>>(pairs: I) -> PsnrR
             counts[i] += pa.len() as u64;
         }
     }
-    let m = |i: usize| if counts[i] == 0 { 0.0 } else { sums[i] / counts[i] as f64 };
+    let m = |i: usize| {
+        if counts[i] == 0 {
+            0.0
+        } else {
+            sums[i] / counts[i] as f64
+        }
+    };
     let (my, mu, mv) = (m(0), m(1), m(2));
     let combined_mse = (6.0 * my + mu + mv) / 8.0;
     PsnrReport {
@@ -168,6 +174,6 @@ mod tests {
     #[should_panic(expected = "lengths differ")]
     fn sequence_length_mismatch_panics() {
         let a = Frame::black(8, 8);
-        let _ = psnr_sequence([&a].into_iter().map(|f| f), Vec::<&Frame>::new());
+        let _ = psnr_sequence([&a], Vec::<&Frame>::new());
     }
 }

@@ -39,7 +39,10 @@ impl VecFrameSource {
     /// # Panics
     /// Panics if `frames` is empty or the frames disagree on dimensions.
     pub fn new(frames: Vec<Frame>) -> Self {
-        assert!(!frames.is_empty(), "VecFrameSource requires at least one frame");
+        assert!(
+            !frames.is_empty(),
+            "VecFrameSource requires at least one frame"
+        );
         let (w, h) = (frames[0].width(), frames[0].height());
         assert!(
             frames.iter().all(|f| f.width() == w && f.height() == h),
@@ -114,7 +117,11 @@ impl<S: FrameSource + ?Sized> FrameSource for SliceSource<'_, S> {
     }
 
     fn frame(&self, idx: u32) -> Frame {
-        assert!(idx < self.len, "frame {idx} out of range for slice of {}", self.len);
+        assert!(
+            idx < self.len,
+            "frame {idx} out of range for slice of {}",
+            self.len
+        );
         self.inner.frame(self.start + idx)
     }
 }

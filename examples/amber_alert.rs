@@ -9,21 +9,23 @@
 //! cargo run --release -p tasm-suite --example amber_alert
 //! ```
 
-use tasm_core::{
-    run_workload, RunQuery, StorageConfig, Strategy, Tasm, TasmConfig,
-};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tasm_core::{run_workload, RunQuery, StorageConfig, Strategy, Tasm, TasmConfig};
 use tasm_data::{Dataset, Zipf};
 use tasm_detect::yolo::SimulatedYolo;
 use tasm_index::MemoryIndex;
 use tasm_video::FrameSource;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let root = std::env::temp_dir().join("tasm-amber");
     std::fs::remove_dir_all(&root).ok();
     let cfg = TasmConfig {
-        storage: StorageConfig { gop_len: 30, sot_frames: 30, ..Default::default() },
+        storage: StorageConfig {
+            gop_len: 30,
+            sot_frames: 30,
+            ..Default::default()
+        },
         ..Default::default()
     };
 
@@ -38,7 +40,10 @@ fn main() {
     let queries: Vec<RunQuery> = (0..40)
         .map(|_| {
             let start = (zipf.sample(&mut rng) as u32).min(video.len() - 30);
-            RunQuery { label: "car".into(), frames: start..start + 30 }
+            RunQuery {
+                label: "car".into(),
+                frames: start..start + 30,
+            }
         })
         .collect();
 
@@ -46,12 +51,22 @@ fn main() {
         ("not tiled          ", Strategy::NotTiled),
         ("incremental, regret", Strategy::IncrementalRegret),
     ] {
-        let mut tasm = Tasm::open(root.join(label.trim()), Box::new(MemoryIndex::in_memory()), cfg.clone())
-            .expect("open");
+        let mut tasm = Tasm::open(
+            root.join(label.trim()),
+            Box::new(MemoryIndex::in_memory()),
+            cfg.clone(),
+        )
+        .expect("open");
         tasm.ingest("feed", &video, 30).expect("ingest");
         let mut detector = SimulatedYolo::full(1);
         let report = run_workload(
-            &mut tasm, "feed", &queries, strategy, &mut detector, &truth, None,
+            &mut tasm,
+            "feed",
+            &queries,
+            strategy,
+            &mut detector,
+            &truth,
+            None,
         )
         .expect("workload");
         let decode: f64 = report.records.iter().map(|r| r.decode_seconds).sum();

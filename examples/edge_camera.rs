@@ -19,7 +19,11 @@ fn main() {
     let root = std::env::temp_dir().join("tasm-edge");
     std::fs::remove_dir_all(&root).ok();
     let cfg = TasmConfig {
-        storage: StorageConfig { gop_len: 30, sot_frames: 30, ..Default::default() },
+        storage: StorageConfig {
+            gop_len: 30,
+            sot_frames: 30,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut tasm = Tasm::open(&root, Box::new(MemoryIndex::in_memory()), cfg).expect("open");
@@ -32,11 +36,26 @@ fn main() {
     // so the camera detects every 5th frame (§5.2.4 finds this adequate).
     let mut detector = SimulatedYolo::full(3).on(Platform::EdgeGpu);
     let edge_cfg = EdgeConfig::new(&["car"]);
-    let report = edge_ingest(&mut tasm, "cam0", &video, 30, &edge_cfg, &mut detector, &truth)
-        .expect("edge ingest");
+    let report = edge_ingest(
+        &mut tasm,
+        "cam0",
+        &video,
+        30,
+        &edge_cfg,
+        &mut detector,
+        &truth,
+    )
+    .expect("edge ingest");
 
-    println!("camera processed {} of {} frames on-device", report.frames_processed, video.len());
-    println!("simulated on-camera detection time: {:.2} s", report.detect_seconds);
+    println!(
+        "camera processed {} of {} frames on-device",
+        report.frames_processed,
+        video.len()
+    );
+    println!(
+        "simulated on-camera detection time: {:.2} s",
+        report.detect_seconds
+    );
     println!("SOTs tiled at capture time: {}", report.tiled_sots);
     println!(
         "upload: {:.1} KiB of object tiles vs {:.1} KiB full video ({:.0}% saved)",
@@ -47,7 +66,9 @@ fn main() {
 
     // First query arrives: the video is already tiled, the semantic index
     // already populated — no detection, no re-encode, minimal decode.
-    let r = tasm.scan("cam0", &LabelPredicate::label("car"), 0..30).expect("scan");
+    let r = tasm
+        .scan("cam0", &LabelPredicate::label("car"), 0..30)
+        .expect("scan");
     println!(
         "\nfirst query: {} regions, {} samples decoded, {:.2} ms — no re-encode needed",
         r.regions.len(),

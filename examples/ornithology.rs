@@ -17,7 +17,11 @@ fn main() {
     let root = std::env::temp_dir().join("tasm-ornithology");
     std::fs::remove_dir_all(&root).ok();
     let cfg = TasmConfig {
-        storage: StorageConfig { gop_len: 30, sot_frames: 30, ..Default::default() },
+        storage: StorageConfig {
+            gop_len: 30,
+            sot_frames: 30,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut tasm = Tasm::open(&root, Box::new(MemoryIndex::in_memory()), cfg).expect("open");
@@ -27,7 +31,8 @@ fn main() {
     tasm.ingest("nature", &video, 30).expect("ingest");
     for f in 0..video.len() {
         for (label, bbox) in video.ground_truth(f) {
-            tasm.add_metadata("nature", label, f, bbox).expect("metadata");
+            tasm.add_metadata("nature", label, f, bbox)
+                .expect("metadata");
         }
     }
 
@@ -42,19 +47,48 @@ fn main() {
     }
 
     println!("-- exploratory session on the untiled video --");
-    run(&mut tasm, "birds, first second", &LabelPredicate::label("bird"), 0..30);
-    run(&mut tasm, "birds OR people, whole video", &LabelPredicate::any_of(&["bird", "person"]), 0..90);
-    run(&mut tasm, "birds AND people (co-occurring)", &LabelPredicate::label("bird").and(&["person"]), 0..90);
+    run(
+        &mut tasm,
+        "birds, first second",
+        &LabelPredicate::label("bird"),
+        0..30,
+    );
+    run(
+        &mut tasm,
+        "birds OR people, whole video",
+        &LabelPredicate::any_of(&["bird", "person"]),
+        0..90,
+    );
+    run(
+        &mut tasm,
+        "birds AND people (co-occurring)",
+        &LabelPredicate::label("bird").and(&["person"]),
+        0..90,
+    );
 
     // The session keeps returning to birds: adapt the layout.
     for _ in 0..3 {
         tasm.observe_more("nature", "bird", 0..90).expect("observe");
     }
     println!("\n-- after incremental tiling around the queried class --");
-    run(&mut tasm, "birds, first second", &LabelPredicate::label("bird"), 0..30);
-    run(&mut tasm, "birds OR people, whole video", &LabelPredicate::any_of(&["bird", "person"]), 0..90);
+    run(
+        &mut tasm,
+        "birds, first second",
+        &LabelPredicate::label("bird"),
+        0..30,
+    );
+    run(
+        &mut tasm,
+        "birds OR people, whole video",
+        &LabelPredicate::any_of(&["bird", "person"]),
+        0..90,
+    );
 
     let m = tasm.manifest("nature").expect("manifest");
     let tiled = m.sots.iter().filter(|s| !s.layout.is_untiled()).count();
-    println!("\n{}/{} sections of the video are now tiled around birds", tiled, m.sots.len());
+    println!(
+        "\n{}/{} sections of the video are now tiled around birds",
+        tiled,
+        m.sots.len()
+    );
 }

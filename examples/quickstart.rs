@@ -14,11 +14,15 @@ fn main() {
     let root = std::env::temp_dir().join("tasm-quickstart");
     std::fs::remove_dir_all(&root).ok();
     let cfg = TasmConfig {
-        storage: StorageConfig { gop_len: 30, sot_frames: 30, ..Default::default() },
+        storage: StorageConfig {
+            gop_len: 30,
+            sot_frames: 30,
+            ..Default::default()
+        },
         ..Default::default()
     };
-    let mut tasm = Tasm::open(&root, Box::new(MemoryIndex::in_memory()), cfg)
-        .expect("open storage manager");
+    let mut tasm =
+        Tasm::open(&root, Box::new(MemoryIndex::in_memory()), cfg).expect("open storage manager");
 
     // 2. A two-second synthetic traffic video (cars + pedestrians), rendered
     //    on demand. In a real deployment this is the camera feed.
@@ -40,7 +44,8 @@ fn main() {
     //    index through AddMetadata (here: perfect ground-truth detections).
     for f in 0..video.len() {
         for (label, bbox) in video.ground_truth(f) {
-            tasm.add_metadata("traffic", label, f, bbox).expect("add metadata");
+            tasm.add_metadata("traffic", label, f, bbox)
+                .expect("add metadata");
         }
     }
 
@@ -69,6 +74,24 @@ fn main() {
         after.stats.tile_chunks_decoded,
         after.seconds() * 1e3,
     );
-    let saved = 100.0 * (1.0 - after.stats.samples_decoded as f64 / before.stats.samples_decoded as f64);
-    println!("tiling saved {saved:.0}% of decoded samples; {} regions returned", after.regions.len());
+    let saved =
+        100.0 * (1.0 - after.stats.samples_decoded as f64 / before.stats.samples_decoded as f64);
+    println!(
+        "tiling saved {saved:.0}% of decoded samples; {} regions returned",
+        after.regions.len()
+    );
+
+    // 7. Repeat the query: the parallel execution pipeline serves it from
+    //    the decoded-GOP cache (see TasmConfig::workers / cache_bytes for
+    //    the knobs — worker count and cache byte budget).
+    let warm = tasm
+        .scan("traffic", &LabelPredicate::label("car"), 0..60)
+        .expect("scan");
+    println!(
+        "warm scan:      {:>10} samples decoded, {} GOP cache hits ({} samples reused), {:.1} ms",
+        warm.stats.samples_decoded,
+        warm.cache.hits,
+        warm.cache.samples_reused,
+        warm.seconds() * 1e3,
+    );
 }

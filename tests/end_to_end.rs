@@ -50,7 +50,8 @@ fn full_pipeline_scan_returns_object_pixels() {
     for f in 0..video.len() {
         let truth = video.ground_truth(f);
         for det in yolo.detect(f, None, &truth) {
-            tasm.add_metadata("traffic", &det.label, f, det.bbox).unwrap();
+            tasm.add_metadata("traffic", &det.label, f, det.bbox)
+                .unwrap();
         }
         tasm.mark_processed("traffic", f).unwrap();
     }
@@ -89,9 +90,13 @@ fn tiling_reduces_decode_work_without_changing_results() {
         }
     }
 
-    let before = tasm.scan("v", &LabelPredicate::label("person"), 0..20).unwrap();
+    let before = tasm
+        .scan("v", &LabelPredicate::label("person"), 0..20)
+        .unwrap();
     tasm.kqko_retile_all("v", &["person".to_string()]).unwrap();
-    let after = tasm.scan("v", &LabelPredicate::label("person"), 0..20).unwrap();
+    let after = tasm
+        .scan("v", &LabelPredicate::label("person"), 0..20)
+        .unwrap();
 
     assert_eq!(before.regions.len(), after.regions.len());
     for (a, b) in before.regions.iter().zip(&after.regions) {
@@ -124,18 +129,28 @@ fn cnf_predicates_compose() {
         }
     }
 
-    let cars = tasm.scan("v", &LabelPredicate::label("car"), 0..10).unwrap();
-    let people = tasm.scan("v", &LabelPredicate::label("person"), 0..10).unwrap();
+    let cars = tasm
+        .scan("v", &LabelPredicate::label("car"), 0..10)
+        .unwrap();
+    let people = tasm
+        .scan("v", &LabelPredicate::label("person"), 0..10)
+        .unwrap();
     let either = tasm
         .scan("v", &LabelPredicate::any_of(&["car", "person"]), 0..10)
         .unwrap();
-    assert_eq!(either.regions.len(), cars.regions.len() + people.regions.len());
+    assert_eq!(
+        either.regions.len(),
+        cars.regions.len() + people.regions.len()
+    );
 
     let none = tasm
         .scan("v", &LabelPredicate::label("car").and(&["unicorn"]), 0..10)
         .unwrap();
     assert!(none.regions.is_empty());
-    assert_eq!(none.stats.samples_decoded, 0, "no tiles decoded for empty result");
+    assert_eq!(
+        none.stats.samples_decoded, 0,
+        "no tiles decoded for empty result"
+    );
 }
 
 /// Datasets from the Table 1 presets flow through the whole system.
@@ -149,7 +164,9 @@ fn dataset_presets_ingest_and_scan() {
             tasm.add_metadata("vr", label, f, bbox).unwrap();
         }
     }
-    let result = tasm.scan("vr", &LabelPredicate::label("car"), 0..30).unwrap();
+    let result = tasm
+        .scan("vr", &LabelPredicate::label("car"), 0..30)
+        .unwrap();
     assert!(!result.regions.is_empty());
     // Untiled: scanning decodes full frames (with chroma).
     let per_frame = 640 * 352 * 3 / 2;
@@ -172,8 +189,12 @@ fn temporal_predicate_limits_decode() {
             tasm.add_metadata("v", label, f, bbox).unwrap();
         }
     }
-    let narrow = tasm.scan("v", &LabelPredicate::label("car"), 10..15).unwrap();
-    let wide = tasm.scan("v", &LabelPredicate::label("car"), 0..40).unwrap();
+    let narrow = tasm
+        .scan("v", &LabelPredicate::label("car"), 10..15)
+        .unwrap();
+    let wide = tasm
+        .scan("v", &LabelPredicate::label("car"), 0..40)
+        .unwrap();
     assert!(narrow.stats.samples_decoded < wide.stats.samples_decoded);
     assert!(narrow.regions.iter().all(|r| (10..15).contains(&r.frame)));
 }

@@ -39,7 +39,9 @@ fn persistent_index_backs_scans() {
             tasm.add_metadata("v", l, f, b).unwrap();
         }
     }
-    let result = tasm.scan("v", &LabelPredicate::label("car"), 0..20).unwrap();
+    let result = tasm
+        .scan("v", &LabelPredicate::label("car"), 0..20)
+        .unwrap();
     assert!(!result.regions.is_empty());
 }
 
@@ -70,8 +72,9 @@ fn index_survives_reopen_with_many_detections() {
         assert_eq!(idx.processed_count(0, 0..frames).unwrap(), frames);
         let cars = idx.query(0, "car", 500..510).unwrap();
         assert_eq!(cars.len(), 20); // 2 car boxes × 10 frames
-        // Writes continue seamlessly.
-        idx.add_metadata(0, "bird", 0, Rect::new(0, 0, 8, 8)).unwrap();
+                                    // Writes continue seamlessly.
+        idx.add_metadata(0, "bird", 0, Rect::new(0, 0, 8, 8))
+            .unwrap();
         assert_eq!(idx.detection_count(), (frames * boxes_per_frame) as u64 + 1);
     }
 }
@@ -83,7 +86,11 @@ fn index_survives_reopen_with_many_detections() {
 fn attach_resumes_after_restart() {
     let dir = temp_dir("attach");
     let cfg = TasmConfig {
-        storage: StorageConfig { gop_len: 10, sot_frames: 10, ..Default::default() },
+        storage: StorageConfig {
+            gop_len: 10,
+            sot_frames: 10,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let video = SyntheticVideo::new(SceneSpec {
@@ -119,8 +126,13 @@ fn attach_resumes_after_restart() {
             m.sots.iter().any(|s| !s.layout.is_untiled()),
             "tiled layouts must survive the restart"
         );
-        let r = tasm.scan("cam", &LabelPredicate::label("car"), 0..20).unwrap();
-        assert!(!r.regions.is_empty(), "index must still resolve after restart");
+        let r = tasm
+            .scan("cam", &LabelPredicate::label("car"), 0..20)
+            .unwrap();
+        assert!(
+            !r.regions.is_empty(),
+            "index must still resolve after restart"
+        );
     }
 }
 

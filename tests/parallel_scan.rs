@@ -1,0 +1,200 @@
+//! Determinism tests of the parallel tile-decode execution pipeline:
+//! `scan()` must produce bit-identical `RegionPixels` and consistent work
+//! accounting regardless of worker count and cache state, and the
+//! decoded-GOP cache must convert repeated decode work into reuse.
+
+use tasm_core::{LabelPredicate, PartitionConfig, ScanResult, StorageConfig, Tasm, TasmConfig};
+use tasm_data::{SceneSpec, SyntheticVideo};
+use tasm_index::MemoryIndex;
+use tasm_video::{FrameSource, Plane};
+
+fn scene(frames: u32) -> SyntheticVideo {
+    SyntheticVideo::new(SceneSpec {
+        width: 320,
+        height: 192,
+        frames,
+        seed: 21,
+        ..SceneSpec::test_scene()
+    })
+}
+
+fn tasm_with(tag: &str, workers: usize, cache_bytes: u64) -> Tasm {
+    let dir = std::env::temp_dir().join(format!("tasm-par-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let cfg = TasmConfig {
+        storage: StorageConfig {
+            gop_len: 10,
+            sot_frames: 10,
+            ..Default::default()
+        },
+        partition: PartitionConfig {
+            min_tile_width: 32,
+            min_tile_height: 32,
+            ..Default::default()
+        },
+        workers,
+        cache_bytes,
+        ..Default::default()
+    };
+    Tasm::open(dir, Box::new(MemoryIndex::in_memory()), cfg).unwrap()
+}
+
+fn ingest_and_tile(tasm: &mut Tasm, video: &SyntheticVideo) {
+    tasm.ingest("v", video, 30).unwrap();
+    for f in 0..video.len() {
+        for (l, b) in video.ground_truth(f) {
+            tasm.add_metadata("v", l, f, b).unwrap();
+        }
+        tasm.mark_processed("v", f).unwrap();
+    }
+    // Tile around cars so scans touch several tiles per SOT.
+    tasm.kqko_retile_all("v", &["car".to_string()]).unwrap();
+}
+
+/// Pixels must be bit-identical across execution configurations.
+fn assert_scans_equal(a: &ScanResult, b: &ScanResult, what: &str) {
+    assert_eq!(a.regions.len(), b.regions.len(), "{what}: region count");
+    for (ra, rb) in a.regions.iter().zip(&b.regions) {
+        assert_eq!(ra.frame, rb.frame, "{what}: frame order");
+        assert_eq!(ra.rect, rb.rect, "{what}: rects");
+        for plane in Plane::ALL {
+            assert_eq!(
+                ra.pixels.plane(plane),
+                rb.pixels.plane(plane),
+                "{what}: pixels of frame {} plane {plane:?}",
+                ra.frame
+            );
+        }
+    }
+}
+
+/// Decode stats must agree in every deterministic field (wall-clock time is
+/// excluded).
+fn assert_work_equal(a: &ScanResult, b: &ScanResult, what: &str) {
+    assert_eq!(
+        a.stats.frames_decoded, b.stats.frames_decoded,
+        "{what}: frames"
+    );
+    assert_eq!(
+        a.stats.samples_decoded, b.stats.samples_decoded,
+        "{what}: samples"
+    );
+    assert_eq!(
+        a.stats.tile_chunks_decoded, b.stats.tile_chunks_decoded,
+        "{what}: chunks"
+    );
+    assert_eq!(a.stats.bytes_read, b.stats.bytes_read, "{what}: bytes");
+    assert_eq!(
+        a.stats.blocks_decoded, b.stats.blocks_decoded,
+        "{what}: blocks"
+    );
+    assert_eq!(a.work.pixels, b.work.pixels, "{what}: work pixels");
+    assert_eq!(
+        a.work.tile_chunks, b.work.tile_chunks,
+        "{what}: work chunks"
+    );
+}
+
+#[test]
+fn parallel_scan_is_bit_identical_to_serial() {
+    let video = scene(30);
+    let pred = LabelPredicate::label("car");
+
+    let mut serial = tasm_with("serial", 1, 0);
+    ingest_and_tile(&mut serial, &video);
+    let mut parallel = tasm_with("parallel", 8, 0);
+    ingest_and_tile(&mut parallel, &video);
+
+    for range in [0..30u32, 5..17, 12..13] {
+        let a = serial.scan("v", &pred, range.clone()).unwrap();
+        let b = parallel.scan("v", &pred, range.clone()).unwrap();
+        let what = format!("workers 1 vs 8, frames {range:?}");
+        assert_scans_equal(&a, &b, &what);
+        assert_work_equal(&a, &b, &what);
+    }
+}
+
+#[test]
+fn warm_cache_returns_identical_pixels_and_reports_reuse() {
+    let video = scene(30);
+    let pred = LabelPredicate::label("car");
+
+    let mut tasm = tasm_with("warm", 0, 64 << 20);
+    ingest_and_tile(&mut tasm, &video);
+
+    let cold = tasm.scan("v", &pred, 0..30).unwrap();
+    assert!(cold.stats.samples_decoded > 0, "cold scan decodes");
+    assert_eq!(cold.cache.hits, 0, "first touch cannot hit");
+
+    let warm = tasm.scan("v", &pred, 0..30).unwrap();
+    assert_scans_equal(&cold, &warm, "cold vs warm");
+    assert!(warm.cache.hits > 0, "repeat scan must hit the cache");
+    assert_eq!(
+        warm.stats.samples_decoded, 0,
+        "fully warm scan performs no decode work"
+    );
+    assert_eq!(
+        warm.cache.samples_reused + warm.stats.samples_decoded,
+        cold.stats.samples_decoded + cold.cache.samples_reused,
+        "decoded + reused must be conserved across cache states"
+    );
+
+    // A warm scan against a disabled-cache instance is still identical.
+    let mut uncached = tasm_with("uncached", 0, 0);
+    ingest_and_tile(&mut uncached, &video);
+    let plain = uncached.scan("v", &pred, 0..30).unwrap();
+    assert_scans_equal(&plain, &warm, "uncached vs warm");
+    assert_eq!(plain.cache.hits, 0);
+}
+
+#[test]
+fn partial_cache_prefix_extension_is_bit_exact() {
+    let video = scene(30);
+    let pred = LabelPredicate::label("car");
+
+    // Short window first: caches a GOP prefix only.
+    let mut tasm = tasm_with("prefix", 0, 64 << 20);
+    ingest_and_tile(&mut tasm, &video);
+    let short = tasm.scan("v", &pred, 0..4).unwrap();
+    assert!(short.stats.frames_decoded > 0);
+    // Longer window: extends the cached prefixes by resuming mid-GOP.
+    let long = tasm.scan("v", &pred, 0..10).unwrap();
+    assert!(
+        long.cache.frames_reused > 0,
+        "prefix frames should be reused on extension"
+    );
+
+    // Reference: same long scan from a cold instance.
+    let mut cold = tasm_with("prefix-cold", 0, 64 << 20);
+    ingest_and_tile(&mut cold, &video);
+    let reference = cold.scan("v", &pred, 0..10).unwrap();
+    assert_scans_equal(&reference, &long, "prefix extension vs cold");
+}
+
+#[test]
+fn retile_invalidates_cached_gops() {
+    let video = scene(20);
+    let pred = LabelPredicate::label("car");
+
+    let mut tasm = tasm_with("invalidate", 0, 64 << 20);
+    tasm.ingest("v", &video, 30).unwrap();
+    for f in 0..video.len() {
+        for (l, b) in video.ground_truth(f) {
+            tasm.add_metadata("v", l, f, b).unwrap();
+        }
+        tasm.mark_processed("v", f).unwrap();
+    }
+    let before = tasm.scan("v", &pred, 0..20).unwrap();
+    assert!(tasm.scan("v", &pred, 0..20).unwrap().cache.hits > 0);
+
+    // Retile under a new layout: cached untiled GOPs must not leak in.
+    let cost = tasm.kqko_retile_all("v", &["car".to_string()]).unwrap();
+    assert!(cost.encode.bytes_produced > 0, "retile happened");
+    let after = tasm.scan("v", &pred, 0..20).unwrap();
+    assert_eq!(after.cache.hits, 0, "post-retile scan must be cold");
+    assert!(
+        after.stats.samples_decoded < before.stats.samples_decoded,
+        "tiled layout decodes less"
+    );
+    assert_eq!(after.regions.len(), before.regions.len());
+}

@@ -25,7 +25,10 @@ fn raw_frames(v: &SyntheticVideo) -> Vec<tasm_video::Frame> {
 fn uniform_tiled_video_stitches_to_good_quality() {
     let video = scene(20);
     let layout = TileLayout::uniform(320, 192, 2, 3).unwrap();
-    let cfg = EncoderConfig { gop_len: 10, ..Default::default() };
+    let cfg = EncoderConfig {
+        gop_len: 10,
+        ..Default::default()
+    };
     let (tiles, _) = encode_video(&video, &layout, &cfg, true).unwrap();
     let stitched = StitchedVideo::stitch(layout, tiles).unwrap();
     let (decoded, stats) = stitched.decode_all().unwrap();
@@ -50,7 +53,9 @@ fn under_rate_control_many_tiles_cost_quality() {
     let cfg = EncoderConfig {
         gop_len: 10,
         qp: 28,
-        rate: tasm_codec::RateControl::TargetRate { millibits_per_sample: 120 },
+        rate: tasm_codec::RateControl::TargetRate {
+            millibits_per_sample: 120,
+        },
         ..Default::default()
     };
 
@@ -75,7 +80,10 @@ fn under_rate_control_many_tiles_cost_quality() {
 #[test]
 fn object_layout_stitches_to_acceptable_quality() {
     let video = scene(20);
-    let cfg = EncoderConfig { gop_len: 10, ..Default::default() };
+    let cfg = EncoderConfig {
+        gop_len: 10,
+        ..Default::default()
+    };
     let mut boxes: Vec<Rect> = Vec::new();
     for f in 0..20 {
         boxes.extend(video.ground_truth(f).into_iter().map(|(_, b)| b));
@@ -102,7 +110,10 @@ fn object_layout_stitches_to_acceptable_quality() {
 fn stitched_serialization_survives_disk_roundtrip() {
     let video = scene(10);
     let layout = TileLayout::uniform(320, 192, 2, 2).unwrap();
-    let cfg = EncoderConfig { gop_len: 5, ..Default::default() };
+    let cfg = EncoderConfig {
+        gop_len: 5,
+        ..Default::default()
+    };
     let (tiles, _) = encode_video(&video, &layout, &cfg, false).unwrap();
     let stitched = StitchedVideo::stitch(layout, tiles).unwrap();
 
@@ -123,7 +134,10 @@ fn stitched_serialization_survives_disk_roundtrip() {
 fn partial_decode_of_stitched_video_matches_full_decode() {
     let video = scene(20);
     let layout = TileLayout::uniform(320, 192, 2, 2).unwrap();
-    let cfg = EncoderConfig { gop_len: 5, ..Default::default() };
+    let cfg = EncoderConfig {
+        gop_len: 5,
+        ..Default::default()
+    };
     let (tiles, _) = encode_video(&video, &layout, &cfg, false).unwrap();
     let stitched = StitchedVideo::stitch(layout, tiles).unwrap();
 

@@ -1,0 +1,429 @@
+//! Minimal, API-compatible subset of `serde`, vendored for offline builds.
+//!
+//! The full serde visitor architecture is replaced by a concrete
+//! [`Value`] tree: serializers reduce any `Serialize` type to a `Value`,
+//! deserializers reconstruct types from one. The trait *signatures* match
+//! upstream serde closely enough that idiomatic call sites — derived impls,
+//! `#[serde(with = "module")]` field adapters, `T: serde::Serialize`
+//! bounds — compile unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A self-describing data tree: the intermediate representation every
+/// (de)serialization passes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed (negative) integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map (field order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object value.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// The single error type of the shim.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Destination of a serialization: consumes the final [`Value`].
+pub trait Serializer: Sized {
+    /// Success type.
+    type Ok;
+    /// Error type; every shim error converts into it.
+    type Error: From<Error> + fmt::Debug + fmt::Display;
+
+    /// Consumes the fully built value.
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Source of a deserialization: yields the input as a [`Value`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type; every shim error converts into it.
+    type Error: From<Error> + fmt::Debug + fmt::Display;
+
+    /// Consumes the deserializer, returning the underlying value.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can be reduced to a [`Value`].
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can be reconstructed from a [`Value`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes an instance from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A [`Serializer`] producing the [`Value`] tree itself.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_value(self, v: Value) -> Result<Value, Error> {
+        Ok(v)
+    }
+}
+
+/// A [`Deserializer`] reading from an in-memory [`Value`].
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+
+    fn take_value(self) -> Result<Value, Error> {
+        Ok(self.0)
+    }
+}
+
+/// Reduces any serializable value to a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    value.serialize(ValueSerializer)
+}
+
+/// Reconstructs a type from a [`Value`] tree.
+pub fn from_value<T: for<'de> Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+/// Fetches (cloning) a named field from derived-struct object pairs.
+/// Missing fields surface as errors naming the field.
+pub fn get_field(pairs: &[(String, Value)], name: &str) -> Result<Value, Error> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.clone())
+        .ok_or_else(|| Error::msg(format!("missing field `{name}`")))
+}
+
+// --- Serialize impls for primitives and std containers ---
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::U64(*self as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                let value = if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) };
+                serializer.serialize_value(value)
+            }
+        }
+    )*};
+}
+
+serialize_unsigned!(u8, u16, u32, u64, usize);
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::F64(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (*self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_value(Value::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut out = Vec::with_capacity(self.len());
+        for item in self {
+            out.push(to_value(item).map_err(S::Error::from)?);
+        }
+        serializer.serialize_value(Value::Array(out))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let pair = vec![
+            to_value(&self.0).map_err(S::Error::from)?,
+            to_value(&self.1).map_err(S::Error::from)?,
+        ];
+        serializer.serialize_value(Value::Array(pair))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let triple = vec![
+            to_value(&self.0).map_err(S::Error::from)?,
+            to_value(&self.1).map_err(S::Error::from)?,
+            to_value(&self.2).map_err(S::Error::from)?,
+        ];
+        serializer.serialize_value(Value::Array(triple))
+    }
+}
+
+impl<T: Serialize> Serialize for std::ops::Range<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let obj = vec![
+            (
+                "start".to_string(),
+                to_value(&self.start).map_err(S::Error::from)?,
+            ),
+            (
+                "end".to_string(),
+                to_value(&self.end).map_err(S::Error::from)?,
+            ),
+        ];
+        serializer.serialize_value(Value::Object(obj))
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut obj = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            obj.push((k.to_string(), to_value(v).map_err(S::Error::from)?));
+        }
+        serializer.serialize_value(Value::Object(obj))
+    }
+}
+
+// --- Deserialize impls ---
+
+fn int_from(v: &Value) -> Result<i128, Error> {
+    match v {
+        Value::U64(n) => Ok(*n as i128),
+        Value::I64(n) => Ok(*n as i128),
+        Value::F64(f) if f.fract() == 0.0 => Ok(*f as i128),
+        other => Err(Error::msg(format!("expected integer, got {other:?}"))),
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.take_value()?;
+                let n = int_from(&v).map_err(D::Error::from)?;
+                <$t>::try_from(n).map_err(|_| {
+                    D::Error::from(Error::msg(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    )))
+                })
+            }
+        }
+    )*};
+}
+
+deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::F64(f) => Ok(f),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            other => Err(D::Error::from(Error::msg(format!(
+                "expected number, got {other:?}"
+            )))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::Error::from(Error::msg(format!(
+                "expected bool, got {other:?}"
+            )))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(D::Error::from(Error::msg(format!(
+                "expected string, got {other:?}"
+            )))),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            v => Ok(Some(from_value(v).map_err(D::Error::from)?)),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(D::Error::from))
+                .collect(),
+            other => Err(D::Error::from(Error::msg(format!(
+                "expected array, got {other:?}"
+            )))),
+        }
+    }
+}
+
+impl<'de, A: for<'a> Deserialize<'a>, B: for<'a> Deserialize<'a>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Array(items) if items.len() == 2 => {
+                let mut it = items.into_iter();
+                let a = from_value(it.next().expect("len checked")).map_err(D::Error::from)?;
+                let b = from_value(it.next().expect("len checked")).map_err(D::Error::from)?;
+                Ok((a, b))
+            }
+            other => Err(D::Error::from(Error::msg(format!(
+                "expected pair, got {other:?}"
+            )))),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for std::ops::Range<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.take_value()?;
+        let start = v
+            .field("start")
+            .cloned()
+            .ok_or_else(|| D::Error::from(Error::msg("range missing `start`")))?;
+        let end = v
+            .field("end")
+            .cloned()
+            .ok_or_else(|| D::Error::from(Error::msg("range missing `end`")))?;
+        Ok(from_value(start).map_err(D::Error::from)?..from_value(end).map_err(D::Error::from)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_through_value() {
+        assert_eq!(to_value(&42u32).unwrap(), Value::U64(42));
+        assert_eq!(to_value(&-3i32).unwrap(), Value::I64(-3));
+        assert_eq!(from_value::<u32>(Value::U64(42)).unwrap(), 42);
+        assert_eq!(from_value::<i64>(Value::I64(-3)).unwrap(), -3);
+        assert_eq!(from_value::<f64>(Value::U64(5)).unwrap(), 5.0);
+        let r: std::ops::Range<u32> = from_value(to_value(&(3u32..9u32)).unwrap()).unwrap();
+        assert_eq!(r, 3..9);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        let back: Vec<(u32, String)> = from_value(to_value(&v).unwrap()).unwrap();
+        assert_eq!(v, back);
+        let opt: Option<u8> = from_value(Value::Null).unwrap();
+        assert_eq!(opt, None);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(from_value::<u8>(Value::U64(300)).is_err());
+        assert!(from_value::<u32>(Value::I64(-1)).is_err());
+    }
+}

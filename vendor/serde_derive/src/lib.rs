@@ -1,0 +1,363 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! Supports the shapes this workspace actually uses:
+//!
+//! * structs with named fields (honouring `#[serde(with = "module")]`);
+//! * enums whose variants are unit (`ConstantQp`) or struct-like
+//!   (`TargetRate { millibits_per_sample: u32 }`).
+//!
+//! The item is parsed directly from the token stream (no `syn`): only the
+//! field/variant *names* and `serde` attributes matter, since generated
+//! code goes through the shim's generic `to_value`/`from_value` helpers
+//! and lets inference supply the field types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Vec<Field>)>,
+    },
+}
+
+/// Splits off leading attribute groups (`#[...]`), returning any
+/// `#[serde(with = "path")]` module path found among them.
+fn take_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, Option<String>) {
+    let mut with = None;
+    while i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    let text = args.stream().to_string();
+                    // Expect `with = "module::path"`.
+                    if let Some(eq) = text.find('=') {
+                        let (key, val) = text.split_at(eq);
+                        if key.trim() == "with" {
+                            let path = val[1..].trim().trim_matches('"').to_string();
+                            with = Some(path);
+                        } else {
+                            panic!("unsupported serde attribute: {text}");
+                        }
+                    } else {
+                        panic!("unsupported serde attribute: {text}");
+                    }
+                }
+            }
+        }
+        i += 2;
+    }
+    (i, with)
+}
+
+/// Parses named fields from the tokens of a brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (ni, with) = take_attrs(&tokens, i);
+        i = ni;
+        if i >= tokens.len() {
+            break;
+        }
+        // Optional visibility: `pub` or `pub(...)`.
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("expected field name, found {:?}", tokens[i].to_string());
+        };
+        let name = name.to_string();
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {}", other),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth zero.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+/// Parses enum variants (unit or struct-like) from a brace group.
+fn parse_variants(stream: TokenStream) -> Vec<(String, Vec<Field>)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (ni, _) = take_attrs(&tokens, i);
+        i = ni;
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("expected variant name, found {}", tokens[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let mut fields = Vec::new();
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Brace => {
+                    fields = parse_named_fields(g.stream());
+                    i += 1;
+                }
+                Delimiter::Parenthesis => {
+                    panic!("tuple enum variants are not supported by the serde shim")
+                }
+                _ => {}
+            }
+        }
+        // Optional discriminant or trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = take_attrs(&tokens, 0);
+    // Optional visibility.
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("generic types are not supported by the serde shim derive");
+        }
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => i += 1,
+            None => panic!("item `{name}` has no body (tuple structs unsupported)"),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in &fields {
+                let fname = &f.name;
+                let expr = match &f.with {
+                    Some(module) => format!(
+                        "{module}::serialize(&self.{fname}, ::serde::ValueSerializer).map_err(S::Error::from)?"
+                    ),
+                    None => format!("::serde::to_value(&self.{fname}).map_err(S::Error::from)?"),
+                };
+                pushes.push_str(&format!("__obj.push((\"{fname}\".to_string(), {expr}));\n"));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize<S: ::serde::Serializer>(&self, serializer: S) -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                         let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         serializer.serialize_value(::serde::Value::Object(__obj))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, fields) in &variants {
+                if fields.is_empty() {
+                    arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    ));
+                } else {
+                    let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                    let mut pushes = String::new();
+                    for f in fields {
+                        let fname = &f.name;
+                        pushes.push_str(&format!(
+                            "__fields.push((\"{fname}\".to_string(), ::serde::to_value({fname}).map_err(S::Error::from)?));\n"
+                        ));
+                    }
+                    arms.push_str(&format!(
+                        "{name}::{vname} {{ {binds} }} => {{\n\
+                             let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Object(__fields))])\n\
+                         }},\n",
+                        binds = binders.join(", ")
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize<S: ::serde::Serializer>(&self, serializer: S) -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                         let __v = match self {{\n{arms}}};\n\
+                         serializer.serialize_value(__v)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                let fname = &f.name;
+                let expr = match &f.with {
+                    Some(module) => format!(
+                        "{module}::deserialize(::serde::ValueDeserializer(::serde::get_field(&__obj, \"{fname}\").map_err(D::Error::from)?)).map_err(D::Error::from)?"
+                    ),
+                    None => format!(
+                        "::serde::from_value(::serde::get_field(&__obj, \"{fname}\").map_err(D::Error::from)?).map_err(D::Error::from)?"
+                    ),
+                };
+                inits.push_str(&format!("{fname}: {expr},\n"));
+            }
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) -> ::core::result::Result<Self, D::Error> {{\n\
+                         let __obj = match deserializer.take_value()? {{\n\
+                             ::serde::Value::Object(o) => o,\n\
+                             other => return Err(D::Error::from(::serde::Error::msg(format!(\"expected object for {name}, got {{other:?}}\")))),\n\
+                         }};\n\
+                         Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut struct_arms = String::new();
+            for (vname, fields) in &variants {
+                if fields.is_empty() {
+                    unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                } else {
+                    let mut inits = String::new();
+                    for f in fields {
+                        let fname = &f.name;
+                        inits.push_str(&format!(
+                            "{fname}: ::serde::from_value(::serde::get_field(&__fields, \"{fname}\").map_err(D::Error::from)?).map_err(D::Error::from)?,\n"
+                        ));
+                    }
+                    struct_arms.push_str(&format!(
+                        "\"{vname}\" => {{\n\
+                             let __fields = match __inner {{\n\
+                                 ::serde::Value::Object(o) => o,\n\
+                                 other => return Err(D::Error::from(::serde::Error::msg(format!(\"expected fields object, got {{other:?}}\")))),\n\
+                             }};\n\
+                             Ok({name}::{vname} {{\n{inits}}})\n\
+                         }},\n"
+                    ));
+                }
+            }
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) -> ::core::result::Result<Self, D::Error> {{\n\
+                         match deserializer.take_value()? {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => Err(D::Error::from(::serde::Error::msg(format!(\"unknown {name} variant `{{other}}`\")))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                                 let (__tag, __inner) = __o.into_iter().next().expect(\"len checked\");\n\
+                                 let _ = &__inner;\n\
+                                 match __tag.as_str() {{\n\
+                                     {struct_arms}\
+                                     other => Err(D::Error::from(::serde::Error::msg(format!(\"unknown {name} variant `{{other}}`\")))),\n\
+                                 }}\n\
+                             }},\n\
+                             other => Err(D::Error::from(::serde::Error::msg(format!(\"expected {name} variant, got {{other:?}}\")))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("generated Deserialize impl must parse")
+}
