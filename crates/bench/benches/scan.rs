@@ -43,8 +43,8 @@ fn prepare_exec(tag: &str, tiled: bool, workers: usize, cache_bytes: u64) -> Ben
 }
 
 fn scan_benches(c: &mut Criterion) {
-    let mut untiled = prepare("scan-bench-untiled", false);
-    let mut tiled = prepare("scan-bench-tiled", true);
+    let untiled = prepare("scan-bench-untiled", false);
+    let tiled = prepare("scan-bench-tiled", true);
 
     let mut g = c.benchmark_group("scan");
     g.sample_size(20);
@@ -98,7 +98,7 @@ fn pipeline_benches(c: &mut Criterion) {
     let mut g = c.benchmark_group("scan/pipeline");
     g.sample_size(10);
 
-    let mut serial = prepare_exec("scan-pipe-serial", true, 1, 0);
+    let serial = prepare_exec("scan-pipe-serial", true, 1, 0);
     g.bench_function("workers_1_cold", |b| {
         b.iter(|| {
             serial
@@ -107,7 +107,7 @@ fn pipeline_benches(c: &mut Criterion) {
                 .unwrap()
         })
     });
-    let mut auto = prepare_exec("scan-pipe-auto", true, 0, 0);
+    let auto = prepare_exec("scan-pipe-auto", true, 0, 0);
     g.bench_function("workers_auto_cold", |b| {
         b.iter(|| {
             auto.tasm
@@ -116,7 +116,7 @@ fn pipeline_benches(c: &mut Criterion) {
         })
     });
 
-    let mut warm = prepare_exec("scan-pipe-warm", true, 0, 256 << 20);
+    let warm = prepare_exec("scan-pipe-warm", true, 0, 256 << 20);
     // Populate the cache once, then measure steady-state warm scans.
     warm.tasm
         .scan("v", &LabelPredicate::label("car"), 0..60)
@@ -129,7 +129,7 @@ fn pipeline_benches(c: &mut Criterion) {
         })
     });
 
-    let mut warm_serial = prepare_exec("scan-pipe-warm-serial", true, 1, 256 << 20);
+    let warm_serial = prepare_exec("scan-pipe-warm-serial", true, 1, 256 << 20);
     warm_serial
         .tasm
         .scan("v", &LabelPredicate::label("car"), 0..60)

@@ -1,0 +1,189 @@
+//! Criterion benchmarks of the concurrent query service: scan throughput
+//! over a Zipf-skewed *overlapping* workload at concurrency 1 / 4 / 16,
+//! cold cache vs. warm cache.
+//!
+//! The Zipf bias toward early start frames makes concurrent queries target
+//! the same GOPs, so this is the workload shape where shared-scan dedup and
+//! the decoded-GOP cache matter: at higher concurrency, overlapping queries
+//! join each other's in-flight decodes instead of repeating them. A summary
+//! table (queries/s, cache hit rate, shared-scan join rate per
+//! configuration) is printed after the timed runs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+use tasm_bench::{bench_dir, micro_partition, scaled_count};
+use tasm_core::{Granularity, LabelPredicate, StorageConfig, Tasm, TasmConfig};
+use tasm_data::{SceneSpec, SyntheticVideo, Zipf};
+use tasm_index::MemoryIndex;
+use tasm_service::{QueryRequest, QueryService, ServiceConfig, ServiceStats};
+use tasm_video::FrameSource;
+
+const FRAMES: u32 = 60;
+const WINDOW: u32 = 12;
+
+fn scene() -> SyntheticVideo {
+    SyntheticVideo::new(SceneSpec {
+        width: 256,
+        height: 160,
+        frames: FRAMES,
+        seed: 17,
+        ..SceneSpec::test_scene()
+    })
+}
+
+fn service_config(tag: &str) -> TasmConfig {
+    let _ = tag;
+    TasmConfig {
+        storage: StorageConfig {
+            gop_len: 10,
+            sot_frames: 10,
+            ..Default::default()
+        },
+        partition: micro_partition(Granularity::Fine),
+        workers: 1, // decode threads per query; concurrency comes from the service
+        cache_bytes: 128 << 20,
+        ..Default::default()
+    }
+}
+
+/// Ingests the bench video once; later instances attach to the same store
+/// (no re-encode), so a "cold" run means a cold decoded-GOP cache, not a
+/// fresh encode.
+fn prepare_store(video: &SyntheticVideo) -> PathBuf {
+    let dir = bench_dir("service");
+    let tasm = Tasm::open(
+        &dir,
+        Box::new(MemoryIndex::in_memory()),
+        service_config("prepare"),
+    )
+    .expect("open store");
+    tasm.ingest("v", video, 30).expect("ingest");
+    populate(&tasm, video);
+    tasm.kqko_retile_all("v", &["car".to_string()])
+        .expect("pre-tile");
+    dir
+}
+
+fn populate(tasm: &Tasm, video: &SyntheticVideo) {
+    for f in 0..video.len() {
+        for (l, b) in video.ground_truth(f) {
+            tasm.add_metadata("v", l, f, b).expect("metadata");
+        }
+        tasm.mark_processed("v", f).expect("mark");
+    }
+}
+
+/// A fresh `Tasm` over the prepared store: attached manifest, repopulated
+/// in-memory index, cold decoded-GOP cache.
+fn cold_tasm(dir: &PathBuf, video: &SyntheticVideo) -> Arc<Tasm> {
+    let tasm = Tasm::open(
+        dir,
+        Box::new(MemoryIndex::in_memory()),
+        service_config("cold"),
+    )
+    .expect("open store");
+    tasm.attach("v").expect("attach");
+    populate(&tasm, video);
+    Arc::new(tasm)
+}
+
+/// Zipf-skewed overlapping workload: start frames biased toward the
+/// beginning of the video (the paper's Workload 3 shape), alternating
+/// car/person queries over `WINDOW`-frame windows.
+fn zipf_queries(n: usize) -> Vec<QueryRequest> {
+    let zipf = Zipf::new((FRAMES - WINDOW) as usize, 1.0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    (0..n)
+        .map(|i| {
+            let start = zipf.sample(&mut rng) as u32;
+            QueryRequest {
+                video: "v".to_string(),
+                predicate: LabelPredicate::label(if i % 4 == 3 { "person" } else { "car" }),
+                frames: start..start + WINDOW,
+            }
+        })
+        .collect()
+}
+
+use rand::SeedableRng;
+
+/// Drives the whole workload through a service at the given concurrency and
+/// returns the final stats (the timed quantity is the caller's concern).
+fn run_workload(tasm: &Arc<Tasm>, queries: &[QueryRequest], concurrency: usize) -> ServiceStats {
+    let service = QueryService::start(
+        Arc::clone(tasm),
+        ServiceConfig {
+            workers: concurrency,
+            queue_depth: 64,
+            ..Default::default()
+        },
+    );
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|q| service.submit(q.clone()).expect("submit"))
+        .collect();
+    for h in handles {
+        h.wait().expect("query");
+    }
+    service.shutdown()
+}
+
+fn service_benches(c: &mut Criterion) {
+    let video = scene();
+    let dir = prepare_store(&video);
+    let queries = zipf_queries(scaled_count(48));
+
+    let mut g = c.benchmark_group("service");
+    g.sample_size(10);
+
+    for concurrency in [1usize, 4, 16] {
+        // Cold: a fresh decoded-GOP cache per iteration.
+        g.bench_function(format!("zipf_cold_c{concurrency}"), |b| {
+            b.iter_batched(
+                || cold_tasm(&dir, &video),
+                |tasm| run_workload(&tasm, &queries, concurrency),
+                BatchSize::PerIteration,
+            )
+        });
+        // Warm: one long-lived instance, cache warmed by a first pass.
+        let tasm = cold_tasm(&dir, &video);
+        run_workload(&tasm, &queries, concurrency);
+        g.bench_function(format!("zipf_warm_c{concurrency}"), |b| {
+            b.iter(|| run_workload(&tasm, &queries, concurrency))
+        });
+    }
+    g.finish();
+
+    // Summary table: throughput and reuse per configuration (one untimed
+    // verification pass each, cold then warm).
+    eprintln!(
+        "\nservice workload summary ({} Zipf queries):",
+        queries.len()
+    );
+    eprintln!("  config         queries/s   cache-hit   join-rate   joined/owned");
+    for concurrency in [1usize, 4, 16] {
+        for warm in [false, true] {
+            let tasm = cold_tasm(&dir, &video);
+            if warm {
+                run_workload(&tasm, &queries, concurrency);
+            }
+            let t0 = Instant::now();
+            let stats = run_workload(&tasm, &queries, concurrency);
+            let dt = t0.elapsed().as_secs_f64();
+            eprintln!(
+                "  {}_c{concurrency:<2}      {:>8.1}   {:>6.1}%    {:>6.1}%   {:>6}/{}",
+                if warm { "warm" } else { "cold" },
+                queries.len() as f64 / dt,
+                stats.cache_hit_rate() * 100.0,
+                stats.shared.join_rate() * 100.0,
+                stats.shared.joined,
+                stats.shared.owned,
+            );
+        }
+    }
+}
+
+criterion_group!(benches, service_benches);
+criterion_main!(benches);

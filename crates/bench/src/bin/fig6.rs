@@ -61,7 +61,7 @@ fn stored_psnr(bv: &BenchVideo) -> f64 {
     let mut decoded = Vec::new();
     for (i, sot) in manifest.sots.iter().enumerate() {
         let tiles: Vec<_> = (0..sot.layout.tile_count())
-            .map(|t| bv.tasm.store().read_tile(manifest, i, t).expect("tile"))
+            .map(|t| bv.tasm.store().read_tile(&manifest, i, t).expect("tile"))
             .collect();
         let sv = StitchedVideo::stitch(sot.layout.clone(), tiles).expect("stitch");
         let (frames, _) = sv.decode_all().expect("decode");

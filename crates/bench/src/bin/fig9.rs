@@ -60,7 +60,7 @@ fn main() {
             cache_bytes: 0,
             ..Default::default()
         };
-        let mut tasm = Tasm::open(
+        let tasm = Tasm::open(
             bench_dir(&format!("fig9-base-{}-{seed}", ds.name())),
             Box::new(MemoryIndex::in_memory()),
             cfg,
@@ -111,7 +111,7 @@ fn main() {
                 cache_bytes: 0,
                 ..Default::default()
             };
-            let mut tasm = Tasm::open(
+            let tasm = Tasm::open(
                 bench_dir(&format!("fig9-{ss}s-{}", p.object)),
                 Box::new(MemoryIndex::in_memory()),
                 cfg,

@@ -140,7 +140,7 @@ impl BenchVideo {
         workers: usize,
         cache_bytes: u64,
     ) -> Self {
-        let mut tasm = Tasm::open(
+        let tasm = Tasm::open(
             bench_dir(tag),
             Box::new(MemoryIndex::in_memory()),
             TasmConfig {

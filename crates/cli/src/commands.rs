@@ -8,12 +8,14 @@
 use crate::args::Args;
 use std::error::Error;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use tasm_core::{LabelPredicate, Tasm, TasmConfig};
-use tasm_data::{Dataset, SyntheticVideo};
+use tasm_data::{workloads, Dataset, SyntheticVideo, WorkloadParams};
 use tasm_detect::sampled::SampledDetector;
 use tasm_detect::yolo::SimulatedYolo;
 use tasm_detect::Detector;
 use tasm_index::PersistentIndex;
+use tasm_service::{QueryRequest, QueryService, RetilePolicy, ServiceConfig};
 use tasm_video::FrameSource;
 
 type CmdResult = Result<(), Box<dyn Error>>;
@@ -27,12 +29,21 @@ USAGE:
   tasm scan    --store DIR --name NAME --label LABEL [--start F] [--end F] [--repeat N]
   tasm retile  --store DIR --name NAME --labels L1,L2
   tasm observe --store DIR --name NAME --label LABEL [--start F] [--end F]
+  tasm workload --store DIR --name NAME [--workload 1|2|3|4] [--queries N]
+                [--concurrency N] [--queue-depth N] [--retile off|regret|more]
+                [--query-frames N] [--seed N]
   tasm info    --store DIR [--name NAME]
   tasm presets
 
 EXECUTION (any command):
   --workers N    decode worker threads (0 = one per core, default)
   --cache-mb N   decoded-GOP cache budget in MiB (0 disables; default 256)
+
+WORKLOAD: replays one of the paper's §5.3 workload generators through the
+  concurrent QueryService: --concurrency query workers (0 = one per core)
+  over a --queue-depth bounded queue, optionally with the background
+  re-tiling daemon (--retile regret|more). Reports aggregate throughput,
+  decoded-GOP cache reuse, and the shared-scan dedup rate.
 
 PRESETS: visual-road-2k, visual-road-4k, netflix-public, netflix-open-source,
          xiph, mot16, el-fuente-sparse, el-fuente-dense";
@@ -50,6 +61,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         "scan" => scan(&args),
         "retile" => retile(&args),
         "observe" => observe(&args),
+        "workload" => workload(&args),
         "info" => info(&args),
         "presets" => {
             for d in Dataset::ALL {
@@ -95,7 +107,7 @@ fn load_video(store: &str, name: &str) -> Result<SyntheticVideo, Box<dyn Error>>
 
 /// Attaches an existing stored video (no re-encode) and rebuilds its scene
 /// for ground truth.
-fn register(tasm: &mut Tasm, store: &str, name: &str) -> Result<SyntheticVideo, Box<dyn Error>> {
+fn register(tasm: &Tasm, store: &str, name: &str) -> Result<SyntheticVideo, Box<dyn Error>> {
     let video = load_video(store, name)?;
     tasm.attach(name)?;
     Ok(video)
@@ -114,7 +126,7 @@ fn ingest(args: &Args) -> CmdResult {
         .ok_or_else(|| format!("unknown dataset '{dataset_name}' (see `tasm presets`)"))?;
     let video = dataset.build(seconds, seed);
 
-    let mut tasm = open_tasm(store, args)?;
+    let tasm = open_tasm(store, args)?;
     tasm.ingest(name, &video, 30)?;
     std::fs::write(
         spec_path(store, name),
@@ -139,7 +151,7 @@ fn detect(args: &Args) -> CmdResult {
     let stride: u32 = args.get_or("stride", 1)?;
 
     let mut tasm = open_tasm(store, args)?;
-    let video = register(&mut tasm, store, name)?;
+    let video = register(&tasm, store, name)?;
     let inner: Box<dyn Detector> = match which {
         "yolov3" => Box::new(SimulatedYolo::full(1)),
         "yolov3-tiny" => Box::new(SimulatedYolo::tiny(1)),
@@ -170,8 +182,8 @@ fn scan(args: &Args) -> CmdResult {
     let store = args.required("store")?;
     let name = args.required("name")?;
     let label = args.required("label")?;
-    let mut tasm = open_tasm(store, args)?;
-    let video = register(&mut tasm, store, name)?;
+    let tasm = open_tasm(store, args)?;
+    let video = register(&tasm, store, name)?;
     let start: u32 = args.get_or("start", 0)?;
     let end: u32 = args.get_or("end", video.len())?;
 
@@ -209,8 +221,8 @@ fn retile(args: &Args) -> CmdResult {
     if labels.is_empty() {
         return Err("--labels needs at least one label".into());
     }
-    let mut tasm = open_tasm(store, args)?;
-    register(&mut tasm, store, name)?;
+    let tasm = open_tasm(store, args)?;
+    register(&tasm, store, name)?;
     let stats = tasm.kqko_retile_all(name, &labels)?;
     let manifest = tasm.manifest(name)?;
     let tiled = manifest
@@ -233,8 +245,8 @@ fn observe(args: &Args) -> CmdResult {
     let store = args.required("store")?;
     let name = args.required("name")?;
     let label = args.required("label")?;
-    let mut tasm = open_tasm(store, args)?;
-    let video = register(&mut tasm, store, name)?;
+    let tasm = open_tasm(store, args)?;
+    let video = register(&tasm, store, name)?;
     let start: u32 = args.get_or("start", 0)?;
     let end: u32 = args.get_or("end", video.len())?;
 
@@ -247,6 +259,113 @@ fn observe(args: &Args) -> CmdResult {
     } else {
         println!("regret recorded; no re-tile yet");
     }
+    Ok(())
+}
+
+/// Replays a §5.3 workload generator through the concurrent
+/// [`QueryService`], reporting aggregate throughput and shared-scan reuse.
+fn workload(args: &Args) -> CmdResult {
+    let store = args.required("store")?;
+    let name = args.required("name")?;
+    let which: u32 = args.get_or("workload", 1)?;
+    let concurrency: usize = args.get_or("concurrency", 0)?;
+    let queue_depth: usize = args.get_or("queue-depth", 64)?;
+    if queue_depth == 0 {
+        return Err("--queue-depth must be at least 1".into());
+    }
+    let seed: u64 = args.get_or("seed", 1)?;
+    let retile = match args.get("retile").unwrap_or("off") {
+        "off" => RetilePolicy::Off,
+        "regret" => RetilePolicy::Regret,
+        "more" => RetilePolicy::More,
+        other => return Err(format!("unknown retile policy '{other}'").into()),
+    };
+
+    let tasm = Arc::new(open_tasm(store, args)?);
+    let video = register(&tasm, store, name)?;
+    let query_frames: u32 = args.get_or("query-frames", 30.min(video.len()))?;
+
+    // Populate the semantic index up front so the timed run measures query
+    // execution, not first-touch detection.
+    let frame_count = video.len();
+    if tasm.processed_count(name, 0..frame_count)? < frame_count {
+        let mut detector = SimulatedYolo::full(1);
+        for f in 0..frame_count {
+            let truth = video.ground_truth(f);
+            for d in detector.detect(f, None, &truth) {
+                tasm.add_metadata(name, &d.label, f, d.bbox)?;
+            }
+            tasm.mark_processed(name, f)?;
+        }
+        println!("(populated index: {frame_count} frames detected up front)");
+    }
+
+    let params = WorkloadParams::new(frame_count, query_frames.clamp(1, frame_count), seed);
+    let mut queries = match which {
+        1 => workloads::workload1(params),
+        2 => workloads::workload2(params),
+        3 => workloads::workload3(params),
+        4 => workloads::workload4(params),
+        other => return Err(format!("unknown workload '{other}' (1-4 supported)").into()),
+    };
+    if let Some(cap) = args.get("queries") {
+        let cap: usize = cap
+            .parse()
+            .map_err(|_| format!("invalid value '{cap}' for --queries"))?;
+        queries.truncate(cap);
+    }
+
+    let service = QueryService::start(
+        Arc::clone(&tasm),
+        ServiceConfig {
+            workers: concurrency,
+            queue_depth,
+            retile,
+            ..ServiceConfig::default()
+        },
+    );
+    let t0 = std::time::Instant::now();
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            service.submit(QueryRequest {
+                video: name.to_string(),
+                predicate: LabelPredicate::label(&q.label),
+                frames: q.frames.clone(),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let mut regions = 0usize;
+    for h in handles {
+        regions += h.wait()?.result.regions.len();
+    }
+    let elapsed = t0.elapsed();
+    service.drain_retile_backlog();
+    let stats = service.shutdown();
+    tasm.with_index(|ix| ix.flush())?;
+
+    let shared = stats.shared;
+    println!(
+        "workload {which}: {} queries in {:.2}s — {:.1} queries/s (concurrency {}, queue depth {queue_depth})",
+        queries.len(),
+        elapsed.as_secs_f64(),
+        queries.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        if concurrency == 0 { "auto".to_string() } else { concurrency.to_string() },
+    );
+    println!(
+        "  {} regions returned, {} samples decoded, {} reused ({:.0}% cache hit rate)",
+        regions,
+        stats.samples_decoded,
+        stats.samples_reused,
+        stats.cache_hit_rate() * 100.0,
+    );
+    println!(
+        "  shared-scan dedup: {} owned / {} joined GOP decodes ({:.0}% join rate); {} retile ops",
+        shared.owned,
+        shared.joined,
+        shared.join_rate() * 100.0,
+        stats.retile_ops,
+    );
     Ok(())
 }
 
@@ -267,10 +386,10 @@ fn info(args: &Args) -> CmdResult {
                 continue;
             }
         }
-        if register(&mut tasm, store, &name).is_err() {
+        if register(&tasm, store, &name).is_err() {
             continue;
         }
-        let m = tasm.manifest(&name)?.clone();
+        let m = tasm.manifest(&name)?;
         let tiled = m.sots.iter().filter(|s| !s.layout.is_untiled()).count();
         let id = tasm.video_id(&name)?;
         let labels = tasm.index_mut().labels(id)?;
@@ -329,6 +448,27 @@ mod tests {
     }
 
     #[test]
+    fn workload_runs_through_query_service() {
+        let s = store("workload");
+        run(&format!(
+            "ingest --store {s} --name cam --dataset visual-road-2k --seconds 1 --seed 3"
+        ))
+        .expect("ingest");
+        // Concurrent, small queue, regret daemon on; index populates lazily
+        // inside the command.
+        run(&format!(
+            "workload --store {s} --name cam --workload 3 --queries 12 \
+             --concurrency 4 --queue-depth 4 --retile regret --query-frames 10"
+        ))
+        .expect("workload with service flags");
+        // Serial path through the same service machinery.
+        run(&format!(
+            "workload --store {s} --name cam --queries 4 --concurrency 1"
+        ))
+        .expect("serial workload");
+    }
+
+    #[test]
     fn errors_are_reported_not_panicked() {
         let s = store("errors");
         assert!(run("bogus --store /tmp").is_err());
@@ -338,6 +478,16 @@ mod tests {
         ))
         .is_err());
         assert!(run(&format!("retile --store {s} --name v --labels ,")).is_err());
+        assert!(run(&format!(
+            "workload --store {s} --name missing --concurrency 2"
+        ))
+        .is_err());
+        assert!(run(&format!(
+            "ingest --store {s} --name w --dataset xiph --seconds 1"
+        ))
+        .is_ok());
+        assert!(run(&format!("workload --store {s} --name w --workload 9")).is_err());
+        assert!(run(&format!("workload --store {s} --name w --retile sideways")).is_err());
     }
 
     #[test]

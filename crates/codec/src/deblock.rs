@@ -7,7 +7,7 @@
 //! Crucially for TASM, the filter operates on each tile's reconstruction in
 //! isolation: it can never reach across a tile boundary, because tiles decode
 //! independently. Interior block edges get filtered, *tile* edges do not —
-//! which is exactly the boundary-artifact mechanism the paper cites ([44],
+//! which is exactly the boundary-artifact mechanism the paper cites (\[44\],
 //! §2) as the quality cost of tiling, and what Figure 6(b) measures.
 
 use tasm_video::{Frame, Plane};

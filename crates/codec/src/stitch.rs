@@ -1,7 +1,7 @@
 //! Homomorphic stitching.
 //!
 //! Tiles are stored as separate video files, but a query for a full frame
-//! must recover the original picture. Homomorphic stitching ([17] in the
+//! must recover the original picture. Homomorphic stitching (\[17\] in the
 //! paper, §2) combines encoded tiles *without an intermediate re-encode*:
 //! the stitched artifact interleaves the tiles' encoded bitstreams and adds
 //! a layout header telling the decoder how tiles are arranged. Decoding the

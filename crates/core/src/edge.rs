@@ -262,7 +262,7 @@ mod tests {
         edge_ingest(&mut t, "v", &src, 30, &cfg, &mut det, &truth_at).unwrap();
         // Compare against a lazily ingested copy: edge decode is cheaper on
         // the very first query.
-        let mut lazy = tasm("noretile-lazy");
+        let lazy = tasm("noretile-lazy");
         lazy.ingest("v", &src, 30).unwrap();
         for f in 0..30 {
             for (l, b) in truth_at(f) {

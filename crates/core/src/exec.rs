@@ -24,7 +24,7 @@ use crate::storage::{StoreError, VideoManifest, VideoStore};
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use tasm_codec::{DecodeStats, TileVideo};
 use tasm_video::Frame;
 
@@ -82,6 +82,42 @@ impl std::ops::AddAssign for CacheStats {
     }
 }
 
+/// Shared-scan (single-flight) dedup accounting.
+///
+/// When two concurrent queries need the same `(video, SOT, tile, GOP)`
+/// decode, only one performs it — the *owner* — while the others *join* the
+/// in-flight decode and are served its result through the cache. `owned`
+/// counts GOP decodes a request performed itself; `joined` counts GOP needs
+/// a request satisfied by waiting on another query's in-flight decode.
+/// Joined work never appears in [`DecodeStats`], so the §4.1 cost model
+/// keeps seeing only real decode effort.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedScanStats {
+    /// GOP decodes this side performed itself (with or without waiters).
+    pub owned: u64,
+    /// GOP needs served by joining another query's in-flight decode.
+    pub joined: u64,
+}
+
+impl SharedScanStats {
+    /// Fraction of GOP needs served by joining another query's decode.
+    pub fn join_rate(&self) -> f64 {
+        let total = self.owned + self.joined;
+        if total == 0 {
+            0.0
+        } else {
+            self.joined as f64 / total as f64
+        }
+    }
+}
+
+impl std::ops::AddAssign for SharedScanStats {
+    fn add_assign(&mut self, rhs: SharedScanStats) {
+        self.owned += rhs.owned;
+        self.joined += rhs.joined;
+    }
+}
+
 /// Key of one cached GOP prefix.
 ///
 /// `store` and `video` are interned `Arc<str>`s: per-GOP key construction
@@ -109,8 +145,32 @@ struct GopEntry {
     stamp: u64,
 }
 
+/// An in-progress decode of one GOP: waiters block on the condvar until the
+/// owner completes (or abandons) the decode, then re-check the cache.
+#[derive(Default)]
+struct InflightDecode {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl InflightDecode {
+    fn finish(&self) {
+        *self.done.lock().expect("inflight lock") = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("inflight lock");
+        while !*done {
+            done = self.cv.wait(done).expect("inflight lock");
+        }
+    }
+}
+
 struct CacheInner {
     map: HashMap<GopKey, GopEntry>,
+    /// Single-flight registry: GOPs currently being decoded by some query.
+    inflight: HashMap<GopKey, Arc<InflightDecode>>,
     clock: u64,
     bytes: u64,
 }
@@ -122,6 +182,11 @@ struct CacheInner {
 /// prefixes are *extended* by resuming the decoder from the last cached
 /// reconstruction (bit-exact, see `TileVideo::decode_resume`), paying only
 /// for the missing frames.
+///
+/// Entries additionally have an *in-progress* state: while one query
+/// decodes a GOP, concurrent queries needing the same GOP block on it and
+/// join its result instead of decoding it again (single-flight shared-scan
+/// dedup, accounted in [`SharedScanStats`]).
 pub struct DecodedTileCache {
     inner: Mutex<CacheInner>,
     budget: u64,
@@ -133,6 +198,7 @@ impl DecodedTileCache {
         DecodedTileCache {
             inner: Mutex::new(CacheInner {
                 map: HashMap::new(),
+                inflight: HashMap::new(),
                 clock: 0,
                 bytes: 0,
             }),
@@ -181,7 +247,10 @@ impl DecodedTileCache {
     }
 
     /// Returns the cached prefix for `key` (cloned `Arc`s), touching LRU
-    /// recency. The prefix may be shorter than the caller needs.
+    /// recency. The prefix may be shorter than the caller needs. The
+    /// execution path goes through [`DecodedTileCache::acquire`] instead,
+    /// which layers single-flight dedup on top of this lookup.
+    #[cfg(test)]
     fn lookup(&self, key: &GopKey) -> Option<Vec<Arc<Frame>>> {
         let mut inner = self.inner.lock().expect("cache lock");
         inner.clock += 1;
@@ -225,6 +294,99 @@ impl DecodedTileCache {
             }
         }
     }
+
+    /// Single-flight access to one GOP: either the cache already holds a
+    /// prefix of at least `needed` frames ([`GopAccess::Ready`]), or the
+    /// caller becomes the *owner* of the decode and must finish it through
+    /// the returned [`InflightToken`]. When another query is already
+    /// decoding this GOP, the call blocks until that decode settles, sets
+    /// `*waited`, and re-checks — so concurrent queries needing the same
+    /// GOP pay for exactly one decode between them.
+    fn acquire(&self, key: &GopKey, needed: usize, waited: &mut bool) -> GopAccess<'_> {
+        loop {
+            let inflight = {
+                let mut inner = self.inner.lock().expect("cache lock");
+                inner.clock += 1;
+                let clock = inner.clock;
+                if let Some(entry) = inner.map.get_mut(key) {
+                    entry.stamp = clock;
+                    if entry.frames.len() >= needed {
+                        return GopAccess::Ready(entry.frames.clone());
+                    }
+                }
+                match inner.inflight.get(key) {
+                    Some(fl) => fl.clone(),
+                    None => {
+                        let fl = Arc::new(InflightDecode::default());
+                        inner.inflight.insert(key.clone(), fl.clone());
+                        let prefix = inner
+                            .map
+                            .get(key)
+                            .map(|e| e.frames.clone())
+                            .unwrap_or_default();
+                        return GopAccess::Owner(
+                            InflightToken {
+                                cache: self,
+                                key: key.clone(),
+                                fl,
+                                settled: false,
+                            },
+                            prefix,
+                        );
+                    }
+                }
+            };
+            // Wait outside the cache lock, then re-check: the owner may
+            // have decoded fewer frames than we need (we would then become
+            // the owner of the extension), or the entry may have been
+            // evicted already (ditto).
+            *waited = true;
+            inflight.wait();
+        }
+    }
+}
+
+/// Outcome of [`DecodedTileCache::acquire`].
+enum GopAccess<'a> {
+    /// The cache holds at least the needed prefix.
+    Ready(Vec<Arc<Frame>>),
+    /// The caller owns the decode; the payload is the (possibly empty)
+    /// cached prefix to extend. The token must be completed (or dropped,
+    /// which wakes waiters without publishing frames).
+    Owner(InflightToken<'a>, Vec<Arc<Frame>>),
+}
+
+/// Registration of an in-progress GOP decode. Completing publishes the
+/// frames and wakes waiters; dropping without completing (decode error,
+/// panic) wakes waiters without publishing — one of them then takes over.
+struct InflightToken<'a> {
+    cache: &'a DecodedTileCache,
+    key: GopKey,
+    fl: Arc<InflightDecode>,
+    settled: bool,
+}
+
+impl InflightToken<'_> {
+    fn complete(mut self, frames: Vec<Arc<Frame>>) {
+        self.cache.store(self.key.clone(), frames);
+        self.settle();
+    }
+
+    fn settle(&mut self) {
+        if !self.settled {
+            self.settled = true;
+            let mut inner = self.cache.inner.lock().expect("cache lock");
+            inner.inflight.remove(&self.key);
+            drop(inner);
+            self.fl.finish();
+        }
+    }
+}
+
+impl Drop for InflightToken<'_> {
+    fn drop(&mut self) {
+        self.settle();
+    }
 }
 
 fn frame_bytes(f: &Frame) -> u64 {
@@ -242,7 +404,7 @@ pub fn execute(
     store: &VideoStore,
     manifest: &VideoManifest,
     requests: &[TileDecodeRequest],
-) -> Result<(Vec<DecodedTile>, DecodeStats, CacheStats), StoreError> {
+) -> Result<(Vec<DecodedTile>, DecodeStats, CacheStats, SharedScanStats), StoreError> {
     let workers = store.effective_workers().min(requests.len().max(1));
     let mut outputs: Vec<TaskOutput> = Vec::with_capacity(requests.len());
     if workers <= 1 || requests.len() <= 1 {
@@ -272,19 +434,22 @@ pub fn execute(
 
     let mut decode = DecodeStats::default();
     let mut cache = CacheStats::default();
+    let mut shared = SharedScanStats::default();
     let mut tiles = Vec::with_capacity(outputs.len());
     for out in outputs {
         decode += out.stats;
         cache += out.cache;
+        shared += out.shared;
         tiles.push(out.tile);
     }
-    Ok((tiles, decode, cache))
+    Ok((tiles, decode, cache, shared))
 }
 
 struct TaskOutput {
     tile: DecodedTile,
     stats: DecodeStats,
     cache: CacheStats,
+    shared: SharedScanStats,
 }
 
 /// Decodes one request, GOP by GOP, through the cache when one is attached.
@@ -313,6 +478,7 @@ fn run_request(
     let video_name: Arc<str> = Arc::from(manifest.name.as_str());
     let mut stats = DecodeStats::default();
     let mut cache_stats = CacheStats::default();
+    let mut shared = SharedScanStats::default();
     let mut frames: Vec<Arc<Frame>> = Vec::with_capacity(span.len());
     // The tile file is read lazily: a fully cached span never touches disk.
     let mut tile_video: Option<TileVideo> = None;
@@ -334,16 +500,26 @@ fn run_request(
             gop,
             epoch: sot.retile_count,
         });
-        let mut prefix: Vec<Arc<Frame>> = match (&cache, &key) {
-            (Some(c), Some(k)) => c.lookup(k).unwrap_or_default(),
-            _ => Vec::new(),
+        // Single-flight access: either the GOP is served from the cache
+        // (possibly after joining another query's in-flight decode of it),
+        // or this request owns the decode and publishes the result.
+        let mut waited = false;
+        let (mut prefix, token) = match (&cache, &key) {
+            (Some(c), Some(k)) => match c.acquire(k, needed as usize, &mut waited) {
+                GopAccess::Ready(cached) => (cached, None),
+                GopAccess::Owner(t, existing) => (existing, Some(t)),
+            },
+            _ => (Vec::new(), None),
         };
 
-        if prefix.len() >= needed as usize {
+        if token.is_none() && cache.is_some() {
             cache_stats.hits += 1;
             cache_stats.frames_reused += needed as u64;
             cache_stats.samples_reused +=
                 needed as u64 * prefix.first().map(|f| frame_bytes(f)).unwrap_or(0);
+            if waited {
+                shared.joined += 1;
+            }
         } else {
             // A "miss" only exists where a cache exists: uncached stores
             // report all-zero CacheStats, not a phantom 0% hit rate.
@@ -364,11 +540,14 @@ fn run_request(
                 }
             };
             let reference = prefix.last().map(|f| f.as_ref());
+            // On error the token drops unsettled, waking any waiters so one
+            // of them can take over the decode.
             let (decoded, s) = tv.decode_resume(gop_start + have, needed_end, reference)?;
             stats += s;
+            shared.owned += 1;
             prefix.extend(decoded.into_iter().map(Arc::new));
-            if let (Some(c), Some(k)) = (&cache, key) {
-                c.store(k, prefix.clone());
+            if let Some(t) = token {
+                t.complete(prefix.clone());
             }
         }
 
@@ -386,6 +565,7 @@ fn run_request(
         },
         stats,
         cache: cache_stats,
+        shared,
     })
 }
 
@@ -441,6 +621,70 @@ mod tests {
             "recently used entry survives"
         );
         assert!(c.lookup(&key(1, 0)).is_none(), "LRU entry evicted");
+    }
+
+    #[test]
+    fn single_flight_joiner_waits_for_owner() {
+        let c = Arc::new(DecodedTileCache::new(1 << 20));
+        // Owner registers the in-flight decode.
+        let mut waited = false;
+        let access = c.acquire(&key(0, 0), 2, &mut waited);
+        let token = match access {
+            GopAccess::Owner(t, prefix) => {
+                assert!(prefix.is_empty());
+                assert!(!waited);
+                t
+            }
+            GopAccess::Ready(_) => panic!("empty cache cannot be ready"),
+        };
+
+        // Joiner on another thread blocks until the owner completes.
+        let c2 = Arc::clone(&c);
+        let (started_tx, started_rx) = std::sync::mpsc::channel();
+        let joiner = std::thread::spawn(move || {
+            started_tx.send(()).unwrap();
+            let mut waited = false;
+            match c2.acquire(&key(0, 0), 2, &mut waited) {
+                GopAccess::Ready(frames) => {
+                    assert_eq!(frames.len(), 2);
+                    waited
+                }
+                GopAccess::Owner(..) => panic!("joiner must not own a completed decode"),
+            }
+        });
+        started_rx.recv().unwrap();
+        // Give the joiner time to reach the wait before publishing.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        token.complete(vec![dummy_frame(1), dummy_frame(2)]);
+        assert!(joiner.join().unwrap(), "joiner must report having waited");
+    }
+
+    #[test]
+    fn abandoned_owner_wakes_waiters_who_take_over() {
+        let c = Arc::new(DecodedTileCache::new(1 << 20));
+        let mut waited = false;
+        let token = match c.acquire(&key(0, 0), 1, &mut waited) {
+            GopAccess::Owner(t, _) => t,
+            GopAccess::Ready(_) => unreachable!(),
+        };
+        let c2 = Arc::clone(&c);
+        let waiter = std::thread::spawn(move || {
+            let mut waited = false;
+            match c2.acquire(&key(0, 0), 1, &mut waited) {
+                // The abandoned decode published nothing: the waiter
+                // becomes the new owner.
+                GopAccess::Owner(t, prefix) => {
+                    assert!(prefix.is_empty());
+                    t.complete(vec![dummy_frame(7)]);
+                    waited
+                }
+                GopAccess::Ready(_) => panic!("nothing was published"),
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(token); // abandon without completing
+        assert!(waiter.join().unwrap());
+        assert_eq!(c.lookup(&key(0, 0)).unwrap().len(), 1);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!
 //! ## What lives where
 //!
-//! * [`partition`] — non-uniform layout generation around bounding boxes
+//! * [`mod@partition`] — non-uniform layout generation around bounding boxes
 //!   (fine/coarse granularity, §3.4.2);
 //! * [`cost`] — the `C = β·P + γ·T` query cost model, the `R(s, L)`
 //!   re-encode model, and their least-squares calibration (§4.1);
@@ -17,7 +17,7 @@
 //! * [`exec`] — the parallel tile-decode execution pipeline: per-(SOT, tile)
 //!   decode planning, a scoped-thread executor, and the shared decoded-GOP
 //!   cache (buffer-pool-style LRU with a byte budget);
-//! * [`scan`] — the `Scan(video, L, T)` access method with CNF label
+//! * [`mod@scan`] — the `Scan(video, L, T)` access method with CNF label
 //!   predicates (§3.1);
 //! * [`tasm`] — the facade: `AddMetadata`, `Scan`, KQKO optimization (§4.2),
 //!   incremental-more and regret-based re-tiling (§4.4);
@@ -68,6 +68,25 @@
 //! * [`TasmConfig::cache_bytes`] — decoded-GOP cache budget in bytes.
 //!   `0` disables caching; the default is 256 MiB.
 //!
+//! ## Concurrency
+//!
+//! [`Tasm`] is `Sync` and every operation — including [`Tasm::scan`] and
+//! the incremental policies — takes `&self`, so one instance behind an
+//! `Arc` serves any number of threads. Per-video state (manifest, policy
+//! counters) is sharded, so on those locks queries on different videos
+//! never contend; the semantic index is one shared lock, but it is held
+//! only across the brief lookup phase and released before decode — the
+//! dominant decode cost runs fully concurrently. The decoded-GOP cache
+//! performs *single-flight
+//! shared-scan dedup*: concurrent queries needing the same
+//! `(video, SOT, tile, GOP)` decode join one in-flight decode instead of
+//! repeating it ([`ScanResult::shared`](scan::ScanResult) accounts joined
+//! vs. owned decodes). Scans hold their video's manifest read lock across
+//! execution while re-tiles hold the write lock, so results stay bit-exact
+//! across concurrent re-tiling. The `tasm-service` crate builds a
+//! multi-query engine (bounded queue, worker pool, background retile
+//! daemon) on these guarantees.
+//!
 //! ```no_run
 //! use tasm_core::{Tasm, TasmConfig};
 //! use tasm_index::MemoryIndex;
@@ -91,9 +110,9 @@ pub mod tasm;
 
 pub use cost::{estimate_work, fit_linear, pixel_ratio, CostModel, EncodeModel, Work, WorkSample};
 pub use edge::{edge_ingest, EdgeConfig, EdgeReport};
-pub use exec::{CacheStats, DecodedTile, DecodedTileCache, TileDecodeRequest};
+pub use exec::{CacheStats, DecodedTile, DecodedTileCache, SharedScanStats, TileDecodeRequest};
 pub use partition::{partition, Granularity, PartitionConfig};
 pub use runner::{run_workload, QueryRecord, RunQuery, Strategy, TruthFn, WorkloadReport};
-pub use scan::{scan, LabelPredicate, RegionPixels, ScanError, ScanResult};
+pub use scan::{scan, scan_prepared, LabelPredicate, RegionPixels, ScanError, ScanResult};
 pub use storage::{RetileStats, SotEntry, StorageConfig, StoreError, VideoManifest, VideoStore};
 pub use tasm::{Tasm, TasmConfig, TasmError};

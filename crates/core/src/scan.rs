@@ -12,7 +12,7 @@
 //! work, as the paper's reported query times do.
 
 use crate::cost::Work;
-use crate::exec::{self, CacheStats, TileDecodeRequest};
+use crate::exec::{self, CacheStats, SharedScanStats, TileDecodeRequest};
 use crate::storage::{StoreError, VideoManifest, VideoStore};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::Range;
@@ -134,6 +134,11 @@ pub struct ScanResult {
     pub stats: DecodeStats,
     /// Decoded-GOP cache reuse for this scan.
     pub cache: CacheStats,
+    /// Shared-scan dedup accounting: GOP decodes this scan performed itself
+    /// (`owned`) vs. GOP needs served by joining another in-flight query's
+    /// decode (`joined`). Joined work appears in `cache`, never in `stats`,
+    /// so the §4.1 cost model stays calibrated under concurrency.
+    pub shared: SharedScanStats,
     /// Time spent querying the semantic index.
     pub lookup_time: Duration,
     /// Wall-clock time of the decode execution phase. With `workers > 1`
@@ -168,8 +173,20 @@ pub fn scan(
     let regions = predicate
         .target_regions(index, video_id, frames.clone())
         .map_err(ScanError::Index)?;
-    let lookup_time = t0.elapsed();
+    scan_prepared(store, manifest, regions, frames, t0.elapsed())
+}
 
+/// The decode half of [`scan`]: executes against already-resolved target
+/// regions. Split out so callers (notably [`crate::Tasm::scan`]) can release
+/// the semantic-index lock after the lookup phase — decode work then runs
+/// without serializing concurrent queries on the index.
+pub fn scan_prepared(
+    store: &VideoStore,
+    manifest: &VideoManifest,
+    regions: BTreeMap<u32, Vec<Rect>>,
+    frames: Range<u32>,
+    lookup_time: Duration,
+) -> Result<ScanResult, ScanError> {
     let mut result = ScanResult {
         lookup_time,
         ..Default::default()
@@ -211,11 +228,12 @@ pub fn scan(
 
     // --- Execution: fan the requests out across the store's workers ---
     let t1 = Instant::now();
-    let (decoded, stats, cache) =
+    let (decoded, stats, cache, shared) =
         exec::execute(store, manifest, &requests).map_err(ScanError::Store)?;
     result.exec_time = t1.elapsed();
     result.stats += stats;
     result.cache += cache;
+    result.shared += shared;
     result.work.pixels += stats.samples_decoded;
     result.work.tile_chunks += stats.tile_chunks_decoded;
     let by_tile: HashMap<(usize, u32), &exec::DecodedTile> =

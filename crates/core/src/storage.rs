@@ -470,7 +470,7 @@ impl VideoStore {
         local_frames: Range<u32>,
     ) -> Result<(DecodedTiles, DecodeStats, CacheStats), StoreError> {
         let plan = self.plan_decode_tiles(manifest, sot_idx, tile_indices, local_frames)?;
-        let (decoded, stats, cache) = exec::execute(self, manifest, &plan)?;
+        let (decoded, stats, cache, _shared) = exec::execute(self, manifest, &plan)?;
         let out = decoded.into_iter().map(|d| (d.tile, d.frames)).collect();
         Ok((out, stats, cache))
     }

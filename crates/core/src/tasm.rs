@@ -5,14 +5,43 @@
 //! incremental tiling strategies. It exposes the paper's API surface —
 //! `AddMetadata` (§3.1), `Scan` (§3.1) — plus the layout optimization entry
 //! points of §4 (KQKO, incremental-more, regret-based).
+//!
+//! ## Concurrency model
+//!
+//! `Tasm` is `Sync`: every operation, including [`Tasm::scan`], takes
+//! `&self`, so one instance (behind an `Arc`) serves many threads at once —
+//! the shape `tasm-service` builds its worker pool on. Internally the
+//! per-video state is sharded so queries on different videos never contend
+//! on it, and the one shared lock is never held across decode:
+//!
+//! * the **semantic index** sits behind one `RwLock` (exclusive for every
+//!   index operation, since the trait's methods take `&mut self`) and is
+//!   only held for the duration of a lookup or insert — never across
+//!   decode work, so index contention is bounded by the cheap lookup
+//!   phase;
+//! * each registered video has a per-video shard holding its **manifest**
+//!   behind an `RwLock` and its **policy state** (query history, regret
+//!   counters, seen-object sets) behind a `Mutex`.
+//!
+//! A scan holds its video's manifest *read* lock across decode execution,
+//! and a re-tile holds the *write* lock across the tile-file swap; together
+//! with the layout epoch in decoded-GOP cache keys this makes scans atomic
+//! with respect to concurrent re-tiles — a scan sees exactly one layout
+//! epoch, never a torn mix of tile files.
+//!
+//! **Lock order** (outer to inner): videos map → per-video policy →
+//! per-video manifest → semantic index. The index lock is terminal: no code
+//! path acquires any other lock while holding it.
 
 use crate::cost::{estimate_work, pixel_ratio, CostModel, EncodeModel};
 use crate::partition::{partition, PartitionConfig};
-use crate::scan::{scan, LabelPredicate, ScanError, ScanResult};
+use crate::scan::{scan_prepared, LabelPredicate, ScanError, ScanResult};
 use crate::storage::{RetileStats, StorageConfig, StoreError, VideoManifest, VideoStore};
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Range;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 use tasm_codec::TileLayout;
 use tasm_index::{Detection, SemanticIndex, TreeError};
 use tasm_video::{FrameSource, Rect};
@@ -75,6 +104,15 @@ pub enum TasmError {
     Scan(ScanError),
     /// Unknown video name.
     UnknownVideo(String),
+    /// Two distinct video names hash to the same 32-bit id. Registering the
+    /// second would silently alias its detections with the first in the
+    /// shared semantic index, so the registration is refused instead.
+    VideoIdCollision {
+        /// The already-registered name owning the id.
+        existing: String,
+        /// The name whose registration was refused.
+        rejected: String,
+    },
 }
 
 impl std::fmt::Display for TasmError {
@@ -84,6 +122,11 @@ impl std::fmt::Display for TasmError {
             TasmError::Index(e) => write!(f, "{e}"),
             TasmError::Scan(e) => write!(f, "{e}"),
             TasmError::UnknownVideo(name) => write!(f, "unknown video '{name}'"),
+            TasmError::VideoIdCollision { existing, rejected } => write!(
+                f,
+                "video id collision: '{rejected}' hashes to the same id as \
+                 registered video '{existing}'; rename one of them"
+            ),
         }
     }
 }
@@ -120,44 +163,65 @@ struct SotPolicy {
     queried: BTreeSet<String>,
 }
 
-/// Per-video registration.
-struct VideoEntry {
-    id: u32,
-    manifest: VideoManifest,
+/// Mutable per-video policy state (regret counters, query history,
+/// seen-object sets). Sharded per video behind a `Mutex` so the incremental
+/// policies of two different videos never contend.
+#[derive(Debug, Default)]
+struct PolicyState {
     /// Objects seen in queries so far (the paper's `O_Q'`).
     seen_objects: BTreeSet<String>,
     sots: Vec<SotPolicy>,
 }
 
+impl PolicyState {
+    fn new(n_sots: usize) -> Self {
+        PolicyState {
+            seen_objects: BTreeSet::new(),
+            sots: vec![SotPolicy::default(); n_sots],
+        }
+    }
+}
+
+/// Per-video registration: the shard queries on this video synchronize on.
+struct VideoShard {
+    id: u32,
+    /// Guards the manifest *and* the video's tile files on disk: scans hold
+    /// the read side across decode, re-tiles hold the write side across the
+    /// file swap.
+    manifest: RwLock<VideoManifest>,
+    policy: Mutex<PolicyState>,
+}
+
 /// The storage manager.
 pub struct Tasm {
     store: VideoStore,
-    index: Box<dyn SemanticIndex>,
+    index: RwLock<Box<dyn SemanticIndex + Send + Sync>>,
     cfg: TasmConfig,
-    videos: BTreeMap<String, VideoEntry>,
+    videos: RwLock<BTreeMap<String, Arc<VideoShard>>>,
 }
 
 /// Stable video id: FNV-1a of the name. Ids must survive process restarts
-/// because the persistent semantic index keys detections by id.
-fn video_id_for(name: &str) -> u32 {
-    let h = name.bytes().fold(0x811c9dc5u32, |acc, b| {
+/// because the persistent semantic index keys detections by id. Collisions
+/// between registered names are detected at `ingest`/`attach` and refused
+/// ([`TasmError::VideoIdCollision`]).
+pub(crate) fn video_id_for(name: &str) -> u32 {
+    name.bytes().fold(0x811c9dc5u32, |acc, b| {
         (acc ^ b as u32).wrapping_mul(0x01000193)
-    });
-    h
+    })
 }
 
 impl Tasm {
     /// Opens a storage manager rooted at `root` with the given index.
     pub fn open(
         root: impl Into<PathBuf>,
-        index: Box<dyn SemanticIndex>,
+        index: Box<dyn SemanticIndex + Send + Sync>,
         cfg: TasmConfig,
     ) -> Result<Self, TasmError> {
         Ok(Tasm {
             store: VideoStore::open_with(root, cfg.workers, cfg.cache_bytes)?,
-            index,
+            index: RwLock::new(index),
             cfg,
-            videos: BTreeMap::new(),
+            videos: RwLock::new(BTreeMap::new()),
         })
     }
 
@@ -171,65 +235,94 @@ impl Tasm {
         &self.store
     }
 
-    /// Access to the semantic index (harness instrumentation).
+    /// Exclusive access to the semantic index (harness instrumentation).
     pub fn index_mut(&mut self) -> &mut dyn SemanticIndex {
-        self.index.as_mut()
+        self.index.get_mut().expect("index lock").as_mut()
+    }
+
+    /// Runs `f` with the semantic index locked. The index lock is terminal
+    /// in the facade's lock order: `f` must not call back into `Tasm`.
+    pub fn with_index<R>(&self, f: impl FnOnce(&mut dyn SemanticIndex) -> R) -> R {
+        let mut guard = self.index.write().expect("index lock");
+        f(guard.as_mut())
     }
 
     /// Ingests a video untiled (`ω` for every SOT) — the starting point of
     /// the lazy and incremental strategies.
-    pub fn ingest(
-        &mut self,
-        name: &str,
-        src: &dyn FrameSource,
-        fps: u32,
-    ) -> Result<u32, TasmError> {
+    pub fn ingest(&self, name: &str, src: &dyn FrameSource, fps: u32) -> Result<u32, TasmError> {
         let (w, h) = (src.width(), src.height());
         self.ingest_with(name, src, fps, move |_, _| TileLayout::untiled(w, h))
     }
 
     /// Ingests a video with per-SOT initial layouts (eager and edge
     /// strategies supply object layouts here).
+    ///
+    /// Re-ingesting a name replaces the stored video; doing so while scans
+    /// on that name are in flight is not supported.
     pub fn ingest_with(
-        &mut self,
+        &self,
         name: &str,
         src: &dyn FrameSource,
         fps: u32,
         layout_for: impl FnMut(usize, Range<u32>) -> TileLayout,
     ) -> Result<u32, TasmError> {
+        let id = video_id_for(name);
+        // Check before paying for the encode; re-checked under the write
+        // lock at registration.
+        self.check_id_collision(name, id)?;
         let (manifest, _) = self
             .store
             .ingest(name, src, fps, self.cfg.storage, layout_for)?;
-        let id = video_id_for(name);
-        let n_sots = manifest.sots.len();
-        self.videos.insert(
-            name.to_string(),
-            VideoEntry {
-                id,
-                manifest,
-                seen_objects: BTreeSet::new(),
-                sots: vec![SotPolicy::default(); n_sots],
-            },
-        );
-        Ok(id)
+        self.register(name, id, manifest)
     }
 
     /// Attaches a video already present in the store (e.g. after a process
     /// restart): loads its manifest from disk without re-encoding anything.
     /// Tile layouts, the semantic index, and on-disk files are all reused;
     /// only in-memory policy state (regret, query history) starts fresh.
-    pub fn attach(&mut self, name: &str) -> Result<u32, TasmError> {
-        let manifest = self.store.load_manifest(name)?;
+    pub fn attach(&self, name: &str) -> Result<u32, TasmError> {
         let id = video_id_for(name);
+        self.check_id_collision(name, id)?;
+        let manifest = self.store.load_manifest(name)?;
+        self.register(name, id, manifest)
+    }
+
+    /// Refuses registration when `name`'s FNV-1a id aliases a different
+    /// registered video: the shared semantic index keys detections by id,
+    /// so a collision would silently merge two videos' metadata.
+    fn check_id_collision(&self, name: &str, id: u32) -> Result<(), TasmError> {
+        let videos = self.videos.read().expect("videos lock");
+        if let Some((existing, _)) = videos
+            .iter()
+            .find(|(n, s)| s.id == id && n.as_str() != name)
+        {
+            return Err(TasmError::VideoIdCollision {
+                existing: existing.clone(),
+                rejected: name.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn register(&self, name: &str, id: u32, manifest: VideoManifest) -> Result<u32, TasmError> {
         let n_sots = manifest.sots.len();
-        self.videos.insert(
+        let mut videos = self.videos.write().expect("videos lock");
+        if let Some((existing, _)) = videos
+            .iter()
+            .find(|(n, s)| s.id == id && n.as_str() != name)
+        {
+            return Err(TasmError::VideoIdCollision {
+                existing: existing.clone(),
+                rejected: name.to_string(),
+            });
+        }
+        videos.insert(
             name.to_string(),
-            VideoEntry {
+            Arc::new(VideoShard {
                 id,
-                manifest,
-                seen_objects: BTreeSet::new(),
-                sots: vec![SotPolicy::default(); n_sots],
-            },
+                manifest: RwLock::new(manifest),
+                policy: Mutex::new(PolicyState::new(n_sots)),
+            }),
         );
         Ok(id)
     }
@@ -241,66 +334,81 @@ impl Tasm {
 
     /// The numeric id assigned to a video at ingest.
     pub fn video_id(&self, name: &str) -> Result<u32, TasmError> {
-        Ok(self.entry(name)?.id)
+        Ok(self.shard(name)?.id)
     }
 
-    /// The current manifest of a video.
-    pub fn manifest(&self, name: &str) -> Result<&VideoManifest, TasmError> {
-        Ok(&self.entry(name)?.manifest)
+    /// A point-in-time snapshot of a video's manifest.
+    pub fn manifest(&self, name: &str) -> Result<VideoManifest, TasmError> {
+        Ok(self
+            .shard(name)?
+            .manifest
+            .read()
+            .expect("manifest lock")
+            .clone())
     }
 
     /// Total on-disk size of a video's tiles.
     pub fn video_size_bytes(&self, name: &str) -> Result<u64, TasmError> {
-        Ok(self.store.video_size_bytes(&self.entry(name)?.manifest)?)
+        let shard = self.shard(name)?;
+        let manifest = shard.manifest.read().expect("manifest lock");
+        Ok(self.store.video_size_bytes(&manifest)?)
     }
 
     /// `AddMetadata(video, frame, label, bbox)` (§3.1): records a detection
     /// produced during query processing or ingest.
     pub fn add_metadata(
-        &mut self,
+        &self,
         name: &str,
         label: &str,
         frame: u32,
         bbox: Rect,
     ) -> Result<(), TasmError> {
         let id = self.video_id(name)?;
-        self.index.add_metadata(id, label, frame, bbox)?;
+        self.with_index(|ix| ix.add_metadata(id, label, frame, bbox))?;
         Ok(())
     }
 
     /// Marks a frame as processed by a detector (lazy strategies need to
     /// distinguish "no objects" from "not analyzed", §4.3).
-    pub fn mark_processed(&mut self, name: &str, frame: u32) -> Result<(), TasmError> {
+    pub fn mark_processed(&self, name: &str, frame: u32) -> Result<(), TasmError> {
         let id = self.video_id(name)?;
-        self.index.mark_processed(id, frame)?;
+        self.with_index(|ix| ix.mark_processed(id, frame))?;
         Ok(())
     }
 
     /// Number of frames in `frames` already processed by a detector.
-    pub fn processed_count(&mut self, name: &str, frames: Range<u32>) -> Result<u32, TasmError> {
+    pub fn processed_count(&self, name: &str, frames: Range<u32>) -> Result<u32, TasmError> {
         let id = self.video_id(name)?;
-        Ok(self.index.processed_count(id, frames)?)
+        Ok(self.with_index(|ix| ix.processed_count(id, frames))?)
     }
 
     /// `Scan(video, L, T)` (§3.1): retrieves the pixels satisfying the
     /// predicate, decoding only the necessary tiles.
+    ///
+    /// Takes `&self`: any number of scans (on any videos) may run
+    /// concurrently through one instance. The video's manifest read lock is
+    /// held across execution, so a concurrent re-tile of the same video
+    /// waits — every scan observes exactly one layout epoch.
     pub fn scan(
-        &mut self,
+        &self,
         name: &str,
         predicate: &LabelPredicate,
         frames: Range<u32>,
     ) -> Result<ScanResult, TasmError> {
-        let entry = self
-            .videos
-            .get(name)
-            .ok_or_else(|| TasmError::UnknownVideo(name.to_string()))?;
-        Ok(scan(
+        let shard = self.shard(name)?;
+        let manifest = shard.manifest.read().expect("manifest lock");
+        let frames = frames.start..frames.end.min(manifest.frame_count);
+        let t0 = Instant::now();
+        let regions = self
+            .with_index(|ix| predicate.target_regions(ix, shard.id, frames.clone()))
+            .map_err(|e| TasmError::Scan(ScanError::Index(e)))?;
+        let lookup_time = t0.elapsed();
+        Ok(scan_prepared(
             &self.store,
-            &entry.manifest,
-            self.index.as_mut(),
-            entry.id,
-            predicate,
+            &manifest,
+            regions,
             frames,
+            lookup_time,
         )?)
     }
 
@@ -312,18 +420,26 @@ impl Tasm {
     /// non-uniform layout around their boxes, or `None` when the not-tiling
     /// rule (α) says tiling would not help.
     pub fn kqko_layout(
-        &mut self,
+        &self,
         name: &str,
         sot_idx: usize,
         objects: &[String],
     ) -> Result<Option<TileLayout>, TasmError> {
-        let entry = self.entry(name)?;
-        let id = entry.id;
-        let (w, h) = (entry.manifest.width, entry.manifest.height);
-        let sot = entry.manifest.sots[sot_idx].clone();
-        let gop = entry.manifest.config.gop_len;
+        let shard = self.shard(name)?;
+        self.kqko_layout_shard(&shard, sot_idx, objects)
+    }
 
-        let dets = self.detections_for(id, objects, sot.frames())?;
+    fn kqko_layout_shard(
+        &self,
+        shard: &VideoShard,
+        sot_idx: usize,
+        objects: &[String],
+    ) -> Result<Option<TileLayout>, TasmError> {
+        let (w, h, sot, gop) = {
+            let m = shard.manifest.read().expect("manifest lock");
+            (m.width, m.height, m.sots[sot_idx].clone(), m.config.gop_len)
+        };
+        let dets = self.detections_for(shard.id, objects, sot.frames())?;
         if dets.is_empty() {
             return Ok(None);
         }
@@ -344,15 +460,17 @@ impl Tasm {
     /// strategy pre-tiles with `objects` = everything detected). Returns the
     /// accumulated transcode cost.
     pub fn kqko_retile_all(
-        &mut self,
+        &self,
         name: &str,
         objects: &[String],
     ) -> Result<RetileStats, TasmError> {
-        let n_sots = self.entry(name)?.manifest.sots.len();
+        let shard = self.shard(name)?;
+        let n_sots = shard.manifest.read().expect("manifest lock").sots.len();
         let mut total = RetileStats::default();
         for sot_idx in 0..n_sots {
-            if let Some(layout) = self.kqko_layout(name, sot_idx, objects)? {
-                total = add_retile(total, self.retile(name, sot_idx, layout)?);
+            if let Some(layout) = self.kqko_layout_shard(&shard, sot_idx, objects)? {
+                let mut pol = shard.policy.lock().expect("policy lock");
+                total = add_retile(total, self.retile_shard(&shard, &mut pol, sot_idx, layout)?);
             }
         }
         Ok(total)
@@ -360,18 +478,32 @@ impl Tasm {
 
     /// Re-tiles one SOT, updating the manifest.
     pub fn retile(
-        &mut self,
+        &self,
         name: &str,
         sot_idx: usize,
         layout: TileLayout,
     ) -> Result<RetileStats, TasmError> {
-        let entry = self
-            .videos
-            .get_mut(name)
-            .ok_or_else(|| TasmError::UnknownVideo(name.to_string()))?;
-        let stats = self.store.retile(&mut entry.manifest, sot_idx, layout)?;
+        let shard = self.shard(name)?;
+        let mut pol = shard.policy.lock().expect("policy lock");
+        self.retile_shard(&shard, &mut pol, sot_idx, layout)
+    }
+
+    /// The re-tile primitive: takes the manifest write lock (waiting out
+    /// in-flight scans of this video), swaps the tile files, then resets the
+    /// SOT's regret relative to its new layout.
+    fn retile_shard(
+        &self,
+        shard: &VideoShard,
+        pol: &mut PolicyState,
+        sot_idx: usize,
+        layout: TileLayout,
+    ) -> Result<RetileStats, TasmError> {
+        let stats = {
+            let mut manifest = shard.manifest.write().expect("manifest lock");
+            self.store.retile(&mut manifest, sot_idx, layout)?
+        };
         // Regret resets relative to the new current layout.
-        entry.sots[sot_idx].regret.clear();
+        pol.sots[sot_idx].regret.clear();
         Ok(stats)
     }
 
@@ -383,32 +515,31 @@ impl Tasm {
     /// Observes a query under the incremental-more policy; returns any
     /// transcode cost paid.
     pub fn observe_more(
-        &mut self,
+        &self,
         name: &str,
         label: &str,
         frames: Range<u32>,
     ) -> Result<RetileStats, TasmError> {
+        let shard = self.shard(name)?;
+        let mut pol = shard.policy.lock().expect("policy lock");
         let sot_range = {
-            let entry = self.entry(name)?;
-            entry.manifest.sots_for_range(frames.clone())
+            let m = shard.manifest.read().expect("manifest lock");
+            m.sots_for_range(frames.clone())
         };
         let mut total = RetileStats::default();
         for sot_idx in sot_range {
-            let is_new = {
-                let entry = self.entry_mut(name)?;
-                entry.sots[sot_idx].queried.insert(label.to_string())
-            };
-            if !is_new {
+            if !pol.sots[sot_idx].queried.insert(label.to_string()) {
                 continue;
             }
-            let objects: Vec<String> = {
-                let entry = self.entry(name)?;
-                entry.sots[sot_idx].queried.iter().cloned().collect()
-            };
-            if let Some(layout) = self.kqko_layout(name, sot_idx, &objects)? {
-                let current = self.entry(name)?.manifest.sots[sot_idx].layout.clone();
+            let objects: Vec<String> = pol.sots[sot_idx].queried.iter().cloned().collect();
+            if let Some(layout) = self.kqko_layout_shard(&shard, sot_idx, &objects)? {
+                let current = {
+                    let m = shard.manifest.read().expect("manifest lock");
+                    m.sots[sot_idx].layout.clone()
+                };
                 if layout != current {
-                    total = add_retile(total, self.retile(name, sot_idx, layout)?);
+                    total =
+                        add_retile(total, self.retile_shard(&shard, &mut pol, sot_idx, layout)?);
                 }
             }
         }
@@ -423,36 +554,46 @@ impl Tasm {
     /// alternative layouts of every touched SOT and re-tiles those whose
     /// best alternative's regret exceeds `η · R(s, L)`. Returns any
     /// transcode cost paid.
+    ///
+    /// Policy state is sharded per video: concurrent observations on
+    /// different videos never contend, while observations on one video
+    /// serialize on its policy mutex (regret accumulation is inherently
+    /// order-dependent).
     pub fn observe_regret(
-        &mut self,
+        &self,
         name: &str,
         label: &str,
         frames: Range<u32>,
     ) -> Result<RetileStats, TasmError> {
-        let (id, sot_range, gop, w, h) = {
-            let e = self.entry(name)?;
+        let shard = self.shard(name)?;
+        let mut pol = shard.policy.lock().expect("policy lock");
+        let (sot_range, gop, w, h) = {
+            let m = shard.manifest.read().expect("manifest lock");
             (
-                e.id,
-                e.manifest.sots_for_range(frames.clone()),
-                e.manifest.config.gop_len,
-                e.manifest.width,
-                e.manifest.height,
+                m.sots_for_range(frames.clone()),
+                m.config.gop_len,
+                m.width,
+                m.height,
             )
         };
-        self.entry_mut(name)?.seen_objects.insert(label.to_string());
-        let alternatives = self.alternative_subsets(name)?;
+        let id = shard.id;
+        pol.seen_objects.insert(label.to_string());
+        let alternatives = alternative_subsets(&pol.seen_objects, self.cfg.max_subset_objects);
         let mut total = RetileStats::default();
 
         for sot_idx in sot_range {
-            let sot = self.entry(name)?.manifest.sots[sot_idx].clone();
+            let sot = {
+                let m = shard.manifest.read().expect("manifest lock");
+                m.sots[sot_idx].clone()
+            };
             let window = frames.start.max(sot.start)..frames.end.min(sot.end);
             if window.is_empty() {
                 continue;
             }
 
             // Record history first (new alternatives replay it).
-            let prior_history = self.entry(name)?.sots[sot_idx].history.clone();
-            self.entry_mut(name)?.sots[sot_idx]
+            let prior_history = pol.sots[sot_idx].history.clone();
+            pol.sots[sot_idx]
                 .history
                 .push((label.to_string(), window.clone()));
 
@@ -461,7 +602,7 @@ impl Tasm {
                     Some(l) => l,
                     None => continue,
                 };
-                let is_new = !self.entry(name)?.sots[sot_idx].regret.contains_key(subset);
+                let is_new = !pol.sots[sot_idx].regret.contains_key(subset);
                 let mut delta = 0.0;
                 if is_new {
                     // Retroactive regret over the query history (§4.4).
@@ -470,8 +611,7 @@ impl Tasm {
                     }
                 }
                 delta += self.query_delta(id, label, window.clone(), &sot, gop, &alt_layout)?;
-                let entry = self.entry_mut(name)?;
-                *entry.sots[sot_idx]
+                *pol.sots[sot_idx]
                     .regret
                     .entry(subset.clone())
                     .or_insert(0.0) += delta;
@@ -480,23 +620,24 @@ impl Tasm {
             // Pick the best alternative exceeding the threshold.
             let reencode_cost = self.cfg.encode.reencode_cost(w, h, sot.len());
             let threshold = self.cfg.eta * reencode_cost;
-            let best: Option<(Vec<String>, f64)> = {
-                let entry = self.entry(name)?;
-                entry.sots[sot_idx]
-                    .regret
-                    .iter()
-                    .filter(|(_, &d)| d > threshold)
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("regret is finite"))
-                    .map(|(k, &d)| (k.clone(), d))
-            };
+            let best: Option<(Vec<String>, f64)> = pol.sots[sot_idx]
+                .regret
+                .iter()
+                .filter(|(_, &d)| d > threshold)
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("regret is finite"))
+                .map(|(k, &d)| (k.clone(), d));
             if let Some((subset, _)) = best {
                 if let Some(layout) = self.subset_layout(id, &subset, &sot, w, h)? {
-                    if layout != sot.layout && !self.would_hurt(id, &layout, sot_idx, name, gop)? {
-                        total = add_retile(total, self.retile(name, sot_idx, layout)?);
+                    let history = pol.sots[sot_idx].history.clone();
+                    if layout != sot.layout && !self.would_hurt(id, &layout, &sot, &history, gop)? {
+                        total = add_retile(
+                            total,
+                            self.retile_shard(&shard, &mut pol, sot_idx, layout)?,
+                        );
                     } else {
                         // Unusable alternative: forget it so it stops
                         // winning the argmax every query.
-                        self.entry_mut(name)?.sots[sot_idx].regret.remove(&subset);
+                        pol.sots[sot_idx].regret.remove(&subset);
                     }
                 }
             }
@@ -506,59 +647,26 @@ impl Tasm {
 
     /// Regret accumulated for a subset on a SOT (tests/diagnostics).
     pub fn regret_for(&self, name: &str, sot_idx: usize, subset: &[String]) -> Option<f64> {
-        self.videos
-            .get(name)?
-            .sots
-            .get(sot_idx)?
-            .regret
-            .get(subset)
-            .copied()
+        let shard = self.shard(name).ok()?;
+        let pol = shard.policy.lock().expect("policy lock");
+        pol.sots.get(sot_idx)?.regret.get(subset).copied()
     }
 
     // --- internals ---
 
-    fn entry(&self, name: &str) -> Result<&VideoEntry, TasmError> {
+    fn shard(&self, name: &str) -> Result<Arc<VideoShard>, TasmError> {
         self.videos
+            .read()
+            .expect("videos lock")
             .get(name)
+            .cloned()
             .ok_or_else(|| TasmError::UnknownVideo(name.to_string()))
-    }
-
-    fn entry_mut(&mut self, name: &str) -> Result<&mut VideoEntry, TasmError> {
-        self.videos
-            .get_mut(name)
-            .ok_or_else(|| TasmError::UnknownVideo(name.to_string()))
-    }
-
-    /// Candidate object subsets for alternative layouts: all non-empty
-    /// subsets while small, singletons + the full set beyond the cap.
-    fn alternative_subsets(&self, name: &str) -> Result<Vec<Vec<String>>, TasmError> {
-        let seen: Vec<String> = self.entry(name)?.seen_objects.iter().cloned().collect();
-        let mut out = Vec::new();
-        if seen.is_empty() {
-            return Ok(out);
-        }
-        if seen.len() <= self.cfg.max_subset_objects {
-            let n = seen.len();
-            for mask in 1u32..(1 << n) {
-                let subset: Vec<String> = (0..n)
-                    .filter(|i| mask & (1 << i) != 0)
-                    .map(|i| seen[i].clone())
-                    .collect();
-                out.push(subset);
-            }
-        } else {
-            for s in &seen {
-                out.push(vec![s.clone()]);
-            }
-            out.push(seen.clone());
-        }
-        Ok(out)
     }
 
     /// Layout around a subset's detected boxes in a SOT, or `None` when no
     /// boxes exist or no cut is possible.
     fn subset_layout(
-        &mut self,
+        &self,
         video_id: u32,
         subset: &[String],
         sot: &crate::storage::SotEntry,
@@ -580,7 +688,7 @@ impl Tasm {
 
     /// Estimated improvement `∆(q, L_cur, L_alt)` of one query on one SOT.
     fn query_delta(
-        &mut self,
+        &self,
         video_id: u32,
         label: &str,
         window: Range<u32>,
@@ -588,7 +696,7 @@ impl Tasm {
         gop: u32,
         alt: &TileLayout,
     ) -> Result<f64, TasmError> {
-        let dets = self.index.query(video_id, label, window.clone())?;
+        let dets = self.with_index(|ix| ix.query(video_id, label, window.clone()))?;
         let cur = estimate_work(&sot.layout, &dets, window.clone(), sot.start, gop);
         let new = estimate_work(alt, &dets, window, sot.start, gop);
         Ok(self.cfg.cost.cost(cur) - self.cfg.cost.cost(new))
@@ -597,22 +705,15 @@ impl Tasm {
     /// The α safety check over the SOT's query history: a layout "hurts" if
     /// any past query would decode ≥ α of the untiled pixels (§5.3).
     fn would_hurt(
-        &mut self,
+        &self,
         video_id: u32,
         layout: &TileLayout,
-        sot_idx: usize,
-        name: &str,
+        sot: &crate::storage::SotEntry,
+        history: &[(String, Range<u32>)],
         gop: u32,
     ) -> Result<bool, TasmError> {
-        let (sot, history) = {
-            let e = self.entry(name)?;
-            (
-                e.manifest.sots[sot_idx].clone(),
-                e.sots[sot_idx].history.clone(),
-            )
-        };
-        for (label, window) in &history {
-            let dets = self.index.query(video_id, label, window.clone())?;
+        for (label, window) in history {
+            let dets = self.with_index(|ix| ix.query(video_id, label, window.clone()))?;
             if dets.is_empty() {
                 continue;
             }
@@ -625,17 +726,43 @@ impl Tasm {
     }
 
     fn detections_for(
-        &mut self,
+        &self,
         video_id: u32,
         objects: &[String],
         frames: Range<u32>,
     ) -> Result<Vec<Detection>, TasmError> {
         let mut dets = Vec::new();
         for o in objects {
-            dets.extend(self.index.query(video_id, o, frames.clone())?);
+            dets.extend(self.with_index(|ix| ix.query(video_id, o, frames.clone()))?);
         }
         Ok(dets)
     }
+}
+
+/// Candidate object subsets for alternative layouts: all non-empty subsets
+/// while small, singletons + the full set beyond the cap.
+fn alternative_subsets(seen_objects: &BTreeSet<String>, cap: usize) -> Vec<Vec<String>> {
+    let seen: Vec<String> = seen_objects.iter().cloned().collect();
+    let mut out = Vec::new();
+    if seen.is_empty() {
+        return out;
+    }
+    if seen.len() <= cap {
+        let n = seen.len();
+        for mask in 1u32..(1 << n) {
+            let subset: Vec<String> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| seen[i].clone())
+                .collect();
+            out.push(subset);
+        }
+    } else {
+        for s in &seen {
+            out.push(vec![s.clone()]);
+        }
+        out.push(seen.clone());
+    }
+    out
 }
 
 fn add_retile(mut a: RetileStats, b: RetileStats) -> RetileStats {
@@ -723,11 +850,56 @@ mod tests {
 
     #[test]
     fn scan_unknown_video_fails() {
-        let mut t = tasm("unknown");
+        let t = tasm("unknown");
         assert!(matches!(
             t.scan("nope", &LabelPredicate::label("car"), 0..10),
             Err(TasmError::UnknownVideo(_))
         ));
+    }
+
+    #[test]
+    fn tasm_is_sync_and_send() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<Tasm>();
+    }
+
+    #[test]
+    fn video_id_collision_is_refused() {
+        // Find two names with the same FNV-1a u32 hash (birthday bound:
+        // ~2^16 draws for a 32-bit space; this loop finds one in well under
+        // 200k names).
+        let mut seen: std::collections::HashMap<u32, String> = std::collections::HashMap::new();
+        let mut pair = None;
+        for i in 0u64.. {
+            let name = format!("cam-{i}");
+            let id = video_id_for(&name);
+            if let Some(first) = seen.get(&id) {
+                pair = Some((first.clone(), name));
+                break;
+            }
+            seen.insert(id, name);
+        }
+        let (first, second) = pair.expect("collision search terminates");
+        assert_eq!(video_id_for(&first), video_id_for(&second));
+        assert_ne!(first, second);
+
+        let t = tasm("collide");
+        let src = source(10);
+        t.ingest(&first, &src, 30).unwrap();
+        // Both ingest and attach refuse the aliasing name.
+        match t.ingest(&second, &src, 30) {
+            Err(TasmError::VideoIdCollision { existing, rejected }) => {
+                assert_eq!(existing, first);
+                assert_eq!(rejected, second);
+            }
+            other => panic!("expected VideoIdCollision, got {other:?}"),
+        }
+        assert!(matches!(
+            t.attach(&second),
+            Err(TasmError::VideoIdCollision { .. })
+        ));
+        // Re-registering the same name is not a collision.
+        t.attach(&first).unwrap();
     }
 
     #[test]
@@ -757,7 +929,7 @@ mod tests {
 
     #[test]
     fn kqko_declines_when_no_detections() {
-        let mut t = tasm("kqko-empty");
+        let t = tasm("kqko-empty");
         let src = source(10);
         t.ingest("v", &src, 30).unwrap();
         let l = t.kqko_layout("v", 0, &["car".to_string()]).unwrap();

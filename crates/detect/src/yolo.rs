@@ -13,7 +13,7 @@
 //! * **jitter** — box corners are perturbed by a fraction of the box size.
 //!
 //! Cost per frame follows the sources the paper cites: full YOLOv3 runs at
-//! ~16 fps on an embedded GPU [20] and ~45 fps on a server GPU; tiny at
+//! ~16 fps on an embedded GPU \[20\] and ~45 fps on a server GPU; tiny at
 //! ~220 fps.
 
 use crate::{Detector, RawDetection};

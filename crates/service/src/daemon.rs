@@ -1,0 +1,72 @@
+//! The background re-tiling daemon.
+//!
+//! Workers append an [`Observation`] per completed (query, label) to a
+//! backlog; this single low-priority thread drains it and feeds the
+//! observations to the configured incremental policy
+//! (`Tasm::observe_regret` / `Tasm::observe_more`). Re-tiles triggered here
+//! take the video's manifest write lock, so they wait out in-flight scans
+//! and never tear one — queries keep their bit-exact guarantee while the
+//! layout converges in the background instead of on the query path.
+
+use crate::service::{RetilePolicy, Shared};
+use std::ops::Range;
+use std::sync::atomic::Ordering;
+
+/// One completed query the layout policies should learn from.
+#[derive(Debug, Clone)]
+pub(crate) struct Observation {
+    pub video: String,
+    pub label: String,
+    pub frames: Range<u32>,
+}
+
+pub(crate) fn daemon_loop(shared: &Shared) {
+    loop {
+        let batch: Vec<Observation> = {
+            let mut backlog = shared.backlog.lock().expect("backlog lock");
+            while backlog.is_empty() {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (guard, _timeout) = shared
+                    .backlog_cv
+                    .wait_timeout(backlog, shared.cfg.retile_interval)
+                    .expect("backlog lock");
+                backlog = guard;
+            }
+            backlog.drain(..).collect()
+        };
+        process_observations(shared, batch);
+    }
+}
+
+/// Feeds a batch of observations to the configured policy, accounting
+/// re-tiles and errors. Shared by the daemon thread and
+/// `QueryService::drain_retile_backlog`.
+pub(crate) fn process_observations(shared: &Shared, batch: Vec<Observation>) {
+    for obs in batch {
+        let outcome = match shared.cfg.retile {
+            RetilePolicy::Off => continue,
+            RetilePolicy::Regret => {
+                shared
+                    .tasm
+                    .observe_regret(&obs.video, &obs.label, obs.frames.clone())
+            }
+            RetilePolicy::More => {
+                shared
+                    .tasm
+                    .observe_more(&obs.video, &obs.label, obs.frames.clone())
+            }
+        };
+        match outcome {
+            Ok(stats) => {
+                if stats.encode.bytes_produced > 0 {
+                    shared.stats.retile_ops.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                shared.stats.retile_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! # tasm-service: a concurrent multi-query engine over TASM
+//!
+//! The core crate's [`Tasm`](tasm_core::Tasm) facade answers one query at a
+//! time from the caller's thread. This crate turns it into a *service*: many
+//! overlapping queries in flight at once, sharing decode work, while the
+//! incremental layout policies (§4 of the paper) run in the background
+//! instead of blocking the query path.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!                 submit() / try_submit()
+//!   clients ────────────────────────────────► bounded queue (depth D)
+//!                                                   │ pop
+//!                        ┌──────────────┬───────────┴┬──────────────┐
+//!                        ▼              ▼            ▼              ▼
+//!                    worker 0       worker 1     worker …       worker N-1
+//!                        │  Tasm::scan(&self)  — concurrent, lock-sharded
+//!                        ▼
+//!            ┌──────────────────────────────────────────────────────────┐
+//!            │ shared Tasm: RwLock'd semantic index · per-video shards  │
+//!            │ (manifest RwLock + policy Mutex) · decoded-GOP cache     │
+//!            │ with single-flight shared-scan dedup (SharedScanStats)   │
+//!            └──────────────────────────────────────────────────────────┘
+//!                        │ observations (video, label, window)
+//!                        ▼
+//!                 retile daemon (1 low-priority thread)
+//!                 drains the backlog, runs observe_regret /
+//!                 observe_more, re-tiles when η·R(s,L) is exceeded
+//! ```
+//!
+//! Three properties make this safe and fast:
+//!
+//! 1. **Shareable hot path.** `Tasm::scan` takes `&self`; the semantic
+//!    index lock is released before decode starts, and per-video state is
+//!    sharded so queries on different videos never contend.
+//! 2. **Single-flight shared-scan dedup.** Concurrent queries needing the
+//!    same `(video, SOT, tile, GOP)` decode join one in-flight decode
+//!    instead of each paying for it. [`ServiceStats::shared`] counts joined
+//!    vs. owned decodes; joined work never pollutes the §4.1 cost model's
+//!    decode accounting.
+//! 3. **Bit-exact concurrent re-tiling.** The daemon's re-tiles take the
+//!    video's manifest write lock and bump the layout epoch in cache keys,
+//!    so every scan — before, during, or after a re-tile — observes exactly
+//!    one consistent layout epoch and returns the same pixels a serial
+//!    execution at that epoch would.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use tasm_core::{LabelPredicate, Tasm, TasmConfig};
+//! use tasm_index::MemoryIndex;
+//! use tasm_service::{QueryRequest, QueryService, RetilePolicy, ServiceConfig};
+//!
+//! let tasm = Arc::new(
+//!     Tasm::open("/tmp/store", Box::new(MemoryIndex::in_memory()), TasmConfig::default())
+//!         .unwrap(),
+//! );
+//! // ... ingest videos, add metadata ...
+//!
+//! let service = QueryService::start(
+//!     tasm,
+//!     ServiceConfig {
+//!         workers: 8,
+//!         queue_depth: 64,
+//!         retile: RetilePolicy::Regret,
+//!         ..ServiceConfig::default()
+//!     },
+//! );
+//!
+//! let handles: Vec<_> = (0..100)
+//!     .map(|i| {
+//!         service
+//!             .submit(QueryRequest {
+//!                 video: "traffic".into(),
+//!                 predicate: LabelPredicate::label("car"),
+//!                 frames: i * 30..(i + 1) * 30,
+//!             })
+//!             .unwrap()
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     let outcome = h.wait().unwrap();
+//!     println!("query {}: {} regions", outcome.id, outcome.result.regions.len());
+//! }
+//! let stats = service.shutdown();
+//! println!(
+//!     "completed {} queries, {:.0}% of GOP decodes deduped",
+//!     stats.completed,
+//!     stats.shared.join_rate() * 100.0
+//! );
+//! ```
+//!
+//! The `tasm workload` CLI command drives exactly this pipeline:
+//! `tasm workload --store DIR --name NAME --concurrency 16 --queue-depth 64`.
+
+mod daemon;
+mod service;
+mod stats;
+
+pub use service::{
+    QueryHandle, QueryOutcome, QueryRequest, QueryService, RetilePolicy, ServiceConfig,
+    ServiceError,
+};
+pub use stats::ServiceStats;

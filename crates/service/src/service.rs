@@ -1,0 +1,364 @@
+//! The query service: bounded submission queue, worker pool, per-query
+//! handles, and lifecycle management.
+
+use crate::daemon::{self, Observation};
+use crate::stats::{ServiceStats, StatsCell};
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tasm_core::{LabelPredicate, ScanResult, Tasm, TasmError};
+
+/// Which incremental layout policy the background daemon applies to
+/// completed queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetilePolicy {
+    /// No background re-tiling.
+    Off,
+    /// The §4.4 regret policy (`Tasm::observe_regret`): accumulate regret
+    /// per alternative layout and re-tile once it exceeds `η · R(s, L)`.
+    Regret,
+    /// The "incremental, more" policy (`Tasm::observe_more`): re-tile as
+    /// soon as a query for a new object class arrives.
+    More,
+}
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Query worker threads. `0` = one per available core. Each worker runs
+    /// one query at a time; the decode pipeline inside a query may use
+    /// further threads (`TasmConfig::workers`).
+    pub workers: usize,
+    /// Capacity of the submission queue. [`QueryService::submit`] blocks
+    /// while the queue is full (backpressure); [`QueryService::try_submit`]
+    /// fails fast instead.
+    pub queue_depth: usize,
+    /// Background layout policy applied to completed queries.
+    pub retile: RetilePolicy,
+    /// How often the retile daemon wakes when idle.
+    pub retile_interval: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            queue_depth: 64,
+            retile: RetilePolicy::Off,
+            retile_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+/// One query to execute.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// Video name (must be ingested/attached on the shared [`Tasm`]).
+    pub video: String,
+    /// CNF label predicate.
+    pub predicate: LabelPredicate,
+    /// Frame window.
+    pub frames: Range<u32>,
+}
+
+/// A completed query with its per-query timings.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// Service-assigned query id (submission order).
+    pub id: u64,
+    /// The scan result, bit-identical to a serial execution against the
+    /// layout epoch the query observed.
+    pub result: ScanResult,
+    /// Time spent waiting in the submission queue.
+    pub queue_time: Duration,
+    /// Submission-to-completion wall-clock time.
+    pub total_time: Duration,
+}
+
+/// Errors surfaced to submitters.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The underlying storage manager failed the query.
+    Tasm(TasmError),
+    /// The service is shutting down and no longer accepts queries.
+    ShuttingDown,
+    /// `try_submit` found the queue at capacity.
+    QueueFull,
+    /// The worker executing the query disappeared (panic).
+    WorkerLost,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Tasm(e) => write!(f, "{e}"),
+            ServiceError::ShuttingDown => write!(f, "query service is shutting down"),
+            ServiceError::QueueFull => write!(f, "submission queue is full"),
+            ServiceError::WorkerLost => write!(f, "query worker terminated unexpectedly"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<TasmError> for ServiceError {
+    fn from(e: TasmError) -> Self {
+        ServiceError::Tasm(e)
+    }
+}
+
+/// Handle to one submitted query.
+pub struct QueryHandle {
+    id: u64,
+    rx: mpsc::Receiver<Result<QueryOutcome, ServiceError>>,
+}
+
+impl QueryHandle {
+    /// The service-assigned query id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the query completes.
+    pub fn wait(self) -> Result<QueryOutcome, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::WorkerLost))
+    }
+}
+
+struct Job {
+    id: u64,
+    req: QueryRequest,
+    tx: mpsc::SyncSender<Result<QueryOutcome, ServiceError>>,
+    enqueued: Instant,
+}
+
+pub(crate) struct Shared {
+    pub tasm: Arc<Tasm>,
+    pub cfg: ServiceConfig,
+    queue: Mutex<VecDeque<Job>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    pub shutdown: AtomicBool,
+    pub stats: StatsCell,
+    pub backlog: Mutex<VecDeque<Observation>>,
+    pub backlog_cv: Condvar,
+    next_id: AtomicU64,
+}
+
+/// A concurrent multi-query engine over one shared [`Tasm`] instance.
+///
+/// See the crate docs for the architecture. Dropping the service shuts it
+/// down: the queue drains, workers join, and the retile daemon processes
+/// its remaining backlog.
+pub struct QueryService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    daemon: Option<JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Spawns the worker pool (and, unless [`RetilePolicy::Off`], the
+    /// retile daemon) over `tasm`.
+    pub fn start(tasm: Arc<Tasm>, cfg: ServiceConfig) -> Self {
+        assert!(cfg.queue_depth > 0, "queue depth must be positive");
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            cfg.workers
+        };
+        let shared = Arc::new(Shared {
+            tasm,
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: StatsCell::default(),
+            backlog: Mutex::new(VecDeque::new()),
+            backlog_cv: Condvar::new(),
+            next_id: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tasm-query-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn query worker")
+            })
+            .collect();
+        let daemon = (cfg.retile != RetilePolicy::Off).then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tasm-retile".to_string())
+                .spawn(move || daemon::daemon_loop(&shared))
+                .expect("spawn retile daemon")
+        });
+        QueryService {
+            shared,
+            workers: handles,
+            daemon,
+        }
+    }
+
+    /// Submits a query, blocking while the queue is at capacity
+    /// (backpressure). Returns a handle resolving to the query's outcome.
+    pub fn submit(&self, req: QueryRequest) -> Result<QueryHandle, ServiceError> {
+        self.enqueue(req, true)
+    }
+
+    /// Submits a query, failing with [`ServiceError::QueueFull`] instead of
+    /// blocking when the queue is at capacity.
+    pub fn try_submit(&self, req: QueryRequest) -> Result<QueryHandle, ServiceError> {
+        self.enqueue(req, false)
+    }
+
+    fn enqueue(&self, req: QueryRequest, block: bool) -> Result<QueryHandle, ServiceError> {
+        let (tx, rx) = mpsc::sync_channel(1);
+        let mut queue = self.shared.queue.lock().expect("queue lock");
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                return Err(ServiceError::ShuttingDown);
+            }
+            if queue.len() < self.shared.cfg.queue_depth {
+                break;
+            }
+            if !block {
+                return Err(ServiceError::QueueFull);
+            }
+            queue = self.shared.not_full.wait(queue).expect("queue lock");
+        }
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        queue.push_back(Job {
+            id,
+            req,
+            tx,
+            enqueued: Instant::now(),
+        });
+        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .stats
+            .queue_peak
+            .fetch_max(queue.len() as u64, Ordering::Relaxed);
+        drop(queue);
+        self.shared.not_empty.notify_one();
+        Ok(QueryHandle { id, rx })
+    }
+
+    /// The shared storage manager.
+    pub fn tasm(&self) -> &Arc<Tasm> {
+        &self.shared.tasm
+    }
+
+    /// Queries currently waiting in the submission queue.
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.lock().expect("queue lock").len()
+    }
+
+    /// Retile observations awaiting the daemon.
+    pub fn pending_retiles(&self) -> usize {
+        self.shared.backlog.lock().expect("backlog lock").len()
+    }
+
+    /// Synchronously processes the retile backlog on the calling thread
+    /// (deterministic alternative to waiting for the daemon; used by tests
+    /// and the CLI's final drain).
+    pub fn drain_retile_backlog(&self) {
+        let batch: Vec<Observation> = {
+            let mut backlog = self.shared.backlog.lock().expect("backlog lock");
+            backlog.drain(..).collect()
+        };
+        daemon::process_observations(&self.shared, batch);
+    }
+
+    /// A snapshot of the aggregate counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Stops accepting queries, drains the queue and the retile backlog,
+    /// joins all threads, and returns the final statistics.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.stop();
+        self.shared.stats.snapshot()
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Wake the daemon after the workers stop producing observations so
+        // it drains the final backlog before exiting.
+        self.shared.backlog_cv.notify_all();
+        if let Some(d) = self.daemon.take() {
+            let _ = d.join();
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    shared.not_full.notify_one();
+                    break job;
+                }
+                // Drain-then-exit: accepted queries complete even when
+                // shutdown raced their submission.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.not_empty.wait(queue).expect("queue lock");
+            }
+        };
+        let queue_time = job.enqueued.elapsed();
+        match shared
+            .tasm
+            .scan(&job.req.video, &job.req.predicate, job.req.frames.clone())
+        {
+            Ok(result) => {
+                shared.stats.record_scan(&result);
+                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                if shared.cfg.retile != RetilePolicy::Off {
+                    let mut backlog = shared.backlog.lock().expect("backlog lock");
+                    for label in job.req.predicate.labels() {
+                        backlog.push_back(Observation {
+                            video: job.req.video.clone(),
+                            label: label.to_string(),
+                            frames: job.req.frames.clone(),
+                        });
+                    }
+                    drop(backlog);
+                    shared.backlog_cv.notify_one();
+                }
+                // A dropped handle is fine: the send just goes nowhere.
+                let _ = job.tx.send(Ok(QueryOutcome {
+                    id: job.id,
+                    result,
+                    queue_time,
+                    total_time: job.enqueued.elapsed(),
+                }));
+            }
+            Err(e) => {
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = job.tx.send(Err(ServiceError::Tasm(e)));
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Aggregate service statistics, maintained lock-free by the workers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use tasm_core::{ScanResult, SharedScanStats};
+
+/// Atomic counters the workers and the retile daemon update in place.
+#[derive(Default)]
+pub(crate) struct StatsCell {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub samples_decoded: AtomicU64,
+    pub samples_reused: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub shared_owned: AtomicU64,
+    pub shared_joined: AtomicU64,
+    pub retile_ops: AtomicU64,
+    pub retile_errors: AtomicU64,
+    pub queue_peak: AtomicU64,
+}
+
+impl StatsCell {
+    pub fn record_scan(&self, r: &ScanResult) {
+        self.samples_decoded
+            .fetch_add(r.stats.samples_decoded, Ordering::Relaxed);
+        self.samples_reused
+            .fetch_add(r.cache.samples_reused, Ordering::Relaxed);
+        self.cache_hits.fetch_add(r.cache.hits, Ordering::Relaxed);
+        self.cache_misses
+            .fetch_add(r.cache.misses, Ordering::Relaxed);
+        self.shared_owned
+            .fetch_add(r.shared.owned, Ordering::Relaxed);
+        self.shared_joined
+            .fetch_add(r.shared.joined, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            samples_decoded: self.samples_decoded.load(Ordering::Relaxed),
+            samples_reused: self.samples_reused.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            shared: SharedScanStats {
+                owned: self.shared_owned.load(Ordering::Relaxed),
+                joined: self.shared_joined.load(Ordering::Relaxed),
+            },
+            retile_ops: self.retile_ops.load(Ordering::Relaxed),
+            retile_errors: self.retile_errors.load(Ordering::Relaxed),
+            queue_peak: self.queue_peak.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the service's aggregate counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Queries accepted into the queue.
+    pub submitted: u64,
+    /// Queries completed successfully.
+    pub completed: u64,
+    /// Queries that returned an error.
+    pub failed: u64,
+    /// Samples actually decoded across all queries (cache reuse excluded).
+    pub samples_decoded: u64,
+    /// Samples served from the decoded-GOP cache instead of being decoded.
+    pub samples_reused: u64,
+    /// Decoded-GOP cache hits across all queries.
+    pub cache_hits: u64,
+    /// Decoded-GOP cache misses across all queries.
+    pub cache_misses: u64,
+    /// Shared-scan dedup accounting: GOP decodes owned vs. joined.
+    pub shared: SharedScanStats,
+    /// SOT re-tile operations performed by the retile daemon.
+    pub retile_ops: u64,
+    /// Observations the daemon failed to process.
+    pub retile_errors: u64,
+    /// Deepest the submission queue has been.
+    pub queue_peak: u64,
+}
+
+impl ServiceStats {
+    /// Fraction of decoded-GOP lookups served from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}

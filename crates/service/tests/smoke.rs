@@ -1,0 +1,175 @@
+//! Basic lifecycle tests of the query service: submission, backpressure,
+//! error propagation, shutdown.
+
+use std::sync::Arc;
+use tasm_core::{LabelPredicate, PartitionConfig, StorageConfig, Tasm, TasmConfig};
+use tasm_data::{SceneSpec, SyntheticVideo};
+use tasm_index::MemoryIndex;
+use tasm_service::{QueryRequest, QueryService, RetilePolicy, ServiceConfig, ServiceError};
+use tasm_video::FrameSource;
+
+fn tasm(tag: &str) -> Arc<Tasm> {
+    let dir = std::env::temp_dir().join(format!("tasm-svc-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let cfg = TasmConfig {
+        storage: StorageConfig {
+            gop_len: 10,
+            sot_frames: 10,
+            ..Default::default()
+        },
+        partition: PartitionConfig {
+            min_tile_width: 32,
+            min_tile_height: 32,
+            ..Default::default()
+        },
+        workers: 1,
+        cache_bytes: 32 << 20,
+        ..Default::default()
+    };
+    Arc::new(Tasm::open(dir, Box::new(MemoryIndex::in_memory()), cfg).unwrap())
+}
+
+fn ingest(tasm: &Tasm, frames: u32) -> SyntheticVideo {
+    let video = SyntheticVideo::new(SceneSpec {
+        width: 192,
+        height: 128,
+        frames,
+        seed: 11,
+        ..SceneSpec::test_scene()
+    });
+    tasm.ingest("v", &video, 30).unwrap();
+    for f in 0..video.len() {
+        for (l, b) in video.ground_truth(f) {
+            tasm.add_metadata("v", l, f, b).unwrap();
+        }
+        tasm.mark_processed("v", f).unwrap();
+    }
+    video
+}
+
+fn request(frames: std::ops::Range<u32>) -> QueryRequest {
+    QueryRequest {
+        video: "v".to_string(),
+        predicate: LabelPredicate::label("car"),
+        frames,
+    }
+}
+
+#[test]
+fn completes_queries_and_reports_stats() {
+    let tasm = tasm("basic");
+    ingest(&tasm, 20);
+    let service = QueryService::start(
+        Arc::clone(&tasm),
+        ServiceConfig {
+            workers: 2,
+            queue_depth: 8,
+            ..Default::default()
+        },
+    );
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            service
+                .submit(request(i % 2 * 10..i % 2 * 10 + 10))
+                .unwrap()
+        })
+        .collect();
+    for h in handles {
+        let outcome = h.wait().unwrap();
+        assert!(!outcome.result.regions.is_empty());
+        assert!(outcome.total_time >= outcome.queue_time);
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.submitted, 6);
+    assert_eq!(stats.completed, 6);
+    assert_eq!(stats.failed, 0);
+    assert!(stats.samples_decoded + stats.samples_reused > 0);
+}
+
+#[test]
+fn unknown_video_fails_the_query_not_the_service() {
+    let tasm = tasm("unknown");
+    ingest(&tasm, 10);
+    let service = QueryService::start(Arc::clone(&tasm), ServiceConfig::default());
+    let bad = service
+        .submit(QueryRequest {
+            video: "nope".to_string(),
+            predicate: LabelPredicate::label("car"),
+            frames: 0..10,
+        })
+        .unwrap();
+    assert!(matches!(bad.wait(), Err(ServiceError::Tasm(_))));
+    // The service keeps serving.
+    let good = service.submit(request(0..10)).unwrap();
+    assert!(good.wait().is_ok());
+    let stats = service.shutdown();
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn try_submit_reports_backpressure() {
+    let tasm = tasm("full");
+    ingest(&tasm, 10);
+    // One worker, tiny queue: flood it and expect QueueFull eventually.
+    let service = QueryService::start(
+        Arc::clone(&tasm),
+        ServiceConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..Default::default()
+        },
+    );
+    let mut accepted = Vec::new();
+    let mut rejections = 0;
+    for _ in 0..64 {
+        match service.try_submit(request(0..10)) {
+            Ok(h) => accepted.push(h),
+            Err(ServiceError::QueueFull) => rejections += 1,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(
+        rejections > 0,
+        "a 1-deep queue must reject a 64-query flood"
+    );
+    for h in accepted {
+        h.wait().unwrap();
+    }
+    service.shutdown();
+}
+
+#[test]
+fn retile_daemon_retiles_in_background() {
+    let tasm = tasm("daemon");
+    ingest(&tasm, 20);
+    let service = QueryService::start(
+        Arc::clone(&tasm),
+        ServiceConfig {
+            workers: 2,
+            queue_depth: 16,
+            retile: RetilePolicy::More,
+            ..Default::default()
+        },
+    );
+    // The first "car" query makes incremental-more tile around cars.
+    let handles: Vec<_> = (0..8)
+        .map(|_| service.submit(request(0..20)).unwrap())
+        .collect();
+    for h in handles {
+        h.wait().unwrap();
+    }
+    // Deterministic: force any queued observations through, then make sure
+    // re-tiled layouts keep serving queries.
+    service.drain_retile_backlog();
+    let h = service.submit(request(0..20)).unwrap();
+    assert!(h.wait().is_ok());
+    // Shutdown joins the daemon, so all observations are fully processed
+    // before the final stats are read (the daemon may still be mid-batch
+    // when `drain_retile_backlog` returns).
+    let stats = service.shutdown();
+    assert!(stats.retile_ops > 0, "incremental-more must have re-tiled");
+    assert_eq!(stats.retile_errors, 0);
+    let manifest = tasm.manifest("v").unwrap();
+    assert!(manifest.sots.iter().any(|s| !s.layout.is_untiled()));
+}

@@ -21,7 +21,7 @@ fn main() {
         },
         ..Default::default()
     };
-    let mut tasm =
+    let tasm =
         Tasm::open(&root, Box::new(MemoryIndex::in_memory()), cfg).expect("open storage manager");
 
     // 2. A two-second synthetic traffic video (cars + pedestrians), rendered

@@ -1,0 +1,382 @@
+//! Concurrency correctness of the query service.
+//!
+//! The contract under test: scans executed concurrently through
+//! `QueryService` — at any concurrency, queue depth, or cache state, and
+//! even while the background retile daemon re-tiles mid-workload — return
+//! `ScanResult`s bit-identical to a serial execution against the layout
+//! epoch each scan observed. Shared-scan dedup (single-flight GOP decodes)
+//! must be invisible in the pixels and visible only in the accounting.
+
+use std::sync::{Arc, OnceLock};
+use tasm_core::{LabelPredicate, PartitionConfig, ScanResult, StorageConfig, Tasm, TasmConfig};
+use tasm_data::{SceneSpec, SyntheticVideo};
+use tasm_index::MemoryIndex;
+use tasm_service::{QueryRequest, QueryService, RetilePolicy, ServiceConfig};
+use tasm_video::{FrameSource, Plane};
+
+fn scene(frames: u32) -> SyntheticVideo {
+    SyntheticVideo::new(SceneSpec {
+        width: 256,
+        height: 160,
+        frames,
+        seed: 33,
+        ..SceneSpec::test_scene()
+    })
+}
+
+fn tasm_with(tag: &str, cfg_mut: impl FnOnce(&mut TasmConfig)) -> Arc<Tasm> {
+    let dir = std::env::temp_dir().join(format!("tasm-conc-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut cfg = TasmConfig {
+        storage: StorageConfig {
+            gop_len: 10,
+            sot_frames: 10,
+            ..Default::default()
+        },
+        partition: PartitionConfig {
+            min_tile_width: 32,
+            min_tile_height: 32,
+            ..Default::default()
+        },
+        workers: 1,
+        cache_bytes: 64 << 20,
+        ..Default::default()
+    };
+    cfg_mut(&mut cfg);
+    Arc::new(Tasm::open(dir, Box::new(MemoryIndex::in_memory()), cfg).unwrap())
+}
+
+fn ingest(tasm: &Tasm, video: &SyntheticVideo) {
+    tasm.ingest("v", video, 30).unwrap();
+    for f in 0..video.len() {
+        for (l, b) in video.ground_truth(f) {
+            tasm.add_metadata("v", l, f, b).unwrap();
+        }
+        tasm.mark_processed("v", f).unwrap();
+    }
+}
+
+fn assert_scans_equal(a: &ScanResult, b: &ScanResult, what: &str) {
+    assert_eq!(a.regions.len(), b.regions.len(), "{what}: region count");
+    for (ra, rb) in a.regions.iter().zip(&b.regions) {
+        assert_eq!(ra.frame, rb.frame, "{what}: frame order");
+        assert_eq!(ra.rect, rb.rect, "{what}: rects");
+        for plane in Plane::ALL {
+            assert_eq!(
+                ra.pixels.plane(plane),
+                rb.pixels.plane(plane),
+                "{what}: pixels of frame {} plane {plane:?}",
+                ra.frame
+            );
+        }
+    }
+}
+
+fn scans_equal(a: &ScanResult, b: &ScanResult) -> bool {
+    a.regions.len() == b.regions.len()
+        && a.regions.iter().zip(&b.regions).all(|(ra, rb)| {
+            ra.frame == rb.frame
+                && ra.rect == rb.rect
+                && Plane::ALL
+                    .iter()
+                    .all(|&p| ra.pixels.plane(p) == rb.pixels.plane(p))
+        })
+}
+
+/// Debug builds keep the stress affordable; release (the CI stress job)
+/// runs the full width.
+fn stress_scale() -> (usize, usize) {
+    if cfg!(debug_assertions) {
+        (4, 24) // (service workers, queries)
+    } else {
+        (16, 96)
+    }
+}
+
+#[test]
+fn concurrent_scans_bit_identical_to_serial() {
+    let video = scene(40);
+    let (workers, queries) = stress_scale();
+
+    // Serial reference: uncached, single-threaded, separate store.
+    let serial = tasm_with("serial-ref", |c| {
+        c.cache_bytes = 0;
+        c.workers = 1;
+    });
+    ingest(&serial, &video);
+    serial.kqko_retile_all("v", &["car".to_string()]).unwrap();
+
+    // Concurrent instance: shared cache + dedup, same deterministic content.
+    let conc = tasm_with("concurrent", |_| {});
+    ingest(&conc, &video);
+    conc.kqko_retile_all("v", &["car".to_string()]).unwrap();
+
+    let windows = [0..40u32, 0..10, 5..17, 12..13, 20..40, 8..32];
+    let preds = [
+        LabelPredicate::label("car"),
+        LabelPredicate::label("person"),
+        LabelPredicate::any_of(&["car", "person"]),
+    ];
+    let references: Vec<Vec<ScanResult>> = preds
+        .iter()
+        .map(|p| {
+            windows
+                .iter()
+                .map(|w| serial.scan("v", p, w.clone()).unwrap())
+                .collect()
+        })
+        .collect();
+
+    let service = QueryService::start(
+        Arc::clone(&conc),
+        ServiceConfig {
+            workers,
+            queue_depth: 8, // smaller than the workload: exercises backpressure
+            ..Default::default()
+        },
+    );
+    let handles: Vec<_> = (0..queries)
+        .map(|i| {
+            let p = i % preds.len();
+            let w = (i * 7 + 3) % windows.len();
+            let h = service
+                .submit(QueryRequest {
+                    video: "v".to_string(),
+                    predicate: preds[p].clone(),
+                    frames: windows[w].clone(),
+                })
+                .unwrap();
+            (p, w, h)
+        })
+        .collect();
+    for (p, w, h) in handles {
+        let outcome = h.wait().unwrap();
+        assert_scans_equal(
+            &references[p][w],
+            &outcome.result,
+            &format!(
+                "predicate {p} window {:?} at concurrency {workers}",
+                windows[w]
+            ),
+        );
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, queries as u64);
+    assert_eq!(stats.failed, 0);
+}
+
+/// With the regret daemon firing mid-workload, every concurrent scan must
+/// still be bit-identical to a *serial* execution at the layout epoch it
+/// observed: either the pre-retile state or the post-retile state, never a
+/// torn mix. A twin instance driven serially provides both references and
+/// the expected final layout.
+#[test]
+fn retile_daemon_mid_workload_keeps_scans_bit_exact() {
+    let frames = 20u32;
+    let video = scene(frames);
+    let (workers, queries) = stress_scale();
+    // One SOT spanning the whole video: exactly two layout epochs exist
+    // (untiled at ingest, object-tiled after the single regret re-tile).
+    let single_sot = move |c: &mut TasmConfig| {
+        c.storage.gop_len = 10;
+        c.storage.sot_frames = 20;
+        c.eta = 0.05; // regret crosses the threshold after a few queries
+    };
+
+    let window = 0..frames;
+    let pred = LabelPredicate::label("car");
+
+    // Twin driven serially: reference results for both epochs.
+    let twin = tasm_with("twin", single_sot);
+    ingest(&twin, &video);
+    let ref_pre = twin.scan("v", &pred, window.clone()).unwrap();
+    let mut retiled_after = None;
+    for i in 0..queries {
+        let cost = twin.observe_regret("v", "car", window.clone()).unwrap();
+        if cost.encode.bytes_produced > 0 {
+            retiled_after = Some(i + 1);
+            break;
+        }
+    }
+    let retiled_after = retiled_after.expect("the regret policy must re-tile within the workload");
+    assert!(
+        retiled_after <= queries / 2,
+        "retile must land mid-workload, not at the end ({retiled_after}/{queries})"
+    );
+    let ref_post = twin.scan("v", &pred, window.clone()).unwrap();
+    assert!(
+        !scans_equal(&ref_pre, &ref_post),
+        "re-encode must change pixels, or the test cannot detect torn scans"
+    );
+    let expected_layout = twin.manifest("v").unwrap().sots[0].layout.clone();
+    assert!(!expected_layout.is_untiled());
+
+    // Concurrent run with the daemon enabled.
+    let conc = tasm_with("daemon-stress", single_sot);
+    ingest(&conc, &video);
+    let service = QueryService::start(
+        Arc::clone(&conc),
+        ServiceConfig {
+            workers,
+            queue_depth: 16,
+            retile: RetilePolicy::Regret,
+            retile_interval: std::time::Duration::from_millis(1),
+        },
+    );
+    let handles: Vec<_> = (0..queries)
+        .map(|_| {
+            service
+                .submit(QueryRequest {
+                    video: "v".to_string(),
+                    predicate: pred.clone(),
+                    frames: window.clone(),
+                })
+                .unwrap()
+        })
+        .collect();
+    let mut pre = 0usize;
+    let mut post = 0usize;
+    for h in handles {
+        let outcome = h.wait().unwrap();
+        if scans_equal(&outcome.result, &ref_pre) {
+            pre += 1;
+        } else if scans_equal(&outcome.result, &ref_post) {
+            post += 1;
+        } else {
+            panic!(
+                "concurrent scan matches neither the pre- nor the post-retile \
+                 serial reference: torn or nondeterministic execution"
+            );
+        }
+    }
+    let stats = service.shutdown();
+    assert_eq!(pre + post, queries);
+    assert_eq!(stats.failed, 0);
+    // The daemon processed every observation by shutdown: the layout must
+    // have converged to the same state the serial twin reached.
+    assert!(stats.retile_ops > 0, "the daemon must have re-tiled");
+    assert_eq!(
+        conc.manifest("v").unwrap().sots[0].layout,
+        expected_layout,
+        "concurrent regret must converge to the serial layout"
+    );
+}
+
+/// Shared-scan dedup must actually dedup: flood the service with identical
+/// cold-cache queries and observe joined GOP decodes. Thread scheduling can
+/// in principle serialize a whole attempt, so a few fresh attempts are
+/// allowed before declaring failure.
+#[test]
+fn overlapping_queries_join_inflight_decodes() {
+    let video = scene(20);
+    for attempt in 0..5 {
+        let tasm = tasm_with(&format!("join-{attempt}"), |_| {});
+        ingest(&tasm, &video);
+        let service = QueryService::start(
+            Arc::clone(&tasm),
+            ServiceConfig {
+                workers: 8,
+                queue_depth: 32,
+                ..Default::default()
+            },
+        );
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                service
+                    .submit(QueryRequest {
+                        video: "v".to_string(),
+                        predicate: LabelPredicate::label("car"),
+                        frames: 0..20,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        let stats = service.shutdown();
+        assert!(stats.shared.owned > 0, "someone must decode");
+        if stats.shared.joined > 0 {
+            return; // dedup observed
+        }
+    }
+    panic!("16 identical cold queries on 8 workers never joined an in-flight decode");
+}
+
+// ---------------------------------------------------------------------
+// Property: shared-scan dedup never changes decoded pixels.
+// ---------------------------------------------------------------------
+
+struct PropSetup {
+    service: QueryService,
+    serial: Arc<Tasm>,
+}
+
+fn prop_setup() -> &'static PropSetup {
+    static SETUP: OnceLock<PropSetup> = OnceLock::new();
+    SETUP.get_or_init(|| {
+        let video = scene(30);
+        let serial = tasm_with("prop-serial", |c| {
+            c.cache_bytes = 0;
+            c.workers = 1;
+        });
+        ingest(&serial, &video);
+        let conc = tasm_with("prop-conc", |_| {});
+        ingest(&conc, &video);
+        let service = QueryService::start(
+            Arc::clone(&conc),
+            ServiceConfig {
+                workers: 4,
+                queue_depth: 32,
+                ..Default::default()
+            },
+        );
+        PropSetup { service, serial }
+    })
+}
+
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn dedup_never_changes_pixels(
+            start in 0u32..30,
+            len in 1u32..20,
+            label_pick in 0usize..3,
+            fanout in 2usize..6,
+        ) {
+            let setup = prop_setup();
+            let label = ["car", "person", "bicycle"][label_pick];
+            let frames = start..(start + len).min(30);
+            let pred = LabelPredicate::label(label);
+            let reference = setup.serial.scan("v", &pred, frames.clone()).unwrap();
+            // Several copies of the query race through the shared cache;
+            // some join each other's decodes, all must match the uncached
+            // serial reference bit for bit.
+            let handles: Vec<_> = (0..fanout)
+                .map(|_| {
+                    setup
+                        .service
+                        .submit(QueryRequest {
+                            video: "v".to_string(),
+                            predicate: pred.clone(),
+                            frames: frames.clone(),
+                        })
+                        .unwrap()
+                })
+                .collect();
+            for h in handles {
+                let outcome = h.wait().unwrap();
+                assert_scans_equal(
+                    &reference,
+                    &outcome.result,
+                    &format!("label {label} frames {frames:?}"),
+                );
+            }
+        }
+    }
+}

@@ -42,7 +42,7 @@ fn full_pipeline_scan_returns_object_pixels() {
         frames: 30,
         ..SceneSpec::test_scene()
     });
-    let mut tasm = small_tasm("pipeline");
+    let tasm = small_tasm("pipeline");
     tasm.ingest("traffic", &video, 30).unwrap();
 
     // Query processor detects objects as a byproduct and feeds the index.
@@ -82,7 +82,7 @@ fn tiling_reduces_decode_work_without_changing_results() {
         frames: 20,
         ..SceneSpec::test_scene()
     });
-    let mut tasm = small_tasm("reduction");
+    let tasm = small_tasm("reduction");
     tasm.ingest("v", &video, 30).unwrap();
     for f in 0..video.len() {
         for (label, bbox) in video.ground_truth(f) {
@@ -121,7 +121,7 @@ fn cnf_predicates_compose() {
         frames: 10,
         ..SceneSpec::test_scene()
     });
-    let mut tasm = small_tasm("cnf");
+    let tasm = small_tasm("cnf");
     tasm.ingest("v", &video, 30).unwrap();
     for f in 0..video.len() {
         for (label, bbox) in video.ground_truth(f) {
@@ -157,7 +157,7 @@ fn cnf_predicates_compose() {
 #[test]
 fn dataset_presets_ingest_and_scan() {
     let video = Dataset::VisualRoad2K.build(1, 7);
-    let mut tasm = small_tasm("dataset");
+    let tasm = small_tasm("dataset");
     tasm.ingest("vr", &video, 30).unwrap();
     for f in 0..video.len() {
         for (label, bbox) in video.ground_truth(f) {
@@ -182,7 +182,7 @@ fn temporal_predicate_limits_decode() {
         frames: 40,
         ..SceneSpec::test_scene()
     });
-    let mut tasm = small_tasm("temporal");
+    let tasm = small_tasm("temporal");
     tasm.ingest("v", &video, 30).unwrap();
     for f in 0..video.len() {
         for (label, bbox) in video.ground_truth(f) {

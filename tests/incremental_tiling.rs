@@ -235,7 +235,7 @@ fn not_tiled_baseline_is_stable() {
 #[test]
 fn results_stable_across_retiling() {
     let video = scene(20, 13);
-    let mut tasm = small_tasm("stable");
+    let tasm = small_tasm("stable");
     tasm.ingest("v", &video, 30).unwrap();
     for f in 0..video.len() {
         for (l, b) in video.ground_truth(f) {

@@ -25,7 +25,7 @@ fn persistent_index_backs_scans() {
         },
         ..Default::default()
     };
-    let mut tasm = Tasm::open(dir.join("store"), Box::new(idx), cfg).unwrap();
+    let tasm = Tasm::open(dir.join("store"), Box::new(idx), cfg).unwrap();
 
     let video = SyntheticVideo::new(SceneSpec {
         width: 320,
@@ -117,7 +117,7 @@ fn attach_resumes_after_restart() {
     // Session 2: attach — no re-encode, layouts preserved, scans work.
     {
         let idx = PersistentIndex::open(&dir.join("index")).unwrap();
-        let mut tasm = Tasm::open(dir.join("store"), Box::new(idx), cfg).unwrap();
+        let tasm = Tasm::open(dir.join("store"), Box::new(idx), cfg).unwrap();
         assert!(tasm.has_stored_video("cam"));
         assert!(!tasm.has_stored_video("other"));
         tasm.attach("cam").unwrap();

@@ -176,7 +176,7 @@ fn retile_invalidates_cached_gops() {
     let video = scene(20);
     let pred = LabelPredicate::label("car");
 
-    let mut tasm = tasm_with("invalidate", 0, 64 << 20);
+    let tasm = tasm_with("invalidate", 0, 64 << 20);
     tasm.ingest("v", &video, 30).unwrap();
     for f in 0..video.len() {
         for (l, b) in video.ground_truth(f) {
