@@ -1,0 +1,135 @@
+//! Criterion benchmarks of the spatiotemporal query planner: the same
+//! Zipf-skewed workload executed as full-frame scans vs. ROI-pruned,
+//! stride-sampled, limited, and aggregate (`Exists`) queries.
+//!
+//! The planner prunes the decode plan against the semantic index before any
+//! byte is read, so the interesting quantity is how much decode work each
+//! predicate removes. Execution is pinned serial and uncached: every
+//! iteration pays the true decode cost of its plan, and the speedups below
+//! are pure planning wins, not cache or multicore effects. A summary table
+//! (decoded samples, GOPs decoded/skipped, tiles pruned per shape) is
+//! printed after the timed runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use tasm_bench::{bench_dir, micro_partition, scaled_count};
+use tasm_core::{Granularity, LabelPredicate, Query, QueryMode, StorageConfig, Tasm, TasmConfig};
+use tasm_data::{SceneSpec, SyntheticVideo, Zipf};
+use tasm_index::MemoryIndex;
+use tasm_video::{FrameSource, Rect};
+
+const FRAMES: u32 = 60;
+const WINDOW: u32 = 20;
+
+fn prepare() -> (Tasm, SyntheticVideo) {
+    let video = SyntheticVideo::new(SceneSpec {
+        width: 320,
+        height: 192,
+        frames: FRAMES,
+        seed: 21,
+        ..SceneSpec::test_scene()
+    });
+    // Serial + uncached (each iteration measures its plan's true decode
+    // work), with short GOPs so temporal pruning has GOPs to skip.
+    let tasm = Tasm::open(
+        bench_dir("query-bench"),
+        Box::new(MemoryIndex::in_memory()),
+        TasmConfig {
+            storage: StorageConfig {
+                gop_len: 6,
+                sot_frames: 30,
+                ..Default::default()
+            },
+            partition: micro_partition(Granularity::Fine),
+            workers: 1,
+            cache_bytes: 0,
+            ..Default::default()
+        },
+    )
+    .expect("open tasm");
+    tasm.ingest("v", &video, 30).expect("ingest");
+    for f in 0..video.len() {
+        for (label, bbox) in video.ground_truth(f) {
+            tasm.add_metadata("v", label, f, bbox).expect("metadata");
+        }
+        tasm.mark_processed("v", f).expect("mark");
+    }
+    // Object-tiled layout, so spatial pruning has tiles to prune.
+    let all: Vec<String> = vec!["car".to_string(), "person".to_string()];
+    tasm.kqko_retile_all("v", &all).expect("retile");
+    (tasm, video)
+}
+
+/// Zipf-skewed window starts (the paper's Workload 3 shape).
+fn zipf_windows(n: usize) -> Vec<std::ops::Range<u32>> {
+    let zipf = Zipf::new((FRAMES - WINDOW) as usize, 1.0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    (0..n)
+        .map(|_| {
+            let start = zipf.sample(&mut rng) as u32;
+            start..start + WINDOW
+        })
+        .collect()
+}
+
+/// The query shapes under comparison. The ROI is the center of the frame,
+/// covering under 25% of its area — most trajectories cross it somewhere,
+/// so it prunes tiles without degenerating to an empty answer.
+fn shapes(width: u32, height: u32) -> Vec<(&'static str, Query)> {
+    let base = || Query::new(LabelPredicate::label("car"));
+    let roi = Rect::new(width / 4, height / 4, width / 2 - 8, height / 2 - 8);
+    vec![
+        ("full_scan", base()),
+        ("roi_quarter", base().roi(roi)),
+        ("stride_5", base().stride(5)),
+        ("limit_4", base().limit(4)),
+        ("exists", base().mode(QueryMode::Exists)),
+    ]
+}
+
+fn run_shape(tasm: &Tasm, windows: &[std::ops::Range<u32>], shape: &Query) -> (u64, u64, u64, u64) {
+    let (mut samples, mut gops, mut skipped, mut pruned) = (0u64, 0u64, 0u64, 0u64);
+    for w in windows {
+        let r = tasm
+            .query("v", &shape.clone().frames(w.clone()))
+            .expect("query");
+        samples += r.stats.samples_decoded;
+        gops += r.plan.gops_planned;
+        skipped += r.plan.gops_skipped;
+        pruned += r.plan.tiles_pruned;
+    }
+    (samples, gops, skipped, pruned)
+}
+
+fn query_benches(c: &mut Criterion) {
+    let (tasm, video) = prepare();
+    let windows = zipf_windows(scaled_count(24));
+    let shapes = shapes(video.width(), video.height());
+
+    let mut g = c.benchmark_group("query");
+    g.sample_size(10);
+    for (name, shape) in &shapes {
+        g.bench_function(*name, |b| b.iter(|| run_shape(&tasm, &windows, shape)));
+    }
+    g.finish();
+
+    eprintln!(
+        "\nquery planner summary ({} Zipf windows of {WINDOW} frames):",
+        windows.len()
+    );
+    eprintln!("  shape          samples-decoded   gops-decoded   gops-skipped   tiles-pruned");
+    let rows: Vec<_> = shapes
+        .iter()
+        .map(|(name, shape)| (*name, run_shape(&tasm, &windows, shape)))
+        .collect();
+    let full = rows[0].1 .0.max(1);
+    for (name, (samples, gops, skipped, pruned)) in rows {
+        eprintln!(
+            "  {name:<12} {samples:>12} ({:>4.0}%)   {gops:>9}   {skipped:>9}   {pruned:>9}",
+            100.0 * samples as f64 / full as f64,
+        );
+    }
+}
+
+criterion_group!(benches, query_benches);
+criterion_main!(benches);

@@ -98,11 +98,11 @@ fn zipf_queries(n: usize) -> Vec<QueryRequest> {
     (0..n)
         .map(|i| {
             let start = zipf.sample(&mut rng) as u32;
-            QueryRequest {
-                video: "v".to_string(),
-                predicate: LabelPredicate::label(if i % 4 == 3 { "person" } else { "car" }),
-                frames: start..start + WINDOW,
-            }
+            QueryRequest::scan(
+                "v",
+                LabelPredicate::label(if i % 4 == 3 { "person" } else { "car" }),
+                start..start + WINDOW,
+            )
         })
         .collect()
 }

@@ -9,14 +9,14 @@ use crate::args::Args;
 use std::error::Error;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use tasm_core::{LabelPredicate, Tasm, TasmConfig};
+use tasm_core::{LabelPredicate, Query, QueryMode, Tasm, TasmConfig};
 use tasm_data::{workloads, Dataset, SyntheticVideo, WorkloadParams};
 use tasm_detect::sampled::SampledDetector;
 use tasm_detect::yolo::SimulatedYolo;
 use tasm_detect::Detector;
 use tasm_index::PersistentIndex;
 use tasm_service::{QueryRequest, QueryService, RetilePolicy, ServiceConfig};
-use tasm_video::FrameSource;
+use tasm_video::{FrameSource, Rect};
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -27,6 +27,9 @@ USAGE:
   tasm ingest  --store DIR --name NAME --dataset PRESET --seconds N [--seed N]
   tasm detect  --store DIR --name NAME [--detector yolov3|yolov3-tiny] [--stride K]
   tasm scan    --store DIR --name NAME --label LABEL [--start F] [--end F] [--repeat N]
+  tasm query   --store DIR --name NAME --label LABEL [--start F] [--end F]
+               [--roi x,y,w,h] [--stride N] [--limit K]
+               [--mode pixels|count|exists] [--repeat N]
   tasm retile  --store DIR --name NAME --labels L1,L2
   tasm observe --store DIR --name NAME --label LABEL [--start F] [--end F]
   tasm workload --store DIR --name NAME [--workload 1|2|3|4] [--queries N]
@@ -38,6 +41,13 @@ USAGE:
 EXECUTION (any command):
   --workers N    decode worker threads (0 = one per core, default)
   --cache-mb N   decoded-GOP cache budget in MiB (0 disables; default 256)
+
+QUERY: the spatiotemporal planner. --roi keeps only boxes intersecting the
+  region of interest, --stride N samples every Nth frame of the window,
+  --limit K stops after the first K matching frames, and --mode count|exists
+  answers from the semantic index without decoding any tile. Pruned tiles
+  and GOPs are never decoded; the command reports what the planner cut.
+  Results are bit-identical to `tasm scan` filtered after the fact.
 
 WORKLOAD: replays one of the paper's §5.3 workload generators through the
   concurrent QueryService: --concurrency query workers (0 = one per core)
@@ -59,6 +69,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         "ingest" => ingest(&args),
         "detect" => detect(&args),
         "scan" => scan(&args),
+        "query" => query(&args),
         "retile" => retile(&args),
         "observe" => observe(&args),
         "workload" => workload(&args),
@@ -209,6 +220,97 @@ fn scan(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Parses `--roi x,y,w,h` into a rectangle.
+fn parse_roi(spec: &str) -> Result<Rect, Box<dyn Error>> {
+    let parts: Vec<u32> = spec
+        .split(',')
+        .map(|t| t.trim().parse::<u32>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| format!("invalid --roi '{spec}' (expected x,y,w,h)"))?;
+    let [x, y, w, h] = parts[..] else {
+        return Err(format!(
+            "invalid --roi '{spec}' (expected 4 values, got {})",
+            parts.len()
+        )
+        .into());
+    };
+    if w == 0 || h == 0 {
+        return Err(format!("--roi '{spec}' is empty").into());
+    }
+    Ok(Rect::new(x, y, w, h))
+}
+
+/// Runs a spatiotemporal query through the planner and reports both the
+/// answer and what the planner pruned.
+fn query(args: &Args) -> CmdResult {
+    let store = args.required("store")?;
+    let name = args.required("name")?;
+    let label = args.required("label")?;
+    let tasm = open_tasm(store, args)?;
+    let video = register(&tasm, store, name)?;
+    let start: u32 = args.get_or("start", 0)?;
+    let end: u32 = args.get_or("end", video.len())?;
+    let stride: u32 = args.get_or("stride", 1)?;
+    let mode = match args.get("mode").unwrap_or("pixels") {
+        "pixels" => QueryMode::Pixels,
+        "count" => QueryMode::Count,
+        "exists" => QueryMode::Exists,
+        other => return Err(format!("unknown query mode '{other}'").into()),
+    };
+
+    let mut q = Query::new(LabelPredicate::label(label))
+        .frames(start..end)
+        .stride(stride)
+        .mode(mode);
+    if let Some(spec) = args.get("roi") {
+        q = q.roi(parse_roi(spec)?);
+    }
+    if let Some(limit) = args.get("limit") {
+        let limit: u32 = limit
+            .parse()
+            .map_err(|_| format!("invalid value '{limit}' for --limit"))?;
+        q = q.limit(limit);
+    }
+
+    let repeat: u32 = args.get_or("repeat", 1)?;
+    for run in 0..repeat.max(1) {
+        let result = tasm.query(name, &q)?;
+        match mode {
+            QueryMode::Exists => println!(
+                "exists '{label}' over frames {start}..{end}: {} ({} matches known from the index; no tiles decoded)",
+                result.matched > 0,
+                result.matched
+            ),
+            QueryMode::Count => println!(
+                "count '{label}' over frames {start}..{end}: {} matches on {} frames (no tiles decoded)",
+                result.matched, result.plan.frames_sampled
+            ),
+            QueryMode::Pixels => println!(
+                "query '{label}' over frames {start}..{end}: {} regions on {} frames, {} samples decoded, {} cache hits, {:.2} ms",
+                result.regions.len(),
+                result.plan.frames_sampled,
+                result.stats.samples_decoded,
+                result.cache.hits,
+                result.seconds() * 1e3
+            ),
+        }
+        println!(
+            "  plan: {} tiles decoded / {} pruned, {} GOPs decoded / {} skipped",
+            result.plan.tiles_planned,
+            result.plan.tiles_pruned,
+            result.plan.gops_planned,
+            result.plan.gops_skipped
+        );
+        if repeat > 1 && run == 0 {
+            println!(
+                "  (repeating {} more times against the warm decoded-GOP cache)",
+                repeat - 1
+            );
+        }
+    }
+    Ok(())
+}
+
 fn retile(args: &Args) -> CmdResult {
     let store = args.required("store")?;
     let name = args.required("name")?;
@@ -328,11 +430,11 @@ fn workload(args: &Args) -> CmdResult {
     let handles: Vec<_> = queries
         .iter()
         .map(|q| {
-            service.submit(QueryRequest {
-                video: name.to_string(),
-                predicate: LabelPredicate::label(&q.label),
-                frames: q.frames.clone(),
-            })
+            service.submit(QueryRequest::scan(
+                name,
+                LabelPredicate::label(&q.label),
+                q.frames.clone(),
+            ))
         })
         .collect::<Result<_, _>>()?;
     let mut regions = 0usize;
@@ -439,6 +541,18 @@ mod tests {
             "scan --store {s} --name cam --label car --cache-mb 0 --workers 1"
         ))
         .expect("scan serial uncached");
+        run(&format!(
+            "query --store {s} --name cam --label car --roi 0,0,160,176 --stride 2 --limit 4"
+        ))
+        .expect("roi query");
+        run(&format!(
+            "query --store {s} --name cam --label car --mode count"
+        ))
+        .expect("count query");
+        run(&format!(
+            "query --store {s} --name cam --label car --mode exists --repeat 2"
+        ))
+        .expect("exists query");
         run(&format!("retile --store {s} --name cam --labels car")).expect("retile");
         run(&format!(
             "observe --store {s} --name cam --label car --end 30"
@@ -488,6 +602,24 @@ mod tests {
         .is_ok());
         assert!(run(&format!("workload --store {s} --name w --workload 9")).is_err());
         assert!(run(&format!("workload --store {s} --name w --retile sideways")).is_err());
+        // Malformed query flags are reported, not panicked.
+        assert!(run(&format!(
+            "query --store {s} --name w --label car --roi 1,2,3"
+        ))
+        .is_err());
+        assert!(run(&format!(
+            "query --store {s} --name w --label car --roi a,b,c,d"
+        ))
+        .is_err());
+        assert!(run(&format!(
+            "query --store {s} --name w --label car --roi 0,0,0,4"
+        ))
+        .is_err());
+        assert!(run(&format!(
+            "query --store {s} --name w --label car --mode sideways"
+        ))
+        .is_err());
+        assert!(run(&format!("query --store {s} --name w --label car --limit x")).is_err());
     }
 
     #[test]

@@ -82,6 +82,49 @@ impl std::ops::AddAssign for CacheStats {
     }
 }
 
+/// Planner accounting: how much decode work the query planner scheduled and
+/// how much it *avoided* relative to the label-only baseline plan.
+///
+/// The baseline is what [`mod@crate::scan`] would decode for the same label
+/// predicate: every tile overlapping any labeled box, over each SOT's full
+/// matched-frame span. The spatiotemporal planner ([`crate::query`]) prunes
+/// that plan — tiles whose boxes miss the ROI, GOPs outside the sampling
+/// stride, GOPs past a satisfied `limit` — and records what it cut here.
+///
+/// All counters are computed at *plan time* from the semantic index alone:
+/// they cost no decode work, and they are byte-for-byte identical whether
+/// the planned GOPs are later decoded, served from the decoded-GOP cache,
+/// or joined from another query's in-flight decode. Execution-side reuse is
+/// accounted separately in [`CacheStats`] and [`SharedScanStats`], so
+/// nothing is ever double-counted between planning and execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// `(SOT, tile)` units the plan decodes.
+    pub tiles_planned: u64,
+    /// `(SOT, tile)` units the baseline would decode that the plan never
+    /// touches (pruned by the ROI, the stride/limit, or an aggregate mode
+    /// that skips pixel materialization entirely).
+    pub tiles_pruned: u64,
+    /// GOP decode units the plan schedules across all planned tiles.
+    pub gops_planned: u64,
+    /// GOP decode units skipped *within* planned tiles (temporal pruning:
+    /// stride gaps and frames past a satisfied `limit`).
+    pub gops_skipped: u64,
+    /// Distinct matched frames surviving the temporal predicates — the
+    /// frames the query actually samples.
+    pub frames_sampled: u64,
+}
+
+impl std::ops::AddAssign for PlanStats {
+    fn add_assign(&mut self, rhs: PlanStats) {
+        self.tiles_planned += rhs.tiles_planned;
+        self.tiles_pruned += rhs.tiles_pruned;
+        self.gops_planned += rhs.gops_planned;
+        self.gops_skipped += rhs.gops_skipped;
+        self.frames_sampled += rhs.frames_sampled;
+    }
+}
+
 /// Shared-scan (single-flight) dedup accounting.
 ///
 /// When two concurrent queries need the same `(video, SOT, tile, GOP)`

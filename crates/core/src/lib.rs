@@ -19,6 +19,9 @@
 //!   cache (buffer-pool-style LRU with a byte budget);
 //! * [`mod@scan`] — the `Scan(video, L, T)` access method with CNF label
 //!   predicates (§3.1);
+//! * [`mod@query`] — the spatiotemporal query planner: ROI, sampling
+//!   stride, first-k limit, and aggregate modes, with index-driven tile and
+//!   GOP pruning before any decode;
 //! * [`tasm`] — the facade: `AddMetadata`, `Scan`, KQKO optimization (§4.2),
 //!   incremental-more and regret-based re-tiling (§4.4);
 //! * [`runner`] — workload execution under the strategies compared in §5.3;
@@ -44,6 +47,15 @@
 //! // Retrieve just the car pixels; only the tiles containing them decode.
 //! let result = tasm.scan("traffic", &LabelPredicate::label("car"), 0..30).unwrap();
 //! println!("decoded {} samples", result.stats.samples_decoded);
+//!
+//! // Narrow further with the spatiotemporal planner: cars in the left
+//! // half only, every 5th frame — pruned tiles/GOPs are never decoded.
+//! use tasm_core::Query;
+//! let roi = tasm.query("traffic", &Query::new(LabelPredicate::label("car"))
+//!     .frames(0..30)
+//!     .roi(Rect::new(0, 0, 320, 352))
+//!     .stride(5)).unwrap();
+//! println!("{} matches, {} tiles pruned", roi.matched, roi.plan.tiles_pruned);
 //! ```
 //!
 //! ## Execution pipeline and decoded-GOP cache
@@ -103,6 +115,7 @@ pub mod cost;
 pub mod edge;
 pub mod exec;
 pub mod partition;
+pub mod query;
 pub mod runner;
 pub mod scan;
 pub mod storage;
@@ -110,8 +123,11 @@ pub mod tasm;
 
 pub use cost::{estimate_work, fit_linear, pixel_ratio, CostModel, EncodeModel, Work, WorkSample};
 pub use edge::{edge_ingest, EdgeConfig, EdgeReport};
-pub use exec::{CacheStats, DecodedTile, DecodedTileCache, SharedScanStats, TileDecodeRequest};
+pub use exec::{
+    CacheStats, DecodedTile, DecodedTileCache, PlanStats, SharedScanStats, TileDecodeRequest,
+};
 pub use partition::{partition, Granularity, PartitionConfig};
+pub use query::{Query, QueryMode};
 pub use runner::{run_workload, QueryRecord, RunQuery, Strategy, TruthFn, WorkloadReport};
 pub use scan::{scan, scan_prepared, LabelPredicate, RegionPixels, ScanError, ScanResult};
 pub use storage::{RetileStats, SotEntry, StorageConfig, StoreError, VideoManifest, VideoStore};

@@ -12,7 +12,7 @@
 //! work, as the paper's reported query times do.
 
 use crate::cost::Work;
-use crate::exec::{self, CacheStats, SharedScanStats, TileDecodeRequest};
+use crate::exec::{self, CacheStats, PlanStats, SharedScanStats, TileDecodeRequest};
 use crate::storage::{StoreError, VideoManifest, VideoStore};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::Range;
@@ -123,11 +123,21 @@ pub struct RegionPixels {
     pub pixels: Frame,
 }
 
-/// Result of a `Scan` call.
+/// Result of a `Scan` (or [`crate::Tasm::query`]) call.
 #[derive(Debug, Default)]
 pub struct ScanResult {
-    /// Matched regions with their pixels, frame order.
+    /// Matched regions with their pixels, frame order. Empty for the
+    /// aggregate query modes ([`crate::QueryMode::Count`] /
+    /// [`crate::QueryMode::Exists`]), which never materialize pixels.
     pub regions: Vec<RegionPixels>,
+    /// Number of regions matching the query's predicates (label ∧ ROI ∧
+    /// stride ∧ limit). Equal to `regions.len()` in pixel-returning modes;
+    /// the aggregate modes report it without decoding anything.
+    pub matched: u64,
+    /// Planner accounting: decode units scheduled vs. pruned relative to
+    /// the label-only baseline plan. Computed at plan time from the index —
+    /// identical at any worker count and any cache state.
+    pub plan: PlanStats,
     /// Exact decode accounting — only work actually performed; frames
     /// served by the decoded-GOP cache are *not* counted here, so the
     /// §4.1 cost model stays calibrated against real decode effort.
@@ -215,6 +225,9 @@ pub fn scan_prepared(
             continue;
         }
         let local = (first_frame - sot.start)..(last_frame - sot.start + 1);
+        result.plan.tiles_planned += needed.len() as u64;
+        result.plan.gops_planned +=
+            needed.len() as u64 * gop_count(&local, manifest.config.gop_len);
         requests.extend(needed.into_iter().map(|tile| TileDecodeRequest {
             sot_idx,
             tile,
@@ -222,6 +235,7 @@ pub fn scan_prepared(
         }));
         sot_plans.push((sot_idx, local));
     }
+    result.plan.frames_sampled = regions.len() as u64;
     if requests.is_empty() {
         return Ok(result);
     }
@@ -256,25 +270,7 @@ pub fn scan_prepared(
                         continue;
                     };
                     let trect = sot.layout.tile_rect_by_index(t);
-                    if let Some(overlap) = trect.intersect(&aligned) {
-                        let tile_frame = tile.frame_at(local_idx);
-                        let src_rect = Rect::new(
-                            overlap.x - trect.x,
-                            overlap.y - trect.y,
-                            overlap.w,
-                            overlap.h,
-                        );
-                        let src_aligned = align_in(&src_rect);
-                        if src_aligned.is_empty() {
-                            continue;
-                        }
-                        canvas.blit(
-                            tile_frame,
-                            src_aligned,
-                            overlap.x + (src_aligned.x - src_rect.x) - aligned.x,
-                            overlap.y + (src_aligned.y - src_rect.y) - aligned.y,
-                        );
-                    }
+                    blit_tile_overlap(&mut canvas, tile.frame_at(local_idx), &trect, &aligned);
                 }
                 result.regions.push(RegionPixels {
                     frame,
@@ -284,7 +280,48 @@ pub fn scan_prepared(
             }
         }
     }
+    result.matched = result.regions.len() as u64;
     Ok(result)
+}
+
+/// Copies the part of a decoded tile that overlaps the (chroma-aligned)
+/// region rectangle onto the region canvas. Shared by the scan and query
+/// reassembly paths so both compose pixels identically.
+pub(crate) fn blit_tile_overlap(
+    canvas: &mut Frame,
+    tile_frame: &Frame,
+    trect: &Rect,
+    aligned: &Rect,
+) {
+    let Some(overlap) = trect.intersect(aligned) else {
+        return;
+    };
+    let src_rect = Rect::new(
+        overlap.x - trect.x,
+        overlap.y - trect.y,
+        overlap.w,
+        overlap.h,
+    );
+    let src_aligned = align_in(&src_rect);
+    if src_aligned.is_empty() {
+        return;
+    }
+    canvas.blit(
+        tile_frame,
+        src_aligned,
+        overlap.x + (src_aligned.x - src_rect.x) - aligned.x,
+        overlap.y + (src_aligned.y - src_rect.y) - aligned.y,
+    );
+}
+
+/// Number of GOPs a local frame span touches.
+pub(crate) fn gop_count(span: &Range<u32>, gop_len: u32) -> u64 {
+    if span.is_empty() {
+        return 0;
+    }
+    let first = span.start / gop_len;
+    let last = (span.end - 1) / gop_len;
+    (last - first + 1) as u64
 }
 
 /// Errors from scan execution.
@@ -334,7 +371,7 @@ fn intersect_box_sets(lhs: &[Rect], rhs: &[Rect]) -> Vec<Rect> {
 
 /// Aligns a rectangle outward to even coordinates (chroma parity), clamped
 /// to the frame.
-fn align_out(r: &Rect, w: u32, h: u32) -> Rect {
+pub(crate) fn align_out(r: &Rect, w: u32, h: u32) -> Rect {
     let x = r.x & !1;
     let y = r.y & !1;
     let right = (r.right() + 1) & !1;

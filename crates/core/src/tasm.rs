@@ -35,6 +35,7 @@
 
 use crate::cost::{estimate_work, pixel_ratio, CostModel, EncodeModel};
 use crate::partition::{partition, PartitionConfig};
+use crate::query::{query_prepared, Query};
 use crate::scan::{scan_prepared, LabelPredicate, ScanError, ScanResult};
 use crate::storage::{RetileStats, StorageConfig, StoreError, VideoManifest, VideoStore};
 use std::collections::{BTreeMap, BTreeSet};
@@ -407,6 +408,69 @@ impl Tasm {
             &self.store,
             &manifest,
             regions,
+            frames,
+            lookup_time,
+        )?)
+    }
+
+    /// Executes a spatiotemporal [`Query`]: a label predicate optionally
+    /// narrowed by a region of interest, a sampling stride, a
+    /// first-k-matching-frames limit, and an aggregate mode (see
+    /// [`crate::query`] for planner semantics).
+    ///
+    /// The planner prunes the decode plan against the semantic index before
+    /// any byte is read — tiles whose boxes miss the ROI, GOPs outside the
+    /// stride, and GOPs past a satisfied limit are never decoded
+    /// ([`ScanResult::plan`] reports what was cut) — while the returned
+    /// regions stay bit-identical to running the unpruned [`Tasm::scan`]
+    /// and filtering its output post-hoc.
+    ///
+    /// Concurrency mirrors [`Tasm::scan`]: any number of queries may run
+    /// through one instance, and the video's manifest read lock is held
+    /// across execution so every query observes exactly one layout epoch
+    /// even while re-tiles run concurrently.
+    ///
+    /// ```no_run
+    /// # use tasm_core::{LabelPredicate, Query, QueryMode, Tasm, TasmConfig};
+    /// # use tasm_index::MemoryIndex;
+    /// # use tasm_video::Rect;
+    /// # let tasm = Tasm::open("/tmp/t", Box::new(MemoryIndex::in_memory()),
+    /// #                       TasmConfig::default()).unwrap();
+    /// // Cars entering the left half of the frame, every 5th frame.
+    /// let q = Query::new(LabelPredicate::label("car"))
+    ///     .frames(0..300)
+    ///     .roi(Rect::new(0, 0, 320, 352))
+    ///     .stride(5);
+    /// let result = tasm.query("traffic", &q).unwrap();
+    /// println!("{} regions, {} tiles pruned", result.matched, result.plan.tiles_pruned);
+    ///
+    /// // Is there any person in the window at all? Decodes nothing.
+    /// let exists = tasm
+    ///     .query("traffic", &Query::new(LabelPredicate::label("person"))
+    ///         .frames(0..300)
+    ///         .mode(QueryMode::Exists))
+    ///     .unwrap();
+    /// assert_eq!(exists.stats.samples_decoded, 0);
+    /// ```
+    pub fn query(&self, name: &str, query: &Query) -> Result<ScanResult, TasmError> {
+        let shard = self.shard(name)?;
+        let manifest = shard.manifest.read().expect("manifest lock");
+        let window = query.frame_range();
+        let frames = window.start..window.end.min(manifest.frame_count);
+        let t0 = Instant::now();
+        let regions = self
+            .with_index(|ix| {
+                query
+                    .predicate()
+                    .target_regions(ix, shard.id, frames.clone())
+            })
+            .map_err(|e| TasmError::Scan(ScanError::Index(e)))?;
+        let lookup_time = t0.elapsed();
+        Ok(query_prepared(
+            &self.store,
+            &manifest,
+            regions,
+            query,
             frames,
             lookup_time,
         )?)

@@ -15,7 +15,8 @@
 //!                        ┌──────────────┬───────────┴┬──────────────┐
 //!                        ▼              ▼            ▼              ▼
 //!                    worker 0       worker 1     worker …       worker N-1
-//!                        │  Tasm::scan(&self)  — concurrent, lock-sharded
+//!                        │  Tasm::query(&self) — plans (ROI/stride/limit
+//!                        │  pruning), then decodes — concurrent, sharded
 //!                        ▼
 //!            ┌──────────────────────────────────────────────────────────┐
 //!            │ shared Tasm: RwLock'd semantic index · per-video shards  │
@@ -49,9 +50,10 @@
 //!
 //! ```no_run
 //! use std::sync::Arc;
-//! use tasm_core::{LabelPredicate, Tasm, TasmConfig};
+//! use tasm_core::{LabelPredicate, Query, QueryMode, Tasm, TasmConfig};
 //! use tasm_index::MemoryIndex;
 //! use tasm_service::{QueryRequest, QueryService, RetilePolicy, ServiceConfig};
+//! use tasm_video::Rect;
 //!
 //! let tasm = Arc::new(
 //!     Tasm::open("/tmp/store", Box::new(MemoryIndex::in_memory()), TasmConfig::default())
@@ -69,18 +71,32 @@
 //!     },
 //! );
 //!
+//! // Plain label scans...
 //! let handles: Vec<_> = (0..100)
 //!     .map(|i| {
 //!         service
-//!             .submit(QueryRequest {
-//!                 video: "traffic".into(),
-//!                 predicate: LabelPredicate::label("car"),
-//!                 frames: i * 30..(i + 1) * 30,
-//!             })
+//!             .submit(QueryRequest::scan(
+//!                 "traffic",
+//!                 LabelPredicate::label("car"),
+//!                 i * 30..(i + 1) * 30,
+//!             ))
 //!             .unwrap()
 //!     })
 //!     .collect();
-//! for h in handles {
+//! // ...and full spatiotemporal queries: ROI + stride + limit, planned so
+//! // that pruned tiles and GOPs are never decoded.
+//! let roi = service
+//!     .submit(QueryRequest::new(
+//!         "traffic",
+//!         Query::new(LabelPredicate::label("car"))
+//!             .frames(0..3000)
+//!             .roi(Rect::new(0, 0, 320, 352))
+//!             .stride(5)
+//!             .limit(10)
+//!             .mode(QueryMode::Pixels),
+//!     ))
+//!     .unwrap();
+//! for h in handles.into_iter().chain([roi]) {
 //!     let outcome = h.wait().unwrap();
 //!     println!("query {}: {} regions", outcome.id, outcome.result.regions.len());
 //! }

@@ -9,7 +9,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use tasm_core::{LabelPredicate, ScanResult, Tasm, TasmError};
+use tasm_core::{LabelPredicate, Query, ScanResult, Tasm, TasmError};
 
 /// Which incremental layout policy the background daemon applies to
 /// completed queries.
@@ -53,15 +53,31 @@ impl Default for ServiceConfig {
     }
 }
 
-/// One query to execute.
+/// One query to execute: a video name plus a full spatiotemporal
+/// [`Query`] (label predicate ∧ optional ROI, stride, limit, and aggregate
+/// mode — see `tasm_core::query` for planner semantics).
 #[derive(Debug, Clone)]
 pub struct QueryRequest {
     /// Video name (must be ingested/attached on the shared [`Tasm`]).
     pub video: String,
-    /// CNF label predicate.
-    pub predicate: LabelPredicate,
-    /// Frame window.
-    pub frames: Range<u32>,
+    /// The query to plan and execute.
+    pub query: Query,
+}
+
+impl QueryRequest {
+    /// A request submitting an arbitrary [`Query`].
+    pub fn new(video: impl Into<String>, query: Query) -> Self {
+        QueryRequest {
+            video: video.into(),
+            query,
+        }
+    }
+
+    /// A plain label-predicate scan over a frame window — the shape every
+    /// request had before the spatiotemporal planner existed.
+    pub fn scan(video: impl Into<String>, predicate: LabelPredicate, frames: Range<u32>) -> Self {
+        QueryRequest::new(video, Query::new(predicate).frames(frames))
+    }
 }
 
 /// A completed query with its per-query timings.
@@ -328,20 +344,17 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let queue_time = job.enqueued.elapsed();
-        match shared
-            .tasm
-            .scan(&job.req.video, &job.req.predicate, job.req.frames.clone())
-        {
+        match shared.tasm.query(&job.req.video, &job.req.query) {
             Ok(result) => {
                 shared.stats.record_scan(&result);
                 shared.stats.completed.fetch_add(1, Ordering::Relaxed);
                 if shared.cfg.retile != RetilePolicy::Off {
                     let mut backlog = shared.backlog.lock().expect("backlog lock");
-                    for label in job.req.predicate.labels() {
+                    for label in job.req.query.predicate().labels() {
                         backlog.push_back(Observation {
                             video: job.req.video.clone(),
                             label: label.to_string(),
-                            frames: job.req.frames.clone(),
+                            frames: job.req.query.frame_range(),
                         });
                     }
                     drop(backlog);

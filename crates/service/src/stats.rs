@@ -1,7 +1,7 @@
 //! Aggregate service statistics, maintained lock-free by the workers.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use tasm_core::{ScanResult, SharedScanStats};
+use tasm_core::{PlanStats, ScanResult, SharedScanStats};
 
 /// Atomic counters the workers and the retile daemon update in place.
 #[derive(Default)]
@@ -15,6 +15,11 @@ pub(crate) struct StatsCell {
     pub cache_misses: AtomicU64,
     pub shared_owned: AtomicU64,
     pub shared_joined: AtomicU64,
+    pub tiles_planned: AtomicU64,
+    pub tiles_pruned: AtomicU64,
+    pub gops_planned: AtomicU64,
+    pub gops_skipped: AtomicU64,
+    pub frames_sampled: AtomicU64,
     pub retile_ops: AtomicU64,
     pub retile_errors: AtomicU64,
     pub queue_peak: AtomicU64,
@@ -33,6 +38,16 @@ impl StatsCell {
             .fetch_add(r.shared.owned, Ordering::Relaxed);
         self.shared_joined
             .fetch_add(r.shared.joined, Ordering::Relaxed);
+        self.tiles_planned
+            .fetch_add(r.plan.tiles_planned, Ordering::Relaxed);
+        self.tiles_pruned
+            .fetch_add(r.plan.tiles_pruned, Ordering::Relaxed);
+        self.gops_planned
+            .fetch_add(r.plan.gops_planned, Ordering::Relaxed);
+        self.gops_skipped
+            .fetch_add(r.plan.gops_skipped, Ordering::Relaxed);
+        self.frames_sampled
+            .fetch_add(r.plan.frames_sampled, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> ServiceStats {
@@ -47,6 +62,13 @@ impl StatsCell {
             shared: SharedScanStats {
                 owned: self.shared_owned.load(Ordering::Relaxed),
                 joined: self.shared_joined.load(Ordering::Relaxed),
+            },
+            plan: PlanStats {
+                tiles_planned: self.tiles_planned.load(Ordering::Relaxed),
+                tiles_pruned: self.tiles_pruned.load(Ordering::Relaxed),
+                gops_planned: self.gops_planned.load(Ordering::Relaxed),
+                gops_skipped: self.gops_skipped.load(Ordering::Relaxed),
+                frames_sampled: self.frames_sampled.load(Ordering::Relaxed),
             },
             retile_ops: self.retile_ops.load(Ordering::Relaxed),
             retile_errors: self.retile_errors.load(Ordering::Relaxed),
@@ -74,6 +96,10 @@ pub struct ServiceStats {
     pub cache_misses: u64,
     /// Shared-scan dedup accounting: GOP decodes owned vs. joined.
     pub shared: SharedScanStats,
+    /// Aggregate planner accounting across all queries: decode units
+    /// scheduled (`tiles_planned`/`gops_planned`) vs. pruned before decode
+    /// (`tiles_pruned`/`gops_skipped`), plus the frames actually sampled.
+    pub plan: PlanStats,
     /// SOT re-tile operations performed by the retile daemon.
     pub retile_ops: u64,
     /// Observations the daemon failed to process.

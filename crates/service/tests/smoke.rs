@@ -48,11 +48,7 @@ fn ingest(tasm: &Tasm, frames: u32) -> SyntheticVideo {
 }
 
 fn request(frames: std::ops::Range<u32>) -> QueryRequest {
-    QueryRequest {
-        video: "v".to_string(),
-        predicate: LabelPredicate::label("car"),
-        frames,
-    }
+    QueryRequest::scan("v", LabelPredicate::label("car"), frames)
 }
 
 #[test]
@@ -92,11 +88,11 @@ fn unknown_video_fails_the_query_not_the_service() {
     ingest(&tasm, 10);
     let service = QueryService::start(Arc::clone(&tasm), ServiceConfig::default());
     let bad = service
-        .submit(QueryRequest {
-            video: "nope".to_string(),
-            predicate: LabelPredicate::label("car"),
-            frames: 0..10,
-        })
+        .submit(QueryRequest::scan(
+            "nope",
+            LabelPredicate::label("car"),
+            0..10,
+        ))
         .unwrap();
     assert!(matches!(bad.wait(), Err(ServiceError::Tasm(_))));
     // The service keeps serving.

@@ -1,1 +1,72 @@
-//! Workspace glue crate: hosts the repository-level examples (`/examples`) and cross-crate integration tests (`/tests`). See the `tasm-core` crate for the library itself.
+//! Workspace glue crate: hosts the repository-level examples (`/examples`)
+//! and cross-crate integration tests (`/tests`), plus the small helpers
+//! they share. See the `tasm-core` crate for the library itself.
+
+use tasm_core::{Query, RegionPixels, ScanResult};
+use tasm_video::Plane;
+
+/// Applies a [`Query`]'s spatial and temporal predicates to the *output* of
+/// an unpruned scan: keep regions whose rectangle intersects the ROI, whose
+/// frame lies on the sampling stride (anchored at `window_start`), and that
+/// belong to the first `limit` matching frames.
+///
+/// This is the reference semantics the planner must reproduce: for any
+/// query, `Tasm::query` must return exactly these regions, bit for bit,
+/// while decoding only the pruned plan. The integration tests compare the
+/// two on every axis (worker count, cache state, concurrent re-tiling).
+pub fn post_filter<'a>(
+    scan: &'a ScanResult,
+    query: &Query,
+    window_start: u32,
+) -> Vec<&'a RegionPixels> {
+    let stride = query.stride_len();
+    let mut out: Vec<&RegionPixels> = scan
+        .regions
+        .iter()
+        .filter(|r| match query.roi_rect() {
+            Some(roi) => r.rect.intersects(&roi),
+            None => true,
+        })
+        .filter(|r| (r.frame - window_start).is_multiple_of(stride))
+        .collect();
+    if let Some(limit) = query.limit_count() {
+        let mut frames: Vec<u32> = out.iter().map(|r| r.frame).collect();
+        frames.dedup();
+        if let Some(&cutoff) = frames.get(limit as usize) {
+            out.retain(|r| r.frame < cutoff);
+        }
+    }
+    out
+}
+
+/// True when two region lists are bit-identical: same length, and every
+/// region agrees on frame, rectangle, and every pixel of every plane. The
+/// single definition of region equality the integration tests build on.
+pub fn regions_identical(expected: &[&RegionPixels], got: &[RegionPixels]) -> bool {
+    expected.len() == got.len()
+        && expected.iter().zip(got).all(|(e, g)| {
+            e.frame == g.frame
+                && e.rect == g.rect
+                && Plane::ALL
+                    .iter()
+                    .all(|&p| e.pixels.plane(p) == g.pixels.plane(p))
+        })
+}
+
+/// Asserts [`regions_identical`], reporting the first divergence (frame,
+/// rect, or plane) with a context string for failures.
+pub fn assert_regions_identical(expected: &[&RegionPixels], got: &[RegionPixels], what: &str) {
+    assert_eq!(expected.len(), got.len(), "{what}: region count");
+    for (e, g) in expected.iter().zip(got) {
+        assert_eq!(e.frame, g.frame, "{what}: frame order");
+        assert_eq!(e.rect, g.rect, "{what}: rects");
+        for plane in Plane::ALL {
+            assert_eq!(
+                e.pixels.plane(plane),
+                g.pixels.plane(plane),
+                "{what}: pixels of frame {} plane {plane:?}",
+                e.frame
+            );
+        }
+    }
+}

@@ -8,11 +8,15 @@
 //! must be invisible in the pixels and visible only in the accounting.
 
 use std::sync::{Arc, OnceLock};
-use tasm_core::{LabelPredicate, PartitionConfig, ScanResult, StorageConfig, Tasm, TasmConfig};
+use tasm_core::{
+    LabelPredicate, PartitionConfig, Query, RegionPixels, ScanResult, StorageConfig, Tasm,
+    TasmConfig,
+};
 use tasm_data::{SceneSpec, SyntheticVideo};
 use tasm_index::MemoryIndex;
 use tasm_service::{QueryRequest, QueryService, RetilePolicy, ServiceConfig};
-use tasm_video::{FrameSource, Plane};
+use tasm_suite::{assert_regions_identical, post_filter, regions_identical};
+use tasm_video::{FrameSource, Plane, Rect};
 
 fn scene(frames: u32) -> SyntheticVideo {
     SyntheticVideo::new(SceneSpec {
@@ -57,30 +61,13 @@ fn ingest(tasm: &Tasm, video: &SyntheticVideo) {
 }
 
 fn assert_scans_equal(a: &ScanResult, b: &ScanResult, what: &str) {
-    assert_eq!(a.regions.len(), b.regions.len(), "{what}: region count");
-    for (ra, rb) in a.regions.iter().zip(&b.regions) {
-        assert_eq!(ra.frame, rb.frame, "{what}: frame order");
-        assert_eq!(ra.rect, rb.rect, "{what}: rects");
-        for plane in Plane::ALL {
-            assert_eq!(
-                ra.pixels.plane(plane),
-                rb.pixels.plane(plane),
-                "{what}: pixels of frame {} plane {plane:?}",
-                ra.frame
-            );
-        }
-    }
+    let expected: Vec<&RegionPixels> = a.regions.iter().collect();
+    assert_regions_identical(&expected, &b.regions, what);
 }
 
 fn scans_equal(a: &ScanResult, b: &ScanResult) -> bool {
-    a.regions.len() == b.regions.len()
-        && a.regions.iter().zip(&b.regions).all(|(ra, rb)| {
-            ra.frame == rb.frame
-                && ra.rect == rb.rect
-                && Plane::ALL
-                    .iter()
-                    .all(|&p| ra.pixels.plane(p) == rb.pixels.plane(p))
-        })
+    let expected: Vec<&RegionPixels> = a.regions.iter().collect();
+    regions_identical(&expected, &b.regions)
 }
 
 /// Debug builds keep the stress affordable; release (the CI stress job)
@@ -140,11 +127,11 @@ fn concurrent_scans_bit_identical_to_serial() {
             let p = i % preds.len();
             let w = (i * 7 + 3) % windows.len();
             let h = service
-                .submit(QueryRequest {
-                    video: "v".to_string(),
-                    predicate: preds[p].clone(),
-                    frames: windows[w].clone(),
-                })
+                .submit(QueryRequest::scan(
+                    "v",
+                    preds[p].clone(),
+                    windows[w].clone(),
+                ))
                 .unwrap();
             (p, w, h)
         })
@@ -226,11 +213,7 @@ fn retile_daemon_mid_workload_keeps_scans_bit_exact() {
     let handles: Vec<_> = (0..queries)
         .map(|_| {
             service
-                .submit(QueryRequest {
-                    video: "v".to_string(),
-                    predicate: pred.clone(),
-                    frames: window.clone(),
-                })
+                .submit(QueryRequest::scan("v", pred.clone(), window.clone()))
                 .unwrap()
         })
         .collect();
@@ -262,6 +245,103 @@ fn retile_daemon_mid_workload_keeps_scans_bit_exact() {
     );
 }
 
+/// The spatiotemporal planner under concurrent re-tiling: ROI + stride
+/// queries racing the regret daemon must each return exactly the
+/// post-filtered serial scan of *one* layout epoch — pruning tiles and GOPs
+/// must never let a query observe a torn mix of layouts.
+#[test]
+fn roi_queries_bit_exact_across_concurrent_retile() {
+    let frames = 20u32;
+    let video = scene(frames);
+    let (workers, queries) = stress_scale();
+    let single_sot = move |c: &mut TasmConfig| {
+        c.storage.gop_len = 10;
+        c.storage.sot_frames = 20;
+        c.eta = 0.05;
+    };
+
+    let window = 0..frames;
+    let pred = LabelPredicate::label("car");
+    let query = Query::new(pred.clone())
+        .frames(window.clone())
+        .roi(Rect::new(0, 0, 192, 160)) // most of the frame: keeps matches in both epochs
+        .stride(2);
+
+    // Twin driven serially: post-filtered references for both epochs.
+    let twin = tasm_with("roi-twin", single_sot);
+    ingest(&twin, &video);
+    let scan_pre = twin.scan("v", &pred, window.clone()).unwrap();
+    let mut retiled = false;
+    for _ in 0..queries {
+        if twin
+            .observe_regret("v", "car", window.clone())
+            .unwrap()
+            .encode
+            .bytes_produced
+            > 0
+        {
+            retiled = true;
+            break;
+        }
+    }
+    assert!(
+        retiled,
+        "the regret policy must re-tile within the workload"
+    );
+    let scan_post = twin.scan("v", &pred, window.clone()).unwrap();
+    let ref_pre = post_filter(&scan_pre, &query, window.start);
+    let ref_post = post_filter(&scan_post, &query, window.start);
+    let refs_differ = ref_pre.len() != ref_post.len()
+        || ref_pre.iter().zip(&ref_post).any(|(a, b)| {
+            Plane::ALL
+                .iter()
+                .any(|&p| a.pixels.plane(p) != b.pixels.plane(p))
+        });
+    assert!(
+        !ref_pre.is_empty() && refs_differ,
+        "references must be distinguishable for the test to mean anything"
+    );
+
+    // Concurrent run with the daemon enabled, submitting full Query values.
+    let conc = tasm_with("roi-daemon", single_sot);
+    ingest(&conc, &video);
+    let service = QueryService::start(
+        Arc::clone(&conc),
+        ServiceConfig {
+            workers,
+            queue_depth: 16,
+            retile: RetilePolicy::Regret,
+            retile_interval: std::time::Duration::from_millis(1),
+        },
+    );
+    let handles: Vec<_> = (0..queries)
+        .map(|_| {
+            service
+                .submit(QueryRequest::new("v", query.clone()))
+                .unwrap()
+        })
+        .collect();
+    for h in handles {
+        let outcome = h.wait().unwrap();
+        let r = &outcome.result;
+        assert!(
+            regions_identical(&ref_pre, &r.regions) || regions_identical(&ref_post, &r.regions),
+            "ROI query matches neither epoch's post-filtered serial reference: \
+             torn or nondeterministic pruned execution"
+        );
+        // Plan counters are epoch-dependent only through the layout; they
+        // must always balance against execution accounting.
+        assert_eq!(
+            r.shared.owned + r.cache.hits,
+            r.plan.gops_planned,
+            "planned GOPs must each be decoded or served exactly once"
+        );
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.failed, 0);
+    assert!(stats.plan.frames_sampled > 0);
+}
+
 /// Shared-scan dedup must actually dedup: flood the service with identical
 /// cold-cache queries and observe joined GOP decodes. Thread scheduling can
 /// in principle serialize a whole attempt, so a few fresh attempts are
@@ -283,11 +363,7 @@ fn overlapping_queries_join_inflight_decodes() {
         let handles: Vec<_> = (0..16)
             .map(|_| {
                 service
-                    .submit(QueryRequest {
-                        video: "v".to_string(),
-                        predicate: LabelPredicate::label("car"),
-                        frames: 0..20,
-                    })
+                    .submit(QueryRequest::scan("v", LabelPredicate::label("car"), 0..20))
                     .unwrap()
             })
             .collect();
@@ -361,11 +437,7 @@ mod prop {
                 .map(|_| {
                     setup
                         .service
-                        .submit(QueryRequest {
-                            video: "v".to_string(),
-                            predicate: pred.clone(),
-                            frames: frames.clone(),
-                        })
+                        .submit(QueryRequest::scan("v", pred.clone(), frames.clone()))
                         .unwrap()
                 })
                 .collect();
@@ -376,6 +448,57 @@ mod prop {
                     &outcome.result,
                     &format!("label {label} frames {frames:?}"),
                 );
+            }
+        }
+
+        /// The planner equivalence contract, exercised through the
+        /// concurrent service with the shared decoded-GOP cache: a query
+        /// with arbitrary ROI/stride/limit returns exactly the uncached
+        /// serial scan's output filtered post-hoc — bit for bit — and its
+        /// fanned-out copies (racing each other through the dedup machinery)
+        /// all agree.
+        #[test]
+        fn query_equals_postfiltered_scan(
+            start in 0u32..30,
+            len in 1u32..20,
+            label_pick in 0usize..3,
+            roi in (0u32..200, 0u32..120, 16u32..256, 16u32..160)
+                .prop_map(|(x, y, w, h)| Rect::new(x, y, w, h)),
+            use_roi in proptest::bool::ANY,
+            stride in 1u32..8,
+            limit in proptest::option::of(1u32..6),
+            fanout in 1usize..4,
+        ) {
+            let setup = prop_setup();
+            let label = ["car", "person", "bicycle"][label_pick];
+            let frames = start..(start + len).min(30);
+            let mut query = Query::new(LabelPredicate::label(label))
+                .frames(frames.clone())
+                .stride(stride);
+            if use_roi {
+                query = query.roi(roi);
+            }
+            if let Some(k) = limit {
+                query = query.limit(k);
+            }
+            let scan = setup.serial.scan("v", &LabelPredicate::label(label), frames.clone()).unwrap();
+            let expected = post_filter(&scan, &query, frames.start);
+            let handles: Vec<_> = (0..fanout)
+                .map(|_| {
+                    setup
+                        .service
+                        .submit(QueryRequest::new("v", query.clone()))
+                        .unwrap()
+                })
+                .collect();
+            for h in handles {
+                let outcome = h.wait().unwrap();
+                assert_regions_identical(
+                    &expected,
+                    &outcome.result.regions,
+                    &format!("label {label} frames {frames:?} roi {use_roi} stride {stride} limit {limit:?}"),
+                );
+                prop_assert_eq!(outcome.result.matched, expected.len() as u64);
             }
         }
     }

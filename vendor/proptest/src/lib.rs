@@ -159,6 +159,54 @@ pub fn any<T: Arbitrary>() -> Any<T> {
     Any(std::marker::PhantomData)
 }
 
+/// Boolean strategies.
+pub mod bool {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// The unweighted boolean strategy behind [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rand::RngCore::next_u64(rng) & 1 == 1
+        }
+    }
+
+    /// `proptest::bool::ANY`: generates `true` and `false` evenly.
+    pub const ANY: Any = Any;
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// The strategy behind [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            // Upstream defaults to 3:1 Some:None; mirror that weighting.
+            if rand::RngCore::next_u64(rng).is_multiple_of(4) {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `proptest::option::of(strategy)`: `None` or a generated `Some`.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+}
+
 /// Collection strategies.
 pub mod collection {
     use super::Strategy;
