@@ -17,7 +17,7 @@ use tasm_bench::{bench_dir, micro_partition, scaled_count};
 use tasm_core::{Granularity, LabelPredicate, StorageConfig, Tasm, TasmConfig};
 use tasm_data::{SceneSpec, SyntheticVideo, Zipf};
 use tasm_index::MemoryIndex;
-use tasm_service::{QueryRequest, QueryService, ServiceConfig, ServiceStats};
+use tasm_service::{QueryRequest, QueryService, ServiceConfig, ServiceStats, Shutdown};
 use tasm_video::FrameSource;
 
 const FRAMES: u32 = 60;
@@ -127,7 +127,7 @@ fn run_workload(tasm: &Arc<Tasm>, queries: &[QueryRequest], concurrency: usize) 
     for h in handles {
         h.wait().expect("query");
     }
-    service.shutdown()
+    service.shutdown(Shutdown::Drain).stats
 }
 
 fn service_benches(c: &mut Criterion) {

@@ -9,13 +9,16 @@ use crate::args::Args;
 use std::error::Error;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
+use tasm_client::{Connection, LoadGen, LoadGenConfig};
 use tasm_core::{LabelPredicate, Query, QueryMode, Tasm, TasmConfig};
 use tasm_data::{workloads, Dataset, SyntheticVideo, WorkloadParams};
 use tasm_detect::sampled::SampledDetector;
 use tasm_detect::yolo::SimulatedYolo;
 use tasm_detect::Detector;
 use tasm_index::PersistentIndex;
-use tasm_service::{QueryRequest, QueryService, RetilePolicy, ServiceConfig};
+use tasm_server::{ServerConfig, TasmServer};
+use tasm_service::{QueryRequest, QueryService, RetilePolicy, ServiceConfig, Shutdown};
 use tasm_video::{FrameSource, Rect};
 
 type CmdResult = Result<(), Box<dyn Error>>;
@@ -37,6 +40,17 @@ USAGE:
                 [--query-frames N] [--seed N]
   tasm info    --store DIR [--name NAME]
   tasm presets
+  tasm serve   --store DIR [--addr HOST:PORT] [--max-connections N]
+               [--max-inflight N] [--concurrency N] [--queue-depth N]
+               [--retile off|regret|more]
+  tasm client query    --addr HOST:PORT --name NAME --label LABEL
+                       [--start F] [--end F] [--roi x,y,w,h] [--stride N]
+                       [--limit K] [--mode pixels|count|exists]
+  tasm client loadgen  --addr HOST:PORT --name NAME --label LABEL
+                       [--requests N] [--connections N] [--frames N]
+                       [--window N] [query flags as above]
+  tasm client stats    --addr HOST:PORT
+  tasm client shutdown --addr HOST:PORT
 
 EXECUTION (any command):
   --workers N    decode worker threads (0 = one per core, default)
@@ -53,7 +67,21 @@ WORKLOAD: replays one of the paper's §5.3 workload generators through the
   concurrent QueryService: --concurrency query workers (0 = one per core)
   over a --queue-depth bounded queue, optionally with the background
   re-tiling daemon (--retile regret|more). Reports aggregate throughput,
-  decoded-GOP cache reuse, and the shared-scan dedup rate.
+  decoded-GOP cache reuse, the shared-scan dedup rate, and the
+  submit-to-complete latency percentiles (p50/p95/p99).
+
+SERVE: exposes every video in the store over TCP (tasm-proto wire
+  protocol). Admission control: at most --max-connections sessions, at
+  most --max-inflight queries per session, and a typed BUSY reply — never
+  a blocked socket — when the service queue is full. Runs until a client
+  sends `tasm client shutdown`; shutdown drains in-flight queries, stops
+  the retile daemon, and prints the latency histogram.
+
+CLIENT: drives a remote server. `query` mirrors the local `query` command
+  (results are bit-identical to running it on the server's store),
+  `loadgen` floods the server from a connection pool (--connections) and
+  reports throughput plus client-observed latency percentiles; --frames N
+  with --window W slides each request's frame window across the video.
 
 PRESETS: visual-road-2k, visual-road-4k, netflix-public, netflix-open-source,
          xiph, mot16, el-fuente-sparse, el-fuente-dense";
@@ -64,6 +92,9 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         println!("{USAGE}");
         return Ok(());
     };
+    if cmd == "client" {
+        return client(rest);
+    }
     let args = Args::parse(rest)?;
     match cmd.as_str() {
         "ingest" => ingest(&args),
@@ -73,6 +104,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         "retile" => retile(&args),
         "observe" => observe(&args),
         "workload" => workload(&args),
+        "serve" => serve(&args),
         "info" => info(&args),
         "presets" => {
             for d in Dataset::ALL {
@@ -240,16 +272,13 @@ fn parse_roi(spec: &str) -> Result<Rect, Box<dyn Error>> {
     Ok(Rect::new(x, y, w, h))
 }
 
-/// Runs a spatiotemporal query through the planner and reports both the
-/// answer and what the planner pruned.
-fn query(args: &Args) -> CmdResult {
-    let store = args.required("store")?;
-    let name = args.required("name")?;
+/// Builds the spatiotemporal query the `query`, `client query`, and
+/// `client loadgen` commands share: `--label` with optional `--start`,
+/// `--end`, `--roi`, `--stride`, `--limit`, and `--mode` flags.
+fn build_query(args: &Args, default_end: u32) -> Result<Query, Box<dyn Error>> {
     let label = args.required("label")?;
-    let tasm = open_tasm(store, args)?;
-    let video = register(&tasm, store, name)?;
     let start: u32 = args.get_or("start", 0)?;
-    let end: u32 = args.get_or("end", video.len())?;
+    let end: u32 = args.get_or("end", default_end)?;
     let stride: u32 = args.get_or("stride", 1)?;
     let mode = match args.get("mode").unwrap_or("pixels") {
         "pixels" => QueryMode::Pixels,
@@ -257,7 +286,6 @@ fn query(args: &Args) -> CmdResult {
         "exists" => QueryMode::Exists,
         other => return Err(format!("unknown query mode '{other}'").into()),
     };
-
     let mut q = Query::new(LabelPredicate::label(label))
         .frames(start..end)
         .stride(stride)
@@ -271,6 +299,20 @@ fn query(args: &Args) -> CmdResult {
             .map_err(|_| format!("invalid value '{limit}' for --limit"))?;
         q = q.limit(limit);
     }
+    Ok(q)
+}
+
+/// Runs a spatiotemporal query through the planner and reports both the
+/// answer and what the planner pruned.
+fn query(args: &Args) -> CmdResult {
+    let store = args.required("store")?;
+    let name = args.required("name")?;
+    let label = args.required("label")?;
+    let tasm = open_tasm(store, args)?;
+    let video = register(&tasm, store, name)?;
+    let q = build_query(args, video.len())?;
+    let (start, end) = (q.frame_range().start, q.frame_range().end);
+    let mode = q.query_mode();
 
     let repeat: u32 = args.get_or("repeat", 1)?;
     for run in 0..repeat.max(1) {
@@ -376,12 +418,7 @@ fn workload(args: &Args) -> CmdResult {
         return Err("--queue-depth must be at least 1".into());
     }
     let seed: u64 = args.get_or("seed", 1)?;
-    let retile = match args.get("retile").unwrap_or("off") {
-        "off" => RetilePolicy::Off,
-        "regret" => RetilePolicy::Regret,
-        "more" => RetilePolicy::More,
-        other => return Err(format!("unknown retile policy '{other}'").into()),
-    };
+    let retile = parse_retile(args)?;
 
     let tasm = Arc::new(open_tasm(store, args)?);
     let video = register(&tasm, store, name)?;
@@ -443,7 +480,7 @@ fn workload(args: &Args) -> CmdResult {
     }
     let elapsed = t0.elapsed();
     service.drain_retile_backlog();
-    let stats = service.shutdown();
+    let stats = service.shutdown(Shutdown::Drain).stats;
     tasm.with_index(|ix| ix.flush())?;
 
     let shared = stats.shared;
@@ -468,6 +505,260 @@ fn workload(args: &Args) -> CmdResult {
         shared.join_rate() * 100.0,
         stats.retile_ops,
     );
+    println!(
+        "  latency (submit→complete): {} over {} queries",
+        fmt_latency(&stats.latency),
+        stats.latency.count,
+    );
+    Ok(())
+}
+
+/// Formats a latency histogram's headline percentiles in milliseconds.
+fn fmt_latency(h: &tasm_service::LatencyHistogram) -> String {
+    format!(
+        "p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
+        h.p50().as_secs_f64() * 1e3,
+        h.p95().as_secs_f64() * 1e3,
+        h.p99().as_secs_f64() * 1e3,
+    )
+}
+
+/// Parses the shared retile-policy flag.
+fn parse_retile(args: &Args) -> Result<RetilePolicy, Box<dyn Error>> {
+    Ok(match args.get("retile").unwrap_or("off") {
+        "off" => RetilePolicy::Off,
+        "regret" => RetilePolicy::Regret,
+        "more" => RetilePolicy::More,
+        other => return Err(format!("unknown retile policy '{other}'").into()),
+    })
+}
+
+/// Serves every video in the store over TCP until a client sends the
+/// administrative shutdown frame.
+fn serve(args: &Args) -> CmdResult {
+    let store = args.required("store")?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7743");
+    let concurrency: usize = args.get_or("concurrency", 0)?;
+    let queue_depth: usize = args.get_or("queue-depth", 64)?;
+    if queue_depth == 0 {
+        return Err("--queue-depth must be at least 1".into());
+    }
+    let retile = parse_retile(args)?;
+    let server_cfg = ServerConfig {
+        max_connections: args.get_or("max-connections", 64usize)?,
+        max_inflight: args.get_or("max-inflight", 8u32)?,
+        ..ServerConfig::default()
+    };
+
+    let tasm = Arc::new(open_tasm(store, args)?);
+    // Register every stored video; queries name them over the wire.
+    let mut served = Vec::new();
+    let videos_dir = Path::new(store).join("videos");
+    let entries = std::fs::read_dir(&videos_dir)
+        .map_err(|_| format!("no store at '{store}' (run `tasm ingest` first)"))?;
+    for entry in entries {
+        let entry = entry?;
+        if !entry.path().is_dir() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().to_string();
+        if register(&tasm, store, &name).is_ok() {
+            // The detector output lives in the persistent index; replaying
+            // ground truth is not needed here.
+            served.push(name);
+        }
+    }
+    if served.is_empty() {
+        return Err(format!("store '{store}' holds no servable videos").into());
+    }
+    served.sort();
+
+    let server = TasmServer::bind(
+        tasm,
+        ServiceConfig {
+            workers: concurrency,
+            queue_depth,
+            retile,
+            ..ServiceConfig::default()
+        },
+        server_cfg,
+        addr,
+    )?;
+    println!(
+        "tasm-server listening on {} — serving [{}] ({} workers, queue depth {queue_depth}, retile {retile:?})",
+        server.local_addr(),
+        served.join(", "),
+        if concurrency == 0 { "auto".to_string() } else { concurrency.to_string() },
+    );
+    println!(
+        "stop with: tasm client shutdown --addr {}",
+        server.local_addr()
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    server.wait_shutdown_requested();
+    let report = server.shutdown();
+    let stats = report.service.stats;
+    println!(
+        "shutdown: {} sessions served, {} queries completed ({} abandoned), {} busy rejections",
+        report.sessions_served,
+        report.service.completed,
+        report.service.abandoned,
+        report.busy_rejections,
+    );
+    println!(
+        "  latency (submit→complete): {}; {} retile ops",
+        fmt_latency(&stats.latency),
+        stats.retile_ops,
+    );
+    Ok(())
+}
+
+/// Dispatches `tasm client <subcommand>`.
+fn client(argv: &[String]) -> CmdResult {
+    let Some((sub, rest)) = argv.split_first() else {
+        return Err(format!("client needs a subcommand\n\n{USAGE}").into());
+    };
+    let args = Args::parse(rest)?;
+    match sub.as_str() {
+        "query" => client_query(&args),
+        "loadgen" => client_loadgen(&args),
+        "stats" => client_stats(&args),
+        "shutdown" => client_shutdown(&args),
+        other => Err(format!("unknown client subcommand '{other}'\n\n{USAGE}").into()),
+    }
+}
+
+/// Runs one remote query and reports the same summary as the local
+/// `query` command, plus the client-observed latency.
+fn client_query(args: &Args) -> CmdResult {
+    let addr = args.required("addr")?;
+    let name = args.required("name")?;
+    let label = args.required("label")?;
+    // The remote end clamps the window to the video length.
+    let q = build_query(args, u32::MAX)?;
+    let mut conn = Connection::connect(addr)?;
+    let outcome = conn.query(name, &q)?;
+    match q.query_mode() {
+        QueryMode::Exists => println!(
+            "exists '{label}' on {name}@{addr}: {} ({} matches known from the index; no tiles decoded)",
+            outcome.matched > 0,
+            outcome.matched
+        ),
+        QueryMode::Count => println!(
+            "count '{label}' on {name}@{addr}: {} matches on {} frames (no tiles decoded)",
+            outcome.matched, outcome.plan.frames_sampled
+        ),
+        QueryMode::Pixels => println!(
+            "query '{label}' on {name}@{addr}: {} regions on {} frames, {} samples decoded remotely, {} cache hits",
+            outcome.regions.len(),
+            outcome.plan.frames_sampled,
+            outcome.summary.samples_decoded,
+            outcome.summary.cache_hits,
+        ),
+    }
+    println!(
+        "  plan: {} tiles decoded / {} pruned, {} GOPs decoded / {} skipped",
+        outcome.plan.tiles_planned,
+        outcome.plan.tiles_pruned,
+        outcome.plan.gops_planned,
+        outcome.plan.gops_skipped
+    );
+    println!(
+        "  latency: {:.2} ms end-to-end ({:.2} ms server-side decode)",
+        outcome.latency.as_secs_f64() * 1e3,
+        (outcome.summary.lookup_micros + outcome.summary.exec_micros) as f64 / 1e3,
+    );
+    conn.goodbye()?;
+    Ok(())
+}
+
+/// Floods a remote server from a connection pool and reports throughput
+/// plus the client- and server-observed latency percentiles.
+fn client_loadgen(args: &Args) -> CmdResult {
+    let addr = args.required("addr")?;
+    let name = args.required("name")?;
+    let requests: u64 = args.get_or("requests", 100)?;
+    let connections: usize = args.get_or("connections", 4)?;
+    let frames: u32 = args.get_or("frames", 0)?;
+    let window: u32 = args.get_or("window", 30)?;
+    let query = build_query(args, u32::MAX)?;
+
+    let report = LoadGen::new(LoadGenConfig {
+        connections,
+        requests,
+        video: name.to_string(),
+        query,
+        window,
+        frames,
+        busy_backoff: Duration::from_millis(2),
+    })
+    .run(addr)?;
+    println!(
+        "loadgen against {name}@{addr}: {} completed, {} busy retries, {} failed in {:.2}s — {:.1} queries/s over {connections} connections",
+        report.completed,
+        report.busy,
+        report.failed,
+        report.elapsed.as_secs_f64(),
+        report.throughput(),
+    );
+    println!(
+        "  client-observed latency: {} (mean {:.2} ms), {} regions",
+        fmt_latency(&report.latency),
+        report.latency.mean().as_secs_f64() * 1e3,
+        report.regions,
+    );
+    // Server-side counters are lifetime totals for the whole server, not
+    // scoped to this run — label them as such.
+    if let Ok(mut conn) = Connection::connect(addr) {
+        if let Ok(stats) = conn.stats() {
+            println!(
+                "  server lifetime: {} completed, {}, {:.0}% cache hits, {:.0}% dedup joins",
+                stats.completed,
+                fmt_latency(&stats.latency),
+                stats.cache_hit_rate() * 100.0,
+                stats.shared.join_rate() * 100.0,
+            );
+        }
+        let _ = conn.goodbye();
+    }
+    Ok(())
+}
+
+/// Prints a remote server's aggregate statistics.
+fn client_stats(args: &Args) -> CmdResult {
+    let addr = args.required("addr")?;
+    let mut conn = Connection::connect(addr)?;
+    let stats = conn.stats()?;
+    println!(
+        "{addr}: {} submitted, {} completed, {} failed, queue peak {}",
+        stats.submitted, stats.completed, stats.failed, stats.queue_peak
+    );
+    println!(
+        "  decode: {} samples decoded, {} reused ({:.0}% cache hits); dedup {} owned / {} joined",
+        stats.samples_decoded,
+        stats.samples_reused,
+        stats.cache_hit_rate() * 100.0,
+        stats.shared.owned,
+        stats.shared.joined,
+    );
+    println!(
+        "  latency: {} over {} queries; {} retile ops",
+        fmt_latency(&stats.latency),
+        stats.latency.count,
+        stats.retile_ops,
+    );
+    conn.goodbye()?;
+    Ok(())
+}
+
+/// Asks a remote server to shut down gracefully.
+fn client_shutdown(args: &Args) -> CmdResult {
+    let addr = args.required("addr")?;
+    let mut conn = Connection::connect(addr)?;
+    conn.shutdown_server()?;
+    println!("server at {addr} acknowledged shutdown");
     Ok(())
 }
 
@@ -580,6 +871,59 @@ mod tests {
             "workload --store {s} --name cam --queries 4 --concurrency 1"
         ))
         .expect("serial workload");
+    }
+
+    #[test]
+    fn serve_and_client_round_trip() {
+        let s = store("serve");
+        run(&format!(
+            "ingest --store {s} --name cam --dataset visual-road-2k --seconds 1 --seed 3"
+        ))
+        .expect("ingest");
+        run(&format!("detect --store {s} --name cam")).expect("detect");
+        // A quasi-unique loopback port; `serve` runs on its own thread
+        // until `client shutdown` lands.
+        let port = 21000 + (std::process::id() as usize % 20000);
+        let addr = format!("127.0.0.1:{port}");
+        let serve_store = s.clone();
+        let serve_addr = addr.clone();
+        let server = std::thread::spawn(move || {
+            run(&format!(
+                "serve --store {serve_store} --addr {serve_addr} --concurrency 2 --queue-depth 8"
+            ))
+            .map_err(|e| e.to_string())
+        });
+        // The listener may take a moment to come up.
+        let mut attempts = 0;
+        loop {
+            match run(&format!(
+                "client query --addr {addr} --name cam --label car --roi 0,0,160,176 --stride 2"
+            )) {
+                Ok(()) => break,
+                Err(_) if attempts < 100 => {
+                    attempts += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+                Err(e) => panic!("client query never succeeded: {e}"),
+            }
+        }
+        run(&format!(
+            "client query --addr {addr} --name cam --label car --mode count"
+        ))
+        .expect("remote count query");
+        run(&format!(
+            "client loadgen --addr {addr} --name cam --label car --requests 12 \
+             --connections 3 --frames 30 --window 10"
+        ))
+        .expect("loadgen");
+        run(&format!("client stats --addr {addr}")).expect("stats");
+        run(&format!("client shutdown --addr {addr}")).expect("shutdown");
+        server
+            .join()
+            .expect("serve thread")
+            .expect("serve exits cleanly");
+        // Remote errors are typed, not panics.
+        assert!(run(&format!("client stats --addr {addr}")).is_err());
     }
 
     #[test]

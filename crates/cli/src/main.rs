@@ -9,6 +9,8 @@
 //! tasm retile  --store S --name V --labels car,person
 //! tasm observe --store S --name V --label car [--start F] [--end F]
 //! tasm info    --store S [--name V]
+//! tasm serve   --store S [--addr HOST:PORT]        # TCP query front-end
+//! tasm client query|loadgen|stats|shutdown --addr HOST:PORT ...
 //! ```
 //!
 //! Videos come from the synthetic corpus presets (this reproduction has no

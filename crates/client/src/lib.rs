@@ -1,0 +1,424 @@
+//! # tasm-client: the blocking TASM wire client
+//!
+//! Connects to a `tasm-server`, speaks the `tasm-proto` handshake, and
+//! executes remote [`Query`]s — the full surface including ROI, stride,
+//! limit, and the aggregate modes — returning the same [`RegionPixels`]
+//! an in-process `Tasm::query` would, bit for bit.
+//!
+//! Two layers:
+//!
+//! * [`Connection`] — one blocking session: `query`, `stats`,
+//!   `shutdown_server`, `goodbye`. One query in flight at a time; typed
+//!   server rejections (BUSY, in-flight cap, shutdown, …) surface as
+//!   [`ClientError::Rejected`] with the wire's [`ErrorCode`].
+//! * [`LoadGen`] — a connection-pooled multi-threaded load generator: `n`
+//!   worker threads, each with its own connection, drain a shared request
+//!   counter and record client-observed latencies into a merged
+//!   [`LatencyHistogram`] ([`LoadReport`]).
+//!
+//! ```no_run
+//! use tasm_client::Connection;
+//! use tasm_core::{LabelPredicate, Query};
+//!
+//! let mut conn = Connection::connect("127.0.0.1:7743").unwrap();
+//! let outcome = conn
+//!     .query("traffic", &Query::new(LabelPredicate::label("car")).frames(0..300).stride(5))
+//!     .unwrap();
+//! println!("{} regions in {:?}", outcome.regions.len(), outcome.latency);
+//! ```
+
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tasm_core::{PlanStats, Query, RegionPixels};
+use tasm_proto::{ErrorCode, Message, ProtoError, ResultSummary, VERSION};
+use tasm_service::{LatencyHistogram, ServiceStats};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write).
+    Io(std::io::Error),
+    /// The peer sent bytes that do not decode as protocol frames.
+    Proto(ProtoError),
+    /// The server refused the request with a typed error frame.
+    Rejected {
+        /// The wire error code (BUSY, TooManyInflight, ShuttingDown, …).
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The server answered with a frame the session state does not allow
+    /// (protocol violation).
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Rejected { code, message } => {
+                write!(f, "server refused: {code} ({message})")
+            }
+            ClientError::Unexpected(what) => write!(f, "unexpected server frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::Io(io) => ClientError::Io(io),
+            other => ClientError::Proto(other),
+        }
+    }
+}
+
+impl ClientError {
+    /// True when the server sent the typed BUSY rejection (submission
+    /// queue full) — the retryable admission-control outcome.
+    pub fn is_busy(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Rejected {
+                code: ErrorCode::Busy,
+                ..
+            }
+        )
+    }
+}
+
+/// A completed remote query.
+#[derive(Debug, Clone)]
+pub struct RemoteOutcome {
+    /// Regions matching the query, bit-identical to the in-process
+    /// `Tasm::query` result for the same query. Empty for the aggregate
+    /// modes, which report [`RemoteOutcome::matched`] without pixels.
+    pub regions: Vec<RegionPixels>,
+    /// Number of matching regions (label ∧ ROI ∧ stride ∧ limit).
+    pub matched: u64,
+    /// Server-side planner accounting.
+    pub plan: PlanStats,
+    /// Server-side decode/cache/dedup accounting.
+    pub summary: ResultSummary,
+    /// Client-observed request latency (send → final frame).
+    pub latency: Duration,
+}
+
+/// One blocking protocol session over TCP.
+pub struct Connection {
+    stream: TcpStream,
+    /// Server-advertised per-session in-flight cap (informational for a
+    /// blocking connection, which keeps at most one).
+    max_inflight: u32,
+    next_id: u64,
+}
+
+impl Connection {
+    /// Connects and performs the version handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Connection, ClientError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Message::ClientHello { version: VERSION }.write_to(&mut stream)?;
+        match Message::read_from(&mut stream)? {
+            Message::ServerHello {
+                version: _,
+                max_inflight,
+            } => Ok(Connection {
+                stream,
+                max_inflight,
+                next_id: 0,
+            }),
+            Message::Error { code, message, .. } => Err(ClientError::Rejected { code, message }),
+            _ => Err(ClientError::Unexpected("handshake reply")),
+        }
+    }
+
+    /// The per-session in-flight cap the server advertised at handshake.
+    pub fn max_inflight(&self) -> u32 {
+        self.max_inflight
+    }
+
+    /// Executes one query remotely, blocking until the response stream
+    /// completes. Typed server rejections (including BUSY under
+    /// backpressure) come back as [`ClientError::Rejected`].
+    pub fn query(&mut self, video: &str, query: &Query) -> Result<RemoteOutcome, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let t0 = Instant::now();
+        Message::Query {
+            id,
+            video: video.to_string(),
+            query: query.clone(),
+        }
+        .write_to(&mut self.stream)?;
+
+        let (matched, expect_regions, plan) = match self.read_for(id)? {
+            Message::ResultHeader {
+                matched,
+                regions,
+                plan,
+                ..
+            } => (matched, regions, plan),
+            _ => return Err(ClientError::Unexpected("expected result header")),
+        };
+        let mut regions = Vec::with_capacity(expect_regions.min(4096) as usize);
+        for _ in 0..expect_regions {
+            match self.read_for(id)? {
+                Message::Region { region, .. } => regions.push(region),
+                _ => return Err(ClientError::Unexpected("expected region frame")),
+            }
+        }
+        match self.read_for(id)? {
+            Message::ResultDone { summary, .. } => Ok(RemoteOutcome {
+                regions,
+                matched,
+                plan,
+                summary,
+                latency: t0.elapsed(),
+            }),
+            _ => Err(ClientError::Unexpected("expected result-done frame")),
+        }
+    }
+
+    /// Fetches the server's aggregate service statistics (including the
+    /// submit→complete latency histogram).
+    pub fn stats(&mut self) -> Result<ServiceStats, ClientError> {
+        Message::StatsRequest.write_to(&mut self.stream)?;
+        match Message::read_from(&mut self.stream)? {
+            Message::StatsReply { stats } => Ok(*stats),
+            Message::Error { code, message, .. } => Err(ClientError::Rejected { code, message }),
+            _ => Err(ClientError::Unexpected("expected stats reply")),
+        }
+    }
+
+    /// Asks the server to shut down gracefully (drain in-flight queries,
+    /// stop the retile daemon, exit). Resolves once the server
+    /// acknowledges.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        Message::ShutdownServer.write_to(&mut self.stream)?;
+        match Message::read_from(&mut self.stream)? {
+            Message::Goodbye => Ok(()),
+            Message::Error { code, message, .. } => Err(ClientError::Rejected { code, message }),
+            _ => Err(ClientError::Unexpected("expected shutdown ack")),
+        }
+    }
+
+    /// Closes the session cleanly.
+    pub fn goodbye(mut self) -> Result<(), ClientError> {
+        Message::Goodbye.write_to(&mut self.stream)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Reads the next frame belonging to request `id`, unwrapping typed
+    /// error frames into [`ClientError::Rejected`].
+    fn read_for(&mut self, id: u64) -> Result<Message, ClientError> {
+        let msg = Message::read_from(&mut self.stream)?;
+        match msg {
+            Message::Error { code, message, .. } => Err(ClientError::Rejected { code, message }),
+            Message::ResultHeader { id: got, .. }
+            | Message::Region { id: got, .. }
+            | Message::ResultDone { id: got, .. }
+                if got != id =>
+            {
+                Err(ClientError::Unexpected("response for a different request"))
+            }
+            other => Ok(other),
+        }
+    }
+}
+
+/// Configuration of the pooled load generator.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Worker threads, each with its own connection.
+    pub connections: usize,
+    /// Total requests to issue across the pool.
+    pub requests: u64,
+    /// Video every request targets.
+    pub video: String,
+    /// Base query; [`LoadGenConfig::window`] slides its frame range per
+    /// request so the pool exercises overlapping-but-distinct work.
+    pub query: Query,
+    /// Width of the sliding per-request frame window (`0` keeps the base
+    /// query's range fixed).
+    pub window: u32,
+    /// Frame count of the target video (bounds the sliding window).
+    pub frames: u32,
+    /// Pause before retrying after a BUSY rejection.
+    pub busy_backoff: Duration,
+}
+
+/// Aggregate outcome of a load-generation run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadReport {
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Typed BUSY rejections observed (each is retried).
+    pub busy: u64,
+    /// Requests that failed for any other reason.
+    pub failed: u64,
+    /// Regions returned across all requests.
+    pub regions: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Client-observed per-request latency distribution (merged across
+    /// workers).
+    pub latency: LatencyHistogram,
+}
+
+impl LoadReport {
+    /// Completed requests per second of wall clock.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+}
+
+/// A connection-pooled, multi-threaded load generator.
+pub struct LoadGen {
+    cfg: LoadGenConfig,
+}
+
+impl LoadGen {
+    /// A generator for `cfg`.
+    pub fn new(cfg: LoadGenConfig) -> Self {
+        LoadGen { cfg }
+    }
+
+    /// Runs the workload against `addr`: `connections` workers drain a
+    /// shared counter of `requests`, sliding each request's frame window
+    /// deterministically, retrying BUSY rejections after
+    /// [`LoadGenConfig::busy_backoff`], and recording every completed
+    /// request's latency.
+    pub fn run(&self, addr: impl ToSocketAddrs) -> Result<LoadReport, ClientError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Io(std::io::Error::other("no address resolved")))?;
+        let next = Arc::new(AtomicU64::new(0));
+        let t0 = Instant::now();
+        let mut report = LoadReport::default();
+        // One worker's hard failure (e.g. its connection slot refused, or
+        // a reconnect that did not come back) must not discard the results
+        // the rest of the pool produced; the error is surfaced only when
+        // the whole run achieved nothing.
+        let mut first_error: Option<ClientError> = None;
+        std::thread::scope(|scope| {
+            let mut workers = Vec::new();
+            for _ in 0..self.cfg.connections.max(1) {
+                let next = Arc::clone(&next);
+                let cfg = &self.cfg;
+                workers.push(scope.spawn(move || worker(addr, cfg, &next)));
+            }
+            for w in workers {
+                let (partial, error) = w.join().expect("loadgen worker panicked");
+                report.completed += partial.completed;
+                report.busy += partial.busy;
+                report.failed += partial.failed;
+                report.regions += partial.regions;
+                report.latency += partial.latency;
+                if first_error.is_none() {
+                    first_error = error;
+                }
+            }
+        });
+        report.elapsed = t0.elapsed();
+        match first_error {
+            Some(e) if report.completed == 0 => Err(e),
+            _ => Ok(report),
+        }
+    }
+}
+
+/// One pool worker: owns a connection, reconnects once per hard failure.
+/// Returns whatever it completed plus the error that stopped it early, if
+/// any — partial progress is never discarded.
+fn worker(
+    addr: std::net::SocketAddr,
+    cfg: &LoadGenConfig,
+    next: &AtomicU64,
+) -> (LoadReport, Option<ClientError>) {
+    let mut report = LoadReport::default();
+    let mut conn = match Connection::connect(addr) {
+        Ok(conn) => conn,
+        Err(e) => return (report, Some(e)),
+    };
+    loop {
+        let seq = next.fetch_add(1, Ordering::Relaxed);
+        if seq >= cfg.requests {
+            break;
+        }
+        let query = query_for(cfg, seq);
+        // Retry BUSY until this request lands; admission control sheds
+        // load by making the client wait, not by dropping work.
+        loop {
+            match conn.query(&cfg.video, &query) {
+                Ok(outcome) => {
+                    report.completed += 1;
+                    report.regions += outcome.regions.len() as u64;
+                    report.latency.record(outcome.latency);
+                    break;
+                }
+                Err(e) if e.is_busy() => {
+                    report.busy += 1;
+                    std::thread::sleep(cfg.busy_backoff);
+                }
+                Err(ClientError::Rejected { .. }) => {
+                    // A typed rejection leaves the stream on a frame
+                    // boundary; the connection stays usable.
+                    report.failed += 1;
+                    break;
+                }
+                Err(_) => {
+                    // Transport or protocol failure: the stream may be
+                    // desynchronized mid-response, so the connection must
+                    // not be reused. One reconnect attempt; a failed
+                    // reconnect abandons the worker.
+                    report.failed += 1;
+                    match Connection::connect(addr) {
+                        Ok(c) => conn = c,
+                        Err(e) => return (report, Some(e)),
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    let _ = conn.goodbye();
+    (report, None)
+}
+
+/// The `seq`-th request's query: the base query with its frame window slid
+/// deterministically across the video.
+fn query_for(cfg: &LoadGenConfig, seq: u64) -> Query {
+    if cfg.window == 0 || cfg.frames == 0 {
+        return cfg.query.clone();
+    }
+    let window = cfg.window.min(cfg.frames);
+    let span = cfg.frames - window;
+    let start = if span == 0 {
+        0
+    } else {
+        // Stride by a medium prime so successive requests overlap but
+        // don't repeat until the span wraps.
+        ((seq * 37) % (span as u64 + 1)) as u32
+    };
+    cfg.query.clone().frames(start..start + window)
+}

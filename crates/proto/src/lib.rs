@@ -1,0 +1,57 @@
+//! # tasm-proto: the TASM wire protocol
+//!
+//! A versioned, length-prefixed binary protocol carrying the full query
+//! surface — [`Query`](tasm_core::Query) submission including ROI, stride,
+//! limit, and aggregate modes; streamed result frames; service statistics;
+//! and typed errors — between `tasm-server` and `tasm-client` over plain
+//! TCP (`std::net` only, no external dependencies).
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! ┌──────────────┬──────────┬──────────────────────────────┐
+//! │ u32 LE       │ u8       │ body (message-specific)      │
+//! │ payload len  │ tag      │                              │
+//! └──────────────┴──────────┴──────────────────────────────┘
+//! ```
+//!
+//! All integers are little-endian; strings and byte blobs carry a `u32`
+//! length prefix. Payloads are capped at [`MAX_FRAME_LEN`] so a corrupt
+//! length can never demand an unbounded allocation.
+//!
+//! ## Session flow
+//!
+//! ```text
+//! client                                server
+//!   │ ClientHello{magic, version}         │
+//!   │ ───────────────────────────────────►│  version check
+//!   │ ◄─────────────────────────────────  │  ServerHello{version, max_inflight}
+//!   │ Query{id, video, query}             │
+//!   │ ───────────────────────────────────►│  admission control:
+//!   │                                     │   queue full  → Error{id, Busy}
+//!   │                                     │   cap reached → Error{id, TooManyInflight}
+//!   │ ◄─────────────────────────────────  │  ResultHeader{id, matched, n, plan}
+//!   │ ◄─────────────────────────────────  │  Region{id, …}   × n
+//!   │ ◄─────────────────────────────────  │  ResultDone{id, summary}
+//!   │ StatsRequest / Goodbye / Shutdown   │
+//! ```
+//!
+//! Every response frame echoes the request id, so a session may keep
+//! several queries in flight (up to the server-advertised cap) and match
+//! interleaved responses.
+//!
+//! ## Robustness contract
+//!
+//! Decoding untrusted bytes never panics: truncated frames, oversized
+//! length prefixes, unknown tags, bad UTF-8, empty predicate clauses, and
+//! plane/dimension mismatches all come back as a typed [`ProtoError`].
+//! `tests/wire_protocol.rs` property-tests round-trips and truncation/
+//! corruption behavior for every message type.
+
+mod message;
+mod wire;
+
+pub use message::{encode_region, ErrorCode, Message, ResultSummary, MAGIC, VERSION};
+pub use wire::{
+    frame, read_frame, read_frame_deadline, write_frame, ProtoError, Reader, Writer, MAX_FRAME_LEN,
+};

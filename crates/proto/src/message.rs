@@ -1,0 +1,592 @@
+//! The protocol message set and its byte-level codec.
+
+use crate::wire::{read_frame, write_frame, ProtoError, Reader, Writer};
+use std::io::{Read, Write};
+use tasm_core::{LabelPredicate, PlanStats, Query, QueryMode, RegionPixels, SharedScanStats};
+use tasm_service::{LatencyHistogram, ServiceStats, LATENCY_BUCKETS};
+use tasm_video::{Frame, Plane, Rect};
+
+/// Protocol magic opening every client hello.
+pub const MAGIC: [u8; 4] = *b"TASM";
+
+/// Protocol version this build speaks. A server refuses hellos carrying any
+/// other version with [`ErrorCode::VersionMismatch`].
+pub const VERSION: u16 = 1;
+
+/// Caps on predicate shape, far above anything the query surface produces;
+/// they bound what a corrupt clause count can make the decoder build.
+const MAX_CLAUSES: usize = 64;
+const MAX_CLAUSE_LABELS: usize = 256;
+
+mod tag {
+    pub const CLIENT_HELLO: u8 = 0x01;
+    pub const SERVER_HELLO: u8 = 0x02;
+    pub const QUERY: u8 = 0x03;
+    pub const RESULT_HEADER: u8 = 0x04;
+    pub const REGION: u8 = 0x05;
+    pub const RESULT_DONE: u8 = 0x06;
+    pub const STATS_REQUEST: u8 = 0x07;
+    pub const STATS_REPLY: u8 = 0x08;
+    pub const ERROR: u8 = 0x09;
+    pub const GOODBYE: u8 = 0x0a;
+    pub const SHUTDOWN_SERVER: u8 = 0x0b;
+}
+
+/// Typed rejection codes carried by [`Message::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The service's submission queue is full — retry later. Returned
+    /// instead of blocking the socket (admission control).
+    Busy,
+    /// The session already has its configured maximum of queries in
+    /// flight.
+    TooManyInflight,
+    /// The server is at its connection limit; the connection is closed
+    /// after this frame.
+    TooManyConnections,
+    /// The server is shutting down and accepts no new queries.
+    ShuttingDown,
+    /// The client hello's protocol version is not supported.
+    VersionMismatch,
+    /// The peer sent a frame this side could not decode; the connection is
+    /// closed after this frame (a corrupt length-prefixed stream cannot be
+    /// resynchronized).
+    Malformed,
+    /// The named video is not registered on the server.
+    UnknownVideo,
+    /// The query failed inside the storage manager.
+    Internal,
+}
+
+impl ErrorCode {
+    fn as_u8(self) -> u8 {
+        match self {
+            ErrorCode::Busy => 0,
+            ErrorCode::TooManyInflight => 1,
+            ErrorCode::TooManyConnections => 2,
+            ErrorCode::ShuttingDown => 3,
+            ErrorCode::VersionMismatch => 4,
+            ErrorCode::Malformed => 5,
+            ErrorCode::UnknownVideo => 6,
+            ErrorCode::Internal => 7,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, ProtoError> {
+        Ok(match v {
+            0 => ErrorCode::Busy,
+            1 => ErrorCode::TooManyInflight,
+            2 => ErrorCode::TooManyConnections,
+            3 => ErrorCode::ShuttingDown,
+            4 => ErrorCode::VersionMismatch,
+            5 => ErrorCode::Malformed,
+            6 => ErrorCode::UnknownVideo,
+            7 => ErrorCode::Internal,
+            other => return Err(ProtoError::UnknownErrorCode(other)),
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::Busy => "busy",
+            ErrorCode::TooManyInflight => "too many queries in flight",
+            ErrorCode::TooManyConnections => "too many connections",
+            ErrorCode::ShuttingDown => "shutting down",
+            ErrorCode::VersionMismatch => "protocol version mismatch",
+            ErrorCode::Malformed => "malformed frame",
+            ErrorCode::UnknownVideo => "unknown video",
+            ErrorCode::Internal => "internal error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Decode-side accounting attached to a completed remote query
+/// ([`Message::ResultDone`]): what the server actually did for it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResultSummary {
+    /// Samples decoded for this query (cache reuse excluded).
+    pub samples_decoded: u64,
+    /// Samples served from the decoded-GOP cache.
+    pub samples_reused: u64,
+    /// Decoded-GOP cache hits.
+    pub cache_hits: u64,
+    /// Decoded-GOP cache misses.
+    pub cache_misses: u64,
+    /// Shared-scan dedup: GOP decodes owned vs. joined.
+    pub shared: SharedScanStats,
+    /// Server-side semantic-index lookup time, microseconds.
+    pub lookup_micros: u64,
+    /// Server-side decode execution wall clock, microseconds.
+    pub exec_micros: u64,
+}
+
+/// One protocol message. Each message travels in one length-prefixed frame
+/// (see the crate docs for the frame layout); `Query` results stream back as a
+/// [`Message::ResultHeader`], zero or more [`Message::Region`] frames, and
+/// a closing [`Message::ResultDone`], all carrying the request id so a
+/// session can interleave responses of concurrent in-flight queries.
+#[derive(Debug, Clone)]
+pub enum Message {
+    /// Client → server, first frame on a connection: magic plus version.
+    ClientHello {
+        /// Protocol version the client speaks.
+        version: u16,
+    },
+    /// Server → client handshake acceptance.
+    ServerHello {
+        /// Protocol version the server speaks.
+        version: u16,
+        /// Per-session in-flight query cap the server will enforce.
+        max_inflight: u32,
+    },
+    /// Client → server: execute `query` against `video`.
+    Query {
+        /// Client-chosen request id echoed on every response frame.
+        id: u64,
+        /// Video name, as registered on the server.
+        video: String,
+        /// The full spatiotemporal query (predicate ∧ ROI/stride/limit ∧
+        /// aggregate mode).
+        query: Query,
+    },
+    /// Server → client: the query matched; `regions` region frames follow.
+    ResultHeader {
+        /// Echoed request id.
+        id: u64,
+        /// Regions matching the query's predicates (aggregate modes report
+        /// this without materializing pixels).
+        matched: u64,
+        /// Number of [`Message::Region`] frames that follow.
+        regions: u32,
+        /// Planner accounting for this query.
+        plan: PlanStats,
+    },
+    /// Server → client: one matched region with its pixels.
+    ///
+    /// Protocol limit: a region's encoded planes must fit one frame
+    /// ([`crate::MAX_FRAME_LEN`]), which holds for any region up to an
+    /// 8K video frame (~33 Mpixels ≈ 50 MiB of 4:2:0 planes) — beyond
+    /// every source this storage manager serves. Larger regions would
+    /// need a chunked region stream in a future protocol version.
+    Region {
+        /// Echoed request id.
+        id: u64,
+        /// The region (frame number, rectangle, decoded pixels).
+        region: RegionPixels,
+    },
+    /// Server → client: the query's response stream is complete.
+    ResultDone {
+        /// Echoed request id.
+        id: u64,
+        /// What serving the query cost.
+        summary: ResultSummary,
+    },
+    /// Client → server: report aggregate service statistics.
+    StatsRequest,
+    /// Server → client: the service statistics snapshot, including the
+    /// latency histogram. Boxed: the histogram makes `ServiceStats` by far
+    /// the largest body, and it would otherwise size every `Message`.
+    StatsReply {
+        /// Aggregate service counters.
+        stats: Box<ServiceStats>,
+    },
+    /// Either direction: a typed failure. `id` names the request it
+    /// belongs to, or `None` for connection-level errors.
+    Error {
+        /// Request the error belongs to, if any.
+        id: Option<u64>,
+        /// The typed rejection.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Client → server: clean close of the session.
+    Goodbye,
+    /// Client → server (administrative): ask the whole server to shut down
+    /// gracefully — drain in-flight queries, stop the retile daemon, exit.
+    ShutdownServer,
+}
+
+impl Message {
+    /// Encodes the full frame: length prefix plus tagged payload.
+    pub fn encode(&self) -> Vec<u8> {
+        crate::wire::frame(&self.encode_payload())
+    }
+
+    /// Encodes the payload (tag plus body) without the length prefix.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Message::ClientHello { version } => {
+                w.u8(tag::CLIENT_HELLO);
+                for b in MAGIC {
+                    w.u8(b);
+                }
+                w.u16(*version);
+            }
+            Message::ServerHello {
+                version,
+                max_inflight,
+            } => {
+                w.u8(tag::SERVER_HELLO);
+                w.u16(*version);
+                w.u32(*max_inflight);
+            }
+            Message::Query { id, video, query } => {
+                w.u8(tag::QUERY);
+                w.u64(*id);
+                w.str(video);
+                encode_query(&mut w, query);
+            }
+            Message::ResultHeader {
+                id,
+                matched,
+                regions,
+                plan,
+            } => {
+                w.u8(tag::RESULT_HEADER);
+                w.u64(*id);
+                w.u64(*matched);
+                w.u32(*regions);
+                encode_plan(&mut w, plan);
+            }
+            Message::Region { id, region } => encode_region_payload(&mut w, *id, region),
+            Message::ResultDone { id, summary } => {
+                w.u8(tag::RESULT_DONE);
+                w.u64(*id);
+                w.u64(summary.samples_decoded);
+                w.u64(summary.samples_reused);
+                w.u64(summary.cache_hits);
+                w.u64(summary.cache_misses);
+                w.u64(summary.shared.owned);
+                w.u64(summary.shared.joined);
+                w.u64(summary.lookup_micros);
+                w.u64(summary.exec_micros);
+            }
+            Message::StatsRequest => w.u8(tag::STATS_REQUEST),
+            Message::StatsReply { stats } => {
+                w.u8(tag::STATS_REPLY);
+                encode_stats(&mut w, stats);
+            }
+            Message::Error { id, code, message } => {
+                w.u8(tag::ERROR);
+                match id {
+                    Some(id) => {
+                        w.u8(1);
+                        w.u64(*id);
+                    }
+                    None => w.u8(0),
+                }
+                w.u8(code.as_u8());
+                w.str(message);
+            }
+            Message::Goodbye => w.u8(tag::GOODBYE),
+            Message::ShutdownServer => w.u8(tag::SHUTDOWN_SERVER),
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes one payload (tag plus body, no length prefix). The payload
+    /// must be consumed exactly; malformed input of any shape returns a
+    /// typed [`ProtoError`], never panics.
+    pub fn decode_payload(payload: &[u8]) -> Result<Message, ProtoError> {
+        let mut r = Reader::new(payload);
+        let msg = match r.u8()? {
+            tag::CLIENT_HELLO => {
+                let magic = [r.u8()?, r.u8()?, r.u8()?, r.u8()?];
+                if magic != MAGIC {
+                    return Err(ProtoError::BadMagic(magic));
+                }
+                Message::ClientHello { version: r.u16()? }
+            }
+            tag::SERVER_HELLO => Message::ServerHello {
+                version: r.u16()?,
+                max_inflight: r.u32()?,
+            },
+            tag::QUERY => Message::Query {
+                id: r.u64()?,
+                video: r.str()?,
+                query: decode_query(&mut r)?,
+            },
+            tag::RESULT_HEADER => Message::ResultHeader {
+                id: r.u64()?,
+                matched: r.u64()?,
+                regions: r.u32()?,
+                plan: decode_plan(&mut r)?,
+            },
+            tag::REGION => {
+                let id = r.u64()?;
+                let frame = r.u32()?;
+                let rect = decode_rect(&mut r)?;
+                let (width, height) = (r.u32()?, r.u32()?);
+                let y = r.bytes()?;
+                let u = r.bytes()?;
+                let v = r.bytes()?;
+                let pixels = Frame::from_planes(width, height, y, u, v)
+                    .ok_or(ProtoError::Malformed("region plane dimensions"))?;
+                Message::Region {
+                    id,
+                    region: RegionPixels {
+                        frame,
+                        rect,
+                        pixels,
+                    },
+                }
+            }
+            tag::RESULT_DONE => Message::ResultDone {
+                id: r.u64()?,
+                summary: ResultSummary {
+                    samples_decoded: r.u64()?,
+                    samples_reused: r.u64()?,
+                    cache_hits: r.u64()?,
+                    cache_misses: r.u64()?,
+                    shared: SharedScanStats {
+                        owned: r.u64()?,
+                        joined: r.u64()?,
+                    },
+                    lookup_micros: r.u64()?,
+                    exec_micros: r.u64()?,
+                },
+            },
+            tag::STATS_REQUEST => Message::StatsRequest,
+            tag::STATS_REPLY => Message::StatsReply {
+                stats: Box::new(decode_stats(&mut r)?),
+            },
+            tag::ERROR => {
+                let id = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.u64()?),
+                    _ => return Err(ProtoError::Malformed("error id presence flag")),
+                };
+                Message::Error {
+                    id,
+                    code: ErrorCode::from_u8(r.u8()?)?,
+                    message: r.str()?,
+                }
+            }
+            tag::GOODBYE => Message::Goodbye,
+            tag::SHUTDOWN_SERVER => Message::ShutdownServer,
+            other => return Err(ProtoError::UnknownMessage(other)),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+
+    /// Writes this message as one frame.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        write_frame(w, &self.encode_payload())
+    }
+
+    /// Reads and decodes one frame (see [`read_frame`] for the timeout
+    /// contract).
+    pub fn read_from(r: &mut impl Read) -> Result<Message, ProtoError> {
+        let payload = read_frame(r)?;
+        Message::decode_payload(&payload)
+    }
+
+    /// [`Message::read_from`] with a wall-clock bound on receiving the
+    /// frame once it has started arriving (see
+    /// [`crate::read_frame_deadline`]). Used by server sessions so no
+    /// peer can pin a connection slot mid-frame indefinitely.
+    pub fn read_from_bounded(
+        r: &mut impl Read,
+        max_frame_time: std::time::Duration,
+    ) -> Result<Message, ProtoError> {
+        let payload = crate::wire::read_frame_deadline(r, Some(max_frame_time))?;
+        Message::decode_payload(&payload)
+    }
+}
+
+fn encode_region_payload(w: &mut Writer, id: u64, region: &RegionPixels) {
+    w.u8(tag::REGION);
+    w.u64(id);
+    w.u32(region.frame);
+    encode_rect(w, &region.rect);
+    w.u32(region.pixels.width());
+    w.u32(region.pixels.height());
+    for plane in Plane::ALL {
+        w.bytes(region.pixels.plane(plane));
+    }
+}
+
+/// Encodes a [`Message::Region`] frame (length prefix included) from a
+/// borrowed region, sparing the server a pixel-plane clone per streamed
+/// region: the planes are written once, directly into the final frame
+/// buffer (the length prefix is reserved up front and patched, so no
+/// second copy either).
+pub fn encode_region(id: u64, region: &RegionPixels) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(0); // length placeholder
+    encode_region_payload(&mut w, id, region);
+    let mut out = w.into_bytes();
+    let len = (out.len() - 4) as u32;
+    out[..4].copy_from_slice(&len.to_le_bytes());
+    out
+}
+
+fn encode_rect(w: &mut Writer, r: &Rect) {
+    w.u32(r.x);
+    w.u32(r.y);
+    w.u32(r.w);
+    w.u32(r.h);
+}
+
+fn decode_rect(r: &mut Reader<'_>) -> Result<Rect, ProtoError> {
+    Ok(Rect::new(r.u32()?, r.u32()?, r.u32()?, r.u32()?))
+}
+
+fn encode_query(w: &mut Writer, q: &Query) {
+    let clauses = q.predicate().clauses();
+    w.u16(clauses.len() as u16);
+    for clause in clauses {
+        w.u16(clause.len() as u16);
+        for label in clause {
+            w.str(label);
+        }
+    }
+    let frames = q.frame_range();
+    w.u32(frames.start);
+    w.u32(frames.end);
+    match q.roi_rect() {
+        Some(roi) => {
+            w.u8(1);
+            encode_rect(w, &roi);
+        }
+        None => w.u8(0),
+    }
+    w.u32(q.stride_len());
+    match q.limit_count() {
+        Some(limit) => {
+            w.u8(1);
+            w.u32(limit);
+        }
+        None => w.u8(0),
+    }
+    w.u8(match q.query_mode() {
+        QueryMode::Pixels => 0,
+        QueryMode::Count => 1,
+        QueryMode::Exists => 2,
+    });
+}
+
+fn decode_query(r: &mut Reader<'_>) -> Result<Query, ProtoError> {
+    let n_clauses = r.u16()? as usize;
+    if n_clauses == 0 || n_clauses > MAX_CLAUSES {
+        return Err(ProtoError::Malformed("predicate clause count"));
+    }
+    let mut predicate: Option<LabelPredicate> = None;
+    for _ in 0..n_clauses {
+        let n_labels = r.u16()? as usize;
+        if n_labels == 0 || n_labels > MAX_CLAUSE_LABELS {
+            return Err(ProtoError::Malformed("clause label count"));
+        }
+        let labels: Vec<String> = (0..n_labels).map(|_| r.str()).collect::<Result<_, _>>()?;
+        let refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+        predicate = Some(match predicate {
+            None => LabelPredicate::any_of(&refs),
+            Some(p) => p.and(&refs),
+        });
+    }
+    let predicate = predicate.expect("n_clauses >= 1");
+    let (start, end) = (r.u32()?, r.u32()?);
+    let mut query = Query::new(predicate).frames(start..end);
+    match r.u8()? {
+        0 => {}
+        1 => query = query.roi(decode_rect(r)?),
+        _ => return Err(ProtoError::Malformed("roi presence flag")),
+    }
+    let stride = r.u32()?;
+    if stride == 0 {
+        return Err(ProtoError::Malformed("zero stride"));
+    }
+    query = query.stride(stride);
+    match r.u8()? {
+        0 => {}
+        1 => query = query.limit(r.u32()?),
+        _ => return Err(ProtoError::Malformed("limit presence flag")),
+    }
+    query = query.mode(match r.u8()? {
+        0 => QueryMode::Pixels,
+        1 => QueryMode::Count,
+        2 => QueryMode::Exists,
+        other => return Err(ProtoError::UnknownQueryMode(other)),
+    });
+    Ok(query)
+}
+
+fn encode_plan(w: &mut Writer, p: &PlanStats) {
+    w.u64(p.tiles_planned);
+    w.u64(p.tiles_pruned);
+    w.u64(p.gops_planned);
+    w.u64(p.gops_skipped);
+    w.u64(p.frames_sampled);
+}
+
+fn decode_plan(r: &mut Reader<'_>) -> Result<PlanStats, ProtoError> {
+    Ok(PlanStats {
+        tiles_planned: r.u64()?,
+        tiles_pruned: r.u64()?,
+        gops_planned: r.u64()?,
+        gops_skipped: r.u64()?,
+        frames_sampled: r.u64()?,
+    })
+}
+
+fn encode_stats(w: &mut Writer, s: &ServiceStats) {
+    w.u64(s.submitted);
+    w.u64(s.completed);
+    w.u64(s.failed);
+    w.u64(s.samples_decoded);
+    w.u64(s.samples_reused);
+    w.u64(s.cache_hits);
+    w.u64(s.cache_misses);
+    w.u64(s.shared.owned);
+    w.u64(s.shared.joined);
+    encode_plan(w, &s.plan);
+    w.u64(s.retile_ops);
+    w.u64(s.retile_errors);
+    w.u64(s.queue_peak);
+    w.u64(s.latency.count);
+    w.u64(s.latency.total_micros);
+    w.u16(LATENCY_BUCKETS as u16);
+    for &b in &s.latency.buckets {
+        w.u64(b);
+    }
+}
+
+fn decode_stats(r: &mut Reader<'_>) -> Result<ServiceStats, ProtoError> {
+    let mut s = ServiceStats {
+        submitted: r.u64()?,
+        completed: r.u64()?,
+        failed: r.u64()?,
+        samples_decoded: r.u64()?,
+        samples_reused: r.u64()?,
+        cache_hits: r.u64()?,
+        cache_misses: r.u64()?,
+        shared: SharedScanStats {
+            owned: r.u64()?,
+            joined: r.u64()?,
+        },
+        plan: decode_plan(r)?,
+        ..Default::default()
+    };
+    s.retile_ops = r.u64()?;
+    s.retile_errors = r.u64()?;
+    s.queue_peak = r.u64()?;
+    let mut latency = LatencyHistogram {
+        count: r.u64()?,
+        total_micros: r.u64()?,
+        ..Default::default()
+    };
+    if r.u16()? as usize != LATENCY_BUCKETS {
+        return Err(ProtoError::Malformed("latency bucket count"));
+    }
+    for b in latency.buckets.iter_mut() {
+        *b = r.u64()?;
+    }
+    s.latency = latency;
+    Ok(s)
+}

@@ -1,0 +1,413 @@
+//! # tasm-server: the networked TASM query front-end
+//!
+//! Exposes the full query surface of a shared [`Tasm`] —
+//! spatiotemporal [`Query`](tasm_core::Query)s including ROI, stride,
+//! limit, and aggregate modes — over TCP, speaking the `tasm-proto`
+//! length-prefixed binary protocol. Plain `std::net`, no external
+//! dependencies.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!                 TcpListener (accept thread, non-blocking poll)
+//!                      │ admission: active sessions < max_connections,
+//!                      │ else Error{TooManyConnections} + close
+//!        ┌─────────────┼──────────────┐
+//!        ▼             ▼              ▼
+//!    session 0     session 1      session N-1     (1 thread per connection)
+//!        │ handshake, then per frame:
+//!        │   Query → admission control:
+//!        │     in-flight ≥ cap      → Error{TooManyInflight}
+//!        │     try_submit QueueFull → Error{Busy}     (never blocks the socket)
+//!        │     admitted             → waiter thread streams
+//!        │                            ResultHeader/Region*/ResultDone
+//!        ▼
+//!   QueryService (bounded queue, worker pool, retile daemon,
+//!                 latency histogram in ServiceStats)
+//! ```
+//!
+//! Each session reads with a short poll timeout so it revisits the server
+//! shutdown flag between frames; admitted queries execute on waiter
+//! threads so a session can keep up to [`ServerConfig::max_inflight`]
+//! queries in flight while the reader keeps servicing its socket.
+//!
+//! ## Shutdown semantics
+//!
+//! [`TasmServer::shutdown`] (triggered programmatically, or remotely by a
+//! client's `ShutdownServer` frame via [`TasmServer::wait_shutdown_requested`])
+//! is graceful: the accept loop stops, every session finishes the queries
+//! it already admitted and flushes their responses, new queries are
+//! refused with `Error{ShuttingDown}`, and the underlying service drains —
+//! [`Shutdown::Drain`](tasm_service::Shutdown) — which also stops the
+//! background retile daemon. The returned [`ServerReport`] carries the
+//! service's [`ShutdownReport`] (completed vs. abandoned counts) plus
+//! server-level counters.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use tasm_core::{Tasm, TasmConfig};
+//! use tasm_index::MemoryIndex;
+//! use tasm_server::{ServerConfig, TasmServer};
+//! use tasm_service::ServiceConfig;
+//!
+//! let tasm = Arc::new(
+//!     Tasm::open("/tmp/store", Box::new(MemoryIndex::in_memory()), TasmConfig::default())
+//!         .unwrap(),
+//! );
+//! // ... ingest/attach videos ...
+//! let server = TasmServer::bind(
+//!     tasm,
+//!     ServiceConfig::default(),
+//!     ServerConfig::default(),
+//!     "127.0.0.1:0", // ephemeral port
+//! )
+//! .unwrap();
+//! println!("serving on {}", server.local_addr());
+//! server.wait_shutdown_requested(); // until a client sends ShutdownServer
+//! let report = server.shutdown();
+//! println!("served {} sessions", report.sessions_served);
+//! ```
+
+mod session;
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tasm_core::Tasm;
+use tasm_proto::{ErrorCode, Message};
+use tasm_service::{QueryService, ServiceConfig, ServiceStats, Shutdown, ShutdownReport};
+
+/// Admission-control and polling knobs of the serving layer.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Concurrent connections accepted; further connects receive
+    /// `Error{TooManyConnections}` and are closed.
+    pub max_connections: usize,
+    /// Queries one session may have in flight at once; requests beyond the
+    /// cap receive `Error{TooManyInflight}`.
+    pub max_inflight: u32,
+    /// Poll granularity of session reads and the accept loop — the upper
+    /// bound on how long shutdown waits for an idle session to notice.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            max_inflight: 8,
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// What the server did over its lifetime, returned by
+/// [`TasmServer::shutdown`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerReport {
+    /// Connections that completed a handshake.
+    pub sessions_served: u64,
+    /// Queries refused with a typed BUSY frame because the service queue
+    /// was full.
+    pub busy_rejections: u64,
+    /// Connections refused at the listener for exceeding
+    /// [`ServerConfig::max_connections`].
+    pub connection_rejections: u64,
+    /// The underlying service's drain report (completed/abandoned counts
+    /// and final statistics, including the latency histogram).
+    pub service: ShutdownReport,
+}
+
+/// State shared by the accept loop, the sessions, and the server handle.
+pub(crate) struct ServerShared {
+    pub service: QueryService,
+    pub cfg: ServerConfig,
+    shutdown: AtomicBool,
+    shutdown_requested: Mutex<bool>,
+    shutdown_cv: Condvar,
+    active_sessions: AtomicUsize,
+    sessions_served: AtomicU64,
+    pub busy_rejections: AtomicU64,
+    connection_rejections: AtomicU64,
+    /// Live `refuse()` courtesy threads; bounded so a connect flood cannot
+    /// amplify into unbounded thread creation.
+    refusers: AtomicUsize,
+}
+
+impl ServerShared {
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Counts a connection whose handshake succeeded (called by the
+    /// session once the hello exchange completes, so port scans and
+    /// version mismatches never inflate the count).
+    pub fn count_session(&self) {
+        self.sessions_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks that a client asked the server to shut down and wakes
+    /// [`TasmServer::wait_shutdown_requested`].
+    pub fn request_shutdown(&self) {
+        *self.shutdown_requested.lock().expect("shutdown lock") = true;
+        self.shutdown_cv.notify_all();
+    }
+}
+
+/// RAII token for one occupied connection slot.
+pub(crate) struct SessionGuard {
+    shared: Arc<ServerShared>,
+}
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        self.shared.active_sessions.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A running TASM server: a listener, its accept thread, and the session
+/// threads fanned out from it, all over one shared [`QueryService`].
+pub struct TasmServer {
+    shared: Arc<ServerShared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl TasmServer {
+    /// Starts the query service over `tasm` and listens on `addr`
+    /// (`127.0.0.1:0` binds an ephemeral port — read it back with
+    /// [`TasmServer::local_addr`]).
+    pub fn bind(
+        tasm: Arc<Tasm>,
+        service_cfg: ServiceConfig,
+        cfg: ServerConfig,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<TasmServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            service: QueryService::start(tasm, service_cfg),
+            cfg,
+            shutdown: AtomicBool::new(false),
+            shutdown_requested: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+            active_sessions: AtomicUsize::new(0),
+            sessions_served: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            connection_rejections: AtomicU64::new(0),
+            refusers: AtomicUsize::new(0),
+        });
+        let sessions = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let sessions = Arc::clone(&sessions);
+            std::thread::Builder::new()
+                .name("tasm-accept".to_string())
+                .spawn(move || accept_loop(&shared, &listener, &sessions))
+                .expect("spawn accept loop")
+        };
+        Ok(TasmServer {
+            shared,
+            local_addr,
+            accept: Some(accept),
+            sessions,
+        })
+    }
+
+    /// The address the listener actually bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of the underlying service's statistics (including the
+    /// submit→complete latency histogram).
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.service.stats()
+    }
+
+    /// True once a client has sent the administrative `ShutdownServer`
+    /// frame.
+    pub fn shutdown_requested(&self) -> bool {
+        *self
+            .shared
+            .shutdown_requested
+            .lock()
+            .expect("shutdown lock")
+    }
+
+    /// Blocks until a client requests shutdown (the `tasm serve` command's
+    /// idle state).
+    pub fn wait_shutdown_requested(&self) {
+        let mut requested = self
+            .shared
+            .shutdown_requested
+            .lock()
+            .expect("shutdown lock");
+        while !*requested {
+            requested = self
+                .shared
+                .shutdown_cv
+                .wait(requested)
+                .expect("shutdown lock");
+        }
+    }
+
+    /// Gracefully shuts the server down: stops accepting, lets every
+    /// session drain its in-flight queries and flush their responses,
+    /// joins all threads, drains the service ([`Shutdown::Drain`] — the
+    /// retile daemon processes its backlog and stops), and reports what
+    /// happened.
+    pub fn shutdown(mut self) -> ServerReport {
+        self.stop_threads();
+        let service = self.shared.service.shutdown_now(Shutdown::Drain);
+        ServerReport {
+            sessions_served: self.shared.sessions_served.load(Ordering::Relaxed),
+            busy_rejections: self.shared.busy_rejections.load(Ordering::Relaxed),
+            connection_rejections: self.shared.connection_rejections.load(Ordering::Relaxed),
+            service,
+        }
+    }
+
+    /// Signals shutdown and joins the accept and session threads
+    /// (idempotent).
+    fn stop_threads(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        // The accept loop has exited, so no new sessions can appear.
+        for s in self.sessions.lock().expect("sessions lock").drain(..) {
+            let _ = s.join();
+        }
+    }
+}
+
+impl Drop for TasmServer {
+    fn drop(&mut self) {
+        self.stop_threads();
+        // Dropping `shared` afterwards drains the service (QueryService's
+        // own Drop).
+    }
+}
+
+/// Accepts connections until shutdown, enforcing the connection cap and
+/// spawning one session thread per accepted socket.
+fn accept_loop(
+    shared: &Arc<ServerShared>,
+    listener: &TcpListener,
+    sessions: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.is_shutting_down() {
+            return;
+        }
+        let (stream, _peer) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.cfg.poll_interval.min(Duration::from_millis(5)));
+                continue;
+            }
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
+        // Connection-level admission control. The slot is reserved before
+        // the session thread starts so a connect burst cannot overshoot
+        // the cap.
+        let active = shared.active_sessions.fetch_add(1, Ordering::AcqRel);
+        if active >= shared.cfg.max_connections {
+            shared.active_sessions.fetch_sub(1, Ordering::AcqRel);
+            shared.connection_rejections.fetch_add(1, Ordering::Relaxed);
+            // Detached: refuse() waits (bounded) for the peer to drain the
+            // error frame, which must not stall the accept loop. The
+            // courtesy pool itself is capped — under a connect flood,
+            // connections beyond it are dropped without the typed error
+            // rather than amplified into unbounded threads.
+            if shared.refusers.fetch_add(1, Ordering::AcqRel) < MAX_REFUSE_THREADS {
+                let refuse_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name("tasm-refuse".to_string())
+                    .spawn(move || {
+                        refuse(stream);
+                        refuse_shared.refusers.fetch_sub(1, Ordering::AcqRel);
+                    });
+                if spawned.is_err() {
+                    // The failed spawn dropped the closure (closing the
+                    // socket) without running its decrement.
+                    shared.refusers.fetch_sub(1, Ordering::AcqRel);
+                }
+            } else {
+                shared.refusers.fetch_sub(1, Ordering::AcqRel);
+            }
+            continue;
+        }
+        let guard = SessionGuard {
+            shared: Arc::clone(shared),
+        };
+        let session_shared = Arc::clone(shared);
+        let handle = match std::thread::Builder::new()
+            .name("tasm-session".to_string())
+            .spawn(move || session::run(&session_shared, stream, guard))
+        {
+            Ok(handle) => handle,
+            Err(_) => {
+                // Thread exhaustion — exactly the pressure admission
+                // control exists for. Dropping the closure closed the
+                // socket and released the slot (the guard moved into it);
+                // back off instead of panicking the accept loop dead.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        let mut sessions = sessions.lock().expect("sessions lock");
+        // Reap finished sessions so long-running servers don't accumulate
+        // handles.
+        sessions.retain(|s: &JoinHandle<()>| !s.is_finished());
+        sessions.push(handle);
+    }
+}
+
+/// Upper bound on concurrent [`refuse`] courtesy threads.
+const MAX_REFUSE_THREADS: usize = 32;
+
+/// Tells an over-cap connection why it is being closed. The client's
+/// already-sent hello is read (and discarded) first: closing a socket
+/// with unread received data makes the kernel send RST, which can discard
+/// the queued error frame before the client reads it. Every call here is
+/// a single bounded syscall so a hostile peer cannot hold the courtesy
+/// thread for more than a couple of seconds.
+fn refuse(mut stream: TcpStream) {
+    // Accepted sockets inherit the listener's O_NONBLOCK on non-Linux
+    // platforms; the timeouts below only bound *blocking* calls.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    // One read drains the pending hello (a dozen bytes in one segment);
+    // deliberately not a full frame read, whose retry loop a trickling
+    // peer could stretch.
+    let mut scratch = [0u8; 256];
+    let _ = std::io::Read::read(&mut stream, &mut scratch);
+    let _ = Message::Error {
+        id: None,
+        code: ErrorCode::TooManyConnections,
+        message: "server is at its connection limit".to_string(),
+    }
+    .write_to(&mut stream);
+    // Half-close and give the peer one read's worth of time to drain the
+    // error frame before the socket drops.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut scratch = [0u8; 64];
+    for _ in 0..8 {
+        match std::io::Read::read(&mut stream, &mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Per-connection session threads: handshake, request dispatch, response
+//! streaming, and the per-session half of admission control.
+
+use crate::{ServerShared, SessionGuard};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use tasm_core::TasmError;
+use tasm_proto::{ErrorCode, Message, ProtoError, VERSION};
+use tasm_service::{QueryRequest, ServiceError};
+
+/// State shared between a session's reader thread and its response
+/// waiters.
+struct SessionShared {
+    /// Write side of the socket; each response is written whole under this
+    /// lock, so frames of concurrent in-flight queries never interleave.
+    writer: Mutex<TcpStream>,
+    /// Queries admitted but not yet fully answered on this session. The
+    /// condvar signals each decrement so teardown waits exactly, without
+    /// polling.
+    inflight: Mutex<u32>,
+    drained: Condvar,
+}
+
+impl SessionShared {
+    /// Writes one message, swallowing transport errors: a peer that
+    /// vanished mid-response is that peer's problem, not the session's.
+    fn send(&self, msg: &Message) {
+        let mut w = self.writer.lock().expect("writer lock");
+        let _ = msg.write_to(&mut *w);
+    }
+
+    fn inflight(&self) -> u32 {
+        *self.inflight.lock().expect("inflight lock")
+    }
+
+    fn inflight_dec(&self) {
+        let mut n = self.inflight.lock().expect("inflight lock");
+        *n -= 1;
+        if *n == 0 {
+            self.drained.notify_all();
+        }
+    }
+}
+
+/// Maps a service-side failure onto the wire's typed error codes.
+fn error_code(e: &ServiceError) -> ErrorCode {
+    match e {
+        ServiceError::QueueFull => ErrorCode::Busy,
+        ServiceError::ShuttingDown => ErrorCode::ShuttingDown,
+        ServiceError::Tasm(TasmError::UnknownVideo(_)) => ErrorCode::UnknownVideo,
+        ServiceError::Tasm(_) | ServiceError::WorkerLost => ErrorCode::Internal,
+    }
+}
+
+/// Runs one connection to completion. `_guard` holds the server's active-
+/// session slot for exactly the lifetime of this call.
+pub(crate) fn run(shared: &Arc<ServerShared>, stream: TcpStream, _guard: SessionGuard) {
+    // On non-Linux platforms accepted sockets inherit the listener's
+    // O_NONBLOCK; the session wants blocking reads bounded by the poll
+    // timeout below, not a busy-spin.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    // Small response frames must not sit in Nagle's buffer waiting for a
+    // delayed ACK — query round trips would stall for tens of ms.
+    stream.set_nodelay(true).ok();
+    // Poll-style reads: the session revisits the shutdown flag between
+    // frames instead of parking forever in `read`.
+    if stream
+        .set_read_timeout(Some(shared.cfg.poll_interval))
+        .is_err()
+    {
+        return;
+    }
+    // Bounded writes: a client that stops reading its response must not
+    // pin a waiter (and with it the session drain and graceful server
+    // shutdown) forever once the socket buffer fills.
+    if stream
+        .set_write_timeout(Some(MAX_RESPONSE_WRITE_STALL))
+        .is_err()
+    {
+        return;
+    }
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let session = Arc::new(SessionShared {
+        writer: Mutex::new(stream),
+        inflight: Mutex::new(0),
+        drained: Condvar::new(),
+    });
+
+    if !handshake(shared, &mut reader, &session) {
+        return;
+    }
+    shared.count_session();
+
+    loop {
+        // Checked every iteration, not only on idle timeouts: a client
+        // that keeps frames flowing must not be able to pin the session —
+        // and with it a graceful server shutdown — forever.
+        if shared.is_shutting_down() {
+            break;
+        }
+        let msg = match Message::read_from_bounded(&mut reader, MAX_REQUEST_FRAME_TIME) {
+            Ok(msg) => msg,
+            Err(e) if e.is_timeout() => continue,
+            // Peer went away (or died mid-frame): nothing to report to.
+            Err(ProtoError::Io(_)) | Err(ProtoError::Stalled) => break,
+            Err(_) => {
+                // Corrupt frame: a length-prefixed stream cannot be
+                // resynchronized, so report and close.
+                session.send(&Message::Error {
+                    id: None,
+                    code: ErrorCode::Malformed,
+                    message: "undecodable frame".to_string(),
+                });
+                break;
+            }
+        };
+        match msg {
+            Message::Query { id, video, query } => {
+                handle_query(shared, &session, id, video, query);
+            }
+            Message::StatsRequest => {
+                session.send(&Message::StatsReply {
+                    stats: Box::new(shared.service.stats()),
+                });
+            }
+            Message::Goodbye => break,
+            Message::ShutdownServer => {
+                shared.request_shutdown();
+                session.send(&Message::Goodbye);
+                break;
+            }
+            // Anything else is a protocol violation at this point of the
+            // session (hellos after the handshake, server-only frames).
+            _ => {
+                session.send(&Message::Error {
+                    id: None,
+                    code: ErrorCode::Malformed,
+                    message: "unexpected frame".to_string(),
+                });
+                break;
+            }
+        }
+    }
+
+    // Drain: admitted queries finish and their responses flush before the
+    // socket closes (the last waiter's decrement signals the condvar).
+    let mut inflight = session.inflight.lock().expect("inflight lock");
+    while *inflight > 0 {
+        inflight = session.drained.wait(inflight).expect("inflight lock");
+    }
+}
+
+/// Poll timeouts a connection may sit silent before its handshake: with
+/// the default 25 ms poll interval, 400 polls ≈ 10 s. Bounding this keeps
+/// a connect-and-say-nothing peer (port scanner, health checker, attacker)
+/// from pinning one of the `max_connections` slots forever.
+const HANDSHAKE_DEADLINE_POLLS: u32 = 400;
+
+/// Wall-clock bound on receiving one request frame once it has started
+/// arriving. Requests are small (a query frame is well under a kilobyte),
+/// so this is pure slack for real clients while bounding how long a
+/// byte-trickling peer can pin a session slot or a graceful shutdown.
+const MAX_REQUEST_FRAME_TIME: Duration = Duration::from_secs(30);
+
+/// Socket write timeout for response frames: the longest one `write` may
+/// sit on a full send buffer (a peer that stopped reading) before the
+/// response is abandoned.
+const MAX_RESPONSE_WRITE_STALL: Duration = Duration::from_secs(10);
+
+/// Performs the version handshake. Returns false when the session must
+/// close (bad hello, version mismatch, deadline, shutdown, transport
+/// error).
+fn handshake(
+    shared: &Arc<ServerShared>,
+    reader: &mut TcpStream,
+    session: &Arc<SessionShared>,
+) -> bool {
+    let mut silent_polls = 0u32;
+    let hello = loop {
+        match Message::read_from_bounded(reader, MAX_REQUEST_FRAME_TIME) {
+            Ok(msg) => break msg,
+            Err(e) if e.is_timeout() => {
+                if shared.is_shutting_down() {
+                    return false;
+                }
+                silent_polls += 1;
+                if silent_polls >= HANDSHAKE_DEADLINE_POLLS {
+                    return false;
+                }
+            }
+            Err(ProtoError::Io(_)) => return false,
+            Err(_) => {
+                session.send(&Message::Error {
+                    id: None,
+                    code: ErrorCode::Malformed,
+                    message: "expected client hello".to_string(),
+                });
+                return false;
+            }
+        }
+    };
+    match hello {
+        Message::ClientHello { version } if version == VERSION => {
+            session.send(&Message::ServerHello {
+                version: VERSION,
+                max_inflight: shared.cfg.max_inflight,
+            });
+            true
+        }
+        Message::ClientHello { version } => {
+            session.send(&Message::Error {
+                id: None,
+                code: ErrorCode::VersionMismatch,
+                message: format!("server speaks version {VERSION}, client sent {version}"),
+            });
+            false
+        }
+        _ => {
+            session.send(&Message::Error {
+                id: None,
+                code: ErrorCode::Malformed,
+                message: "expected client hello".to_string(),
+            });
+            false
+        }
+    }
+}
+
+/// Admission control plus asynchronous execution of one query: the reader
+/// thread never blocks on the service — a full queue comes back as a typed
+/// BUSY frame immediately, and admitted queries complete on a waiter
+/// thread so further requests keep being read.
+fn handle_query(
+    shared: &Arc<ServerShared>,
+    session: &Arc<SessionShared>,
+    id: u64,
+    video: String,
+    query: tasm_core::Query,
+) {
+    if shared.is_shutting_down() {
+        session.send(&Message::Error {
+            id: Some(id),
+            code: ErrorCode::ShuttingDown,
+            message: "server is shutting down".to_string(),
+        });
+        return;
+    }
+    if session.inflight() >= shared.cfg.max_inflight {
+        session.send(&Message::Error {
+            id: Some(id),
+            code: ErrorCode::TooManyInflight,
+            message: format!(
+                "session already has {} queries in flight",
+                shared.cfg.max_inflight
+            ),
+        });
+        return;
+    }
+    let handle = match shared.service.try_submit(QueryRequest::new(video, query)) {
+        Ok(handle) => handle,
+        Err(e) => {
+            if matches!(e, ServiceError::QueueFull) {
+                shared
+                    .busy_rejections
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            session.send(&Message::Error {
+                id: Some(id),
+                code: error_code(&e),
+                message: e.to_string(),
+            });
+            return;
+        }
+    };
+    // One waiter thread per admitted query keeps the reader free; the
+    // per-session cap (`max_inflight`) bounds how many exist at once. The
+    // spawn cost sits on the serving path — acceptable at this scale, and
+    // visible in benches/remote.rs as part of the wire overhead.
+    *session.inflight.lock().expect("inflight lock") += 1;
+    let waiter = Arc::clone(session);
+    let spawned = std::thread::Builder::new()
+        .name("tasm-session-waiter".to_string())
+        .spawn(move || {
+            let session = waiter;
+            match handle.wait() {
+                Ok(outcome) => {
+                    let result = &outcome.result;
+                    // The whole response is written under one writer lock
+                    // so its frames stay contiguous on the wire. The first
+                    // write failure (peer gone, or write timeout against a
+                    // peer that stopped reading) abandons the rest — the
+                    // stream is dead either way.
+                    let mut w = session.writer.lock().expect("writer lock");
+                    let _ = (|| -> std::io::Result<()> {
+                        Message::ResultHeader {
+                            id,
+                            matched: result.matched,
+                            regions: result.regions.len() as u32,
+                            plan: result.plan,
+                        }
+                        .write_to(&mut *w)?;
+                        for region in &result.regions {
+                            w.write_all(&tasm_proto::encode_region(id, region))?;
+                        }
+                        Message::ResultDone {
+                            id,
+                            summary: tasm_proto::ResultSummary {
+                                samples_decoded: result.stats.samples_decoded,
+                                samples_reused: result.cache.samples_reused,
+                                cache_hits: result.cache.hits,
+                                cache_misses: result.cache.misses,
+                                shared: result.shared,
+                                lookup_micros: result.lookup_time.as_micros() as u64,
+                                exec_micros: result.exec_time.as_micros() as u64,
+                            },
+                        }
+                        .write_to(&mut *w)?;
+                        w.flush()
+                    })();
+                }
+                Err(e) => {
+                    session.send(&Message::Error {
+                        id: Some(id),
+                        code: error_code(&e),
+                        message: e.to_string(),
+                    });
+                }
+            }
+            session.inflight_dec();
+        });
+    if spawned.is_err() {
+        // The OS refused a thread. Release the in-flight slot and report a
+        // typed failure instead of panicking the session reader (the
+        // dropped handle lets the query itself finish unobserved).
+        session.inflight_dec();
+        session.send(&Message::Error {
+            id: Some(id),
+            code: ErrorCode::Internal,
+            message: "server could not spawn a response writer".to_string(),
+        });
+    }
+}

@@ -100,11 +100,13 @@
 //!     let outcome = h.wait().unwrap();
 //!     println!("query {}: {} regions", outcome.id, outcome.result.regions.len());
 //! }
-//! let stats = service.shutdown();
+//! // Drain: every accepted query completes before the threads join.
+//! let report = service.shutdown(tasm_service::Shutdown::Drain);
 //! println!(
-//!     "completed {} queries, {:.0}% of GOP decodes deduped",
-//!     stats.completed,
-//!     stats.shared.join_rate() * 100.0
+//!     "completed {} queries, {:.0}% of GOP decodes deduped, p95 {:?}",
+//!     report.completed,
+//!     report.stats.shared.join_rate() * 100.0,
+//!     report.stats.latency.p95()
 //! );
 //! ```
 //!
@@ -117,6 +119,6 @@ mod stats;
 
 pub use service::{
     QueryHandle, QueryOutcome, QueryRequest, QueryService, RetilePolicy, ServiceConfig,
-    ServiceError,
+    ServiceError, Shutdown, ShutdownReport,
 };
-pub use stats::ServiceStats;
+pub use stats::{LatencyHistogram, ServiceStats, LATENCY_BUCKETS};

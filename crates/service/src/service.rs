@@ -126,6 +126,34 @@ impl From<TasmError> for ServiceError {
     }
 }
 
+/// How [`QueryService::shutdown`] treats queries still in the submission
+/// queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shutdown {
+    /// Every accepted query completes before the workers exit; the retile
+    /// daemon processes its whole backlog. This is also the `Drop`
+    /// behavior.
+    Drain,
+    /// Queued-but-unstarted queries are abandoned (their handles resolve to
+    /// [`ServiceError::ShuttingDown`]) and the retile backlog is discarded;
+    /// only queries already executing on a worker complete.
+    Abort,
+}
+
+/// What a shutdown did: the explicit drain contract.
+#[derive(Debug, Clone, Copy)]
+pub struct ShutdownReport {
+    /// The mode the shutdown ran under.
+    pub mode: Shutdown,
+    /// Queries that completed successfully over the service's lifetime.
+    pub completed: u64,
+    /// Accepted queries abandoned in the queue ([`Shutdown::Abort`] only;
+    /// always zero for [`Shutdown::Drain`]).
+    pub abandoned: u64,
+    /// Final aggregate statistics.
+    pub stats: ServiceStats,
+}
+
 /// Handle to one submitted query.
 pub struct QueryHandle {
     id: u64,
@@ -167,12 +195,17 @@ pub(crate) struct Shared {
 /// A concurrent multi-query engine over one shared [`Tasm`] instance.
 ///
 /// See the crate docs for the architecture. Dropping the service shuts it
-/// down: the queue drains, workers join, and the retile daemon processes
-/// its remaining backlog.
+/// down with [`Shutdown::Drain`] semantics: the queue drains, workers join,
+/// and the retile daemon processes its remaining backlog. Call
+/// [`QueryService::shutdown`] (or [`QueryService::shutdown_now`] when the
+/// service is shared behind an `Arc`) for the explicit contract and the
+/// completed/abandoned counts.
 pub struct QueryService {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
-    daemon: Option<JoinHandle<()>>,
+    // Behind mutexes so `shutdown_now` can join them through `&self` (the
+    // server shares the service across session threads via `Arc`).
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    daemon: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl QueryService {
@@ -217,8 +250,8 @@ impl QueryService {
         });
         QueryService {
             shared,
-            workers: handles,
-            daemon,
+            workers: Mutex::new(handles),
+            daemon: Mutex::new(daemon),
         }
     }
 
@@ -297,32 +330,68 @@ impl QueryService {
         self.shared.stats.snapshot()
     }
 
-    /// Stops accepting queries, drains the queue and the retile backlog,
-    /// joins all threads, and returns the final statistics.
-    pub fn shutdown(mut self) -> ServiceStats {
-        self.stop();
-        self.shared.stats.snapshot()
+    /// Stops accepting queries and shuts the service down under the given
+    /// mode: [`Shutdown::Drain`] completes every accepted query and lets
+    /// the retile daemon finish its backlog; [`Shutdown::Abort`] abandons
+    /// queued-but-unstarted queries (their handles resolve to
+    /// [`ServiceError::ShuttingDown`]) and discards the backlog. Either
+    /// way all threads — workers and retile daemon — are joined before the
+    /// report is returned.
+    pub fn shutdown(self, mode: Shutdown) -> ShutdownReport {
+        self.shutdown_now(mode)
+        // Drop then finds nothing left to join.
     }
 
-    fn stop(&mut self) {
+    /// [`QueryService::shutdown`] through a shared reference, for callers
+    /// holding the service in an `Arc` (the TCP server's session threads).
+    /// Idempotent: a second call joins nothing and reports zero additional
+    /// abandoned queries.
+    pub fn shutdown_now(&self, mode: Shutdown) -> ShutdownReport {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        let mut abandoned = 0u64;
+        if mode == Shutdown::Abort {
+            // Pull queued jobs before waking the workers so none of them
+            // starts executing; in-flight queries are left to finish.
+            let dropped: Vec<Job> = {
+                let mut queue = self.shared.queue.lock().expect("queue lock");
+                queue.drain(..).collect()
+            };
+            abandoned = dropped.len() as u64;
+            for job in dropped {
+                let _ = job.tx.send(Err(ServiceError::ShuttingDown));
+            }
+        }
         self.shared.not_empty.notify_all();
         self.shared.not_full.notify_all();
-        for w in self.workers.drain(..) {
+        for w in self.workers.lock().expect("workers lock").drain(..) {
             let _ = w.join();
         }
+        if mode == Shutdown::Abort {
+            // Discarded only *after* the workers joined: in-flight queries
+            // push observations on completion, and the abort contract says
+            // none of them reach the daemon.
+            self.shared.backlog.lock().expect("backlog lock").clear();
+        }
         // Wake the daemon after the workers stop producing observations so
-        // it drains the final backlog before exiting.
+        // it drains the final backlog (already cleared under Abort) before
+        // exiting.
         self.shared.backlog_cv.notify_all();
-        if let Some(d) = self.daemon.take() {
+        if let Some(d) = self.daemon.lock().expect("daemon lock").take() {
             let _ = d.join();
+        }
+        let stats = self.shared.stats.snapshot();
+        ShutdownReport {
+            mode,
+            completed: stats.completed,
+            abandoned,
+            stats,
         }
     }
 }
 
 impl Drop for QueryService {
     fn drop(&mut self) {
-        self.stop();
+        self.shutdown_now(Shutdown::Drain);
     }
 }
 
@@ -360,12 +429,16 @@ fn worker_loop(shared: &Shared) {
                     drop(backlog);
                     shared.backlog_cv.notify_one();
                 }
+                // Reuses the completion timestamp for the histogram — the
+                // fast path still takes exactly two timing syscalls.
+                let total_time = job.enqueued.elapsed();
+                shared.stats.latency.record(total_time);
                 // A dropped handle is fine: the send just goes nowhere.
                 let _ = job.tx.send(Ok(QueryOutcome {
                     id: job.id,
                     result,
                     queue_time,
-                    total_time: job.enqueued.elapsed(),
+                    total_time,
                 }));
             }
             Err(e) => {

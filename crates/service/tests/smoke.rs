@@ -5,7 +5,9 @@ use std::sync::Arc;
 use tasm_core::{LabelPredicate, PartitionConfig, StorageConfig, Tasm, TasmConfig};
 use tasm_data::{SceneSpec, SyntheticVideo};
 use tasm_index::MemoryIndex;
-use tasm_service::{QueryRequest, QueryService, RetilePolicy, ServiceConfig, ServiceError};
+use tasm_service::{
+    QueryRequest, QueryService, RetilePolicy, ServiceConfig, ServiceError, Shutdown,
+};
 use tasm_video::FrameSource;
 
 fn tasm(tag: &str) -> Arc<Tasm> {
@@ -75,7 +77,7 @@ fn completes_queries_and_reports_stats() {
         assert!(!outcome.result.regions.is_empty());
         assert!(outcome.total_time >= outcome.queue_time);
     }
-    let stats = service.shutdown();
+    let stats = service.shutdown(Shutdown::Drain).stats;
     assert_eq!(stats.submitted, 6);
     assert_eq!(stats.completed, 6);
     assert_eq!(stats.failed, 0);
@@ -98,7 +100,7 @@ fn unknown_video_fails_the_query_not_the_service() {
     // The service keeps serving.
     let good = service.submit(request(0..10)).unwrap();
     assert!(good.wait().is_ok());
-    let stats = service.shutdown();
+    let stats = service.shutdown(Shutdown::Drain).stats;
     assert_eq!(stats.failed, 1);
     assert_eq!(stats.completed, 1);
 }
@@ -132,7 +134,74 @@ fn try_submit_reports_backpressure() {
     for h in accepted {
         h.wait().unwrap();
     }
-    service.shutdown();
+    service.shutdown(Shutdown::Drain);
+}
+
+#[test]
+fn completed_queries_populate_the_latency_histogram() {
+    let tasm = tasm("latency");
+    ingest(&tasm, 10);
+    let service = QueryService::start(
+        Arc::clone(&tasm),
+        ServiceConfig {
+            workers: 2,
+            ..Default::default()
+        },
+    );
+    let handles: Vec<_> = (0..5)
+        .map(|_| service.submit(request(0..10)).unwrap())
+        .collect();
+    for h in handles {
+        h.wait().unwrap();
+    }
+    let report = service.shutdown(Shutdown::Drain);
+    assert_eq!(report.abandoned, 0);
+    assert_eq!(report.completed, 5);
+    let latency = report.stats.latency;
+    assert_eq!(latency.count, 5, "one histogram entry per completed query");
+    assert!(latency.p50() > std::time::Duration::ZERO);
+    assert!(latency.p50() <= latency.p95());
+    assert!(latency.p95() <= latency.p99());
+}
+
+#[test]
+fn abort_abandons_queued_queries_with_typed_errors() {
+    let tasm = tasm("abort");
+    ingest(&tasm, 20);
+    // One worker and a deep queue: flood it, then abort while most queries
+    // are still queued.
+    let service = QueryService::start(
+        Arc::clone(&tasm),
+        ServiceConfig {
+            workers: 1,
+            queue_depth: 64,
+            ..Default::default()
+        },
+    );
+    let handles: Vec<_> = (0..32)
+        .map(|_| service.submit(request(0..20)).unwrap())
+        .collect();
+    let report = service.shutdown(Shutdown::Abort);
+    assert_eq!(report.mode, Shutdown::Abort);
+    assert_eq!(
+        report.completed + report.abandoned,
+        32,
+        "every accepted query is accounted for: {report:?}"
+    );
+    // The flood outruns a single worker; at least one query must have been
+    // sitting in the queue when the abort landed.
+    assert!(report.abandoned > 0, "abort should abandon queued queries");
+    let mut completed = 0;
+    let mut shutdown_errors = 0;
+    for h in handles {
+        match h.wait() {
+            Ok(_) => completed += 1,
+            Err(ServiceError::ShuttingDown) => shutdown_errors += 1,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert_eq!(completed as u64, report.completed);
+    assert_eq!(shutdown_errors as u64, report.abandoned);
 }
 
 #[test]
@@ -163,7 +232,7 @@ fn retile_daemon_retiles_in_background() {
     // Shutdown joins the daemon, so all observations are fully processed
     // before the final stats are read (the daemon may still be mid-batch
     // when `drain_retile_backlog` returns).
-    let stats = service.shutdown();
+    let stats = service.shutdown(Shutdown::Drain).stats;
     assert!(stats.retile_ops > 0, "incremental-more must have re-tiled");
     assert_eq!(stats.retile_errors, 0);
     let manifest = tasm.manifest("v").unwrap();

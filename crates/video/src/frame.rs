@@ -71,6 +71,36 @@ impl Frame {
         }
     }
 
+    /// Reassembles a frame from raw plane buffers (the inverse of reading
+    /// the three [`Frame::plane`] slices; used when frames arrive over a
+    /// byte boundary such as the wire protocol). Returns `None` instead of
+    /// panicking when the dimensions are not positive and even or a plane
+    /// length does not match them — callers deserializing untrusted bytes
+    /// turn that into a typed error.
+    pub fn from_planes(
+        width: u32,
+        height: u32,
+        y: Vec<u8>,
+        u: Vec<u8>,
+        v: Vec<u8>,
+    ) -> Option<Self> {
+        if width == 0 || height == 0 || !width.is_multiple_of(2) || !height.is_multiple_of(2) {
+            return None;
+        }
+        let luma = (width as usize).checked_mul(height as usize)?;
+        let chroma = luma / 4;
+        if y.len() != luma || u.len() != chroma || v.len() != chroma {
+            return None;
+        }
+        Some(Frame {
+            width,
+            height,
+            y,
+            u,
+            v,
+        })
+    }
+
     /// Frame width in luma pixels.
     pub const fn width(&self) -> u32 {
         self.width

@@ -14,7 +14,7 @@ use tasm_core::{
 };
 use tasm_data::{SceneSpec, SyntheticVideo};
 use tasm_index::MemoryIndex;
-use tasm_service::{QueryRequest, QueryService, RetilePolicy, ServiceConfig};
+use tasm_service::{QueryRequest, QueryService, RetilePolicy, ServiceConfig, Shutdown};
 use tasm_suite::{assert_regions_identical, post_filter, regions_identical};
 use tasm_video::{FrameSource, Plane, Rect};
 
@@ -147,7 +147,7 @@ fn concurrent_scans_bit_identical_to_serial() {
             ),
         );
     }
-    let stats = service.shutdown();
+    let stats = service.shutdown(Shutdown::Drain).stats;
     assert_eq!(stats.completed, queries as u64);
     assert_eq!(stats.failed, 0);
 }
@@ -232,7 +232,7 @@ fn retile_daemon_mid_workload_keeps_scans_bit_exact() {
             );
         }
     }
-    let stats = service.shutdown();
+    let stats = service.shutdown(Shutdown::Drain).stats;
     assert_eq!(pre + post, queries);
     assert_eq!(stats.failed, 0);
     // The daemon processed every observation by shutdown: the layout must
@@ -337,7 +337,7 @@ fn roi_queries_bit_exact_across_concurrent_retile() {
             "planned GOPs must each be decoded or served exactly once"
         );
     }
-    let stats = service.shutdown();
+    let stats = service.shutdown(Shutdown::Drain).stats;
     assert_eq!(stats.failed, 0);
     assert!(stats.plan.frames_sampled > 0);
 }
@@ -370,7 +370,7 @@ fn overlapping_queries_join_inflight_decodes() {
         for h in handles {
             h.wait().unwrap();
         }
-        let stats = service.shutdown();
+        let stats = service.shutdown(Shutdown::Drain).stats;
         assert!(stats.shared.owned > 0, "someone must decode");
         if stats.shared.joined > 0 {
             return; // dedup observed

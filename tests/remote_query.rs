@@ -1,0 +1,595 @@
+//! End-to-end tests of the networked serving layer.
+//!
+//! The contract under test (the PR's acceptance criterion): query results
+//! delivered over TCP are **bit-identical** to in-process `Tasm::query`
+//! for the same `Query` — including ROI, stride, limit, and the aggregate
+//! modes — with at least 4 concurrent clients and the background retile
+//! daemon re-tiling mid-workload; and admission control answers a full
+//! queue with a typed BUSY frame instead of ever blocking the socket.
+
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use tasm_client::{ClientError, Connection, LoadGen, LoadGenConfig};
+use tasm_core::{
+    LabelPredicate, PartitionConfig, Query, QueryMode, StorageConfig, Tasm, TasmConfig,
+};
+use tasm_data::{SceneSpec, SyntheticVideo};
+use tasm_index::MemoryIndex;
+use tasm_proto::{ErrorCode, Message, ProtoError, VERSION};
+use tasm_server::{ServerConfig, TasmServer};
+use tasm_service::{RetilePolicy, ServiceConfig};
+use tasm_suite::{assert_regions_identical, regions_identical};
+use tasm_video::{FrameSource, Rect};
+
+/// [`regions_identical`] over two owned region lists.
+fn regions_match(a: &[tasm_core::RegionPixels], b: &[tasm_core::RegionPixels]) -> bool {
+    let refs: Vec<_> = a.iter().collect();
+    regions_identical(&refs, b)
+}
+
+const FRAMES: u32 = 60;
+
+fn scene() -> SyntheticVideo {
+    SyntheticVideo::new(SceneSpec {
+        width: 256,
+        height: 160,
+        frames: FRAMES,
+        seed: 47,
+        ..SceneSpec::test_scene()
+    })
+}
+
+fn tasm(tag: &str) -> Arc<Tasm> {
+    let dir = std::env::temp_dir().join(format!("tasm-remote-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let cfg = TasmConfig {
+        storage: StorageConfig {
+            gop_len: 10,
+            sot_frames: 10,
+            ..Default::default()
+        },
+        partition: PartitionConfig {
+            min_tile_width: 32,
+            min_tile_height: 32,
+            ..Default::default()
+        },
+        workers: 1,
+        cache_bytes: 64 << 20,
+        ..Default::default()
+    };
+    Arc::new(Tasm::open(dir, Box::new(MemoryIndex::in_memory()), cfg).unwrap())
+}
+
+fn ingest(tasm: &Tasm, video: &SyntheticVideo) {
+    tasm.ingest("v", video, 30).unwrap();
+    for f in 0..video.len() {
+        for (l, b) in video.ground_truth(f) {
+            tasm.add_metadata("v", l, f, b).unwrap();
+        }
+        tasm.mark_processed("v", f).unwrap();
+    }
+}
+
+/// The per-client query mix: every planner clause plus both aggregate
+/// modes, windows offset per client so concurrent work overlaps without
+/// being identical.
+fn query_mix(client: u32) -> Vec<Query> {
+    let start = client * 7;
+    vec![
+        Query::new(LabelPredicate::label("car")).frames(start..start + 40),
+        Query::new(LabelPredicate::label("car"))
+            .frames(start..start + 50)
+            .roi(Rect::new(0, 0, 128, 80))
+            .stride(2),
+        Query::new(LabelPredicate::label("person"))
+            .frames(0..FRAMES)
+            .limit(5),
+        Query::new(LabelPredicate::label("car"))
+            .frames(start..start + 30)
+            .roi(Rect::new(64, 40, 128, 80))
+            .stride(3)
+            .limit(4),
+        Query::new(LabelPredicate::label("car"))
+            .frames(0..FRAMES)
+            .mode(QueryMode::Count),
+        Query::new(LabelPredicate::label("person"))
+            .frames(start..start + 40)
+            .mode(QueryMode::Exists),
+    ]
+}
+
+/// Wire fidelity: with a stable layout (no daemon), results served over
+/// TCP to 4 concurrent clients are bit-identical to in-process
+/// `Tasm::query` on an identical twin store, across the full query surface
+/// (ROI, stride, limit, aggregate modes) and across warm-cache repeats.
+#[test]
+fn remote_results_bit_identical_to_in_process_queries() {
+    let video = scene();
+    let server_tasm = tasm("e2e-server");
+    ingest(&server_tasm, &video);
+    // The in-process twin: same video, same detections, its own store.
+    let twin = tasm("e2e-twin");
+    ingest(&twin, &video);
+
+    let server = TasmServer::bind(
+        Arc::clone(&server_tasm),
+        ServiceConfig {
+            workers: 4,
+            queue_depth: 32,
+            ..Default::default()
+        },
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let barrier = Barrier::new(4);
+    std::thread::scope(|scope| {
+        for client in 0..4u32 {
+            let twin = &twin;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let mut conn = Connection::connect(addr).expect("connect");
+                barrier.wait();
+                // Two passes so the second hits the warm decoded-GOP cache
+                // and the shared-scan dedup paths.
+                for pass in 0..2 {
+                    for (qi, query) in query_mix(client).into_iter().enumerate() {
+                        let remote = conn.query("v", &query).expect("remote query");
+                        let local = twin.query("v", &query).expect("twin query");
+                        let what = format!("client {client} pass {pass} query {qi}");
+                        assert_eq!(remote.matched, local.matched, "{what}: matched");
+                        let expected: Vec<_> = local.regions.iter().collect();
+                        assert_regions_identical(&expected, &remote.regions, &what);
+                        if query.query_mode() != QueryMode::Pixels {
+                            assert!(
+                                remote.regions.is_empty(),
+                                "{what}: aggregate modes return no pixels"
+                            );
+                            assert_eq!(
+                                remote.summary.samples_decoded, 0,
+                                "{what}: aggregate modes decode nothing"
+                            );
+                        }
+                    }
+                }
+                conn.goodbye().expect("goodbye");
+            });
+        }
+    });
+
+    let report = server.shutdown();
+    assert_eq!(report.sessions_served, 4);
+    let stats = report.service.stats;
+    assert_eq!(stats.failed, 0, "no remote query may fail");
+    assert_eq!(stats.completed, 4 * 2 * 6);
+    assert_eq!(report.service.abandoned, 0);
+    assert_eq!(
+        stats.latency.count, stats.completed,
+        "one latency sample per completed query"
+    );
+}
+
+/// The retile-daemon half of the acceptance criterion: with the regret
+/// daemon re-tiling mid-workload, every result a remote client sees is
+/// bit-identical to an in-process `Tasm::query` reference for one of the
+/// two layout epochs — the serving layer never tears or distorts a result,
+/// even while the layout changes under it. (A re-tile is a lossy
+/// transcode, so pre- and post-epoch pixels legitimately differ; the
+/// per-epoch comparison is the same contract `concurrent_scan.rs`
+/// establishes for the in-process service.)
+#[test]
+fn remote_results_stay_epoch_exact_while_daemon_retiles() {
+    let frames = FRAMES;
+    let video = scene();
+    // One SOT spanning the whole video and a hair-trigger regret
+    // threshold: exactly two layout epochs, with the re-tile landing
+    // mid-workload.
+    let tune = |cfg: &mut TasmConfig| {
+        cfg.storage.sot_frames = frames;
+        cfg.eta = 0.05;
+    };
+    let tasm_tuned = |tag: &str| {
+        let dir = std::env::temp_dir().join(format!("tasm-remote-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut cfg = TasmConfig {
+            storage: StorageConfig {
+                gop_len: 10,
+                sot_frames: 10,
+                ..Default::default()
+            },
+            partition: PartitionConfig {
+                min_tile_width: 32,
+                min_tile_height: 32,
+                ..Default::default()
+            },
+            workers: 1,
+            cache_bytes: 64 << 20,
+            ..Default::default()
+        };
+        tune(&mut cfg);
+        Arc::new(Tasm::open(dir, Box::new(MemoryIndex::in_memory()), cfg).unwrap())
+    };
+
+    // All-car query mix (windows/ROI/stride/limit vary): with one SOT and
+    // one label the regret policy converges on one alternative layout, so
+    // the twin's serial re-tile reproduces the server's second epoch.
+    let mix: Vec<Query> = (0..4u32)
+        .flat_map(|client| {
+            let start = client * 5;
+            vec![
+                Query::new(LabelPredicate::label("car")).frames(start..start + 40),
+                Query::new(LabelPredicate::label("car"))
+                    .frames(start..start + 50)
+                    .roi(Rect::new(0, 0, 128, 80))
+                    .stride(2),
+                Query::new(LabelPredicate::label("car"))
+                    .frames(start..start + 30)
+                    .limit(4),
+                Query::new(LabelPredicate::label("car"))
+                    .frames(0..frames)
+                    .mode(QueryMode::Count),
+            ]
+        })
+        .collect();
+
+    // In-process references for both epochs, from a serially-driven twin.
+    let twin = tasm_tuned("epoch-twin");
+    ingest(&twin, &video);
+    let ref_pre: Vec<_> = mix.iter().map(|q| twin.query("v", q).unwrap()).collect();
+    let mut retiled = false;
+    for _ in 0..64 {
+        if twin
+            .observe_regret("v", "car", 0..frames)
+            .unwrap()
+            .encode
+            .bytes_produced
+            > 0
+        {
+            retiled = true;
+            break;
+        }
+    }
+    assert!(retiled, "the twin's regret policy must re-tile");
+    let ref_post: Vec<_> = mix.iter().map(|q| twin.query("v", q).unwrap()).collect();
+    assert!(
+        mix.iter().enumerate().any(|(i, q)| {
+            q.query_mode() == QueryMode::Pixels
+                && !regions_match(&ref_pre[i].regions, &ref_post[i].regions)
+        }),
+        "the re-tile must change pixels, or epoch tearing would be invisible"
+    );
+
+    let server_tasm = tasm_tuned("epoch-server");
+    ingest(&server_tasm, &video);
+    let server = TasmServer::bind(
+        Arc::clone(&server_tasm),
+        ServiceConfig {
+            workers: 4,
+            queue_depth: 32,
+            retile: RetilePolicy::Regret,
+            retile_interval: std::time::Duration::from_millis(1),
+        },
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let barrier = Barrier::new(4);
+    std::thread::scope(|scope| {
+        for client in 0..4usize {
+            let mix = &mix;
+            let (ref_pre, ref_post) = (&ref_pre, &ref_post);
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let mut conn = Connection::connect(addr).expect("connect");
+                barrier.wait();
+                // Several passes so queries land before, during, and after
+                // the daemon's re-tile.
+                for pass in 0..3 {
+                    for (qi, query) in mix.iter().enumerate() {
+                        let remote = conn.query("v", query).expect("remote query");
+                        let what = format!("client {client} pass {pass} query {qi}");
+                        assert_eq!(remote.matched, ref_pre[qi].matched, "{what}: matched");
+                        assert!(
+                            regions_match(&ref_pre[qi].regions, &remote.regions)
+                                || regions_match(&ref_post[qi].regions, &remote.regions),
+                            "{what}: result matches neither epoch's in-process \
+                             reference — torn or distorted by the serving layer"
+                        );
+                    }
+                }
+                conn.goodbye().expect("goodbye");
+            });
+        }
+    });
+
+    let report = server.shutdown();
+    let stats = report.service.stats;
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.completed, 4 * 3 * 16);
+    assert!(
+        stats.retile_ops > 0,
+        "the server's regret daemon must have re-tiled mid-workload"
+    );
+}
+
+/// A full submission queue answers with a typed BUSY frame — the request
+/// is refused, the connection keeps working, nothing blocks.
+#[test]
+fn queue_full_returns_typed_busy_not_a_hang() {
+    let video = scene();
+    let server_tasm = tasm("busy");
+    ingest(&server_tasm, &video);
+    // One worker over a one-deep queue: at most two queries in the system.
+    let server = TasmServer::bind(
+        server_tasm,
+        ServiceConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..Default::default()
+        },
+        ServerConfig {
+            max_inflight: 32,
+            ..Default::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let barrier = Barrier::new(4);
+    let (mut busy, mut completed) = (0u64, 0u64);
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for _ in 0..4 {
+            let barrier = &barrier;
+            workers.push(scope.spawn(move || {
+                let mut conn = Connection::connect(addr).expect("connect");
+                let query = Query::new(LabelPredicate::label("car")).frames(0..FRAMES);
+                barrier.wait();
+                let (mut busy, mut completed) = (0u64, 0u64);
+                for _ in 0..4 {
+                    match conn.query("v", &query) {
+                        Ok(_) => completed += 1,
+                        Err(e) if e.is_busy() => busy += 1,
+                        Err(e) => panic!("only BUSY rejections expected, got {e}"),
+                    }
+                }
+                (busy, completed)
+            }));
+        }
+        for w in workers {
+            let (b, c) = w.join().expect("client thread");
+            busy += b;
+            completed += c;
+        }
+    });
+    assert_eq!(busy + completed, 16, "every request got a typed answer");
+    assert!(
+        busy > 0,
+        "a 16-query burst against a 1-deep queue must see BUSY"
+    );
+    assert!(completed > 0, "admitted queries still complete");
+    let report = server.shutdown();
+    assert_eq!(
+        report.busy_rejections, busy,
+        "server-side BUSY accounting matches the clients' view"
+    );
+}
+
+/// The per-session in-flight cap rejects pipelined requests beyond the cap
+/// with a typed error while the earlier ones proceed.
+#[test]
+fn per_session_inflight_cap_is_enforced() {
+    let video = scene();
+    let server_tasm = tasm("inflight");
+    ingest(&server_tasm, &video);
+    let server = TasmServer::bind(
+        server_tasm,
+        ServiceConfig {
+            workers: 1,
+            queue_depth: 16,
+            ..Default::default()
+        },
+        ServerConfig {
+            max_inflight: 2,
+            ..Default::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // Hand-rolled session: pipeline a burst of queries without reading any
+    // replies. The reader admits them back to back (microseconds apart),
+    // so with a cap of 2 the burst must overrun the in-flight window many
+    // times over, whatever the execution speed or cache state.
+    const BURST: u64 = 24;
+    let mut stream = TcpStream::connect(addr).expect("raw connect");
+    Message::ClientHello { version: VERSION }
+        .write_to(&mut stream)
+        .expect("hello");
+    let hello = Message::read_from(&mut stream).expect("server hello");
+    assert!(matches!(
+        hello,
+        Message::ServerHello {
+            max_inflight: 2,
+            ..
+        }
+    ));
+    for id in 0..BURST {
+        Message::Query {
+            id,
+            video: "v".to_string(),
+            query: Query::new(LabelPredicate::label("car")).frames(0..FRAMES),
+        }
+        .write_to(&mut stream)
+        .expect("pipelined query");
+    }
+    // Collect one terminal frame per request: a typed over-cap rejection
+    // or a completed response stream.
+    let mut rejected = Vec::new();
+    let mut done = Vec::new();
+    while rejected.len() + done.len() < BURST as usize {
+        match Message::read_from(&mut stream).expect("response frame") {
+            Message::Error {
+                id: Some(id),
+                code: ErrorCode::TooManyInflight,
+                ..
+            } => rejected.push(id),
+            Message::ResultDone { id, .. } => done.push(id),
+            Message::ResultHeader { .. } | Message::Region { .. } => {}
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    // The first two admissions can never be over cap (in-flight is 0 and
+    // at most 1 when they are read); past that the burst must have hit it.
+    assert!(
+        !rejected.contains(&0) && !rejected.contains(&1),
+        "the first two pipelined queries fit under the cap: {rejected:?}"
+    );
+    assert!(
+        !rejected.is_empty(),
+        "a {BURST}-query pipelined burst against a cap of 2 must overrun it"
+    );
+    assert!(
+        done.len() >= 2,
+        "queries under the cap still complete: {done:?}"
+    );
+    drop(stream);
+    server.shutdown();
+}
+
+/// The listener-level connection cap refuses extra connections with a
+/// typed error frame at handshake.
+#[test]
+fn connection_cap_refuses_with_typed_error() {
+    let video = scene();
+    let server_tasm = tasm("conncap");
+    ingest(&server_tasm, &video);
+    let server = TasmServer::bind(
+        server_tasm,
+        ServiceConfig::default(),
+        ServerConfig {
+            max_connections: 1,
+            ..Default::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let first = Connection::connect(addr).expect("first connection fits");
+    match Connection::connect(addr) {
+        Err(ClientError::Rejected {
+            code: ErrorCode::TooManyConnections,
+            ..
+        }) => {}
+        Err(other) => panic!("expected TooManyConnections, got {other}"),
+        Ok(_) => panic!("second connection must be refused"),
+    }
+    first.goodbye().expect("goodbye");
+    let report = server.shutdown();
+    assert_eq!(report.connection_rejections, 1);
+}
+
+/// A version the server does not speak is refused with a typed mismatch
+/// error during the handshake.
+#[test]
+fn version_mismatch_is_refused_at_handshake() {
+    let video = scene();
+    let server_tasm = tasm("version");
+    ingest(&server_tasm, &video);
+    let server = TasmServer::bind(
+        server_tasm,
+        ServiceConfig::default(),
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    Message::ClientHello {
+        version: VERSION + 1,
+    }
+    .write_to(&mut stream)
+    .expect("hello");
+    match Message::read_from(&mut stream).expect("reply") {
+        Message::Error {
+            code: ErrorCode::VersionMismatch,
+            ..
+        } => {}
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+    // The server closed the session afterwards.
+    match Message::read_from(&mut stream) {
+        Err(ProtoError::Io(_)) => {}
+        other => panic!("expected closed stream, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// Unknown videos and graceful shutdown surface as typed errors; the load
+/// generator's pooled workers and latency accounting hold together under
+/// a real burst.
+#[test]
+fn loadgen_drives_the_server_and_reports_latency() {
+    let video = scene();
+    let server_tasm = tasm("loadgen");
+    ingest(&server_tasm, &video);
+    let server = TasmServer::bind(
+        server_tasm,
+        ServiceConfig {
+            workers: 2,
+            queue_depth: 16,
+            retile: RetilePolicy::More,
+            ..Default::default()
+        },
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // Unknown video: typed, not fatal to the session.
+    let mut conn = Connection::connect(addr).expect("connect");
+    match conn.query("nope", &Query::new(LabelPredicate::label("car"))) {
+        Err(ClientError::Rejected {
+            code: ErrorCode::UnknownVideo,
+            ..
+        }) => {}
+        other => panic!("expected UnknownVideo, got {other:?}"),
+    }
+    conn.goodbye().expect("goodbye");
+
+    let report = LoadGen::new(LoadGenConfig {
+        connections: 4,
+        requests: 32,
+        video: "v".to_string(),
+        query: Query::new(LabelPredicate::label("car")),
+        window: 20,
+        frames: FRAMES,
+        busy_backoff: std::time::Duration::from_millis(1),
+    })
+    .run(addr)
+    .expect("loadgen run");
+    assert_eq!(report.completed, 32);
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.latency.count, 32);
+    assert!(report.latency.p50() <= report.latency.p99());
+    assert!(report.throughput() > 0.0);
+
+    let server_report = server.shutdown();
+    let stats = server_report.service.stats;
+    // 32 loadgen queries completed server-side too (the unknown-video one
+    // failed).
+    assert_eq!(stats.completed, 32);
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.latency.count, 32);
+    // Client-observed latency includes the wire, so its mean can only be
+    // at or above the server's submit→complete mean.
+    assert!(report.latency.mean() >= stats.latency.mean());
+}

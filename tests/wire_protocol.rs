@@ -1,0 +1,361 @@
+//! Property tests of the wire protocol: every message type round-trips
+//! bit-exactly, and no input — truncated, corrupted, or oversized — can
+//! make the decoder panic.
+
+use proptest::run_cases;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tasm_core::{LabelPredicate, PlanStats, Query, QueryMode, RegionPixels, SharedScanStats};
+use tasm_proto::{ErrorCode, Message, ProtoError, ResultSummary, MAX_FRAME_LEN, VERSION};
+use tasm_service::{LatencyHistogram, ServiceStats};
+use tasm_video::{Frame, Rect};
+
+const CASES: u32 = 96;
+
+fn arb_string(rng: &mut StdRng, max_len: usize) -> String {
+    let len = rng.gen_range(0..max_len + 1);
+    (0..len)
+        .map(|_| char::from(rng.gen_range(32u32..127) as u8))
+        .collect()
+}
+
+fn arb_label(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(1usize..12);
+    (0..len)
+        .map(|_| char::from(rng.gen_range(97u32..123) as u8))
+        .collect()
+}
+
+fn arb_rect(rng: &mut StdRng) -> Rect {
+    Rect::new(
+        rng.gen_range(0u32..4096),
+        rng.gen_range(0u32..4096),
+        rng.gen_range(0u32..512),
+        rng.gen_range(0u32..512),
+    )
+}
+
+fn arb_query(rng: &mut StdRng) -> Query {
+    let mut predicate: Option<LabelPredicate> = None;
+    for _ in 0..rng.gen_range(1usize..4) {
+        let labels: Vec<String> = (0..rng.gen_range(1usize..4))
+            .map(|_| arb_label(rng))
+            .collect();
+        let refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+        predicate = Some(match predicate {
+            None => LabelPredicate::any_of(&refs),
+            Some(p) => p.and(&refs),
+        });
+    }
+    let start = rng.gen_range(0u32..10_000);
+    let mut q = Query::new(predicate.expect("at least one clause"))
+        .frames(start..start + rng.gen_range(1u32..5_000))
+        .stride(rng.gen_range(1u32..30))
+        .mode(match rng.gen_range(0u32..3) {
+            0 => QueryMode::Pixels,
+            1 => QueryMode::Count,
+            _ => QueryMode::Exists,
+        });
+    if rng.gen_bool(0.5) {
+        q = q.roi(arb_rect(rng));
+    }
+    if rng.gen_bool(0.5) {
+        q = q.limit(rng.gen_range(0u32..100));
+    }
+    q
+}
+
+fn arb_plan(rng: &mut StdRng) -> PlanStats {
+    PlanStats {
+        tiles_planned: rng.gen_range(0u64..1_000),
+        tiles_pruned: rng.gen_range(0u64..1_000),
+        gops_planned: rng.gen_range(0u64..1_000),
+        gops_skipped: rng.gen_range(0u64..1_000),
+        frames_sampled: rng.gen_range(0u64..1_000),
+    }
+}
+
+fn arb_region(rng: &mut StdRng) -> RegionPixels {
+    let w = rng.gen_range(1u32..16) * 2;
+    let h = rng.gen_range(1u32..16) * 2;
+    let luma = (w * h) as usize;
+    let plane =
+        |rng: &mut StdRng, n: usize| (0..n).map(|_| rng.gen_range(0u32..256) as u8).collect();
+    let y = plane(rng, luma);
+    let u = plane(rng, luma / 4);
+    let v = plane(rng, luma / 4);
+    RegionPixels {
+        frame: rng.gen_range(0u32..100_000),
+        rect: arb_rect(rng),
+        pixels: Frame::from_planes(w, h, y, u, v).expect("even dims and exact plane lengths"),
+    }
+}
+
+fn arb_stats(rng: &mut StdRng) -> ServiceStats {
+    let mut latency = LatencyHistogram::default();
+    for _ in 0..rng.gen_range(0usize..50) {
+        latency.record(std::time::Duration::from_micros(
+            rng.gen_range(0u64..10_000_000),
+        ));
+    }
+    ServiceStats {
+        submitted: rng.gen_range(0u64..1_000_000),
+        completed: rng.gen_range(0u64..1_000_000),
+        failed: rng.gen_range(0u64..1_000),
+        samples_decoded: rng.gen_range(0u64..u32::MAX as u64),
+        samples_reused: rng.gen_range(0u64..u32::MAX as u64),
+        cache_hits: rng.gen_range(0u64..100_000),
+        cache_misses: rng.gen_range(0u64..100_000),
+        shared: SharedScanStats {
+            owned: rng.gen_range(0u64..100_000),
+            joined: rng.gen_range(0u64..100_000),
+        },
+        plan: arb_plan(rng),
+        retile_ops: rng.gen_range(0u64..1_000),
+        retile_errors: rng.gen_range(0u64..10),
+        queue_peak: rng.gen_range(0u64..512),
+        latency,
+    }
+}
+
+fn arb_error_code(rng: &mut StdRng) -> ErrorCode {
+    [
+        ErrorCode::Busy,
+        ErrorCode::TooManyInflight,
+        ErrorCode::TooManyConnections,
+        ErrorCode::ShuttingDown,
+        ErrorCode::VersionMismatch,
+        ErrorCode::Malformed,
+        ErrorCode::UnknownVideo,
+        ErrorCode::Internal,
+    ][rng.gen_range(0usize..8)]
+}
+
+/// One arbitrary message, cycling through every variant by case index.
+fn arb_message(rng: &mut StdRng, variant: u32) -> Message {
+    match variant % 11 {
+        0 => Message::ClientHello {
+            version: rng.gen_range(0u32..u16::MAX as u32 + 1) as u16,
+        },
+        1 => Message::ServerHello {
+            version: VERSION,
+            max_inflight: rng.gen_range(1u32..1_000),
+        },
+        2 => Message::Query {
+            id: rng.gen_range(0u64..u64::MAX),
+            video: arb_label(rng),
+            query: arb_query(rng),
+        },
+        3 => Message::ResultHeader {
+            id: rng.gen_range(0u64..u64::MAX),
+            matched: rng.gen_range(0u64..1_000_000),
+            regions: rng.gen_range(0u32..100_000),
+            plan: arb_plan(rng),
+        },
+        4 => Message::Region {
+            id: rng.gen_range(0u64..u64::MAX),
+            region: arb_region(rng),
+        },
+        5 => Message::ResultDone {
+            id: rng.gen_range(0u64..u64::MAX),
+            summary: ResultSummary {
+                samples_decoded: rng.gen_range(0u64..u32::MAX as u64),
+                samples_reused: rng.gen_range(0u64..u32::MAX as u64),
+                cache_hits: rng.gen_range(0u64..100_000),
+                cache_misses: rng.gen_range(0u64..100_000),
+                shared: SharedScanStats {
+                    owned: rng.gen_range(0u64..100_000),
+                    joined: rng.gen_range(0u64..100_000),
+                },
+                lookup_micros: rng.gen_range(0u64..10_000_000),
+                exec_micros: rng.gen_range(0u64..10_000_000),
+            },
+        },
+        6 => Message::StatsRequest,
+        7 => Message::StatsReply {
+            stats: Box::new(arb_stats(rng)),
+        },
+        8 => Message::Error {
+            id: rng.gen_bool(0.5).then(|| rng.gen_range(0u64..u64::MAX)),
+            code: arb_error_code(rng),
+            message: arb_string(rng, 80),
+        },
+        9 => Message::Goodbye,
+        _ => Message::ShutdownServer,
+    }
+}
+
+/// Round trip: decode(encode(m)) re-encodes to the identical bytes, for
+/// every message variant. (Byte equality is the strongest identity the
+/// protocol offers and sidesteps `PartialEq` on pixel buffers.)
+#[test]
+fn every_message_round_trips_bit_exactly() {
+    let mut variant = 0u32;
+    run_cases(CASES, proptest::seed_for("roundtrip"), |rng| {
+        let msg = arb_message(rng, variant);
+        variant += 1;
+        let payload = msg.encode_payload();
+        let decoded = Message::decode_payload(&payload)
+            .unwrap_or_else(|e| panic!("decode failed for {msg:?}: {e}"));
+        assert_eq!(
+            decoded.encode_payload(),
+            payload,
+            "re-encode diverged for {msg:?}"
+        );
+    });
+}
+
+/// The full frame path (length prefix included) round-trips through a
+/// byte stream.
+#[test]
+fn framed_io_round_trips() {
+    let mut variant = 0u32;
+    run_cases(CASES, proptest::seed_for("framed"), |rng| {
+        let msg = arb_message(rng, variant);
+        variant += 1;
+        let mut wire = Vec::new();
+        msg.write_to(&mut wire).expect("write to Vec");
+        let mut cursor = std::io::Cursor::new(wire);
+        let decoded = Message::read_from(&mut cursor).expect("read back");
+        assert_eq!(decoded.encode_payload(), msg.encode_payload());
+    });
+}
+
+/// Every strict prefix of every valid payload decodes to a typed error —
+/// never a panic, never a silent success.
+#[test]
+fn truncated_payloads_fail_with_typed_errors() {
+    let mut variant = 0u32;
+    run_cases(CASES, proptest::seed_for("truncate"), |rng| {
+        let msg = arb_message(rng, variant);
+        variant += 1;
+        let payload = msg.encode_payload();
+        // Exhaustive for small payloads, sampled for pixel-bearing ones.
+        let cuts: Vec<usize> = if payload.len() <= 64 {
+            (0..payload.len()).collect()
+        } else {
+            (0..64)
+                .map(|_| rng.gen_range(0usize..payload.len()))
+                .collect()
+        };
+        for cut in cuts {
+            assert!(
+                Message::decode_payload(&payload[..cut]).is_err(),
+                "prefix of len {cut}/{} decoded for {msg:?}",
+                payload.len()
+            );
+        }
+    });
+}
+
+/// Arbitrary byte flips never panic the decoder: they decode to some
+/// message or fail with a typed error.
+#[test]
+fn corrupted_payloads_never_panic() {
+    let mut variant = 0u32;
+    run_cases(CASES, proptest::seed_for("corrupt"), |rng| {
+        let msg = arb_message(rng, variant);
+        variant += 1;
+        let mut payload = msg.encode_payload();
+        for _ in 0..8 {
+            let at = rng.gen_range(0usize..payload.len());
+            payload[at] ^= rng.gen_range(1u32..256) as u8;
+        }
+        let _ = Message::decode_payload(&payload); // must not panic
+    });
+}
+
+/// Garbage streams fail the frame reader with typed errors, including the
+/// oversized-length guard that bounds what a corrupt prefix can allocate.
+#[test]
+fn garbage_streams_are_rejected() {
+    run_cases(CASES, proptest::seed_for("garbage"), |rng| {
+        let len = rng.gen_range(0usize..64);
+        let garbage: Vec<u8> = (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect();
+        let mut cursor = std::io::Cursor::new(garbage);
+        let _ = Message::read_from(&mut cursor); // must not panic
+    });
+    // A length prefix past the cap is refused before allocation.
+    let huge = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+    let mut cursor = std::io::Cursor::new(huge);
+    assert!(matches!(
+        Message::read_from(&mut cursor),
+        Err(ProtoError::Oversized(_))
+    ));
+}
+
+/// Unknown message tags are typed errors.
+#[test]
+fn unknown_tags_are_typed_errors() {
+    for bad_tag in [0x00u8, 0x0c, 0x7f, 0xff] {
+        assert!(matches!(
+            Message::decode_payload(&[bad_tag]),
+            Err(ProtoError::UnknownMessage(_))
+        ));
+    }
+}
+
+/// Semantic spot checks: the decoded query preserves every clause of the
+/// surface the planner sees.
+#[test]
+fn query_fields_survive_the_wire() {
+    let query = Query::new(LabelPredicate::any_of(&["car", "bus"]).and(&["red"]))
+        .frames(30..900)
+        .roi(Rect::new(10, 20, 300, 200))
+        .stride(7)
+        .limit(12)
+        .mode(QueryMode::Count);
+    let msg = Message::Query {
+        id: 42,
+        video: "traffic".to_string(),
+        query: query.clone(),
+    };
+    let Message::Query {
+        id,
+        video,
+        query: decoded,
+    } = Message::decode_payload(&msg.encode_payload()).expect("decode")
+    else {
+        panic!("wrong variant");
+    };
+    assert_eq!(id, 42);
+    assert_eq!(video, "traffic");
+    assert_eq!(decoded, query);
+}
+
+/// Malformed query bodies (empty predicate) are refused, matching the
+/// builder's own invariants.
+#[test]
+fn empty_predicates_are_refused() {
+    // Hand-build a query frame with zero clauses.
+    let mut w = tasm_proto::Writer::new();
+    w.u8(0x03); // query tag
+    w.u64(1);
+    w.str("v");
+    w.u16(0); // zero clauses
+    assert!(matches!(
+        Message::decode_payload(&w.into_bytes()),
+        Err(ProtoError::Malformed(_))
+    ));
+}
+
+/// The stats snapshot — histogram included — survives the wire with its
+/// percentiles intact.
+#[test]
+fn stats_percentiles_survive_the_wire() {
+    run_cases(16, proptest::seed_for("stats"), |rng| {
+        let stats = arb_stats(rng);
+        let msg = Message::StatsReply {
+            stats: Box::new(stats),
+        };
+        let Message::StatsReply { stats: decoded } =
+            Message::decode_payload(&msg.encode_payload()).expect("decode")
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(decoded.latency, stats.latency);
+        assert_eq!(decoded.latency.p50(), stats.latency.p50());
+        assert_eq!(decoded.latency.p99(), stats.latency.p99());
+        assert_eq!(decoded.completed, stats.completed);
+    });
+}
