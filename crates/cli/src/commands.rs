@@ -39,6 +39,7 @@ USAGE:
                 [--concurrency N] [--queue-depth N] [--retile off|regret|more]
                 [--query-frames N] [--seed N]
   tasm info    --store DIR [--name NAME]
+  tasm fsck    --store DIR [--name NAME]
   tasm presets
   tasm serve   --store DIR [--addr HOST:PORT] [--max-connections N]
                [--max-inflight N] [--concurrency N] [--queue-depth N]
@@ -77,6 +78,14 @@ SERVE: exposes every video in the store over TCP (tasm-proto wire
   sends `tasm client shutdown`; shutdown drains in-flight queries, stops
   the retile daemon, and prints the latency histogram.
 
+FSCK: opens the store (running startup recovery: interrupted re-tiles are
+  rolled forward or back, half-ingested videos reaped) and then validates
+  every manifest against the on-disk tile files and their container
+  headers — SOT chain contiguity, tile presence, dimensions, GOP length,
+  frame counts, exact container lengths, stray files. Exits non-zero if
+  anything is wrong. Run it after a crash or `kill -9` before trusting a
+  store.
+
 CLIENT: drives a remote server. `query` mirrors the local `query` command
   (results are bit-identical to running it on the server's store),
   `loadgen` floods the server from a connection pool (--connections) and
@@ -106,6 +115,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         "workload" => workload(&args),
         "serve" => serve(&args),
         "info" => info(&args),
+        "fsck" => fsck(&args),
         "presets" => {
             for d in Dataset::ALL {
                 println!("{}", d.name());
@@ -551,6 +561,9 @@ fn serve(args: &Args) -> CmdResult {
     };
 
     let tasm = Arc::new(open_tasm(store, args)?);
+    // Opening ran startup recovery; surface what it repaired (e.g. after a
+    // kill -9 mid-re-tile) before serving any traffic.
+    report_recovery(&tasm);
     // Register every stored video; queries name them over the wire.
     let mut served = Vec::new();
     let videos_dir = Path::new(store).join("videos");
@@ -762,6 +775,65 @@ fn client_shutdown(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Prints what startup recovery repaired, if anything.
+fn report_recovery(tasm: &Tasm) {
+    let report = tasm.recovery_report();
+    if report.deferred {
+        println!(
+            "recovery: deferred — another live process holds the store lock \
+             (a running server?); nothing was repaired, and staging/commit \
+             files may belong to its in-flight re-tiles"
+        );
+    }
+    if !report.is_clean() {
+        println!(
+            "recovery: repaired {} interrupted operation(s):",
+            report.actions.len()
+        );
+        for action in &report.actions {
+            println!("  - {action}");
+        }
+    }
+}
+
+/// Sidecar files this CLI places inside video directories (next to the
+/// manifest) that the store's fsck should not flag as stray.
+const STORE_SIDECARS: &[&str] = &["scene.json"];
+
+/// Validates the store: recovery runs at open, then every manifest is
+/// checked against its on-disk tile files and container headers.
+fn fsck(args: &Args) -> CmdResult {
+    let store = args.required("store")?;
+    let tasm = open_tasm(store, args)?;
+    report_recovery(&tasm);
+    let report = match args.get("name") {
+        Some(name) => tasm.store().fsck_video_with(name, STORE_SIDECARS)?,
+        None => tasm.store().fsck_with(STORE_SIDECARS)?,
+    };
+    if report.is_clean() {
+        println!(
+            "fsck clean: {} video(s), {} tile file(s) validated",
+            report.videos_checked, report.tiles_checked
+        );
+        Ok(())
+    } else {
+        println!(
+            "fsck found {} issue(s) across {} video(s) ({} tile file(s) validated):",
+            report.issues.len(),
+            report.videos_checked,
+            report.tiles_checked
+        );
+        for issue in &report.issues {
+            println!("  - {issue}");
+        }
+        Err(format!(
+            "store '{store}' failed fsck with {} issue(s)",
+            report.issues.len()
+        )
+        .into())
+    }
+}
+
 fn info(args: &Args) -> CmdResult {
     let store = args.required("store")?;
     let videos_dir = Path::new(store).join("videos");
@@ -850,6 +922,36 @@ mod tests {
         ))
         .expect("observe");
         run(&format!("info --store {s}")).expect("info");
+        // The store is consistent after the whole session, whole-store and
+        // per-video.
+        run(&format!("fsck --store {s}")).expect("fsck");
+        run(&format!("fsck --store {s} --name cam")).expect("fsck one video");
+    }
+
+    #[test]
+    fn fsck_reports_corruption_and_unknown_videos() {
+        let s = store("fsck");
+        run(&format!(
+            "ingest --store {s} --name cam --dataset visual-road-2k --seconds 1 --seed 3"
+        ))
+        .expect("ingest");
+        run(&format!("fsck --store {s}")).expect("clean store");
+        assert!(run(&format!("fsck --store {s} --name nope")).is_err());
+        // Truncate one tile file: fsck must fail with a non-zero exit.
+        let videos = Path::new(&s).join("videos").join("cam");
+        let sot = std::fs::read_dir(&videos)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.path().is_dir())
+            .expect("a SOT dir");
+        let tile = sot.path().join("tile_000.tvf");
+        let bytes = std::fs::read(&tile).unwrap();
+        std::fs::write(&tile, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(run(&format!("fsck --store {s}")).is_err());
+        assert!(run(&format!("fsck --store {s} --name cam")).is_err());
+        // Repair and re-verify.
+        std::fs::write(&tile, &bytes).unwrap();
+        run(&format!("fsck --store {s}")).expect("repaired store");
     }
 
     #[test]

@@ -50,6 +50,98 @@ impl std::fmt::Display for ContainerError {
 
 impl std::error::Error for ContainerError {}
 
+/// The validated header of a serialized TVF stream, as returned by
+/// [`TileVideo::validate`] — everything `fsck` needs to cross-check a tile
+/// file against a manifest without decoding any payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContainerHeader {
+    /// Tile width in luma pixels.
+    pub width: u32,
+    /// Tile height in luma pixels.
+    pub height: u32,
+    /// GOP length the stream was encoded with.
+    pub gop_len: u32,
+    /// Quantization parameter.
+    pub qp: u8,
+    /// Whether the in-loop deblocking filter is active.
+    pub deblock: bool,
+    /// Frames in the stream.
+    pub frame_count: u32,
+    /// Exact serialized size the container declares, header included.
+    pub declared_len: u64,
+}
+
+/// The parsed fixed header and frame table of a TVF stream — everything
+/// before the payload bytes. Shared by [`TileVideo::from_bytes`] and
+/// [`TileVideo::validate`].
+struct Prelude {
+    width: u32,
+    height: u32,
+    gop_len: u32,
+    qp: u8,
+    deblock: bool,
+    /// Per frame: payload length, keyframe flag, frame QP.
+    table: Vec<(usize, bool, u8)>,
+    /// Offset of the first payload byte.
+    payload_offset: usize,
+}
+
+impl Prelude {
+    fn parse(full: &[u8]) -> Result<Prelude, ContainerError> {
+        let mut data = full;
+        if data.remaining() < 23 {
+            return Err(ContainerError::Truncated);
+        }
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if magic != TVF_MAGIC || data.get_u8() != 1 {
+            return Err(ContainerError::BadMagic);
+        }
+        let width = data.get_u32_le();
+        let height = data.get_u32_le();
+        let gop_len = data.get_u32_le();
+        let qp = data.get_u8();
+        let deblock = data.get_u8() != 0;
+        let count = data.get_u32_le() as usize;
+        if width == 0 || height == 0 {
+            return Err(ContainerError::InvalidHeader("zero dimension"));
+        }
+        if gop_len == 0 {
+            return Err(ContainerError::InvalidHeader("zero GOP length"));
+        }
+        if qp > crate::quant::MAX_QP {
+            return Err(ContainerError::InvalidHeader("QP out of range"));
+        }
+        if data.remaining() < count * 6 {
+            return Err(ContainerError::Truncated);
+        }
+        let mut table = Vec::with_capacity(count);
+        for _ in 0..count {
+            let len = data.get_u32_le() as usize;
+            let is_key = data.get_u8() != 0;
+            let frame_qp = data.get_u8();
+            if frame_qp > crate::quant::MAX_QP {
+                return Err(ContainerError::InvalidHeader("frame QP out of range"));
+            }
+            table.push((len, is_key, frame_qp));
+        }
+        if count > 0 && !table[0].1 {
+            return Err(ContainerError::InvalidHeader(
+                "first frame must be a keyframe",
+            ));
+        }
+        Ok(Prelude {
+            width,
+            height,
+            gop_len,
+            qp,
+            deblock,
+            table,
+            payload_offset: 23 + count * 6,
+        })
+    }
+}
+
 /// An encoded single-tile video: the unit TASM stores on disk.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TileVideo {
@@ -124,68 +216,69 @@ impl TileVideo {
     }
 
     /// Parses a serialized TVF stream.
-    pub fn from_bytes(mut data: &[u8]) -> Result<Self, ContainerError> {
-        if data.remaining() < 23 {
-            return Err(ContainerError::Truncated);
-        }
-        let mut magic = [0u8; 4];
-        data.copy_to_slice(&mut magic);
-        if magic != TVF_MAGIC || data.get_u8() != 1 {
-            return Err(ContainerError::BadMagic);
-        }
-        let width = data.get_u32_le();
-        let height = data.get_u32_le();
-        let gop_len = data.get_u32_le();
-        let qp = data.get_u8();
-        let deblock = data.get_u8() != 0;
-        let count = data.get_u32_le() as usize;
-        if width == 0 || height == 0 {
-            return Err(ContainerError::InvalidHeader("zero dimension"));
-        }
-        if gop_len == 0 {
-            return Err(ContainerError::InvalidHeader("zero GOP length"));
-        }
-        if qp > crate::quant::MAX_QP {
-            return Err(ContainerError::InvalidHeader("QP out of range"));
-        }
-        if data.remaining() < count * 6 {
-            return Err(ContainerError::Truncated);
-        }
-        let mut table = Vec::with_capacity(count);
-        for _ in 0..count {
-            let len = data.get_u32_le() as usize;
-            let is_key = data.get_u8() != 0;
-            let frame_qp = data.get_u8();
-            if frame_qp > crate::quant::MAX_QP {
-                return Err(ContainerError::InvalidHeader("frame QP out of range"));
-            }
-            table.push((len, is_key, frame_qp));
-        }
-        if count > 0 && !table[0].1 {
-            return Err(ContainerError::InvalidHeader(
-                "first frame must be a keyframe",
-            ));
-        }
-        let mut frames = Vec::with_capacity(count);
-        for (len, is_key, frame_qp) in table {
-            if data.remaining() < len {
+    pub fn from_bytes(data: &[u8]) -> Result<Self, ContainerError> {
+        let prelude = Prelude::parse(data)?;
+        let mut payload = &data[prelude.payload_offset..];
+        let mut frames = Vec::with_capacity(prelude.table.len());
+        for &(len, is_key, frame_qp) in &prelude.table {
+            if payload.remaining() < len {
                 return Err(ContainerError::Truncated);
             }
             frames.push(EncodedFrame {
                 is_key,
                 qp: frame_qp,
-                data: Bytes::copy_from_slice(&data[..len]),
+                data: Bytes::copy_from_slice(&payload[..len]),
             });
-            data.advance(len);
+            payload.advance(len);
         }
         Ok(TileVideo {
-            width,
-            height,
-            gop_len,
-            qp,
-            deblock,
+            width: prelude.width,
+            height: prelude.height,
+            gop_len: prelude.gop_len,
+            qp: prelude.qp,
+            deblock: prelude.deblock,
             frames,
         })
+    }
+
+    /// Validates a serialized TVF stream *structurally* without copying any
+    /// payload: header fields in range, frame table well-formed, and the
+    /// buffer exactly as long as the container declares — a torn tail is
+    /// [`ContainerError::Truncated`], appended garbage is an invalid
+    /// header. This is the check `tasm fsck` runs against every tile file
+    /// on disk.
+    pub fn validate(data: &[u8]) -> Result<ContainerHeader, ContainerError> {
+        Self::validate_header(data, data.len() as u64)
+    }
+
+    /// [`TileVideo::validate`] from a *prefix* of the stream plus the known
+    /// total length — lets fsck check a file with a bounded header read
+    /// instead of pulling whole tile payloads into memory. `prefix` must
+    /// contain the full fixed header and frame table (a
+    /// [`ContainerError::Truncated`] from a short prefix of a longer file
+    /// means "read more", not "the file is torn").
+    pub fn validate_header(
+        prefix: &[u8],
+        file_len: u64,
+    ) -> Result<ContainerHeader, ContainerError> {
+        let prelude = Prelude::parse(prefix)?;
+        let payload: u64 = prelude.table.iter().map(|&(len, _, _)| len as u64).sum();
+        let declared_len = prelude.payload_offset as u64 + payload;
+        match file_len.cmp(&declared_len) {
+            std::cmp::Ordering::Less => Err(ContainerError::Truncated),
+            std::cmp::Ordering::Greater => Err(ContainerError::InvalidHeader(
+                "trailing bytes after payload",
+            )),
+            std::cmp::Ordering::Equal => Ok(ContainerHeader {
+                width: prelude.width,
+                height: prelude.height,
+                gop_len: prelude.gop_len,
+                qp: prelude.qp,
+                deblock: prelude.deblock,
+                frame_count: prelude.table.len() as u32,
+                declared_len,
+            }),
+        }
     }
 
     /// Decodes frames `range` (display order), returning the requested
@@ -348,6 +441,29 @@ mod tests {
                 "cut at {cut} should fail"
             );
         }
+    }
+
+    #[test]
+    fn validate_checks_exact_length() {
+        let v = encode_test_video(6, 3);
+        let bytes = v.to_bytes();
+        let h = TileVideo::validate(&bytes).unwrap();
+        assert_eq!(h.width, 32);
+        assert_eq!(h.height, 32);
+        assert_eq!(h.gop_len, 3);
+        assert_eq!(h.frame_count, 6);
+        assert_eq!(h.declared_len, bytes.len() as u64);
+        // A torn tail is truncation; appended garbage is an invalid header.
+        assert_eq!(
+            TileVideo::validate(&bytes[..bytes.len() - 1]),
+            Err(ContainerError::Truncated)
+        );
+        let mut longer = bytes.to_vec();
+        longer.push(0);
+        assert!(matches!(
+            TileVideo::validate(&longer),
+            Err(ContainerError::InvalidHeader(_))
+        ));
     }
 
     #[test]

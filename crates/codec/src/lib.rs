@@ -34,7 +34,7 @@ pub mod quant;
 pub mod stats;
 pub mod stitch;
 
-pub use container::{ContainerError, TileVideo};
+pub use container::{ContainerError, ContainerHeader, TileVideo};
 pub use decoder::{DecodeError, TileDecoder};
 pub use encode::encode_video;
 pub use encoder::{EncodedFrame, EncoderConfig, RateControl, TileEncoder};

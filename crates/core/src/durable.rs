@@ -1,0 +1,730 @@
+//! Crash-safe storage primitives: the injectable I/O shim, the
+//! deterministic fault injector, and the recovery / fsck report types.
+//!
+//! TASM's storage manager re-organizes tile layouts continuously in the
+//! background (§3.4.5, §4 incremental policies), so a crash can land in the
+//! middle of a re-tile or a manifest update. This module supplies the
+//! mechanism the commit protocol in [`crate::storage`] is built on:
+//!
+//! * [`StorageIo`] — the narrow filesystem surface every manifest and tile
+//!   write goes through, so durability is testable;
+//! * [`RealIo`] — the production implementation: durable writes (fsync
+//!   before returning) and atomic renames (parent directory fsynced);
+//! * [`FaultIo`] — a deterministic fault injector that counts mutating
+//!   operations and fails, torn-writes, or half-removes at the Nth one,
+//!   then behaves as a crashed process (every later operation fails too,
+//!   so no cleanup code can run — exactly like `kill -9`);
+//! * [`RecoveryReport`] / [`FsckReport`] — what startup recovery did and
+//!   what an integrity check found.
+//!
+//! The crash-point sweep in `tests/crash_recovery.rs` drives a re-tile once
+//! per injectable fault point and asserts that reopening the store always
+//! recovers to a state bit-identical to exactly one of the two layout
+//! epochs.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// The filesystem surface of the storage layer. Every manifest and tile
+/// file operation goes through an implementation of this trait, so tests
+/// can inject faults at any single operation and production code gets
+/// durable (fsynced) writes in one place.
+///
+/// Mutating operations are [`StorageIo::write`], [`StorageIo::rename`],
+/// [`StorageIo::create_dir_all`], [`StorageIo::remove_dir_all`], and
+/// [`StorageIo::remove_file`]; the rest only observe.
+pub trait StorageIo: Send + Sync {
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Durably writes a whole file: create/truncate, write, fsync. Not
+    /// atomic on its own — callers that need atomic replacement write to a
+    /// temporary name and [`StorageIo::rename`] over the target.
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to` (replacing `to` if it exists) and
+    /// makes the rename durable.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Creates a directory and any missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Removes a directory tree.
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Removes a single file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Makes a directory's entries durable (directory fsync). Called once
+    /// after a batch of [`StorageIo::write`]s and before the commit point
+    /// that depends on them — per-file writes deliberately do *not* sync
+    /// their parent, so batch dirent durability costs one barrier, not one
+    /// per file. Counted as a mutating operation by fault injectors.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+
+    /// Whether a path exists.
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Whether a path is a directory.
+    fn is_dir(&self, path: &Path) -> bool;
+
+    /// The entries of a directory, sorted by name (deterministic order for
+    /// recovery and fault-point sweeps).
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// The length of a file in bytes.
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
+
+    /// Reads at most `max_len` bytes from the start of a file — lets
+    /// header-only consumers (fsck) avoid pulling whole tile payloads into
+    /// memory. The default reads everything and truncates.
+    fn read_prefix(&self, path: &Path, max_len: usize) -> io::Result<Vec<u8>> {
+        let mut data = self.read(path)?;
+        data.truncate(max_len);
+        Ok(data)
+    }
+}
+
+/// The production [`StorageIo`]: plain filesystem calls with durability —
+/// writes fsync the file before returning, renames fsync the destination's
+/// parent directory so the new name survives a power cut.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+impl RealIo {
+    /// Fsyncs a directory. A filesystem's *refusal* to fsync directories
+    /// (ENOTSUP/EINVAL) is tolerated — that durability hole cannot be
+    /// fixed from here — but a real I/O failure (e.g. EIO from a dying
+    /// disk) must surface: the commit protocol's barriers depend on it.
+    fn fsync_dir(dir: &Path) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            let handle = fs::File::open(dir)?;
+            if let Err(e) = handle.sync_all() {
+                if !matches!(
+                    e.kind(),
+                    io::ErrorKind::Unsupported | io::ErrorKind::InvalidInput
+                ) {
+                    return Err(e);
+                }
+            }
+        }
+        #[cfg(not(unix))]
+        let _ = dir;
+        Ok(())
+    }
+
+    /// [`RealIo::fsync_dir`] on a path's parent — what makes a rename's
+    /// new name durable on POSIX.
+    fn fsync_parent(path: &Path) -> io::Result<()> {
+        match path.parent() {
+            Some(parent) if !parent.as_os_str().is_empty() => Self::fsync_dir(parent),
+            _ => Self::fsync_dir(Path::new(".")),
+        }
+    }
+}
+
+impl StorageIo for RealIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut f = fs::File::create(path)?;
+        f.write_all(data)?;
+        f.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)?;
+        Self::fsync_parent(to)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::remove_dir_all(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        Self::fsync_dir(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn is_dir(&self, path: &Path) -> bool {
+        path.is_dir()
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut entries: Vec<PathBuf> = fs::read_dir(path)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<_>>()?;
+        entries.sort();
+        Ok(entries)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(fs::metadata(path)?.len())
+    }
+
+    fn read_prefix(&self, path: &Path, max_len: usize) -> io::Result<Vec<u8>> {
+        use std::io::Read as _;
+        let mut data = Vec::with_capacity(max_len.min(64 << 10));
+        fs::File::open(path)?
+            .take(max_len as u64)
+            .read_to_end(&mut data)?;
+        Ok(data)
+    }
+}
+
+/// How an injected fault manifests at the target operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The crash lands just *before* the operation: nothing happens on
+    /// disk, the call fails.
+    FailStop,
+    /// The crash lands in the *middle* of the operation: a write persists
+    /// only a prefix of its data (no fsync), a directory removal unlinks
+    /// only half its entries. Operations that are atomic at the syscall
+    /// level (rename, create, single-file remove) degrade to
+    /// [`FaultKind::FailStop`].
+    TornWrite,
+}
+
+/// A deterministic fault-injecting [`StorageIo`] for crash testing.
+///
+/// Mutating operations are numbered 1, 2, 3, … across the life of the
+/// injector. [`FaultIo::arm`] picks the operation that faults; from that
+/// moment the injector behaves like a crashed process — every subsequent
+/// operation, reads and cleanup removals included, fails — so error paths
+/// cannot tidy up, exactly as if the process had been killed. The test
+/// harness then reopens the directory with [`RealIo`] and checks recovery.
+///
+/// ```no_run
+/// # use std::sync::Arc;
+/// # use tasm_core::durable::{FaultIo, FaultKind};
+/// # use tasm_core::VideoStore;
+/// let fault = FaultIo::new();
+/// let store = VideoStore::open_with_io("/tmp/s", 0, 0, fault.clone()).unwrap();
+/// // ... set up state ...
+/// fault.arm(fault.mutating_ops() + 3, FaultKind::TornWrite);
+/// // the third mutating operation from now tears, then everything fails
+/// ```
+pub struct FaultIo {
+    inner: RealIo,
+    ops: AtomicU64,
+    fail_at: AtomicU64,
+    kind: AtomicU8,
+    crashed: AtomicBool,
+}
+
+impl FaultIo {
+    /// A disarmed injector: counts mutating operations, never faults.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new() -> Arc<FaultIo> {
+        Arc::new(FaultIo {
+            inner: RealIo,
+            ops: AtomicU64::new(0),
+            fail_at: AtomicU64::new(u64::MAX),
+            kind: AtomicU8::new(0),
+            crashed: AtomicBool::new(false),
+        })
+    }
+
+    /// Arms the injector: the `at_op`-th mutating operation (1-based,
+    /// counted from the injector's construction) faults with `kind`.
+    pub fn arm(&self, at_op: u64, kind: FaultKind) {
+        self.kind.store(
+            match kind {
+                FaultKind::FailStop => 0,
+                FaultKind::TornWrite => 1,
+            },
+            Ordering::SeqCst,
+        );
+        self.fail_at.store(at_op, Ordering::SeqCst);
+    }
+
+    /// Mutating operations attempted so far.
+    pub fn mutating_ops(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// Whether the fault has fired (the simulated process is dead).
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    fn armed_kind(&self) -> FaultKind {
+        if self.kind.load(Ordering::SeqCst) == 0 {
+            FaultKind::FailStop
+        } else {
+            FaultKind::TornWrite
+        }
+    }
+
+    fn crash_error() -> io::Error {
+        io::Error::other("injected crash: storage I/O halted")
+    }
+
+    /// Accounts one mutating operation. `Ok(None)` means proceed normally;
+    /// `Ok(Some(kind))` means this is the faulting operation (the caller
+    /// performs the torn half-effect, if any, then fails).
+    fn step(&self) -> io::Result<Option<FaultKind>> {
+        if self.crashed() {
+            return Err(Self::crash_error());
+        }
+        let n = self.ops.fetch_add(1, Ordering::SeqCst) + 1;
+        if n == self.fail_at.load(Ordering::SeqCst) {
+            self.crashed.store(true, Ordering::SeqCst);
+            return Ok(Some(self.armed_kind()));
+        }
+        Ok(None)
+    }
+
+    fn observe(&self) -> io::Result<()> {
+        if self.crashed() {
+            return Err(Self::crash_error());
+        }
+        Ok(())
+    }
+}
+
+impl StorageIo for FaultIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.observe()?;
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        match self.step()? {
+            None => self.inner.write(path, data),
+            Some(FaultKind::FailStop) => Err(Self::crash_error()),
+            Some(FaultKind::TornWrite) => {
+                // Persist an unsynced prefix: the classic torn write.
+                let _ = fs::write(path, &data[..data.len() / 2]);
+                Err(Self::crash_error())
+            }
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.step()? {
+            None => self.inner.rename(from, to),
+            Some(_) => Err(Self::crash_error()), // rename is atomic
+        }
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        match self.step()? {
+            None => self.inner.create_dir_all(path),
+            Some(_) => Err(Self::crash_error()),
+        }
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        match self.step()? {
+            None => self.inner.remove_dir_all(path),
+            Some(FaultKind::FailStop) => Err(Self::crash_error()),
+            Some(FaultKind::TornWrite) => {
+                // Unlink half the entries: a removal interrupted midway.
+                if let Ok(entries) = self.inner.list_dir(path) {
+                    for e in entries.iter().take(entries.len().div_ceil(2)) {
+                        if e.is_dir() {
+                            let _ = fs::remove_dir_all(e);
+                        } else {
+                            let _ = fs::remove_file(e);
+                        }
+                    }
+                }
+                Err(Self::crash_error())
+            }
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match self.step()? {
+            None => self.inner.remove_file(path),
+            Some(_) => Err(Self::crash_error()),
+        }
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        match self.step()? {
+            None => self.inner.sync_dir(path),
+            Some(_) => Err(Self::crash_error()), // the barrier never ran
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        !self.crashed() && self.inner.exists(path)
+    }
+
+    fn is_dir(&self, path: &Path) -> bool {
+        !self.crashed() && self.inner.is_dir(path)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.observe()?;
+        self.inner.list_dir(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.observe()?;
+        self.inner.file_len(path)
+    }
+
+    fn read_prefix(&self, path: &Path, max_len: usize) -> io::Result<Vec<u8>> {
+        self.observe()?;
+        self.inner.read_prefix(path, max_len)
+    }
+}
+
+// ---------------------------------------------------------------------
+// On-disk names of the commit protocol
+// ---------------------------------------------------------------------
+
+/// Suffix of every temporary file used for atomic replacement.
+pub(crate) const TMP_SUFFIX: &str = ".tmp";
+
+/// The final directory name of a SOT's tile files.
+pub(crate) fn sot_dir_name(start: u32, end: u32) -> String {
+    format!("sot_{start:06}_{end:06}")
+}
+
+/// The staging directory a re-tile writes its new tile files into before
+/// the commit point.
+pub(crate) fn staging_dir_name(start: u32, end: u32) -> String {
+    format!("staging_sot_{start:06}_{end:06}")
+}
+
+/// The commit record whose appearance (by atomic rename) is the commit
+/// point of a re-tile.
+pub(crate) fn commit_file_name(start: u32, end: u32) -> String {
+    format!("commit_sot_{start:06}_{end:06}.json")
+}
+
+/// Parses `"{prefix}{start:06}_{end:06}{suffix}"` back into the SOT range.
+fn parse_ranged(name: &str, prefix: &str, suffix: &str) -> Option<(u32, u32)> {
+    let body = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    let (s, e) = body.split_once('_')?;
+    if s.len() != 6 || e.len() != 6 {
+        return None;
+    }
+    Some((s.parse().ok()?, e.parse().ok()?))
+}
+
+/// Recognizes a final SOT directory name.
+pub(crate) fn parse_sot_name(name: &str) -> Option<(u32, u32)> {
+    parse_ranged(name, "sot_", "")
+}
+
+/// Recognizes a staging directory name.
+pub(crate) fn parse_staging_name(name: &str) -> Option<(u32, u32)> {
+    parse_ranged(name, "staging_sot_", "")
+}
+
+/// Recognizes a commit record name.
+pub(crate) fn parse_commit_name(name: &str) -> Option<(u32, u32)> {
+    parse_ranged(name, "commit_sot_", ".json")
+}
+
+// ---------------------------------------------------------------------
+// Recovery and fsck reports
+// ---------------------------------------------------------------------
+
+/// One repair startup recovery performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// A commit record existed: the re-tile had passed its commit point, so
+    /// recovery completed it (staging promoted, manifest rewritten from the
+    /// record, record removed). The store is in the post-retile epoch.
+    RolledForward {
+        /// Video the interrupted re-tile belonged to.
+        video: String,
+        /// First frame of the re-tiled SOT.
+        sot_start: u32,
+        /// Past-the-end frame of the re-tiled SOT.
+        sot_end: u32,
+    },
+    /// Staging state existed without a (valid) commit record: the re-tile
+    /// had not committed, so recovery discarded it. The store is in the
+    /// pre-retile epoch.
+    RolledBack {
+        /// Video the interrupted re-tile belonged to.
+        video: String,
+        /// First frame of the SOT whose staging state was discarded.
+        sot_start: u32,
+        /// Past-the-end frame of that SOT.
+        sot_end: u32,
+    },
+    /// A stray `*.tmp` file from an interrupted atomic write was removed.
+    RemovedTemp {
+        /// Video directory the file was found in.
+        video: String,
+        /// The removed file name.
+        file: String,
+    },
+    /// A video directory without a manifest — an ingest that crashed before
+    /// publishing — was removed.
+    RemovedPartialVideo {
+        /// The half-ingested video.
+        video: String,
+    },
+}
+
+impl std::fmt::Display for RecoveryAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryAction::RolledForward {
+                video,
+                sot_start,
+                sot_end,
+            } => write!(
+                f,
+                "rolled forward committed re-tile of '{video}' SOT {sot_start}..{sot_end}"
+            ),
+            RecoveryAction::RolledBack {
+                video,
+                sot_start,
+                sot_end,
+            } => write!(
+                f,
+                "rolled back uncommitted re-tile of '{video}' SOT {sot_start}..{sot_end}"
+            ),
+            RecoveryAction::RemovedTemp { video, file } => {
+                write!(f, "removed interrupted temp file '{file}' of '{video}'")
+            }
+            RecoveryAction::RemovedPartialVideo { video } => {
+                write!(f, "removed partially ingested video '{video}'")
+            }
+        }
+    }
+}
+
+/// What startup recovery did when the store was opened. Empty on a clean
+/// shutdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The repairs, in the order they were applied.
+    pub actions: Vec<RecoveryAction>,
+    /// True when recovery did not run because another live handle holds
+    /// the store lock — that handle already recovered the store (or owns
+    /// the in-flight operations that look like crash residue), so this
+    /// open deliberately repaired nothing.
+    pub deferred: bool,
+}
+
+impl RecoveryReport {
+    /// True when the store needed no repair.
+    pub fn is_clean(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+/// One inconsistency `fsck` found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsckIssue {
+    /// `manifest.json` is missing or does not parse.
+    ManifestUnreadable {
+        /// The affected video.
+        video: String,
+        /// Why it could not be read.
+        detail: String,
+    },
+    /// The manifest's SOT entries do not tile `0..frame_count` contiguously.
+    SotChainBroken {
+        /// The affected video.
+        video: String,
+        /// What is wrong with the chain.
+        detail: String,
+    },
+    /// A tile file named by the manifest is missing or unreadable.
+    MissingTile {
+        /// The affected video.
+        video: String,
+        /// First frame of the SOT.
+        sot_start: u32,
+        /// Raster index of the missing tile.
+        tile: u32,
+    },
+    /// A tile file failed container validation (bad magic, torn tail,
+    /// invalid header).
+    TileCorrupt {
+        /// The affected video.
+        video: String,
+        /// First frame of the SOT.
+        sot_start: u32,
+        /// Raster index of the corrupt tile.
+        tile: u32,
+        /// The container error.
+        detail: String,
+    },
+    /// A tile file parses but disagrees with the manifest (dimensions, GOP
+    /// length, or frame count).
+    TileMismatch {
+        /// The affected video.
+        video: String,
+        /// First frame of the SOT.
+        sot_start: u32,
+        /// Raster index of the mismatched tile.
+        tile: u32,
+        /// The disagreement.
+        detail: String,
+    },
+    /// A file or directory the manifest does not account for (staging
+    /// residue, commit records, stray files) — recovery should have removed
+    /// it.
+    Stray {
+        /// The affected video.
+        video: String,
+        /// Store-relative path of the stray entry.
+        path: String,
+    },
+}
+
+impl std::fmt::Display for FsckIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsckIssue::ManifestUnreadable { video, detail } => {
+                write!(f, "'{video}': manifest unreadable: {detail}")
+            }
+            FsckIssue::SotChainBroken { video, detail } => {
+                write!(f, "'{video}': SOT chain broken: {detail}")
+            }
+            FsckIssue::MissingTile {
+                video,
+                sot_start,
+                tile,
+            } => write!(f, "'{video}': SOT @{sot_start}: tile {tile} missing"),
+            FsckIssue::TileCorrupt {
+                video,
+                sot_start,
+                tile,
+                detail,
+            } => write!(
+                f,
+                "'{video}': SOT @{sot_start}: tile {tile} corrupt: {detail}"
+            ),
+            FsckIssue::TileMismatch {
+                video,
+                sot_start,
+                tile,
+                detail,
+            } => write!(
+                f,
+                "'{video}': SOT @{sot_start}: tile {tile} disagrees with manifest: {detail}"
+            ),
+            FsckIssue::Stray { video, path } => {
+                write!(f, "'{video}': stray entry '{path}'")
+            }
+        }
+    }
+}
+
+/// The result of a store integrity check ([`crate::VideoStore::fsck`]):
+/// every manifest validated against its on-disk tile files and their
+/// container headers.
+#[derive(Debug, Clone, Default)]
+pub struct FsckReport {
+    /// Videos examined.
+    pub videos_checked: u32,
+    /// Tile files whose containers were validated.
+    pub tiles_checked: u64,
+    /// Everything found wrong, in discovery order.
+    pub issues: Vec<FsckIssue>,
+}
+
+impl FsckReport {
+    /// True when no issues were found.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_names_round_trip() {
+        assert_eq!(sot_dir_name(0, 30), "sot_000000_000030");
+        assert_eq!(
+            parse_staging_name(&staging_dir_name(30, 60)),
+            Some((30, 60))
+        );
+        assert_eq!(parse_commit_name(&commit_file_name(30, 60)), Some((30, 60)));
+        assert_eq!(parse_commit_name("commit_sot_1_2.json"), None);
+        assert_eq!(parse_staging_name("sot_000000_000030"), None);
+        assert_eq!(parse_commit_name("manifest.json"), None);
+    }
+
+    #[test]
+    fn fault_io_counts_and_crashes_deterministically() {
+        let dir = std::env::temp_dir().join(format!("tasm-faultio-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let io = FaultIo::new();
+        io.create_dir_all(&dir).unwrap();
+        io.write(&dir.join("a"), b"hello world!").unwrap();
+        assert_eq!(io.mutating_ops(), 2);
+
+        io.arm(3, FaultKind::TornWrite);
+        let err = io.write(&dir.join("b"), b"0123456789").unwrap_err();
+        assert!(err.to_string().contains("injected crash"));
+        assert!(io.crashed());
+        // The torn prefix persisted (half the payload)…
+        assert_eq!(fs::read(dir.join("b")).unwrap(), b"01234");
+        // …and the dead process can neither read nor clean up.
+        assert!(io.read(&dir.join("a")).is_err());
+        assert!(io.remove_file(&dir.join("b")).is_err());
+        assert!(!io.exists(&dir.join("a")));
+        assert!(
+            fs::read(dir.join("b")).is_ok(),
+            "torn file survives on disk"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fail_stop_performs_nothing() {
+        let dir = std::env::temp_dir().join(format!("tasm-failstop-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let io = FaultIo::new();
+        io.create_dir_all(&dir).unwrap();
+        io.arm(2, FaultKind::FailStop);
+        assert!(io.write(&dir.join("x"), b"data").is_err());
+        assert!(!dir.join("x").exists(), "fail-stop must not touch the disk");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn real_io_lists_sorted() {
+        let dir = std::env::temp_dir().join(format!("tasm-realio-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let io = RealIo;
+        io.create_dir_all(&dir).unwrap();
+        for name in ["c", "a", "b"] {
+            io.write(&dir.join(name), b"x").unwrap();
+        }
+        let names: Vec<String> = io
+            .list_dir(&dir)
+            .unwrap()
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert_eq!(io.file_len(&dir.join("a")).unwrap(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

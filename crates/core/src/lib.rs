@@ -13,7 +13,12 @@
 //! * [`cost`] — the `C = β·P + γ·T` query cost model, the `R(s, L)`
 //!   re-encode model, and their least-squares calibration (§4.1);
 //! * [`storage`] — each tile stored as its own video file, per-SOT layouts,
-//!   re-tiling by transcode (§3.4.5);
+//!   re-tiling by transcode (§3.4.5) under an atomic commit protocol with
+//!   startup recovery and `fsck` validation;
+//! * [`durable`] — the injectable [`StorageIo`] filesystem shim behind
+//!   every manifest/tile write: durable production I/O ([`RealIo`]) and a
+//!   deterministic crash injector ([`FaultIo`]) for the crash-point sweep
+//!   tests;
 //! * [`exec`] — the parallel tile-decode execution pipeline: per-(SOT, tile)
 //!   decode planning, a scoped-thread executor, and the shared decoded-GOP
 //!   cache (buffer-pool-style LRU with a byte budget);
@@ -112,6 +117,7 @@
 //! ```
 
 pub mod cost;
+pub mod durable;
 pub mod edge;
 pub mod exec;
 pub mod partition;
@@ -122,6 +128,9 @@ pub mod storage;
 pub mod tasm;
 
 pub use cost::{estimate_work, fit_linear, pixel_ratio, CostModel, EncodeModel, Work, WorkSample};
+pub use durable::{
+    FaultIo, FaultKind, FsckIssue, FsckReport, RealIo, RecoveryAction, RecoveryReport, StorageIo,
+};
 pub use edge::{edge_ingest, EdgeConfig, EdgeReport};
 pub use exec::{
     CacheStats, DecodedTile, DecodedTileCache, PlanStats, SharedScanStats, TileDecodeRequest,

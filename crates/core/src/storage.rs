@@ -15,7 +15,42 @@
 //! Re-tiling a SOT ([`VideoStore::retile`]) decodes its current tiles and
 //! re-encodes under the new layout — the `R(s, L)` cost in the incremental
 //! policies.
+//!
+//! ## Durability
+//!
+//! Every manifest and tile-file mutation goes through the [`StorageIo`]
+//! shim and follows an atomic commit discipline, so a crash at *any* single
+//! operation leaves each video wholly in one layout epoch:
+//!
+//! * **Manifests** are replaced by write-temp → fsync → rename; readers
+//!   never observe a torn `manifest.json`.
+//! * **Re-tiles** ([`VideoStore::retile`]) run a commit protocol: the new
+//!   tile files are written (and fsynced) under a staging directory, an
+//!   epoch-stamped *commit record* holding the full post-retile manifest is
+//!   atomically renamed into place (the commit point), and only then is the
+//!   old SOT directory removed, the staging directory promoted, the
+//!   manifest rewritten, and the record garbage-collected.
+//! * **Opening** a store ([`VideoStore::open`] and friends) runs startup
+//!   recovery: committed-but-unfinished re-tiles roll *forward*,
+//!   uncommitted ones roll *back*, interrupted ingests and temp files are
+//!   removed, and every repair is listed in the store's
+//!   [`RecoveryReport`]. Shared decoded-GOP caches are invalidated for any
+//!   repaired video.
+//! * **[`VideoStore::fsck`]** validates manifests against the on-disk tile
+//!   files and their container headers.
+//!
+//! A retile that returns an error either never committed (the old epoch is
+//! intact) or passed its commit point — in which case the handle's
+//! manifest is advanced to the committed epoch and the surviving commit
+//! record is completed by the next re-tile of that video or the next open.
+//! The crash-point sweep in `tests/crash_recovery.rs` exercises every
+//! operation of the protocol.
 
+use crate::durable::{
+    commit_file_name, parse_commit_name, parse_sot_name, parse_staging_name, sot_dir_name,
+    staging_dir_name, FsckIssue, FsckReport, RealIo, RecoveryAction, RecoveryReport, StorageIo,
+    TMP_SUFFIX,
+};
 use crate::exec::{self, CacheStats, DecodedTileCache, TileDecodeRequest};
 use serde::{Deserialize, Serialize};
 use std::fs;
@@ -24,10 +59,34 @@ use std::ops::Range;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use tasm_codec::{
-    encode_video, ContainerError, DecodeStats, EncodeStats, EncoderConfig, LayoutError,
-    StitchError, StitchedVideo, TileLayout, TileVideo,
+    encode_video, ContainerError, ContainerHeader, DecodeStats, EncodeStats, EncoderConfig,
+    LayoutError, StitchError, StitchedVideo, TileLayout, TileVideo,
 };
 use tasm_video::{Frame, FrameSource, SliceSource, VecFrameSource};
+
+/// Why one tile file failed fsck's bounded-read validation.
+enum TileProblem {
+    /// The file does not exist.
+    Missing,
+    /// The file exists but could not be read (permissions, I/O error).
+    Unreadable(String),
+    /// The file read but failed container validation.
+    Invalid(ContainerError),
+}
+
+/// The commit record of an in-flight re-tile: written under a temporary
+/// name, fsynced, then atomically renamed to `commit_sot_*.json` — that
+/// rename is the commit point. It carries the *entire* post-retile manifest
+/// so recovery can roll forward without re-deriving anything.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct CommitRecord {
+    /// First frame of the re-tiled SOT.
+    pub sot_start: u32,
+    /// Past-the-end frame of the re-tiled SOT.
+    pub sot_end: u32,
+    /// The manifest as it must read once the re-tile is complete.
+    pub manifest: VideoManifest,
+}
 
 /// Errors from the storage layer.
 #[derive(Debug)]
@@ -237,11 +296,21 @@ pub struct VideoStore {
     store_id: Arc<str>,
     workers: usize,
     cache: Option<Arc<DecodedTileCache>>,
+    io: Arc<dyn StorageIo>,
+    recovery: RecoveryReport,
+    /// Exclusive advisory lock on `<root>/.tasm.lock`, held for this
+    /// handle's lifetime when acquired. Only the handle holding it runs
+    /// (mutating) startup recovery — a concurrent `tasm fsck` against a
+    /// live `tasm serve` must never delete the server's in-flight staging
+    /// directories. `flock` semantics: released automatically when the
+    /// process dies, so a `kill -9` never wedges the store.
+    _lock: Option<fs::File>,
 }
 
 impl VideoStore {
     /// Opens (creating) a store rooted at `root` with default execution
-    /// settings: auto worker count, no decoded-tile cache.
+    /// settings: auto worker count, no decoded-tile cache. Startup recovery
+    /// runs before the store is returned (see [`VideoStore::recovery_report`]).
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
         Self::open_with(root, 0, 0)
     }
@@ -266,8 +335,34 @@ impl VideoStore {
         workers: usize,
         cache: Option<Arc<DecodedTileCache>>,
     ) -> Result<Self, StoreError> {
+        Self::open_shared_io(root, workers, cache, Arc::new(RealIo))
+    }
+
+    /// [`VideoStore::open_with`] with an explicit [`StorageIo`]
+    /// implementation — the hook the crash-injection tests use.
+    pub fn open_with_io(
+        root: impl Into<PathBuf>,
+        workers: usize,
+        cache_bytes: u64,
+        io: Arc<dyn StorageIo>,
+    ) -> Result<Self, StoreError> {
+        let cache = (cache_bytes > 0).then(|| Arc::new(DecodedTileCache::new(cache_bytes)));
+        Self::open_shared_io(root, workers, cache, io)
+    }
+
+    /// The fully general constructor: explicit worker count, shared cache,
+    /// and I/O implementation. Startup recovery runs here: interrupted
+    /// re-tiles are rolled forward (committed) or back (uncommitted),
+    /// half-ingested videos and temp files are removed, and cache entries
+    /// of every repaired video are invalidated.
+    pub fn open_shared_io(
+        root: impl Into<PathBuf>,
+        workers: usize,
+        cache: Option<Arc<DecodedTileCache>>,
+        io: Arc<dyn StorageIo>,
+    ) -> Result<Self, StoreError> {
         let root = root.into();
-        fs::create_dir_all(&root)?;
+        io.create_dir_all(&root)?;
         // Canonicalize so two handles over the same directory share cache
         // entries regardless of how the path was spelled.
         let store_id: Arc<str> = Arc::from(
@@ -276,12 +371,47 @@ impl VideoStore {
                 .to_string_lossy()
                 .as_ref(),
         );
-        Ok(VideoStore {
+        // The store lock decides who may *mutate* during startup: recovery
+        // deletes staging directories, which would corrupt an in-flight
+        // re-tile if another live handle (or process) owns them. Taken
+        // directly against the real filesystem — it coordinates processes,
+        // it is not data I/O.
+        let (lock, contended) = match fs::File::create(root.join(".tasm.lock")) {
+            Ok(f) => match f.try_lock() {
+                Ok(()) => (Some(f), false),
+                Err(_) => (None, true),
+            },
+            // The lock file cannot even be created (e.g. a read-only
+            // store): that is not evidence of a live peer, so recovery
+            // still runs — on a genuinely read-only store a clean state
+            // needs no repair, and a dirty one fails the open loudly
+            // instead of silently skipping repairs forever.
+            Err(_) => (None, false),
+        };
+        let mut store = VideoStore {
             root,
             store_id,
             workers,
             cache,
-        })
+            io,
+            recovery: RecoveryReport::default(),
+            _lock: lock,
+        };
+        if contended {
+            // Another live handle owns the store: it already ran recovery
+            // (or is the very process whose re-tiles are in flight), so
+            // this open must not repair anything.
+            store.recovery.deferred = true;
+        } else {
+            store.recovery = store.recover_all()?;
+        }
+        Ok(store)
+    }
+
+    /// What startup recovery did when this store was opened. Empty after a
+    /// clean shutdown.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
     }
 
     /// Identity of this store in shared decoded-GOP cache keys.
@@ -320,13 +450,19 @@ impl VideoStore {
     ///
     /// `layout_for(sot_index, frames)` returns the initial layout for each
     /// SOT (untiled `ω` for lazy strategies, object layouts for eager/edge).
+    ///
+    /// The manifest write is the publish point: until it lands (atomically),
+    /// the video does not exist. If encoding or writing fails midway, the
+    /// partially written directory is removed so no orphan tile files
+    /// survive; if the failure was a crash (cleanup impossible), startup
+    /// recovery removes the manifest-less directory at the next open.
     pub fn ingest(
         &self,
         name: &str,
         src: &dyn FrameSource,
         fps: u32,
         cfg: StorageConfig,
-        mut layout_for: impl FnMut(usize, Range<u32>) -> TileLayout,
+        layout_for: impl FnMut(usize, Range<u32>) -> TileLayout,
     ) -> Result<(VideoManifest, EncodeStats), StoreError> {
         assert!(
             cfg.sot_frames > 0 && cfg.sot_frames.is_multiple_of(cfg.gop_len),
@@ -337,15 +473,48 @@ impl VideoStore {
             "invalid video name"
         );
         let dir = self.root.join(name);
-        if dir.exists() {
-            fs::remove_dir_all(&dir)?;
+        if self.io.exists(&dir) {
+            // Unpublish first: the manifest is removed (one atomic unlink)
+            // before the tree, so a crash mid-removal — which unlinks
+            // entries in unspecified order — always leaves a manifest-less
+            // directory for recovery to reap, never a manifest naming
+            // already-deleted tile files.
+            let manifest_path = dir.join("manifest.json");
+            if self.io.exists(&manifest_path) {
+                self.io.remove_file(&manifest_path)?;
+            }
+            self.io.remove_dir_all(&dir)?;
         }
-        fs::create_dir_all(&dir)?;
+        self.io.create_dir_all(&dir)?;
         // Any cached GOPs of a previous video under this name are stale.
         if let Some(cache) = &self.cache {
             cache.invalidate_video(&self.store_id, name);
         }
+        match self.ingest_files(name, src, fps, cfg, layout_for) {
+            Ok(ok) => {
+                // The video directory's own name in the store root must be
+                // durable for the publish to survive a power cut.
+                self.io.sync_dir(&self.root)?;
+                Ok(ok)
+            }
+            Err(e) => {
+                // Best-effort: under an injected crash these removals fail
+                // too (as they would after kill -9) and startup recovery
+                // reaps the manifest-less directory instead.
+                let _ = self.io.remove_dir_all(&dir);
+                Err(e)
+            }
+        }
+    }
 
+    fn ingest_files(
+        &self,
+        name: &str,
+        src: &dyn FrameSource,
+        fps: u32,
+        cfg: StorageConfig,
+        mut layout_for: impl FnMut(usize, Range<u32>) -> TileLayout,
+    ) -> Result<(VideoManifest, EncodeStats), StoreError> {
         let mut sots = Vec::new();
         let mut total = EncodeStats::default();
         let mut start = 0u32;
@@ -385,16 +554,21 @@ impl VideoStore {
     /// Loads a video's manifest.
     pub fn load_manifest(&self, name: &str) -> Result<VideoManifest, StoreError> {
         let path = self.root.join(name).join("manifest.json");
-        if !path.exists() {
+        if !self.io.exists(&path) {
             return Err(StoreError::NotFound(format!("video '{name}'")));
         }
-        Ok(serde_json::from_slice(&fs::read(path)?)?)
+        Ok(serde_json::from_slice(&self.io.read(&path)?)?)
     }
 
-    /// Persists a manifest (after retiling).
+    /// Persists a manifest (after retiling) atomically: the new content is
+    /// written to a temporary file, fsynced, and renamed over
+    /// `manifest.json`, so a crash leaves either the old or the new
+    /// manifest — never a torn mix.
     pub fn save_manifest(&self, manifest: &VideoManifest) -> Result<(), StoreError> {
-        let path = self.root.join(&manifest.name).join("manifest.json");
-        fs::write(path, serde_json::to_vec_pretty(manifest)?)?;
+        let dir = self.root.join(&manifest.name);
+        let tmp = dir.join(format!("manifest.json{TMP_SUFFIX}"));
+        self.io.write(&tmp, &serde_json::to_vec_pretty(manifest)?)?;
+        self.io.rename(&tmp, &dir.join("manifest.json"))?;
         Ok(())
     }
 
@@ -410,10 +584,10 @@ impl VideoStore {
             .get(sot_idx)
             .ok_or_else(|| StoreError::NotFound(format!("SOT {sot_idx}")))?;
         let path = self.tile_path(&manifest.name, sot.start, sot.end, tile_idx);
-        if !path.exists() {
+        if !self.io.exists(&path) {
             return Err(StoreError::NotFound(path.display().to_string()));
         }
-        Ok(TileVideo::from_bytes(&fs::read(path)?)?)
+        Ok(TileVideo::from_bytes(&self.io.read(&path)?)?)
     }
 
     /// Plans the decode of a set of tiles of one SOT over a *local* frame
@@ -477,6 +651,27 @@ impl VideoStore {
 
     /// Re-encodes one SOT under `new_layout` (the incremental policies'
     /// re-tile operation). Updates and persists the manifest.
+    ///
+    /// Runs the atomic commit protocol, so a crash at any point leaves the
+    /// video entirely in the pre- or post-retile epoch once recovery runs:
+    ///
+    /// 1. the new tile files are written (each fsynced) under a *staging*
+    ///    directory invisible to readers;
+    /// 2. a commit record carrying the full post-retile manifest is written
+    ///    to a temp name, fsynced, and atomically renamed into place — the
+    ///    **commit point**;
+    /// 3. the old SOT directory is removed, the staging directory renamed
+    ///    over it, the manifest atomically rewritten, and the commit record
+    ///    garbage-collected.
+    ///
+    /// A crash before step 2 rolls back (staging is discarded at the next
+    /// open); a crash after it rolls forward (recovery finishes step 3).
+    /// If this method returns an error *after* the commit point, the
+    /// handle's manifest is still advanced to the committed epoch — the
+    /// commit record is the durable truth — and the surviving record is
+    /// finished by the next re-tile of the video or the next open. Reads
+    /// of the affected SOT may fail until then; they never observe a torn
+    /// mix of epochs.
     pub fn retile(
         &self,
         manifest: &mut VideoManifest,
@@ -492,6 +687,13 @@ impl VideoStore {
         if sot.layout == new_layout {
             return Ok(RetileStats::default());
         }
+
+        // Finish any committed-but-incomplete earlier re-tile of this video
+        // first: writing a *new* commit record while an old one survives
+        // would let the next open resurrect the old record's manifest
+        // snapshot and erase this re-tile. If the pending record cannot be
+        // completed now, this re-tile must not proceed.
+        self.finish_pending_commits(&manifest.name)?;
 
         // Decode the SOT in full from its current tiles.
         let old_tile_count = sot.layout.tile_count();
@@ -510,21 +712,76 @@ impl VideoStore {
             manifest.config.parallel_encode,
         )?;
 
-        // Replace files: remove stale tiles, write new ones.
-        let dir = self.sot_dir(&manifest.name, sot.start, sot.end);
-        fs::remove_dir_all(&dir)?;
-        self.write_sot_files(&manifest.name, sot.start, sot.end, &new_tiles)?;
+        // Stage the new tile files next to (not over) the live ones.
+        let video_dir = self.root.join(&manifest.name);
+        let staging = video_dir.join(staging_dir_name(sot.start, sot.end));
+        if self.io.exists(&staging) {
+            // Residue of an earlier failed attempt in this process (opens
+            // clean it up, but the store may not have been reopened).
+            self.io.remove_dir_all(&staging)?;
+        }
+        self.write_tiles(&staging, &new_tiles)?;
 
-        let entry = &mut manifest.sots[sot_idx];
-        entry.layout = new_layout;
-        entry.retile_count += 1;
-        self.save_manifest(manifest)?;
+        // Commit: publish the epoch-stamped record atomically.
+        let mut new_manifest = manifest.clone();
+        {
+            let entry = &mut new_manifest.sots[sot_idx];
+            entry.layout = new_layout;
+            entry.retile_count += 1;
+        }
+        let record = CommitRecord {
+            sot_start: sot.start,
+            sot_end: sot.end,
+            manifest: new_manifest.clone(),
+        };
+        let commit = video_dir.join(commit_file_name(sot.start, sot.end));
+        let commit_tmp = video_dir.join(format!(
+            "{}{TMP_SUFFIX}",
+            commit_file_name(sot.start, sot.end)
+        ));
+        self.io
+            .write(&commit_tmp, &serde_json::to_vec_pretty(&record)?)?;
+        self.io.rename(&commit_tmp, &commit)?; // ← commit point
+
+        // Complete: swap directories, rewrite the manifest, drop the
+        // record — exactly the steps recovery's roll-forward replays after
+        // a crash. Completion is idempotent, so a *transient* failure gets
+        // one immediate retry before the error surfaces; a dead disk fails
+        // both attempts and the next re-tile or open finishes the job.
+        let completion = self
+            .roll_forward(&video_dir, &record, &commit)
+            .or_else(|_| self.roll_forward(&video_dir, &record, &commit));
+
+        // Past the commit point the re-tile has logically happened whether
+        // or not completion succeeded — the handle's manifest must advance
+        // either way, so a later re-tile through this handle builds on (and
+        // never silently erases) this one.
+        *manifest = new_manifest;
         // The layout epoch in cache keys changed with `retile_count`; drop
         // the stale entries eagerly to reclaim their bytes.
         if let Some(cache) = &self.cache {
             cache.invalidate_sot(&self.store_id, &manifest.name, sot.start);
         }
+        completion?;
         Ok(RetileStats { decode, encode })
+    }
+
+    /// Completes every surviving commit record of `name` (there is at most
+    /// one short of outside interference): the in-process equivalent of
+    /// recovery's roll-forward, run before a new re-tile may commit.
+    fn finish_pending_commits(&self, name: &str) -> Result<(), StoreError> {
+        let dir = self.root.join(name);
+        for entry in self.io.list_dir(&dir)? {
+            if parse_commit_name(&entry_name(&entry)).is_none() {
+                continue;
+            }
+            let record: CommitRecord = serde_json::from_slice(&self.io.read(&entry)?)?;
+            self.roll_forward(&dir, &record, &entry)?;
+            if let Some(cache) = &self.cache {
+                cache.invalidate_video(&self.store_id, name);
+            }
+        }
+        Ok(())
     }
 
     /// Total bytes of all tile files of a video.
@@ -533,23 +790,21 @@ impl VideoStore {
         for (i, sot) in manifest.sots.iter().enumerate() {
             for t in 0..sot.layout.tile_count() {
                 let path = self.tile_path(&manifest.name, sot.start, sot.end, t);
-                total += fs::metadata(&path)
-                    .map_err(|_| StoreError::NotFound(format!("SOT {i} tile {t}")))?
-                    .len();
+                total += self
+                    .io
+                    .file_len(&path)
+                    .map_err(|_| StoreError::NotFound(format!("SOT {i} tile {t}")))?;
             }
         }
         Ok(total)
     }
 
     fn sot_dir(&self, name: &str, start: u32, end: u32) -> PathBuf {
-        self.root
-            .join(name)
-            .join(format!("sot_{start:06}_{end:06}"))
+        self.root.join(name).join(sot_dir_name(start, end))
     }
 
     fn tile_path(&self, name: &str, start: u32, end: u32, tile: u32) -> PathBuf {
-        self.sot_dir(name, start, end)
-            .join(format!("tile_{tile:03}.tvf"))
+        self.sot_dir(name, start, end).join(tile_file_name(tile))
     }
 
     fn write_sot_files(
@@ -559,13 +814,414 @@ impl VideoStore {
         end: u32,
         tiles: &[TileVideo],
     ) -> Result<(), StoreError> {
-        let dir = self.sot_dir(name, start, end);
-        fs::create_dir_all(&dir)?;
+        self.write_tiles(&self.sot_dir(name, start, end), tiles)
+    }
+
+    /// Writes one tile file per entry of `tiles` into `dir` (created if
+    /// missing). Every file is fsynced, then the directory itself — one
+    /// barrier for the whole batch — so the files *and their names* are
+    /// durable before any commit point that depends on them.
+    fn write_tiles(&self, dir: &Path, tiles: &[TileVideo]) -> Result<(), StoreError> {
+        self.io.create_dir_all(dir)?;
         for (i, tile) in tiles.iter().enumerate() {
-            fs::write(self.tile_path(name, start, end, i as u32), tile.to_bytes())?;
+            self.io
+                .write(&dir.join(tile_file_name(i as u32)), &tile.to_bytes())?;
+        }
+        self.io.sync_dir(dir)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Startup recovery
+    // ------------------------------------------------------------------
+
+    /// Scans every video directory for residue of interrupted operations
+    /// and restores the two-epoch invariant. Idempotent: recovery itself
+    /// can crash at any operation and the next open finishes the job.
+    fn recover_all(&self) -> Result<RecoveryReport, StoreError> {
+        let mut report = RecoveryReport::default();
+        for entry in self.io.list_dir(&self.root)? {
+            if !self.io.is_dir(&entry) {
+                continue;
+            }
+            let Some(video) = entry.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+                continue;
+            };
+            self.recover_video_dir(&entry, &video, &mut report)?;
+        }
+        Ok(report)
+    }
+
+    fn recover_video_dir(
+        &self,
+        dir: &Path,
+        video: &str,
+        report: &mut RecoveryReport,
+    ) -> Result<(), StoreError> {
+        // 0. Only touch directories that are recognizably ours: a manifest,
+        //    tile-store residue (SOT/staging dirs, commit records, manifest
+        //    temp), or a completely empty directory (an ingest that died at
+        //    its first operation). A foreign directory — e.g. the store was
+        //    opened at a wrong or shared path — is left strictly alone.
+        let entries = self.io.list_dir(dir)?;
+        let is_ours = self.io.exists(&dir.join("manifest.json"))
+            || entries.is_empty()
+            || entries.iter().any(|e| {
+                let name = entry_name(e);
+                parse_sot_name(&name).is_some()
+                    || parse_staging_name(&name).is_some()
+                    || parse_commit_name(&name).is_some()
+                    || name == format!("manifest.json{TMP_SUFFIX}")
+            });
+        if !is_ours {
+            return Ok(());
+        }
+
+        // 1. Interrupted atomic writes: the temp file never became visible
+        //    under its final name, so it holds no committed state.
+        for entry in self.io.list_dir(dir)? {
+            let name = entry_name(&entry);
+            if name.ends_with(TMP_SUFFIX) && !self.io.is_dir(&entry) {
+                self.io.remove_file(&entry)?;
+                report.actions.push(RecoveryAction::RemovedTemp {
+                    video: video.to_string(),
+                    file: name,
+                });
+            }
+        }
+
+        // 2. Commit records: the re-tile passed its commit point — finish
+        //    it (roll forward). Records are fsynced before the rename that
+        //    publishes them, so an unparsable record cannot exist short of
+        //    outside interference; treat one as pre-commit garbage.
+        for entry in self.io.list_dir(dir)? {
+            let name = entry_name(&entry);
+            let Some((start, end)) = parse_commit_name(&name) else {
+                continue;
+            };
+            match serde_json::from_slice::<CommitRecord>(&self.io.read(&entry)?) {
+                Ok(record) => {
+                    self.roll_forward(dir, &record, &entry)?;
+                    report.actions.push(RecoveryAction::RolledForward {
+                        video: video.to_string(),
+                        sot_start: record.sot_start,
+                        sot_end: record.sot_end,
+                    });
+                    if let Some(cache) = &self.cache {
+                        cache.invalidate_video(&self.store_id, video);
+                    }
+                }
+                Err(_) => {
+                    let staging = dir.join(staging_dir_name(start, end));
+                    if self.io.exists(&staging) {
+                        self.io.remove_dir_all(&staging)?;
+                    }
+                    self.io.remove_file(&entry)?;
+                    report.actions.push(RecoveryAction::RolledBack {
+                        video: video.to_string(),
+                        sot_start: start,
+                        sot_end: end,
+                    });
+                }
+            }
+        }
+
+        // 3. Staging directories without a commit record: the re-tile never
+        //    committed — discard (roll back).
+        for entry in self.io.list_dir(dir)? {
+            let name = entry_name(&entry);
+            let Some((start, end)) = parse_staging_name(&name) else {
+                continue;
+            };
+            if self.io.is_dir(&entry) {
+                self.io.remove_dir_all(&entry)?;
+                report.actions.push(RecoveryAction::RolledBack {
+                    video: video.to_string(),
+                    sot_start: start,
+                    sot_end: end,
+                });
+            }
+        }
+
+        // 4. No manifest after the above: an ingest crashed before its
+        //    publish point — the video never existed.
+        if !self.io.exists(&dir.join("manifest.json")) {
+            self.io.remove_dir_all(dir)?;
+            report.actions.push(RecoveryAction::RemovedPartialVideo {
+                video: video.to_string(),
+            });
+            if let Some(cache) = &self.cache {
+                cache.invalidate_video(&self.store_id, video);
+            }
         }
         Ok(())
     }
+
+    /// Replays the post-commit steps of the re-tile protocol. Idempotent:
+    /// safe to re-run from any intermediate crash state.
+    fn roll_forward(
+        &self,
+        dir: &Path,
+        record: &CommitRecord,
+        commit_path: &Path,
+    ) -> Result<(), StoreError> {
+        let staging = dir.join(staging_dir_name(record.sot_start, record.sot_end));
+        let final_dir = dir.join(sot_dir_name(record.sot_start, record.sot_end));
+        if self.io.exists(&staging) {
+            if self.io.exists(&final_dir) {
+                self.io.remove_dir_all(&final_dir)?;
+            }
+            self.io.rename(&staging, &final_dir)?;
+        }
+        // If staging is gone the swap already happened; either way the
+        // record holds the authoritative post-retile manifest.
+        self.save_manifest(&record.manifest)?;
+        self.io.remove_file(commit_path)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // fsck
+    // ------------------------------------------------------------------
+
+    /// Validates every video in the store: manifest readable, SOT chain
+    /// contiguous, every tile file present with a container header that
+    /// matches the manifest (dimensions, GOP length, frame count, exact
+    /// length), and no unaccounted files. Read-only.
+    pub fn fsck(&self) -> Result<FsckReport, StoreError> {
+        self.fsck_with(&[])
+    }
+
+    /// [`VideoStore::fsck`] with an allow-list of sidecar file names the
+    /// caller places inside video directories (e.g. the CLI's scene spec):
+    /// those are not flagged as stray. The core store itself needs no
+    /// extras.
+    pub fn fsck_with(&self, allowed_extras: &[&str]) -> Result<FsckReport, StoreError> {
+        let mut report = FsckReport::default();
+        for entry in self.io.list_dir(&self.root)? {
+            if self.io.is_dir(&entry) {
+                self.fsck_video_into(&entry_name(&entry), allowed_extras, &mut report);
+            }
+        }
+        Ok(report)
+    }
+
+    /// [`VideoStore::fsck`] restricted to one video. Errors if the video's
+    /// directory does not exist at all.
+    pub fn fsck_video(&self, name: &str) -> Result<FsckReport, StoreError> {
+        self.fsck_video_with(name, &[])
+    }
+
+    /// [`VideoStore::fsck_video`] with a caller sidecar allow-list (see
+    /// [`VideoStore::fsck_with`]).
+    pub fn fsck_video_with(
+        &self,
+        name: &str,
+        allowed_extras: &[&str],
+    ) -> Result<FsckReport, StoreError> {
+        if !self.io.is_dir(&self.root.join(name)) {
+            return Err(StoreError::NotFound(format!("video '{name}'")));
+        }
+        let mut report = FsckReport::default();
+        self.fsck_video_into(name, allowed_extras, &mut report);
+        Ok(report)
+    }
+
+    /// Bounded-read container validation of one tile file. Only the header
+    /// and frame table are read; the rare container whose frame table
+    /// outgrows the prefix is re-read in full.
+    fn validate_tile_header(&self, path: &Path) -> Result<ContainerHeader, TileProblem> {
+        const HEADER_PREFIX: usize = 64 << 10;
+        // A file that exists but cannot be read (EACCES, EIO from a dying
+        // disk) is damage, not absence — report it faithfully.
+        let io_problem = |e: io::Error| {
+            if self.io.exists(path) {
+                TileProblem::Unreadable(e.to_string())
+            } else {
+                TileProblem::Missing
+            }
+        };
+        let total = self.io.file_len(path).map_err(io_problem)?;
+        let head = self
+            .io
+            .read_prefix(path, HEADER_PREFIX)
+            .map_err(io_problem)?;
+        if head.len() as u64 == total {
+            return TileVideo::validate(&head).map_err(TileProblem::Invalid);
+        }
+        match TileVideo::validate_header(&head, total) {
+            // Ambiguous truncation: the table may simply outgrow the
+            // prefix — judge from the whole file.
+            Err(ContainerError::Truncated) => {
+                let all = self.io.read(path).map_err(io_problem)?;
+                TileVideo::validate(&all).map_err(TileProblem::Invalid)
+            }
+            r => r.map_err(TileProblem::Invalid),
+        }
+    }
+
+    fn fsck_video_into(&self, video: &str, allowed_extras: &[&str], report: &mut FsckReport) {
+        report.videos_checked += 1;
+        let dir = self.root.join(video);
+        let manifest = match self.load_manifest(video) {
+            Ok(m) => m,
+            Err(e) => {
+                report.issues.push(FsckIssue::ManifestUnreadable {
+                    video: video.to_string(),
+                    detail: e.to_string(),
+                });
+                return;
+            }
+        };
+
+        // SOT chain: contiguous frames covering exactly 0..frame_count.
+        let mut expected_start = 0u32;
+        for (i, sot) in manifest.sots.iter().enumerate() {
+            if sot.start != expected_start || sot.end <= sot.start {
+                report.issues.push(FsckIssue::SotChainBroken {
+                    video: video.to_string(),
+                    detail: format!(
+                        "SOT {i} spans {}..{} but frame {expected_start} comes next",
+                        sot.start, sot.end
+                    ),
+                });
+            }
+            expected_start = sot.end;
+        }
+        if expected_start != manifest.frame_count {
+            report.issues.push(FsckIssue::SotChainBroken {
+                video: video.to_string(),
+                detail: format!(
+                    "SOTs cover 0..{expected_start} of {} frames",
+                    manifest.frame_count
+                ),
+            });
+        }
+
+        // Tile files vs manifest, container headers included. Only a
+        // bounded prefix (header + frame table) of each file is read; the
+        // exact-length check compares the declared size against the file
+        // length, so payload bytes never enter memory.
+        for sot in &manifest.sots {
+            for t in 0..sot.layout.tile_count() {
+                let path = self.tile_path(video, sot.start, sot.end, t);
+                let header = match self.validate_tile_header(&path) {
+                    Ok(h) => h,
+                    Err(TileProblem::Missing) => {
+                        report.issues.push(FsckIssue::MissingTile {
+                            video: video.to_string(),
+                            sot_start: sot.start,
+                            tile: t,
+                        });
+                        continue;
+                    }
+                    Err(TileProblem::Unreadable(detail)) => {
+                        report.issues.push(FsckIssue::TileCorrupt {
+                            video: video.to_string(),
+                            sot_start: sot.start,
+                            tile: t,
+                            detail: format!("unreadable: {detail}"),
+                        });
+                        continue;
+                    }
+                    Err(TileProblem::Invalid(e)) => {
+                        report.issues.push(FsckIssue::TileCorrupt {
+                            video: video.to_string(),
+                            sot_start: sot.start,
+                            tile: t,
+                            detail: e.to_string(),
+                        });
+                        continue;
+                    }
+                };
+                report.tiles_checked += 1;
+                let rect = sot.layout.tile_rect_by_index(t);
+                let mut mismatch = |detail: String| {
+                    report.issues.push(FsckIssue::TileMismatch {
+                        video: video.to_string(),
+                        sot_start: sot.start,
+                        tile: t,
+                        detail,
+                    });
+                };
+                if header.width != rect.w || header.height != rect.h {
+                    mismatch(format!(
+                        "container is {}x{}, layout rect is {}x{}",
+                        header.width, header.height, rect.w, rect.h
+                    ));
+                }
+                if header.gop_len != manifest.config.gop_len {
+                    mismatch(format!(
+                        "container GOP length {} vs configured {}",
+                        header.gop_len, manifest.config.gop_len
+                    ));
+                }
+                if header.frame_count != sot.len() {
+                    mismatch(format!(
+                        "container holds {} frames, SOT spans {}",
+                        header.frame_count,
+                        sot.len()
+                    ));
+                }
+            }
+
+            // Unaccounted entries inside the SOT directory.
+            let sot_dir = self.sot_dir(video, sot.start, sot.end);
+            let expected: std::collections::BTreeSet<String> =
+                (0..sot.layout.tile_count()).map(tile_file_name).collect();
+            if let Ok(entries) = self.io.list_dir(&sot_dir) {
+                for entry in entries {
+                    let name = entry_name(&entry);
+                    if !expected.contains(&name) {
+                        report.issues.push(FsckIssue::Stray {
+                            video: video.to_string(),
+                            path: format!("{}/{name}", sot_dir_name(sot.start, sot.end)),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Unaccounted entries in the video directory: anything other than
+        // the manifest, allow-listed extras, and the manifest's SOT dirs.
+        if let Ok(entries) = self.io.list_dir(&dir) {
+            for entry in entries {
+                let name = entry_name(&entry);
+                let known_sot = manifest
+                    .sots
+                    .iter()
+                    .any(|s| name == sot_dir_name(s.start, s.end));
+                let allowed =
+                    name == "manifest.json" || allowed_extras.contains(&name.as_str()) || known_sot;
+                // When recovery was deferred (another live handle holds the
+                // store lock), staging/commit/temp entries are plausibly
+                // that handle's in-flight re-tiles, not crash residue — a
+                // concurrent fsck must not call a healthy live store dirty.
+                let live_protocol_state = self.recovery.deferred
+                    && (parse_staging_name(&name).is_some()
+                        || parse_commit_name(&name).is_some()
+                        || name.ends_with(TMP_SUFFIX));
+                if !allowed && !live_protocol_state {
+                    report.issues.push(FsckIssue::Stray {
+                        video: video.to_string(),
+                        path: name,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The on-disk name of a tile file.
+fn tile_file_name(tile: u32) -> String {
+    format!("tile_{tile:03}.tvf")
+}
+
+/// Final path component as an owned string (empty for pathological paths).
+fn entry_name(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default()
 }
 
 #[cfg(test)]

@@ -213,17 +213,45 @@ pub(crate) fn video_id_for(name: &str) -> u32 {
 
 impl Tasm {
     /// Opens a storage manager rooted at `root` with the given index.
+    ///
+    /// Startup recovery runs before this returns: interrupted re-tiles are
+    /// rolled forward or back and half-ingested videos removed, so every
+    /// video observable through this instance is wholly in one layout
+    /// epoch. [`Tasm::recovery_report`] lists what was repaired.
     pub fn open(
         root: impl Into<PathBuf>,
         index: Box<dyn SemanticIndex + Send + Sync>,
         cfg: TasmConfig,
     ) -> Result<Self, TasmError> {
+        Self::open_with_io(root, index, cfg, Arc::new(crate::durable::RealIo))
+    }
+
+    /// [`Tasm::open`] with an explicit [`crate::durable::StorageIo`]
+    /// implementation — the hook the crash-injection tests use to fail,
+    /// tear, or halt storage at a chosen operation.
+    pub fn open_with_io(
+        root: impl Into<PathBuf>,
+        index: Box<dyn SemanticIndex + Send + Sync>,
+        cfg: TasmConfig,
+        io: Arc<dyn crate::durable::StorageIo>,
+    ) -> Result<Self, TasmError> {
         Ok(Tasm {
-            store: VideoStore::open_with(root, cfg.workers, cfg.cache_bytes)?,
+            store: VideoStore::open_with_io(root, cfg.workers, cfg.cache_bytes, io)?,
             index: RwLock::new(index),
             cfg,
             videos: RwLock::new(BTreeMap::new()),
         })
+    }
+
+    /// What startup recovery repaired when this instance opened its store.
+    pub fn recovery_report(&self) -> &crate::durable::RecoveryReport {
+        self.store.recovery_report()
+    }
+
+    /// Validates every stored video's manifest against its on-disk tile
+    /// files and container headers (see [`VideoStore::fsck`]). Read-only.
+    pub fn fsck(&self) -> Result<crate::durable::FsckReport, TasmError> {
+        Ok(self.store.fsck()?)
     }
 
     /// The active configuration.
@@ -281,6 +309,12 @@ impl Tasm {
     /// restart): loads its manifest from disk without re-encoding anything.
     /// Tile layouts, the semantic index, and on-disk files are all reused;
     /// only in-memory policy state (regret, query history) starts fresh.
+    ///
+    /// Startup recovery already ran when this instance opened the store,
+    /// so the manifest loaded here reflects a single consistent layout
+    /// epoch even if the previous process died mid-re-tile
+    /// ([`Tasm::recovery_report`] says which way interrupted re-tiles were
+    /// resolved).
     pub fn attach(&self, name: &str) -> Result<u32, TasmError> {
         let id = video_id_for(name);
         self.check_id_collision(name, id)?;
@@ -562,13 +596,26 @@ impl Tasm {
         sot_idx: usize,
         layout: TileLayout,
     ) -> Result<RetileStats, TasmError> {
-        let stats = {
+        let requested = layout.clone();
+        let (result, committed) = {
             let mut manifest = shard.manifest.write().expect("manifest lock");
-            self.store.retile(&mut manifest, sot_idx, layout)?
+            let result = self.store.retile(&mut manifest, sot_idx, layout);
+            // A post-commit completion failure still advances the manifest
+            // to the new layout (the re-tile logically happened; see
+            // `VideoStore::retile`), so judge by the manifest, not by `?`.
+            let committed = manifest
+                .sots
+                .get(sot_idx)
+                .is_some_and(|s| s.layout == requested);
+            (result, committed)
         };
-        // Regret resets relative to the new current layout.
-        pol.sots[sot_idx].regret.clear();
-        Ok(stats)
+        if committed {
+            // Regret resets relative to the new current layout — also when
+            // an error surfaced after the commit point, else the stale
+            // counters would immediately trigger a redundant re-tile.
+            pol.sots[sot_idx].regret.clear();
+        }
+        Ok(result?)
     }
 
     // ------------------------------------------------------------------

@@ -7,6 +7,15 @@
 //! take the video's manifest write lock, so they wait out in-flight scans
 //! and never tear one — queries keep their bit-exact guarantee while the
 //! layout converges in the background instead of on the query path.
+//!
+//! Every re-tile runs the storage layer's atomic commit protocol
+//! (`tasm_core::storage`), so killing the process while this daemon is
+//! draining its backlog can never leave a video torn between two layout
+//! epochs: startup recovery at the next open rolls the interrupted re-tile
+//! forward or back, and shutdown ([`crate::Shutdown::Drain`]) completes the
+//! backlog before the daemon exits. A re-tile that fails (e.g. the disk
+//! died mid-commit) is counted in `ServiceStats::retile_errors` and does
+//! not take the daemon down.
 
 use crate::service::{RetilePolicy, Shared};
 use std::ops::Range;

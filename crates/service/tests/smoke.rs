@@ -238,3 +238,77 @@ fn retile_daemon_retiles_in_background() {
     let manifest = tasm.manifest("v").unwrap();
     assert!(manifest.sots.iter().any(|s| !s.layout.is_untiled()));
 }
+
+#[test]
+fn daemon_crash_is_contained_and_shutdown_drains() {
+    use tasm_core::durable::{FaultIo, FaultKind};
+
+    // A Tasm over fault-injecting storage: the daemon's re-tile will run
+    // into a dead disk mid-commit, queries after the crash fail fast, and
+    // shutdown must still drain cleanly — no hang, no panic, accurate
+    // accounting. Recovery of the on-disk state is covered by
+    // tests/crash_recovery.rs; this test pins the *service* behavior.
+    let dir = std::env::temp_dir().join(format!("tasm-svc-crash-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let fault = FaultIo::new();
+    let cfg = TasmConfig {
+        storage: StorageConfig {
+            gop_len: 10,
+            sot_frames: 10,
+            ..Default::default()
+        },
+        partition: PartitionConfig {
+            min_tile_width: 32,
+            min_tile_height: 32,
+            ..Default::default()
+        },
+        eta: 0.01, // re-tile almost immediately
+        workers: 1,
+        // No decoded-GOP cache: every scan must touch the (dead) disk, so
+        // post-crash queries demonstrably fail typed instead of being
+        // silently served from warm cache entries.
+        cache_bytes: 0,
+        ..Default::default()
+    };
+    let tasm = Arc::new(
+        Tasm::open_with_io(&dir, Box::new(MemoryIndex::in_memory()), cfg, fault.clone()).unwrap(),
+    );
+    ingest(&tasm, 20);
+
+    let service = QueryService::start(
+        Arc::clone(&tasm),
+        ServiceConfig {
+            workers: 2,
+            queue_depth: 16,
+            retile: RetilePolicy::Regret,
+            retile_interval: std::time::Duration::from_millis(2),
+        },
+    );
+    // The only mutating I/O left comes from daemon re-tiles; die mid-way
+    // through the first one.
+    fault.arm(fault.mutating_ops() + 3, FaultKind::FailStop);
+    for round in 0..300 {
+        let handles: Vec<_> = (0..2)
+            .filter_map(|_| service.try_submit(request(0..20)).ok())
+            .collect();
+        for h in handles {
+            let _ = h.wait();
+        }
+        service.drain_retile_backlog();
+        if fault.crashed() {
+            break;
+        }
+        assert!(round < 299, "regret daemon never attempted a re-tile");
+    }
+    // The service survives the dead disk: submissions still resolve
+    // (with typed errors), and Drain terminates.
+    let h = service.submit(request(0..20)).unwrap();
+    assert!(matches!(h.wait(), Err(ServiceError::Tasm(_))));
+    let report = service.shutdown(Shutdown::Drain);
+    assert!(
+        report.stats.retile_errors > 0,
+        "the failed re-tile is counted"
+    );
+    assert!(report.stats.failed > 0, "post-crash queries fail typed");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,163 @@
+//! Property tests of the TVF container readers: corrupt or truncated
+//! input — torn tails, bit-flipped headers, garbage — must surface as
+//! typed [`ContainerError`]s, never as panics, and [`TileVideo::validate`]
+//! must accept exactly the bytes the writer produced.
+//!
+//! This is the on-disk analogue of `tests/wire_protocol.rs`: tile files
+//! are what `tasm fsck` reads back after a crash, so the reader is the
+//! last line of defense against a torn write that slipped past recovery.
+
+use proptest::run_cases;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tasm_codec::{ContainerError, EncoderConfig, TileEncoder, TileVideo};
+use tasm_video::{Frame, Plane, Rect};
+
+const CASES: u32 = 48;
+
+/// Encodes a small deterministic-but-arbitrary tile video: even dims,
+/// textured frames with a moving patch so keyframes and P-frames both
+/// carry real payload.
+fn arb_tile_video(rng: &mut StdRng) -> TileVideo {
+    let w = rng.gen_range(1u32..4) * 16;
+    let h = rng.gen_range(1u32..4) * 16;
+    let gop = rng.gen_range(1u32..6);
+    let frames = rng.gen_range(1u32..11);
+    let cfg = EncoderConfig {
+        gop_len: gop,
+        qp: rng.gen_range(10u32..40) as u8,
+        ..Default::default()
+    };
+    let mut enc = TileEncoder::new(cfg, Rect::new(0, 0, w, h));
+    let phase = rng.gen_range(0u32..16);
+    let encoded = (0..frames)
+        .map(|i| {
+            let mut f = Frame::filled(w, h, 100, 128, 128);
+            for y in 0..h {
+                for x in 0..w {
+                    f.set_sample(Plane::Y, x, y, ((x * 7 + y * 13 + phase) % 200 + 20) as u8);
+                }
+            }
+            if w >= 8 && h >= 8 {
+                f.fill_rect(Rect::new((i * 2) % (w - 4), 2, 4, 4), 230, 90, 160);
+            }
+            enc.encode_next(&f)
+        })
+        .collect();
+    TileVideo {
+        width: w,
+        height: h,
+        gop_len: gop,
+        qp: cfg.qp,
+        deblock: cfg.deblock,
+        frames: encoded,
+    }
+}
+
+/// `validate` accepts exactly what the writer produced, reports the header
+/// faithfully, and agrees with `from_bytes` about the content.
+#[test]
+fn validate_accepts_writer_output_exactly() {
+    run_cases(CASES, proptest::seed_for("validate"), |rng| {
+        let v = arb_tile_video(rng);
+        let bytes = v.to_bytes();
+        let h = TileVideo::validate(&bytes).expect("writer output validates");
+        assert_eq!(h.width, v.width);
+        assert_eq!(h.height, v.height);
+        assert_eq!(h.gop_len, v.gop_len);
+        assert_eq!(h.qp, v.qp);
+        assert_eq!(h.deblock, v.deblock);
+        assert_eq!(h.frame_count, v.frame_count());
+        assert_eq!(h.declared_len, bytes.len() as u64);
+        assert_eq!(TileVideo::from_bytes(&bytes).expect("parses"), v);
+
+        // Appended garbage breaks the exact-length contract.
+        let mut longer = bytes.to_vec();
+        longer.extend_from_slice(&[0u8; 3]);
+        assert!(TileVideo::validate(&longer).is_err());
+    });
+}
+
+/// Every strict prefix — a torn tail at any byte — fails both readers with
+/// a typed error; none panics, none silently succeeds.
+#[test]
+fn torn_tails_fail_with_typed_errors() {
+    run_cases(CASES, proptest::seed_for("torn"), |rng| {
+        let v = arb_tile_video(rng);
+        let bytes = v.to_bytes();
+        // Exhaustive for small containers, sampled for large ones.
+        let cuts: Vec<usize> = if bytes.len() <= 96 {
+            (0..bytes.len()).collect()
+        } else {
+            let mut c: Vec<usize> = (0..64)
+                .map(|_| rng.gen_range(0usize..bytes.len()))
+                .collect();
+            c.extend([0, 1, 22, 23, bytes.len() - 1]);
+            c
+        };
+        for cut in cuts {
+            assert!(
+                TileVideo::from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut}/{} parsed",
+                bytes.len()
+            );
+            assert!(
+                matches!(
+                    TileVideo::validate(&bytes[..cut]),
+                    Err(ContainerError::Truncated)
+                        | Err(ContainerError::BadMagic)
+                        | Err(ContainerError::InvalidHeader(_))
+                ),
+                "prefix of {cut}/{} validated",
+                bytes.len()
+            );
+        }
+    });
+}
+
+/// Bit flips in the header and frame table never panic the readers: they
+/// parse to something or fail with a typed error.
+#[test]
+fn bit_flipped_headers_never_panic() {
+    run_cases(CASES, proptest::seed_for("flip"), |rng| {
+        let v = arb_tile_video(rng);
+        let mut bytes = v.to_bytes().to_vec();
+        let prelude_len = (23 + v.frame_count() as usize * 6).min(bytes.len());
+        for _ in 0..4 {
+            let at = rng.gen_range(0usize..prelude_len);
+            bytes[at] ^= 1 << rng.gen_range(0u32..8);
+        }
+        let _ = TileVideo::from_bytes(&bytes); // must not panic
+        let _ = TileVideo::validate(&bytes); // must not panic
+    });
+}
+
+/// Arbitrary garbage — not even a TVF prefix — is rejected with typed
+/// errors at any length, including lengths that would imply enormous frame
+/// tables.
+#[test]
+fn garbage_input_is_rejected() {
+    run_cases(CASES, proptest::seed_for("garbage"), |rng| {
+        let len = rng.gen_range(0usize..128);
+        let garbage: Vec<u8> = (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect();
+        let _ = TileVideo::from_bytes(&garbage);
+        let _ = TileVideo::validate(&garbage);
+    });
+    // A well-formed header declaring a frame table far larger than the
+    // buffer must be truncation, not an allocation attempt.
+    let v = {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(proptest::seed_for("huge"));
+        arb_tile_video(&mut rng)
+    };
+    let mut bytes = v.to_bytes().to_vec();
+    bytes[19..23].copy_from_slice(&u32::MAX.to_le_bytes()); // frame count
+    assert_eq!(
+        TileVideo::from_bytes(&bytes).unwrap_err(),
+        ContainerError::Truncated
+    );
+    assert_eq!(
+        TileVideo::validate(&bytes).unwrap_err(),
+        ContainerError::Truncated
+    );
+}

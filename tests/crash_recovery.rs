@@ -1,0 +1,776 @@
+//! Crash-safety tests of the storage layer: the deterministic crash-point
+//! sweep over the re-tile commit protocol, torn-write regressions for the
+//! manifest, ingest cleanup, fsck, and kill-and-reattach under a live
+//! query service.
+//!
+//! The sweep is the core property: for *every* injectable fault point in a
+//! re-tile (fail-stop and torn-write at each mutating I/O operation),
+//! reopening the store must recover to a state **bit-identical to exactly
+//! one of the two layout epochs** — wholly pre-retile or wholly
+//! post-retile, never a mix — and `fsck` must report it clean.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+use tasm_codec::TileLayout;
+use tasm_core::durable::{FaultIo, FaultKind};
+use tasm_core::{
+    LabelPredicate, PartitionConfig, RecoveryAction, StorageConfig, StoreError, Tasm, TasmConfig,
+    VideoStore,
+};
+use tasm_index::MemoryIndex;
+use tasm_service::{QueryRequest, QueryService, RetilePolicy, ServiceConfig, Shutdown};
+use tasm_video::{Frame, Plane, Rect, VecFrameSource};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tasm-crash-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small deterministic 64x64 source with texture and a moving patch.
+fn test_source(frames: u32) -> VecFrameSource {
+    VecFrameSource::new(
+        (0..frames)
+            .map(|i| {
+                let mut f = Frame::filled(64, 64, 90, 128, 128);
+                for y in 0..64 {
+                    for x in 0..64 {
+                        f.set_sample(Plane::Y, x, y, ((x * 3 + y * 5 + i * 2) % 200 + 20) as u8);
+                    }
+                }
+                f.fill_rect(Rect::new((i * 4) % 48, 16, 16, 16), 230, 90, 160);
+                f
+            })
+            .collect(),
+    )
+}
+
+fn small_cfg() -> StorageConfig {
+    StorageConfig {
+        gop_len: 5,
+        sot_frames: 10,
+        parallel_encode: false,
+        ..Default::default()
+    }
+}
+
+/// Every file under `dir`, keyed by store-relative path. Bit-level equality
+/// of two snapshots is the "same epoch" relation the sweep asserts.
+fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    fn walk(base: &Path, dir: &Path, out: &mut BTreeMap<String, Vec<u8>>) {
+        for entry in fs::read_dir(dir).expect("read_dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                walk(base, &path, out);
+            } else {
+                let rel = path
+                    .strip_prefix(base)
+                    .expect("under base")
+                    .to_string_lossy()
+                    .into_owned();
+                out.insert(rel, fs::read(&path).expect("read file"));
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(dir, dir, &mut out);
+    out
+}
+
+/// Recreates `dir` to hold exactly the files of `snap`.
+fn restore(snap: &BTreeMap<String, Vec<u8>>, dir: &Path) {
+    let _ = fs::remove_dir_all(dir);
+    for (rel, bytes) in snap {
+        let path = dir.join(rel);
+        fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        fs::write(&path, bytes).expect("write");
+    }
+}
+
+/// Human-readable first divergence between a recovered state and the two
+/// epoch snapshots, for sweep failure messages.
+fn describe_divergence(
+    got: &BTreeMap<String, Vec<u8>>,
+    pre: &BTreeMap<String, Vec<u8>>,
+    post: &BTreeMap<String, Vec<u8>>,
+) -> String {
+    let diff = |name: &str, reference: &BTreeMap<String, Vec<u8>>| -> String {
+        let missing: Vec<&String> = reference.keys().filter(|k| !got.contains_key(*k)).collect();
+        let extra: Vec<&String> = got.keys().filter(|k| !reference.contains_key(*k)).collect();
+        let changed: Vec<&String> = reference
+            .iter()
+            .filter(|(k, v)| got.get(*k).is_some_and(|g| g != *v))
+            .map(|(k, _)| k)
+            .collect();
+        format!("vs {name}: missing {missing:?}, extra {extra:?}, changed {changed:?}")
+    };
+    format!("{}; {}", diff("pre", pre), diff("post", post))
+}
+
+/// The crash-point sweep (acceptance criterion): run the same re-tile once
+/// per injectable fault point — fail-stop *and* torn-write at every
+/// mutating operation of the commit protocol — and assert that reopening
+/// the store recovers to a state bit-identical to exactly the pre-retile
+/// or the post-retile epoch, with `fsck` clean either way.
+#[test]
+fn crash_point_sweep_recovers_to_exactly_one_epoch() {
+    // Epoch A: a one-SOT untiled video.
+    let base = temp_dir("sweep-base");
+    let store = VideoStore::open(&base).expect("open base");
+    let src = test_source(10);
+    store
+        .ingest("v", &src, 30, small_cfg(), |_, _| {
+            TileLayout::untiled(64, 64)
+        })
+        .expect("ingest");
+    drop(store);
+    let pre = snapshot(&base);
+
+    // Epoch B: the same store after a clean 4x4 re-tile, run through a
+    // disarmed fault injector so we also learn the exact number of
+    // mutating operations the protocol performs.
+    let new_layout = TileLayout::uniform(64, 64, 4, 4).expect("layout");
+    let clean = temp_dir("sweep-clean");
+    restore(&pre, &clean);
+    let counter = FaultIo::new();
+    let store = VideoStore::open_with_io(&clean, 0, 0, counter.clone()).expect("open clean");
+    let mut manifest = store.load_manifest("v").expect("manifest");
+    let ops_before = counter.mutating_ops();
+    store
+        .retile(&mut manifest, 0, new_layout.clone())
+        .expect("clean retile");
+    let total_ops = counter.mutating_ops() - ops_before;
+    drop(store);
+    let post = snapshot(&clean);
+    assert!(
+        total_ops >= 20,
+        "the protocol must expose at least 20 distinct fault points, got {total_ops}"
+    );
+    assert_ne!(pre, post, "the re-tile must actually change the store");
+
+    let scratch = temp_dir("sweep-scratch");
+    let (mut recovered_pre, mut recovered_post) = (0u64, 0u64);
+    for kind in [FaultKind::FailStop, FaultKind::TornWrite] {
+        for n in 1..=total_ops {
+            restore(&pre, &scratch);
+            let fault = FaultIo::new();
+            let store =
+                VideoStore::open_with_io(&scratch, 0, 0, fault.clone()).expect("open faulted");
+            let mut manifest = store.load_manifest("v").expect("manifest");
+            fault.arm(fault.mutating_ops() + n, kind);
+            let result = store.retile(&mut manifest, 0, new_layout.clone());
+            assert!(
+                result.is_err(),
+                "{kind:?} at op {n} must surface as an error"
+            );
+            assert!(fault.crashed(), "{kind:?} at op {n} must have fired");
+            drop(store);
+
+            // Reopen with real I/O: startup recovery runs.
+            let store = VideoStore::open(&scratch).expect("reopen after crash");
+            let fsck = store.fsck().expect("fsck runs");
+            assert!(
+                fsck.is_clean(),
+                "{kind:?} at op {n}: fsck found {:?} (recovery did {:?})",
+                fsck.issues,
+                store.recovery_report().actions
+            );
+            assert!(
+                fsck.tiles_checked > 0,
+                "{kind:?} at op {n}: nothing checked"
+            );
+            drop(store);
+
+            let got = snapshot(&scratch);
+            if got == pre {
+                recovered_pre += 1;
+            } else if got == post {
+                recovered_post += 1;
+            } else {
+                panic!(
+                    "{kind:?} at op {n}: recovered state matches neither epoch: {}",
+                    describe_divergence(&got, &pre, &post)
+                );
+            }
+        }
+    }
+    // The sweep must have crossed the commit point: some fault points land
+    // before it (pre-retile epoch survives) and some after (the re-tile
+    // completes at recovery).
+    assert!(recovered_pre > 0, "no fault point rolled back");
+    assert!(recovered_post > 0, "no fault point rolled forward");
+    fs::remove_dir_all(&base).ok();
+    fs::remove_dir_all(&clean).ok();
+    fs::remove_dir_all(&scratch).ok();
+}
+
+/// Regression for the non-atomic `save_manifest`: a torn write must never
+/// reach `manifest.json`, and the interrupted temp file is reaped at the
+/// next open.
+#[test]
+fn torn_manifest_write_leaves_old_manifest_intact() {
+    let dir = temp_dir("torn-manifest");
+    let store = VideoStore::open(&dir).expect("open");
+    let src = test_source(10);
+    store
+        .ingest("v", &src, 30, small_cfg(), |_, _| {
+            TileLayout::untiled(64, 64)
+        })
+        .expect("ingest");
+    drop(store);
+    let manifest_path = dir.join("v").join("manifest.json");
+    let original = fs::read(&manifest_path).expect("manifest on disk");
+
+    // Tear the manifest rewrite mid-write.
+    let fault = FaultIo::new();
+    let store = VideoStore::open_with_io(&dir, 0, 0, fault.clone()).expect("open faulted");
+    let mut manifest = store.load_manifest("v").expect("manifest");
+    manifest.fps = 60;
+    fault.arm(fault.mutating_ops() + 1, FaultKind::TornWrite);
+    assert!(matches!(
+        store.save_manifest(&manifest),
+        Err(StoreError::Io(_))
+    ));
+    drop(store);
+    assert_eq!(
+        fs::read(&manifest_path).expect("manifest still on disk"),
+        original,
+        "a torn write must never touch the published manifest"
+    );
+    assert!(
+        dir.join("v").join("manifest.json.tmp").exists(),
+        "the torn temp file is what the crash left behind"
+    );
+
+    // Recovery reaps the temp file; the old manifest still reads.
+    let store = VideoStore::open(&dir).expect("reopen");
+    assert!(store
+        .recovery_report()
+        .actions
+        .iter()
+        .any(|a| matches!(a, RecoveryAction::RemovedTemp { video, .. } if video == "v")));
+    assert!(!dir.join("v").join("manifest.json.tmp").exists());
+    assert_eq!(store.load_manifest("v").expect("manifest").fps, 30);
+    assert!(store.fsck().expect("fsck").is_clean());
+    // Release the store lock: a live handle would (correctly) make the
+    // openers below defer recovery.
+    drop(store);
+
+    // Fail-stop between temp write and rename: same outcome, the fully
+    // written temp file is still not the published manifest.
+    let fault = FaultIo::new();
+    let store2 = VideoStore::open_with_io(&dir, 0, 0, fault.clone()).expect("open faulted");
+    let mut manifest = store2.load_manifest("v").expect("manifest");
+    manifest.fps = 90;
+    fault.arm(fault.mutating_ops() + 2, FaultKind::FailStop);
+    assert!(store2.save_manifest(&manifest).is_err());
+    drop(store2);
+    assert_eq!(fs::read(&manifest_path).expect("manifest"), original);
+    let store = VideoStore::open(&dir).expect("reopen again");
+    assert_eq!(store.load_manifest("v").expect("manifest").fps, 30);
+    assert!(store.fsck().expect("fsck").is_clean());
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// A graceful mid-ingest failure (bad layout for a later SOT) must remove
+/// the partially written video directory instead of leaving orphan `.tvf`
+/// files behind.
+#[test]
+fn failed_ingest_cleans_up_partial_video() {
+    let dir = temp_dir("ingest-cleanup");
+    let store = VideoStore::open(&dir).expect("open");
+    let src = test_source(20); // two SOTs of 10
+    let result = store.ingest("v", &src, 30, small_cfg(), |sot, _| {
+        if sot == 0 {
+            TileLayout::untiled(64, 64)
+        } else {
+            TileLayout::untiled(32, 32) // does not cover the frame: SOT 1 fails
+        }
+    });
+    assert!(matches!(result, Err(StoreError::Layout(_))));
+    assert!(
+        !dir.join("v").exists(),
+        "partial video directory must be removed"
+    );
+    assert!(matches!(
+        store.load_manifest("v"),
+        Err(StoreError::NotFound(_))
+    ));
+    assert!(store.fsck().expect("fsck").is_clean());
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// A *crash* mid-ingest cannot clean up (every further I/O fails, as after
+/// `kill -9`), so the orphan directory survives until the next open, where
+/// recovery removes it because it never gained a manifest.
+#[test]
+fn crashed_ingest_is_reaped_at_next_open() {
+    let dir = temp_dir("ingest-crash");
+    let fault = FaultIo::new();
+    let store = VideoStore::open_with_io(&dir, 0, 0, fault.clone()).expect("open");
+    let src = test_source(20);
+    // Ops: video dir create, SOT0 dir create, SOT0 tile, SOT1 dir create,
+    // SOT1 tile… — crash on the SOT1 tile write.
+    fault.arm(fault.mutating_ops() + 5, FaultKind::TornWrite);
+    assert!(store
+        .ingest("v", &src, 30, small_cfg(), |_, _| TileLayout::untiled(
+            64, 64
+        ))
+        .is_err());
+    drop(store);
+    assert!(
+        dir.join("v").exists(),
+        "a crashed process cannot have cleaned up"
+    );
+
+    let store = VideoStore::open(&dir).expect("reopen");
+    assert!(store
+        .recovery_report()
+        .actions
+        .iter()
+        .any(|a| matches!(a, RecoveryAction::RemovedPartialVideo { video } if video == "v")));
+    assert!(!dir.join("v").exists(), "recovery reaps the orphan");
+    assert!(matches!(
+        store.load_manifest("v"),
+        Err(StoreError::NotFound(_))
+    ));
+    assert!(store.fsck().expect("fsck").is_clean());
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// fsck detects what recovery cannot: silent corruption of tile files and
+/// entries the manifest does not account for.
+#[test]
+fn fsck_detects_corruption_and_strays() {
+    let dir = temp_dir("fsck");
+    let store = VideoStore::open(&dir).expect("open");
+    let src = test_source(10);
+    let layout = TileLayout::uniform(64, 64, 2, 2).expect("layout");
+    store
+        .ingest("v", &src, 30, small_cfg(), move |_, _| layout.clone())
+        .expect("ingest");
+    assert!(store.fsck().expect("fsck").is_clean());
+    assert!(store.fsck_video("v").expect("fsck v").is_clean());
+    assert!(matches!(
+        store.fsck_video("nope"),
+        Err(StoreError::NotFound(_))
+    ));
+
+    let sot_dir = dir.join("v").join("sot_000000_000010");
+    let tile0 = sot_dir.join("tile_000.tvf");
+
+    // Torn tail.
+    let original = fs::read(&tile0).expect("tile bytes");
+    fs::write(&tile0, &original[..original.len() - 3]).expect("truncate");
+    let report = store.fsck().expect("fsck");
+    assert!(
+        report
+            .issues
+            .iter()
+            .any(|i| matches!(i, tasm_core::FsckIssue::TileCorrupt { tile: 0, .. })),
+        "torn tail must be flagged, got {:?}",
+        report.issues
+    );
+
+    // Bit-flipped header (width field).
+    let mut flipped = original.clone();
+    flipped[5] ^= 0xff;
+    fs::write(&tile0, &flipped).expect("flip");
+    let report = store.fsck().expect("fsck");
+    assert!(!report.is_clean(), "flipped header must be flagged");
+
+    // Restore, then drop strays in both directories.
+    fs::write(&tile0, &original).expect("restore");
+    fs::write(sot_dir.join("notes.txt"), b"?").expect("stray");
+    fs::write(dir.join("v").join("commit_sot_000000_000010.json"), b"{")
+        .expect("stray commit-lookalike");
+    let report = store.fsck().expect("fsck");
+    let strays = report
+        .issues
+        .iter()
+        .filter(|i| {
+            matches!(i, tasm_core::FsckIssue::TileMismatch { .. })
+                || matches!(i, tasm_core::FsckIssue::Stray { .. })
+        })
+        .count();
+    assert!(strays >= 2, "both strays flagged, got {:?}", report.issues);
+
+    // A *missing* tile is its own issue class.
+    fs::remove_file(sot_dir.join("notes.txt")).expect("cleanup stray");
+    fs::remove_file(&tile0).expect("remove tile");
+    let report = store.fsck_video("v").expect("fsck v");
+    assert!(report
+        .issues
+        .iter()
+        .any(|i| matches!(i, tasm_core::FsckIssue::MissingTile { tile: 0, .. })));
+    fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// Kill-and-reattach under a live service
+// ---------------------------------------------------------------------
+
+/// A 128x96 source with a moving "car" and a static "person", matching the
+/// deterministic ground truth `populate_truth` records.
+fn service_source(frames: u32) -> VecFrameSource {
+    VecFrameSource::new(
+        (0..frames)
+            .map(|i| {
+                let mut f = Frame::filled(128, 96, 90, 128, 128);
+                for y in 0..96 {
+                    for x in 0..128 {
+                        f.set_sample(Plane::Y, x, y, ((x * 3 + y * 7) % 180 + 30) as u8);
+                    }
+                }
+                f.fill_rect(Rect::new((i * 2) % 96, 8, 24, 16), 220, 90, 170);
+                f.fill_rect(Rect::new(96, 64, 12, 24), 60, 170, 90);
+                f
+            })
+            .collect(),
+    )
+}
+
+fn service_cfg() -> TasmConfig {
+    TasmConfig {
+        storage: StorageConfig {
+            gop_len: 5,
+            sot_frames: 10,
+            parallel_encode: false,
+            ..Default::default()
+        },
+        partition: PartitionConfig {
+            min_tile_width: 32,
+            min_tile_height: 16,
+            ..Default::default()
+        },
+        // A tiny regret threshold so the daemon re-tiles within a few
+        // observations — the crash must land mid-re-tile.
+        eta: 0.05,
+        workers: 2,
+        cache_bytes: 32 << 20,
+        ..Default::default()
+    }
+}
+
+fn populate_truth(t: &Tasm, frames: u32) {
+    for i in 0..frames {
+        t.add_metadata("v", "car", i, Rect::new((i * 2) % 96, 8, 24, 16))
+            .unwrap();
+        t.add_metadata("v", "person", i, Rect::new(96, 64, 12, 24))
+            .unwrap();
+        t.mark_processed("v", i).unwrap();
+    }
+}
+
+/// Kill-and-reattach: crash the storage layer while the regret daemon and
+/// 4 query workers are live, reopen the store (recovery), and verify that
+/// post-recovery queries are bit-identical to a serially-driven twin
+/// brought to the same per-SOT layouts.
+#[test]
+fn kill_and_reattach_matches_serially_driven_twin() {
+    const FRAMES: u32 = 40;
+    let dir = temp_dir("kill-reattach");
+    let fault = FaultIo::new();
+    let tasm = Arc::new(
+        Tasm::open_with_io(
+            &dir,
+            Box::new(MemoryIndex::in_memory()),
+            service_cfg(),
+            fault.clone(),
+        )
+        .expect("open"),
+    );
+    let src = service_source(FRAMES);
+    tasm.ingest("v", &src, 30).expect("ingest");
+    populate_truth(&tasm, FRAMES);
+
+    let service = QueryService::start(
+        Arc::clone(&tasm),
+        ServiceConfig {
+            workers: 4,
+            queue_depth: 16,
+            retile: RetilePolicy::Regret,
+            retile_interval: Duration::from_millis(2),
+        },
+    );
+    // The next mutating I/O comes from the daemon's re-tiles; land the
+    // crash in the middle of one (op 7 of a ~10-op commit sequence).
+    fault.arm(fault.mutating_ops() + 7, FaultKind::TornWrite);
+
+    let windows = [0u32..10, 10..20, 20..30, 30..40];
+    let mut submitted = 0u32;
+    'drive: for round in 0..200 {
+        let handles: Vec<_> = windows
+            .iter()
+            .filter_map(|w| {
+                service
+                    .try_submit(QueryRequest::scan(
+                        "v",
+                        LabelPredicate::label(if round % 3 == 0 { "person" } else { "car" }),
+                        w.clone(),
+                    ))
+                    .ok()
+            })
+            .collect();
+        submitted += handles.len() as u32;
+        for h in handles {
+            let _ = h.wait(); // post-crash queries fail; both are fine
+        }
+        if fault.crashed() {
+            // Let the daemon run into the dead I/O a little longer so its
+            // error accounting is observable, then stop driving.
+            std::thread::sleep(Duration::from_millis(10));
+            break 'drive;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(
+        fault.crashed(),
+        "the regret daemon never re-tiled ({submitted} queries submitted)"
+    );
+    let report = service.shutdown(Shutdown::Drain);
+    assert!(
+        report.stats.retile_ops > 0 || report.stats.retile_errors > 0,
+        "the daemon must have attempted re-tiles"
+    );
+    drop(tasm);
+
+    // "Restart": reopen the store on real I/O — recovery resolves the
+    // interrupted re-tile to one epoch — and reattach the video.
+    let recovered = Tasm::open(&dir, Box::new(MemoryIndex::in_memory()), service_cfg())
+        .expect("reopen after kill");
+    recovered.attach("v").expect("reattach");
+    populate_truth(&recovered, FRAMES);
+    assert!(recovered.fsck().expect("fsck").is_clean());
+    let recovered_manifest = recovered.manifest("v").expect("manifest");
+
+    // The twin is driven serially on clean I/O to the exact per-SOT
+    // layouts recovery settled on; transcodes are deterministic, so every
+    // query must then be bit-identical.
+    let twin_dir = temp_dir("kill-reattach-twin");
+    let twin = Tasm::open(&twin_dir, Box::new(MemoryIndex::in_memory()), service_cfg())
+        .expect("open twin");
+    twin.ingest("v", &src, 30).expect("twin ingest");
+    populate_truth(&twin, FRAMES);
+    for (sot_idx, sot) in recovered_manifest.sots.iter().enumerate() {
+        let twin_layout = twin.manifest("v").expect("twin manifest").sots[sot_idx]
+            .layout
+            .clone();
+        if twin_layout != sot.layout {
+            twin.retile("v", sot_idx, sot.layout.clone())
+                .expect("twin retile");
+        }
+    }
+
+    for label in ["car", "person"] {
+        for window in [0u32..10, 10..20, 20..30, 30..40, 0..40] {
+            let a = recovered
+                .scan("v", &LabelPredicate::label(label), window.clone())
+                .expect("recovered scan");
+            let b = twin
+                .scan("v", &LabelPredicate::label(label), window.clone())
+                .expect("twin scan");
+            let expected: Vec<&tasm_core::RegionPixels> = b.regions.iter().collect();
+            tasm_suite::assert_regions_identical(
+                &expected,
+                &a.regions,
+                &format!("'{label}' over {window:?} after recovery"),
+            );
+        }
+    }
+    fs::remove_dir_all(&dir).ok();
+    fs::remove_dir_all(&twin_dir).ok();
+}
+
+/// While one handle holds the store lock (a live server), a second opener
+/// (e.g. `tasm fsck` against a running `tasm serve`) must not run mutating
+/// recovery — deleting what looks like crash residue would corrupt the
+/// live handle's in-flight re-tile.
+#[test]
+fn second_opener_defers_recovery_while_store_is_live() {
+    let dir = temp_dir("live-lock");
+    let live = VideoStore::open(&dir).expect("open live handle");
+    let src = test_source(10);
+    live.ingest("v", &src, 30, small_cfg(), |_, _| {
+        TileLayout::untiled(64, 64)
+    })
+    .expect("ingest");
+
+    // What an in-flight re-tile of the live handle looks like on disk.
+    let staging = dir.join("v").join("staging_sot_000000_000010");
+    fs::create_dir_all(&staging).expect("staging");
+    fs::write(staging.join("tile_000.tvf"), b"in flight").expect("tile");
+
+    let second = VideoStore::open(&dir).expect("second opener");
+    assert!(second.recovery_report().deferred, "lock is held: no repair");
+    assert!(second.recovery_report().is_clean());
+    assert!(staging.exists(), "the live re-tile must survive");
+    // A deferred fsck treats the live handle's protocol state (staging,
+    // commit records, temps) as in-flight, not as corruption.
+    let fsck = second.fsck().expect("fsck on live store");
+    assert!(fsck.is_clean(), "live staging flagged: {:?}", fsck.issues);
+    drop(second);
+    assert!(staging.exists());
+
+    // Once the live handle is gone the next open recovers normally.
+    drop(live);
+    let fresh = VideoStore::open(&dir).expect("reopen after shutdown");
+    assert!(!fresh.recovery_report().deferred);
+    assert!(fresh
+        .recovery_report()
+        .actions
+        .iter()
+        .any(|a| matches!(a, RecoveryAction::RolledBack { sot_start: 0, .. })));
+    assert!(!staging.exists());
+    assert!(fresh.fsck().expect("fsck").is_clean());
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// A commit record surviving a transiently failed completion must be
+/// finished before a later re-tile of the same video commits — otherwise
+/// the next open would roll the stale record forward and erase the later
+/// re-tile's manifest entry while its tile files remain.
+#[test]
+fn pending_commit_record_is_finished_before_a_new_retile() {
+    let dir = temp_dir("pending-commit");
+    let store = VideoStore::open(&dir).expect("open");
+    let src = test_source(20); // two SOTs of 10
+    store
+        .ingest("v", &src, 30, small_cfg(), |_, _| {
+            TileLayout::untiled(64, 64)
+        })
+        .expect("ingest");
+    let mut manifest = store.load_manifest("v").expect("manifest");
+    let sot0_layout = TileLayout::uniform(64, 64, 2, 2).expect("layout");
+    store
+        .retile(&mut manifest, 0, sot0_layout.clone())
+        .expect("retile SOT 0");
+
+    // Plant what a post-commit transient failure leaves behind: a commit
+    // record for SOT 0 whose manifest snapshot is the current on-disk
+    // manifest (SOT 0 tiled, SOT 1 untiled).
+    let manifest_json =
+        String::from_utf8(fs::read(dir.join("v").join("manifest.json")).expect("manifest bytes"))
+            .expect("utf8");
+    let record = format!("{{\"sot_start\": 0, \"sot_end\": 10, \"manifest\": {manifest_json}}}");
+    let record_path = dir.join("v").join("commit_sot_000000_000010.json");
+    fs::write(&record_path, record).expect("plant record");
+
+    // A later re-tile of SOT 1 through the same handle must finish the
+    // pending record first, then commit — never stack a second record on
+    // top of the survivor.
+    let sot1_layout = TileLayout::uniform(64, 64, 1, 2).expect("layout");
+    store
+        .retile(&mut manifest, 1, sot1_layout.clone())
+        .expect("retile SOT 1");
+    assert!(!record_path.exists(), "survivor record must be completed");
+
+    // Both layouts survive in the manifest, on disk and after reopen.
+    let reloaded = store.load_manifest("v").expect("reload");
+    assert_eq!(reloaded.sots[0].layout, sot0_layout);
+    assert_eq!(reloaded.sots[1].layout, sot1_layout);
+    drop(store);
+    let store = VideoStore::open(&dir).expect("reopen");
+    assert!(
+        store.recovery_report().is_clean(),
+        "nothing left to recover: {:?}",
+        store.recovery_report().actions
+    );
+    let fsck = store.fsck().expect("fsck");
+    assert!(fsck.is_clean(), "{:?}", fsck.issues);
+    let recovered = store.load_manifest("v").expect("manifest after reopen");
+    assert_eq!(recovered.sots[0].layout, sot0_layout);
+    assert_eq!(recovered.sots[1].layout, sot1_layout);
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Recovery only reaps directories that are recognizably the store's own
+/// (tile residue or empty): a foreign directory — the store opened at a
+/// wrong or shared path — is never deleted, even without a manifest.
+#[test]
+fn recovery_never_deletes_foreign_directories() {
+    let dir = temp_dir("foreign");
+    let store = VideoStore::open(&dir).expect("open");
+    let src = test_source(10);
+    store
+        .ingest("v", &src, 30, small_cfg(), |_, _| {
+            TileLayout::untiled(64, 64)
+        })
+        .expect("ingest");
+    drop(store);
+
+    // Not ours: a manifest-less directory holding unrelated data.
+    let foreign = dir.join("my-backups");
+    fs::create_dir_all(&foreign).expect("mkdir");
+    fs::write(foreign.join("important.txt"), b"do not lose").expect("write");
+    fs::write(foreign.join("notes.tmp"), b"also keep: not tile residue").expect("write");
+
+    let store = VideoStore::open(&dir).expect("reopen");
+    assert!(
+        store.recovery_report().is_clean(),
+        "foreign data must not be touched: {:?}",
+        store.recovery_report().actions
+    );
+    assert_eq!(
+        fs::read(foreign.join("important.txt")).expect("survives"),
+        b"do not lose"
+    );
+    assert!(
+        foreign.join("notes.tmp").exists(),
+        "even .tmp files survive"
+    );
+    // fsck still *flags* the unknown directory — it should not be in a
+    // store — it just never deletes it.
+    assert!(!store.fsck().expect("fsck").is_clean());
+
+    // An empty manifest-less directory, by contrast, is ingest residue.
+    drop(store);
+    fs::create_dir_all(dir.join("half-ingested")).expect("mkdir");
+    let store = VideoStore::open(&dir).expect("reopen again");
+    assert!(store.recovery_report().actions.iter().any(
+        |a| matches!(a, RecoveryAction::RemovedPartialVideo { video } if video == "half-ingested")
+    ));
+    assert!(!dir.join("half-ingested").exists());
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Re-tiles through the facade survive restart cleanly: no residue, no
+/// recovery actions, fsck clean — the happy path of the commit protocol.
+#[test]
+fn clean_retile_leaves_no_residue() {
+    let dir = temp_dir("clean-retile");
+    let store = VideoStore::open(&dir).expect("open");
+    let src = test_source(10);
+    store
+        .ingest("v", &src, 30, small_cfg(), |_, _| {
+            TileLayout::untiled(64, 64)
+        })
+        .expect("ingest");
+    let mut manifest = store.load_manifest("v").expect("manifest");
+    store
+        .retile(
+            &mut manifest,
+            0,
+            TileLayout::uniform(64, 64, 2, 2).expect("layout"),
+        )
+        .expect("retile");
+    drop(store);
+
+    let store = VideoStore::open(&dir).expect("reopen");
+    assert!(
+        store.recovery_report().is_clean(),
+        "clean shutdown needs no recovery: {:?}",
+        store.recovery_report().actions
+    );
+    let fsck = store.fsck().expect("fsck");
+    assert!(fsck.is_clean(), "{:?}", fsck.issues);
+    assert_eq!(fsck.tiles_checked, 4);
+    assert_eq!(
+        store.load_manifest("v").expect("manifest").sots[0].retile_count,
+        1
+    );
+    fs::remove_dir_all(&dir).ok();
+}
