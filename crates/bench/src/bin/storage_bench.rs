@@ -1,0 +1,329 @@
+//! Storage-tier benchmark: entropy-coded tiles and the SSTable index.
+//!
+//! Two halves, matching the tiered-storage design:
+//!
+//! 1. **Tile codec** — ingests the same synthetic scene corpus twice, once
+//!    with the DCT-only codec and once with the per-tile size trial
+//!    (`CodecChoice::Auto`, which keeps the prediction + rANS payload when
+//!    it is smaller), and reports on-disk bytes, the compression ratio,
+//!    cold-open time, and cold/warm full-scan throughput of each store.
+//! 2. **Semantic index** — loads ~1M detections (scaled by
+//!    `TASM_BENCH_SCALE`) into the tiered index, reports disk and resident
+//!    bytes against a fully resident in-memory map, cold-open time, and
+//!    checks that planner-visible query results are identical to the
+//!    in-memory reference.
+//!
+//! Results land in `results/BENCH_storage.json` (machine-readable; CI's
+//! smoke job asserts on the ratios). Run with
+//! `cargo run --release -p tasm-bench --bin storage_bench`.
+
+use serde::Serialize;
+use std::path::Path;
+use std::time::Instant;
+use tasm_bench::{bench_dir, micro_config, scaled_count, scaled_secs, write_result};
+use tasm_codec::CodecChoice;
+use tasm_core::{LabelPredicate, StorageConfig, Tasm, TasmConfig};
+use tasm_data::{Dataset, SyntheticVideo};
+use tasm_index::{MemoryIndex, SemanticIndex, TieredIndex};
+use tasm_video::{FrameSource, Rect};
+
+/// One ingested store variant (a codec choice) and its measurements.
+#[derive(Serialize)]
+struct TileCase {
+    codec: &'static str,
+    disk_bytes: u64,
+    bytes_per_frame: f64,
+    /// Raw (decoded 4:2:0) bytes divided by on-disk bytes.
+    ratio_vs_raw: f64,
+    /// Tiles whose size trial kept the prediction + rANS payload.
+    pred_tiles: u64,
+    dct_tiles: u64,
+    cold_open_ms: f64,
+    cold_scan_fps: f64,
+    warm_scan_fps: f64,
+}
+
+#[derive(Serialize)]
+struct TileReport {
+    dataset: &'static str,
+    frames: u32,
+    raw_bytes: u64,
+    cases: Vec<TileCase>,
+    /// Raw pixel bytes divided by entropy-coded (lossless prediction +
+    /// rANS) store bytes — the headline vs the uncompressed baseline
+    /// (acceptance target: >= 1.5).
+    entropy_ratio_vs_raw: f64,
+    /// Cold-scan slowdown of the entropy-coded store relative to the
+    /// DCT-sim store (%; acceptance target: <= 25).
+    cold_scan_slowdown_pct: f64,
+}
+
+#[derive(Serialize)]
+struct IndexReport {
+    entries: u64,
+    run_count: u64,
+    disk_bytes: u64,
+    resident_bytes: u64,
+    /// Lower bound on a fully resident map: entries x (key + value) bytes,
+    /// ignoring all per-node overhead.
+    full_map_bytes: u64,
+    /// resident_bytes / full_map_bytes (acceptance target: <= 0.25).
+    resident_ratio: f64,
+    disk_bytes_per_entry: f64,
+    cold_open_ms: f64,
+    filter_hit_rate: f64,
+    queries_checked: u64,
+    /// Query results bit-identical to the in-memory reference.
+    planner_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    tiles: TileReport,
+    index: IndexReport,
+}
+
+fn tile_config(codec: CodecChoice) -> TasmConfig {
+    TasmConfig {
+        storage: StorageConfig {
+            codec,
+            ..micro_config().storage
+        },
+        // A real cache so the warm scan measures the decoded-GOP hit path.
+        cache_bytes: 512 << 20,
+        ..micro_config()
+    }
+}
+
+fn ingest_corpus(video: &SyntheticVideo, codec: CodecChoice, root: &Path) -> (Tasm, String) {
+    let tasm = Tasm::open(
+        root.to_path_buf(),
+        Box::new(MemoryIndex::in_memory()),
+        tile_config(codec),
+    )
+    .expect("open tasm");
+    let name = "v".to_string();
+    tasm.ingest(&name, video, 30).expect("ingest");
+    for f in 0..video.len() {
+        for (label, bbox) in video.ground_truth(f) {
+            tasm.add_metadata(&name, label, f, bbox).expect("metadata");
+        }
+        tasm.mark_processed(&name, f).expect("mark");
+    }
+    (tasm, name)
+}
+
+fn scan_fps(tasm: &Tasm, name: &str, frames: u32) -> f64 {
+    let t = Instant::now();
+    tasm.scan(name, &LabelPredicate::label("car"), 0..frames)
+        .expect("scan");
+    frames as f64 / t.elapsed().as_secs_f64()
+}
+
+fn tile_case(
+    video: &SyntheticVideo,
+    codec: CodecChoice,
+    label: &'static str,
+    raw_bytes: u64,
+) -> TileCase {
+    let root = bench_dir(&format!("storage-{label}"));
+    let (tasm, name) = ingest_corpus(video, codec, &root);
+    let disk_bytes = tasm.video_size_bytes(&name).expect("size");
+    let manifest = tasm.manifest(&name).expect("manifest");
+    let (mut pred_tiles, mut dct_tiles) = (0u64, 0u64);
+    for sot in &manifest.sots {
+        for &c in &sot.tile_codecs {
+            if c == 0 {
+                dct_tiles += 1;
+            } else {
+                pred_tiles += 1;
+            }
+        }
+    }
+    drop(tasm);
+
+    // Cold open + cold scan on fresh instances (empty decoded-GOP cache);
+    // best-of-3 against scheduler noise, each round on a new instance so
+    // the first scan is genuinely cold.
+    let mut cold_open_ms = f64::INFINITY;
+    let mut cold_scan_fps = 0.0f64;
+    let mut warm_scan_fps = 0.0f64;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let tasm = Tasm::open(
+            root.clone(),
+            Box::new(MemoryIndex::in_memory()),
+            tile_config(codec),
+        )
+        .expect("reopen");
+        tasm.attach(&name).expect("attach");
+        cold_open_ms = cold_open_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        for f in 0..video.len() {
+            for (l, bbox) in video.ground_truth(f) {
+                tasm.add_metadata(&name, l, f, bbox).expect("metadata");
+            }
+            tasm.mark_processed(&name, f).expect("mark");
+        }
+        cold_scan_fps = cold_scan_fps.max(scan_fps(&tasm, &name, video.len()));
+        warm_scan_fps = warm_scan_fps.max(scan_fps(&tasm, &name, video.len()));
+    }
+    std::fs::remove_dir_all(&root).ok();
+
+    TileCase {
+        codec: label,
+        disk_bytes,
+        bytes_per_frame: disk_bytes as f64 / video.len() as f64,
+        ratio_vs_raw: raw_bytes as f64 / disk_bytes as f64,
+        pred_tiles,
+        dct_tiles,
+        cold_open_ms,
+        cold_scan_fps,
+        warm_scan_fps,
+    }
+}
+
+fn tile_report() -> TileReport {
+    let duration = scaled_secs(4);
+    let video = Dataset::VisualRoad2K.build(duration, 11);
+    let frames = video.len();
+    let raw_bytes = frames as u64 * (video.width() as u64 * video.height() as u64 * 3 / 2);
+
+    let dct = tile_case(&video, CodecChoice::Dct, "dct", raw_bytes);
+    let pred = tile_case(&video, CodecChoice::Pred, "pred", raw_bytes);
+    let auto = tile_case(&video, CodecChoice::Auto, "auto", raw_bytes);
+    let entropy_ratio_vs_raw = pred.ratio_vs_raw;
+    let cold_scan_slowdown_pct = 100.0 * (1.0 - pred.cold_scan_fps / dct.cold_scan_fps);
+
+    println!("tiles: raw {raw_bytes} B over {frames} frames");
+    for c in [&dct, &pred, &auto] {
+        println!(
+            "  {:<5} {:>10} B  ({:.2}x vs raw)  cold {:.0} fps / warm {:.0} fps  ({} pred / {} dct tiles)",
+            c.codec, c.disk_bytes, c.ratio_vs_raw, c.cold_scan_fps, c.warm_scan_fps,
+            c.pred_tiles, c.dct_tiles
+        );
+    }
+    println!("  entropy ratio vs raw: {entropy_ratio_vs_raw:.2}x (target >= 1.5)");
+    println!(
+        "  entropy cold-scan slowdown vs dct-sim: {cold_scan_slowdown_pct:.1}% (target <= 25)"
+    );
+
+    TileReport {
+        dataset: "visualroad-2k",
+        frames,
+        raw_bytes,
+        cases: vec![dct, pred, auto],
+        entropy_ratio_vs_raw,
+        cold_scan_slowdown_pct,
+    }
+}
+
+/// Deterministic synthetic detection stream: `n` boxes spread over videos,
+/// labels, and frames.
+fn load_entries(ix: &mut dyn SemanticIndex, n: u64) {
+    const LABELS: [&str; 4] = ["car", "person", "bus", "truck"];
+    for i in 0..n {
+        let video = (i % 7) as u32;
+        let label = LABELS[(i % 4) as usize];
+        let frame = (i / 7) as u32;
+        let x = (i % 1901) as u32;
+        let y = (i % 1021) as u32;
+        ix.add_metadata(video, label, frame, Rect::new(x, y, 32, 24))
+            .expect("add");
+    }
+    ix.flush().expect("flush");
+}
+
+fn index_report() -> IndexReport {
+    let entries = scaled_count(1_000_000) as u64;
+    let dir = bench_dir("storage-index");
+
+    let mut tier = TieredIndex::open(&dir).expect("open tier");
+    let t = Instant::now();
+    load_entries(&mut tier, entries);
+    let load_s = t.elapsed().as_secs_f64();
+    drop(tier);
+
+    let t = Instant::now();
+    let mut tier = TieredIndex::open(&dir).expect("reopen tier");
+    let cold_open_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let mut reference = MemoryIndex::in_memory();
+    load_entries(&mut reference, entries);
+
+    // Planner-visible probes: per-(video, label) range queries plus
+    // whole-video label listings, in several frame windows.
+    let max_frame = (entries / 7 + 1) as u32;
+    let windows = [0..max_frame, 0..max_frame / 2, max_frame / 3..max_frame / 2];
+    let mut queries_checked = 0u64;
+    let mut planner_identical = true;
+    for video in 0..7u32 {
+        let labels = tier.labels(video).expect("labels");
+        planner_identical &= labels == reference.labels(video).expect("labels");
+        for label in &labels {
+            for w in &windows {
+                let got = tier.query(video, label, w.clone()).expect("query");
+                let want = reference.query(video, label, w.clone()).expect("query");
+                planner_identical &= got == want;
+                queries_checked += 1;
+            }
+        }
+    }
+    planner_identical &= tier.detection_count() == reference.detection_count();
+
+    let stats = tier.stats();
+    let full_map_bytes = entries * 32; // 16 B key + 16 B value, zero overhead
+    let report = IndexReport {
+        entries,
+        run_count: stats.run_count as u64,
+        disk_bytes: stats.disk_bytes,
+        resident_bytes: stats.resident_bytes,
+        full_map_bytes,
+        resident_ratio: stats.resident_bytes as f64 / full_map_bytes as f64,
+        disk_bytes_per_entry: stats.disk_bytes as f64 / entries as f64,
+        cold_open_ms,
+        filter_hit_rate: stats.filter_hit_rate(),
+        queries_checked,
+        planner_identical,
+    };
+    println!(
+        "index: {entries} entries loaded in {load_s:.2}s, {} runs, {} B on disk ({:.1} B/entry)",
+        report.run_count, report.disk_bytes, report.disk_bytes_per_entry
+    );
+    println!(
+        "  resident {} B = {:.3}x of a fully resident map ({} B), cold open {:.1} ms",
+        report.resident_bytes, report.resident_ratio, report.full_map_bytes, report.cold_open_ms
+    );
+    println!(
+        "  {} planner probes, identical to in-memory reference: {}, filter hit rate {:.2}",
+        report.queries_checked, report.planner_identical, report.filter_hit_rate
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    report
+}
+
+fn main() {
+    let report = Report {
+        tiles: tile_report(),
+        index: index_report(),
+    };
+    assert!(
+        report.index.planner_identical,
+        "tiered index diverged from the in-memory reference"
+    );
+    assert!(
+        report.tiles.entropy_ratio_vs_raw >= 1.5,
+        "entropy-coded tiles must be >= 1.5x smaller than raw, got {:.2}x",
+        report.tiles.entropy_ratio_vs_raw
+    );
+    assert!(
+        report.tiles.cold_scan_slowdown_pct <= 25.0,
+        "entropy cold scan must stay within 25% of the dct-sim baseline, got {:.1}%",
+        report.tiles.cold_scan_slowdown_pct
+    );
+    assert!(
+        report.index.resident_ratio <= 0.25,
+        "tiered index must keep <= 1/4 the resident bytes of a full map, got {:.3}",
+        report.index.resident_ratio
+    );
+    write_result("BENCH_storage", &report);
+}

@@ -3,10 +3,12 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// A parsed command line: the subcommand plus `--key value` options.
+/// A parsed command line: the subcommand plus `--key value` options and
+/// bare `--flag` booleans.
 #[derive(Debug, Default)]
 pub struct Args {
     options: BTreeMap<String, String>,
+    flags: Vec<String>,
 }
 
 /// Argument errors with the offending flag.
@@ -38,20 +40,37 @@ impl std::error::Error for ArgError {}
 impl Args {
     /// Parses `--key value` pairs.
     pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
+        Self::parse_with_flags(argv, &[])
+    }
+
+    /// Parses `--key value` pairs, treating any flag named in `bools` as a
+    /// valueless boolean (present or absent).
+    pub fn parse_with_flags(argv: &[String], bools: &[&str]) -> Result<Args, ArgError> {
         let mut options = BTreeMap::new();
+        let mut flags = Vec::new();
         let mut i = 0;
         while i < argv.len() {
             let tok = &argv[i];
             let Some(key) = tok.strip_prefix("--") else {
                 return Err(ArgError::Unexpected(tok.clone()));
             };
+            if bools.contains(&key) {
+                flags.push(key.to_string());
+                i += 1;
+                continue;
+            }
             let Some(value) = argv.get(i + 1) else {
                 return Err(ArgError::MissingValue(key.to_string()));
             };
             options.insert(key.to_string(), value.clone());
             i += 2;
         }
-        Ok(Args { options })
+        Ok(Args { options, flags })
+    }
+
+    /// Whether a boolean `--flag` was present.
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
     }
 
     /// A required string option.
@@ -116,6 +135,19 @@ mod tests {
         assert!(matches!(
             a.required("store"),
             Err(ArgError::Required("store"))
+        ));
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let a = Args::parse_with_flags(&argv("--storage --store /tmp/s"), &["storage"]).unwrap();
+        assert!(a.has("storage"));
+        assert!(!a.has("verbose"));
+        assert_eq!(a.required("store").unwrap(), "/tmp/s");
+        // Without the allow-list the same token needs a value.
+        assert!(matches!(
+            Args::parse(&argv("--storage")),
+            Err(ArgError::MissingValue(_))
         ));
     }
 }

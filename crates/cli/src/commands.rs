@@ -16,7 +16,7 @@ use tasm_data::{workloads, Dataset, SyntheticVideo, WorkloadParams};
 use tasm_detect::sampled::SampledDetector;
 use tasm_detect::yolo::SimulatedYolo;
 use tasm_detect::Detector;
-use tasm_index::PersistentIndex;
+use tasm_index::{SemanticIndex, TieredIndex};
 use tasm_server::{ServerConfig, TasmServer};
 use tasm_service::{QueryRequest, QueryService, RetilePolicy, ServiceConfig, Shutdown};
 use tasm_video::{FrameSource, Rect};
@@ -39,6 +39,7 @@ USAGE:
                 [--concurrency N] [--queue-depth N] [--retile off|regret|more]
                 [--query-frames N] [--seed N]
   tasm info    --store DIR [--name NAME]
+  tasm stats   --store DIR [--name NAME] [--storage]
   tasm fsck    --store DIR [--name NAME]
   tasm presets
   tasm serve   --store DIR [--addr HOST:PORT] [--max-connections N]
@@ -78,6 +79,14 @@ SERVE: exposes every video in the store over TCP (tasm-proto wire
   sends `tasm client shutdown`; shutdown drains in-flight queries, stops
   the retile daemon, and prints the latency histogram.
 
+STATS: storage accounting. Per video: on-disk tile bytes, the ratio
+  against raw planar YUV, and how many tiles each codec won (dct = the
+  quantized transform codec, pred = the lossless entropy-coded codec
+  chosen when its stream is smaller). With --storage, also reports the
+  semantic index tier: sorted-run count and sizes, memtable occupancy,
+  WAL length, resident vs on-disk bytes, and the bloom/frame-range
+  filter hit rate measured over one probe query per stored label.
+
 FSCK: opens the store (running startup recovery: interrupted re-tiles are
   rolled forward or back, half-ingested videos reaped) and then validates
   every manifest against the on-disk tile files and their container
@@ -103,6 +112,10 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
     };
     if cmd == "client" {
         return client(rest);
+    }
+    if cmd == "stats" {
+        let args = Args::parse_with_flags(rest, &["storage"])?;
+        return stats(&args);
     }
     let args = Args::parse(rest)?;
     match cmd.as_str() {
@@ -132,13 +145,21 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
 
 fn open_tasm(store: &str, args: &Args) -> Result<Tasm, Box<dyn Error>> {
     let root = PathBuf::from(store);
-    let index = PersistentIndex::open(&root.join("index"))?;
     let cfg = TasmConfig {
         workers: args.get_or("workers", 0usize)?,
         cache_bytes: args.get_or("cache-mb", 256u64)? << 20,
+        // Escape hatch for smoke tests: a tiny limit forces the tiered
+        // index through run flushes and compactions on small workloads.
+        index_memtable_limit: std::env::var("TASM_MEMTABLE_LIMIT")
+            .ok()
+            .and_then(|v| v.parse().ok()),
         ..TasmConfig::default()
     };
-    Ok(Tasm::open(root.join("videos"), Box::new(index), cfg)?)
+    Ok(Tasm::open_tiered(
+        root.join("videos"),
+        &root.join("index"),
+        cfg,
+    )?)
 }
 
 fn spec_path(store: &str, name: &str) -> PathBuf {
@@ -872,6 +893,92 @@ fn info(args: &Args) -> CmdResult {
     Ok(())
 }
 
+fn stats(args: &Args) -> CmdResult {
+    let store = args.required("store")?;
+    let videos_dir = Path::new(store).join("videos");
+    let entries = std::fs::read_dir(&videos_dir)
+        .map_err(|_| format!("no store at '{store}' (run `tasm ingest` first)"))?;
+    let tasm = open_tasm(store, args)?;
+    let mut ids: Vec<u32> = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        if !entry.path().is_dir() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().to_string();
+        if let Some(filter) = args.get("name") {
+            if filter != name {
+                continue;
+            }
+        }
+        if register(&tasm, store, &name).is_err() {
+            continue;
+        }
+        ids.push(tasm.video_id(&name)?);
+        let m = tasm.manifest(&name)?;
+        let disk = tasm.video_size_bytes(&name)?;
+        let luma = m.width as u64 * m.height as u64;
+        let raw = m.frame_count as u64 * (luma + luma / 2);
+        let (mut dct, mut pred) = (0u64, 0u64);
+        for sot in &m.sots {
+            for &c in &sot.tile_codecs {
+                if c == 0 {
+                    dct += 1;
+                } else {
+                    pred += 1;
+                }
+            }
+        }
+        println!(
+            "{name}: {:.1} KiB on disk / {:.1} KiB raw ({:.2}x smaller), \
+             tiles: {dct} dct, {pred} pred",
+            disk as f64 / 1024.0,
+            raw as f64 / 1024.0,
+            raw as f64 / disk.max(1) as f64,
+        );
+    }
+    if args.has("storage") {
+        // A second, read-only handle on the tier: probe one query per
+        // stored label so the filter counters reflect real lookups.
+        let mut tier = TieredIndex::open(&Path::new(store).join("index"))?;
+        for &id in &ids {
+            for label in tier.labels(id)? {
+                tier.query(id, &label, 0..u32::MAX)?;
+            }
+        }
+        let ts = tier.stats();
+        println!("semantic index tier:");
+        println!(
+            "  {} run(s) holding {} entries, memtable {} entries, {} detections total",
+            ts.run_count,
+            ts.run_entries,
+            ts.memtable_entries,
+            tier.detection_count()
+        );
+        for (id, n, bytes) in tier.run_summaries() {
+            println!(
+                "    run {id:08}: {n} entries, {:.1} KiB",
+                bytes as f64 / 1024.0
+            );
+        }
+        println!(
+            "  disk {:.1} KiB, resident {:.1} KiB ({:.1}% of a fully resident map)",
+            ts.disk_bytes as f64 / 1024.0,
+            ts.resident_bytes as f64 / 1024.0,
+            100.0 * ts.resident_bytes as f64
+                / ((ts.run_entries + ts.memtable_entries as u64).max(1) * 32) as f64,
+        );
+        println!(
+            "  bloom/range filters: {} probe(s), {} skipped disk reads ({:.0}% hit rate), {} run file(s) read",
+            ts.filter_probes,
+            ts.filter_skips,
+            100.0 * ts.filter_hit_rate(),
+            ts.runs_read,
+        );
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -922,6 +1029,8 @@ mod tests {
         ))
         .expect("observe");
         run(&format!("info --store {s}")).expect("info");
+        run(&format!("stats --store {s}")).expect("stats");
+        run(&format!("stats --store {s} --storage")).expect("stats storage");
         // The store is consistent after the whole session, whole-store and
         // per-video.
         run(&format!("fsck --store {s}")).expect("fsck");

@@ -9,6 +9,7 @@
 
 use crate::decoder::{DecodeError, TileDecoder};
 use crate::encoder::EncodedFrame;
+use crate::pred;
 use crate::stats::DecodeStats;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::ops::Range;
@@ -18,6 +19,40 @@ use tasm_video::Frame;
 /// Magic bytes identifying a TVF stream.
 pub const TVF_MAGIC: [u8; 4] = *b"TVF1";
 
+/// The per-tile codec a TVF payload was encoded with.
+///
+/// Version-1 containers predate the codec-id field and always carry
+/// [`TileCodec::Dct`]; version-2 containers record the id explicitly right
+/// after the version byte. Ids are stable on disk and in manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TileCodec {
+    /// The lossy block codec (DCT + quantization + motion compensation).
+    #[default]
+    Dct,
+    /// The lossless prediction + rANS entropy codec ([`crate::pred`]).
+    Pred,
+}
+
+impl TileCodec {
+    /// The on-disk codec id.
+    pub fn id(self) -> u8 {
+        match self {
+            TileCodec::Dct => 0,
+            TileCodec::Pred => 1,
+        }
+    }
+
+    /// Decodes an on-disk codec id; unknown ids are `None` (the caller
+    /// surfaces [`ContainerError::UnsupportedCodec`]).
+    pub fn from_id(id: u8) -> Option<TileCodec> {
+        match id {
+            0 => Some(TileCodec::Dct),
+            1 => Some(TileCodec::Pred),
+            _ => None,
+        }
+    }
+}
+
 /// Errors raised when parsing a container.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ContainerError {
@@ -25,6 +60,8 @@ pub enum ContainerError {
     BadMagic,
     /// The buffer ended before the declared content.
     Truncated,
+    /// The header names a codec id this build does not know.
+    UnsupportedCodec(u8),
     /// A header field held an invalid value.
     InvalidHeader(&'static str),
     /// Decoding a frame payload failed.
@@ -42,6 +79,7 @@ impl std::fmt::Display for ContainerError {
         match self {
             ContainerError::BadMagic => write!(f, "not a TVF stream"),
             ContainerError::Truncated => write!(f, "container truncated"),
+            ContainerError::UnsupportedCodec(id) => write!(f, "unsupported codec id {id}"),
             ContainerError::InvalidHeader(what) => write!(f, "invalid header: {what}"),
             ContainerError::Decode(e) => write!(f, "decode failed: {e}"),
         }
@@ -65,6 +103,8 @@ pub struct ContainerHeader {
     pub qp: u8,
     /// Whether the in-loop deblocking filter is active.
     pub deblock: bool,
+    /// The codec the payload was encoded with.
+    pub codec: TileCodec,
     /// Frames in the stream.
     pub frame_count: u32,
     /// Exact serialized size the container declares, header included.
@@ -80,6 +120,7 @@ struct Prelude {
     gop_len: u32,
     qp: u8,
     deblock: bool,
+    codec: TileCodec,
     /// Per frame: payload length, keyframe flag, frame QP.
     table: Vec<(usize, bool, u8)>,
     /// Offset of the first payload byte.
@@ -94,9 +135,24 @@ impl Prelude {
         }
         let mut magic = [0u8; 4];
         data.copy_to_slice(&mut magic);
-        if magic != TVF_MAGIC || data.get_u8() != 1 {
+        if magic != TVF_MAGIC {
             return Err(ContainerError::BadMagic);
         }
+        // Version 1 has no codec-id byte (implicitly DCT); version 2 carries
+        // it right after the version. Unknown versions are rejected outright,
+        // unknown codec ids as the typed UnsupportedCodec corruption error.
+        let (codec, fixed_len) = match data.get_u8() {
+            1 => (TileCodec::Dct, 23usize),
+            2 => {
+                if full.len() < 24 {
+                    return Err(ContainerError::Truncated);
+                }
+                let id = data.get_u8();
+                let codec = TileCodec::from_id(id).ok_or(ContainerError::UnsupportedCodec(id))?;
+                (codec, 24usize)
+            }
+            _ => return Err(ContainerError::BadMagic),
+        };
         let width = data.get_u32_le();
         let height = data.get_u32_le();
         let gop_len = data.get_u32_le();
@@ -136,8 +192,9 @@ impl Prelude {
             gop_len,
             qp,
             deblock,
+            codec,
             table,
-            payload_offset: 23 + count * 6,
+            payload_offset: fixed_len + count * 6,
         })
     }
 }
@@ -155,6 +212,8 @@ pub struct TileVideo {
     pub qp: u8,
     /// Whether the in-loop deblocking filter is active.
     pub deblock: bool,
+    /// The codec the frame payloads were encoded with.
+    pub codec: TileCodec,
     /// Encoded frames in display order.
     pub frames: Vec<EncodedFrame>,
 }
@@ -172,9 +231,20 @@ impl TileVideo {
 
     /// Total size when serialized, header included.
     pub fn size_bytes(&self) -> u64 {
-        // header: magic(4) + version(1) + w(4) + h(4) + gop(4) + qp(1) +
-        // flags(1) + count(4); per frame: len(4) + flags(1) + qp(1).
-        23 + self.frames.len() as u64 * 6 + self.payload_bytes()
+        // header: magic(4) + version(1) + [codec(1) in v2] + w(4) + h(4) +
+        // gop(4) + qp(1) + flags(1) + count(4); per frame: len(4) +
+        // flags(1) + qp(1).
+        self.fixed_header_len() + self.frames.len() as u64 * 6 + self.payload_bytes()
+    }
+
+    /// Length of the fixed header: DCT tiles serialize as version 1 (no
+    /// codec byte, bit-compatible with pre-codec-id stores); anything else
+    /// as version 2 with the codec id.
+    fn fixed_header_len(&self) -> u64 {
+        match self.codec {
+            TileCodec::Dct => 23,
+            _ => 24,
+        }
     }
 
     /// Index of the latest keyframe at or before `frame`.
@@ -197,7 +267,13 @@ impl TileVideo {
     pub fn to_bytes(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.size_bytes() as usize);
         buf.put_slice(&TVF_MAGIC);
-        buf.put_u8(1); // version
+        match self.codec {
+            TileCodec::Dct => buf.put_u8(1), // version 1: implicit DCT
+            codec => {
+                buf.put_u8(2); // version 2: explicit codec id
+                buf.put_u8(codec.id());
+            }
+        }
         buf.put_u32_le(self.width);
         buf.put_u32_le(self.height);
         buf.put_u32_le(self.gop_len);
@@ -237,6 +313,7 @@ impl TileVideo {
             gop_len: prelude.gop_len,
             qp: prelude.qp,
             deblock: prelude.deblock,
+            codec: prelude.codec,
             frames,
         })
     }
@@ -275,6 +352,7 @@ impl TileVideo {
                 gop_len: prelude.gop_len,
                 qp: prelude.qp,
                 deblock: prelude.deblock,
+                codec: prelude.codec,
                 frame_count: prelude.table.len() as u32,
                 declared_len,
             }),
@@ -341,6 +419,19 @@ impl TileVideo {
         end: u32,
         reference: Option<&Frame>,
     ) -> Result<(Vec<Frame>, DecodeStats), ContainerError> {
+        match self.codec {
+            TileCodec::Dct => self.decode_span_dct(start, keep_from, end, reference),
+            TileCodec::Pred => self.decode_span_pred(start, keep_from, end, reference),
+        }
+    }
+
+    fn decode_span_dct(
+        &self,
+        start: u32,
+        keep_from: u32,
+        end: u32,
+        reference: Option<&Frame>,
+    ) -> Result<(Vec<Frame>, DecodeStats), ContainerError> {
         let t0 = Instant::now();
         let mut dec = match reference {
             Some(r) => TileDecoder::with_reference(
@@ -364,6 +455,55 @@ impl TileVideo {
             stats.tile_chunks_decoded += 1;
             stats.bytes_read += ef.data.len() as u64;
             stats.blocks_decoded += dec.blocks_per_frame();
+            if i >= keep_from {
+                out.push(frame);
+            }
+        }
+        stats.decode_time = t0.elapsed();
+        Ok((out, stats))
+    }
+
+    /// The lossless `Pred` path: identical GOP semantics (keyframes decode
+    /// standalone, P-frames against the previous reconstruction), so resume
+    /// from a cached prefix works exactly as with the DCT codec.
+    fn decode_span_pred(
+        &self,
+        start: u32,
+        keep_from: u32,
+        end: u32,
+        reference: Option<&Frame>,
+    ) -> Result<(Vec<Frame>, DecodeStats), ContainerError> {
+        let t0 = Instant::now();
+        let mut prev: Option<Frame> = reference.cloned();
+        let mut out = Vec::with_capacity((end - keep_from) as usize);
+        let mut stats = DecodeStats::new();
+        let luma = self.width as u64 * self.height as u64;
+        let samples_per_frame = luma + luma / 2;
+        // Same block accounting as the DCT decoder, for a comparable cost
+        // model signal.
+        let blocks_per_frame = {
+            let blocks = (self.width as u64 / 8) * (self.height as u64 / 8);
+            blocks + blocks / 2
+        };
+        for i in start..end {
+            let ef = &self.frames[i as usize];
+            let frame = if ef.is_key {
+                pred::decode_frame(&ef.data, self.width, self.height, None)
+            } else {
+                pred::decode_frame(&ef.data, self.width, self.height, prev.as_ref())
+            }
+            .map_err(|e| match e {
+                pred::PredError::MissingReference => {
+                    ContainerError::Decode(DecodeError::MissingReference)
+                }
+                other => ContainerError::Decode(DecodeError::Lossless(other.to_string())),
+            })?;
+            stats.frames_decoded += 1;
+            stats.samples_decoded += samples_per_frame;
+            stats.tile_chunks_decoded += 1;
+            stats.bytes_read += ef.data.len() as u64;
+            stats.blocks_decoded += blocks_per_frame;
+            prev = Some(frame.clone());
             if i >= keep_from {
                 out.push(frame);
             }
@@ -410,6 +550,42 @@ mod tests {
             gop_len: gop,
             qp: cfg.qp,
             deblock: cfg.deblock,
+            codec: TileCodec::Dct,
+            frames,
+        }
+    }
+
+    fn encode_pred_video(n: u32, gop: u32) -> TileVideo {
+        let mut frames = Vec::new();
+        let mut prev: Option<Frame> = None;
+        for i in 0..n {
+            let mut f = Frame::filled(32, 32, 100, 128, 128);
+            for y in 0..32 {
+                for x in 0..32 {
+                    f.set_sample(Plane::Y, x, y, ((x * 11 + y * 5) % 200 + 20) as u8);
+                }
+            }
+            f.fill_rect(Rect::new((i * 2) % 24, 4, 8, 8), 220, 90, 160);
+            let is_key = i % gop == 0;
+            let data = if is_key {
+                pred::encode_intra(&f)
+            } else {
+                pred::encode_inter(&f, prev.as_ref().unwrap())
+            };
+            frames.push(EncodedFrame {
+                is_key,
+                qp: 0,
+                data: Bytes::from(data),
+            });
+            prev = Some(f);
+        }
+        TileVideo {
+            width: 32,
+            height: 32,
+            gop_len: gop,
+            qp: 0,
+            deblock: false,
+            codec: TileCodec::Pred,
             frames,
         }
     }
@@ -532,6 +708,91 @@ mod tests {
         let v = encode_test_video(4, 2);
         assert!(v.decode_range(0..5).is_err());
         assert!(v.decode_range(4..4).is_err());
+    }
+
+    #[test]
+    fn dct_serializes_as_version_1() {
+        // DCT tiles stay bit-compatible with pre-codec-id stores: version
+        // byte 1, 23-byte fixed header.
+        let v = encode_test_video(2, 2);
+        let bytes = v.to_bytes();
+        assert_eq!(bytes[4], 1);
+        let h = TileVideo::validate(&bytes).unwrap();
+        assert_eq!(h.codec, TileCodec::Dct);
+    }
+
+    #[test]
+    fn pred_roundtrip_is_lossless_and_versioned() {
+        let v = encode_pred_video(10, 4);
+        let bytes = v.to_bytes();
+        assert_eq!(bytes[4], 2, "non-DCT containers serialize as version 2");
+        assert_eq!(bytes[5], TileCodec::Pred.id());
+        assert_eq!(bytes.len() as u64, v.size_bytes());
+        let back = TileVideo::from_bytes(&bytes).unwrap();
+        assert_eq!(v, back);
+        assert_eq!(back.codec, TileCodec::Pred);
+        // Lossless: decode must reproduce the source frames exactly.
+        let (frames, stats) = back.decode_all().unwrap();
+        assert_eq!(frames.len(), 10);
+        assert_eq!(stats.frames_decoded, 10);
+        let mut f0 = Frame::filled(32, 32, 100, 128, 128);
+        for y in 0..32 {
+            for x in 0..32 {
+                f0.set_sample(Plane::Y, x, y, ((x * 11 + y * 5) % 200 + 20) as u8);
+            }
+        }
+        f0.fill_rect(Rect::new(0, 4, 8, 8), 220, 90, 160);
+        assert_eq!(frames[0], f0);
+    }
+
+    #[test]
+    fn pred_decode_resume_matches_full_decode() {
+        let v = encode_pred_video(10, 4);
+        let (all, _) = v.decode_all().unwrap();
+        let (tail, stats) = v.decode_resume(6, 10, Some(&all[5])).unwrap();
+        assert_eq!(stats.frames_decoded, 4);
+        assert_eq!(&all[6..], &tail[..]);
+        let (some, warm) = v.decode_range(6..8).unwrap();
+        assert_eq!(warm.frames_decoded, 4); // warm-up from keyframe 4
+        assert_eq!(&all[6..8], &some[..]);
+    }
+
+    #[test]
+    fn unknown_codec_id_is_typed_error() {
+        let v = encode_pred_video(2, 2);
+        let mut bytes = v.to_bytes().to_vec();
+        bytes[5] = 9; // codec id nobody knows
+        assert_eq!(
+            TileVideo::from_bytes(&bytes),
+            Err(ContainerError::UnsupportedCodec(9))
+        );
+        assert_eq!(
+            TileVideo::validate(&bytes),
+            Err(ContainerError::UnsupportedCodec(9))
+        );
+    }
+
+    #[test]
+    fn unknown_version_is_bad_magic() {
+        let v = encode_test_video(2, 2);
+        let mut bytes = v.to_bytes().to_vec();
+        bytes[4] = 7;
+        assert_eq!(TileVideo::from_bytes(&bytes), Err(ContainerError::BadMagic));
+    }
+
+    #[test]
+    fn corrupt_pred_payload_is_typed_error() {
+        let v = encode_pred_video(4, 4);
+        let mut bytes = v.to_bytes().to_vec();
+        // Flip a byte deep in the first frame's payload (past its header).
+        let off = bytes.len() - 3;
+        bytes[off] ^= 0xFF;
+        let back = TileVideo::from_bytes(&bytes).unwrap();
+        match back.decode_all() {
+            Ok((frames, _)) => assert_eq!(frames.len(), 4), // flip survived checksum? impossible
+            Err(ContainerError::Decode(_)) => {}
+            Err(other) => panic!("unexpected error: {other:?}"),
+        }
     }
 
     #[test]

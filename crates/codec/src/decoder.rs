@@ -16,6 +16,8 @@ pub enum DecodeError {
     InvalidSyntax(&'static str),
     /// A P-frame arrived before any keyframe.
     MissingReference,
+    /// The lossless (predict + entropy-code) codec path failed.
+    Lossless(String),
 }
 
 impl From<BitstreamError> for DecodeError {
@@ -32,6 +34,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::MissingReference => {
                 write!(f, "P-frame encountered with no prior keyframe")
             }
+            DecodeError::Lossless(what) => write!(f, "lossless codec error: {what}"),
         }
     }
 }

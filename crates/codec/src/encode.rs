@@ -6,12 +6,14 @@
 //! prototype encodes them sequentially; we optionally parallelize across
 //! tiles since the streams share nothing).
 
-use crate::container::TileVideo;
-use crate::encoder::{EncodedFrame, EncoderConfig, TileEncoder};
+use crate::container::{TileCodec, TileVideo};
+use crate::encoder::{CodecChoice, EncodedFrame, EncoderConfig, TileEncoder};
 use crate::grid::{LayoutError, TileLayout};
+use crate::pred;
 use crate::stats::EncodeStats;
+use bytes::Bytes;
 use std::time::Instant;
-use tasm_video::FrameSource;
+use tasm_video::{Frame, FrameSource};
 
 /// Encodes all frames of `src` under `layout`, returning one stream per tile
 /// (raster order) plus encode-work accounting.
@@ -29,7 +31,7 @@ pub fn encode_video(
     let t0 = Instant::now();
 
     let rects: Vec<_> = layout.tiles().map(|(_, r)| r).collect();
-    let tile_frames: Vec<Vec<EncodedFrame>> = if parallel && rects.len() > 1 {
+    let tile_frames: Vec<(TileCodec, Vec<EncodedFrame>)> = if parallel && rects.len() > 1 {
         encode_tiles_parallel(src, &rects, cfg)
     } else {
         rects
@@ -41,12 +43,13 @@ pub fn encode_video(
     let videos: Vec<TileVideo> = rects
         .iter()
         .zip(tile_frames)
-        .map(|(rect, frames)| TileVideo {
+        .map(|(rect, (codec, frames))| TileVideo {
             width: rect.w,
             height: rect.h,
             gop_len: cfg.gop_len,
             qp: cfg.qp,
             deblock: cfg.deblock,
+            codec,
             frames,
         })
         .collect();
@@ -64,10 +67,66 @@ fn encode_one_tile(
     src: &dyn FrameSource,
     rect: tasm_video::Rect,
     cfg: &EncoderConfig,
+) -> (TileCodec, Vec<EncodedFrame>) {
+    match cfg.codec {
+        CodecChoice::Dct => (TileCodec::Dct, encode_dct_tile(src, rect, cfg)),
+        CodecChoice::Pred => (TileCodec::Pred, encode_pred_tile(src, rect, cfg)),
+        CodecChoice::Auto => {
+            // Cheap size trial: encode with both codecs, keep the smaller
+            // stream. Payload bytes dominate, so compare those (header size
+            // differs by one byte).
+            let dct = encode_dct_tile(src, rect, cfg);
+            let lossless = encode_pred_tile(src, rect, cfg);
+            let dct_bytes: u64 = dct.iter().map(|f| f.data.len() as u64).sum();
+            let pred_bytes: u64 = lossless.iter().map(|f| f.data.len() as u64).sum();
+            if pred_bytes < dct_bytes {
+                (TileCodec::Pred, lossless)
+            } else {
+                (TileCodec::Dct, dct)
+            }
+        }
+    }
+}
+
+fn encode_dct_tile(
+    src: &dyn FrameSource,
+    rect: tasm_video::Rect,
+    cfg: &EncoderConfig,
 ) -> Vec<EncodedFrame> {
     let mut enc = TileEncoder::new(*cfg, rect);
     (0..src.len())
         .map(|i| enc.encode_next(&src.frame(i)))
+        .collect()
+}
+
+/// Lossless path: crop each frame to the tile rectangle, then per GOP encode
+/// the keyframe intra and P-frames as temporal deltas against the previous
+/// *source* tile (the codec is lossless, so source and reconstruction are
+/// identical — no drift).
+fn encode_pred_tile(
+    src: &dyn FrameSource,
+    rect: tasm_video::Rect,
+    cfg: &EncoderConfig,
+) -> Vec<EncodedFrame> {
+    let mut prev: Option<Frame> = None;
+    (0..src.len())
+        .map(|i| {
+            let full = src.frame(i);
+            let mut tile = Frame::black(rect.w, rect.h);
+            tile.blit(&full, rect, 0, 0);
+            let is_key = i.is_multiple_of(cfg.gop_len);
+            let data = if is_key {
+                pred::encode_intra(&tile)
+            } else {
+                pred::encode_inter(&tile, prev.as_ref().expect("P-frame follows a keyframe"))
+            };
+            prev = Some(tile);
+            EncodedFrame {
+                is_key,
+                qp: 0,
+                data: Bytes::from(data),
+            }
+        })
         .collect()
 }
 
@@ -77,12 +136,13 @@ fn encode_tiles_parallel(
     src: &dyn FrameSource,
     rects: &[tasm_video::Rect],
     cfg: &EncoderConfig,
-) -> Vec<Vec<EncodedFrame>> {
+) -> Vec<(TileCodec, Vec<EncodedFrame>)> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(rects.len());
-    let mut out: Vec<Vec<EncodedFrame>> = vec![Vec::new(); rects.len()];
+    let mut out: Vec<(TileCodec, Vec<EncodedFrame>)> =
+        vec![(TileCodec::Dct, Vec::new()); rects.len()];
     std::thread::scope(|scope| {
         let chunk = rects.len().div_ceil(threads);
         for (slot_chunk, rect_chunk) in out.chunks_mut(chunk).zip(rects.chunks(chunk)) {
@@ -148,6 +208,65 @@ mod tests {
         let src = moving_source(8, 96, 64);
         let layout = TileLayout::uniform(96, 64, 2, 3).unwrap();
         let cfg = EncoderConfig::default();
+        let (seq, _) = encode_video(&src, &layout, &cfg, false).unwrap();
+        let (par, _) = encode_video(&src, &layout, &cfg, true).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn pred_codec_roundtrips_losslessly_through_encode_video() {
+        let src = moving_source(6, 64, 48);
+        let layout = TileLayout::uniform(64, 48, 2, 2).unwrap();
+        let cfg = EncoderConfig {
+            codec: crate::encoder::CodecChoice::Pred,
+            ..Default::default()
+        };
+        let (videos, _) = encode_video(&src, &layout, &cfg, false).unwrap();
+        assert!(videos.iter().all(|v| v.codec == TileCodec::Pred));
+        // Lossless: composite of decoded tiles equals the source exactly.
+        let mut composite = Frame::black(64, 48);
+        for (i, rect) in layout.tiles() {
+            let (frames, _) = videos[i as usize].decode_range(3..4).unwrap();
+            composite.blit(&frames[0], frames[0].rect(), rect.x, rect.y);
+        }
+        assert_eq!(composite, src.frame(3));
+    }
+
+    #[test]
+    fn auto_codec_picks_smaller_stream_per_tile() {
+        let src = moving_source(6, 64, 48);
+        let layout = TileLayout::uniform(64, 48, 2, 2).unwrap();
+        let auto_cfg = EncoderConfig {
+            codec: crate::encoder::CodecChoice::Auto,
+            ..Default::default()
+        };
+        let dct_cfg = EncoderConfig::default();
+        let pred_cfg = EncoderConfig {
+            codec: crate::encoder::CodecChoice::Pred,
+            ..Default::default()
+        };
+        let (auto, _) = encode_video(&src, &layout, &auto_cfg, false).unwrap();
+        let (dct, _) = encode_video(&src, &layout, &dct_cfg, false).unwrap();
+        let (lossless, _) = encode_video(&src, &layout, &pred_cfg, false).unwrap();
+        for ((a, d), p) in auto.iter().zip(&dct).zip(&lossless) {
+            let expect = if p.payload_bytes() < d.payload_bytes() {
+                TileCodec::Pred
+            } else {
+                TileCodec::Dct
+            };
+            assert_eq!(a.codec, expect);
+            assert_eq!(a.payload_bytes(), d.payload_bytes().min(p.payload_bytes()));
+        }
+    }
+
+    #[test]
+    fn auto_parallel_output_is_bit_identical() {
+        let src = moving_source(8, 96, 64);
+        let layout = TileLayout::uniform(96, 64, 2, 3).unwrap();
+        let cfg = EncoderConfig {
+            codec: crate::encoder::CodecChoice::Auto,
+            ..Default::default()
+        };
         let (seq, _) = encode_video(&src, &layout, &cfg, false).unwrap();
         let (par, _) = encode_video(&src, &layout, &cfg, true).unwrap();
         assert_eq!(seq, par);

@@ -53,8 +53,25 @@ pub enum RateControl {
     },
 }
 
+/// Which codec [`crate::encode_video`] uses for each tile.
+///
+/// `Auto` runs a cheap size trial per tile — encode with both codecs and
+/// keep the smaller stream — so flat or low-texture tiles (where the
+/// lossless predictor + rANS coder wins) are stored losslessly while busy
+/// tiles keep the lossy DCT path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CodecChoice {
+    /// Always the lossy DCT codec (the pre-codec-id behaviour).
+    #[default]
+    Dct,
+    /// Always the lossless prediction + rANS entropy codec.
+    Pred,
+    /// Per-tile size trial: whichever codec produces fewer bytes.
+    Auto,
+}
+
 /// Encoder configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EncoderConfig {
     /// Frames per group of pictures. The first frame of every GOP is a
     /// keyframe. Paper default: one second of video.
@@ -69,6 +86,9 @@ pub struct EncoderConfig {
     pub deblock: bool,
     /// Rate-control mode.
     pub rate: RateControl,
+    /// Per-tile codec selection (defaults to DCT-only, the historical
+    /// behaviour; absent in older serialized configs).
+    pub codec: CodecChoice,
 }
 
 impl Default for EncoderConfig {
@@ -79,7 +99,51 @@ impl Default for EncoderConfig {
             search_range: 7,
             deblock: true,
             rate: RateControl::ConstantQp,
+            codec: CodecChoice::Dct,
         }
+    }
+}
+
+// Hand-written serde impls: `codec` must default when absent so manifests
+// written before the codec-id field existed still deserialize.
+impl Serialize for EncoderConfig {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let obj: Vec<(String, serde::Value)> = vec![
+            ("gop_len".to_string(), serde::to_value(&self.gop_len)?),
+            ("qp".to_string(), serde::to_value(&self.qp)?),
+            (
+                "search_range".to_string(),
+                serde::to_value(&self.search_range)?,
+            ),
+            ("deblock".to_string(), serde::to_value(&self.deblock)?),
+            ("rate".to_string(), serde::to_value(&self.rate)?),
+            ("codec".to_string(), serde::to_value(&self.codec)?),
+        ];
+        serializer.serialize_value(serde::Value::Object(obj))
+    }
+}
+
+impl<'de> Deserialize<'de> for EncoderConfig {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let obj = match deserializer.take_value()? {
+            serde::Value::Object(o) => o,
+            other => {
+                return Err(D::Error::from(serde::Error::msg(format!(
+                    "expected object for EncoderConfig, got {other:?}"
+                ))))
+            }
+        };
+        Ok(EncoderConfig {
+            gop_len: serde::from_value(serde::get_field(&obj, "gop_len")?)?,
+            qp: serde::from_value(serde::get_field(&obj, "qp")?)?,
+            search_range: serde::from_value(serde::get_field(&obj, "search_range")?)?,
+            deblock: serde::from_value(serde::get_field(&obj, "deblock")?)?,
+            rate: serde::from_value(serde::get_field(&obj, "rate")?)?,
+            codec: match serde::get_field(&obj, "codec") {
+                Ok(v) => serde::from_value(v)?,
+                Err(_) => CodecChoice::default(),
+            },
+        })
     }
 }
 

@@ -1,0 +1,460 @@
+//! Static order-0 rANS entropy coding for lossless tile payloads.
+//!
+//! The `Pred` tile codec (see [`crate::pred`]) turns frames into residual
+//! bytes clustered around zero; this module squeezes those bytes with a
+//! range asymmetric numeral system coder: per-buffer symbol frequencies are
+//! normalized to a 4096 slot table, the encoder folds symbols into a 32-bit
+//! state in reverse order, and the decoder replays them forward. A
+//! frequency table and a plaintext checksum travel in the stream header, so
+//! truncated or bit-flipped streams surface as typed [`EntropyError`]s —
+//! never a panic and never silently wrong bytes.
+//!
+//! Buffers the coder cannot beat (incompressible payloads) are stored raw
+//! behind a mode byte, bounding expansion to a few header bytes.
+
+/// Log2 of the frequency-table denominator.
+const SCALE_BITS: u32 = 12;
+/// All normalized frequencies sum to this.
+const SCALE: u32 = 1 << SCALE_BITS;
+/// Lower bound of the rANS state during coding.
+const RANS_L: u32 = 1 << 23;
+
+/// Stream stored raw (entropy coding would have grown it).
+const MODE_RAW: u8 = 0;
+/// Stream stored rANS-coded.
+const MODE_RANS: u8 = 1;
+
+/// Errors surfaced while decoding an entropy-coded stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntropyError {
+    /// The stream ended before the declared content.
+    Truncated,
+    /// A header field held an impossible value.
+    Malformed(&'static str),
+    /// The declared payload length exceeds the caller's bound.
+    Oversized { declared: u64, limit: u64 },
+    /// The decoded bytes do not match the stored checksum.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for EntropyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EntropyError::Truncated => write!(f, "entropy stream truncated"),
+            EntropyError::Malformed(what) => write!(f, "malformed entropy stream: {what}"),
+            EntropyError::Oversized { declared, limit } => {
+                write!(f, "declared payload {declared} exceeds limit {limit}")
+            }
+            EntropyError::ChecksumMismatch => write!(f, "entropy payload checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for EntropyError {}
+
+/// FNV-1a over the plaintext; cheap and order-sensitive, which is all the
+/// corruption check needs.
+fn checksum(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in data {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(data: &[u8], pos: &mut usize) -> Result<u64, EntropyError> {
+    let mut v: u64 = 0;
+    for shift in 0..10 {
+        let &byte = data.get(*pos).ok_or(EntropyError::Truncated)?;
+        *pos += 1;
+        v |= ((byte & 0x7f) as u64) << (shift * 7);
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(EntropyError::Malformed("varint too long"))
+}
+
+/// Normalizes raw symbol counts to sum exactly [`SCALE`], keeping every
+/// present symbol at frequency ≥ 1 (largest-remainder apportionment).
+fn normalize(counts: &[u64; 256], total: u64) -> [u32; 256] {
+    let mut freqs = [0u32; 256];
+    let mut assigned: u32 = 0;
+    // First pass: floor shares, minimum 1 for any present symbol.
+    let mut remainders: Vec<(u64, usize)> = Vec::new();
+    for s in 0..256 {
+        if counts[s] == 0 {
+            continue;
+        }
+        let exact = counts[s] as u128 * SCALE as u128;
+        let share = (exact / total as u128) as u32;
+        let f = share.max(1);
+        freqs[s] = f;
+        assigned += f;
+        remainders.push(((exact % total as u128) as u64, s));
+    }
+    // Trim overshoot from the largest frequencies, grow undershoot by
+    // largest remainder — deterministic in both directions.
+    while assigned > SCALE {
+        let s = (0..256)
+            .filter(|&s| freqs[s] > 1)
+            .max_by_key(|&s| freqs[s])
+            .expect("a symbol above 1 must exist while oversubscribed");
+        freqs[s] -= 1;
+        assigned -= 1;
+    }
+    if assigned < SCALE {
+        remainders.sort_by(|a, b| b.cmp(a));
+        let mut i = 0;
+        while assigned < SCALE {
+            let (_, s) = remainders[i % remainders.len()];
+            freqs[s] += 1;
+            assigned += 1;
+            i += 1;
+        }
+    }
+    freqs
+}
+
+/// Compresses `data`. The output always round-trips through
+/// [`decompress`]; incompressible inputs fall back to raw storage.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut header = Vec::with_capacity(16);
+    header.push(MODE_RANS);
+    put_varint(&mut header, data.len() as u64);
+    header.extend_from_slice(&checksum(data).to_le_bytes());
+
+    let raw_fallback = |header: &mut Vec<u8>| {
+        header[0] = MODE_RAW;
+        header.extend_from_slice(data);
+    };
+    if data.is_empty() {
+        let mut out = header;
+        raw_fallback(&mut out);
+        return out;
+    }
+
+    let mut counts = [0u64; 256];
+    for &b in data {
+        counts[b as usize] += 1;
+    }
+    let freqs = normalize(&counts, data.len() as u64);
+    let mut cum = [0u32; 257];
+    for s in 0..256 {
+        cum[s + 1] = cum[s] + freqs[s];
+    }
+
+    // Frequency table: count, then (symbol, freq) pairs for present symbols.
+    let present: Vec<usize> = (0..256).filter(|&s| freqs[s] > 0).collect();
+    let mut body = Vec::with_capacity(data.len() / 2 + 16);
+    put_varint(&mut body, present.len() as u64);
+    for &s in &present {
+        body.push(s as u8);
+        put_varint(&mut body, freqs[s] as u64);
+    }
+
+    // rANS: fold symbols in reverse; emitted bytes are reversed so the
+    // decoder reads forward.
+    let mut stream: Vec<u8> = Vec::with_capacity(data.len() / 2 + 8);
+    let mut state: u32 = RANS_L;
+    for &b in data.iter().rev() {
+        let f = freqs[b as usize];
+        let x_max = ((RANS_L >> SCALE_BITS) << 8) * f;
+        while state >= x_max {
+            stream.push((state & 0xff) as u8);
+            state >>= 8;
+        }
+        state = ((state / f) << SCALE_BITS) + (state % f) + cum[b as usize];
+    }
+    stream.extend_from_slice(&state.to_le_bytes());
+    stream.reverse();
+    body.extend_from_slice(&stream);
+
+    if header.len() + body.len() >= header.len() + data.len() {
+        let mut out = header;
+        raw_fallback(&mut out);
+        return out;
+    }
+    let mut out = header;
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decompresses a [`compress`]ed stream. `max_len` bounds the declared
+/// payload length so corrupt headers cannot demand absurd allocations;
+/// callers know the plaintext size they expect (e.g. a frame's plane bytes).
+pub fn decompress(data: &[u8], max_len: usize) -> Result<Vec<u8>, EntropyError> {
+    let mut pos = 0usize;
+    let &mode = data.get(pos).ok_or(EntropyError::Truncated)?;
+    pos += 1;
+    let raw_len = get_varint(data, &mut pos)? as usize;
+    if raw_len as u64 > max_len as u64 {
+        return Err(EntropyError::Oversized {
+            declared: raw_len as u64,
+            limit: max_len as u64,
+        });
+    }
+    let want = data
+        .get(pos..pos + 4)
+        .ok_or(EntropyError::Truncated)?
+        .try_into()
+        .expect("4-byte slice");
+    let want = u32::from_le_bytes(want);
+    pos += 4;
+
+    let out = match mode {
+        MODE_RAW => {
+            let payload = data
+                .get(pos..pos + raw_len)
+                .ok_or(EntropyError::Truncated)?;
+            if data.len() > pos + raw_len {
+                return Err(EntropyError::Malformed("trailing bytes after raw payload"));
+            }
+            payload.to_vec()
+        }
+        MODE_RANS => decode_rans(data, pos, raw_len)?,
+        _ => return Err(EntropyError::Malformed("unknown stream mode")),
+    };
+    if checksum(&out) != want {
+        return Err(EntropyError::ChecksumMismatch);
+    }
+    Ok(out)
+}
+
+fn decode_rans(data: &[u8], mut pos: usize, raw_len: usize) -> Result<Vec<u8>, EntropyError> {
+    if raw_len == 0 {
+        return Err(EntropyError::Malformed("rANS stream with empty payload"));
+    }
+    let nsyms = get_varint(data, &mut pos)? as usize;
+    if nsyms == 0 || nsyms > 256 {
+        return Err(EntropyError::Malformed("frequency table size out of range"));
+    }
+    let mut freqs = [0u32; 256];
+    let mut total: u32 = 0;
+    for _ in 0..nsyms {
+        let &sym = data.get(pos).ok_or(EntropyError::Truncated)?;
+        pos += 1;
+        let f = get_varint(data, &mut pos)?;
+        if f == 0 || f > SCALE as u64 {
+            return Err(EntropyError::Malformed("frequency out of range"));
+        }
+        if freqs[sym as usize] != 0 {
+            return Err(EntropyError::Malformed("duplicate frequency entry"));
+        }
+        freqs[sym as usize] = f as u32;
+        total = total
+            .checked_add(f as u32)
+            .ok_or(EntropyError::Malformed("frequency overflow"))?;
+    }
+    if total != SCALE {
+        return Err(EntropyError::Malformed("frequencies do not sum to scale"));
+    }
+    // One packed entry per slot — symbol (8 bits), freq - 1 (12 bits, a
+    // frequency is 1..=SCALE), cumulative start (12 bits) — so the hot loop
+    // makes a single table load per symbol.
+    let mut table = vec![0u32; SCALE as usize];
+    let mut cum = 0u32;
+    for (s, &f) in freqs.iter().enumerate() {
+        if f == 0 {
+            continue;
+        }
+        let entry = s as u32 | (f - 1) << 8 | cum << 20;
+        for slot in cum..cum + f {
+            table[slot as usize] = entry;
+        }
+        cum += f;
+    }
+
+    let state_bytes = data.get(pos..pos + 4).ok_or(EntropyError::Truncated)?;
+    pos += 4;
+    // The encoder's final little-endian state was byte-reversed with the
+    // rest of the stream.
+    let mut state = u32::from_le_bytes([
+        state_bytes[3],
+        state_bytes[2],
+        state_bytes[1],
+        state_bytes[0],
+    ]);
+    if state < RANS_L {
+        return Err(EntropyError::Malformed("initial state below range"));
+    }
+
+    let mut out = Vec::with_capacity(raw_len);
+    for _ in 0..raw_len {
+        let slot = state & (SCALE - 1);
+        let entry = table[slot as usize];
+        let f = (entry >> 8 & 0xFFF) + 1;
+        state = f * (state >> SCALE_BITS) + slot - (entry >> 20);
+        while state < RANS_L {
+            let &byte = data.get(pos).ok_or(EntropyError::Truncated)?;
+            pos += 1;
+            state = (state << 8) | byte as u32;
+        }
+        out.push(entry as u8);
+    }
+    if state != RANS_L {
+        return Err(EntropyError::Malformed("final state mismatch"));
+    }
+    if pos != data.len() {
+        return Err(EntropyError::Malformed("trailing bytes after rANS payload"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let packed = compress(data);
+        let back = decompress(&packed, data.len()).expect("decompress");
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn roundtrips_structured_payloads() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(&[0u8; 10_000]);
+        roundtrip(&vec![7u8; 4096]);
+        roundtrip(&(0..=255u8).collect::<Vec<_>>());
+        let skewed: Vec<u8> = (0..20_000)
+            .map(|i| if i % 17 == 0 { 3 } else { 0 })
+            .collect();
+        roundtrip(&skewed);
+        let texture: Vec<u8> = (0..10_000u32)
+            .map(|i| ((i * 31 + i / 97) % 11) as u8)
+            .collect();
+        roundtrip(&texture);
+    }
+
+    #[test]
+    fn skewed_data_actually_compresses() {
+        let data: Vec<u8> = (0..50_000)
+            .map(|i| if i % 13 == 0 { 9 } else { 0 })
+            .collect();
+        let packed = compress(&data);
+        assert!(
+            (packed.len() as f64) < data.len() as f64 / 4.0,
+            "near-constant data must compress well: {} -> {}",
+            data.len(),
+            packed.len()
+        );
+    }
+
+    #[test]
+    fn incompressible_data_bounded_by_raw_fallback() {
+        // A pseudo-random byte soup; rANS cannot win, raw mode caps growth.
+        let data: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        let packed = compress(&data);
+        assert!(packed.len() <= data.len() + 16, "expansion must be bounded");
+        assert_eq!(decompress(&packed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error() {
+        let data: Vec<u8> = (0..5000).map(|i| (i % 7) as u8).collect();
+        let packed = compress(&data);
+        for cut in 0..packed.len() {
+            let r = decompress(&packed[..cut], data.len());
+            assert!(r.is_err(), "cut at {cut} must fail, got {r:?}");
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_typed_errors_never_wrong_bytes() {
+        let data: Vec<u8> = (0..3000).map(|i| ((i * 3) % 11) as u8).collect();
+        let packed = compress(&data);
+        for byte in 0..packed.len() {
+            for bit in [0, 3, 7] {
+                let mut bad = packed.clone();
+                bad[byte] ^= 1 << bit;
+                // A typed error is acceptable; a silent wrong decode is not.
+                if let Ok(out) = decompress(&bad, data.len()) {
+                    assert_eq!(
+                        out, data,
+                        "flip {byte}.{bit} decoded successfully, bytes must match"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_declaration_rejected_before_allocation() {
+        let packed = compress(&[1, 2, 3]);
+        assert!(matches!(
+            decompress(&packed, 2),
+            Err(EntropyError::Oversized {
+                declared: 3,
+                limit: 2
+            })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_roundtrip_bit_identical(data in proptest::collection::vec(0u8..=255u8, 0..4096)) {
+            let packed = compress(&data);
+            let back = decompress(&packed, data.len());
+            prop_assert_eq!(back.as_deref().ok(), Some(&data[..]));
+        }
+
+        #[test]
+        fn prop_truncated_streams_are_typed_errors(
+            data in proptest::collection::vec(0u8..=255u8, 1..1024),
+            cut_seed in 0u16..=u16::MAX,
+        ) {
+            let packed = compress(&data);
+            let cut = cut_seed as usize % packed.len();
+            // Never panics; a short stream may only fail with a typed error.
+            let _ = decompress(&packed[..cut], data.len());
+        }
+
+        #[test]
+        fn prop_corrupt_streams_never_panic_or_lie(
+            data in proptest::collection::vec(0u8..=255u8, 1..1024),
+            byte_seed in any::<u32>(),
+            bit in 0u8..8,
+        ) {
+            let packed = compress(&data);
+            let mut bad = packed.clone();
+            let byte = byte_seed as usize % bad.len();
+            bad[byte] ^= 1 << bit;
+            if let Ok(out) = decompress(&bad, data.len()) {
+                // The checksum let it through: the bytes must be right.
+                prop_assert_eq!(out, data);
+            }
+        }
+
+        #[test]
+        fn prop_arbitrary_bytes_as_stream_never_panic(
+            junk in proptest::collection::vec(0u8..=255u8, 0..512),
+        ) {
+            let _ = decompress(&junk, 1 << 16);
+        }
+    }
+}

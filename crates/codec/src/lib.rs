@@ -29,15 +29,19 @@ pub mod deblock;
 pub mod decoder;
 pub mod encode;
 pub mod encoder;
+pub mod entropy;
 pub mod grid;
+pub mod pred;
 pub mod quant;
 pub mod stats;
 pub mod stitch;
 
-pub use container::{ContainerError, ContainerHeader, TileVideo};
+pub use container::{ContainerError, ContainerHeader, TileCodec, TileVideo};
 pub use decoder::{DecodeError, TileDecoder};
 pub use encode::encode_video;
-pub use encoder::{EncodedFrame, EncoderConfig, RateControl, TileEncoder};
+pub use encoder::{CodecChoice, EncodedFrame, EncoderConfig, RateControl, TileEncoder};
+pub use entropy::EntropyError;
 pub use grid::{LayoutError, TileLayout, TILE_ALIGN};
+pub use pred::PredError;
 pub use stats::{DecodeStats, EncodeStats};
 pub use stitch::{StitchError, StitchedVideo};

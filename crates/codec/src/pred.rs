@@ -1,0 +1,544 @@
+//! The `Pred` tile codec: lossless prediction + rANS entropy coding.
+//!
+//! An alternative per-tile codec to the DCT pipeline, selected at ingest by
+//! a size trial (see [`crate::encode`]): frames are predicted — keyframes
+//! with PNG-style per-row spatial predictors (none/left/up/average/Paeth),
+//! P-frames with a temporal delta against the previous reconstruction, per
+//! plane, with a spatial fallback when the scene cuts — and the residual
+//! bytes are entropy-coded with [`crate::entropy`]. The codec is lossless,
+//! so a P-frame's reference equals the source frame and resume-from-cache
+//! decoding is trivially bit-exact.
+
+use crate::entropy::{self, EntropyError};
+use tasm_video::{Frame, Plane};
+
+/// Errors surfaced while decoding a `Pred` frame payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredError {
+    /// The entropy layer failed (truncated or corrupt stream).
+    Entropy(EntropyError),
+    /// The residual payload does not match the frame geometry.
+    Malformed(&'static str),
+    /// A temporal plane arrived without a reference frame.
+    MissingReference,
+}
+
+impl From<EntropyError> for PredError {
+    fn from(e: EntropyError) -> Self {
+        PredError::Entropy(e)
+    }
+}
+
+impl std::fmt::Display for PredError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredError::Entropy(e) => write!(f, "entropy layer: {e}"),
+            PredError::Malformed(what) => write!(f, "malformed pred payload: {what}"),
+            PredError::MissingReference => write!(f, "temporal plane with no reference frame"),
+        }
+    }
+}
+
+impl std::error::Error for PredError {}
+
+/// Per-plane coding mode.
+const PLANE_SPATIAL: u8 = 0;
+const PLANE_TEMPORAL: u8 = 1;
+
+/// Per-row spatial predictors (PNG filter set).
+const PRED_NONE: u8 = 0;
+const PRED_LEFT: u8 = 1;
+const PRED_UP: u8 = 2;
+const PRED_AVG: u8 = 3;
+const PRED_PAETH: u8 = 4;
+
+fn paeth(a: u8, b: u8, c: u8) -> u8 {
+    // a = left, b = up, c = up-left.
+    let p = a as i32 + b as i32 - c as i32;
+    let (pa, pb, pc) = (
+        (p - a as i32).abs(),
+        (p - b as i32).abs(),
+        (p - c as i32).abs(),
+    );
+    if pa <= pb && pa <= pc {
+        a
+    } else if pb <= pc {
+        b
+    } else {
+        c
+    }
+}
+
+fn predict(kind: u8, left: u8, up: u8, up_left: u8) -> u8 {
+    match kind {
+        PRED_NONE => 0,
+        PRED_LEFT => left,
+        PRED_UP => up,
+        PRED_AVG => ((left as u16 + up as u16) / 2) as u8,
+        _ => paeth(left, up, up_left),
+    }
+}
+
+/// Cost proxy for a residual byte: distance from zero on the wrapping ring.
+fn residual_cost(r: u8) -> u32 {
+    (r as u32).min(256 - r as u32)
+}
+
+/// Encodes one plane spatially: a predictor byte per row, then row-major
+/// residuals. Appends to `out`.
+fn encode_plane_spatial(samples: &[u8], w: usize, h: usize, out: &mut Vec<u8>) {
+    out.push(PLANE_SPATIAL);
+    let preds_at = out.len();
+    out.resize(preds_at + h, PRED_NONE);
+    for y in 0..h {
+        let row = &samples[y * w..(y + 1) * w];
+        let prev = if y > 0 {
+            Some(&samples[(y - 1) * w..y * w])
+        } else {
+            None
+        };
+        let mut best = (u64::MAX, PRED_NONE);
+        for kind in [PRED_NONE, PRED_LEFT, PRED_UP, PRED_AVG, PRED_PAETH] {
+            if prev.is_none() && (kind == PRED_UP || kind == PRED_AVG || kind == PRED_PAETH) {
+                continue;
+            }
+            let mut cost = 0u64;
+            for x in 0..w {
+                let left = if x > 0 { row[x - 1] } else { 0 };
+                let up = prev.map_or(0, |p| p[x]);
+                let up_left = if x > 0 {
+                    prev.map_or(0, |p| p[x - 1])
+                } else {
+                    0
+                };
+                cost += residual_cost(row[x].wrapping_sub(predict(kind, left, up, up_left))) as u64;
+            }
+            if cost < best.0 {
+                best = (cost, kind);
+            }
+        }
+        out[preds_at + y] = best.1;
+        for x in 0..w {
+            let left = if x > 0 { row[x - 1] } else { 0 };
+            let up = prev.map_or(0, |p| p[x]);
+            let up_left = if x > 0 {
+                prev.map_or(0, |p| p[x - 1])
+            } else {
+                0
+            };
+            out.push(row[x].wrapping_sub(predict(best.1, left, up, up_left)));
+        }
+    }
+}
+
+fn decode_plane_spatial(
+    data: &[u8],
+    pos: &mut usize,
+    w: usize,
+    h: usize,
+) -> Result<Vec<u8>, PredError> {
+    let preds = data
+        .get(*pos..*pos + h)
+        .ok_or(PredError::Malformed("plane shorter than predictor table"))?
+        .to_vec();
+    *pos += h;
+    let mut plane = vec![0u8; w * h];
+    let zeros = vec![0u8; w];
+    for (y, &kind) in preds.iter().enumerate() {
+        if kind > PRED_PAETH {
+            return Err(PredError::Malformed("unknown row predictor"));
+        }
+        let res = data
+            .get(*pos..*pos + w)
+            .ok_or(PredError::Malformed("plane shorter than residual rows"))?;
+        *pos += w;
+        // Per-predictor row loops: the straightforward per-pixel
+        // `predict(kind, ...)` dispatch costs a branch per sample and keeps
+        // the vectorizer out; NONE/UP become straight copies/adds, and the
+        // serial predictors keep their loop-carried value in a register.
+        let (above, row) =
+            plane[(y.saturating_sub(1)) * w..].split_at_mut(if y == 0 { 0 } else { w });
+        let above: &[u8] = if y == 0 { &zeros } else { above };
+        let row = &mut row[..w];
+        match kind {
+            PRED_NONE => row.copy_from_slice(res),
+            PRED_LEFT => {
+                let mut left = 0u8;
+                for (d, &r) in row.iter_mut().zip(res) {
+                    left = r.wrapping_add(left);
+                    *d = left;
+                }
+            }
+            PRED_UP => {
+                for ((d, &r), &up) in row.iter_mut().zip(res).zip(above) {
+                    *d = r.wrapping_add(up);
+                }
+            }
+            PRED_AVG => {
+                let mut left = 0u8;
+                for ((d, &r), &up) in row.iter_mut().zip(res).zip(above) {
+                    left = r.wrapping_add(((left as u16 + up as u16) / 2) as u8);
+                    *d = left;
+                }
+            }
+            _ => {
+                let (mut left, mut up_left) = (0u8, 0u8);
+                for ((d, &r), &up) in row.iter_mut().zip(res).zip(above) {
+                    left = r.wrapping_add(paeth(left, up, up_left));
+                    up_left = up;
+                    *d = left;
+                }
+            }
+        }
+    }
+    Ok(plane)
+}
+
+/// Spatial cost of a whole plane (used for the temporal-vs-spatial trial).
+fn spatial_cost(samples: &[u8], w: usize, h: usize) -> u64 {
+    let mut scratch = Vec::with_capacity(1 + h + samples.len());
+    encode_plane_spatial(samples, w, h, &mut scratch);
+    scratch[1 + h..]
+        .iter()
+        .map(|&r| residual_cost(r) as u64)
+        .sum()
+}
+
+/// Residual-buffer framing ahead of the entropy layer.
+const PACK_PLAIN: u8 = 0;
+const PACK_RLE0: u8 = 1;
+
+/// Zero-run-length packs `data`: nonzero bytes pass through, a zero byte is
+/// written as `0x00` followed by the run length (1..=255; longer runs emit
+/// more pairs). Prediction residuals are overwhelmingly zero, so this
+/// collapses both the stream *and* the number of symbols the rANS decoder
+/// must pull — the dominant cost of a cold `Pred` scan.
+fn rle0_pack(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 4 + 16);
+    let mut i = 0;
+    while i < data.len() {
+        let b = data[i];
+        if b != 0 {
+            out.push(b);
+            i += 1;
+            continue;
+        }
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == 0 {
+            run += 1;
+        }
+        i += run;
+        while run > 0 {
+            let n = run.min(255);
+            out.push(0);
+            out.push(n as u8);
+            run -= n;
+        }
+    }
+    out
+}
+
+/// Inverse of [`rle0_pack`]; refuses malformed pairs and output beyond
+/// `max_len` (the geometric residual bound).
+fn rle0_unpack(data: &[u8], max_len: usize) -> Result<Vec<u8>, PredError> {
+    let mut out = Vec::with_capacity(max_len.min(data.len() * 4));
+    let mut i = 0;
+    while i < data.len() {
+        let b = data[i];
+        i += 1;
+        if b != 0 {
+            if out.len() >= max_len {
+                return Err(PredError::Malformed("zero-run stream exceeds bound"));
+            }
+            out.push(b);
+            continue;
+        }
+        let &n = data
+            .get(i)
+            .ok_or(PredError::Malformed("zero run missing length"))?;
+        i += 1;
+        if n == 0 {
+            return Err(PredError::Malformed("zero-length zero run"));
+        }
+        if out.len() + n as usize > max_len {
+            return Err(PredError::Malformed("zero-run stream exceeds bound"));
+        }
+        out.resize(out.len() + n as usize, 0);
+    }
+    Ok(out)
+}
+
+/// Zero-run packs the residual buffer when that is smaller, prepends the
+/// framing byte, and entropy-codes the result.
+fn seal(residuals: &[u8]) -> Vec<u8> {
+    let packed = rle0_pack(residuals);
+    let mut framed = Vec::with_capacity(packed.len().min(residuals.len()) + 1);
+    if packed.len() < residuals.len() {
+        framed.push(PACK_RLE0);
+        framed.extend_from_slice(&packed);
+    } else {
+        framed.push(PACK_PLAIN);
+        framed.extend_from_slice(residuals);
+    }
+    entropy::compress(&framed)
+}
+
+/// Encodes a keyframe: every plane spatial.
+pub fn encode_intra(frame: &Frame) -> Vec<u8> {
+    let mut residuals = Vec::with_capacity(frame.sample_count() as usize + 8);
+    for plane in Plane::ALL {
+        let (w, h) = (
+            frame.plane_width(plane) as usize,
+            frame.plane_height(plane) as usize,
+        );
+        encode_plane_spatial(frame.plane(plane), w, h, &mut residuals);
+    }
+    seal(&residuals)
+}
+
+/// Encodes a P-frame against the previous reconstruction (identical to the
+/// previous source frame — the codec is lossless). Each plane picks
+/// temporal delta or spatial prediction, whichever yields cheaper residuals.
+pub fn encode_inter(frame: &Frame, prev: &Frame) -> Vec<u8> {
+    let mut residuals = Vec::with_capacity(frame.sample_count() as usize + 8);
+    for plane in Plane::ALL {
+        let (w, h) = (
+            frame.plane_width(plane) as usize,
+            frame.plane_height(plane) as usize,
+        );
+        let cur = frame.plane(plane);
+        let old = prev.plane(plane);
+        let temporal_cost: u64 = cur
+            .iter()
+            .zip(old)
+            .map(|(&c, &p)| residual_cost(c.wrapping_sub(p)) as u64)
+            .sum();
+        if temporal_cost <= spatial_cost(cur, w, h) {
+            residuals.push(PLANE_TEMPORAL);
+            residuals.extend(cur.iter().zip(old).map(|(&c, &p)| c.wrapping_sub(p)));
+        } else {
+            encode_plane_spatial(cur, w, h, &mut residuals);
+        }
+    }
+    seal(&residuals)
+}
+
+/// Upper bound on the residual-buffer size for a `width`×`height` frame —
+/// the allocation cap handed to the entropy decoder.
+fn residual_bound(width: u32, height: u32) -> usize {
+    let luma = width as usize * height as usize;
+    let chroma = luma / 4;
+    // Per plane: mode byte + predictor byte per row + samples.
+    3 + (height as usize + 2 * (height as usize / 2)) + luma + 2 * chroma
+}
+
+/// Decodes one `Pred` frame. `prev` must hold the previous reconstruction
+/// when any plane was coded temporally (always available in GOP order;
+/// keyframes never need it).
+pub fn decode_frame(
+    data: &[u8],
+    width: u32,
+    height: u32,
+    prev: Option<&Frame>,
+) -> Result<Frame, PredError> {
+    let bound = residual_bound(width, height);
+    // +1 for the framing byte; a zero-run stream is only chosen when it is
+    // smaller than the plain residuals, so the bound holds for both.
+    let framed = entropy::decompress(data, bound + 1)?;
+    let (&pack, body) = framed
+        .split_first()
+        .ok_or(PredError::Malformed("empty residual stream"))?;
+    let residuals = match pack {
+        PACK_PLAIN => body.to_vec(),
+        PACK_RLE0 => rle0_unpack(body, bound)?,
+        _ => return Err(PredError::Malformed("unknown residual framing")),
+    };
+    let mut pos = 0usize;
+    let mut planes: Vec<Vec<u8>> = Vec::with_capacity(3);
+    for plane in Plane::ALL {
+        let w = (width >> plane.subsample_shift()) as usize;
+        let h = (height >> plane.subsample_shift()) as usize;
+        let &mode = residuals
+            .get(pos)
+            .ok_or(PredError::Malformed("missing plane mode"))?;
+        pos += 1;
+        let decoded = match mode {
+            PLANE_SPATIAL => decode_plane_spatial(&residuals, &mut pos, w, h)?,
+            PLANE_TEMPORAL => {
+                let reference = prev.ok_or(PredError::MissingReference)?;
+                if reference.width() != width || reference.height() != height {
+                    return Err(PredError::Malformed("reference dimension mismatch"));
+                }
+                let old = reference.plane(plane);
+                let res = residuals.get(pos..pos + w * h).ok_or(PredError::Malformed(
+                    "plane shorter than temporal residuals",
+                ))?;
+                pos += w * h;
+                res.iter()
+                    .zip(old)
+                    .map(|(&r, &p)| r.wrapping_add(p))
+                    .collect()
+            }
+            _ => return Err(PredError::Malformed("unknown plane mode")),
+        };
+        planes.push(decoded);
+    }
+    if pos != residuals.len() {
+        return Err(PredError::Malformed("trailing residual bytes"));
+    }
+    let mut it = planes.into_iter();
+    let (y, u, v) = (
+        it.next().expect("three planes"),
+        it.next().expect("three planes"),
+        it.next().expect("three planes"),
+    );
+    Frame::from_planes(width, height, y, u, v)
+        .ok_or(PredError::Malformed("plane sizes do not match dimensions"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasm_video::Rect;
+
+    fn textured(w: u32, h: u32, t: u32) -> Frame {
+        let mut f = Frame::filled(w, h, 90, 128, 128);
+        for y in 0..h {
+            for x in 0..w {
+                f.set_sample(Plane::Y, x, y, ((x * 3 + y * 5 + t * 2) % 200 + 20) as u8);
+            }
+        }
+        f.fill_rect(Rect::new((t * 4) % (w - 16), 8, 16, 16), 230, 90, 160);
+        f
+    }
+
+    #[test]
+    fn intra_roundtrip_is_lossless() {
+        let f = textured(64, 48, 0);
+        let data = encode_intra(&f);
+        let back = decode_frame(&data, 64, 48, None).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn inter_roundtrip_is_lossless() {
+        let a = textured(64, 48, 0);
+        let b = textured(64, 48, 1);
+        let data = encode_inter(&b, &a);
+        let back = decode_frame(&data, 64, 48, Some(&a)).unwrap();
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn static_content_yields_tiny_p_frames() {
+        let a = textured(64, 48, 0);
+        let key = encode_intra(&a);
+        let p = encode_inter(&a, &a);
+        assert!(
+            p.len() * 4 < key.len(),
+            "identical frames must delta to near nothing: key {} vs p {}",
+            key.len(),
+            p.len()
+        );
+    }
+
+    #[test]
+    fn gradient_frames_beat_raw_size() {
+        let f = textured(64, 64, 0);
+        let raw = f.sample_count();
+        let data = encode_intra(&f);
+        assert!(
+            (data.len() as u64) < raw,
+            "predictable texture must compress: {} vs raw {}",
+            data.len(),
+            raw
+        );
+    }
+
+    #[test]
+    fn temporal_plane_without_reference_is_typed_error() {
+        let a = textured(32, 32, 0);
+        let data = encode_inter(&a, &a); // all planes temporal
+        assert_eq!(
+            decode_frame(&data, 32, 32, None),
+            Err(PredError::MissingReference)
+        );
+    }
+
+    #[test]
+    fn corrupt_payloads_never_panic() {
+        let f = textured(32, 32, 0);
+        let data = encode_intra(&f);
+        for cut in 0..data.len() {
+            let _ = decode_frame(&data[..cut], 32, 32, None);
+        }
+        for byte in 0..data.len() {
+            let mut bad = data.clone();
+            bad[byte] ^= 0x10;
+            if let Ok(out) = decode_frame(&bad, 32, 32, None) {
+                assert_eq!(out, f, "accepted corruption must still be bit-exact");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_dimensions_rejected() {
+        let f = textured(32, 32, 0);
+        let data = encode_intra(&f);
+        assert!(decode_frame(&data, 64, 64, None).is_err());
+        assert!(decode_frame(&data, 16, 16, None).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn prop_intra_roundtrip(
+            seed in any::<u64>(),
+        ) {
+            // Pseudo-random plane contents driven by the seed: exercises
+            // texture the row predictors cannot model.
+            let (w, h) = (16 + (seed % 3) as u32 * 16, 16 + ((seed >> 8) % 2) as u32 * 16);
+            let mut f = Frame::black(w, h);
+            let mut s = seed | 1;
+            for p in Plane::ALL {
+                let (pw, ph) = (f.plane_width(p), f.plane_height(p));
+                for y in 0..ph {
+                    for x in 0..pw {
+                        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        f.set_sample(p, x, y, (s >> 33) as u8);
+                    }
+                }
+            }
+            let data = encode_intra(&f);
+            prop_assert_eq!(decode_frame(&data, w, h, None).as_ref().ok(), Some(&f));
+        }
+
+        #[test]
+        fn prop_inter_roundtrip(seed in any::<u64>(), delta in 0u8..=255u8) {
+            let mut a = Frame::black(32, 32);
+            let mut s = seed | 1;
+            for y in 0..32 {
+                for x in 0..32 {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    a.set_sample(Plane::Y, x, y, (s >> 40) as u8);
+                }
+            }
+            let mut b = a.clone();
+            for y in 8..16 {
+                for x in 8..16 {
+                    let v = b.sample(Plane::Y, x, y).wrapping_add(delta);
+                    b.set_sample(Plane::Y, x, y, v);
+                }
+            }
+            let data = encode_inter(&b, &a);
+            prop_assert_eq!(decode_frame(&data, 32, 32, Some(&a)).as_ref().ok(), Some(&b));
+        }
+    }
+}

@@ -36,6 +36,10 @@ pub enum StitchError {
     TileDimsMismatch { index: u32 },
     /// Tile streams disagree on frame count.
     FrameCountMismatch,
+    /// A tile stream uses a codec homomorphic stitching cannot splice
+    /// (stitching re-frames DCT bitstreams without re-encoding; lossless
+    /// tiles must be decoded and composited instead).
+    UnsupportedCodec { index: u32 },
     /// The layout itself is invalid.
     Layout(LayoutError),
     /// Container-level failure.
@@ -64,6 +68,9 @@ impl std::fmt::Display for StitchError {
                 write!(f, "tile {index} dimensions disagree with layout")
             }
             StitchError::FrameCountMismatch => write!(f, "tiles disagree on frame count"),
+            StitchError::UnsupportedCodec { index } => {
+                write!(f, "tile {index} uses a codec stitching cannot splice")
+            }
             StitchError::Layout(e) => write!(f, "layout error: {e}"),
             StitchError::Container(e) => write!(f, "container error: {e}"),
         }
@@ -86,6 +93,9 @@ impl StitchedVideo {
             let t = &tiles[i as usize];
             if t.width != rect.w || t.height != rect.h {
                 return Err(StitchError::TileDimsMismatch { index: i });
+            }
+            if t.codec != crate::container::TileCodec::Dct {
+                return Err(StitchError::UnsupportedCodec { index: i });
             }
         }
         let n = tiles[0].frame_count();

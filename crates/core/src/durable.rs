@@ -45,6 +45,11 @@ pub trait StorageIo: Send + Sync {
     /// temporary name and [`StorageIo::rename`] over the target.
     fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
 
+    /// Durably appends to a file (creating it if absent): open in append
+    /// mode, write, fsync. The write-ahead log of the tiered semantic index
+    /// goes through this, so fault injectors count it as mutating.
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+
     /// Atomically renames `from` to `to` (replacing `to` if it exists) and
     /// makes the rename durable.
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
@@ -134,6 +139,15 @@ impl StorageIo for RealIo {
 
     fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         let mut f = fs::File::create(path)?;
+        f.write_all(data)?;
+        f.sync_all()
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
         f.write_all(data)?;
         f.sync_all()
     }
@@ -314,6 +328,20 @@ impl StorageIo for FaultIo {
             Some(FaultKind::TornWrite) => {
                 // Persist an unsynced prefix: the classic torn write.
                 let _ = fs::write(path, &data[..data.len() / 2]);
+                Err(Self::crash_error())
+            }
+        }
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        match self.step()? {
+            None => self.inner.append(path, data),
+            Some(FaultKind::FailStop) => Err(Self::crash_error()),
+            Some(FaultKind::TornWrite) => {
+                // Append an unsynced prefix: a torn log record.
+                if let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(path) {
+                    let _ = f.write_all(&data[..data.len() / 2]);
+                }
                 Err(Self::crash_error())
             }
         }
@@ -650,6 +678,50 @@ impl FsckReport {
     /// True when no issues were found.
     pub fn is_clean(&self) -> bool {
         self.issues.is_empty()
+    }
+}
+
+/// Adapts a [`StorageIo`] to the index crate's `TierIo`, so the tiered
+/// semantic index (which lives below this crate in the dependency graph)
+/// writes its WAL, runs, and compactions through the same shim as tile
+/// commits — one fault injector, one crash-point sweep, covering both.
+pub struct StorageTierIo(pub Arc<dyn StorageIo>);
+
+impl tasm_index::TierIo for StorageTierIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.0.read(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.0.write(path, data)
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.0.append(path, data)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.0.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.0.remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.0.create_dir_all(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        self.0.sync_dir(path)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.0.list_dir(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.0.exists(path)
     }
 }
 

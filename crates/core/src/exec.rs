@@ -650,6 +650,37 @@ mod tests {
     }
 
     #[test]
+    fn cache_accounts_decompressed_bytes_not_disk_bytes() {
+        // A flat tile entropy-codes to a few dozen bytes on disk, but the
+        // decoded frames it expands to are full planar YUV. The budget must
+        // account the latter: charging on-disk size would let a 1 MiB
+        // budget hold gigabytes of decoded pixels.
+        use tasm_codec::{encode_video, CodecChoice, EncoderConfig, TileLayout};
+        use tasm_video::VecFrameSource;
+        let src = VecFrameSource::new(vec![Frame::filled(64, 64, 120, 128, 128); 4]);
+        let cfg = EncoderConfig {
+            codec: CodecChoice::Pred,
+            ..Default::default()
+        };
+        let (videos, _) = encode_video(&src, &TileLayout::untiled(64, 64), &cfg, false).unwrap();
+        let disk_bytes = videos[0].size_bytes();
+        let (frames, _) = videos[0].decode_all().unwrap();
+        let decoded_bytes: u64 = frames.iter().map(frame_bytes).sum();
+        assert!(
+            disk_bytes < decoded_bytes / 4,
+            "test premise: compressed tile ({disk_bytes} B) must be far \
+             smaller than decoded frames ({decoded_bytes} B)"
+        );
+        let c = DecodedTileCache::new(1 << 20);
+        c.store(key(0, 0), frames.into_iter().map(Arc::new).collect());
+        assert_eq!(
+            c.bytes_used(),
+            decoded_bytes + 64,
+            "cache must charge decompressed frame bytes plus fixed overhead"
+        );
+    }
+
+    #[test]
     fn cache_evicts_lru_under_budget() {
         // Each 16x16 frame is 384 bytes + 64 overhead per entry.
         let c = DecodedTileCache::new(1000);

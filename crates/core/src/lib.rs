@@ -130,6 +130,7 @@ pub mod tasm;
 pub use cost::{estimate_work, fit_linear, pixel_ratio, CostModel, EncodeModel, Work, WorkSample};
 pub use durable::{
     FaultIo, FaultKind, FsckIssue, FsckReport, RealIo, RecoveryAction, RecoveryReport, StorageIo,
+    StorageTierIo,
 };
 pub use edge::{edge_ingest, EdgeConfig, EdgeReport};
 pub use exec::{

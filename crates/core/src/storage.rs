@@ -59,8 +59,8 @@ use std::ops::Range;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use tasm_codec::{
-    encode_video, ContainerError, ContainerHeader, DecodeStats, EncodeStats, EncoderConfig,
-    LayoutError, StitchError, StitchedVideo, TileLayout, TileVideo,
+    encode_video, CodecChoice, ContainerError, ContainerHeader, DecodeStats, EncodeStats,
+    EncoderConfig, LayoutError, StitchError, TileLayout, TileVideo,
 };
 use tasm_video::{Frame, FrameSource, SliceSource, VecFrameSource};
 
@@ -169,6 +169,10 @@ pub struct StorageConfig {
     pub rate: tasm_codec::encoder::RateControl,
     /// Encode tiles on multiple threads (bit-identical output either way).
     pub parallel_encode: bool,
+    /// Per-tile codec selection. [`CodecChoice::Auto`] (the default) runs a
+    /// cheap size trial per tile at ingest and re-tile, keeping whichever of
+    /// the DCT and entropy-coded lossless streams is smaller.
+    pub codec: CodecChoice,
 }
 
 impl Default for StorageConfig {
@@ -181,6 +185,7 @@ impl Default for StorageConfig {
             deblock: true,
             rate: tasm_codec::encoder::RateControl::ConstantQp,
             parallel_encode: true,
+            codec: CodecChoice::Auto,
         }
     }
 }
@@ -193,6 +198,7 @@ impl StorageConfig {
             search_range: self.search_range,
             deblock: self.deblock,
             rate: self.rate,
+            codec: self.codec,
         }
     }
 }
@@ -208,6 +214,9 @@ pub struct SotEntry {
     pub layout: TileLayout,
     /// How many times this SOT has been re-tiled (diagnostics).
     pub retile_count: u32,
+    /// Container codec id of each tile (raster order), recorded at ingest
+    /// and re-tile so fsck can cross-check headers against the manifest.
+    pub tile_codecs: Vec<u8>,
 }
 
 impl SotEntry {
@@ -533,6 +542,7 @@ impl VideoStore {
                 end,
                 layout,
                 retile_count: 0,
+                tile_codecs: tiles.iter().map(|t| t.codec.id()).collect(),
             });
             start = end;
             sot_idx += 1;
@@ -695,13 +705,24 @@ impl VideoStore {
         // completed now, this re-tile must not proceed.
         self.finish_pending_commits(&manifest.name)?;
 
-        // Decode the SOT in full from its current tiles.
+        // Decode the SOT in full from its current tiles, compositing each
+        // tile into place. (Homomorphic stitching only splices DCT streams;
+        // decode-and-blit handles mixed-codec layouts too.)
         let old_tile_count = sot.layout.tile_count();
         let tiles: Vec<TileVideo> = (0..old_tile_count)
             .map(|t| self.read_tile(manifest, sot_idx, t))
             .collect::<Result<_, _>>()?;
-        let stitched = StitchedVideo::stitch(sot.layout.clone(), tiles)?;
-        let (frames, decode) = stitched.decode_all()?;
+        let mut decode = DecodeStats::new();
+        let mut frames: Vec<Frame> = (0..sot.len())
+            .map(|_| Frame::black(manifest.width, manifest.height))
+            .collect();
+        for ((_, rect), tile) in sot.layout.tiles().zip(&tiles) {
+            let (tile_frames, s) = tile.decode_all()?;
+            decode += s;
+            for (dst, src) in frames.iter_mut().zip(&tile_frames) {
+                dst.blit(src, src.rect(), rect.x, rect.y);
+            }
+        }
 
         // Re-encode under the new layout.
         let src = VecFrameSource::new(frames);
@@ -728,6 +749,7 @@ impl VideoStore {
             let entry = &mut new_manifest.sots[sot_idx];
             entry.layout = new_layout;
             entry.retile_count += 1;
+            entry.tile_codecs = new_tiles.iter().map(|t| t.codec.id()).collect();
         }
         let record = CommitRecord {
             sot_start: sot.start,
@@ -1162,6 +1184,14 @@ impl VideoStore {
                         header.frame_count,
                         sot.len()
                     ));
+                }
+                if let Some(&declared) = sot.tile_codecs.get(t as usize) {
+                    if header.codec.id() != declared {
+                        mismatch(format!(
+                            "container codec id {} vs manifest codec id {declared}",
+                            header.codec.id()
+                        ));
+                    }
                 }
             }
 

@@ -40,7 +40,7 @@ use crate::scan::{scan_prepared, LabelPredicate, ScanError, ScanResult};
 use crate::storage::{RetileStats, StorageConfig, StoreError, VideoManifest, VideoStore};
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Range;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 use tasm_codec::TileLayout;
@@ -76,6 +76,11 @@ pub struct TasmConfig {
     /// this instance. `0` disables caching; repeated queries over the same
     /// GOPs then re-decode from disk.
     pub cache_bytes: u64,
+    /// Memtable entry limit of the tiered semantic index opened by
+    /// [`Tasm::open_tiered`] — `None` keeps the tier's default. Small
+    /// values force frequent run flushes and compactions (tests, smoke
+    /// jobs); ignored for indexes supplied directly to [`Tasm::open`].
+    pub index_memtable_limit: Option<usize>,
 }
 
 impl Default for TasmConfig {
@@ -90,6 +95,7 @@ impl Default for TasmConfig {
             max_subset_objects: 4,
             workers: 0,
             cache_bytes: 256 << 20,
+            index_memtable_limit: None,
         }
     }
 }
@@ -241,6 +247,37 @@ impl Tasm {
             cfg,
             videos: RwLock::new(BTreeMap::new()),
         })
+    }
+
+    /// Opens a storage manager whose semantic index is the disk-resident
+    /// tiered index ([`tasm_index::TieredIndex`]) at `index_dir`, with both
+    /// the store and the index writing through production I/O.
+    pub fn open_tiered(
+        root: impl Into<PathBuf>,
+        index_dir: &Path,
+        cfg: TasmConfig,
+    ) -> Result<Self, TasmError> {
+        Self::open_tiered_with_io(root, index_dir, cfg, Arc::new(crate::durable::RealIo))
+    }
+
+    /// [`Tasm::open_tiered`] with an explicit [`crate::durable::StorageIo`].
+    /// The tiered index writes through the *same* shim as tile storage (via
+    /// [`crate::durable::StorageTierIo`]), so one fault injector covers
+    /// retile commits and index WAL/flush/compaction in a single sweep.
+    pub fn open_tiered_with_io(
+        root: impl Into<PathBuf>,
+        index_dir: &Path,
+        cfg: TasmConfig,
+        io: Arc<dyn crate::durable::StorageIo>,
+    ) -> Result<Self, TasmError> {
+        let mut tier = tasm_index::TieredIndex::open_with_io(
+            index_dir,
+            Arc::new(crate::durable::StorageTierIo(io.clone())),
+        )?;
+        if let Some(limit) = cfg.index_memtable_limit {
+            tier.set_memtable_limit(limit);
+        }
+        Self::open_with_io(root, Box::new(tier), cfg, io)
     }
 
     /// What startup recovery repaired when this instance opened its store.

@@ -14,7 +14,10 @@
 //!   in-memory implementations, including processed-frame tracking used by
 //!   TASM's lazy detection strategies (§4.3);
 //! * [`spatial`] — the grid spatial index the paper proposes for
-//!   accelerating conjunctive predicates (§3.2).
+//!   accelerating conjunctive predicates (§3.2);
+//! * [`tiered`] — the disk-resident SSTable tier: a WAL'd memtable flushed
+//!   to immutable prefix-compressed sorted runs with resident bloom and
+//!   frame-range filters, plus size-tiered compaction.
 
 pub mod btree;
 pub mod dict;
@@ -22,6 +25,7 @@ pub mod index;
 pub mod key;
 pub mod pager;
 pub mod spatial;
+pub mod tiered;
 
 pub use btree::{BTree, TreeError};
 pub use dict::LabelDict;
@@ -30,3 +34,4 @@ pub use index::{
 };
 pub use key::RecordKey;
 pub use spatial::SpatialGrid;
+pub use tiered::{RealTierIo, TierIo, TierIssue, TierStats, TieredIndex};

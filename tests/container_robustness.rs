@@ -10,7 +10,7 @@
 use proptest::run_cases;
 use rand::rngs::StdRng;
 use rand::Rng;
-use tasm_codec::{ContainerError, EncoderConfig, TileEncoder, TileVideo};
+use tasm_codec::{ContainerError, EncoderConfig, TileCodec, TileEncoder, TileVideo};
 use tasm_video::{Frame, Plane, Rect};
 
 const CASES: u32 = 48;
@@ -50,6 +50,7 @@ fn arb_tile_video(rng: &mut StdRng) -> TileVideo {
         gop_len: gop,
         qp: cfg.qp,
         deblock: cfg.deblock,
+        codec: TileCodec::Dct,
         frames: encoded,
     }
 }

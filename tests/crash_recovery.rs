@@ -774,3 +774,166 @@ fn clean_retile_leaves_no_residue() {
     );
     fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------
+// Crash-point sweep over the tiered semantic index
+// ---------------------------------------------------------------------
+
+/// One deterministic index workload step. Every step changes the logical
+/// state (distinct detections / distinct processed frames), so every prefix
+/// of the stream has a distinct fingerprint and "which prefix survived?"
+/// has exactly one answer.
+fn index_workload_step(
+    ix: &mut dyn tasm_index::SemanticIndex,
+    i: u32,
+) -> Result<(), tasm_index::TreeError> {
+    let video = i % 2;
+    let labels = ["car", "person", "bus"];
+    if i % 7 == 6 {
+        ix.mark_processed(video, i)
+    } else {
+        ix.add_metadata(
+            video,
+            labels[(i % 3) as usize],
+            i * 3,
+            Rect::new(i, i * 2, 16, 16),
+        )
+    }
+}
+
+const INDEX_SWEEP_STEPS: u32 = 64;
+const INDEX_SWEEP_FLUSH_EVERY: u32 = 5;
+
+/// Runs the workload: a flush every [`INDEX_SWEEP_FLUSH_EVERY`] steps and
+/// once at the end. Stops at the first error (the injected crash). With a
+/// memtable limit of 8, the step count is chosen so the stream *ends* on an
+/// auto-spill: run-flush and compaction I/O follows the final WAL append,
+/// giving the sweep fault points after the last durability point.
+fn run_index_workload(ix: &mut dyn tasm_index::SemanticIndex) -> Result<(), tasm_index::TreeError> {
+    for i in 0..INDEX_SWEEP_STEPS {
+        index_workload_step(ix, i)?;
+        if i % INDEX_SWEEP_FLUSH_EVERY == INDEX_SWEEP_FLUSH_EVERY - 1 {
+            ix.flush()?;
+        }
+    }
+    ix.flush()
+}
+
+/// The observable logical state of a semantic index under the sweep
+/// workload: every probe a planner could make, plus the counters.
+fn index_fingerprint(ix: &mut dyn tasm_index::SemanticIndex) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("detections={}\n", ix.detection_count()));
+    for video in 0..2u32 {
+        out.push_str(&format!(
+            "labels[{video}]={:?}\n",
+            ix.labels(video).expect("labels")
+        ));
+        out.push_str(&format!(
+            "processed[{video}]={}\n",
+            ix.processed_count(video, 0..INDEX_SWEEP_STEPS * 3 + 1)
+                .expect("processed")
+        ));
+        for label in ["car", "person", "bus"] {
+            let dets = ix
+                .query(video, label, 0..INDEX_SWEEP_STEPS * 3 + 1)
+                .expect("query");
+            out.push_str(&format!("q[{video}/{label}]={dets:?}\n"));
+        }
+    }
+    out
+}
+
+/// The index-tier crash-point sweep (acceptance criterion): fail-stop and
+/// torn-write at every mutating I/O operation of the tiered index's WAL
+/// appends, memtable→run flushes, and compactions. Reopening must replay to
+/// a state equal to **exactly one prefix** of the acknowledged operation
+/// stream — never a hole, never a torn or duplicated record — and the
+/// tier's own verify() must be clean.
+#[test]
+fn index_tier_crash_sweep_recovers_to_exactly_one_prefix() {
+    use tasm_core::StorageTierIo;
+    use tasm_index::TieredIndex;
+
+    // Every prefix state of the workload, computed on the reference
+    // in-memory index (equivalence with the tiered index is proven by the
+    // index crate's property tests).
+    let expected: Vec<String> = (0..=INDEX_SWEEP_STEPS)
+        .map(|k| {
+            let mut shadow = MemoryIndex::in_memory();
+            for i in 0..k {
+                index_workload_step(&mut shadow, i).expect("shadow step");
+            }
+            index_fingerprint(&mut shadow)
+        })
+        .collect();
+
+    // Count the workload's mutating I/O operations with a disarmed
+    // injector. The small memtable limit forces WAL appends, several run
+    // flushes, and at least one 4-way compaction into the sweep's range.
+    let clean = temp_dir("index-sweep-clean");
+    let counter = FaultIo::new();
+    let mut idx = TieredIndex::open_with_io(&clean, Arc::new(StorageTierIo(counter.clone())))
+        .expect("open clean");
+    idx.set_memtable_limit(8);
+    let ops_before = counter.mutating_ops();
+    run_index_workload(&mut idx).expect("clean workload");
+    let total_ops = counter.mutating_ops() - ops_before;
+    let clean_runs = idx.stats().run_count;
+    drop(idx);
+    assert!(
+        total_ops >= 20,
+        "the index protocol must expose at least 20 fault points, got {total_ops}"
+    );
+    assert!(clean_runs >= 2, "workload must leave multiple runs");
+
+    let scratch = temp_dir("index-sweep-scratch");
+    let mut matched: Vec<u32> = Vec::new();
+    for kind in [FaultKind::FailStop, FaultKind::TornWrite] {
+        for n in 1..=total_ops {
+            let _ = fs::remove_dir_all(&scratch);
+            let fault = FaultIo::new();
+            let mut idx =
+                TieredIndex::open_with_io(&scratch, Arc::new(StorageTierIo(fault.clone())))
+                    .expect("open faulted");
+            idx.set_memtable_limit(8);
+            fault.arm(fault.mutating_ops() + n, kind);
+            let result = run_index_workload(&mut idx);
+            assert!(result.is_err(), "{kind:?} at op {n} must surface an error");
+            assert!(fault.crashed(), "{kind:?} at op {n} must have fired");
+            drop(idx);
+
+            // Reopen with real I/O: recovery (temp reaping, compaction
+            // roll-forward, watermarked WAL replay) runs at open.
+            let mut idx = TieredIndex::open(&scratch).expect("reopen after crash");
+            let issues = idx.verify().expect("verify runs");
+            assert!(
+                issues.is_empty(),
+                "{kind:?} at op {n}: verify found {issues:?}"
+            );
+            let got = index_fingerprint(&mut idx);
+            let hits: Vec<u32> = (0..=INDEX_SWEEP_STEPS)
+                .filter(|&k| expected[k as usize] == got)
+                .collect();
+            assert_eq!(
+                hits.len(),
+                1,
+                "{kind:?} at op {n}: recovered state matches {} prefixes, want exactly 1:\n{got}",
+                hits.len()
+            );
+            matched.push(hits[0]);
+        }
+    }
+    // The sweep must observe real rollback (early prefixes) and real
+    // durability (the full stream survives when the crash lands after the
+    // last append).
+    let min = *matched.iter().min().expect("nonempty sweep");
+    let max = *matched.iter().max().expect("nonempty sweep");
+    assert!(min < INDEX_SWEEP_STEPS, "no fault point ever rolled back");
+    assert_eq!(
+        max, INDEX_SWEEP_STEPS,
+        "late fault points must preserve the whole acknowledged stream"
+    );
+    fs::remove_dir_all(&clean).ok();
+    fs::remove_dir_all(&scratch).ok();
+}
