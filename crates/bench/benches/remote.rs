@@ -103,6 +103,7 @@ fn loadgen(requests: u64, connections: usize) -> LoadGen {
         window: WINDOW,
         frames: FRAMES,
         busy_backoff: Duration::from_millis(1),
+        reconnect_attempts: 0,
     })
 }
 

@@ -1,0 +1,300 @@
+//! Cluster fan-out benchmark: router throughput at 1 and 3 shards against
+//! a direct single-node baseline.
+//!
+//! The working set is sized to be the interesting case for a scale-out
+//! tier: the decoded-GOP footprint of the video corpus exceeds one node's
+//! cache but fits the *aggregate* cache of three shards. A single node
+//! (and a router over a single shard) keeps re-decoding evicted GOPs under
+//! a Zipf-skewed workload, while three shards each hold their placement's
+//! share resident — so the 3-shard speedup measures what sharding actually
+//! buys on this hardware: aggregate cache capacity, not CPU parallelism
+//! (CI runs this on a single core).
+//!
+//! Every case replays the *same* per-thread Zipf request sequence, so the
+//! comparison is byte-for-byte the same workload. Results land in
+//! `results/BENCH_cluster.json` (acceptance target: 3-shard router
+//! throughput >= 2x the single-node baseline). Run with
+//! `cargo run --release -p tasm-bench --bin cluster_bench`.
+
+use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+use tasm_bench::{bench_dir, scaled_count, write_result};
+use tasm_client::Connection;
+use tasm_cluster::{NodeInfo, Router, RouterConfig, ShardMap};
+use tasm_core::{LabelPredicate, PartitionConfig, Query, StorageConfig, Tasm, TasmConfig};
+use tasm_data::{SceneSpec, SyntheticVideo};
+use tasm_index::MemoryIndex;
+use tasm_server::{ServerConfig, TasmServer};
+use tasm_service::ServiceConfig;
+use tasm_video::FrameSource;
+
+const VIDEOS: usize = 6;
+const FRAMES: u32 = 60;
+/// Per-node decoded-GOP cache: comfortably holds a 3-way shard's 2 videos
+/// (~3.7 MB decoded each), nowhere near all 6.
+const CACHE_BYTES: u64 = 10 << 20;
+const CLIENTS: usize = 2;
+const ZIPF_S: f64 = 1.1;
+
+fn cfg() -> TasmConfig {
+    TasmConfig {
+        storage: StorageConfig {
+            gop_len: 10,
+            sot_frames: 10,
+            ..Default::default()
+        },
+        partition: PartitionConfig {
+            min_tile_width: 32,
+            min_tile_height: 32,
+            ..Default::default()
+        },
+        workers: 1,
+        cache_bytes: CACHE_BYTES,
+        ..Default::default()
+    }
+}
+
+fn video(i: usize) -> SyntheticVideo {
+    SyntheticVideo::new(SceneSpec {
+        width: 256,
+        height: 160,
+        frames: FRAMES,
+        seed: 100 + i as u64,
+        ..SceneSpec::test_scene()
+    })
+}
+
+fn open_node(dir: PathBuf) -> Arc<Tasm> {
+    Arc::new(Tasm::open(dir, Box::new(MemoryIndex::in_memory()), cfg()).expect("open store"))
+}
+
+fn ingest(tasm: &Tasm, name: &str, v: &SyntheticVideo) {
+    tasm.ingest(name, v, 30).expect("ingest");
+    for f in 0..v.len() {
+        for (l, b) in v.ground_truth(f) {
+            tasm.add_metadata(name, l, f, b).expect("metadata");
+        }
+        tasm.mark_processed(name, f).expect("mark");
+    }
+}
+
+fn serve(tasm: Arc<Tasm>) -> TasmServer {
+    TasmServer::bind(
+        tasm,
+        ServiceConfig {
+            workers: 1,
+            queue_depth: 64,
+            ..Default::default()
+        },
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .expect("bind shard")
+}
+
+/// Deterministic Zipf(s) video picks: thread `t`'s sequence is identical
+/// in every case.
+fn zipf_sequence(thread: usize, n: usize) -> Vec<usize> {
+    let cum: Vec<f64> = {
+        let w: Vec<f64> = (0..VIDEOS)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(ZIPF_S))
+            .collect();
+        let total: f64 = w.iter().sum();
+        let mut acc = 0.0;
+        w.iter()
+            .map(|x| {
+                acc += x / total;
+                acc
+            })
+            .collect()
+    };
+    let mut state = 0x9e3779b97f4a7c15u64 ^ (thread as u64).wrapping_mul(0xdeadbeef);
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            cum.iter().position(|&c| u < c).unwrap_or(VIDEOS - 1)
+        })
+        .collect()
+}
+
+#[derive(Serialize)]
+struct Case {
+    name: &'static str,
+    shards: usize,
+    requests: u64,
+    elapsed_s: f64,
+    qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+/// Drives `CLIENTS` threads of the shared Zipf sequence against `addr`
+/// (a shard or a router — same wire protocol either way).
+fn drive(name: &'static str, shards: usize, addr: std::net::SocketAddr, per_thread: usize) -> Case {
+    let query = Query::new(LabelPredicate::label("car")).frames(0..FRAMES);
+    let barrier = Barrier::new(CLIENTS + 1);
+    let mut lat_us: Vec<u64> = Vec::with_capacity(CLIENTS * per_thread);
+    let started = Instant::now();
+    let mut elapsed_s = 0.0;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                let (query, barrier) = (&query, &barrier);
+                scope.spawn(move || {
+                    let seq = zipf_sequence(t, per_thread);
+                    let mut conn = Connection::connect(addr).expect("connect");
+                    // Warm-up: touch every video once so each case starts
+                    // from a populated-as-it-gets cache.
+                    for v in 0..VIDEOS {
+                        conn.query(&format!("v{v}"), query).expect("warmup");
+                    }
+                    barrier.wait();
+                    let mut lat = Vec::with_capacity(per_thread);
+                    for v in seq {
+                        let t0 = Instant::now();
+                        conn.query(&format!("v{v}"), query).expect("query");
+                        lat.push(t0.elapsed().as_micros() as u64);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        barrier.wait();
+        let run0 = Instant::now();
+        for h in handles {
+            lat_us.extend(h.join().expect("client thread"));
+        }
+        elapsed_s = run0.elapsed().as_secs_f64();
+    });
+    let _ = started;
+    lat_us.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        let idx = ((lat_us.len() as f64 * p) as usize).min(lat_us.len() - 1);
+        lat_us[idx] as f64 / 1e3
+    };
+    let requests = lat_us.len() as u64;
+    let case = Case {
+        name,
+        shards,
+        requests,
+        elapsed_s,
+        qps: requests as f64 / elapsed_s,
+        p50_ms: pct(0.50),
+        p95_ms: pct(0.95),
+        p99_ms: pct(0.99),
+    };
+    println!(
+        "{:<14} {} shard(s): {:>6.1} q/s  p50 {:.1} ms  p95 {:.1} ms  p99 {:.1} ms  ({} reqs in {:.1}s)",
+        case.name, case.shards, case.qps, case.p50_ms, case.p95_ms, case.p99_ms, requests, elapsed_s
+    );
+    case
+}
+
+#[derive(Serialize)]
+struct Report {
+    videos: usize,
+    frames: u32,
+    cache_bytes_per_node: u64,
+    zipf_s: f64,
+    clients: usize,
+    cases: Vec<Case>,
+    /// 3-shard router qps over the direct single-node qps (acceptance
+    /// target: >= 2).
+    speedup_3shard_vs_single: f64,
+}
+
+fn main() {
+    let per_thread = scaled_count(150);
+    let base = bench_dir("cluster");
+
+    // The single node holds the whole corpus; each of the three shards
+    // holds its placement's third.
+    println!("ingesting {VIDEOS} videos into 1 single-node store and 3 shard stores...");
+    let single = open_node(base.join("single"));
+    let shards: Vec<Arc<Tasm>> = (0..3)
+        .map(|i| open_node(base.join(format!("n{i}"))))
+        .collect();
+    for i in 0..VIDEOS {
+        let v = video(i);
+        ingest(&single, &format!("v{i}"), &v);
+        ingest(&shards[i % 3], &format!("v{i}"), &v);
+    }
+    let single_srv = serve(Arc::clone(&single));
+    let shard_srvs: Vec<TasmServer> = shards.iter().map(|t| serve(Arc::clone(t))).collect();
+
+    // One map per fan-out width; videos pinned round-robin so the split is
+    // exact (R=1: replication cost is not what this benchmark measures).
+    let mk_router = |nodes: Vec<NodeInfo>, tag: &str| -> Router {
+        let mut map = ShardMap::new(nodes, 1).expect("map");
+        let ids: Vec<String> = map.nodes.iter().map(|n| n.id.clone()).collect();
+        for i in 0..VIDEOS {
+            map.pin(&format!("v{i}"), vec![ids[i % ids.len()].clone()]);
+        }
+        let path = base.join(format!("cluster-{tag}.json"));
+        map.save(&path).expect("save map");
+        Router::bind(
+            RouterConfig {
+                map_path: path,
+                max_inflight: 64,
+                shard_io_timeout: Duration::from_secs(30),
+                ..Default::default()
+            },
+            "127.0.0.1:0",
+        )
+        .expect("bind router")
+    };
+    let router1 = mk_router(
+        vec![NodeInfo {
+            id: "s0".to_string(),
+            addr: single_srv.local_addr().to_string(),
+        }],
+        "1shard",
+    );
+    let router3 = mk_router(
+        (0..3)
+            .map(|i| NodeInfo {
+                id: format!("n{i}"),
+                addr: shard_srvs[i].local_addr().to_string(),
+            })
+            .collect(),
+        "3shard",
+    );
+
+    let cases = vec![
+        drive("single-direct", 1, single_srv.local_addr(), per_thread),
+        drive("router-1shard", 1, router1.local_addr(), per_thread),
+        drive("router-3shard", 3, router3.local_addr(), per_thread),
+    ];
+    let speedup = cases[2].qps / cases[0].qps;
+    println!("3-shard router speedup vs single node: {speedup:.2}x (target >= 2)");
+
+    router1.shutdown(false);
+    router3.shutdown(false);
+    single_srv.shutdown();
+    for s in shard_srvs {
+        s.shutdown();
+    }
+    std::fs::remove_dir_all(&base).ok();
+
+    let report = Report {
+        videos: VIDEOS,
+        frames: FRAMES,
+        cache_bytes_per_node: CACHE_BYTES,
+        zipf_s: ZIPF_S,
+        clients: CLIENTS,
+        cases,
+        speedup_3shard_vs_single: speedup,
+    };
+    assert!(
+        report.speedup_3shard_vs_single >= 2.0,
+        "3-shard fan-out must be >= 2x the single node, got {:.2}x",
+        report.speedup_3shard_vs_single
+    );
+    write_result("BENCH_cluster", &report);
+}

@@ -44,13 +44,20 @@ USAGE:
   tasm presets
   tasm serve   --store DIR [--addr HOST:PORT] [--max-connections N]
                [--max-inflight N] [--concurrency N] [--queue-depth N]
-               [--retile off|regret|more]
+               [--retile off|regret|more] [--backup ADDR[,ADDR]]
+  tasm cluster init --map FILE --nodes id=HOST:PORT[,id=HOST:PORT...]
+               [--replicas R] [--pin VIDEO=NODE[+NODE...]]
+  tasm cluster show --map FILE [--video NAME]
+  tasm route   --map FILE [--addr HOST:PORT] [--max-connections N]
+               [--max-inflight N] [--shard-timeout-ms N] [--health-ms N]
+               [--fail-threshold N]
+  tasm rebalance --map FILE --video NAME --to NODE [--timeout-ms N]
   tasm client query    --addr HOST:PORT --name NAME --label LABEL
                        [--start F] [--end F] [--roi x,y,w,h] [--stride N]
                        [--limit K] [--mode pixels|count|exists]
   tasm client loadgen  --addr HOST:PORT --name NAME --label LABEL
                        [--requests N] [--connections N] [--frames N]
-                       [--window N] [query flags as above]
+                       [--window N] [--reconnects N] [query flags as above]
   tasm client stats    --addr HOST:PORT
   tasm client shutdown --addr HOST:PORT
 
@@ -77,7 +84,20 @@ SERVE: exposes every video in the store over TCP (tasm-proto wire
   most --max-inflight queries per session, and a typed BUSY reply — never
   a blocked socket — when the service queue is full. Runs until a client
   sends `tasm client shutdown`; shutdown drains in-flight queries, stops
-  the retile daemon, and prints the latency histogram.
+  the retile daemon, and prints the latency histogram. With --backup,
+  every listed node receives a full sync at startup and every background
+  re-tile is replicated (and acked) before it counts as durable.
+
+CLUSTER: shard-map administration. `init` writes an epoch-1 CRC-framed
+  cluster.json placing videos on the listed nodes by rendezvous hashing
+  with R-way replication; `show` prints the map (and, with --video, one
+  video's replica set). ROUTE starts the shard router over a map: clients
+  speak plain tasm-proto to it, each query is forwarded to the video's
+  primary (failing over to backups when a shard dies), `client stats`
+  aggregates per-shard counters, and `client shutdown` drains the whole
+  cluster in order. REBALANCE moves a video to a new primary with the
+  staged protocol: copy, verify byte-equal manifests, flip the map epoch,
+  GC the source copy.
 
 STATS: storage accounting. Per video: on-disk tile bytes, the ratio
   against raw planar YUV, and how many tiles each codec won (dct = the
@@ -113,6 +133,9 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
     if cmd == "client" {
         return client(rest);
     }
+    if cmd == "cluster" {
+        return cluster(rest);
+    }
     if cmd == "stats" {
         let args = Args::parse_with_flags(rest, &["storage"])?;
         return stats(&args);
@@ -127,6 +150,8 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         "observe" => observe(&args),
         "workload" => workload(&args),
         "serve" => serve(&args),
+        "route" => route(&args),
+        "rebalance" => rebalance_cmd(&args),
         "info" => info(&args),
         "fsck" => fsck(&args),
         "presets" => {
@@ -607,7 +632,29 @@ fn serve(args: &Args) -> CmdResult {
     }
     served.sort();
 
-    let server = TasmServer::bind(
+    // Primary→backup replication: full-sync every backup now, then hook
+    // the retile daemon so layout changes replicate before they count as
+    // durable.
+    let hook: Option<Arc<dyn tasm_service::RetileHook>> = match args.get("backup") {
+        Some(list) => {
+            let addrs: Vec<String> = list
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            let hook = tasm_cluster::ReplicatorHook::bootstrap(Arc::clone(&tasm), &addrs)
+                .map_err(|e| format!("backup sync failed: {e}"))?;
+            println!(
+                "replicating to {} backup(s): {}",
+                addrs.len(),
+                addrs.join(", ")
+            );
+            Some(Arc::new(hook))
+        }
+        None => None,
+    };
+
+    let server = TasmServer::bind_with_hook(
         tasm,
         ServiceConfig {
             workers: concurrency,
@@ -617,6 +664,7 @@ fn serve(args: &Args) -> CmdResult {
         },
         server_cfg,
         addr,
+        hook,
     )?;
     println!(
         "tasm-server listening on {} — serving [{}] ({} workers, queue depth {queue_depth}, retile {retile:?})",
@@ -717,6 +765,7 @@ fn client_loadgen(args: &Args) -> CmdResult {
     let connections: usize = args.get_or("connections", 4)?;
     let frames: u32 = args.get_or("frames", 0)?;
     let window: u32 = args.get_or("window", 30)?;
+    let reconnects: u32 = args.get_or("reconnects", 0)?;
     let query = build_query(args, u32::MAX)?;
 
     let report = LoadGen::new(LoadGenConfig {
@@ -727,13 +776,15 @@ fn client_loadgen(args: &Args) -> CmdResult {
         window,
         frames,
         busy_backoff: Duration::from_millis(2),
+        reconnect_attempts: reconnects,
     })
     .run(addr)?;
     println!(
-        "loadgen against {name}@{addr}: {} completed, {} busy retries, {} failed in {:.2}s — {:.1} queries/s over {connections} connections",
+        "loadgen against {name}@{addr}: {} completed, {} busy retries, {} failed ({} reconnects) in {:.2}s — {:.1} queries/s over {connections} connections",
         report.completed,
         report.busy,
         report.failed,
+        report.reconnects,
         report.elapsed.as_secs_f64(),
         report.throughput(),
     );
@@ -793,6 +844,174 @@ fn client_shutdown(args: &Args) -> CmdResult {
     let mut conn = Connection::connect(addr)?;
     conn.shutdown_server()?;
     println!("server at {addr} acknowledged shutdown");
+    Ok(())
+}
+
+/// Dispatches `tasm cluster <subcommand>`.
+fn cluster(argv: &[String]) -> CmdResult {
+    let Some((sub, rest)) = argv.split_first() else {
+        return Err(format!("cluster needs a subcommand\n\n{USAGE}").into());
+    };
+    let args = Args::parse(rest)?;
+    match sub.as_str() {
+        "init" => cluster_init(&args),
+        "show" => cluster_show(&args),
+        other => Err(format!("unknown cluster subcommand '{other}'\n\n{USAGE}").into()),
+    }
+}
+
+/// Writes an epoch-1 shard map from `--nodes id=addr,...`.
+fn cluster_init(args: &Args) -> CmdResult {
+    let map_path = PathBuf::from(args.required("map")?);
+    let mut nodes = Vec::new();
+    for spec in args.required("nodes")?.split(',') {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            continue;
+        }
+        let (id, addr) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("node spec '{spec}' is not id=host:port"))?;
+        nodes.push(tasm_cluster::NodeInfo {
+            id: id.to_string(),
+            addr: addr.to_string(),
+        });
+    }
+    let replicas: u32 = args.get_or("replicas", 1)?;
+    let mut map = tasm_cluster::ShardMap::new(nodes, replicas)?;
+    if let Some(pin) = args.get("pin") {
+        let (video, node_list) = pin
+            .split_once('=')
+            .ok_or_else(|| format!("pin '{pin}' is not VIDEO=NODE[+NODE...]"))?;
+        let pinned: Vec<String> = node_list.split('+').map(str::to_string).collect();
+        for n in &pinned {
+            if map.node(n).is_none() {
+                return Err(format!("pin names unknown node '{n}'").into());
+            }
+        }
+        map.pin(video, pinned);
+        // `init` publishes one atomic epoch regardless of pins.
+        map.epoch = 1;
+    }
+    map.save(&map_path)?;
+    println!(
+        "wrote {} (epoch {}, {} nodes, {}-way replication)",
+        map_path.display(),
+        map.epoch,
+        map.nodes.len(),
+        map.replicas
+    );
+    Ok(())
+}
+
+/// Prints a shard map, optionally with one video's placement.
+fn cluster_show(args: &Args) -> CmdResult {
+    let map = tasm_cluster::ShardMap::load(Path::new(args.required("map")?))?;
+    println!(
+        "epoch {} — {} nodes, {}-way replication",
+        map.epoch,
+        map.nodes.len(),
+        map.replicas
+    );
+    for n in &map.nodes {
+        println!("  node {} @ {}", n.id, n.addr);
+    }
+    for p in &map.pins {
+        println!("  pin {} -> [{}]", p.video, p.nodes.join(", "));
+    }
+    if let Some(video) = args.get("video") {
+        let set: Vec<&str> = map
+            .replica_set(video)
+            .into_iter()
+            .map(|n| n.id.as_str())
+            .collect();
+        println!("  placement '{video}': [{}]", set.join(", "));
+    }
+    Ok(())
+}
+
+/// Runs the shard router until a client requests shutdown, then drains
+/// the whole cluster in order and reports per-shard outcomes.
+fn route(args: &Args) -> CmdResult {
+    let map_path = PathBuf::from(args.required("map")?);
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7750");
+    let cfg = tasm_cluster::RouterConfig {
+        map_path,
+        max_connections: args.get_or("max-connections", 64usize)?,
+        max_inflight: args.get_or("max-inflight", 64usize)?,
+        shard_io_timeout: Duration::from_millis(args.get_or("shard-timeout-ms", 10_000u64)?),
+        health_interval: Duration::from_millis(args.get_or("health-ms", 500u64)?),
+        fail_threshold: args.get_or("fail-threshold", 2u32)?,
+        ..tasm_cluster::RouterConfig::default()
+    };
+    let router = tasm_cluster::Router::bind(cfg, addr)?;
+    let stats = router.stats();
+    println!(
+        "tasm-router listening on {} (shard map epoch {})",
+        router.local_addr(),
+        stats.map_epoch
+    );
+    println!(
+        "stop with: tasm client shutdown --addr {}",
+        router.local_addr()
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    router.wait_shutdown_requested();
+    let report = router.shutdown(true);
+    println!(
+        "cluster drain: {} queries routed ({} replica retries, {} failovers), {} busy rejections, {} sessions",
+        report.router.routed,
+        report.router.retries,
+        report.router.failovers,
+        report.router.busy_rejections,
+        report.router.sessions_served,
+    );
+    for shard in &report.shards {
+        match (&shard.stats, &shard.error) {
+            (Some(stats), None) => println!(
+                "  shard {} @ {}: {} completed, {} retile ops, {}",
+                shard.node,
+                shard.addr,
+                stats.completed,
+                stats.retile_ops,
+                fmt_latency(&stats.latency),
+            ),
+            (Some(stats), Some(e)) => println!(
+                "  shard {} @ {}: {} completed, but drain incomplete: {e}",
+                shard.node, shard.addr, stats.completed,
+            ),
+            (None, e) => println!(
+                "  shard {} @ {}: unreachable ({})",
+                shard.node,
+                shard.addr,
+                e.as_deref().unwrap_or("no detail"),
+            ),
+        }
+    }
+    Ok(())
+}
+
+/// Moves a video to a new primary: copy → verify → flip → GC.
+fn rebalance_cmd(args: &Args) -> CmdResult {
+    let map_path = PathBuf::from(args.required("map")?);
+    let video = args.required("video")?;
+    let to = args.required("to")?;
+    let timeout = Duration::from_millis(args.get_or("timeout-ms", 30_000u64)?);
+    let report = tasm_cluster::rebalance(&map_path, video, to, timeout)?;
+    println!(
+        "rebalanced '{}': [{}] -> [{}] at map epoch {} (gc'd: {})",
+        report.video,
+        report.from.join(", "),
+        report.to.join(", "),
+        report.epoch,
+        if report.removed.is_empty() {
+            "nothing".to_string()
+        } else {
+            report.removed.join(", ")
+        },
+    );
     Ok(())
 }
 

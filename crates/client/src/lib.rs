@@ -33,7 +33,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tasm_core::{PlanStats, Query, RegionPixels};
-use tasm_proto::{ErrorCode, Message, ProtoError, ResultSummary, VERSION};
+use tasm_proto::{ErrorCode, Message, ProtoError, ReplicationRecord, ResultSummary, VERSION};
 use tasm_service::{LatencyHistogram, ServiceStats};
 
 /// Client-side failures.
@@ -145,6 +145,48 @@ impl Connection {
         }
     }
 
+    /// [`Connection::connect`] with a bound on the TCP connect itself —
+    /// health checks and failover probes use this so a dead node costs a
+    /// bounded wait instead of the kernel-default connect timeout.
+    pub fn connect_timeout(
+        addr: &std::net::SocketAddr,
+        timeout: Duration,
+    ) -> Result<Connection, ClientError> {
+        let mut stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_nodelay(true).ok();
+        // Bound the handshake round trip too; the caller may relax or
+        // tighten I/O timeouts afterwards via `set_io_timeout`.
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Message::ClientHello { version: VERSION }.write_to(&mut stream)?;
+        match Message::read_from(&mut stream)? {
+            Message::ServerHello {
+                version: _,
+                max_inflight,
+            } => {
+                stream.set_read_timeout(None)?;
+                stream.set_write_timeout(None)?;
+                Ok(Connection {
+                    stream,
+                    max_inflight,
+                    next_id: 0,
+                })
+            }
+            Message::Error { code, message, .. } => Err(ClientError::Rejected { code, message }),
+            _ => Err(ClientError::Unexpected("handshake reply")),
+        }
+    }
+
+    /// Bounds every subsequent socket read and write (`None` removes the
+    /// bound). The router applies this to its shard connections so a hung
+    /// shard surfaces as a timeout — and triggers failover — instead of
+    /// pinning a routed query forever.
+    pub fn set_io_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)?;
+        Ok(())
+    }
+
     /// The per-session in-flight cap the server advertised at handshake.
     pub fn max_inflight(&self) -> u32 {
         self.max_inflight
@@ -215,6 +257,71 @@ impl Connection {
         }
     }
 
+    /// Ships one replication record and waits for the receiver's durable
+    /// acknowledgement (the primary→backup half of cluster replication).
+    pub fn replicate(&mut self, record: ReplicationRecord) -> Result<(), ClientError> {
+        let seq = self.next_seq();
+        Message::Replicate { seq, record }.write_to(&mut self.stream)?;
+        self.expect_ack(seq)
+    }
+
+    /// Fetches a video's manifest as canonical JSON bytes, for replica
+    /// verification (two nodes at the same layout epoch return identical
+    /// bytes).
+    pub fn manifest(&mut self, video: &str) -> Result<Vec<u8>, ClientError> {
+        Message::ManifestRequest {
+            video: video.to_string(),
+        }
+        .write_to(&mut self.stream)?;
+        match Message::read_from(&mut self.stream)? {
+            Message::ManifestReply { manifest, .. } => Ok(manifest),
+            Message::Error { code, message, .. } => Err(ClientError::Rejected { code, message }),
+            _ => Err(ClientError::Unexpected("expected manifest reply")),
+        }
+    }
+
+    /// Asks the node to replicate `video` in full to the node at `target`
+    /// (the rebalance copy step, driven by the node that owns the bytes).
+    pub fn push_video(&mut self, video: &str, target: &str) -> Result<(), ClientError> {
+        let seq = self.next_seq();
+        Message::PushVideo {
+            seq,
+            video: video.to_string(),
+            target: target.to_string(),
+        }
+        .write_to(&mut self.stream)?;
+        self.expect_ack(seq)
+    }
+
+    /// Asks the node to drop `video` once in-flight queries drain (the
+    /// rebalance GC step).
+    pub fn remove_video(&mut self, video: &str) -> Result<(), ClientError> {
+        let seq = self.next_seq();
+        Message::RemoveVideo {
+            seq,
+            video: video.to_string(),
+        }
+        .write_to(&mut self.stream)?;
+        self.expect_ack(seq)
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn expect_ack(&mut self, seq: u64) -> Result<(), ClientError> {
+        match Message::read_from(&mut self.stream)? {
+            Message::ReplicateAck { seq: got } if got == seq => Ok(()),
+            Message::ReplicateAck { .. } => {
+                Err(ClientError::Unexpected("ack for a different record"))
+            }
+            Message::Error { code, message, .. } => Err(ClientError::Rejected { code, message }),
+            _ => Err(ClientError::Unexpected("expected replicate ack")),
+        }
+    }
+
     /// Closes the session cleanly.
     pub fn goodbye(mut self) -> Result<(), ClientError> {
         Message::Goodbye.write_to(&mut self.stream)?;
@@ -259,6 +366,12 @@ pub struct LoadGenConfig {
     pub frames: u32,
     /// Pause before retrying after a BUSY rejection.
     pub busy_backoff: Duration,
+    /// Extra reconnect attempts (beyond the first) a worker makes after a
+    /// transport failure, pausing [`LoadGenConfig::busy_backoff`] between
+    /// attempts. Router awareness: during a shard failover or a router
+    /// restart the listener may refuse connections for a moment — retrying
+    /// rides the workload through instead of abandoning the worker.
+    pub reconnect_attempts: u32,
 }
 
 /// Aggregate outcome of a load-generation run.
@@ -270,6 +383,9 @@ pub struct LoadReport {
     pub busy: u64,
     /// Requests that failed for any other reason.
     pub failed: u64,
+    /// Successful reconnects after transport failures (failover events the
+    /// pool rode through).
+    pub reconnects: u64,
     /// Regions returned across all requests.
     pub regions: u64,
     /// Wall-clock duration of the whole run.
@@ -332,6 +448,7 @@ impl LoadGen {
                 report.completed += partial.completed;
                 report.busy += partial.busy;
                 report.failed += partial.failed;
+                report.reconnects += partial.reconnects;
                 report.regions += partial.regions;
                 report.latency += partial.latency;
                 if first_error.is_none() {
@@ -389,10 +506,11 @@ fn worker(
                 Err(_) => {
                     // Transport or protocol failure: the stream may be
                     // desynchronized mid-response, so the connection must
-                    // not be reused. One reconnect attempt; a failed
-                    // reconnect abandons the worker.
+                    // not be reused. Reconnect (with the configured number
+                    // of retries, riding out failovers); exhausting them
+                    // abandons the worker.
                     report.failed += 1;
-                    match Connection::connect(addr) {
+                    match reconnect(addr, cfg, &mut report) {
                         Ok(c) => conn = c,
                         Err(e) => return (report, Some(e)),
                     }
@@ -403,6 +521,35 @@ fn worker(
     }
     let _ = conn.goodbye();
     (report, None)
+}
+
+/// Re-establishes a worker's connection: the first attempt is immediate,
+/// each further attempt (up to `reconnect_attempts`) waits `busy_backoff`
+/// first so a restarting listener has time to come back.
+fn reconnect(
+    addr: std::net::SocketAddr,
+    cfg: &LoadGenConfig,
+    report: &mut LoadReport,
+) -> Result<Connection, ClientError> {
+    let mut last;
+    match Connection::connect(addr) {
+        Ok(c) => {
+            report.reconnects += 1;
+            return Ok(c);
+        }
+        Err(e) => last = e,
+    }
+    for _ in 0..cfg.reconnect_attempts {
+        std::thread::sleep(cfg.busy_backoff.max(Duration::from_millis(10)));
+        match Connection::connect(addr) {
+            Ok(c) => {
+                report.reconnects += 1;
+                return Ok(c);
+            }
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
 }
 
 /// The `seq`-th request's query: the base query with its frame window slid

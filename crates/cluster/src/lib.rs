@@ -1,0 +1,82 @@
+//! # tasm-cluster: the sharded serving layer
+//!
+//! Scales the single-node TASM server out to a cluster while keeping the
+//! system's defining invariant: **queries return bit-identical results**
+//! no matter which replica answers, before or after a failover, during
+//! and after a rebalance.
+//!
+//! ```text
+//!                         clients (tasm-proto, unchanged)
+//!                                   │
+//!                                   ▼
+//!                        ┌─────────────────────┐   cluster.json
+//!                        │   Router            │◄── (epoch-framed
+//!                        │  placement + retry  │     shard map)
+//!                        │  admission control  │
+//!                        │  health / failover  │
+//!                        └──────┬──────┬───────┘
+//!                 Query ────────┘      └──────── StatsRequest fan-out
+//!                        ▼                    ▼
+//!              ┌──────────────┐      ┌──────────────┐
+//!              │ shard n1     │      │ shard n2     │   … tasm serve
+//!              │ (primary for │─────►│ (backup for  │
+//!              │  video A)    │ repl │  video A)    │
+//!              └──────────────┘      └──────────────┘
+//!                 StageSot* + CommitVideo/CommitSot + IndexState,
+//!                 each acked before the primary reports durability
+//! ```
+//!
+//! Four cooperating pieces:
+//!
+//! * [`ShardMap`] — deterministic rendezvous-hash placement of videos
+//!   onto nodes with `R`-way replica sets, serialized as a CRC-framed,
+//!   epoch-versioned `cluster.json`.
+//! * [`Replicator`] / [`apply_record`] — primary→backup shipping of
+//!   manifests, verbatim tile bytes, and semantic-index state; re-tile
+//!   commits replicate *before* they count as durable
+//!   ([`ReplicatorHook`] plugs into the retile daemon).
+//! * [`Router`] — a `tasm-proto` front-end fanning queries to the owning
+//!   shard, failing over to backups, merging cluster-wide statistics,
+//!   and draining the cluster in order on shutdown.
+//! * [`rebalance`] — moves a video with the staged-commit shape:
+//!   copy → verify (byte-equal manifests) → flip the map epoch → GC.
+//!
+//! Why bit-exactness survives all of this: tile bytes are replicated
+//! verbatim, so replica tile files are byte-identical; decode is
+//! deterministic; and every layout change (re-tile replication, video
+//! install, removal) publishes under the video's manifest lock, so any
+//! scan observes exactly one layout epoch end to end.
+
+mod map;
+mod rebalance;
+mod replicate;
+mod router;
+
+pub use map::{crc32, rendezvous_score, MapError, NodeInfo, Pin, ShardMap};
+pub use rebalance::{rebalance, RebalanceReport};
+pub use replicate::{
+    apply_record, layout_epoch, manifest_json, push_video, Replicator, ReplicatorHook, StagedSots,
+};
+pub use router::{ClusterShutdownReport, Router, RouterConfig, RouterStats, ShardShutdownReport};
+
+use tasm_service::ServiceStats;
+
+/// Merges one shard's [`ServiceStats`] into a cluster aggregate:
+/// counters and planner/dedup accounting are summed, queue depth takes
+/// the maximum, and the latency histograms merge bucket-wise (they share
+/// fixed log-scale bucket boundaries, so the merge is exact).
+pub fn merge_stats(into: &mut ServiceStats, s: &ServiceStats) {
+    into.submitted += s.submitted;
+    into.completed += s.completed;
+    into.failed += s.failed;
+    into.samples_decoded += s.samples_decoded;
+    into.samples_reused += s.samples_reused;
+    into.cache_hits += s.cache_hits;
+    into.cache_misses += s.cache_misses;
+    into.shared += s.shared;
+    into.plan += s.plan;
+    into.retile_ops += s.retile_ops;
+    into.retile_errors += s.retile_errors;
+    into.queue_peak = into.queue_peak.max(s.queue_peak);
+    into.latency += s.latency;
+}

@@ -1,0 +1,767 @@
+//! The shard router: a `tasm-proto` front-end that fans queries out to
+//! the owning shards.
+//!
+//! Clients speak to the router exactly as they would to a single
+//! `tasm-server` — same handshake, same `Query`/`StatsRequest`/
+//! `ShutdownServer` frames — and never learn the cluster exists. Per
+//! query the router computes the video's replica set from the shard map
+//! and tries each replica in placement order: the primary first, then —
+//! on transport failure, BUSY, or a typed rejection — the backups. A
+//! node that keeps failing is marked down (*sticky*: a node that missed
+//! replicated commits while dead must not silently rejoin and serve
+//! stale epochs; it returns via an operator map change or router
+//! restart), which promotes its backups in every placement — that is the
+//! failover.
+//!
+//! The router has its own admission control (a router-wide in-flight cap
+//! answered with typed BUSY, plus a connection cap at the listener) so a
+//! shard outage cannot convert into unbounded queueing at the routing
+//! tier. `StatsRequest` fans out to every live shard and merges the
+//! [`ServiceStats`] — counters summed, latency histograms merged —
+//! so `tasm client stats` against a router reports cluster totals.
+//!
+//! Shutdown is an *ordered cluster drain*: stop admitting, drain the
+//! router's own in-flight work, then drain each shard in turn
+//! ([`Router::shutdown`] with `drain_shards`), reporting per-shard
+//! outcomes in the [`ClusterShutdownReport`].
+
+use crate::map::ShardMap;
+use crate::merge_stats;
+use std::collections::{BTreeSet, HashMap};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tasm_client::{ClientError, Connection};
+use tasm_core::Query;
+use tasm_proto::{ErrorCode, Message, ProtoError, VERSION};
+use tasm_service::ServiceStats;
+
+/// Routing, admission, and failover knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Path of the framed `cluster.json` shard map. The health thread
+    /// reloads it when its epoch advances (the rebalance flip).
+    pub map_path: PathBuf,
+    /// Concurrent client connections accepted.
+    pub max_connections: usize,
+    /// Router-wide in-flight query cap; excess queries receive a typed
+    /// BUSY frame.
+    pub max_inflight: usize,
+    /// Poll granularity of session reads and the accept loop.
+    pub poll_interval: Duration,
+    /// Bound on every socket operation against a shard — a hung shard
+    /// surfaces as a timeout and triggers failover instead of pinning a
+    /// routed query.
+    pub shard_io_timeout: Duration,
+    /// Period of the health thread's probe/reload cycle.
+    pub health_interval: Duration,
+    /// Consecutive failures before a node is marked down (promoted past).
+    pub fail_threshold: u32,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            map_path: PathBuf::from("cluster.json"),
+            max_connections: 64,
+            max_inflight: 64,
+            poll_interval: Duration::from_millis(25),
+            shard_io_timeout: Duration::from_secs(10),
+            health_interval: Duration::from_millis(500),
+            fail_threshold: 2,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the router's own counters.
+#[derive(Debug, Clone, Default)]
+pub struct RouterStats {
+    /// Queries answered from a shard.
+    pub routed: u64,
+    /// Additional replica attempts after a first choice failed or refused.
+    pub retries: u64,
+    /// Nodes marked down (each is a promotion of its backups).
+    pub failovers: u64,
+    /// Queries refused by the router's own admission control.
+    pub busy_rejections: u64,
+    /// Client sessions that completed a handshake.
+    pub sessions_served: u64,
+    /// The shard-map epoch currently routing.
+    pub map_epoch: u64,
+    /// Node ids currently marked down.
+    pub down: Vec<String>,
+}
+
+/// One shard's outcome during the ordered cluster drain.
+#[derive(Debug, Clone)]
+pub struct ShardShutdownReport {
+    /// Node id from the shard map.
+    pub node: String,
+    /// The node's address.
+    pub addr: String,
+    /// The shard's final service statistics, when it answered.
+    pub stats: Option<ServiceStats>,
+    /// Why the drain of this shard failed, if it did.
+    pub error: Option<String>,
+}
+
+/// What the router (and, during an ordered drain, each shard) did.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterShutdownReport {
+    /// The router's own final counters.
+    pub router: RouterStats,
+    /// Per-shard drain outcomes, in shard-map order (empty when the
+    /// router was stopped without draining the shards).
+    pub shards: Vec<ShardShutdownReport>,
+}
+
+struct RouterShared {
+    cfg: RouterConfig,
+    map: RwLock<ShardMap>,
+    /// Consecutive failure counts per node id. A node at or past
+    /// `fail_threshold` is down — and stays down (see module docs).
+    failures: Mutex<HashMap<String, u32>>,
+    admitting: AtomicBool,
+    shutdown: AtomicBool,
+    shutdown_requested: Mutex<bool>,
+    shutdown_cv: Condvar,
+    active_sessions: AtomicUsize,
+    inflight: AtomicUsize,
+    routed: AtomicU64,
+    retries: AtomicU64,
+    failovers: AtomicU64,
+    busy_rejections: AtomicU64,
+    sessions_served: AtomicU64,
+}
+
+impl RouterShared {
+    fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn down_set(&self) -> BTreeSet<String> {
+        self.failures
+            .lock()
+            .expect("failures lock")
+            .iter()
+            .filter(|(_, &n)| n >= self.cfg.fail_threshold)
+            .map(|(id, _)| id.clone())
+            .collect()
+    }
+
+    fn note_success(&self, node: &str) {
+        let mut failures = self.failures.lock().expect("failures lock");
+        if let Some(n) = failures.get_mut(node) {
+            // Sticky once down; only pre-threshold blips are forgiven.
+            if *n < self.cfg.fail_threshold {
+                *n = 0;
+            }
+        }
+    }
+
+    fn note_failure(&self, node: &str) {
+        let mut failures = self.failures.lock().expect("failures lock");
+        let n = failures.entry(node.to_string()).or_insert(0);
+        if *n < self.cfg.fail_threshold {
+            *n += 1;
+            if *n >= self.cfg.fail_threshold {
+                self.failovers.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn stats(&self) -> RouterStats {
+        RouterStats {
+            routed: self.routed.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            sessions_served: self.sessions_served.load(Ordering::Relaxed),
+            map_epoch: self.map.read().expect("map lock").epoch,
+            down: self.down_set().into_iter().collect(),
+        }
+    }
+}
+
+/// A running shard router: a listener, its accept thread, session
+/// threads, and the health/map-reload thread.
+pub struct Router {
+    shared: Arc<RouterShared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    health: Option<JoinHandle<()>>,
+    sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Router {
+    /// Loads the shard map from `cfg.map_path` and starts routing on
+    /// `addr` (`host:0` binds an ephemeral port).
+    pub fn bind(cfg: RouterConfig, addr: impl ToSocketAddrs) -> io::Result<Router> {
+        let map = ShardMap::load(&cfg.map_path)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(RouterShared {
+            cfg,
+            map: RwLock::new(map),
+            failures: Mutex::new(HashMap::new()),
+            admitting: AtomicBool::new(true),
+            shutdown: AtomicBool::new(false),
+            shutdown_requested: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+            active_sessions: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
+            routed: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            sessions_served: AtomicU64::new(0),
+        });
+        let sessions = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let sessions = Arc::clone(&sessions);
+            std::thread::Builder::new()
+                .name("tasm-route-accept".to_string())
+                .spawn(move || accept_loop(&shared, &listener, &sessions))?
+        };
+        let health = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tasm-route-health".to_string())
+                .spawn(move || health_loop(&shared))?
+        };
+        Ok(Router {
+            shared,
+            local_addr,
+            accept: Some(accept),
+            health: Some(health),
+            sessions,
+        })
+    }
+
+    /// The address the listener actually bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of the router's counters.
+    pub fn stats(&self) -> RouterStats {
+        self.shared.stats()
+    }
+
+    /// Blocks until a client sends the administrative `ShutdownServer`
+    /// frame (the `tasm route` command's idle state).
+    pub fn wait_shutdown_requested(&self) {
+        let mut requested = self
+            .shared
+            .shutdown_requested
+            .lock()
+            .expect("shutdown lock");
+        while !*requested {
+            requested = self
+                .shared
+                .shutdown_cv
+                .wait(requested)
+                .expect("shutdown lock");
+        }
+    }
+
+    /// The ordered cluster drain: stop admitting, drain the router's
+    /// in-flight queries (sessions are serial, so joining them is the
+    /// drain), then — when `drain_shards` — drain every shard in
+    /// shard-map order, collecting each one's final statistics before
+    /// asking it to shut down.
+    pub fn shutdown(mut self, drain_shards: bool) -> ClusterShutdownReport {
+        self.shared.admitting.store(false, Ordering::SeqCst);
+        self.stop_threads();
+        let mut report = ClusterShutdownReport {
+            router: self.shared.stats(),
+            shards: Vec::new(),
+        };
+        if drain_shards {
+            let nodes: Vec<(String, String)> = {
+                let map = self.shared.map.read().expect("map lock");
+                map.nodes
+                    .iter()
+                    .map(|n| (n.id.clone(), n.addr.clone()))
+                    .collect()
+            };
+            for (id, addr) in nodes {
+                report
+                    .shards
+                    .push(drain_shard(&id, &addr, self.shared.cfg.shard_io_timeout));
+            }
+        }
+        report
+    }
+
+    fn stop_threads(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.health.take() {
+            let _ = t.join();
+        }
+        for s in self.sessions.lock().expect("sessions lock").drain(..) {
+            let _ = s.join();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// Asks one shard for its final statistics and a graceful shutdown.
+fn drain_shard(id: &str, addr: &str, timeout: Duration) -> ShardShutdownReport {
+    let mut report = ShardShutdownReport {
+        node: id.to_string(),
+        addr: addr.to_string(),
+        stats: None,
+        error: None,
+    };
+    let sock = match resolve(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            report.error = Some(e);
+            return report;
+        }
+    };
+    match Connection::connect_timeout(&sock, timeout) {
+        Ok(mut conn) => {
+            let _ = conn.set_io_timeout(Some(timeout));
+            match conn.stats() {
+                Ok(stats) => report.stats = Some(stats),
+                Err(e) => report.error = Some(format!("stats failed: {e}")),
+            }
+            if let Err(e) = conn.shutdown_server() {
+                report.error = Some(format!("shutdown refused: {e}"));
+            }
+        }
+        Err(e) => report.error = Some(format!("unreachable: {e}")),
+    }
+    report
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, String> {
+    addr.to_socket_addrs()
+        .map_err(|e| format!("bad address '{addr}': {e}"))?
+        .next()
+        .ok_or_else(|| format!("address '{addr}' resolves to nothing"))
+}
+
+fn accept_loop(
+    shared: &Arc<RouterShared>,
+    listener: &TcpListener,
+    sessions: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.is_shutting_down() {
+            return;
+        }
+        let (stream, _peer) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.cfg.poll_interval.min(Duration::from_millis(5)));
+                continue;
+            }
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
+        let active = shared.active_sessions.fetch_add(1, Ordering::AcqRel);
+        if active >= shared.cfg.max_connections {
+            shared.active_sessions.fetch_sub(1, Ordering::AcqRel);
+            // Best-effort courtesy frame; the stream drops either way.
+            let mut s = stream;
+            let _ = s.set_nonblocking(false);
+            let _ = s.set_write_timeout(Some(Duration::from_millis(200)));
+            let _ = Message::Error {
+                id: None,
+                code: ErrorCode::TooManyConnections,
+                message: "router is at its connection limit".to_string(),
+            }
+            .write_to(&mut s);
+            continue;
+        }
+        let session_shared = Arc::clone(shared);
+        let handle = match std::thread::Builder::new()
+            .name("tasm-route-session".to_string())
+            .spawn(move || {
+                session(&session_shared, stream);
+                session_shared
+                    .active_sessions
+                    .fetch_sub(1, Ordering::AcqRel);
+            }) {
+            Ok(handle) => handle,
+            Err(_) => {
+                shared.active_sessions.fetch_sub(1, Ordering::AcqRel);
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        let mut sessions = sessions.lock().expect("sessions lock");
+        sessions.retain(|s: &JoinHandle<()>| !s.is_finished());
+        sessions.push(handle);
+    }
+}
+
+/// Probes shards and reloads the map. Probing only watches nodes not yet
+/// down: detection is proactive (a dead primary is noticed before the
+/// next query hits it), while recovery of a down node is deliberately an
+/// operator action (map epoch change or router restart).
+fn health_loop(shared: &Arc<RouterShared>) {
+    loop {
+        let mut waited = Duration::ZERO;
+        while waited < shared.cfg.health_interval {
+            if shared.is_shutting_down() {
+                return;
+            }
+            let step = shared.cfg.poll_interval.min(Duration::from_millis(50));
+            std::thread::sleep(step);
+            waited += step;
+        }
+        // Reload the map when its epoch advanced (the rebalance flip).
+        if let Ok(new_map) = ShardMap::load(&shared.cfg.map_path) {
+            let stale = {
+                let map = shared.map.read().expect("map lock");
+                new_map.epoch > map.epoch
+            };
+            if stale {
+                *shared.map.write().expect("map lock") = new_map;
+            }
+        }
+        let nodes: Vec<(String, String)> = {
+            let map = shared.map.read().expect("map lock");
+            map.nodes
+                .iter()
+                .map(|n| (n.id.clone(), n.addr.clone()))
+                .collect()
+        };
+        let down = shared.down_set();
+        let probe_timeout = shared.cfg.shard_io_timeout.min(Duration::from_secs(1));
+        for (id, addr) in nodes {
+            if down.contains(&id) || shared.is_shutting_down() {
+                continue;
+            }
+            let alive = resolve(&addr)
+                .ok()
+                .and_then(|sock| Connection::connect_timeout(&sock, probe_timeout).ok())
+                .map(|conn| {
+                    let _ = conn.goodbye();
+                })
+                .is_some();
+            if alive {
+                shared.note_success(&id);
+            } else {
+                shared.note_failure(&id);
+            }
+        }
+    }
+}
+
+/// Poll timeouts a connection may sit silent before its handshake.
+const HANDSHAKE_DEADLINE_POLLS: u32 = 400;
+/// Wall-clock bound on receiving one request frame once it starts.
+const MAX_REQUEST_FRAME_TIME: Duration = Duration::from_secs(30);
+/// Socket write timeout for response frames.
+const MAX_RESPONSE_WRITE_STALL: Duration = Duration::from_secs(10);
+
+/// One client session: handshake, then serial request dispatch. The
+/// session owns its pool of shard connections, created lazily and dropped
+/// on transport failure.
+fn session(shared: &Arc<RouterShared>, mut stream: TcpStream) {
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    stream.set_nodelay(true).ok();
+    if stream
+        .set_read_timeout(Some(shared.cfg.poll_interval))
+        .is_err()
+        || stream
+            .set_write_timeout(Some(MAX_RESPONSE_WRITE_STALL))
+            .is_err()
+    {
+        return;
+    }
+    if !handshake(shared, &mut stream) {
+        return;
+    }
+    shared.sessions_served.fetch_add(1, Ordering::Relaxed);
+
+    let mut shards: HashMap<String, Connection> = HashMap::new();
+    loop {
+        if shared.is_shutting_down() {
+            return;
+        }
+        let msg = match Message::read_from_bounded(&mut stream, MAX_REQUEST_FRAME_TIME) {
+            Ok(msg) => msg,
+            Err(e) if e.is_timeout() => continue,
+            Err(ProtoError::Io(_)) | Err(ProtoError::Stalled) => return,
+            Err(_) => {
+                let _ = Message::Error {
+                    id: None,
+                    code: ErrorCode::Malformed,
+                    message: "undecodable frame".to_string(),
+                }
+                .write_to(&mut stream);
+                return;
+            }
+        };
+        match msg {
+            Message::Query { id, video, query } => {
+                if !shared.admitting.load(Ordering::SeqCst) {
+                    let _ = Message::Error {
+                        id: Some(id),
+                        code: ErrorCode::ShuttingDown,
+                        message: "router is draining".to_string(),
+                    }
+                    .write_to(&mut stream);
+                    continue;
+                }
+                if shared.inflight.fetch_add(1, Ordering::AcqRel) >= shared.cfg.max_inflight {
+                    shared.inflight.fetch_sub(1, Ordering::AcqRel);
+                    shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                    let _ = Message::Error {
+                        id: Some(id),
+                        code: ErrorCode::Busy,
+                        message: "router in-flight cap reached".to_string(),
+                    }
+                    .write_to(&mut stream);
+                    continue;
+                }
+                let ok = route_query(shared, &mut shards, &mut stream, id, &video, &query);
+                shared.inflight.fetch_sub(1, Ordering::AcqRel);
+                if !ok {
+                    return;
+                }
+            }
+            Message::StatsRequest => {
+                let merged = cluster_stats(shared, &mut shards);
+                if (Message::StatsReply {
+                    stats: Box::new(merged),
+                })
+                .write_to(&mut stream)
+                .is_err()
+                {
+                    return;
+                }
+            }
+            Message::Goodbye => return,
+            Message::ShutdownServer => {
+                *shared.shutdown_requested.lock().expect("shutdown lock") = true;
+                shared.shutdown_cv.notify_all();
+                let _ = Message::Goodbye.write_to(&mut stream);
+                return;
+            }
+            _ => {
+                let _ = Message::Error {
+                    id: None,
+                    code: ErrorCode::Malformed,
+                    message: "unexpected frame".to_string(),
+                }
+                .write_to(&mut stream);
+                return;
+            }
+        }
+    }
+}
+
+fn handshake(shared: &Arc<RouterShared>, stream: &mut TcpStream) -> bool {
+    let mut silent_polls = 0u32;
+    let hello = loop {
+        match Message::read_from_bounded(stream, MAX_REQUEST_FRAME_TIME) {
+            Ok(msg) => break msg,
+            Err(e) if e.is_timeout() => {
+                if shared.is_shutting_down() {
+                    return false;
+                }
+                silent_polls += 1;
+                if silent_polls >= HANDSHAKE_DEADLINE_POLLS {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    };
+    match hello {
+        Message::ClientHello { version } if version == VERSION => Message::ServerHello {
+            version: VERSION,
+            // The router handles one query per session at a time.
+            max_inflight: 1,
+        }
+        .write_to(stream)
+        .is_ok(),
+        Message::ClientHello { version } => {
+            let _ = Message::Error {
+                id: None,
+                code: ErrorCode::VersionMismatch,
+                message: format!("router speaks version {VERSION}, client sent {version}"),
+            }
+            .write_to(stream);
+            false
+        }
+        _ => {
+            let _ = Message::Error {
+                id: None,
+                code: ErrorCode::Malformed,
+                message: "expected client hello".to_string(),
+            }
+            .write_to(stream);
+            false
+        }
+    }
+}
+
+/// Fetches (or creates) the session's connection to `node`.
+fn shard_conn<'a>(
+    shared: &RouterShared,
+    shards: &'a mut HashMap<String, Connection>,
+    node: &str,
+    addr: &str,
+) -> Result<&'a mut Connection, String> {
+    if !shards.contains_key(node) {
+        let sock = resolve(addr)?;
+        let conn = Connection::connect_timeout(&sock, shared.cfg.shard_io_timeout)
+            .map_err(|e| format!("shard {node} unreachable: {e}"))?;
+        conn.set_io_timeout(Some(shared.cfg.shard_io_timeout))
+            .map_err(|e| format!("shard {node}: {e}"))?;
+        shards.insert(node.to_string(), conn);
+    }
+    Ok(shards.get_mut(node).expect("just inserted"))
+}
+
+/// Routes one query: replica set in placement order, forwarding the
+/// winning shard's response stream to the client. Returns false when the
+/// *client* socket failed (session must end); shard failures are handled
+/// by failover inside.
+fn route_query(
+    shared: &RouterShared,
+    shards: &mut HashMap<String, Connection>,
+    stream: &mut TcpStream,
+    id: u64,
+    video: &str,
+    query: &Query,
+) -> bool {
+    let placement: Vec<(String, String)> = {
+        let map = shared.map.read().expect("map lock");
+        let down = shared.down_set();
+        map.placement(video, &down)
+            .into_iter()
+            .map(|n| (n.id.clone(), n.addr.clone()))
+            .collect()
+    };
+    if placement.is_empty() {
+        return Message::Error {
+            id: Some(id),
+            code: ErrorCode::Internal,
+            message: format!("no live replica for '{video}'"),
+        }
+        .write_to(stream)
+        .is_ok();
+    }
+    let mut last = (ErrorCode::Internal, "all replicas failed".to_string());
+    for (attempt, (node, addr)) in placement.iter().enumerate() {
+        if attempt > 0 {
+            shared.retries.fetch_add(1, Ordering::Relaxed);
+        }
+        let conn = match shard_conn(shared, shards, node, addr) {
+            Ok(conn) => conn,
+            Err(e) => {
+                shared.note_failure(node);
+                last = (ErrorCode::Internal, e);
+                continue;
+            }
+        };
+        match conn.query(video, query) {
+            Ok(outcome) => {
+                shared.note_success(node);
+                shared.routed.fetch_add(1, Ordering::Relaxed);
+                let header = Message::ResultHeader {
+                    id,
+                    matched: outcome.matched,
+                    regions: outcome.regions.len() as u32,
+                    plan: outcome.plan,
+                };
+                if header.write_to(stream).is_err() {
+                    return false;
+                }
+                for region in outcome.regions {
+                    if (Message::Region { id, region }).write_to(stream).is_err() {
+                        return false;
+                    }
+                }
+                return Message::ResultDone {
+                    id,
+                    summary: outcome.summary,
+                }
+                .write_to(stream)
+                .is_ok();
+            }
+            Err(ClientError::Rejected { code, message }) => {
+                // The shard is alive and on a frame boundary: its
+                // connection stays pooled, but a backup may still be able
+                // to answer (BUSY under load, UnknownVideo on a stale
+                // placement).
+                last = (code, message);
+            }
+            Err(e) => {
+                // Transport/protocol failure mid-stream: the connection
+                // cannot be resynchronized. Drop it and count the node.
+                shards.remove(node);
+                shared.note_failure(node);
+                last = (ErrorCode::Internal, format!("shard {node} failed: {e}"));
+            }
+        }
+    }
+    Message::Error {
+        id: Some(id),
+        code: last.0,
+        message: last.1,
+    }
+    .write_to(stream)
+    .is_ok()
+}
+
+/// Fans `StatsRequest` out to every live shard and merges the snapshots.
+fn cluster_stats(shared: &RouterShared, shards: &mut HashMap<String, Connection>) -> ServiceStats {
+    let nodes: Vec<(String, String)> = {
+        let map = shared.map.read().expect("map lock");
+        map.nodes
+            .iter()
+            .map(|n| (n.id.clone(), n.addr.clone()))
+            .collect()
+    };
+    let down = shared.down_set();
+    let mut merged = ServiceStats::default();
+    for (node, addr) in nodes {
+        if down.contains(&node) {
+            continue;
+        }
+        let Ok(conn) = shard_conn(shared, shards, &node, &addr) else {
+            shared.note_failure(&node);
+            continue;
+        };
+        match conn.stats() {
+            Ok(stats) => {
+                shared.note_success(&node);
+                merge_stats(&mut merged, &stats);
+            }
+            Err(_) => {
+                shards.remove(&node);
+                shared.note_failure(&node);
+            }
+        }
+    }
+    merged
+}

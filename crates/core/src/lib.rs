@@ -141,4 +141,4 @@ pub use query::{Query, QueryMode};
 pub use runner::{run_workload, QueryRecord, RunQuery, Strategy, TruthFn, WorkloadReport};
 pub use scan::{scan, scan_prepared, LabelPredicate, RegionPixels, ScanError, ScanResult};
 pub use storage::{RetileStats, SotEntry, StorageConfig, StoreError, VideoManifest, VideoStore};
-pub use tasm::{Tasm, TasmConfig, TasmError};
+pub use tasm::{SotTileBytes, Tasm, TasmConfig, TasmError};

@@ -821,6 +821,154 @@ impl VideoStore {
         Ok(total)
     }
 
+    /// Raw on-disk bytes of one tile file — the replication payload. Bytes
+    /// are shipped verbatim so a backup's tile files end up byte-identical
+    /// to the primary's; bit-exact answers then fall out of deterministic
+    /// decode over identical inputs.
+    pub fn tile_file_bytes(
+        &self,
+        manifest: &VideoManifest,
+        sot_idx: usize,
+        tile_idx: u32,
+    ) -> Result<Vec<u8>, StoreError> {
+        let sot = manifest
+            .sots
+            .get(sot_idx)
+            .ok_or_else(|| StoreError::NotFound(format!("SOT {sot_idx}")))?;
+        let path = self.tile_path(&manifest.name, sot.start, sot.end, tile_idx);
+        if !self.io.exists(&path) {
+            return Err(StoreError::NotFound(path.display().to_string()));
+        }
+        Ok(self.io.read(&path)?)
+    }
+
+    /// Installs a complete replicated video: one `Vec<u8>` of raw tile-file
+    /// bytes per tile of every SOT (outer index = SOT index), plus the
+    /// primary's manifest verbatim. Mirrors `ingest`'s crash story: the
+    /// directory is rewritten from scratch and the manifest write is the
+    /// publish point, so a crash mid-install leaves a manifest-less
+    /// directory for startup recovery to reap. Every payload must parse as
+    /// a tile container before anything is written.
+    pub fn install_video(
+        &self,
+        manifest: &VideoManifest,
+        sots: &[Vec<Vec<u8>>],
+    ) -> Result<(), StoreError> {
+        validate_replica_payload(manifest, sots)?;
+        let name = manifest.name.as_str();
+        let dir = self.root.join(name);
+        if self.io.exists(&dir) {
+            // Unpublish first, exactly as `ingest` does (see above).
+            let manifest_path = dir.join("manifest.json");
+            if self.io.exists(&manifest_path) {
+                self.io.remove_file(&manifest_path)?;
+            }
+            self.io.remove_dir_all(&dir)?;
+        }
+        self.io.create_dir_all(&dir)?;
+        if let Some(cache) = &self.cache {
+            cache.invalidate_video(&self.store_id, name);
+        }
+        let write_all = || -> Result<(), StoreError> {
+            for (sot, tiles) in manifest.sots.iter().zip(sots) {
+                let sot_dir = self.sot_dir(name, sot.start, sot.end);
+                self.write_raw_tiles(&sot_dir, tiles)?;
+            }
+            self.save_manifest(manifest)?;
+            Ok(())
+        };
+        match write_all() {
+            Ok(()) => {
+                self.io.sync_dir(&self.root)?;
+                Ok(())
+            }
+            Err(e) => {
+                let _ = self.io.remove_dir_all(&dir);
+                Err(e)
+            }
+        }
+    }
+
+    /// Installs one replicated SOT of an *existing* video via the PR 5
+    /// staged-commit protocol: tile bytes land in a staging directory, the
+    /// commit record (carrying `new_manifest`) is atomically renamed into
+    /// place — the commit point — and roll-forward swaps the directory and
+    /// rewrites the manifest. A crash at any step is resolved by the same
+    /// startup recovery that resolves an interrupted local re-tile.
+    pub fn install_sot(
+        &self,
+        new_manifest: &VideoManifest,
+        sot_idx: usize,
+        tiles: &[Vec<u8>],
+    ) -> Result<(), StoreError> {
+        let sot = new_manifest
+            .sots
+            .get(sot_idx)
+            .ok_or_else(|| StoreError::NotFound(format!("SOT {sot_idx}")))?;
+        validate_replica_sot(sot, tiles)?;
+        let name = new_manifest.name.as_str();
+        self.finish_pending_commits(name)?;
+
+        let video_dir = self.root.join(name);
+        let staging = video_dir.join(staging_dir_name(sot.start, sot.end));
+        if self.io.exists(&staging) {
+            self.io.remove_dir_all(&staging)?;
+        }
+        self.write_raw_tiles(&staging, tiles)?;
+
+        let record = CommitRecord {
+            sot_start: sot.start,
+            sot_end: sot.end,
+            manifest: new_manifest.clone(),
+        };
+        let commit = video_dir.join(commit_file_name(sot.start, sot.end));
+        let commit_tmp = video_dir.join(format!(
+            "{}{TMP_SUFFIX}",
+            commit_file_name(sot.start, sot.end)
+        ));
+        self.io
+            .write(&commit_tmp, &serde_json::to_vec_pretty(&record)?)?;
+        self.io.rename(&commit_tmp, &commit)?; // ← commit point
+
+        let completion = self
+            .roll_forward(&video_dir, &record, &commit)
+            .or_else(|_| self.roll_forward(&video_dir, &record, &commit));
+        if let Some(cache) = &self.cache {
+            cache.invalidate_sot(&self.store_id, name, sot.start);
+        }
+        completion
+    }
+
+    /// Removes a video from the store (rebalance GC). The manifest is
+    /// unlinked first — one atomic unpublish — so a crash mid-removal
+    /// leaves a manifest-less directory that startup recovery reaps.
+    pub fn remove_video(&self, name: &str) -> Result<(), StoreError> {
+        let dir = self.root.join(name);
+        let manifest_path = dir.join("manifest.json");
+        if !self.io.exists(&manifest_path) {
+            return Err(StoreError::NotFound(format!("video '{name}'")));
+        }
+        self.io.remove_file(&manifest_path)?;
+        self.io.remove_dir_all(&dir)?;
+        self.io.sync_dir(&self.root)?;
+        if let Some(cache) = &self.cache {
+            cache.invalidate_video(&self.store_id, name);
+        }
+        Ok(())
+    }
+
+    /// Writes raw (already-encoded) tile-file bytes into `dir` with the
+    /// same durability barrier as `write_tiles`: every file fsynced, then
+    /// the directory once for the batch.
+    fn write_raw_tiles(&self, dir: &Path, tiles: &[Vec<u8>]) -> Result<(), StoreError> {
+        self.io.create_dir_all(dir)?;
+        for (i, bytes) in tiles.iter().enumerate() {
+            self.io.write(&dir.join(tile_file_name(i as u32)), bytes)?;
+        }
+        self.io.sync_dir(dir)?;
+        Ok(())
+    }
+
     fn sot_dir(&self, name: &str, start: u32, end: u32) -> PathBuf {
         self.root.join(name).join(sot_dir_name(start, end))
     }
@@ -1243,6 +1391,57 @@ impl VideoStore {
 }
 
 /// The on-disk name of a tile file.
+/// Rejects a replicated video payload whose shape disagrees with the
+/// manifest it claims to realize, before any byte lands on disk.
+fn validate_replica_payload(
+    manifest: &VideoManifest,
+    sots: &[Vec<Vec<u8>>],
+) -> Result<(), StoreError> {
+    if sots.len() != manifest.sots.len() {
+        return Err(invalid_payload(format!(
+            "replica payload has {} SOTs, manifest has {}",
+            sots.len(),
+            manifest.sots.len()
+        )));
+    }
+    for (sot, tiles) in manifest.sots.iter().zip(sots) {
+        validate_replica_sot(sot, tiles)?;
+    }
+    Ok(())
+}
+
+/// Every tile payload must parse as a tile container and match the codec
+/// the manifest records for its slot.
+fn validate_replica_sot(sot: &SotEntry, tiles: &[Vec<u8>]) -> Result<(), StoreError> {
+    if tiles.len() as u32 != sot.layout.tile_count() {
+        return Err(invalid_payload(format!(
+            "SOT {}..{} payload has {} tiles, layout has {}",
+            sot.start,
+            sot.end,
+            tiles.len(),
+            sot.layout.tile_count()
+        )));
+    }
+    for (i, bytes) in tiles.iter().enumerate() {
+        let tile = TileVideo::from_bytes(bytes)?;
+        if sot
+            .tile_codecs
+            .get(i)
+            .is_some_and(|&codec| tile.codec.id() != codec)
+        {
+            return Err(invalid_payload(format!(
+                "SOT {}..{} tile {i} codec disagrees with manifest",
+                sot.start, sot.end
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn invalid_payload(msg: String) -> StoreError {
+    StoreError::Io(io::Error::new(io::ErrorKind::InvalidData, msg))
+}
+
 fn tile_file_name(tile: u32) -> String {
     format!("tile_{tile:03}.tvf")
 }

@@ -199,6 +199,10 @@ struct VideoShard {
     policy: Mutex<PolicyState>,
 }
 
+/// Raw tile-file bytes for one video, as shipped by replication:
+/// `bytes[sot][tile]` is the verbatim contents of that tile file.
+pub type SotTileBytes = Vec<Vec<Vec<u8>>>;
+
 /// The storage manager.
 pub struct Tasm {
     store: VideoStore,
@@ -424,6 +428,113 @@ impl Tasm {
         let shard = self.shard(name)?;
         let manifest = shard.manifest.read().expect("manifest lock");
         Ok(self.store.video_size_bytes(&manifest)?)
+    }
+
+    /// Names of every registered video.
+    pub fn video_names(&self) -> Vec<String> {
+        self.videos
+            .read()
+            .expect("videos lock")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// A single-epoch replication snapshot of one video: its manifest plus
+    /// the raw bytes of every tile file (outer index = SOT index), read
+    /// under one manifest read lock so a concurrent re-tile cannot tear the
+    /// snapshot across layout epochs.
+    pub fn replication_snapshot(
+        &self,
+        name: &str,
+    ) -> Result<(VideoManifest, SotTileBytes), TasmError> {
+        let shard = self.shard(name)?;
+        let manifest = shard.manifest.read().expect("manifest lock");
+        let mut sots = Vec::with_capacity(manifest.sots.len());
+        for (i, sot) in manifest.sots.iter().enumerate() {
+            let mut tiles = Vec::with_capacity(sot.layout.tile_count() as usize);
+            for t in 0..sot.layout.tile_count() {
+                tiles.push(self.store.tile_file_bytes(&manifest, i, t)?);
+            }
+            sots.push(tiles);
+        }
+        Ok((manifest.clone(), sots))
+    }
+
+    /// Installs a replicated video wholesale (a backup receiving a full
+    /// sync, or a rebalance copy landing on its target). Registers the
+    /// video if new; otherwise the replacement happens under the manifest
+    /// write lock, so in-flight scans drain at their pinned epoch first.
+    pub fn apply_replicated_video(
+        &self,
+        manifest: VideoManifest,
+        sots: &[Vec<Vec<u8>>],
+    ) -> Result<u32, TasmError> {
+        let name = manifest.name.clone();
+        let id = video_id_for(&name);
+        self.check_id_collision(&name, id)?;
+        let existing = self.videos.read().expect("videos lock").get(&name).cloned();
+        match existing {
+            Some(shard) => {
+                // Policy before manifest, per the facade's lock order. The
+                // policy state described the old layout — reset it.
+                let mut policy = shard.policy.lock().expect("policy lock");
+                let mut live = shard.manifest.write().expect("manifest lock");
+                self.store.install_video(&manifest, sots)?;
+                *policy = PolicyState::new(manifest.sots.len());
+                *live = manifest;
+                Ok(shard.id)
+            }
+            None => {
+                self.store.install_video(&manifest, sots)?;
+                self.register(&name, id, manifest)
+            }
+        }
+    }
+
+    /// Applies one replicated SOT commit. `manifest` is the primary's
+    /// post-commit manifest; `sot_idx` names the SOT that re-tiled and
+    /// `tiles` its raw tile-file bytes. Idempotent: a record the backup
+    /// already holds — its layout epoch (`retile_count`) for that SOT is
+    /// at least the record's — is skipped. Returns whether it applied.
+    pub fn apply_replicated_sot(
+        &self,
+        manifest: VideoManifest,
+        sot_idx: usize,
+        tiles: &[Vec<u8>],
+    ) -> Result<bool, TasmError> {
+        let shard = self.shard(&manifest.name)?;
+        let new_epoch = manifest
+            .sots
+            .get(sot_idx)
+            .ok_or_else(|| TasmError::Store(StoreError::NotFound(format!("SOT {sot_idx}"))))?
+            .retile_count;
+        let mut live = shard.manifest.write().expect("manifest lock");
+        if live
+            .sots
+            .get(sot_idx)
+            .is_some_and(|cur| cur.retile_count >= new_epoch)
+        {
+            return Ok(false);
+        }
+        self.store.install_sot(&manifest, sot_idx, tiles)?;
+        *live = manifest;
+        Ok(true)
+    }
+
+    /// Removes a video (the rebalance GC step): unregisters it, waits for
+    /// in-flight scans to drain at their pinned epoch (they hold the
+    /// manifest read lock), then deletes its files.
+    pub fn remove_video(&self, name: &str) -> Result<(), TasmError> {
+        let shard = self.videos.write().expect("videos lock").remove(name);
+        let Some(shard) = shard else {
+            return Err(TasmError::Store(StoreError::NotFound(format!(
+                "video '{name}'"
+            ))));
+        };
+        let _drain = shard.manifest.write().expect("manifest lock");
+        self.store.remove_video(name)?;
+        Ok(())
     }
 
     /// `AddMetadata(video, frame, label, bbox)` (§3.1): records a detection

@@ -40,6 +40,26 @@
 //! several queries in flight (up to the server-advertised cap) and match
 //! interleaved responses.
 //!
+//! ## Replication and cluster administration
+//!
+//! Tags `0x0c`–`0x11` carry the cluster layer's primary→backup replication
+//! stream and rebalance administration:
+//!
+//! ```text
+//! primary                               backup
+//!   │ Replicate{seq, StageSot{…}}         │  tile bytes → staging
+//!   │ ───────────────────────────────────►│
+//!   │ ◄─────────────────────────────────  │  ReplicateAck{seq}
+//!   │ Replicate{seq, CommitVideo/CommitSot}│ staged-commit publish
+//!   │ ───────────────────────────────────►│
+//!   │ ◄─────────────────────────────────  │  ReplicateAck{seq}   (durable)
+//! ```
+//!
+//! `ManifestRequest`/`ManifestReply` fetch a node's manifest for replica
+//! verification; `PushVideo` asks a node to replicate a video to a target
+//! (the rebalance copy step); `RemoveVideo` garbage-collects a moved video
+//! after the shard-map epoch flips. See [`ReplicationRecord`].
+//!
 //! ## Robustness contract
 //!
 //! Decoding untrusted bytes never panics: truncated frames, oversized
@@ -51,7 +71,10 @@
 mod message;
 mod wire;
 
-pub use message::{encode_region, ErrorCode, Message, ResultSummary, MAGIC, VERSION};
+pub use message::{
+    encode_region, ErrorCode, Message, ReplicatedDetection, ReplicationRecord, ResultSummary,
+    MAGIC, VERSION,
+};
 pub use wire::{
     frame, read_frame, read_frame_deadline, write_frame, ProtoError, Reader, Writer, MAX_FRAME_LEN,
 };

@@ -18,6 +18,13 @@ pub const VERSION: u16 = 1;
 const MAX_CLAUSES: usize = 64;
 const MAX_CLAUSE_LABELS: usize = 256;
 
+/// Caps on replication payload shape: tile-count per staged SOT chunk and
+/// index items per record. Both are far above anything the system produces
+/// (layouts top out at dozens of tiles; index records ship one video's
+/// detections); they bound what a corrupt count can make the decoder build.
+const MAX_REPLICA_TILES: usize = 4096;
+const MAX_INDEX_ITEMS: usize = 1 << 22;
+
 mod tag {
     pub const CLIENT_HELLO: u8 = 0x01;
     pub const SERVER_HELLO: u8 = 0x02;
@@ -30,6 +37,76 @@ mod tag {
     pub const ERROR: u8 = 0x09;
     pub const GOODBYE: u8 = 0x0a;
     pub const SHUTDOWN_SERVER: u8 = 0x0b;
+    pub const REPLICATE: u8 = 0x0c;
+    pub const REPLICATE_ACK: u8 = 0x0d;
+    pub const MANIFEST_REQUEST: u8 = 0x0e;
+    pub const MANIFEST_REPLY: u8 = 0x0f;
+    pub const PUSH_VIDEO: u8 = 0x10;
+    pub const REMOVE_VIDEO: u8 = 0x11;
+}
+
+/// One detection row of a replicated semantic-index state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicatedDetection {
+    /// Object label.
+    pub label: String,
+    /// Frame the detection belongs to.
+    pub frame: u32,
+    /// Bounding box.
+    pub rect: Rect,
+}
+
+/// One epoch-stamped primary→backup replication record, carried by
+/// [`Message::Replicate`]. A full video sync is a sequence of `StageSot`
+/// chunks (tile-file bytes, chunked to respect [`crate::MAX_FRAME_LEN`])
+/// closed by one `CommitVideo`; a re-tile ships the changed SOT's tiles and
+/// a `CommitSot`. Tile bytes travel verbatim, so the backup's files are
+/// byte-identical to the primary's and a failed-over replica answers
+/// bit-identically at the same layout epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicationRecord {
+    /// Tile-file bytes for one SOT, staged on the backup until a commit
+    /// record lands. Consecutive `StageSot` frames for the same
+    /// `(video, sot_idx)` append tiles in order.
+    StageSot {
+        /// Video name.
+        video: String,
+        /// Index of the SOT within the manifest.
+        sot_idx: u32,
+        /// Raw tile-file bytes, in tile order (possibly a chunk).
+        tiles: Vec<Vec<u8>>,
+    },
+    /// Publish a whole staged video under `manifest` (JSON bytes, shipped
+    /// verbatim from the primary).
+    CommitVideo {
+        /// The video's layout epoch (sum of per-SOT retile counts).
+        epoch: u64,
+        /// Video name.
+        video: String,
+        /// The primary's manifest, JSON-encoded.
+        manifest: Vec<u8>,
+    },
+    /// Publish one staged SOT of an existing video at its new layout epoch.
+    CommitSot {
+        /// The SOT's post-commit `retile_count`.
+        epoch: u64,
+        /// Video name.
+        video: String,
+        /// Index of the re-tiled SOT within the manifest.
+        sot_idx: u32,
+        /// The primary's post-commit manifest, JSON-encoded.
+        manifest: Vec<u8>,
+    },
+    /// The video's semantic-index state: every detection plus the set of
+    /// detector-processed frames.
+    IndexState {
+        /// Video name.
+        video: String,
+        /// All detections of the video.
+        detections: Vec<ReplicatedDetection>,
+        /// Frames marked detector-processed.
+        processed: Vec<u32>,
+    },
 }
 
 /// Typed rejection codes carried by [`Message::Error`].
@@ -208,6 +285,53 @@ pub enum Message {
     /// Client → server (administrative): ask the whole server to shut down
     /// gracefully — drain in-flight queries, stop the retile daemon, exit.
     ShutdownServer,
+    /// Primary → backup: one replication record. The backup replies with
+    /// [`Message::ReplicateAck`] echoing `seq` once the record is durably
+    /// applied (or staged), or [`Message::Error`] carrying `seq` as its id.
+    Replicate {
+        /// Sender-chosen sequence number echoed on the ack.
+        seq: u64,
+        /// The record.
+        record: ReplicationRecord,
+    },
+    /// Backup → primary: the record with this `seq` is durable.
+    ReplicateAck {
+        /// Echoed sequence number.
+        seq: u64,
+    },
+    /// Client → server (administrative): fetch a video's manifest, for
+    /// replica verification.
+    ManifestRequest {
+        /// Video name.
+        video: String,
+    },
+    /// Server → client: the manifest, JSON-encoded exactly as stored.
+    ManifestReply {
+        /// Echoed video name.
+        video: String,
+        /// Manifest JSON bytes.
+        manifest: Vec<u8>,
+    },
+    /// Client → server (administrative): replicate `video` in full to the
+    /// node at `target` (the rebalance copy step, driven by the node that
+    /// owns the bytes). Acked with [`Message::ReplicateAck`].
+    PushVideo {
+        /// Sender-chosen sequence number echoed on the ack.
+        seq: u64,
+        /// Video name.
+        video: String,
+        /// `host:port` of the receiving node.
+        target: String,
+    },
+    /// Client → server (administrative): drop `video` from this node after
+    /// draining in-flight queries (the rebalance GC step). Acked with
+    /// [`Message::ReplicateAck`].
+    RemoveVideo {
+        /// Sender-chosen sequence number echoed on the ack.
+        seq: u64,
+        /// Video name.
+        video: String,
+    },
 }
 
 impl Message {
@@ -285,6 +409,35 @@ impl Message {
             }
             Message::Goodbye => w.u8(tag::GOODBYE),
             Message::ShutdownServer => w.u8(tag::SHUTDOWN_SERVER),
+            Message::Replicate { seq, record } => {
+                w.u8(tag::REPLICATE);
+                w.u64(*seq);
+                encode_record(&mut w, record);
+            }
+            Message::ReplicateAck { seq } => {
+                w.u8(tag::REPLICATE_ACK);
+                w.u64(*seq);
+            }
+            Message::ManifestRequest { video } => {
+                w.u8(tag::MANIFEST_REQUEST);
+                w.str(video);
+            }
+            Message::ManifestReply { video, manifest } => {
+                w.u8(tag::MANIFEST_REPLY);
+                w.str(video);
+                w.bytes(manifest);
+            }
+            Message::PushVideo { seq, video, target } => {
+                w.u8(tag::PUSH_VIDEO);
+                w.u64(*seq);
+                w.str(video);
+                w.str(target);
+            }
+            Message::RemoveVideo { seq, video } => {
+                w.u8(tag::REMOVE_VIDEO);
+                w.u64(*seq);
+                w.str(video);
+            }
         }
         w.into_bytes()
     }
@@ -369,6 +522,25 @@ impl Message {
             }
             tag::GOODBYE => Message::Goodbye,
             tag::SHUTDOWN_SERVER => Message::ShutdownServer,
+            tag::REPLICATE => Message::Replicate {
+                seq: r.u64()?,
+                record: decode_record(&mut r)?,
+            },
+            tag::REPLICATE_ACK => Message::ReplicateAck { seq: r.u64()? },
+            tag::MANIFEST_REQUEST => Message::ManifestRequest { video: r.str()? },
+            tag::MANIFEST_REPLY => Message::ManifestReply {
+                video: r.str()?,
+                manifest: r.bytes()?,
+            },
+            tag::PUSH_VIDEO => Message::PushVideo {
+                seq: r.u64()?,
+                video: r.str()?,
+                target: r.str()?,
+            },
+            tag::REMOVE_VIDEO => Message::RemoveVideo {
+                seq: r.u64()?,
+                video: r.str()?,
+            },
             other => return Err(ProtoError::UnknownMessage(other)),
         };
         r.finish()?;
@@ -425,6 +597,126 @@ pub fn encode_region(id: u64, region: &RegionPixels) -> Vec<u8> {
     let len = (out.len() - 4) as u32;
     out[..4].copy_from_slice(&len.to_le_bytes());
     out
+}
+
+fn encode_record(w: &mut Writer, rec: &ReplicationRecord) {
+    match rec {
+        ReplicationRecord::StageSot {
+            video,
+            sot_idx,
+            tiles,
+        } => {
+            w.u8(0);
+            w.str(video);
+            w.u32(*sot_idx);
+            w.u32(tiles.len() as u32);
+            for t in tiles {
+                w.bytes(t);
+            }
+        }
+        ReplicationRecord::CommitVideo {
+            epoch,
+            video,
+            manifest,
+        } => {
+            w.u8(1);
+            w.u64(*epoch);
+            w.str(video);
+            w.bytes(manifest);
+        }
+        ReplicationRecord::CommitSot {
+            epoch,
+            video,
+            sot_idx,
+            manifest,
+        } => {
+            w.u8(2);
+            w.u64(*epoch);
+            w.str(video);
+            w.u32(*sot_idx);
+            w.bytes(manifest);
+        }
+        ReplicationRecord::IndexState {
+            video,
+            detections,
+            processed,
+        } => {
+            w.u8(3);
+            w.str(video);
+            w.u32(detections.len() as u32);
+            for d in detections {
+                w.str(&d.label);
+                w.u32(d.frame);
+                encode_rect(w, &d.rect);
+            }
+            w.u32(processed.len() as u32);
+            for &f in processed {
+                w.u32(f);
+            }
+        }
+    }
+}
+
+fn decode_record(r: &mut Reader<'_>) -> Result<ReplicationRecord, ProtoError> {
+    Ok(match r.u8()? {
+        0 => {
+            let video = r.str()?;
+            let sot_idx = r.u32()?;
+            let n = r.u32()? as usize;
+            if n > MAX_REPLICA_TILES {
+                return Err(ProtoError::Malformed("staged tile count"));
+            }
+            let mut tiles = Vec::new();
+            for _ in 0..n {
+                tiles.push(r.bytes()?);
+            }
+            ReplicationRecord::StageSot {
+                video,
+                sot_idx,
+                tiles,
+            }
+        }
+        1 => ReplicationRecord::CommitVideo {
+            epoch: r.u64()?,
+            video: r.str()?,
+            manifest: r.bytes()?,
+        },
+        2 => ReplicationRecord::CommitSot {
+            epoch: r.u64()?,
+            video: r.str()?,
+            sot_idx: r.u32()?,
+            manifest: r.bytes()?,
+        },
+        3 => {
+            let video = r.str()?;
+            let n = r.u32()? as usize;
+            if n > MAX_INDEX_ITEMS {
+                return Err(ProtoError::Malformed("replicated detection count"));
+            }
+            let mut detections = Vec::new();
+            for _ in 0..n {
+                detections.push(ReplicatedDetection {
+                    label: r.str()?,
+                    frame: r.u32()?,
+                    rect: decode_rect(r)?,
+                });
+            }
+            let n = r.u32()? as usize;
+            if n > MAX_INDEX_ITEMS {
+                return Err(ProtoError::Malformed("processed frame count"));
+            }
+            let mut processed = Vec::new();
+            for _ in 0..n {
+                processed.push(r.u32()?);
+            }
+            ReplicationRecord::IndexState {
+                video,
+                detections,
+                processed,
+            }
+        }
+        _ => return Err(ProtoError::Malformed("replication record kind")),
+    })
 }
 
 fn encode_rect(w: &mut Writer, r: &Rect) {

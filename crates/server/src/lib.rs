@@ -188,11 +188,25 @@ impl TasmServer {
         cfg: ServerConfig,
         addr: impl ToSocketAddrs,
     ) -> std::io::Result<TasmServer> {
+        Self::bind_with_hook(tasm, service_cfg, cfg, addr, None)
+    }
+
+    /// [`TasmServer::bind`] with a [`RetileHook`](tasm_service::RetileHook)
+    /// fired after every committed background re-tile — the cluster layer's
+    /// primary→backup replication point (the re-tile only counts as durable
+    /// once the hook, i.e. every backup, acks it).
+    pub fn bind_with_hook(
+        tasm: Arc<Tasm>,
+        service_cfg: ServiceConfig,
+        cfg: ServerConfig,
+        addr: impl ToSocketAddrs,
+        hook: Option<Arc<dyn tasm_service::RetileHook>>,
+    ) -> std::io::Result<TasmServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
-            service: QueryService::start(tasm, service_cfg),
+            service: QueryService::start_with_hook(tasm, service_cfg, hook),
             cfg,
             shutdown: AtomicBool::new(false),
             shutdown_requested: Mutex::new(false),

@@ -98,6 +98,11 @@ pub(crate) fn run(shared: &Arc<ServerShared>, stream: TcpStream, _guard: Session
     }
     shared.count_session();
 
+    // Tile bytes from `StageSot` replication records, held until their
+    // commit record lands. Session-local: a replication stream is one
+    // primary's connection, and an aborted sync dies with its session.
+    let mut staged = tasm_cluster::StagedSots::new();
+
     loop {
         // Checked every iteration, not only on idle timeouts: a client
         // that keeps frames flowing must not be able to pin the session —
@@ -135,6 +140,50 @@ pub(crate) fn run(shared: &Arc<ServerShared>, stream: TcpStream, _guard: Session
                 shared.request_shutdown();
                 session.send(&Message::Goodbye);
                 break;
+            }
+            // Cluster administration. These run synchronously on the
+            // reader thread: replication and rebalance streams are
+            // strictly sequential (each record is acked before the next
+            // is sent), so there is nothing to overlap with.
+            Message::Replicate { seq, record } => {
+                match tasm_cluster::apply_record(shared.service.tasm(), &mut staged, record) {
+                    Ok(()) => session.send(&Message::ReplicateAck { seq }),
+                    Err(message) => session.send(&Message::Error {
+                        id: Some(seq),
+                        code: ErrorCode::Internal,
+                        message,
+                    }),
+                }
+            }
+            Message::ManifestRequest { video } => {
+                match tasm_cluster::manifest_json(shared.service.tasm(), &video) {
+                    Ok(manifest) => session.send(&Message::ManifestReply { video, manifest }),
+                    Err(message) => session.send(&Message::Error {
+                        id: None,
+                        code: ErrorCode::UnknownVideo,
+                        message,
+                    }),
+                }
+            }
+            Message::PushVideo { seq, video, target } => {
+                match tasm_cluster::push_video(shared.service.tasm(), &video, &target) {
+                    Ok(()) => session.send(&Message::ReplicateAck { seq }),
+                    Err(message) => session.send(&Message::Error {
+                        id: Some(seq),
+                        code: ErrorCode::Internal,
+                        message,
+                    }),
+                }
+            }
+            Message::RemoveVideo { seq, video } => {
+                match shared.service.tasm().remove_video(&video) {
+                    Ok(()) => session.send(&Message::ReplicateAck { seq }),
+                    Err(e) => session.send(&Message::Error {
+                        id: Some(seq),
+                        code: ErrorCode::UnknownVideo,
+                        message: e.to_string(),
+                    }),
+                }
             }
             // Anything else is a protocol violation at this point of the
             // session (hellos after the handshake, server-only frames).

@@ -70,7 +70,18 @@ pub(crate) fn process_observations(shared: &Shared, batch: Vec<Observation>) {
         match outcome {
             Ok(stats) => {
                 if stats.encode.bytes_produced > 0 {
-                    shared.stats.retile_ops.fetch_add(1, Ordering::Relaxed);
+                    // Replication hook before the op is counted: the
+                    // re-tile is only reported durable once every backup
+                    // acked the new layout epoch.
+                    let replicated = match &shared.hook {
+                        Some(hook) => hook.retiled(&obs.video).is_ok(),
+                        None => true,
+                    };
+                    if replicated {
+                        shared.stats.retile_ops.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        shared.stats.retile_errors.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
             Err(_) => {

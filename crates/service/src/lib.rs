@@ -118,7 +118,7 @@ mod service;
 mod stats;
 
 pub use service::{
-    QueryHandle, QueryOutcome, QueryRequest, QueryService, RetilePolicy, ServiceConfig,
+    QueryHandle, QueryOutcome, QueryRequest, QueryService, RetileHook, RetilePolicy, ServiceConfig,
     ServiceError, Shutdown, ShutdownReport,
 };
 pub use stats::{LatencyHistogram, ServiceStats, LATENCY_BUCKETS};

@@ -53,6 +53,18 @@ impl Default for ServiceConfig {
     }
 }
 
+/// Callback fired by the retile daemon after a re-tile commits locally,
+/// before it is counted in `ServiceStats::retile_ops` — the hook point
+/// where the cluster layer ships the new layout epoch to backups and waits
+/// for their acknowledgement, so a re-tile is only reported durable once
+/// every backup can answer at the new epoch.
+pub trait RetileHook: Send + Sync {
+    /// Called with the re-tiled video's name. An error is counted in
+    /// `ServiceStats::retile_errors`; the local commit stands either way
+    /// (the caller re-syncs lagging backups out of band).
+    fn retiled(&self, video: &str) -> Result<(), String>;
+}
+
 /// One query to execute: a video name plus a full spatiotemporal
 /// [`Query`] (label predicate ∧ optional ROI, stride, limit, and aggregate
 /// mode — see `tasm_core::query` for planner semantics).
@@ -189,6 +201,7 @@ pub(crate) struct Shared {
     pub stats: StatsCell,
     pub backlog: Mutex<VecDeque<Observation>>,
     pub backlog_cv: Condvar,
+    pub hook: Option<Arc<dyn RetileHook>>,
     next_id: AtomicU64,
 }
 
@@ -212,6 +225,16 @@ impl QueryService {
     /// Spawns the worker pool (and, unless [`RetilePolicy::Off`], the
     /// retile daemon) over `tasm`.
     pub fn start(tasm: Arc<Tasm>, cfg: ServiceConfig) -> Self {
+        Self::start_with_hook(tasm, cfg, None)
+    }
+
+    /// [`QueryService::start`] with a [`RetileHook`] the daemon fires after
+    /// every committed re-tile (replication ack-before-durable).
+    pub fn start_with_hook(
+        tasm: Arc<Tasm>,
+        cfg: ServiceConfig,
+        hook: Option<Arc<dyn RetileHook>>,
+    ) -> Self {
         assert!(cfg.queue_depth > 0, "queue depth must be positive");
         let workers = if cfg.workers == 0 {
             std::thread::available_parallelism()
@@ -230,6 +253,7 @@ impl QueryService {
             stats: StatsCell::default(),
             backlog: Mutex::new(VecDeque::new()),
             backlog_cv: Condvar::new(),
+            hook,
             next_id: AtomicU64::new(0),
         });
         let handles = (0..workers)

@@ -1,0 +1,590 @@
+//! Cluster-layer acceptance tests: failover and rebalancing are invisible
+//! to correctness.
+//!
+//! The contract under test (the PR's acceptance criterion): with R=2
+//! replication, `kill -9` of a shard primary mid-workload — while its
+//! regret daemon is re-tiling live — makes the router fail over, and every
+//! subsequent query is **bit-identical** to a single-node twin at the same
+//! layout epoch. Likewise, `rebalance` moving a video between shards
+//! mid-workload never changes a single result byte, and `fsck` is clean on
+//! every node afterwards.
+//!
+//! The primary runs in a *child process* (this same test binary re-invoked
+//! with `--exact child_shard_server` and env vars set) so the kill is a
+//! real SIGKILL — no destructors, no flushed buffers, exactly the failure
+//! replication has to survive. Bit-exactness across the failover rests on
+//! the ack-before-durable rule: the retile daemon's hook ships the new
+//! layout (raw tile bytes, verbatim) to the backup and only counts the
+//! re-tile in `retile_ops` once the backup acked, so `retile_ops > 0`
+//! observed through the router guarantees the backup can answer at the
+//! post-re-tile epoch.
+
+use std::path::{Path, PathBuf};
+use std::process::Stdio;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tasm_client::Connection;
+use tasm_cluster::{NodeInfo, Router, RouterConfig, ShardMap};
+use tasm_core::{
+    LabelPredicate, PartitionConfig, Query, QueryMode, StorageConfig, Tasm, TasmConfig,
+};
+use tasm_data::{SceneSpec, SyntheticVideo};
+use tasm_index::MemoryIndex;
+use tasm_server::{ServerConfig, TasmServer};
+use tasm_service::{RetilePolicy, ServiceConfig};
+use tasm_suite::regions_identical;
+use tasm_video::{FrameSource, Rect};
+
+const FRAMES: u32 = 60;
+
+const CHILD_STORE_ENV: &str = "TASM_CLUSTER_CHILD_STORE";
+const CHILD_BACKUP_ENV: &str = "TASM_CLUSTER_CHILD_BACKUP";
+const CHILD_ADDR_FILE_ENV: &str = "TASM_CLUSTER_CHILD_ADDR_FILE";
+
+/// [`regions_identical`] over two owned region lists.
+fn regions_match(a: &[tasm_core::RegionPixels], b: &[tasm_core::RegionPixels]) -> bool {
+    let refs: Vec<_> = a.iter().collect();
+    regions_identical(&refs, b)
+}
+
+fn scene() -> SyntheticVideo {
+    SyntheticVideo::new(SceneSpec {
+        width: 256,
+        height: 160,
+        frames: FRAMES,
+        seed: 47,
+        ..SceneSpec::test_scene()
+    })
+}
+
+/// One SOT spanning the whole video and a hair-trigger regret threshold:
+/// exactly two layout epochs, with the re-tile landing mid-workload (the
+/// same tuning `remote_query.rs` uses for its epoch-exactness test). Twin,
+/// primary, and backup must share this config bit for bit — the re-tile's
+/// encode is deterministic given the config and the observed layout.
+fn tuned_cfg() -> TasmConfig {
+    TasmConfig {
+        storage: StorageConfig {
+            gop_len: 10,
+            sot_frames: FRAMES,
+            ..Default::default()
+        },
+        partition: PartitionConfig {
+            min_tile_width: 32,
+            min_tile_height: 32,
+            ..Default::default()
+        },
+        workers: 1,
+        cache_bytes: 64 << 20,
+        eta: 0.05,
+        ..Default::default()
+    }
+}
+
+/// The rebalance test's config: standard SOT granularity, no regret tuning
+/// (it runs with the daemon off — one layout epoch, one reference).
+fn plain_cfg() -> TasmConfig {
+    TasmConfig {
+        storage: StorageConfig {
+            gop_len: 10,
+            sot_frames: 10,
+            ..Default::default()
+        },
+        partition: PartitionConfig {
+            min_tile_width: 32,
+            min_tile_height: 32,
+            ..Default::default()
+        },
+        workers: 1,
+        cache_bytes: 64 << 20,
+        ..Default::default()
+    }
+}
+
+/// A fresh scratch directory for one test.
+fn base_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tasm-cluster-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Opens a disk-backed store (tiered index) the way the CLI lays one out,
+/// so a child process can reopen it by path.
+fn open_store(dir: &Path, cfg: TasmConfig) -> Arc<Tasm> {
+    Arc::new(Tasm::open_tiered(dir.join("videos"), &dir.join("index"), cfg).unwrap())
+}
+
+/// An ephemeral in-process store (memory index).
+fn open_mem(dir: PathBuf, cfg: TasmConfig) -> Arc<Tasm> {
+    Arc::new(Tasm::open(dir, Box::new(MemoryIndex::in_memory()), cfg).unwrap())
+}
+
+fn ingest(tasm: &Tasm, video: &SyntheticVideo) {
+    tasm.ingest("v", video, 30).unwrap();
+    for f in 0..video.len() {
+        for (l, b) in video.ground_truth(f) {
+            tasm.add_metadata("v", l, f, b).unwrap();
+        }
+        tasm.mark_processed("v", f).unwrap();
+    }
+}
+
+/// All-car query mix (windows/ROI/stride/limit vary): with one SOT and one
+/// label the regret policy converges on one alternative layout, so a
+/// serially-driven twin reproduces the primary's second epoch.
+fn mix() -> Vec<Query> {
+    (0..4u32)
+        .flat_map(|client| {
+            let start = client * 5;
+            vec![
+                Query::new(LabelPredicate::label("car")).frames(start..start + 40),
+                Query::new(LabelPredicate::label("car"))
+                    .frames(start..start + 50)
+                    .roi(Rect::new(0, 0, 128, 80))
+                    .stride(2),
+                Query::new(LabelPredicate::label("car"))
+                    .frames(start..start + 30)
+                    .limit(4),
+                Query::new(LabelPredicate::label("car"))
+                    .frames(0..FRAMES)
+                    .mode(QueryMode::Count),
+            ]
+        })
+        .collect()
+}
+
+/// Not a test: the shard-primary *process* for the failover test below.
+/// The parent spawns this test binary with `--exact child_shard_server`
+/// and the `TASM_CLUSTER_CHILD_*` env vars set; in a normal test run the
+/// env is absent and this is a no-op. The child attaches the store the
+/// parent ingested, full-syncs the backup, and serves with the regret
+/// daemon re-tiling live — then waits to be killed.
+#[test]
+fn child_shard_server() {
+    let (Ok(store), Ok(backup), Ok(addr_file)) = (
+        std::env::var(CHILD_STORE_ENV),
+        std::env::var(CHILD_BACKUP_ENV),
+        std::env::var(CHILD_ADDR_FILE_ENV),
+    ) else {
+        return;
+    };
+    let tasm = open_store(Path::new(&store), tuned_cfg());
+    tasm.attach("v").expect("attach ingested video");
+    let hook =
+        tasm_cluster::ReplicatorHook::bootstrap(Arc::clone(&tasm), std::slice::from_ref(&backup))
+            .expect("full-sync backup");
+    let server = TasmServer::bind_with_hook(
+        tasm,
+        ServiceConfig {
+            workers: 2,
+            queue_depth: 32,
+            retile: RetilePolicy::Regret,
+            retile_interval: Duration::from_millis(1),
+        },
+        ServerConfig::default(),
+        "127.0.0.1:0",
+        Some(Arc::new(hook)),
+    )
+    .expect("bind shard primary");
+    // Publish the bound address atomically (write + rename) for the parent.
+    let tmp = format!("{addr_file}.tmp");
+    std::fs::write(&tmp, server.local_addr().to_string()).unwrap();
+    std::fs::rename(&tmp, &addr_file).unwrap();
+    // Serve until the parent SIGKILLs this process.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// R=2 failover: `kill -9` the primary mid-workload (regret daemon
+/// re-tiling live) and every subsequent query through the router is
+/// bit-identical to a single-node twin at the replicated layout epoch.
+#[test]
+fn kill9_failover_stays_bit_identical_at_a_replicated_epoch() {
+    let video = scene();
+    let base = base_dir("failover");
+    let mix = mix();
+
+    // In-process references for both epochs, from a serially-driven twin.
+    let twin = open_mem(base.join("twin"), tuned_cfg());
+    ingest(&twin, &video);
+    let ref_pre: Vec<_> = mix.iter().map(|q| twin.query("v", q).unwrap()).collect();
+    let mut retiled = false;
+    for _ in 0..64 {
+        if twin
+            .observe_regret("v", "car", 0..FRAMES)
+            .unwrap()
+            .encode
+            .bytes_produced
+            > 0
+        {
+            retiled = true;
+            break;
+        }
+    }
+    assert!(retiled, "the twin's regret policy must re-tile");
+    let ref_post: Vec<_> = mix.iter().map(|q| twin.query("v", q).unwrap()).collect();
+    assert!(
+        mix.iter().enumerate().any(|(i, q)| {
+            q.query_mode() == QueryMode::Pixels
+                && !regions_match(&ref_pre[i].regions, &ref_post[i].regions)
+        }),
+        "the re-tile must change pixels, or epoch tearing would be invisible"
+    );
+
+    // The primary's store on disk — detections in the tiered index — so
+    // the child process can attach and serve it.
+    {
+        let primary = open_store(&base.join("primary"), tuned_cfg());
+        ingest(&primary, &video);
+        primary.with_index(|ix| ix.flush()).unwrap();
+    }
+
+    // The backup shard lives in this process (we fsck it at the end).
+    let backup_tasm = open_store(&base.join("backup"), tuned_cfg());
+    let backup = TasmServer::bind(
+        Arc::clone(&backup_tasm),
+        ServiceConfig {
+            workers: 2,
+            queue_depth: 32,
+            ..Default::default()
+        },
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .expect("bind backup shard");
+    let backup_addr = backup.local_addr().to_string();
+
+    // The primary shard in a child process, so the kill is a real SIGKILL.
+    let addr_file = base.join("child.addr");
+    let mut child = std::process::Command::new(std::env::current_exe().unwrap())
+        .args(["--exact", "child_shard_server", "--nocapture"])
+        .env(CHILD_STORE_ENV, base.join("primary"))
+        .env(CHILD_BACKUP_ENV, &backup_addr)
+        .env(CHILD_ADDR_FILE_ENV, &addr_file)
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn child shard primary");
+    let child_addr = {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            if let Ok(addr) = std::fs::read_to_string(&addr_file) {
+                break addr;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "child shard never published its address"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    };
+
+    // Shard map: R=2, the child pinned primary, the in-process backup
+    // second.
+    let map_path = base.join("cluster.json");
+    let mut map = ShardMap::new(
+        vec![
+            NodeInfo {
+                id: "n1".to_string(),
+                addr: child_addr,
+            },
+            NodeInfo {
+                id: "n2".to_string(),
+                addr: backup_addr,
+            },
+        ],
+        2,
+    )
+    .unwrap();
+    map.pin("v", vec!["n1".to_string(), "n2".to_string()]);
+    map.save(&map_path).unwrap();
+
+    let router = Router::bind(
+        RouterConfig {
+            map_path,
+            shard_io_timeout: Duration::from_secs(5),
+            health_interval: Duration::from_millis(100),
+            ..Default::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind router");
+    let mut conn = Connection::connect(router.local_addr()).expect("connect to router");
+
+    // Pre-kill workload through the router: every result epoch-exact, and
+    // keep going until the primary's re-tile has committed *and
+    // replicated* — the hook acks before `retile_ops` counts the op, so
+    // the merged stats reading it as nonzero proves the backup holds the
+    // post-re-tile layout.
+    let mut replicated = false;
+    'drive: for pass in 0..64 {
+        for (qi, query) in mix.iter().enumerate() {
+            let remote = conn.query("v", query).expect("routed query");
+            let what = format!("pre-kill pass {pass} query {qi}");
+            assert_eq!(remote.matched, ref_pre[qi].matched, "{what}: matched");
+            assert!(
+                regions_match(&ref_pre[qi].regions, &remote.regions)
+                    || regions_match(&ref_post[qi].regions, &remote.regions),
+                "{what}: result matches neither epoch's in-process reference"
+            );
+        }
+        if conn.stats().expect("router stats fan-out").retile_ops > 0 {
+            replicated = true;
+            break 'drive;
+        }
+    }
+    assert!(
+        replicated,
+        "the primary's regret daemon must re-tile (and replicate) mid-workload"
+    );
+
+    // kill -9 the primary while a workload thread is querying.
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let workload = scope.spawn(|| {
+            let mut conn = Connection::connect(router.local_addr()).expect("connect");
+            let mut served = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for (qi, query) in mix.iter().enumerate() {
+                    let remote = conn.query("v", query).expect("query across the failover");
+                    assert_eq!(remote.matched, ref_pre[qi].matched);
+                    assert!(
+                        regions_match(&ref_pre[qi].regions, &remote.regions)
+                            || regions_match(&ref_post[qi].regions, &remote.regions),
+                        "mid-failover query {qi} torn: matches neither epoch"
+                    );
+                    served += 1;
+                }
+            }
+            served
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        child.kill().expect("SIGKILL the primary");
+        child.wait().ok();
+        // Let the workload straddle the kill: failures on the dead primary
+        // retry onto the backup inside the router, invisible to the client.
+        std::thread::sleep(Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+        let served = workload.join().expect("workload thread");
+        assert!(served > 0, "the workload must have queried across the kill");
+    });
+
+    // Every query now lands on the promoted backup, which replication left
+    // at the post-re-tile epoch — results must be bit-identical to the
+    // twin's post-epoch references, not merely "either epoch".
+    for (qi, query) in mix.iter().enumerate() {
+        let remote = conn.query("v", query).expect("post-failover query");
+        assert_eq!(remote.matched, ref_pre[qi].matched, "query {qi}: matched");
+        assert!(
+            regions_match(&ref_post[qi].regions, &remote.regions),
+            "post-failover query {qi} is not bit-identical to the twin at \
+             the replicated epoch"
+        );
+    }
+
+    let stats = router.stats();
+    assert!(stats.retries >= 1, "failover implies replica retries");
+    assert!(
+        stats.failovers >= 1 && stats.down.contains(&"n1".to_string()),
+        "the dead primary must be marked down: {stats:?}"
+    );
+
+    // The survivor's store is intact, and the killed store recovers clean
+    // on reopen (startup recovery rolls the interrupted state consistent).
+    assert!(
+        backup_tasm.fsck().unwrap().is_clean(),
+        "backup fsck must be clean after serving the failover"
+    );
+    drop(conn);
+    router.shutdown(false);
+    backup.shutdown();
+    let revived = open_store(&base.join("primary"), tuned_cfg());
+    revived.attach("v").expect("reattach after kill");
+    assert!(
+        revived.fsck().unwrap().is_clean(),
+        "the killed primary's store must recover to a clean fsck"
+    );
+    drop(revived);
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Rebalancing a video between shards mid-workload is invisible: every
+/// query through the router — before, during, and after the copy → verify
+/// → flip → GC sequence — is bit-identical to the single reference, the
+/// source's copy is garbage-collected, and fsck is clean on every node.
+#[test]
+fn rebalance_mid_workload_is_bit_exact_and_gcs_the_source() {
+    let video = scene();
+    let base = base_dir("rebalance");
+    let mix = mix();
+
+    // Single-epoch reference (daemon off everywhere).
+    let twin = open_mem(base.join("twin"), plain_cfg());
+    ingest(&twin, &video);
+    let reference: Vec<_> = mix.iter().map(|q| twin.query("v", q).unwrap()).collect();
+
+    // Three in-process shards; the video starts on [n1, n2].
+    let shard = |tag: &str| {
+        let tasm = open_mem(base.join(tag), plain_cfg());
+        let server = TasmServer::bind(
+            Arc::clone(&tasm),
+            ServiceConfig {
+                workers: 2,
+                queue_depth: 32,
+                ..Default::default()
+            },
+            ServerConfig::default(),
+            "127.0.0.1:0",
+        )
+        .expect("bind shard");
+        (tasm, server)
+    };
+    let (n1_tasm, n1) = shard("n1");
+    let (n2_tasm, n2) = shard("n2");
+    let (n3_tasm, n3) = shard("n3");
+    ingest(&n1_tasm, &video);
+    // Seed the R=2 replica on n2 through the wire, as `serve --backup`
+    // would.
+    let mut seed = Connection::connect(n1.local_addr()).expect("connect n1");
+    seed.push_video("v", &n2.local_addr().to_string())
+        .expect("seed replica on n2");
+    drop(seed);
+
+    let map_path = base.join("cluster.json");
+    let mut map = ShardMap::new(
+        vec![
+            NodeInfo {
+                id: "n1".to_string(),
+                addr: n1.local_addr().to_string(),
+            },
+            NodeInfo {
+                id: "n2".to_string(),
+                addr: n2.local_addr().to_string(),
+            },
+            NodeInfo {
+                id: "n3".to_string(),
+                addr: n3.local_addr().to_string(),
+            },
+        ],
+        2,
+    )
+    .unwrap();
+    map.pin("v", vec!["n1".to_string(), "n2".to_string()]);
+    map.save(&map_path).unwrap();
+    let epoch0 = ShardMap::load(&map_path).unwrap().epoch;
+
+    let router = Router::bind(
+        RouterConfig {
+            map_path: map_path.clone(),
+            health_interval: Duration::from_millis(50),
+            ..Default::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind router");
+
+    // Queries flow while the rebalance runs; the flip must never tear or
+    // change a result.
+    let stop = AtomicBool::new(false);
+    let mut report = None;
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let (mix, reference, stop) = (&mix, &reference, &stop);
+                let addr = router.local_addr();
+                scope.spawn(move || {
+                    let mut conn = Connection::connect(addr).expect("connect");
+                    let mut served = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for (qi, query) in mix.iter().enumerate() {
+                            let remote = conn
+                                .query("v", query)
+                                .expect("routed query across rebalance");
+                            assert_eq!(remote.matched, reference[qi].matched);
+                            assert!(
+                                regions_match(&reference[qi].regions, &remote.regions),
+                                "query {qi} changed during the rebalance"
+                            );
+                            served += 1;
+                        }
+                    }
+                    served
+                })
+            })
+            .collect();
+
+        std::thread::sleep(Duration::from_millis(100));
+        report = Some(
+            tasm_cluster::rebalance(&map_path, "v", "n3", Duration::from_secs(10))
+                .expect("rebalance"),
+        );
+        // Keep querying across the epoch flip, the router's map reload,
+        // and the source GC.
+        std::thread::sleep(Duration::from_millis(400));
+        stop.store(true, Ordering::Relaxed);
+        for w in workers {
+            let served = w.join().expect("workload thread");
+            assert!(served > 0, "workload must straddle the rebalance");
+        }
+    });
+    let report = report.unwrap();
+    assert_eq!(report.from.first().map(String::as_str), Some("n1"));
+    assert_eq!(report.to.first().map(String::as_str), Some("n3"));
+    assert!(report.removed.contains(&"n1".to_string()));
+
+    // The flip is durable and the router routes the new epoch.
+    let flipped = ShardMap::load(&map_path).unwrap();
+    assert!(flipped.epoch > epoch0, "the flip must bump the map epoch");
+    let placed: Vec<_> = flipped
+        .placement("v", &Default::default())
+        .into_iter()
+        .map(|n| n.id.clone())
+        .collect();
+    assert_eq!(placed, ["n3".to_string(), "n2".to_string()]);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while router.stats().map_epoch < flipped.epoch {
+        assert!(
+            Instant::now() < deadline,
+            "router never reloaded the flipped map"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Post-flip queries: still bit-exact, now served by the new primary.
+    let mut conn = Connection::connect(router.local_addr()).expect("connect");
+    for (qi, query) in mix.iter().enumerate() {
+        let remote = conn.query("v", query).expect("post-flip query");
+        assert_eq!(remote.matched, reference[qi].matched, "query {qi}: matched");
+        assert!(
+            regions_match(&reference[qi].regions, &remote.regions),
+            "post-flip query {qi} differs from the reference"
+        );
+    }
+    drop(conn);
+
+    // The source's copy is unreferenced after the flip and was GC'd; the
+    // target's manifest is byte-identical to the surviving replica's; and
+    // every node's store passes fsck.
+    assert!(
+        n1_tasm.video_names().is_empty(),
+        "the source must have GC'd its copy"
+    );
+    assert_eq!(
+        tasm_cluster::manifest_json(&n3_tasm, "v").unwrap(),
+        tasm_cluster::manifest_json(&n2_tasm, "v").unwrap(),
+        "target and surviving replica must hold byte-identical manifests"
+    );
+    for (tag, tasm) in [("n1", &n1_tasm), ("n2", &n2_tasm), ("n3", &n3_tasm)] {
+        assert!(tasm.fsck().unwrap().is_clean(), "{tag}: fsck must be clean");
+    }
+
+    router.shutdown(false);
+    n1.shutdown();
+    n2.shutdown();
+    n3.shutdown();
+    std::fs::remove_dir_all(&base).ok();
+}

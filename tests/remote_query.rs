@@ -573,6 +573,7 @@ fn loadgen_drives_the_server_and_reports_latency() {
         window: 20,
         frames: FRAMES,
         busy_backoff: std::time::Duration::from_millis(1),
+        reconnect_attempts: 0,
     })
     .run(addr)
     .expect("loadgen run");

@@ -6,7 +6,10 @@ use proptest::run_cases;
 use rand::rngs::StdRng;
 use rand::Rng;
 use tasm_core::{LabelPredicate, PlanStats, Query, QueryMode, RegionPixels, SharedScanStats};
-use tasm_proto::{ErrorCode, Message, ProtoError, ResultSummary, MAX_FRAME_LEN, VERSION};
+use tasm_proto::{
+    ErrorCode, Message, ProtoError, ReplicatedDetection, ReplicationRecord, ResultSummary,
+    MAX_FRAME_LEN, VERSION,
+};
 use tasm_service::{LatencyHistogram, ServiceStats};
 use tasm_video::{Frame, Rect};
 
@@ -131,9 +134,50 @@ fn arb_error_code(rng: &mut StdRng) -> ErrorCode {
     ][rng.gen_range(0usize..8)]
 }
 
+fn arb_blob(rng: &mut StdRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..max_len + 1);
+    (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect()
+}
+
+fn arb_record(rng: &mut StdRng) -> ReplicationRecord {
+    match rng.gen_range(0u32..4) {
+        0 => ReplicationRecord::StageSot {
+            video: arb_label(rng),
+            sot_idx: rng.gen_range(0u32..64),
+            tiles: (0..rng.gen_range(0usize..5))
+                .map(|_| arb_blob(rng, 96))
+                .collect(),
+        },
+        1 => ReplicationRecord::CommitVideo {
+            epoch: rng.gen_range(0u64..u32::MAX as u64),
+            video: arb_label(rng),
+            manifest: arb_blob(rng, 256),
+        },
+        2 => ReplicationRecord::CommitSot {
+            epoch: rng.gen_range(0u64..u32::MAX as u64),
+            video: arb_label(rng),
+            sot_idx: rng.gen_range(0u32..64),
+            manifest: arb_blob(rng, 256),
+        },
+        _ => ReplicationRecord::IndexState {
+            video: arb_label(rng),
+            detections: (0..rng.gen_range(0usize..9))
+                .map(|_| ReplicatedDetection {
+                    label: arb_label(rng),
+                    frame: rng.gen_range(0u32..10_000),
+                    rect: arb_rect(rng),
+                })
+                .collect(),
+            processed: (0..rng.gen_range(0usize..17))
+                .map(|_| rng.gen_range(0u32..10_000))
+                .collect(),
+        },
+    }
+}
+
 /// One arbitrary message, cycling through every variant by case index.
 fn arb_message(rng: &mut StdRng, variant: u32) -> Message {
-    match variant % 11 {
+    match variant % 17 {
         0 => Message::ClientHello {
             version: rng.gen_range(0u32..u16::MAX as u32 + 1) as u16,
         },
@@ -181,7 +225,30 @@ fn arb_message(rng: &mut StdRng, variant: u32) -> Message {
             message: arb_string(rng, 80),
         },
         9 => Message::Goodbye,
-        _ => Message::ShutdownServer,
+        10 => Message::ShutdownServer,
+        11 => Message::Replicate {
+            seq: rng.gen_range(0u64..u64::MAX),
+            record: arb_record(rng),
+        },
+        12 => Message::ReplicateAck {
+            seq: rng.gen_range(0u64..u64::MAX),
+        },
+        13 => Message::ManifestRequest {
+            video: arb_label(rng),
+        },
+        14 => Message::ManifestReply {
+            video: arb_label(rng),
+            manifest: arb_blob(rng, 256),
+        },
+        15 => Message::PushVideo {
+            seq: rng.gen_range(0u64..u64::MAX),
+            video: arb_label(rng),
+            target: arb_string(rng, 24),
+        },
+        _ => Message::RemoveVideo {
+            seq: rng.gen_range(0u64..u64::MAX),
+            video: arb_label(rng),
+        },
     }
 }
 
@@ -287,7 +354,7 @@ fn garbage_streams_are_rejected() {
 /// Unknown message tags are typed errors.
 #[test]
 fn unknown_tags_are_typed_errors() {
-    for bad_tag in [0x00u8, 0x0c, 0x7f, 0xff] {
+    for bad_tag in [0x00u8, 0x12, 0x7f, 0xff] {
         assert!(matches!(
             Message::decode_payload(&[bad_tag]),
             Err(ProtoError::UnknownMessage(_))
