@@ -1,0 +1,227 @@
+//! MVCC epoch benchmark: re-tile commit latency with and without a held
+//! reader.
+//!
+//! The claim under test is the MVCC design point: a re-tile *publishes* a
+//! new layout epoch with a pointer swap and never waits for readers, so
+//! commit latency is independent of reader lifetime. The benchmark times
+//! the same alternating re-tile sequence twice — once against an idle
+//! video, once while a never-draining scan holds an epoch pin and reader
+//! threads hammer that pinned epoch with `AS OF` queries — and asserts
+//! the held-reader case stays bounded (under the pre-MVCC reader/writer
+//! lock it would block until the pin dropped, i.e. forever here).
+//!
+//! Results land in `results/BENCH_mvcc.json`. Run with
+//! `cargo run --release -p tasm-bench --bin mvcc_bench`.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+use tasm_bench::{bench_dir, scaled_count, write_result};
+use tasm_codec::TileLayout;
+use tasm_core::{LabelPredicate, PartitionConfig, Query, StorageConfig, Tasm, TasmConfig};
+use tasm_data::{SceneSpec, SyntheticVideo};
+use tasm_index::MemoryIndex;
+use tasm_video::FrameSource;
+
+const WIDTH: u32 = 256;
+const HEIGHT: u32 = 160;
+const FRAMES: u32 = 40;
+const READER_THREADS: usize = 2;
+/// Hard ceiling on any single commit under a held pin. Generous for CI
+/// noise, but finite — the point is that the old design had no bound at
+/// all (the pin below never drops while re-tiles run).
+const COMMIT_BOUND_MS: f64 = 5_000.0;
+
+fn open() -> Tasm {
+    Tasm::open(
+        bench_dir("mvcc"),
+        Box::new(MemoryIndex::in_memory()),
+        TasmConfig {
+            storage: StorageConfig {
+                gop_len: 10,
+                sot_frames: FRAMES,
+                ..Default::default()
+            },
+            partition: PartitionConfig {
+                min_tile_width: 32,
+                min_tile_height: 32,
+                ..Default::default()
+            },
+            workers: 1,
+            cache_bytes: 64 << 20,
+            ..Default::default()
+        },
+    )
+    .expect("open store")
+}
+
+fn ingest(tasm: &Tasm, video: &SyntheticVideo) {
+    tasm.ingest("v", video, 30).expect("ingest");
+    for f in 0..video.len() {
+        for (l, b) in video.ground_truth(f) {
+            tasm.add_metadata("v", l, f, b).expect("metadata");
+        }
+        tasm.mark_processed("v", f).expect("mark");
+    }
+}
+
+/// The i-th layout of the alternating re-tile sequence. Consecutive
+/// layouts always differ, so every re-tile commits a new epoch.
+fn layout(i: usize) -> TileLayout {
+    if i.is_multiple_of(2) {
+        TileLayout::uniform(WIDTH, HEIGHT, 2, 2).expect("layout")
+    } else {
+        TileLayout::untiled(WIDTH, HEIGHT)
+    }
+}
+
+/// Runs `n` re-tiles starting at sequence position `offset`, returning
+/// per-commit wall-clock latencies in milliseconds.
+fn run_retiles(tasm: &Tasm, offset: usize, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t0 = Instant::now();
+            tasm.retile("v", 0, layout(offset + i)).expect("retile");
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect()
+}
+
+#[derive(Serialize)]
+struct Case {
+    name: &'static str,
+    retiles: usize,
+    mean_ms: f64,
+    p95_ms: f64,
+    max_ms: f64,
+}
+
+fn case(name: &'static str, lat_ms: Vec<f64>) -> Case {
+    let mut sorted = lat_ms.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let p95 = sorted[((sorted.len() as f64 * 0.95) as usize).min(sorted.len() - 1)];
+    let c = Case {
+        name,
+        retiles: lat_ms.len(),
+        mean_ms: lat_ms.iter().sum::<f64>() / lat_ms.len() as f64,
+        p95_ms: p95,
+        max_ms: sorted[sorted.len() - 1],
+    };
+    println!(
+        "{:<14} {} re-tiles: mean {:.1} ms  p95 {:.1} ms  max {:.1} ms",
+        c.name, c.retiles, c.mean_ms, c.p95_ms, c.max_ms
+    );
+    c
+}
+
+#[derive(Serialize)]
+struct Report {
+    frames: u32,
+    retiles_per_case: usize,
+    reader_threads: usize,
+    /// Baseline: the same re-tile sequence against an idle video.
+    unpinned: Case,
+    /// The measurement: re-tiles while a pin is held open the whole time
+    /// and reader threads re-query the pinned epoch concurrently.
+    pinned: Case,
+    /// `AS OF` queries the reader threads completed during the pinned case.
+    as_of_queries_served: u64,
+    /// Mean pinned commit latency over the unpinned baseline.
+    pinned_over_unpinned_mean: f64,
+    /// Live-epoch count while the pin was held (pinned + current) and
+    /// after it drained (current only): the GC evidence.
+    live_epochs_while_pinned: usize,
+    live_epochs_after_drain: usize,
+}
+
+fn main() {
+    let retiles = scaled_count(8);
+    let video = SyntheticVideo::new(SceneSpec {
+        width: WIDTH,
+        height: HEIGHT,
+        frames: FRAMES,
+        seed: 42,
+        ..SceneSpec::test_scene()
+    });
+    let tasm = open();
+    println!("ingesting {FRAMES} frames, {retiles} re-tiles per case...");
+    ingest(&tasm, &video);
+
+    let unpinned = case("unpinned", run_retiles(&tasm, 0, retiles));
+
+    // The held scan: a pin on the now-current epoch that never drops while
+    // the re-tiles run, plus readers querying that exact epoch.
+    let pin = tasm.pin_epoch("v", None).expect("pin");
+    let pinned_epoch = pin.epoch();
+    let as_of = Query::new(LabelPredicate::label("car"))
+        .frames(0..FRAMES)
+        .as_of(pinned_epoch);
+    let stop = AtomicBool::new(false);
+    let mut served = 0u64;
+    let mut pinned_lat = Vec::new();
+    let mut live_while_pinned = 0usize;
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..READER_THREADS)
+            .map(|_| {
+                let (tasm, as_of, stop) = (&tasm, &as_of, &stop);
+                scope.spawn(move || {
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        tasm.query("v", as_of).expect("as-of query");
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        pinned_lat = run_retiles(&tasm, retiles, retiles);
+        live_while_pinned = tasm.live_epochs("v").expect("live").len();
+        stop.store(true, Ordering::Relaxed);
+        served = readers.into_iter().map(|h| h.join().expect("reader")).sum();
+    });
+    let pinned = case("pinned-reader", pinned_lat);
+
+    // Every reader drained at its pinned epoch bit-exactly; dropping the
+    // pin reclaims it.
+    assert_eq!(tasm.current_epoch("v").expect("epoch"), 2 * retiles as u64);
+    drop(pin);
+    let live_after = tasm.live_epochs("v").expect("live").len();
+
+    let report = Report {
+        frames: FRAMES,
+        retiles_per_case: retiles,
+        reader_threads: READER_THREADS,
+        as_of_queries_served: served,
+        pinned_over_unpinned_mean: pinned.mean_ms / unpinned.mean_ms,
+        unpinned,
+        pinned,
+        live_epochs_while_pinned: live_while_pinned,
+        live_epochs_after_drain: live_after,
+    };
+    println!(
+        "pinned/unpinned mean commit latency: {:.2}x, {} AS OF queries served, live epochs {} -> {}",
+        report.pinned_over_unpinned_mean,
+        report.as_of_queries_served,
+        report.live_epochs_while_pinned,
+        report.live_epochs_after_drain
+    );
+
+    assert!(
+        report.pinned.max_ms <= COMMIT_BOUND_MS,
+        "a re-tile commit under a held pin must stay bounded, got {:.1} ms",
+        report.pinned.max_ms
+    );
+    assert!(
+        report.as_of_queries_served > 0,
+        "readers must make progress while re-tiles commit"
+    );
+    assert_eq!(
+        report.live_epochs_while_pinned, 2,
+        "exactly the pinned and current epochs stay live mid-churn"
+    );
+    assert_eq!(
+        report.live_epochs_after_drain, 1,
+        "draining the last pin must leave only the current epoch"
+    );
+    write_result("BENCH_mvcc", &report);
+}

@@ -32,7 +32,7 @@ USAGE:
   tasm scan    --store DIR --name NAME --label LABEL [--start F] [--end F] [--repeat N]
   tasm query   --store DIR --name NAME --label LABEL [--start F] [--end F]
                [--roi x,y,w,h] [--stride N] [--limit K]
-               [--mode pixels|count|exists] [--repeat N]
+               [--mode pixels|count|exists] [--repeat N] [--as-of EPOCH]
   tasm retile  --store DIR --name NAME --labels L1,L2
   tasm observe --store DIR --name NAME --label LABEL [--start F] [--end F]
   tasm workload --store DIR --name NAME [--workload 1|2|3|4] [--queries N]
@@ -54,7 +54,7 @@ USAGE:
   tasm rebalance --map FILE --video NAME --to NODE [--timeout-ms N]
   tasm client query    --addr HOST:PORT --name NAME --label LABEL
                        [--start F] [--end F] [--roi x,y,w,h] [--stride N]
-                       [--limit K] [--mode pixels|count|exists]
+                       [--limit K] [--mode pixels|count|exists] [--as-of EPOCH]
   tasm client loadgen  --addr HOST:PORT --name NAME --label LABEL
                        [--requests N] [--connections N] [--frames N]
                        [--window N] [--reconnects N] [query flags as above]
@@ -71,6 +71,9 @@ QUERY: the spatiotemporal planner. --roi keeps only boxes intersecting the
   answers from the semantic index without decoding any tile. Pruned tiles
   and GOPs are never decoded; the command reports what the planner cut.
   Results are bit-identical to `tasm scan` filtered after the fact.
+  --as-of E pins a still-live layout epoch (MVCC): the query reads that
+  exact tile layout even if the video has since been re-tiled. Epochs stay
+  live while a reader pins them; a reclaimed epoch is a typed error.
 
 WORKLOAD: replays one of the paper's §5.3 workload generators through the
   concurrent QueryService: --concurrency query workers (0 = one per core)
@@ -330,7 +333,8 @@ fn parse_roi(spec: &str) -> Result<Rect, Box<dyn Error>> {
 
 /// Builds the spatiotemporal query the `query`, `client query`, and
 /// `client loadgen` commands share: `--label` with optional `--start`,
-/// `--end`, `--roi`, `--stride`, `--limit`, and `--mode` flags.
+/// `--end`, `--roi`, `--stride`, `--limit`, `--mode`, and `--as-of`
+/// flags.
 fn build_query(args: &Args, default_end: u32) -> Result<Query, Box<dyn Error>> {
     let label = args.required("label")?;
     let start: u32 = args.get_or("start", 0)?;
@@ -354,6 +358,12 @@ fn build_query(args: &Args, default_end: u32) -> Result<Query, Box<dyn Error>> {
             .parse()
             .map_err(|_| format!("invalid value '{limit}' for --limit"))?;
         q = q.limit(limit);
+    }
+    if let Some(epoch) = args.get("as-of") {
+        let epoch: u64 = epoch
+            .parse()
+            .map_err(|_| format!("invalid value '{epoch}' for --as-of"))?;
+        q = q.as_of(epoch);
     }
     Ok(q)
 }
@@ -393,11 +403,12 @@ fn query(args: &Args) -> CmdResult {
             ),
         }
         println!(
-            "  plan: {} tiles decoded / {} pruned, {} GOPs decoded / {} skipped",
+            "  plan: {} tiles decoded / {} pruned, {} GOPs decoded / {} skipped (layout epoch {})",
             result.plan.tiles_planned,
             result.plan.tiles_pruned,
             result.plan.gops_planned,
-            result.plan.gops_skipped
+            result.plan.gops_skipped,
+            result.epoch
         );
         if repeat > 1 && run == 0 {
             println!(
@@ -741,11 +752,12 @@ fn client_query(args: &Args) -> CmdResult {
         ),
     }
     println!(
-        "  plan: {} tiles decoded / {} pruned, {} GOPs decoded / {} skipped",
+        "  plan: {} tiles decoded / {} pruned, {} GOPs decoded / {} skipped (layout epoch {})",
         outcome.plan.tiles_planned,
         outcome.plan.tiles_pruned,
         outcome.plan.gops_planned,
-        outcome.plan.gops_skipped
+        outcome.plan.gops_skipped,
+        outcome.epoch
     );
     println!(
         "  latency: {:.2} ms end-to-end ({:.2} ms server-side decode)",

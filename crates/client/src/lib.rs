@@ -112,6 +112,10 @@ pub struct RemoteOutcome {
     pub plan: PlanStats,
     /// Server-side decode/cache/dedup accounting.
     pub summary: ResultSummary,
+    /// The layout epoch the server executed the query against (the pinned
+    /// epoch for `AS OF` queries, otherwise the epoch current at plan
+    /// time).
+    pub epoch: u64,
     /// Client-observed request latency (send → final frame).
     pub latency: Duration,
 }
@@ -206,13 +210,14 @@ impl Connection {
         }
         .write_to(&mut self.stream)?;
 
-        let (matched, expect_regions, plan) = match self.read_for(id)? {
+        let (matched, expect_regions, plan, epoch) = match self.read_for(id)? {
             Message::ResultHeader {
                 matched,
                 regions,
                 plan,
+                epoch,
                 ..
-            } => (matched, regions, plan),
+            } => (matched, regions, plan, epoch),
             _ => return Err(ClientError::Unexpected("expected result header")),
         };
         let mut regions = Vec::with_capacity(expect_regions.min(4096) as usize);
@@ -228,6 +233,7 @@ impl Connection {
                 matched,
                 plan,
                 summary,
+                epoch,
                 latency: t0.elapsed(),
             }),
             _ => Err(ClientError::Unexpected("expected result-done frame")),

@@ -44,8 +44,11 @@
 //! Why bit-exactness survives all of this: tile bytes are replicated
 //! verbatim, so replica tile files are byte-identical; decode is
 //! deterministic; and every layout change (re-tile replication, video
-//! install, removal) publishes under the video's manifest lock, so any
-//! scan observes exactly one layout epoch end to end.
+//! install, removal) publishes a new MVCC layout epoch while in-flight
+//! scans keep reading the epoch they pinned, so any scan observes exactly
+//! one layout epoch end to end. The replicated epoch watermark is the
+//! same [`VideoManifest::epoch`](tasm_core::VideoManifest) value queries
+//! can pin with `AS OF`.
 
 mod map;
 mod rebalance;

@@ -16,9 +16,10 @@
 //!    reload either the old placement or the new one, never a torn map.
 //!    This is the commit point.
 //! 4. **GC** — the node leaving the replica set drops its copy
-//!    (`RemoveVideo`). The shard drains in-flight scans at their pinned
-//!    layout epoch (they hold the manifest read lock) before deleting, so
-//!    a query routed before the flip completes bit-exactly.
+//!    (`RemoveVideo`). The shard drains in-flight scans by epoch refcount
+//!    — each query holds a reader pin on the MVCC layout epoch it planned
+//!    against, and the remove waits until the last pin drops — so a query
+//!    routed before the flip completes bit-exactly.
 //!
 //! A crash before the flip leaves an extra, unreferenced copy on the
 //! target (re-running the rebalance converges); a crash after the flip

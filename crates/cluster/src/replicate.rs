@@ -277,9 +277,9 @@ impl Replicator {
     }
 
     /// Ships a full copy of `video`: every SOT's tile bytes, the commit
-    /// record, and the semantic-index state. The snapshot is taken under
-    /// one manifest read lock, so it is internally consistent at a single
-    /// layout epoch even while the retile daemon runs.
+    /// record, and the semantic-index state. The snapshot pins one MVCC
+    /// layout epoch for its whole read, so it is internally consistent at
+    /// a single layout epoch even while the retile daemon runs.
     pub fn sync_full(&mut self, tasm: &Tasm, video: &str) -> Result<(), String> {
         let (manifest, sots) = tasm
             .replication_snapshot(video)

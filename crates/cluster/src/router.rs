@@ -692,6 +692,7 @@ fn route_query(
                     matched: outcome.matched,
                     regions: outcome.regions.len() as u32,
                     plan: outcome.plan,
+                    epoch: outcome.epoch,
                 };
                 if header.write_to(stream).is_err() {
                     return false;

@@ -426,9 +426,18 @@ impl StorageIo for FaultIo {
 /// Suffix of every temporary file used for atomic replacement.
 pub(crate) const TMP_SUFFIX: &str = ".tmp";
 
-/// The final directory name of a SOT's tile files.
-pub(crate) fn sot_dir_name(start: u32, end: u32) -> String {
-    format!("sot_{start:06}_{end:06}")
+/// The final directory name of a SOT's tile files at layout epoch
+/// `retile_count`. The initial epoch (count 0) keeps the unstamped name an
+/// ingest writes; every re-tile publishes into a fresh `_r`-stamped
+/// directory, so a superseded epoch's tile files coexist on disk with the
+/// current ones until the readers pinned to the old epoch drain and its
+/// directory is reclaimed.
+pub(crate) fn sot_dir_name(start: u32, end: u32, retile_count: u32) -> String {
+    if retile_count == 0 {
+        format!("sot_{start:06}_{end:06}")
+    } else {
+        format!("sot_{start:06}_{end:06}_r{retile_count:06}")
+    }
 }
 
 /// The staging directory a re-tile writes its new tile files into before
@@ -453,9 +462,24 @@ fn parse_ranged(name: &str, prefix: &str, suffix: &str) -> Option<(u32, u32)> {
     Some((s.parse().ok()?, e.parse().ok()?))
 }
 
-/// Recognizes a final SOT directory name.
-pub(crate) fn parse_sot_name(name: &str) -> Option<(u32, u32)> {
-    parse_ranged(name, "sot_", "")
+/// Recognizes a final SOT directory name, stamped or not, returning
+/// `(start, end, retile_count)` — the unstamped form is epoch 0.
+pub(crate) fn parse_sot_name(name: &str) -> Option<(u32, u32, u32)> {
+    let body = name.strip_prefix("sot_")?;
+    let (range, retile_count) = match body.split_once("_r") {
+        Some((range, rc)) => {
+            if rc.len() != 6 {
+                return None;
+            }
+            (range, rc.parse().ok()?)
+        }
+        None => (body, 0),
+    };
+    let (s, e) = range.split_once('_')?;
+    if s.len() != 6 || e.len() != 6 {
+        return None;
+    }
+    Some((s.parse().ok()?, e.parse().ok()?, retile_count))
 }
 
 /// Recognizes a staging directory name.
@@ -497,6 +521,20 @@ pub enum RecoveryAction {
         /// Past-the-end frame of that SOT.
         sot_end: u32,
     },
+    /// A superseded layout epoch's tile directory — retired by a committed
+    /// re-tile but not yet reclaimed when the process died — was removed.
+    /// No reader can hold an epoch pin across a restart, so every directory
+    /// other than the manifest's current epoch set is garbage at startup.
+    ReclaimedEpoch {
+        /// Video the retired directory belonged to.
+        video: String,
+        /// First frame of the SOT.
+        sot_start: u32,
+        /// Past-the-end frame of the SOT.
+        sot_end: u32,
+        /// The reclaimed directory's layout epoch (`retile_count`).
+        epoch: u32,
+    },
     /// A stray `*.tmp` file from an interrupted atomic write was removed.
     RemovedTemp {
         /// Video directory the file was found in.
@@ -530,6 +568,15 @@ impl std::fmt::Display for RecoveryAction {
             } => write!(
                 f,
                 "rolled back uncommitted re-tile of '{video}' SOT {sot_start}..{sot_end}"
+            ),
+            RecoveryAction::ReclaimedEpoch {
+                video,
+                sot_start,
+                sot_end,
+                epoch,
+            } => write!(
+                f,
+                "reclaimed superseded layout epoch {epoch} of '{video}' SOT {sot_start}..{sot_end}"
             ),
             RecoveryAction::RemovedTemp { video, file } => {
                 write!(f, "removed interrupted temp file '{file}' of '{video}'")
@@ -731,7 +778,12 @@ mod tests {
 
     #[test]
     fn protocol_names_round_trip() {
-        assert_eq!(sot_dir_name(0, 30), "sot_000000_000030");
+        assert_eq!(sot_dir_name(0, 30, 0), "sot_000000_000030");
+        assert_eq!(sot_dir_name(0, 30, 2), "sot_000000_000030_r000002");
+        assert_eq!(parse_sot_name("sot_000000_000030"), Some((0, 30, 0)));
+        assert_eq!(parse_sot_name(&sot_dir_name(30, 60, 7)), Some((30, 60, 7)));
+        assert_eq!(parse_sot_name("sot_000000_000030_r12"), None);
+        assert_eq!(parse_sot_name("sot_0_30"), None);
         assert_eq!(
             parse_staging_name(&staging_dir_name(30, 60)),
             Some((30, 60))

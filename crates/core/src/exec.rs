@@ -277,6 +277,20 @@ impl DecodedTileCache {
         });
     }
 
+    /// Drops the entries of exactly one layout `epoch` of one SOT — the
+    /// eager reclaim run when that epoch's tile directory is GC'd, so a
+    /// retired epoch's decoded GOPs release their budget immediately
+    /// instead of lingering until LRU pressure. Other epochs' entries
+    /// (the live layout, other pinned epochs) are untouched.
+    pub fn invalidate_sot_epoch(&self, store: &str, video: &str, sot_start: u32, epoch: u32) {
+        self.invalidate_where(|k| {
+            k.store.as_ref() == store
+                && k.video.as_ref() == video
+                && k.sot_start == sot_start
+                && k.epoch == epoch
+        });
+    }
+
     fn invalidate_where(&self, pred: impl Fn(&GopKey) -> bool) {
         let mut inner = self.inner.lock().expect("cache lock");
         let removed: u64 = inner
@@ -780,5 +794,49 @@ mod tests {
         c.invalidate_video("/store-b", "w");
         assert!(c.is_empty());
         assert_eq!(c.bytes_used(), 0);
+    }
+
+    /// Epoch GC must reclaim a retired epoch's decoded-GOP entries — and
+    /// their byte accounting — eagerly, not leave them to age out under
+    /// LRU pressure. Entries of other epochs, tiles, and SOTs survive.
+    #[test]
+    fn cache_invalidation_by_epoch_reclaims_bytes_eagerly() {
+        let epoch_key = |epoch: u32, tile: u32| GopKey {
+            store: Arc::from("/store-a"),
+            video: Arc::from("v"),
+            sot_start: 0,
+            tile,
+            gop: 0,
+            epoch,
+        };
+        let c = DecodedTileCache::new(1 << 20);
+        c.store(epoch_key(0, 0), vec![dummy_frame(1)]);
+        c.store(epoch_key(0, 1), vec![dummy_frame(2)]);
+        c.store(epoch_key(1, 0), vec![dummy_frame(3)]);
+        let other_sot = GopKey {
+            sot_start: 30,
+            ..epoch_key(0, 0)
+        };
+        c.store(other_sot.clone(), vec![dummy_frame(4)]);
+        let all_bytes = c.bytes_used();
+        let per_entry = all_bytes / 4;
+        assert_eq!(all_bytes % 4, 0, "equal-sized entries");
+
+        c.invalidate_sot_epoch("/store-a", "v", 0, 0);
+        assert!(c.lookup(&epoch_key(0, 0)).is_none());
+        assert!(c.lookup(&epoch_key(0, 1)).is_none());
+        assert!(
+            c.lookup(&epoch_key(1, 0)).is_some(),
+            "the live epoch's entries survive"
+        );
+        assert!(
+            c.lookup(&other_sot).is_some(),
+            "other SOTs' entries survive"
+        );
+        assert_eq!(
+            c.bytes_used(),
+            2 * per_entry,
+            "reclaimed entries must release their budget immediately"
+        );
     }
 }

@@ -98,11 +98,14 @@
 //! shared-scan dedup*: concurrent queries needing the same
 //! `(video, SOT, tile, GOP)` decode join one in-flight decode instead of
 //! repeating it ([`ScanResult::shared`](scan::ScanResult) accounts joined
-//! vs. owned decodes). Scans hold their video's manifest read lock across
-//! execution while re-tiles hold the write lock, so results stay bit-exact
-//! across concurrent re-tiling. The `tasm-service` crate builds a
-//! multi-query engine (bounded queue, worker pool, background retile
-//! daemon) on these guarantees.
+//! vs. owned decodes). Tile layouts are versioned as MVCC *layout epochs*:
+//! a scan pins its video's epoch at plan time and reads that immutable
+//! snapshot to completion, while re-tiles commit new epochs immediately —
+//! never waiting on readers — and superseded epochs are garbage-collected
+//! when their last reader drains. Results stay bit-exact across concurrent
+//! re-tiling, and [`Query::as_of`] can re-query any still-pinned epoch.
+//! The `tasm-service` crate builds a multi-query engine (bounded queue,
+//! worker pool, background retile daemon) on these guarantees.
 //!
 //! ```no_run
 //! use tasm_core::{Tasm, TasmConfig};
@@ -140,5 +143,7 @@ pub use partition::{partition, Granularity, PartitionConfig};
 pub use query::{Query, QueryMode};
 pub use runner::{run_workload, QueryRecord, RunQuery, Strategy, TruthFn, WorkloadReport};
 pub use scan::{scan, scan_prepared, LabelPredicate, RegionPixels, ScanError, ScanResult};
-pub use storage::{RetileStats, SotEntry, StorageConfig, StoreError, VideoManifest, VideoStore};
-pub use tasm::{SotTileBytes, Tasm, TasmConfig, TasmError};
+pub use storage::{
+    RetileStats, RetiredEpoch, SotEntry, StorageConfig, StoreError, VideoManifest, VideoStore,
+};
+pub use tasm::{EpochPin, SotTileBytes, Tasm, TasmConfig, TasmError};

@@ -101,6 +101,7 @@ pub struct Query {
     stride: u32,
     limit: Option<u32>,
     mode: QueryMode,
+    as_of: Option<u64>,
 }
 
 impl Query {
@@ -114,6 +115,7 @@ impl Query {
             stride: 1,
             limit: None,
             mode: QueryMode::Pixels,
+            as_of: None,
         }
     }
 
@@ -152,6 +154,18 @@ impl Query {
         self
     }
 
+    /// Executes against the named layout `epoch` instead of the current
+    /// one (`AS OF <epoch>`). The epoch must still be live — current, or
+    /// retired but pinned by a reader — otherwise execution fails with
+    /// [`crate::TasmError::EpochNotLive`]. Layout epochs affect *how*
+    /// frames are tiled, never their content, so results differ from the
+    /// current epoch's only in work accounting — the property the MVCC
+    /// tests assert and a consistent-backup reader relies on.
+    pub fn as_of(mut self, epoch: u64) -> Self {
+        self.as_of = Some(epoch);
+        self
+    }
+
     /// The label predicate.
     pub fn predicate(&self) -> &LabelPredicate {
         &self.predicate
@@ -180,6 +194,11 @@ impl Query {
     /// The aggregate mode.
     pub fn query_mode(&self) -> QueryMode {
         self.mode
+    }
+
+    /// The `AS OF` layout epoch, if any.
+    pub fn as_of_epoch(&self) -> Option<u64> {
+        self.as_of
     }
 }
 
@@ -247,6 +266,7 @@ pub(crate) fn query_prepared(
 ) -> Result<ScanResult, ScanError> {
     let mut result = ScanResult {
         lookup_time,
+        epoch: manifest.epoch(),
         ..Default::default()
     };
     let gop_len = manifest.config.gop_len;

@@ -149,6 +149,10 @@ pub struct ScanResult {
     /// decode (`joined`). Joined work appears in `cache`, never in `stats`,
     /// so the §4.1 cost model stays calibrated under concurrency.
     pub shared: SharedScanStats,
+    /// The layout epoch of the manifest snapshot this result was computed
+    /// against ([`crate::VideoManifest::epoch`]) — for [`crate::Tasm`]
+    /// queries, the epoch pinned at plan time and read to completion.
+    pub epoch: u64,
     /// Time spent querying the semantic index.
     pub lookup_time: Duration,
     /// Wall-clock time of the decode execution phase. With `workers > 1`
@@ -199,6 +203,7 @@ pub fn scan_prepared(
 ) -> Result<ScanResult, ScanError> {
     let mut result = ScanResult {
         lookup_time,
+        epoch: manifest.epoch(),
         ..Default::default()
     };
     if regions.is_empty() {

@@ -7,14 +7,21 @@
 //!
 //! ```text
 //! root/<video>/manifest.json
-//! root/<video>/sot_000000_000030/tile_000.tvf
+//! root/<video>/sot_000000_000030/tile_000.tvf           (layout epoch 0)
 //! root/<video>/sot_000000_000030/tile_001.tvf
-//! root/<video>/sot_000030_000060/tile_000.tvf
+//! root/<video>/sot_000030_000060_r000002/tile_000.tvf   (re-tiled twice)
 //! ```
 //!
 //! Re-tiling a SOT ([`VideoStore::retile`]) decodes its current tiles and
 //! re-encodes under the new layout — the `R(s, L)` cost in the incremental
-//! policies.
+//! policies. Each SOT directory name is stamped with the SOT's layout
+//! epoch (its `retile_count`; epoch 0 is unstamped), so a re-tile
+//! publishes into a *fresh* directory and the superseded epoch's tile
+//! files stay valid on disk for readers still pinned to the old manifest
+//! snapshot. [`VideoStore::retile`] reclaims the retired directory
+//! immediately; [`VideoStore::retile_deferred`] leaves it for the caller
+//! to reclaim with [`VideoStore::gc_epoch`] once its readers drain — the
+//! mechanism the `Tasm` facade's MVCC epoch registry is built on.
 //!
 //! ## Durability
 //!
@@ -28,8 +35,9 @@
 //!   tile files are written (and fsynced) under a staging directory, an
 //!   epoch-stamped *commit record* holding the full post-retile manifest is
 //!   atomically renamed into place (the commit point), and only then is the
-//!   old SOT directory removed, the staging directory promoted, the
-//!   manifest rewritten, and the record garbage-collected.
+//!   staging directory promoted to the new epoch-stamped SOT directory, the
+//!   manifest rewritten, and the record garbage-collected. The superseded
+//!   epoch's directory survives until its readers drain.
 //! * **Opening** a store ([`VideoStore::open`] and friends) runs startup
 //!   recovery: committed-but-unfinished re-tiles roll *forward*,
 //!   uncommitted ones roll *back*, interrupted ingests and temp files are
@@ -256,6 +264,15 @@ pub struct VideoManifest {
 }
 
 impl VideoManifest {
+    /// The video's layout epoch: the sum of every SOT's `retile_count`.
+    /// Monotonic — each re-tile commit advances exactly one SOT's count by
+    /// one — starting at 0 for a fresh ingest or replica install. This is
+    /// the epoch readers pin, `AS OF` queries name, and replication ships
+    /// as its per-video watermark.
+    pub fn epoch(&self) -> u64 {
+        self.sots.iter().map(|s| s.retile_count as u64).sum()
+    }
+
     /// Index of the SOT containing `frame`.
     pub fn sot_for_frame(&self, frame: u32) -> Option<usize> {
         // SOTs are fixed-length except the last; direct computation.
@@ -294,6 +311,22 @@ impl RetileStats {
     pub fn seconds(&self) -> f64 {
         self.decode.seconds() + self.encode.seconds()
     }
+}
+
+/// A superseded SOT layout epoch left on disk by
+/// [`VideoStore::retile_deferred`]: the directory
+/// `sot_<start>_<end>[_r<retile_count>]` still holds the pre-retile tile
+/// files so readers pinned to the old manifest snapshot keep working.
+/// Pass it to [`VideoStore::gc_epoch`] once those readers drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetiredEpoch {
+    /// First frame of the retired SOT (global, inclusive).
+    pub sot_start: u32,
+    /// Past-the-end frame of the retired SOT.
+    pub sot_end: u32,
+    /// The SOT's `retile_count` *before* the re-tile — the layout epoch
+    /// whose directory is now retired.
+    pub retile_count: u32,
 }
 
 /// The on-disk tile store, with its attached decode-execution settings:
@@ -593,7 +626,7 @@ impl VideoStore {
             .sots
             .get(sot_idx)
             .ok_or_else(|| StoreError::NotFound(format!("SOT {sot_idx}")))?;
-        let path = self.tile_path(&manifest.name, sot.start, sot.end, tile_idx);
+        let path = self.tile_path(&manifest.name, sot, tile_idx);
         if !self.io.exists(&path) {
             return Err(StoreError::NotFound(path.display().to_string()));
         }
@@ -670,9 +703,11 @@ impl VideoStore {
     /// 2. a commit record carrying the full post-retile manifest is written
     ///    to a temp name, fsynced, and atomically renamed into place — the
     ///    **commit point**;
-    /// 3. the old SOT directory is removed, the staging directory renamed
-    ///    over it, the manifest atomically rewritten, and the commit record
-    ///    garbage-collected.
+    /// 3. the staging directory is renamed to the new epoch-stamped SOT
+    ///    directory, the manifest atomically rewritten, and the commit
+    ///    record garbage-collected; the superseded epoch's directory is
+    ///    then reclaimed (immediately here, deferred in
+    ///    [`VideoStore::retile_deferred`]).
     ///
     /// A crash before step 2 rolls back (staging is discarded at the next
     /// open); a crash after it rolls forward (recovery finishes step 3).
@@ -682,12 +717,36 @@ impl VideoStore {
     /// finished by the next re-tile of the video or the next open. Reads
     /// of the affected SOT may fail until then; they never observe a torn
     /// mix of epochs.
+    ///
+    /// This wrapper reclaims the superseded epoch's directory immediately
+    /// — correct when no reader holds the old manifest snapshot. The
+    /// `Tasm` facade uses [`VideoStore::retile_deferred`] instead and GCs
+    /// through its epoch refcounts.
     pub fn retile(
         &self,
         manifest: &mut VideoManifest,
         sot_idx: usize,
         new_layout: TileLayout,
     ) -> Result<RetileStats, StoreError> {
+        let (stats, retired) = self.retile_deferred(manifest, sot_idx, new_layout)?;
+        if let Some(old) = retired {
+            self.gc_epoch(&manifest.name, old)?;
+        }
+        Ok(stats)
+    }
+
+    /// [`VideoStore::retile`] without the immediate old-epoch reclaim: the
+    /// commit publishes the new epoch-stamped SOT directory and manifest
+    /// while the superseded directory stays on disk, readable by any
+    /// pinned pre-retile manifest snapshot. Returns the [`RetiredEpoch`]
+    /// to hand to [`VideoStore::gc_epoch`] once those readers drain
+    /// (`None` when the layout was unchanged and nothing committed).
+    pub fn retile_deferred(
+        &self,
+        manifest: &mut VideoManifest,
+        sot_idx: usize,
+        new_layout: TileLayout,
+    ) -> Result<(RetileStats, Option<RetiredEpoch>), StoreError> {
         new_layout.check_covers(manifest.width, manifest.height)?;
         let sot = manifest
             .sots
@@ -695,7 +754,7 @@ impl VideoStore {
             .ok_or_else(|| StoreError::NotFound(format!("SOT {sot_idx}")))?
             .clone();
         if sot.layout == new_layout {
-            return Ok(RetileStats::default());
+            return Ok((RetileStats::default(), None));
         }
 
         // Finish any committed-but-incomplete earlier re-tile of this video
@@ -777,15 +836,58 @@ impl VideoStore {
         // Past the commit point the re-tile has logically happened whether
         // or not completion succeeded — the handle's manifest must advance
         // either way, so a later re-tile through this handle builds on (and
-        // never silently erases) this one.
+        // never silently erases) this one. Cached GOPs of the old epoch
+        // stay valid (cache keys carry the layout epoch) and are reclaimed
+        // with the epoch by `gc_epoch`.
         *manifest = new_manifest;
-        // The layout epoch in cache keys changed with `retile_count`; drop
-        // the stale entries eagerly to reclaim their bytes.
-        if let Some(cache) = &self.cache {
-            cache.invalidate_sot(&self.store_id, &manifest.name, sot.start);
-        }
         completion?;
-        Ok(RetileStats { decode, encode })
+        Ok((
+            RetileStats { decode, encode },
+            Some(RetiredEpoch {
+                sot_start: sot.start,
+                sot_end: sot.end,
+                retile_count: sot.retile_count,
+            }),
+        ))
+    }
+
+    /// Reclaims one retired SOT layout epoch: removes its tile directory
+    /// (through the [`StorageIo`] shim, so the crash-point sweep covers
+    /// it) and eagerly drops its decoded-GOP cache entries. Idempotent —
+    /// a missing directory is success, so a crash mid-GC is resolved by
+    /// simply running it again (or by startup recovery, which reaps
+    /// retired epoch directories itself). Refuses to reclaim an epoch the
+    /// on-disk manifest still references.
+    pub fn gc_epoch(&self, video: &str, old: RetiredEpoch) -> Result<(), StoreError> {
+        // Guard: never remove a live epoch. The manifest is the truth for
+        // which epoch each SOT currently serves reads from.
+        if let Ok(manifest) = self.load_manifest(video) {
+            if manifest.sots.iter().any(|s| {
+                s.start == old.sot_start
+                    && s.end == old.sot_end
+                    && s.retile_count == old.retile_count
+            }) {
+                return Err(StoreError::Io(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "refusing to GC live epoch r{} of '{video}' SOT {}..{}",
+                        old.retile_count, old.sot_start, old.sot_end
+                    ),
+                )));
+            }
+        }
+        let dir =
+            self.root
+                .join(video)
+                .join(sot_dir_name(old.sot_start, old.sot_end, old.retile_count));
+        if self.io.exists(&dir) {
+            self.io.remove_dir_all(&dir)?;
+            self.io.sync_dir(&self.root.join(video))?;
+        }
+        if let Some(cache) = &self.cache {
+            cache.invalidate_sot_epoch(&self.store_id, video, old.sot_start, old.retile_count);
+        }
+        Ok(())
     }
 
     /// Completes every surviving commit record of `name` (there is at most
@@ -811,7 +913,7 @@ impl VideoStore {
         let mut total = 0;
         for (i, sot) in manifest.sots.iter().enumerate() {
             for t in 0..sot.layout.tile_count() {
-                let path = self.tile_path(&manifest.name, sot.start, sot.end, t);
+                let path = self.tile_path(&manifest.name, sot, t);
                 total += self
                     .io
                     .file_len(&path)
@@ -835,7 +937,7 @@ impl VideoStore {
             .sots
             .get(sot_idx)
             .ok_or_else(|| StoreError::NotFound(format!("SOT {sot_idx}")))?;
-        let path = self.tile_path(&manifest.name, sot.start, sot.end, tile_idx);
+        let path = self.tile_path(&manifest.name, sot, tile_idx);
         if !self.io.exists(&path) {
             return Err(StoreError::NotFound(path.display().to_string()));
         }
@@ -871,7 +973,9 @@ impl VideoStore {
         }
         let write_all = || -> Result<(), StoreError> {
             for (sot, tiles) in manifest.sots.iter().zip(sots) {
-                let sot_dir = self.sot_dir(name, sot.start, sot.end);
+                // Replicas preserve each SOT's `retile_count`, so the
+                // backup's directory names match the primary's.
+                let sot_dir = self.sot_dir(name, sot);
                 self.write_raw_tiles(&sot_dir, tiles)?;
             }
             self.save_manifest(manifest)?;
@@ -895,12 +999,33 @@ impl VideoStore {
     /// place — the commit point — and roll-forward swaps the directory and
     /// rewrites the manifest. A crash at any step is resolved by the same
     /// startup recovery that resolves an interrupted local re-tile.
+    ///
+    /// Reclaims the epoch the install supersedes immediately; a replica
+    /// serving pinned readers uses [`VideoStore::install_sot_deferred`]
+    /// and GCs when they drain.
     pub fn install_sot(
         &self,
         new_manifest: &VideoManifest,
         sot_idx: usize,
         tiles: &[Vec<u8>],
     ) -> Result<(), StoreError> {
+        let retired = self.install_sot_deferred(new_manifest, sot_idx, tiles)?;
+        if let Some(old) = retired {
+            self.gc_epoch(&new_manifest.name, old)?;
+        }
+        Ok(())
+    }
+
+    /// [`VideoStore::install_sot`] without the immediate reclaim of the
+    /// superseded layout epoch: returns the [`RetiredEpoch`] (if the
+    /// install replaced one) for the caller to [`VideoStore::gc_epoch`]
+    /// once its pinned readers drain.
+    pub fn install_sot_deferred(
+        &self,
+        new_manifest: &VideoManifest,
+        sot_idx: usize,
+        tiles: &[Vec<u8>],
+    ) -> Result<Option<RetiredEpoch>, StoreError> {
         let sot = new_manifest
             .sots
             .get(sot_idx)
@@ -908,6 +1033,16 @@ impl VideoStore {
         validate_replica_sot(sot, tiles)?;
         let name = new_manifest.name.as_str();
         self.finish_pending_commits(name)?;
+        // The epoch this install supersedes, per the (post-roll-forward)
+        // on-disk manifest — read before the commit below rewrites it.
+        let retired = self.load_manifest(name)?.sots.iter().find_map(|old| {
+            (old.start == sot.start && old.end == sot.end && old.retile_count != sot.retile_count)
+                .then_some(RetiredEpoch {
+                    sot_start: old.start,
+                    sot_end: old.end,
+                    retile_count: old.retile_count,
+                })
+        });
 
         let video_dir = self.root.join(name);
         let staging = video_dir.join(staging_dir_name(sot.start, sot.end));
@@ -933,10 +1068,14 @@ impl VideoStore {
         let completion = self
             .roll_forward(&video_dir, &record, &commit)
             .or_else(|_| self.roll_forward(&video_dir, &record, &commit));
+        // Cached GOPs keyed at the *installed* epoch (possible only if a
+        // caller overwrote an epoch in place) are stale now; older epochs'
+        // entries stay valid and die with their epoch in `gc_epoch`.
         if let Some(cache) = &self.cache {
-            cache.invalidate_sot(&self.store_id, name, sot.start);
+            cache.invalidate_sot_epoch(&self.store_id, name, sot.start, sot.retile_count);
         }
-        completion
+        completion?;
+        Ok(retired)
     }
 
     /// Removes a video from the store (rebalance GC). The manifest is
@@ -969,12 +1108,18 @@ impl VideoStore {
         Ok(())
     }
 
-    fn sot_dir(&self, name: &str, start: u32, end: u32) -> PathBuf {
-        self.root.join(name).join(sot_dir_name(start, end))
+    /// A SOT's directory at the layout epoch its manifest entry records —
+    /// the only path derivation in the store, so a pinned manifest
+    /// snapshot keeps resolving to its own epoch's files no matter how
+    /// many re-tiles commit after it.
+    fn sot_dir(&self, name: &str, sot: &SotEntry) -> PathBuf {
+        self.root
+            .join(name)
+            .join(sot_dir_name(sot.start, sot.end, sot.retile_count))
     }
 
-    fn tile_path(&self, name: &str, start: u32, end: u32, tile: u32) -> PathBuf {
-        self.sot_dir(name, start, end).join(tile_file_name(tile))
+    fn tile_path(&self, name: &str, sot: &SotEntry, tile: u32) -> PathBuf {
+        self.sot_dir(name, sot).join(tile_file_name(tile))
     }
 
     fn write_sot_files(
@@ -984,7 +1129,9 @@ impl VideoStore {
         end: u32,
         tiles: &[TileVideo],
     ) -> Result<(), StoreError> {
-        self.write_tiles(&self.sot_dir(name, start, end), tiles)
+        // Ingest always writes layout epoch 0.
+        let dir = self.root.join(name).join(sot_dir_name(start, end, 0));
+        self.write_tiles(&dir, tiles)
     }
 
     /// Writes one tile file per entry of `tiles` into `dir` (created if
@@ -1113,6 +1260,38 @@ impl VideoStore {
             }
         }
 
+        // 3.5. Superseded layout epochs: a SOT directory whose range the
+        //    manifest covers at a *different* retile count is a retired
+        //    epoch whose GC was interrupted (or deferred and never run —
+        //    no process survived to hold a pin on it). Reclaim it so the
+        //    crash lands in exactly one epoch set. Ranges the manifest
+        //    does not cover at all are left for fsck to flag.
+        if let Ok(bytes) = self.io.read(&dir.join("manifest.json")) {
+            if let Ok(manifest) = serde_json::from_slice::<VideoManifest>(&bytes) {
+                for entry in self.io.list_dir(dir)? {
+                    let Some((start, end, rc)) = parse_sot_name(&entry_name(&entry)) else {
+                        continue;
+                    };
+                    let superseded = manifest
+                        .sots
+                        .iter()
+                        .any(|s| s.start == start && s.end == end && s.retile_count != rc);
+                    if superseded && self.io.is_dir(&entry) {
+                        self.io.remove_dir_all(&entry)?;
+                        report.actions.push(RecoveryAction::ReclaimedEpoch {
+                            video: video.to_string(),
+                            sot_start: start,
+                            sot_end: end,
+                            epoch: rc,
+                        });
+                        if let Some(cache) = &self.cache {
+                            cache.invalidate_sot_epoch(&self.store_id, video, start, rc);
+                        }
+                    }
+                }
+            }
+        }
+
         // 4. No manifest after the above: an ingest crashed before its
         //    publish point — the video never existed.
         if !self.io.exists(&dir.join("manifest.json")) {
@@ -1136,7 +1315,26 @@ impl VideoStore {
         commit_path: &Path,
     ) -> Result<(), StoreError> {
         let staging = dir.join(staging_dir_name(record.sot_start, record.sot_end));
-        let final_dir = dir.join(sot_dir_name(record.sot_start, record.sot_end));
+        // The staging directory is promoted to the *new* epoch's name (the
+        // record's manifest is the post-retile truth); the superseded
+        // epoch's directory is untouched here — it stays readable for
+        // pinned snapshots until `gc_epoch` or recovery reclaims it.
+        let new_rc = record
+            .manifest
+            .sots
+            .iter()
+            .find(|s| s.start == record.sot_start && s.end == record.sot_end)
+            .map(|s| s.retile_count)
+            .ok_or_else(|| {
+                StoreError::Io(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "commit record for SOT {}..{} names a SOT absent from its manifest",
+                        record.sot_start, record.sot_end
+                    ),
+                ))
+            })?;
+        let final_dir = dir.join(sot_dir_name(record.sot_start, record.sot_end, new_rc));
         if self.io.exists(&staging) {
             if self.io.exists(&final_dir) {
                 self.io.remove_dir_all(&final_dir)?;
@@ -1274,7 +1472,7 @@ impl VideoStore {
         // length, so payload bytes never enter memory.
         for sot in &manifest.sots {
             for t in 0..sot.layout.tile_count() {
-                let path = self.tile_path(video, sot.start, sot.end, t);
+                let path = self.tile_path(video, sot, t);
                 let header = match self.validate_tile_header(&path) {
                     Ok(h) => h,
                     Err(TileProblem::Missing) => {
@@ -1344,7 +1542,7 @@ impl VideoStore {
             }
 
             // Unaccounted entries inside the SOT directory.
-            let sot_dir = self.sot_dir(video, sot.start, sot.end);
+            let sot_dir = self.sot_dir(video, sot);
             let expected: std::collections::BTreeSet<String> =
                 (0..sot.layout.tile_count()).map(tile_file_name).collect();
             if let Ok(entries) = self.io.list_dir(&sot_dir) {
@@ -1353,7 +1551,10 @@ impl VideoStore {
                     if !expected.contains(&name) {
                         report.issues.push(FsckIssue::Stray {
                             video: video.to_string(),
-                            path: format!("{}/{name}", sot_dir_name(sot.start, sot.end)),
+                            path: format!(
+                                "{}/{name}",
+                                sot_dir_name(sot.start, sot.end, sot.retile_count)
+                            ),
                         });
                     }
                 }
@@ -1368,17 +1569,23 @@ impl VideoStore {
                 let known_sot = manifest
                     .sots
                     .iter()
-                    .any(|s| name == sot_dir_name(s.start, s.end));
+                    .any(|s| name == sot_dir_name(s.start, s.end, s.retile_count));
                 let allowed =
                     name == "manifest.json" || allowed_extras.contains(&name.as_str()) || known_sot;
                 // When recovery was deferred (another live handle holds the
                 // store lock), staging/commit/temp entries are plausibly
-                // that handle's in-flight re-tiles, not crash residue — a
-                // concurrent fsck must not call a healthy live store dirty.
+                // that handle's in-flight re-tiles, not crash residue — and
+                // a SOT directory at a superseded epoch of a manifest range
+                // is plausibly a retired epoch still pinned by that
+                // handle's readers. A concurrent fsck must not call a
+                // healthy live store dirty.
                 let live_protocol_state = self.recovery.deferred
                     && (parse_staging_name(&name).is_some()
                         || parse_commit_name(&name).is_some()
-                        || name.ends_with(TMP_SUFFIX));
+                        || name.ends_with(TMP_SUFFIX)
+                        || parse_sot_name(&name).is_some_and(|(s, e, _)| {
+                            manifest.sots.iter().any(|x| x.start == s && x.end == e)
+                        }));
                 if !allowed && !live_protocol_state {
                     report.issues.push(FsckIssue::Stray {
                         video: video.to_string(),

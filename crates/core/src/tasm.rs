@@ -6,42 +6,57 @@
 //! `AddMetadata` (§3.1), `Scan` (§3.1) — plus the layout optimization entry
 //! points of §4 (KQKO, incremental-more, regret-based).
 //!
-//! ## Concurrency model
+//! ## Concurrency model: MVCC layout epochs
 //!
 //! `Tasm` is `Sync`: every operation, including [`Tasm::scan`], takes
 //! `&self`, so one instance (behind an `Arc`) serves many threads at once —
 //! the shape `tasm-service` builds its worker pool on. Internally the
 //! per-video state is sharded so queries on different videos never contend
-//! on it, and the one shared lock is never held across decode:
+//! on it, and no lock is ever held across decode:
 //!
 //! * the **semantic index** sits behind one `RwLock` (exclusive for every
 //!   index operation, since the trait's methods take `&mut self`) and is
 //!   only held for the duration of a lookup or insert — never across
 //!   decode work, so index contention is bounded by the cheap lookup
 //!   phase;
-//! * each registered video has a per-video shard holding its **manifest**
-//!   behind an `RwLock` and its **policy state** (query history, regret
-//!   counters, seen-object sets) behind a `Mutex`.
+//! * each registered video has a per-video shard holding its **epoch
+//!   table** (immutable manifest snapshots, reference-counted per layout
+//!   epoch), a **commit mutex** serializing writers, and its **policy
+//!   state** (query history, regret counters, seen-object sets) behind a
+//!   `Mutex`.
 //!
-//! A scan holds its video's manifest *read* lock across decode execution,
-//! and a re-tile holds the *write* lock across the tile-file swap; together
-//! with the layout epoch in decoded-GOP cache keys this makes scans atomic
-//! with respect to concurrent re-tiles — a scan sees exactly one layout
-//! epoch, never a torn mix of tile files.
+//! Layout epochs are first-class MVCC versions. A scan *pins* its epoch at
+//! plan time — an [`EpochPin`] holding an `Arc` of that epoch's manifest
+//! snapshot and a reference count in the table — and reads it to
+//! completion; the epoch-stamped SOT directories on disk and the layout
+//! epoch in decoded-GOP cache keys guarantee the pinned snapshot resolves
+//! only its own epoch's bytes. A re-tile commits the *next* epoch (fresh
+//! directories, then the manifest) and publishes it to the table
+//! immediately — it synchronizes with other writers on the commit mutex
+//! but **never waits on readers**. A superseded epoch is garbage-collected
+//! (tile directories and decoded-GOP cache entries) only when its last
+//! pin drops; [`Query::as_of`] can name any still-live epoch. Every reader
+//! therefore observes exactly one layout epoch — never a torn mix of tile
+//! files — and retile-commit latency is independent of in-flight scan
+//! duration.
 //!
 //! **Lock order** (outer to inner): videos map → per-video policy →
-//! per-video manifest → semantic index. The index lock is terminal: no code
-//! path acquires any other lock while holding it.
+//! per-video commit mutex → per-video epoch table → semantic index. The
+//! index lock is terminal: no code path acquires any other lock while
+//! holding it. Readers touch only the epoch table (briefly, to pin) and
+//! the index (briefly, to look up) — neither is held across decode.
 
 use crate::cost::{estimate_work, pixel_ratio, CostModel, EncodeModel};
 use crate::partition::{partition, PartitionConfig};
 use crate::query::{query_prepared, Query};
 use crate::scan::{scan_prepared, LabelPredicate, ScanError, ScanResult};
-use crate::storage::{RetileStats, StorageConfig, StoreError, VideoManifest, VideoStore};
+use crate::storage::{
+    RetileStats, RetiredEpoch, StorageConfig, StoreError, VideoManifest, VideoStore,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Range;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Instant;
 use tasm_codec::TileLayout;
 use tasm_index::{Detection, SemanticIndex, TreeError};
@@ -111,6 +126,17 @@ pub enum TasmError {
     Scan(ScanError),
     /// Unknown video name.
     UnknownVideo(String),
+    /// An `AS OF` query (or explicit pin) named a layout epoch that is
+    /// neither the video's current epoch nor a retired epoch still held
+    /// live by a pinned reader.
+    EpochNotLive {
+        /// The video queried.
+        video: String,
+        /// The epoch the query asked for.
+        requested: u64,
+        /// The video's current layout epoch.
+        current: u64,
+    },
     /// Two distinct video names hash to the same 32-bit id. Registering the
     /// second would silently alias its detections with the first in the
     /// shared semantic index, so the registration is refused instead.
@@ -129,6 +155,15 @@ impl std::fmt::Display for TasmError {
             TasmError::Index(e) => write!(f, "{e}"),
             TasmError::Scan(e) => write!(f, "{e}"),
             TasmError::UnknownVideo(name) => write!(f, "unknown video '{name}'"),
+            TasmError::EpochNotLive {
+                video,
+                requested,
+                current,
+            } => write!(
+                f,
+                "epoch {requested} of video '{video}' is not live \
+                 (current epoch is {current})"
+            ),
             TasmError::VideoIdCollision { existing, rejected } => write!(
                 f,
                 "video id collision: '{rejected}' hashes to the same id as \
@@ -189,14 +224,180 @@ impl PolicyState {
     }
 }
 
+/// One live layout epoch of a video: an immutable manifest snapshot plus
+/// the number of readers currently pinned to it.
+struct EpochEntry {
+    manifest: Arc<VideoManifest>,
+    readers: u64,
+}
+
+/// The MVCC version table of one video: every layout epoch still readable
+/// — the current epoch plus any retired epoch a reader has pinned — and
+/// the set of on-disk SOT directories not yet garbage-collected.
+struct EpochTable {
+    /// The epoch new pins default to ([`VideoManifest::epoch`] of the
+    /// latest committed manifest).
+    current: u64,
+    /// Live epochs by number. The current epoch is always present; retired
+    /// epochs stay exactly until their reader count drains to zero.
+    live: BTreeMap<u64, EpochEntry>,
+    /// Every `(start, end, retile_count)` SOT directory on disk that this
+    /// table owes a GC decision for. A directory leaves the set (and is
+    /// reclaimed) once no live epoch's manifest references it.
+    tracked: BTreeSet<(u32, u32, u32)>,
+}
+
+/// The SOT directories a manifest snapshot resolves reads through.
+fn manifest_dirs(m: &VideoManifest) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+    m.sots.iter().map(|s| (s.start, s.end, s.retile_count))
+}
+
+impl EpochTable {
+    fn new(manifest: Arc<VideoManifest>) -> Self {
+        let current = manifest.epoch();
+        let tracked = manifest_dirs(&manifest).collect();
+        let mut live = BTreeMap::new();
+        live.insert(
+            current,
+            EpochEntry {
+                manifest,
+                readers: 0,
+            },
+        );
+        EpochTable {
+            current,
+            live,
+            tracked,
+        }
+    }
+
+    fn current_manifest(&self) -> Arc<VideoManifest> {
+        self.live[&self.current].manifest.clone()
+    }
+
+    fn total_readers(&self) -> u64 {
+        self.live.values().map(|e| e.readers).sum()
+    }
+
+    /// Drops retired epochs with no readers from the live set and returns
+    /// the tracked directories no remaining live epoch references — the GC
+    /// work list. The current epoch never retires here, so a re-ingest
+    /// under the same name can never have its fresh directories reclaimed
+    /// by a stale pin's drop.
+    fn sweep(&mut self) -> Vec<RetiredEpoch> {
+        let current = self.current;
+        self.live
+            .retain(|&epoch, entry| epoch == current || entry.readers > 0);
+        let referenced: BTreeSet<(u32, u32, u32)> = self
+            .live
+            .values()
+            .flat_map(|e| manifest_dirs(&e.manifest))
+            .collect();
+        let dead: Vec<(u32, u32, u32)> = self.tracked.difference(&referenced).copied().collect();
+        for d in &dead {
+            self.tracked.remove(d);
+        }
+        dead.into_iter()
+            .map(|(sot_start, sot_end, retile_count)| RetiredEpoch {
+                sot_start,
+                sot_end,
+                retile_count,
+            })
+            .collect()
+    }
+
+    /// Installs a freshly committed manifest as the current epoch and
+    /// sweeps. The superseded epoch stays live while pinned; otherwise its
+    /// now-unreferenced directories come back as the GC work list.
+    fn publish(&mut self, manifest: Arc<VideoManifest>) -> Vec<RetiredEpoch> {
+        let epoch = manifest.epoch();
+        self.tracked.extend(manifest_dirs(&manifest));
+        self.current = epoch;
+        self.live
+            .entry(epoch)
+            .and_modify(|e| e.manifest = manifest.clone())
+            .or_insert(EpochEntry {
+                manifest,
+                readers: 0,
+            });
+        self.sweep()
+    }
+}
+
 /// Per-video registration: the shard queries on this video synchronize on.
 struct VideoShard {
     id: u32,
-    /// Guards the manifest *and* the video's tile files on disk: scans hold
-    /// the read side across decode, re-tiles hold the write side across the
-    /// file swap.
-    manifest: RwLock<VideoManifest>,
+    /// The video's MVCC epoch table. Held only for pin/unpin/publish
+    /// bookkeeping — never across decode or tile I/O.
+    epochs: Mutex<EpochTable>,
+    /// Signalled whenever a pin drops; [`Tasm::remove_video`] and
+    /// [`Tasm::apply_replicated_video`] wait here until every reader of
+    /// every epoch has drained (total refcount zero) before destroying
+    /// epochs in place.
+    drained: Condvar,
+    /// Serializes writers (re-tile and replicated-SOT commits) against
+    /// each other. Readers never touch it — a commit's latency is bounded
+    /// by its own I/O, not by in-flight scans.
+    commit: Mutex<()>,
     policy: Mutex<PolicyState>,
+}
+
+impl VideoShard {
+    /// The current epoch's manifest snapshot (cheap: one lock, one `Arc`
+    /// clone).
+    fn current_manifest(&self) -> Arc<VideoManifest> {
+        self.epochs
+            .lock()
+            .expect("epoch table lock")
+            .current_manifest()
+    }
+}
+
+/// A pinned layout epoch: holds one reference count on the epoch in its
+/// video's table, keeping the epoch's manifest snapshot, tile directories,
+/// and decoded-GOP cache entries alive until dropped. Obtained from
+/// [`Tasm::pin_epoch`] (queries pin internally). Dropping the pin releases
+/// the count; if it was the epoch's last reader and the epoch is no longer
+/// current, the epoch's now-unreferenced tile directories are
+/// garbage-collected on the spot.
+pub struct EpochPin {
+    shard: Arc<VideoShard>,
+    store: Arc<VideoStore>,
+    epoch: u64,
+    manifest: Arc<VideoManifest>,
+}
+
+impl EpochPin {
+    /// The pinned layout epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The pinned epoch's manifest snapshot.
+    pub fn manifest(&self) -> &VideoManifest {
+        &self.manifest
+    }
+}
+
+impl Drop for EpochPin {
+    fn drop(&mut self) {
+        let gc = {
+            let mut table = self.shard.epochs.lock().expect("epoch table lock");
+            if let Some(entry) = table.live.get_mut(&self.epoch) {
+                entry.readers -= 1;
+            }
+            let gc = table.sweep();
+            // Wake drain waiters (remove/replace) on every release; they
+            // re-check the total count themselves.
+            self.shard.drained.notify_all();
+            gc
+        };
+        // GC outside the table lock, best-effort: `gc_epoch` is idempotent
+        // and startup recovery reaps any directory a failed GC leaves.
+        for old in gc {
+            let _ = self.store.gc_epoch(&self.manifest.name, old);
+        }
+    }
 }
 
 /// Raw tile-file bytes for one video, as shipped by replication:
@@ -205,7 +406,8 @@ pub type SotTileBytes = Vec<Vec<Vec<u8>>>;
 
 /// The storage manager.
 pub struct Tasm {
-    store: VideoStore,
+    /// Shared with every [`EpochPin`], whose drop may run epoch GC.
+    store: Arc<VideoStore>,
     index: RwLock<Box<dyn SemanticIndex + Send + Sync>>,
     cfg: TasmConfig,
     videos: RwLock<BTreeMap<String, Arc<VideoShard>>>,
@@ -246,7 +448,12 @@ impl Tasm {
         io: Arc<dyn crate::durable::StorageIo>,
     ) -> Result<Self, TasmError> {
         Ok(Tasm {
-            store: VideoStore::open_with_io(root, cfg.workers, cfg.cache_bytes, io)?,
+            store: Arc::new(VideoStore::open_with_io(
+                root,
+                cfg.workers,
+                cfg.cache_bytes,
+                io,
+            )?),
             index: RwLock::new(index),
             cfg,
             videos: RwLock::new(BTreeMap::new()),
@@ -302,7 +509,7 @@ impl Tasm {
 
     /// Access to the underlying store (harness instrumentation).
     pub fn store(&self) -> &VideoStore {
-        &self.store
+        self.store.as_ref()
     }
 
     /// Exclusive access to the semantic index (harness instrumentation).
@@ -396,7 +603,9 @@ impl Tasm {
             name.to_string(),
             Arc::new(VideoShard {
                 id,
-                manifest: RwLock::new(manifest),
+                epochs: Mutex::new(EpochTable::new(Arc::new(manifest))),
+                drained: Condvar::new(),
+                commit: Mutex::new(()),
                 policy: Mutex::new(PolicyState::new(n_sots)),
             }),
         );
@@ -413,20 +622,40 @@ impl Tasm {
         Ok(self.shard(name)?.id)
     }
 
-    /// A point-in-time snapshot of a video's manifest.
+    /// A point-in-time snapshot of a video's manifest (the current epoch's).
     pub fn manifest(&self, name: &str) -> Result<VideoManifest, TasmError> {
-        Ok(self
-            .shard(name)?
-            .manifest
-            .read()
-            .expect("manifest lock")
-            .clone())
+        Ok((*self.shard(name)?.current_manifest()).clone())
     }
 
-    /// Total on-disk size of a video's tiles.
+    /// The video's current layout epoch ([`VideoManifest::epoch`]) — what a
+    /// new query pins, and the watermark replication ships.
+    pub fn current_epoch(&self, name: &str) -> Result<u64, TasmError> {
+        Ok(self
+            .shard(name)?
+            .epochs
+            .lock()
+            .expect("epoch table lock")
+            .current)
+    }
+
+    /// Every layout epoch of the video that is still live — the current
+    /// epoch plus any retired epoch held by a pinned reader, ascending.
+    /// A live epoch is exactly one [`Query::as_of`] can name.
+    pub fn live_epochs(&self, name: &str) -> Result<Vec<u64>, TasmError> {
+        Ok(self
+            .shard(name)?
+            .epochs
+            .lock()
+            .expect("epoch table lock")
+            .live
+            .keys()
+            .copied()
+            .collect())
+    }
+
+    /// Total on-disk size of a video's tiles (current epoch).
     pub fn video_size_bytes(&self, name: &str) -> Result<u64, TasmError> {
-        let shard = self.shard(name)?;
-        let manifest = shard.manifest.read().expect("manifest lock");
+        let manifest = self.shard(name)?.current_manifest();
         Ok(self.store.video_size_bytes(&manifest)?)
     }
 
@@ -442,19 +671,22 @@ impl Tasm {
 
     /// A single-epoch replication snapshot of one video: its manifest plus
     /// the raw bytes of every tile file (outer index = SOT index), read
-    /// under one manifest read lock so a concurrent re-tile cannot tear the
-    /// snapshot across layout epochs.
+    /// under one epoch pin so a concurrent re-tile cannot tear the
+    /// snapshot across layout epochs — and no longer has to wait for the
+    /// snapshot either. The epoch watermark ships unchanged as the
+    /// manifest's [`VideoManifest::epoch`].
     pub fn replication_snapshot(
         &self,
         name: &str,
     ) -> Result<(VideoManifest, SotTileBytes), TasmError> {
         let shard = self.shard(name)?;
-        let manifest = shard.manifest.read().expect("manifest lock");
+        let pin = self.pin_shard(name, &shard, None)?;
+        let manifest = pin.manifest();
         let mut sots = Vec::with_capacity(manifest.sots.len());
         for (i, sot) in manifest.sots.iter().enumerate() {
             let mut tiles = Vec::with_capacity(sot.layout.tile_count() as usize);
             for t in 0..sot.layout.tile_count() {
-                tiles.push(self.store.tile_file_bytes(&manifest, i, t)?);
+                tiles.push(self.store.tile_file_bytes(manifest, i, t)?);
             }
             sots.push(tiles);
         }
@@ -463,8 +695,10 @@ impl Tasm {
 
     /// Installs a replicated video wholesale (a backup receiving a full
     /// sync, or a rebalance copy landing on its target). Registers the
-    /// video if new; otherwise the replacement happens under the manifest
-    /// write lock, so in-flight scans drain at their pinned epoch first.
+    /// video if new; otherwise this is the one writer that cannot preserve
+    /// old epochs — the directory is rewritten in place — so it drains by
+    /// refcount: it waits until every pinned reader of every epoch drops,
+    /// then installs and resets the epoch table.
     pub fn apply_replicated_video(
         &self,
         manifest: VideoManifest,
@@ -476,13 +710,17 @@ impl Tasm {
         let existing = self.videos.read().expect("videos lock").get(&name).cloned();
         match existing {
             Some(shard) => {
-                // Policy before manifest, per the facade's lock order. The
-                // policy state described the old layout — reset it.
+                // Policy before commit before epochs, per the facade's lock
+                // order. The policy state described the old layout — reset.
                 let mut policy = shard.policy.lock().expect("policy lock");
-                let mut live = shard.manifest.write().expect("manifest lock");
+                let _commit = shard.commit.lock().expect("commit lock");
+                let mut table = shard.epochs.lock().expect("epoch table lock");
+                while table.total_readers() > 0 {
+                    table = shard.drained.wait(table).expect("epoch table lock");
+                }
                 self.store.install_video(&manifest, sots)?;
                 *policy = PolicyState::new(manifest.sots.len());
-                *live = manifest;
+                *table = EpochTable::new(Arc::new(manifest));
                 Ok(shard.id)
             }
             None => {
@@ -503,28 +741,45 @@ impl Tasm {
         sot_idx: usize,
         tiles: &[Vec<u8>],
     ) -> Result<bool, TasmError> {
-        let shard = self.shard(&manifest.name)?;
+        let name = manifest.name.clone();
+        let shard = self.shard(&name)?;
         let new_epoch = manifest
             .sots
             .get(sot_idx)
             .ok_or_else(|| TasmError::Store(StoreError::NotFound(format!("SOT {sot_idx}"))))?
             .retile_count;
-        let mut live = shard.manifest.write().expect("manifest lock");
-        if live
-            .sots
-            .get(sot_idx)
-            .is_some_and(|cur| cur.retile_count >= new_epoch)
+        // Writers serialize on the commit mutex; readers pinned to older
+        // epochs are unaffected — the install lands in a fresh
+        // epoch-stamped directory and the old epoch is GC'd when its last
+        // pin drops.
+        let _commit = shard.commit.lock().expect("commit lock");
         {
-            return Ok(false);
+            let table = shard.epochs.lock().expect("epoch table lock");
+            let cur = table.current_manifest();
+            if cur
+                .sots
+                .get(sot_idx)
+                .is_some_and(|c| c.retile_count >= new_epoch)
+            {
+                return Ok(false);
+            }
         }
-        self.store.install_sot(&manifest, sot_idx, tiles)?;
-        *live = manifest;
+        let _retired = self.store.install_sot_deferred(&manifest, sot_idx, tiles)?;
+        let gc = {
+            let mut table = shard.epochs.lock().expect("epoch table lock");
+            table.publish(Arc::new(manifest))
+        };
+        for old in gc {
+            // Best-effort: idempotent, and recovery reaps leftovers.
+            let _ = self.store.gc_epoch(&name, old);
+        }
         Ok(true)
     }
 
-    /// Removes a video (the rebalance GC step): unregisters it, waits for
-    /// in-flight scans to drain at their pinned epoch (they hold the
-    /// manifest read lock), then deletes its files.
+    /// Removes a video (the rebalance GC step): unregisters it, then
+    /// drains by refcount — waits until the last pinned reader of any
+    /// epoch drops (no new pins can start: the shard is unregistered) —
+    /// and deletes its files, retired epoch directories included.
     pub fn remove_video(&self, name: &str) -> Result<(), TasmError> {
         let shard = self.videos.write().expect("videos lock").remove(name);
         let Some(shard) = shard else {
@@ -532,7 +787,11 @@ impl Tasm {
                 "video '{name}'"
             ))));
         };
-        let _drain = shard.manifest.write().expect("manifest lock");
+        let mut table = shard.epochs.lock().expect("epoch table lock");
+        while table.total_readers() > 0 {
+            table = shard.drained.wait(table).expect("epoch table lock");
+        }
+        drop(table);
         self.store.remove_video(name)?;
         Ok(())
     }
@@ -569,9 +828,11 @@ impl Tasm {
     /// predicate, decoding only the necessary tiles.
     ///
     /// Takes `&self`: any number of scans (on any videos) may run
-    /// concurrently through one instance. The video's manifest read lock is
-    /// held across execution, so a concurrent re-tile of the same video
-    /// waits — every scan observes exactly one layout epoch.
+    /// concurrently through one instance. The scan pins the video's
+    /// current layout epoch at plan time and reads that immutable snapshot
+    /// to completion — concurrent re-tiles commit new epochs freely
+    /// without waiting for it, and every scan observes exactly one layout
+    /// epoch ([`ScanResult::epoch`] says which).
     pub fn scan(
         &self,
         name: &str,
@@ -579,7 +840,8 @@ impl Tasm {
         frames: Range<u32>,
     ) -> Result<ScanResult, TasmError> {
         let shard = self.shard(name)?;
-        let manifest = shard.manifest.read().expect("manifest lock");
+        let pin = self.pin_shard(name, &shard, None)?;
+        let manifest = pin.manifest();
         let frames = frames.start..frames.end.min(manifest.frame_count);
         let t0 = Instant::now();
         let regions = self
@@ -588,7 +850,7 @@ impl Tasm {
         let lookup_time = t0.elapsed();
         Ok(scan_prepared(
             &self.store,
-            &manifest,
+            manifest,
             regions,
             frames,
             lookup_time,
@@ -607,10 +869,11 @@ impl Tasm {
     /// regions stay bit-identical to running the unpruned [`Tasm::scan`]
     /// and filtering its output post-hoc.
     ///
-    /// Concurrency mirrors [`Tasm::scan`]: any number of queries may run
-    /// through one instance, and the video's manifest read lock is held
-    /// across execution so every query observes exactly one layout epoch
-    /// even while re-tiles run concurrently.
+    /// Concurrency mirrors [`Tasm::scan`]: the query pins a layout epoch
+    /// at plan time — the current one, or the epoch named by
+    /// [`Query::as_of`] if it is still live — and reads that snapshot to
+    /// completion, so every query observes exactly one layout epoch even
+    /// while re-tiles commit concurrently.
     ///
     /// ```no_run
     /// # use tasm_core::{LabelPredicate, Query, QueryMode, Tasm, TasmConfig};
@@ -636,7 +899,8 @@ impl Tasm {
     /// ```
     pub fn query(&self, name: &str, query: &Query) -> Result<ScanResult, TasmError> {
         let shard = self.shard(name)?;
-        let manifest = shard.manifest.read().expect("manifest lock");
+        let pin = self.pin_shard(name, &shard, query.as_of_epoch())?;
+        let manifest = pin.manifest();
         let window = query.frame_range();
         let frames = window.start..window.end.min(manifest.frame_count);
         let t0 = Instant::now();
@@ -650,12 +914,51 @@ impl Tasm {
         let lookup_time = t0.elapsed();
         Ok(query_prepared(
             &self.store,
-            &manifest,
+            manifest,
             regions,
             query,
             frames,
             lookup_time,
         )?)
+    }
+
+    /// Pins a layout epoch of `name` explicitly: the current epoch
+    /// (`epoch: None`) or a specific still-live one. While the returned
+    /// [`EpochPin`] is alive, the epoch's manifest snapshot, tile
+    /// directories, and cached GOPs stay readable — re-tiles keep
+    /// committing newer epochs around it — and [`Query::as_of`] can name
+    /// it. Pinning an epoch that is neither current nor already pinned
+    /// fails with [`TasmError::EpochNotLive`]: retired epochs are
+    /// reclaimed the moment their last reader drains, so there is nothing
+    /// consistent left to read.
+    pub fn pin_epoch(&self, name: &str, epoch: Option<u64>) -> Result<EpochPin, TasmError> {
+        let shard = self.shard(name)?;
+        self.pin_shard(name, &shard, epoch)
+    }
+
+    fn pin_shard(
+        &self,
+        name: &str,
+        shard: &Arc<VideoShard>,
+        epoch: Option<u64>,
+    ) -> Result<EpochPin, TasmError> {
+        let mut table = shard.epochs.lock().expect("epoch table lock");
+        let target = epoch.unwrap_or(table.current);
+        let current = table.current;
+        let Some(entry) = table.live.get_mut(&target) else {
+            return Err(TasmError::EpochNotLive {
+                video: name.to_string(),
+                requested: target,
+                current,
+            });
+        };
+        entry.readers += 1;
+        Ok(EpochPin {
+            shard: shard.clone(),
+            store: self.store.clone(),
+            epoch: target,
+            manifest: entry.manifest.clone(),
+        })
     }
 
     // ------------------------------------------------------------------
@@ -682,7 +985,7 @@ impl Tasm {
         objects: &[String],
     ) -> Result<Option<TileLayout>, TasmError> {
         let (w, h, sot, gop) = {
-            let m = shard.manifest.read().expect("manifest lock");
+            let m = shard.current_manifest();
             (m.width, m.height, m.sots[sot_idx].clone(), m.config.gop_len)
         };
         let dets = self.detections_for(shard.id, objects, sot.frames())?;
@@ -711,7 +1014,7 @@ impl Tasm {
         objects: &[String],
     ) -> Result<RetileStats, TasmError> {
         let shard = self.shard(name)?;
-        let n_sots = shard.manifest.read().expect("manifest lock").sots.len();
+        let n_sots = shard.current_manifest().sots.len();
         let mut total = RetileStats::default();
         for sot_idx in 0..n_sots {
             if let Some(layout) = self.kqko_layout_shard(&shard, sot_idx, objects)? {
@@ -734,9 +1037,12 @@ impl Tasm {
         self.retile_shard(&shard, &mut pol, sot_idx, layout)
     }
 
-    /// The re-tile primitive: takes the manifest write lock (waiting out
-    /// in-flight scans of this video), swaps the tile files, then resets the
-    /// SOT's regret relative to its new layout.
+    /// The re-tile primitive: serializes on the shard's commit mutex —
+    /// never on readers — commits the new layout epoch through the
+    /// deferred store protocol, publishes it to the epoch table, reclaims
+    /// whatever epochs drained, then resets the SOT's regret relative to
+    /// its new layout. In-flight scans keep reading their pinned epochs;
+    /// commit latency is bounded by the transcode itself.
     fn retile_shard(
         &self,
         shard: &VideoShard,
@@ -745,25 +1051,33 @@ impl Tasm {
         layout: TileLayout,
     ) -> Result<RetileStats, TasmError> {
         let requested = layout.clone();
-        let (result, committed) = {
-            let mut manifest = shard.manifest.write().expect("manifest lock");
-            let result = self.store.retile(&mut manifest, sot_idx, layout);
-            // A post-commit completion failure still advances the manifest
-            // to the new layout (the re-tile logically happened; see
-            // `VideoStore::retile`), so judge by the manifest, not by `?`.
-            let committed = manifest
-                .sots
-                .get(sot_idx)
-                .is_some_and(|s| s.layout == requested);
-            (result, committed)
-        };
+        let _commit = shard.commit.lock().expect("commit lock");
+        let mut manifest = (*shard.current_manifest()).clone();
+        let result = self.store.retile_deferred(&mut manifest, sot_idx, layout);
+        // A post-commit completion failure still advances the manifest
+        // to the new layout (the re-tile logically happened; see
+        // `VideoStore::retile_deferred`), so judge by the manifest, not
+        // by `?`.
+        let committed = manifest
+            .sots
+            .get(sot_idx)
+            .is_some_and(|s| s.layout == requested);
         if committed {
+            let manifest = Arc::new(manifest);
+            let gc = {
+                let mut table = shard.epochs.lock().expect("epoch table lock");
+                table.publish(manifest.clone())
+            };
+            for old in gc {
+                // Best-effort: idempotent, and recovery reaps leftovers.
+                let _ = self.store.gc_epoch(&manifest.name, old);
+            }
             // Regret resets relative to the new current layout — also when
             // an error surfaced after the commit point, else the stale
             // counters would immediately trigger a redundant re-tile.
             pol.sots[sot_idx].regret.clear();
         }
-        Ok(result?)
+        Ok(result?.0)
     }
 
     // ------------------------------------------------------------------
@@ -782,7 +1096,7 @@ impl Tasm {
         let shard = self.shard(name)?;
         let mut pol = shard.policy.lock().expect("policy lock");
         let sot_range = {
-            let m = shard.manifest.read().expect("manifest lock");
+            let m = shard.current_manifest();
             m.sots_for_range(frames.clone())
         };
         let mut total = RetileStats::default();
@@ -793,7 +1107,7 @@ impl Tasm {
             let objects: Vec<String> = pol.sots[sot_idx].queried.iter().cloned().collect();
             if let Some(layout) = self.kqko_layout_shard(&shard, sot_idx, &objects)? {
                 let current = {
-                    let m = shard.manifest.read().expect("manifest lock");
+                    let m = shard.current_manifest();
                     m.sots[sot_idx].layout.clone()
                 };
                 if layout != current {
@@ -827,7 +1141,7 @@ impl Tasm {
         let shard = self.shard(name)?;
         let mut pol = shard.policy.lock().expect("policy lock");
         let (sot_range, gop, w, h) = {
-            let m = shard.manifest.read().expect("manifest lock");
+            let m = shard.current_manifest();
             (
                 m.sots_for_range(frames.clone()),
                 m.config.gop_len,
@@ -842,7 +1156,7 @@ impl Tasm {
 
         for sot_idx in sot_range {
             let sot = {
-                let m = shard.manifest.read().expect("manifest lock");
+                let m = shard.current_manifest();
                 m.sots[sot_idx].clone()
             };
             let window = frames.start.max(sot.start)..frames.end.min(sot.end);

@@ -133,6 +133,9 @@ pub enum ErrorCode {
     UnknownVideo,
     /// The query failed inside the storage manager.
     Internal,
+    /// The query's `AS OF` epoch is not live on the server — it was never
+    /// published, or its last reader drained and it has been reclaimed.
+    EpochNotLive,
 }
 
 impl ErrorCode {
@@ -146,6 +149,7 @@ impl ErrorCode {
             ErrorCode::Malformed => 5,
             ErrorCode::UnknownVideo => 6,
             ErrorCode::Internal => 7,
+            ErrorCode::EpochNotLive => 8,
         }
     }
 
@@ -159,6 +163,7 @@ impl ErrorCode {
             5 => ErrorCode::Malformed,
             6 => ErrorCode::UnknownVideo,
             7 => ErrorCode::Internal,
+            8 => ErrorCode::EpochNotLive,
             other => return Err(ProtoError::UnknownErrorCode(other)),
         })
     }
@@ -175,6 +180,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Malformed => "malformed frame",
             ErrorCode::UnknownVideo => "unknown video",
             ErrorCode::Internal => "internal error",
+            ErrorCode::EpochNotLive => "epoch not live",
         };
         f.write_str(s)
     }
@@ -240,6 +246,10 @@ pub enum Message {
         regions: u32,
         /// Planner accounting for this query.
         plan: PlanStats,
+        /// The layout epoch the server executed the query against. Echoes
+        /// the pinned epoch for `AS OF` queries; otherwise reports the
+        /// epoch current at plan time.
+        epoch: u64,
     },
     /// Server → client: one matched region with its pixels.
     ///
@@ -370,12 +380,14 @@ impl Message {
                 matched,
                 regions,
                 plan,
+                epoch,
             } => {
                 w.u8(tag::RESULT_HEADER);
                 w.u64(*id);
                 w.u64(*matched);
                 w.u32(*regions);
                 encode_plan(&mut w, plan);
+                w.u64(*epoch);
             }
             Message::Region { id, region } => encode_region_payload(&mut w, *id, region),
             Message::ResultDone { id, summary } => {
@@ -469,6 +481,7 @@ impl Message {
                 matched: r.u64()?,
                 regions: r.u32()?,
                 plan: decode_plan(&mut r)?,
+                epoch: r.u64()?,
             },
             tag::REGION => {
                 let id = r.u64()?;
@@ -762,6 +775,13 @@ fn encode_query(w: &mut Writer, q: &Query) {
         QueryMode::Count => 1,
         QueryMode::Exists => 2,
     });
+    match q.as_of_epoch() {
+        Some(epoch) => {
+            w.u8(1);
+            w.u64(epoch);
+        }
+        None => w.u8(0),
+    }
 }
 
 fn decode_query(r: &mut Reader<'_>) -> Result<Query, ProtoError> {
@@ -806,6 +826,11 @@ fn decode_query(r: &mut Reader<'_>) -> Result<Query, ProtoError> {
         2 => QueryMode::Exists,
         other => return Err(ProtoError::UnknownQueryMode(other)),
     });
+    match r.u8()? {
+        0 => {}
+        1 => query = query.as_of(r.u64()?),
+        _ => return Err(ProtoError::Malformed("as-of presence flag")),
+    }
     Ok(query)
 }
 

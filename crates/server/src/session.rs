@@ -50,6 +50,7 @@ fn error_code(e: &ServiceError) -> ErrorCode {
         ServiceError::QueueFull => ErrorCode::Busy,
         ServiceError::ShuttingDown => ErrorCode::ShuttingDown,
         ServiceError::Tasm(TasmError::UnknownVideo(_)) => ErrorCode::UnknownVideo,
+        ServiceError::Tasm(TasmError::EpochNotLive { .. }) => ErrorCode::EpochNotLive,
         ServiceError::Tasm(_) | ServiceError::WorkerLost => ErrorCode::Internal,
     }
 }
@@ -353,6 +354,7 @@ fn handle_query(
                             matched: result.matched,
                             regions: result.regions.len() as u32,
                             plan: result.plan,
+                            epoch: result.epoch,
                         }
                         .write_to(&mut *w)?;
                         for region in &result.regions {

@@ -4,9 +4,11 @@
 //! backlog; this single low-priority thread drains it and feeds the
 //! observations to the configured incremental policy
 //! (`Tasm::observe_regret` / `Tasm::observe_more`). Re-tiles triggered here
-//! take the video's manifest write lock, so they wait out in-flight scans
-//! and never tear one — queries keep their bit-exact guarantee while the
-//! layout converges in the background instead of on the query path.
+//! never queue behind scans: a re-tile commits a new MVCC layout epoch
+//! immediately, while in-flight queries keep reading the epoch they pinned
+//! at plan time — queries keep their bit-exact guarantee and the layout
+//! converges in the background instead of on the query path. Superseded
+//! epochs are garbage-collected once their last reader drains.
 //!
 //! Every re-tile runs the storage layer's atomic commit protocol
 //! (`tasm_core::storage`), so killing the process while this daemon is

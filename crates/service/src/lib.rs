@@ -20,7 +20,7 @@
 //!                        ▼
 //!            ┌──────────────────────────────────────────────────────────┐
 //!            │ shared Tasm: RwLock'd semantic index · per-video shards  │
-//!            │ (manifest RwLock + policy Mutex) · decoded-GOP cache     │
+//!            │ (MVCC epoch table + policy Mutex) · decoded-GOP cache    │
 //!            │ with single-flight shared-scan dedup (SharedScanStats)   │
 //!            └──────────────────────────────────────────────────────────┘
 //!                        │ observations (video, label, window)
@@ -40,11 +40,12 @@
 //!    instead of each paying for it. [`ServiceStats::shared`] counts joined
 //!    vs. owned decodes; joined work never pollutes the §4.1 cost model's
 //!    decode accounting.
-//! 3. **Bit-exact concurrent re-tiling.** The daemon's re-tiles take the
-//!    video's manifest write lock and bump the layout epoch in cache keys,
-//!    so every scan — before, during, or after a re-tile — observes exactly
-//!    one consistent layout epoch and returns the same pixels a serial
-//!    execution at that epoch would.
+//! 3. **Bit-exact concurrent re-tiling.** The daemon's re-tiles publish a
+//!    new MVCC layout epoch immediately — never waiting on in-flight
+//!    queries, which read the epoch they pinned at plan time to completion
+//!    — so every scan observes exactly one consistent layout epoch and
+//!    returns the same pixels a serial execution at that epoch would.
+//!    Superseded epochs are reclaimed when their last reader drains.
 //!
 //! ## Quickstart
 //!

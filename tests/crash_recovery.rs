@@ -207,6 +207,117 @@ fn crash_point_sweep_recovers_to_exactly_one_epoch() {
     fs::remove_dir_all(&scratch).ok();
 }
 
+/// The crash-point sweep over MVCC epoch GC: fail-stop and torn-write at
+/// every mutating I/O operation of `gc_epoch` (the reclamation that runs
+/// when a pinned epoch's last reader drains). Recovery must always land in
+/// exactly one epoch set — the one the manifest references, with the
+/// retired epoch fully reclaimed — and fsck must be clean.
+///
+/// A crashed GC cannot roll *back* (the retile already committed; the
+/// retired directory is unreferenced residue), so recovery converges on
+/// the post-GC state from every fault point: startup reclaims superseded
+/// epoch directories the same way a completed GC would have.
+#[test]
+fn epoch_gc_crash_sweep_recovers_to_exactly_one_epoch_set() {
+    // Base state: a one-SOT untiled video, cleanly ingested.
+    let base = temp_dir("gc-sweep-base");
+    let store = VideoStore::open(&base).expect("open base");
+    let src = test_source(10);
+    store
+        .ingest("v", &src, 30, small_cfg(), |_, _| {
+            TileLayout::untiled(64, 64)
+        })
+        .expect("ingest");
+    drop(store);
+    let ingested = snapshot(&base);
+    let new_layout = TileLayout::uniform(64, 64, 2, 2).expect("layout");
+
+    // Clean run: a deferred re-tile (the retired epoch's directory stays,
+    // as if a reader still pinned it) followed by its GC. Count the GC's
+    // own mutating operations and capture the post-GC state.
+    let clean = temp_dir("gc-sweep-clean");
+    restore(&ingested, &clean);
+    let counter = FaultIo::new();
+    let store = VideoStore::open_with_io(&clean, 0, 0, counter.clone()).expect("open clean");
+    let mut manifest = store.load_manifest("v").expect("manifest");
+    let (_, retired) = store
+        .retile_deferred(&mut manifest, 0, new_layout.clone())
+        .expect("clean deferred retile");
+    let retired = retired.expect("a layout change must retire an epoch");
+    assert!(
+        clean.join("v").join("sot_000000_000010").exists(),
+        "deferred mode must leave the retired epoch's directory"
+    );
+    let ops_before = counter.mutating_ops();
+    store.gc_epoch("v", retired).expect("clean gc");
+    let gc_ops = counter.mutating_ops() - ops_before;
+    drop(store);
+    assert!(
+        gc_ops >= 2,
+        "epoch GC must expose at least its remove and dir-sync as fault points, got {gc_ops}"
+    );
+    assert!(!clean.join("v").join("sot_000000_000010").exists());
+    let post = snapshot(&clean);
+
+    let scratch = temp_dir("gc-sweep-scratch");
+    let mut reclaimed_by_recovery = 0u32;
+    for kind in [FaultKind::FailStop, FaultKind::TornWrite] {
+        for n in 1..=gc_ops {
+            restore(&ingested, &scratch);
+            let fault = FaultIo::new();
+            let store =
+                VideoStore::open_with_io(&scratch, 0, 0, fault.clone()).expect("open faulted");
+            let mut manifest = store.load_manifest("v").expect("manifest");
+            // The re-tile itself runs clean; the crash lands inside GC.
+            let (_, retired) = store
+                .retile_deferred(&mut manifest, 0, new_layout.clone())
+                .expect("deferred retile");
+            let retired = retired.expect("retired epoch");
+            fault.arm(fault.mutating_ops() + n, kind);
+            assert!(
+                store.gc_epoch("v", retired).is_err(),
+                "{kind:?} at gc op {n} must surface as an error"
+            );
+            assert!(fault.crashed(), "{kind:?} at gc op {n} must have fired");
+            drop(store);
+
+            // Reopen with real I/O: startup recovery reclaims whatever the
+            // crashed GC left of the superseded epoch.
+            let store = VideoStore::open(&scratch).expect("reopen after crashed gc");
+            if store
+                .recovery_report()
+                .actions
+                .iter()
+                .any(|a| matches!(a, RecoveryAction::ReclaimedEpoch { video, .. } if video == "v"))
+            {
+                reclaimed_by_recovery += 1;
+            }
+            let fsck = store.fsck().expect("fsck runs");
+            assert!(
+                fsck.is_clean(),
+                "{kind:?} at gc op {n}: fsck found {:?} (recovery did {:?})",
+                fsck.issues,
+                store.recovery_report().actions
+            );
+            drop(store);
+
+            let got = snapshot(&scratch);
+            assert!(
+                got == post,
+                "{kind:?} at gc op {n}: recovery must land in the post-GC epoch set: {}",
+                describe_divergence(&got, &ingested, &post)
+            );
+        }
+    }
+    assert!(
+        reclaimed_by_recovery > 0,
+        "at least one fault point must leave the whole retired epoch for recovery to reclaim"
+    );
+    fs::remove_dir_all(&base).ok();
+    fs::remove_dir_all(&clean).ok();
+    fs::remove_dir_all(&scratch).ok();
+}
+
 /// Regression for the non-atomic `save_manifest`: a torn write must never
 /// reach `manifest.json`, and the interrupted temp file is reaped at the
 /// next open.

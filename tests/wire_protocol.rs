@@ -65,6 +65,9 @@ fn arb_query(rng: &mut StdRng) -> Query {
     if rng.gen_bool(0.5) {
         q = q.limit(rng.gen_range(0u32..100));
     }
+    if rng.gen_bool(0.5) {
+        q = q.as_of(rng.gen_range(0u64..1_000));
+    }
     q
 }
 
@@ -131,7 +134,8 @@ fn arb_error_code(rng: &mut StdRng) -> ErrorCode {
         ErrorCode::Malformed,
         ErrorCode::UnknownVideo,
         ErrorCode::Internal,
-    ][rng.gen_range(0usize..8)]
+        ErrorCode::EpochNotLive,
+    ][rng.gen_range(0usize..9)]
 }
 
 fn arb_blob(rng: &mut StdRng, max_len: usize) -> Vec<u8> {
@@ -195,6 +199,7 @@ fn arb_message(rng: &mut StdRng, variant: u32) -> Message {
             matched: rng.gen_range(0u64..1_000_000),
             regions: rng.gen_range(0u32..100_000),
             plan: arb_plan(rng),
+            epoch: rng.gen_range(0u64..1_000),
         },
         4 => Message::Region {
             id: rng.gen_range(0u64..u64::MAX),
@@ -371,7 +376,8 @@ fn query_fields_survive_the_wire() {
         .roi(Rect::new(10, 20, 300, 200))
         .stride(7)
         .limit(12)
-        .mode(QueryMode::Count);
+        .mode(QueryMode::Count)
+        .as_of(3);
     let msg = Message::Query {
         id: 42,
         video: "traffic".to_string(),
