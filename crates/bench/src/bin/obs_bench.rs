@@ -1,0 +1,173 @@
+//! Observability overhead benchmark: the tracing + metrics layer must be
+//! close to free on the hot query path.
+//!
+//! The claim under test is the tasm-obs design point: phase spans are
+//! inert `Instant` pairs, counters are relaxed atomics behind one global
+//! `enabled` load, and nothing on the query path takes the registry lock
+//! (that only happens at registration and scrape time). The benchmark
+//! runs the same warm-cache query workload with observability enabled and
+//! disabled in *interleaved* rounds — so frequency scaling, cache state,
+//! and allocator drift hit both arms equally — and asserts the median
+//! enabled-round throughput is within `OVERHEAD_BOUND_PCT` of disabled.
+//!
+//! Results land in `results/BENCH_obs.json`. Run with
+//! `cargo run --release -p tasm-bench --bin obs_bench`.
+
+use serde::Serialize;
+use std::time::Instant;
+use tasm_bench::{bench_dir, scaled_count, write_result};
+use tasm_core::{LabelPredicate, PartitionConfig, Query, StorageConfig, Tasm, TasmConfig};
+use tasm_data::{SceneSpec, SyntheticVideo};
+use tasm_index::MemoryIndex;
+use tasm_video::FrameSource;
+
+const WIDTH: u32 = 256;
+const HEIGHT: u32 = 160;
+const FRAMES: u32 = 40;
+/// Maximum tolerated median throughput loss with observability on.
+const OVERHEAD_BOUND_PCT: f64 = 3.0;
+
+fn open() -> Tasm {
+    Tasm::open(
+        bench_dir("obs"),
+        Box::new(MemoryIndex::in_memory()),
+        TasmConfig {
+            storage: StorageConfig {
+                gop_len: 10,
+                sot_frames: FRAMES,
+                ..Default::default()
+            },
+            partition: PartitionConfig {
+                min_tile_width: 32,
+                min_tile_height: 32,
+                ..Default::default()
+            },
+            workers: 1,
+            cache_bytes: 64 << 20,
+            ..Default::default()
+        },
+    )
+    .expect("open store")
+}
+
+fn ingest(tasm: &Tasm, video: &SyntheticVideo) {
+    tasm.ingest("v", video, 30).expect("ingest");
+    for f in 0..video.len() {
+        for (l, b) in video.ground_truth(f) {
+            tasm.add_metadata("v", l, f, b).expect("metadata");
+        }
+        tasm.mark_processed("v", f).expect("mark");
+    }
+}
+
+/// One timed round: `queries` traced scans against a warm cache,
+/// returning throughput in queries per second. The traced entry point is
+/// used in *both* arms — when observability is disabled the spans are
+/// inert and the counters early-return, which is exactly the code path
+/// whose cost we are bounding.
+fn round(tasm: &Tasm, queries: &[Query], reps: usize) -> f64 {
+    let spans = tasm_obs::TraceSpans::shared();
+    let t0 = Instant::now();
+    let mut total = 0u64;
+    for _ in 0..reps {
+        for q in queries {
+            let r = tasm.query_traced("v", q, &spans).expect("query");
+            total += r.matched;
+        }
+    }
+    std::hint::black_box(total);
+    (reps * queries.len()) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    sorted[sorted.len() / 2]
+}
+
+#[derive(Serialize)]
+struct Report {
+    frames: u32,
+    rounds: usize,
+    queries_per_round: usize,
+    enabled_qps: Vec<f64>,
+    disabled_qps: Vec<f64>,
+    enabled_qps_median: f64,
+    disabled_qps_median: f64,
+    /// Median throughput loss with observability on, in percent.
+    /// Negative means enabled happened to measure faster (noise floor).
+    overhead_pct: f64,
+}
+
+fn main() {
+    let rounds = scaled_count(9);
+    let reps = scaled_count(12);
+    let video = SyntheticVideo::new(SceneSpec {
+        width: WIDTH,
+        height: HEIGHT,
+        frames: FRAMES,
+        seed: 42,
+        ..SceneSpec::test_scene()
+    });
+    let tasm = open();
+    println!("ingesting {FRAMES} frames, {rounds} rounds x {reps} reps...");
+    ingest(&tasm, &video);
+
+    let queries = vec![
+        Query::new(LabelPredicate::label("car")).frames(0..FRAMES),
+        Query::new(LabelPredicate::label("person"))
+            .frames(0..FRAMES)
+            .stride(2),
+        Query::new(LabelPredicate::label("car"))
+            .frames(10..FRAMES)
+            .limit(8),
+    ];
+
+    // Warm the decoded-GOP cache and the planner so neither arm pays the
+    // cold-start cost.
+    tasm_obs::set_enabled(true);
+    round(&tasm, &queries, 1);
+    tasm_obs::set_enabled(false);
+    round(&tasm, &queries, 1);
+
+    // Interleaved measurement: disabled then enabled within each round,
+    // so slow drift cancels instead of biasing one arm.
+    let mut enabled_qps = Vec::with_capacity(rounds);
+    let mut disabled_qps = Vec::with_capacity(rounds);
+    for i in 0..rounds {
+        tasm_obs::set_enabled(false);
+        disabled_qps.push(round(&tasm, &queries, reps));
+        tasm_obs::set_enabled(true);
+        enabled_qps.push(round(&tasm, &queries, reps));
+        println!(
+            "round {:>2}: disabled {:>8.1} q/s  enabled {:>8.1} q/s",
+            i, disabled_qps[i], enabled_qps[i]
+        );
+    }
+    tasm_obs::set_enabled(true);
+
+    let disabled_med = median(&disabled_qps);
+    let enabled_med = median(&enabled_qps);
+    let overhead_pct = (disabled_med - enabled_med) / disabled_med * 100.0;
+    println!(
+        "median: disabled {disabled_med:.1} q/s, enabled {enabled_med:.1} q/s, overhead {overhead_pct:+.2}%"
+    );
+
+    let report = Report {
+        frames: FRAMES,
+        rounds,
+        queries_per_round: queries.len() * reps,
+        enabled_qps,
+        disabled_qps,
+        enabled_qps_median: enabled_med,
+        disabled_qps_median: disabled_med,
+        overhead_pct,
+    };
+    assert!(
+        report.overhead_pct < OVERHEAD_BOUND_PCT,
+        "observability overhead {:.2}% exceeds the {:.1}% budget",
+        report.overhead_pct,
+        OVERHEAD_BOUND_PCT
+    );
+    write_result("BENCH_obs", &report);
+}

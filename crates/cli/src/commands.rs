@@ -33,32 +33,37 @@ USAGE:
   tasm query   --store DIR --name NAME --label LABEL [--start F] [--end F]
                [--roi x,y,w,h] [--stride N] [--limit K]
                [--mode pixels|count|exists] [--repeat N] [--as-of EPOCH]
+               [--explain]
   tasm retile  --store DIR --name NAME --labels L1,L2
   tasm observe --store DIR --name NAME --label LABEL [--start F] [--end F]
   tasm workload --store DIR --name NAME [--workload 1|2|3|4] [--queries N]
                 [--concurrency N] [--queue-depth N] [--retile off|regret|more]
                 [--query-frames N] [--seed N]
   tasm info    --store DIR [--name NAME]
-  tasm stats   --store DIR [--name NAME] [--storage]
+  tasm stats   --store DIR [--name NAME] [--storage] [--json]
   tasm fsck    --store DIR [--name NAME]
   tasm presets
   tasm serve   --store DIR [--addr HOST:PORT] [--max-connections N]
                [--max-inflight N] [--concurrency N] [--queue-depth N]
                [--retile off|regret|more] [--backup ADDR[,ADDR]]
+               [--metrics-addr HOST:PORT] [--slow-query-ms N]
+               [--log-level debug|info|warn|error] [--log-json]
   tasm cluster init --map FILE --nodes id=HOST:PORT[,id=HOST:PORT...]
                [--replicas R] [--pin VIDEO=NODE[+NODE...]]
   tasm cluster show --map FILE [--video NAME]
   tasm route   --map FILE [--addr HOST:PORT] [--max-connections N]
                [--max-inflight N] [--shard-timeout-ms N] [--health-ms N]
-               [--fail-threshold N]
+               [--fail-threshold N] [--metrics-addr HOST:PORT]
+               [--log-level debug|info|warn|error] [--log-json]
   tasm rebalance --map FILE --video NAME --to NODE [--timeout-ms N]
   tasm client query    --addr HOST:PORT --name NAME --label LABEL
                        [--start F] [--end F] [--roi x,y,w,h] [--stride N]
                        [--limit K] [--mode pixels|count|exists] [--as-of EPOCH]
+                       [--explain]
   tasm client loadgen  --addr HOST:PORT --name NAME --label LABEL
                        [--requests N] [--connections N] [--frames N]
                        [--window N] [--reconnects N] [query flags as above]
-  tasm client stats    --addr HOST:PORT
+  tasm client stats    --addr HOST:PORT [--json]
   tasm client shutdown --addr HOST:PORT
 
 EXECUTION (any command):
@@ -124,6 +129,16 @@ CLIENT: drives a remote server. `query` mirrors the local `query` command
   reports throughput plus client-observed latency percentiles; --frames N
   with --window W slides each request's frame window across the video.
 
+OBSERVABILITY: --metrics-addr on `serve` and `route` exposes a Prometheus
+  text endpoint (GET /metrics): counters, gauges, and log-scale latency
+  histograms named in ARCHITECTURE.md. --slow-query-ms N logs any query
+  slower than N ms — the full per-phase trace — through the structured
+  stderr logger (--log-json switches it to JSON lines, --log-level sets
+  verbosity). --explain on `query` and `client query` prints the query's
+  per-phase breakdown (queue/plan/decode/stream) with its trace id, the
+  serving instance, and the executed layout epoch. `stats --json` and
+  `client stats --json` emit machine-readable statistics.
+
 PRESETS: visual-road-2k, visual-road-4k, netflix-public, netflix-open-source,
          xiph, mot16, el-fuente-sparse, el-fuente-dense";
 
@@ -140,10 +155,10 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         return cluster(rest);
     }
     if cmd == "stats" {
-        let args = Args::parse_with_flags(rest, &["storage"])?;
+        let args = Args::parse_with_flags(rest, &["storage", "json"])?;
         return stats(&args);
     }
-    let args = Args::parse(rest)?;
+    let args = Args::parse_with_flags(rest, &["explain", "log-json"])?;
     match cmd.as_str() {
         "ingest" => ingest(&args),
         "detect" => detect(&args),
@@ -382,7 +397,15 @@ fn query(args: &Args) -> CmdResult {
 
     let repeat: u32 = args.get_or("repeat", 1)?;
     for run in 0..repeat.max(1) {
-        let result = tasm.query(name, &q)?;
+        let (result, trace) = if args.has("explain") {
+            let spans = tasm_obs::TraceSpans::shared();
+            let t0 = std::time::Instant::now();
+            let result = tasm.query_traced(name, &q, &spans)?;
+            let trace = spans.finish(tasm_obs::next_trace_id(), result.epoch, t0.elapsed());
+            (result, Some(trace))
+        } else {
+            (tasm.query(name, &q)?, None)
+        };
         match mode {
             QueryMode::Exists => println!(
                 "exists '{label}' over frames {start}..{end}: {} ({} matches known from the index; no tiles decoded)",
@@ -410,6 +433,9 @@ fn query(args: &Args) -> CmdResult {
             result.plan.gops_skipped,
             result.epoch
         );
+        if let Some(trace) = &trace {
+            print_trace(trace);
+        }
         if repeat > 1 && run == 0 {
             println!(
                 "  (repeating {} more times against the warm decoded-GOP cache)",
@@ -600,6 +626,91 @@ fn parse_retile(args: &Args) -> Result<RetilePolicy, Box<dyn Error>> {
     })
 }
 
+/// Applies the shared structured-logging flags (`--log-level`,
+/// `--log-json`) to the process-wide logger.
+fn apply_log_flags(args: &Args) -> Result<(), Box<dyn Error>> {
+    if let Some(level) = args.get("log-level") {
+        tasm_obs::log::set_level(match level {
+            "debug" => tasm_obs::Level::Debug,
+            "info" => tasm_obs::Level::Info,
+            "warn" => tasm_obs::Level::Warn,
+            "error" => tasm_obs::Level::Error,
+            other => return Err(format!("unknown log level '{other}'").into()),
+        });
+    }
+    if args.has("log-json") {
+        tasm_obs::log::set_json(true);
+    }
+    Ok(())
+}
+
+/// Parses `--slow-query-ms N` into the service's slow-query threshold.
+fn parse_slow_query(args: &Args) -> Result<Option<Duration>, Box<dyn Error>> {
+    Ok(match args.get("slow-query-ms") {
+        Some(v) => {
+            let ms: u64 = v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --slow-query-ms"))?;
+            Some(Duration::from_millis(ms))
+        }
+        None => None,
+    })
+}
+
+/// Prints the `--explain` per-phase breakdown of one query trace. The
+/// phase sum is bounded by the printed total: `total_micros` is the
+/// server-side admission→completion measurement and the stream phase is
+/// measured after it, so `queue+plan+decode+stream ≤ total+stream`.
+fn print_trace(trace: &tasm_obs::QueryTrace) {
+    let ms = |us: u64| us as f64 / 1e3;
+    let instance = if trace.instance.is_empty() {
+        "local"
+    } else {
+        trace.instance.as_str()
+    };
+    println!(
+        "  trace {:016x} served by {instance} (layout epoch {}):",
+        trace.trace_id, trace.epoch
+    );
+    println!("    queue   {:>10.3} ms", ms(trace.queue_micros));
+    println!("    plan    {:>10.3} ms", ms(trace.plan_micros));
+    println!("    decode  {:>10.3} ms", ms(trace.decode_micros));
+    println!("    stream  {:>10.3} ms", ms(trace.stream_micros));
+    println!(
+        "    total   {:>10.3} ms ({:.3} ms unattributed scheduling gaps)",
+        ms(trace.total_micros + trace.stream_micros),
+        ms(trace.unattributed_micros()),
+    );
+}
+
+/// Appends endpoint-specific series (the server's latency histogram)
+/// after the global registry in a `/metrics` response.
+type ExtraSeries = Arc<dyn Fn(&mut String) + Send + Sync>;
+
+/// Starts the Prometheus exposition endpoint shared by `serve` and
+/// `route` when `--metrics-addr` is given.
+fn start_metrics(
+    args: &Args,
+    extra: Option<ExtraSeries>,
+) -> Result<Option<tasm_obs::MetricsServer>, Box<dyn Error>> {
+    let Some(addr) = args.get("metrics-addr") else {
+        return Ok(None);
+    };
+    let body: Arc<dyn Fn() -> String + Send + Sync> = Arc::new(move || {
+        let mut out = tasm_obs::render();
+        if let Some(extra) = &extra {
+            extra(&mut out);
+        }
+        out
+    });
+    let endpoint = tasm_obs::MetricsServer::serve(addr, body)?;
+    println!(
+        "metrics exposed at http://{}/metrics",
+        endpoint.local_addr()
+    );
+    Ok(Some(endpoint))
+}
+
 /// Serves every video in the store over TCP until a client sends the
 /// administrative shutdown frame.
 fn serve(args: &Args) -> CmdResult {
@@ -611,6 +722,8 @@ fn serve(args: &Args) -> CmdResult {
         return Err("--queue-depth must be at least 1".into());
     }
     let retile = parse_retile(args)?;
+    apply_log_flags(args)?;
+    let slow_query = parse_slow_query(args)?;
     let server_cfg = ServerConfig {
         max_connections: args.get_or("max-connections", 64usize)?,
         max_inflight: args.get_or("max-inflight", 8u32)?,
@@ -665,18 +778,38 @@ fn serve(args: &Args) -> CmdResult {
         None => None,
     };
 
-    let server = TasmServer::bind_with_hook(
+    let server = Arc::new(TasmServer::bind_with_hook(
         tasm,
         ServiceConfig {
             workers: concurrency,
             queue_depth,
             retile,
+            slow_query,
             ..ServiceConfig::default()
         },
         server_cfg,
         addr,
         hook,
-    )?;
+    )?);
+    // The latency histogram on /metrics comes from the same ServiceStats
+    // snapshot `client stats` sees, so both views agree at any instant.
+    let metrics = {
+        let stats_server = Arc::clone(&server);
+        start_metrics(
+            args,
+            Some(Arc::new(move |out: &mut String| {
+                let stats = stats_server.stats();
+                tasm_obs::render_histogram_into(
+                    out,
+                    "tasm_query_latency_seconds",
+                    "Submit-to-complete query latency (service histogram).",
+                    &stats.latency.buckets,
+                    stats.latency.count,
+                    stats.latency.total_micros,
+                );
+            })),
+        )?
+    };
     println!(
         "tasm-server listening on {} — serving [{}] ({} workers, queue depth {queue_depth}, retile {retile:?})",
         server.local_addr(),
@@ -691,6 +824,12 @@ fn serve(args: &Args) -> CmdResult {
     std::io::stdout().flush().ok();
 
     server.wait_shutdown_requested();
+    // The metrics endpoint holds the only other handle on the server;
+    // stopping it first makes the unwrap below infallible.
+    if let Some(m) = metrics {
+        m.shutdown();
+    }
+    let server = Arc::try_unwrap(server).map_err(|_| "metrics endpoint still holds the server")?;
     let report = server.shutdown();
     let stats = report.service.stats;
     println!(
@@ -713,7 +852,7 @@ fn client(argv: &[String]) -> CmdResult {
     let Some((sub, rest)) = argv.split_first() else {
         return Err(format!("client needs a subcommand\n\n{USAGE}").into());
     };
-    let args = Args::parse(rest)?;
+    let args = Args::parse_with_flags(rest, &["explain", "json"])?;
     match sub.as_str() {
         "query" => client_query(&args),
         "loadgen" => client_loadgen(&args),
@@ -732,7 +871,11 @@ fn client_query(args: &Args) -> CmdResult {
     // The remote end clamps the window to the video length.
     let q = build_query(args, u32::MAX)?;
     let mut conn = Connection::connect(addr)?;
-    let outcome = conn.query(name, &q)?;
+    let explain = args.has("explain");
+    // A client-supplied trace id lets this invocation be correlated with
+    // the server's slow-query log.
+    let trace_id = explain.then(tasm_obs::next_trace_id);
+    let outcome = conn.query_traced(name, &q, trace_id)?;
     match q.query_mode() {
         QueryMode::Exists => println!(
             "exists '{label}' on {name}@{addr}: {} ({} matches known from the index; no tiles decoded)",
@@ -764,6 +907,12 @@ fn client_query(args: &Args) -> CmdResult {
         outcome.latency.as_secs_f64() * 1e3,
         (outcome.summary.lookup_micros + outcome.summary.exec_micros) as f64 / 1e3,
     );
+    if explain {
+        match &outcome.trace {
+            Some(trace) => print_trace(trace),
+            None => println!("  (server sent no trace — pre-tracing build?)"),
+        }
+    }
     conn.goodbye()?;
     Ok(())
 }
@@ -823,11 +972,54 @@ fn client_loadgen(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// One line of hand-built JSON for a [`tasm_service::ServiceStats`]
+/// snapshot. Built
+/// with `format!` rather than a serializer: the service types carry no
+/// serde derives, and every field here is numeric.
+fn service_stats_json(source: &str, stats: &tasm_service::ServiceStats) -> String {
+    let l = &stats.latency;
+    let buckets: Vec<String> = l.buckets.iter().map(|b| b.to_string()).collect();
+    format!(
+        concat!(
+            "{{\"source\":\"{}\",\"submitted\":{},\"completed\":{},\"failed\":{},",
+            "\"samples_decoded\":{},\"samples_reused\":{},\"cache_hits\":{},",
+            "\"cache_misses\":{},\"shared_owned\":{},\"shared_joined\":{},",
+            "\"retile_ops\":{},\"retile_errors\":{},\"queue_peak\":{},",
+            "\"latency\":{{\"count\":{},\"total_micros\":{},\"p50_micros\":{},",
+            "\"p95_micros\":{},\"p99_micros\":{},\"buckets\":[{}]}}}}"
+        ),
+        tasm_obs::log::json_escape(source),
+        stats.submitted,
+        stats.completed,
+        stats.failed,
+        stats.samples_decoded,
+        stats.samples_reused,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.shared.owned,
+        stats.shared.joined,
+        stats.retile_ops,
+        stats.retile_errors,
+        stats.queue_peak,
+        l.count,
+        l.total_micros,
+        l.p50().as_micros(),
+        l.p95().as_micros(),
+        l.p99().as_micros(),
+        buckets.join(","),
+    )
+}
+
 /// Prints a remote server's aggregate statistics.
 fn client_stats(args: &Args) -> CmdResult {
     let addr = args.required("addr")?;
     let mut conn = Connection::connect(addr)?;
     let stats = conn.stats()?;
+    if args.has("json") {
+        println!("{}", service_stats_json(addr, &stats));
+        conn.goodbye()?;
+        return Ok(());
+    }
     println!(
         "{addr}: {} submitted, {} completed, {} failed, queue peak {}",
         stats.submitted, stats.completed, stats.failed, stats.queue_peak
@@ -947,6 +1139,7 @@ fn cluster_show(args: &Args) -> CmdResult {
 fn route(args: &Args) -> CmdResult {
     let map_path = PathBuf::from(args.required("map")?);
     let addr = args.get("addr").unwrap_or("127.0.0.1:7750");
+    apply_log_flags(args)?;
     let cfg = tasm_cluster::RouterConfig {
         map_path,
         max_connections: args.get_or("max-connections", 64usize)?,
@@ -957,6 +1150,9 @@ fn route(args: &Args) -> CmdResult {
         ..tasm_cluster::RouterConfig::default()
     };
     let router = tasm_cluster::Router::bind(cfg, addr)?;
+    // Router-side counters (routed queries, failovers, replication acks)
+    // live in the global registry; no shard is dialed on a scrape.
+    let metrics = start_metrics(args, None)?;
     let stats = router.stats();
     println!(
         "tasm-router listening on {} (shard map epoch {})",
@@ -971,6 +1167,9 @@ fn route(args: &Args) -> CmdResult {
     std::io::stdout().flush().ok();
 
     router.wait_shutdown_requested();
+    if let Some(m) = metrics {
+        m.shutdown();
+    }
     let report = router.shutdown(true);
     println!(
         "cluster drain: {} queries routed ({} replica retries, {} failovers), {} busy rejections, {} sessions",
@@ -1027,7 +1226,9 @@ fn rebalance_cmd(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// Prints what startup recovery repaired, if anything.
+/// Prints what startup recovery repaired, if anything, mirroring it into
+/// the structured log so a supervised `serve` leaves a machine-readable
+/// record of post-crash repairs.
 fn report_recovery(tasm: &Tasm) {
     let report = tasm.recovery_report();
     if report.deferred {
@@ -1036,14 +1237,23 @@ fn report_recovery(tasm: &Tasm) {
              (a running server?); nothing was repaired, and staging/commit \
              files may belong to its in-flight re-tiles"
         );
+        tasm_obs::log::warn(
+            "recovery.deferred",
+            &[("reason", "store lock held by another process".to_string())],
+        );
     }
     if !report.is_clean() {
         println!(
             "recovery: repaired {} interrupted operation(s):",
             report.actions.len()
         );
+        tasm_obs::log::warn(
+            "recovery.repaired",
+            &[("actions", report.actions.len().to_string())],
+        );
         for action in &report.actions {
             println!("  - {action}");
+            tasm_obs::log::info("recovery.action", &[("action", action.to_string())]);
         }
     }
 }
@@ -1130,6 +1340,8 @@ fn stats(args: &Args) -> CmdResult {
     let entries = std::fs::read_dir(&videos_dir)
         .map_err(|_| format!("no store at '{store}' (run `tasm ingest` first)"))?;
     let tasm = open_tasm(store, args)?;
+    let json = args.has("json");
+    let mut video_objs: Vec<String> = Vec::new();
     let mut ids: Vec<u32> = Vec::new();
     for entry in entries {
         let entry = entry?;
@@ -1160,14 +1372,31 @@ fn stats(args: &Args) -> CmdResult {
                 }
             }
         }
-        println!(
-            "{name}: {:.1} KiB on disk / {:.1} KiB raw ({:.2}x smaller), \
-             tiles: {dct} dct, {pred} pred",
-            disk as f64 / 1024.0,
-            raw as f64 / 1024.0,
-            raw as f64 / disk.max(1) as f64,
-        );
+        if json {
+            video_objs.push(format!(
+                concat!(
+                    "{{\"name\":\"{}\",\"disk_bytes\":{},\"raw_bytes\":{},",
+                    "\"frames\":{},\"sots\":{},\"tiles_dct\":{},\"tiles_pred\":{}}}"
+                ),
+                tasm_obs::log::json_escape(&name),
+                disk,
+                raw,
+                m.frame_count,
+                m.sots.len(),
+                dct,
+                pred,
+            ));
+        } else {
+            println!(
+                "{name}: {:.1} KiB on disk / {:.1} KiB raw ({:.2}x smaller), \
+                 tiles: {dct} dct, {pred} pred",
+                disk as f64 / 1024.0,
+                raw as f64 / 1024.0,
+                raw as f64 / disk.max(1) as f64,
+            );
+        }
     }
+    let mut index_obj: Option<String> = None;
     if args.has("storage") {
         // A second, read-only handle on the tier: probe one query per
         // stored label so the filter counters reflect real lookups.
@@ -1178,34 +1407,62 @@ fn stats(args: &Args) -> CmdResult {
             }
         }
         let ts = tier.stats();
-        println!("semantic index tier:");
-        println!(
-            "  {} run(s) holding {} entries, memtable {} entries, {} detections total",
-            ts.run_count,
-            ts.run_entries,
-            ts.memtable_entries,
-            tier.detection_count()
-        );
-        for (id, n, bytes) in tier.run_summaries() {
+        if json {
+            index_obj = Some(format!(
+                concat!(
+                    "{{\"runs\":{},\"run_entries\":{},\"memtable_entries\":{},",
+                    "\"detections\":{},\"disk_bytes\":{},\"resident_bytes\":{},",
+                    "\"filter_probes\":{},\"filter_skips\":{},\"runs_read\":{}}}"
+                ),
+                ts.run_count,
+                ts.run_entries,
+                ts.memtable_entries,
+                tier.detection_count(),
+                ts.disk_bytes,
+                ts.resident_bytes,
+                ts.filter_probes,
+                ts.filter_skips,
+                ts.runs_read,
+            ));
+        } else {
+            println!("semantic index tier:");
             println!(
-                "    run {id:08}: {n} entries, {:.1} KiB",
-                bytes as f64 / 1024.0
+                "  {} run(s) holding {} entries, memtable {} entries, {} detections total",
+                ts.run_count,
+                ts.run_entries,
+                ts.memtable_entries,
+                tier.detection_count()
+            );
+            for (id, n, bytes) in tier.run_summaries() {
+                println!(
+                    "    run {id:08}: {n} entries, {:.1} KiB",
+                    bytes as f64 / 1024.0
+                );
+            }
+            println!(
+                "  disk {:.1} KiB, resident {:.1} KiB ({:.1}% of a fully resident map)",
+                ts.disk_bytes as f64 / 1024.0,
+                ts.resident_bytes as f64 / 1024.0,
+                100.0 * ts.resident_bytes as f64
+                    / ((ts.run_entries + ts.memtable_entries as u64).max(1) * 32) as f64,
+            );
+            println!(
+                "  bloom/range filters: {} probe(s), {} skipped disk reads ({:.0}% hit rate), {} run file(s) read",
+                ts.filter_probes,
+                ts.filter_skips,
+                100.0 * ts.filter_hit_rate(),
+                ts.runs_read,
             );
         }
-        println!(
-            "  disk {:.1} KiB, resident {:.1} KiB ({:.1}% of a fully resident map)",
-            ts.disk_bytes as f64 / 1024.0,
-            ts.resident_bytes as f64 / 1024.0,
-            100.0 * ts.resident_bytes as f64
-                / ((ts.run_entries + ts.memtable_entries as u64).max(1) * 32) as f64,
-        );
-        println!(
-            "  bloom/range filters: {} probe(s), {} skipped disk reads ({:.0}% hit rate), {} run file(s) read",
-            ts.filter_probes,
-            ts.filter_skips,
-            100.0 * ts.filter_hit_rate(),
-            ts.runs_read,
-        );
+    }
+    if json {
+        match index_obj {
+            Some(index) => println!(
+                "{{\"videos\":[{}],\"index\":{index}}}",
+                video_objs.join(",")
+            ),
+            None => println!("{{\"videos\":[{}]}}", video_objs.join(",")),
+        }
     }
     Ok(())
 }

@@ -118,6 +118,10 @@ pub struct RemoteOutcome {
     pub epoch: u64,
     /// Client-observed request latency (send → final frame).
     pub latency: Duration,
+    /// The server's per-phase execution trace (queue/plan/decode/stream),
+    /// tagged with the serving instance and executed epoch. `None` only
+    /// when talking to a pre-tracing server build.
+    pub trace: Option<tasm_proto::QueryTrace>,
 }
 
 /// One blocking protocol session over TCP.
@@ -200,6 +204,20 @@ impl Connection {
     /// completes. Typed server rejections (including BUSY under
     /// backpressure) come back as [`ClientError::Rejected`].
     pub fn query(&mut self, video: &str, query: &Query) -> Result<RemoteOutcome, ClientError> {
+        self.query_traced(video, query, None)
+    }
+
+    /// [`Connection::query`] with a client-chosen trace id stamped on the
+    /// request (`None` lets the server assign one at admission). The id
+    /// comes back on [`RemoteOutcome::trace`], which lets a caller — the
+    /// CLI's `--explain`, for one — correlate its own records with the
+    /// server's slow-query log.
+    pub fn query_traced(
+        &mut self,
+        video: &str,
+        query: &Query,
+        trace_id: Option<u64>,
+    ) -> Result<RemoteOutcome, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
         let t0 = Instant::now();
@@ -207,6 +225,7 @@ impl Connection {
             id,
             video: video.to_string(),
             query: query.clone(),
+            trace_id,
         }
         .write_to(&mut self.stream)?;
 
@@ -228,13 +247,14 @@ impl Connection {
             }
         }
         match self.read_for(id)? {
-            Message::ResultDone { summary, .. } => Ok(RemoteOutcome {
+            Message::ResultDone { summary, trace, .. } => Ok(RemoteOutcome {
                 regions,
                 matched,
                 plan,
                 summary,
                 epoch,
                 latency: t0.elapsed(),
+                trace,
             }),
             _ => Err(ClientError::Unexpected("expected result-done frame")),
         }

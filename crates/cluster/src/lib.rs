@@ -83,3 +83,72 @@ pub fn merge_stats(into: &mut ServiceStats, s: &ServiceStats) {
     into.queue_peak = into.queue_peak.max(s.queue_peak);
     into.latency += s.latency;
 }
+
+#[cfg(test)]
+mod tests {
+    use super::merge_stats;
+    use std::time::Duration;
+    use tasm_service::ServiceStats;
+
+    fn stats_with(latencies_micros: &[u64], submitted: u64, queue_peak: u64) -> ServiceStats {
+        let mut s = ServiceStats {
+            submitted,
+            completed: submitted,
+            queue_peak,
+            ..ServiceStats::default()
+        };
+        for &us in latencies_micros {
+            s.latency.record(Duration::from_micros(us));
+        }
+        s
+    }
+
+    #[test]
+    fn merging_an_empty_shard_is_the_identity() {
+        let mut merged = stats_with(&[700, 900, 1_200], 3, 5);
+        let before_count = merged.latency.count;
+        let before_p95 = merged.latency.p95();
+        merge_stats(&mut merged, &ServiceStats::default());
+        assert_eq!(merged.submitted, 3);
+        assert_eq!(merged.queue_peak, 5);
+        assert_eq!(merged.latency.count, before_count);
+        assert_eq!(merged.latency.p95(), before_p95);
+    }
+
+    #[test]
+    fn merge_into_empty_reproduces_the_source() {
+        let src = stats_with(&[700, 900, 1_200], 3, 5);
+        let mut merged = ServiceStats::default();
+        merge_stats(&mut merged, &src);
+        assert_eq!(merged.submitted, src.submitted);
+        assert_eq!(merged.latency.count, src.latency.count);
+        assert_eq!(merged.latency.buckets, src.latency.buckets);
+        assert_eq!(merged.latency.total_micros, src.latency.total_micros);
+    }
+
+    #[test]
+    fn queue_peak_takes_the_maximum_not_the_sum() {
+        let mut merged = stats_with(&[], 0, 7);
+        merge_stats(&mut merged, &stats_with(&[], 0, 3));
+        assert_eq!(merged.queue_peak, 7);
+        merge_stats(&mut merged, &stats_with(&[], 0, 11));
+        assert_eq!(merged.queue_peak, 11);
+    }
+
+    #[test]
+    fn disjoint_latency_ranges_keep_both_tails_after_merge() {
+        // Shard A: 60 fast queries (~3 µs). Shard B: 40 slow (~2 s).
+        let a = stats_with(&vec![3; 60], 60, 1);
+        let b = stats_with(&vec![2_000_000; 40], 40, 2);
+        let mut merged = ServiceStats::default();
+        merge_stats(&mut merged, &a);
+        merge_stats(&mut merged, &b);
+        assert_eq!(merged.latency.count, 100);
+        // The fixed log-scale buckets make the merge exact: the median
+        // stays in the fast band and p95 lands in the slow band.
+        let p50 = merged.latency.p50().as_micros() as u64;
+        assert!((2..=4).contains(&p50), "p50 = {p50}µs");
+        let p95 = merged.latency.p95().as_micros() as u64;
+        assert!((1_048_576..=4_194_304).contains(&p95), "p95 = {p95}µs");
+    }
+}

@@ -273,7 +273,15 @@ impl Replicator {
     fn send(&mut self, record: ReplicationRecord) -> Result<(), String> {
         self.conn
             .replicate(record)
-            .map_err(|e| format!("backup {} refused record: {e}", self.addr))
+            .map_err(|e| format!("backup {} refused record: {e}", self.addr))?;
+        if tasm_obs::enabled() {
+            tasm_obs::counter(
+                "tasm_replication_acks_total",
+                "Replication records durably acknowledged by backups.",
+            )
+            .inc();
+        }
+        Ok(())
     }
 
     /// Ships a full copy of `video`: every SOT's tile bytes, the commit

@@ -170,6 +170,14 @@ impl RouterShared {
             *n += 1;
             if *n >= self.cfg.fail_threshold {
                 self.failovers.fetch_add(1, Ordering::Relaxed);
+                if tasm_obs::enabled() {
+                    tasm_obs::counter(
+                        "tasm_router_failovers_total",
+                        "Shards marked down after reaching the failure threshold.",
+                    )
+                    .inc();
+                }
+                tasm_obs::log::warn("router.failover", &[("shard", node.to_string())]);
             }
         }
     }
@@ -519,7 +527,12 @@ fn session(shared: &Arc<RouterShared>, mut stream: TcpStream) {
             }
         };
         match msg {
-            Message::Query { id, video, query } => {
+            Message::Query {
+                id,
+                video,
+                query,
+                trace_id,
+            } => {
                 if !shared.admitting.load(Ordering::SeqCst) {
                     let _ = Message::Error {
                         id: Some(id),
@@ -540,7 +553,15 @@ fn session(shared: &Arc<RouterShared>, mut stream: TcpStream) {
                     .write_to(&mut stream);
                     continue;
                 }
-                let ok = route_query(shared, &mut shards, &mut stream, id, &video, &query);
+                let ok = route_query(
+                    shared,
+                    &mut shards,
+                    &mut stream,
+                    id,
+                    &video,
+                    &query,
+                    trace_id,
+                );
                 shared.inflight.fetch_sub(1, Ordering::AcqRel);
                 if !ok {
                     return;
@@ -642,9 +663,12 @@ fn shard_conn<'a>(
 }
 
 /// Routes one query: replica set in placement order, forwarding the
-/// winning shard's response stream to the client. Returns false when the
-/// *client* socket failed (session must end); shard failures are handled
-/// by failover inside.
+/// winning shard's response stream to the client. The shard's execution
+/// trace (instance tag, per-phase breakdown) is relayed unchanged, so the
+/// client sees which shard served it. Returns false when the *client*
+/// socket failed (session must end); shard failures are handled by
+/// failover inside.
+#[allow(clippy::too_many_arguments)]
 fn route_query(
     shared: &RouterShared,
     shards: &mut HashMap<String, Connection>,
@@ -652,6 +676,7 @@ fn route_query(
     id: u64,
     video: &str,
     query: &Query,
+    trace_id: Option<u64>,
 ) -> bool {
     let placement: Vec<(String, String)> = {
         let map = shared.map.read().expect("map lock");
@@ -683,10 +708,17 @@ fn route_query(
                 continue;
             }
         };
-        match conn.query(video, query) {
+        match conn.query_traced(video, query, trace_id) {
             Ok(outcome) => {
                 shared.note_success(node);
                 shared.routed.fetch_add(1, Ordering::Relaxed);
+                if tasm_obs::enabled() {
+                    tasm_obs::counter(
+                        "tasm_router_queries_total",
+                        "Queries successfully routed to a shard.",
+                    )
+                    .inc();
+                }
                 let header = Message::ResultHeader {
                     id,
                     matched: outcome.matched,
@@ -705,6 +737,9 @@ fn route_query(
                 return Message::ResultDone {
                     id,
                     summary: outcome.summary,
+                    // Relayed verbatim: the trace's instance field keeps
+                    // naming the shard that executed, not the router.
+                    trace: outcome.trace,
                 }
                 .write_to(stream)
                 .is_ok();

@@ -499,6 +499,23 @@ pub fn execute(
         shared += out.shared;
         tiles.push(out.tile);
     }
+    if tasm_obs::enabled() {
+        tasm_obs::counter(
+            "tasm_decoded_bytes_total",
+            "Compressed tile bytes read and decoded (cache reuse excluded).",
+        )
+        .add(decode.bytes_read);
+        tasm_obs::counter(
+            "tasm_decoded_samples_total",
+            "Pixel samples decoded (cache reuse excluded).",
+        )
+        .add(decode.samples_decoded);
+        tasm_obs::counter(
+            "tasm_cache_hit_bytes_total",
+            "Pixel samples served from the decoded-GOP cache instead of being decoded.",
+        )
+        .add(cache.samples_reused);
+    }
     Ok((tiles, decode, cache, shared))
 }
 

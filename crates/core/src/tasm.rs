@@ -379,8 +379,18 @@ impl EpochPin {
     }
 }
 
+/// The live-reader gauge, incremented by every epoch pin and decremented
+/// on its drop.
+fn epoch_pins_gauge() -> std::sync::Arc<tasm_obs::Gauge> {
+    tasm_obs::gauge(
+        "tasm_epoch_pins_live",
+        "Layout-epoch pins currently held by in-flight scans and explicit pin_epoch callers.",
+    )
+}
+
 impl Drop for EpochPin {
     fn drop(&mut self) {
+        epoch_pins_gauge().dec();
         let gc = {
             let mut table = self.shard.epochs.lock().expect("epoch table lock");
             if let Some(entry) = table.live.get_mut(&self.epoch) {
@@ -898,6 +908,30 @@ impl Tasm {
     /// assert_eq!(exists.stats.samples_decoded, 0);
     /// ```
     pub fn query(&self, name: &str, query: &Query) -> Result<ScanResult, TasmError> {
+        self.query_inner(name, query, None)
+    }
+
+    /// [`Tasm::query`] with RAII phase spans: the planning section (shard
+    /// lookup, epoch pin, semantic-index scan) runs under a `plan` span and
+    /// the decode fan-out under a `decode` span, both accumulating into
+    /// `spans` — the per-query trace the service folds into the
+    /// [`QueryTrace`](tasm_obs::QueryTrace) returned to remote clients.
+    pub fn query_traced(
+        &self,
+        name: &str,
+        query: &Query,
+        spans: &Arc<tasm_obs::TraceSpans>,
+    ) -> Result<ScanResult, TasmError> {
+        self.query_inner(name, query, Some(spans))
+    }
+
+    fn query_inner(
+        &self,
+        name: &str,
+        query: &Query,
+        spans: Option<&Arc<tasm_obs::TraceSpans>>,
+    ) -> Result<ScanResult, TasmError> {
+        let plan_span = spans.map(|s| s.span(tasm_obs::Phase::Plan));
         let shard = self.shard(name)?;
         let pin = self.pin_shard(name, &shard, query.as_of_epoch())?;
         let manifest = pin.manifest();
@@ -912,14 +946,23 @@ impl Tasm {
             })
             .map_err(|e| TasmError::Scan(ScanError::Index(e)))?;
         let lookup_time = t0.elapsed();
-        Ok(query_prepared(
-            &self.store,
-            manifest,
-            regions,
-            query,
-            frames,
-            lookup_time,
-        )?)
+        drop(plan_span);
+        let decode_span = spans.map(|s| s.span(tasm_obs::Phase::Decode));
+        let result = query_prepared(&self.store, manifest, regions, query, frames, lookup_time)?;
+        drop(decode_span);
+        if tasm_obs::enabled() {
+            tasm_obs::histogram(
+                "tasm_query_plan_seconds",
+                "Per-query semantic-index lookup time.",
+            )
+            .record(result.lookup_time);
+            tasm_obs::histogram(
+                "tasm_query_decode_seconds",
+                "Per-query decode fan-out wall time.",
+            )
+            .record(result.exec_time);
+        }
+        Ok(result)
     }
 
     /// Pins a layout epoch of `name` explicitly: the current epoch
@@ -953,6 +996,7 @@ impl Tasm {
             });
         };
         entry.readers += 1;
+        epoch_pins_gauge().inc();
         Ok(EpochPin {
             shard: shard.clone(),
             store: self.store.clone(),

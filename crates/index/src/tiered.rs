@@ -1027,6 +1027,11 @@ impl TieredIndex {
         // The WAL only covered records now durable in the run.
         self.io.write(&self.wal_path(), &[])?;
         self.wal_len = 0;
+        tasm_obs::counter(
+            "tasm_wal_flushes_total",
+            "Semantic-index memtable flushes: WAL truncations after a run was made durable.",
+        )
+        .inc();
         Ok(())
     }
 

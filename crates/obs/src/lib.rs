@@ -1,0 +1,67 @@
+//! # tasm-obs: observability primitives for the TASM stack
+//!
+//! A dependency-free leaf crate every other layer (core, service, server,
+//! cluster, cli) can share without cycles. Four pieces:
+//!
+//! - [`metrics`] — a process-global, lock-free metrics registry. Counters
+//!   and gauges are single atomics; histograms use the same log₂-banded
+//!   atomic shape as the service latency histogram (40 power-of-two
+//!   microsecond bands, `Release` count paired with an `Acquire` snapshot
+//!   load so a racy snapshot can only under-count). [`metrics::render`]
+//!   emits the whole registry in Prometheus text exposition format 0.0.4,
+//!   including cumulative `_bucket{le="..."}` series.
+//! - [`trace`] — per-query distributed tracing: a process-unique
+//!   [`trace::next_trace_id`], RAII [`trace::PhaseSpan`]s that accumulate
+//!   wall time into one of four fixed phases (queue / plan / decode /
+//!   stream), and the wire-portable [`QueryTrace`] summary a server
+//!   attaches to its `ResultDone` frame.
+//! - [`log`] — a leveled structured logger writing `key=value` lines (or
+//!   JSON lines) to stderr, used for the slow-query log, retile-daemon
+//!   errors, and recovery reports.
+//! - [`http`] — a hand-rolled minimal HTTP/1.1 GET responder for
+//!   `/metrics`, so `tasm serve --metrics-addr` needs no HTTP crate.
+//!
+//! ## Overhead and the kill switch
+//!
+//! Every record path early-returns when [`set_enabled`]`(false)` has been
+//! called, so a benchmark can measure the instrumented stack against a
+//! no-op baseline in one binary (`obs_bench` asserts the enabled overhead
+//! stays under 3% on warm scans). Enabled is the default.
+
+pub mod http;
+pub mod log;
+pub mod metrics;
+pub mod trace;
+
+pub use http::MetricsServer;
+pub use log::Level;
+pub use metrics::{
+    counter, gauge, histogram, render, render_histogram_into, Counter, Gauge, Histogram,
+    HistogramSnapshot, HISTOGRAM_BANDS,
+};
+pub use trace::{next_trace_id, Phase, PhaseSpan, QueryTrace, TraceSpans};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enables or disables every metric record path and phase span
+/// (registration and rendering still work). Used by `obs_bench` to compare
+/// the instrumented stack against a no-op baseline.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether instrumentation is live (the default).
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Serializes tests that record metrics or toggle the global kill switch,
+/// so a test flipping [`set_enabled`] cannot swallow another test's
+/// increments.
+#[cfg(test)]
+pub(crate) fn test_serial() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}

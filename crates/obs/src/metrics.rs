@@ -1,0 +1,406 @@
+//! The process-global lock-free metrics registry and its Prometheus text
+//! exposition.
+//!
+//! Registration (`counter` / `gauge` / `histogram`) takes a short mutex to
+//! insert into the name map and hands back an `Arc` handle; every update
+//! after that is a plain atomic on the handle. Call sites that run once per
+//! query may simply re-look-up by name — the map is a `BTreeMap` behind a
+//! mutex and a lookup is nanoseconds next to a video decode. Hot loops
+//! should cache the `Arc` in a `OnceLock`.
+//!
+//! Histograms reuse the log₂-microsecond-band shape of the service latency
+//! histogram: bucket `i` counts observations whose microsecond value has
+//! floored log₂ `i` (band 0 also holds sub-microsecond observations), 40
+//! bands reach ≈12.7 days. The count is bumped with `Release` ordering
+//! after the bucket so an `Acquire` snapshot can only observe
+//! `count <= sum(buckets)`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Number of log₂ microsecond bands in a [`Histogram`].
+pub const HISTOGRAM_BANDS: usize = 40;
+
+/// A monotonically increasing counter.
+#[derive(Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (no-op while instrumentation is disabled).
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed gauge (queue depth, live epoch pins, sessions).
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Adds `delta` (no-op while instrumentation is disabled).
+    pub fn add(&self, delta: i64) {
+        if crate::enabled() {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrites the value (applies even while disabled, so a re-enable
+    /// does not resurrect a stale level).
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free log₂-banded duration histogram.
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BANDS],
+    count: AtomicU64,
+    total_micros: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BANDS],
+            count: AtomicU64::new(0),
+            total_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Band a microsecond value falls into (log₂ scale, clamped).
+fn band_index(micros: u64) -> usize {
+    if micros == 0 {
+        0
+    } else {
+        (micros.ilog2() as usize).min(HISTOGRAM_BANDS - 1)
+    }
+}
+
+impl Histogram {
+    /// Records one duration (no-op while instrumentation is disabled).
+    pub fn record(&self, d: Duration) {
+        self.record_micros(d.as_micros() as u64);
+    }
+
+    /// Records one observation in microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.buckets[band_index(micros)].fetch_add(1, Ordering::Relaxed);
+        // Release pairs with the Acquire count load in `snapshot`: a
+        // snapshot that observes this count also observes the bucket add.
+        self.count.fetch_add(1, Ordering::Release);
+    }
+
+    /// A consistent-enough point-in-time copy: the count is loaded first
+    /// with `Acquire`, so a racing `record_micros` leaves at worst
+    /// `count <= sum(buckets)`.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Acquire);
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count,
+            total_micros: self.total_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-band counts; band `i` covers `[2^i, 2^(i+1))` µs (band 0 starts
+    /// at zero).
+    pub buckets: [u64; HISTOGRAM_BANDS],
+    /// Recorded observations.
+    pub count: u64,
+    /// Sum of all observations in microseconds.
+    pub total_micros: u64,
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    help: &'static str,
+    metric: Metric,
+}
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, Entry>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, Entry>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Returns (registering on first use) the named counter.
+///
+/// # Panics
+/// If `name` was previously registered as a different metric kind.
+pub fn counter(name: &'static str, help: &'static str) -> Arc<Counter> {
+    let mut reg = registry().lock().expect("metrics registry lock");
+    let entry = reg.entry(name).or_insert_with(|| Entry {
+        help,
+        metric: Metric::Counter(Arc::new(Counter::default())),
+    });
+    match &entry.metric {
+        Metric::Counter(c) => Arc::clone(c),
+        _ => panic!("metric {name} already registered with a different kind"),
+    }
+}
+
+/// Returns (registering on first use) the named gauge.
+///
+/// # Panics
+/// If `name` was previously registered as a different metric kind.
+pub fn gauge(name: &'static str, help: &'static str) -> Arc<Gauge> {
+    let mut reg = registry().lock().expect("metrics registry lock");
+    let entry = reg.entry(name).or_insert_with(|| Entry {
+        help,
+        metric: Metric::Gauge(Arc::new(Gauge::default())),
+    });
+    match &entry.metric {
+        Metric::Gauge(g) => Arc::clone(g),
+        _ => panic!("metric {name} already registered with a different kind"),
+    }
+}
+
+/// Returns (registering on first use) the named histogram.
+///
+/// # Panics
+/// If `name` was previously registered as a different metric kind.
+pub fn histogram(name: &'static str, help: &'static str) -> Arc<Histogram> {
+    let mut reg = registry().lock().expect("metrics registry lock");
+    let entry = reg.entry(name).or_insert_with(|| Entry {
+        help,
+        metric: Metric::Histogram(Arc::new(Histogram::default())),
+    });
+    match &entry.metric {
+        Metric::Histogram(h) => Arc::clone(h),
+        _ => panic!("metric {name} already registered with a different kind"),
+    }
+}
+
+/// Renders the whole registry in Prometheus text exposition format 0.0.4
+/// (`# HELP` / `# TYPE` headers, cumulative `_bucket{le="..."}` series plus
+/// `_sum`/`_count` for histograms, durations in seconds).
+pub fn render() -> String {
+    let reg = registry().lock().expect("metrics registry lock");
+    let mut out = String::new();
+    for (name, entry) in reg.iter() {
+        match &entry.metric {
+            Metric::Counter(c) => {
+                out.push_str(&format!(
+                    "# HELP {name} {}\n# TYPE {name} counter\n{name} {}\n",
+                    entry.help,
+                    c.get()
+                ));
+            }
+            Metric::Gauge(g) => {
+                out.push_str(&format!(
+                    "# HELP {name} {}\n# TYPE {name} gauge\n{name} {}\n",
+                    entry.help,
+                    g.get()
+                ));
+            }
+            Metric::Histogram(h) => {
+                let snap = h.snapshot();
+                render_histogram_into(
+                    &mut out,
+                    name,
+                    entry.help,
+                    &snap.buckets,
+                    snap.count,
+                    snap.total_micros,
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Appends one histogram in exposition format. Band counts are the
+/// per-band (non-cumulative) log₂-microsecond counts; the rendered
+/// `le` bounds are the band upper edges converted to seconds, cumulated
+/// as Prometheus requires, with `+Inf` pinned to the total observation
+/// count (which can exceed the band sum on a racy snapshot).
+///
+/// Shared by [`render`] and by callers exposing an external histogram of
+/// the same shape (the service latency histogram).
+pub fn render_histogram_into(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    band_counts: &[u64],
+    count: u64,
+    total_micros: u64,
+) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    for (i, n) in band_counts.iter().enumerate() {
+        cumulative += n;
+        let le = (1u128 << (i + 1)) as f64 / 1e6;
+        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{le=\"+Inf\"}} {}\n",
+        cumulative.max(count)
+    ));
+    out.push_str(&format!("{name}_sum {}\n", total_micros as f64 / 1e6));
+    out.push_str(&format!("{name}_count {count}\n"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once_and_accumulate() {
+        let _serial = crate::test_serial();
+        let c = counter("test_obs_counter_total", "test counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(counter("test_obs_counter_total", "ignored").get(), 5);
+        let g = gauge("test_obs_gauge", "test gauge");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(gauge("test_obs_gauge", "ignored").get(), 1);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn histogram_bands_match_the_service_shape() {
+        let _serial = crate::test_serial();
+        assert_eq!(band_index(0), 0);
+        assert_eq!(band_index(1), 0);
+        assert_eq!(band_index(2), 1);
+        assert_eq!(band_index(1024), 10);
+        assert_eq!(band_index(u64::MAX), HISTOGRAM_BANDS - 1);
+        let h = Histogram::default();
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_millis(10));
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.total_micros, 10_200);
+        assert_eq!(snap.buckets[6], 2); // [64, 128) µs
+        assert_eq!(snap.buckets[13], 1); // [8192, 16384) µs
+    }
+
+    #[test]
+    fn exposition_buckets_are_cumulative_and_well_formed() {
+        let _serial = crate::test_serial();
+        let mut bands = [0u64; HISTOGRAM_BANDS];
+        bands[6] = 2;
+        bands[13] = 1;
+        let mut out = String::new();
+        render_histogram_into(
+            &mut out,
+            "test_hist_seconds",
+            "help text",
+            &bands,
+            3,
+            10_200,
+        );
+        assert!(out.contains("# TYPE test_hist_seconds histogram\n"));
+        // Band 6 upper edge is 128 µs = 0.000128 s; cumulative count 2.
+        assert!(out.contains("test_hist_seconds_bucket{le=\"0.000128\"} 2\n"));
+        // Band 13 upper edge is 16384 µs; cumulative count 3.
+        assert!(out.contains("test_hist_seconds_bucket{le=\"0.016384\"} 3\n"));
+        assert!(out.contains("test_hist_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(out.contains("test_hist_seconds_sum 0.0102\n"));
+        assert!(out.contains("test_hist_seconds_count 3\n"));
+        // Cumulative counts never decrease.
+        let mut last = 0u64;
+        for line in out.lines().filter(|l| l.contains("_bucket{")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "bucket counts must be cumulative: {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn racy_snapshot_pins_inf_bucket_to_count() {
+        let _serial = crate::test_serial();
+        let mut bands = [0u64; HISTOGRAM_BANDS];
+        bands[0] = 1;
+        let mut out = String::new();
+        // count=2 but only one banded observation: the torn-read shape.
+        render_histogram_into(&mut out, "racy_seconds", "h", &bands, 2, 5);
+        assert!(out.contains("racy_seconds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(out.contains("racy_seconds_count 2\n"));
+    }
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        let _serial = crate::test_serial();
+        let c = counter("test_obs_disabled_total", "t");
+        let h = histogram("test_obs_disabled_seconds", "t");
+        crate::set_enabled(false);
+        c.inc();
+        h.record(Duration::from_micros(10));
+        crate::set_enabled(true);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.snapshot().count, 0);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn render_emits_every_registered_series() {
+        let _serial = crate::test_serial();
+        counter("test_obs_render_total", "a counter").inc();
+        gauge("test_obs_render_gauge", "a gauge").set(7);
+        histogram("test_obs_render_seconds", "a histogram").record(Duration::from_micros(3));
+        let text = render();
+        assert!(text.contains("test_obs_render_total 1\n"));
+        assert!(text.contains("test_obs_render_gauge 7\n"));
+        assert!(text.contains("# TYPE test_obs_render_seconds histogram\n"));
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
+            value.parse::<f64>().expect("metric value parses");
+        }
+    }
+}

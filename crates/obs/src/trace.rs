@@ -1,0 +1,247 @@
+//! Per-query distributed tracing: trace ids, RAII phase spans, and the
+//! wire-portable [`QueryTrace`] summary.
+//!
+//! A query's life is divided into four fixed phases:
+//!
+//! | phase  | covers                                                    |
+//! |--------|-----------------------------------------------------------|
+//! | queue  | admission → a worker dequeues the job                     |
+//! | plan   | shard/epoch pin, manifest lookup, semantic index scan     |
+//! | decode | tile decode fan-out, cache lookups, predicate evaluation  |
+//! | stream | serializing ResultHeader/Region*/ResultDone to the socket |
+//!
+//! Workers share one [`TraceSpans`] accumulator per query; code holds a
+//! phase open by keeping the RAII [`PhaseSpan`] guard alive (elapsed wall
+//! time is added on drop), or adds an already-measured duration with
+//! [`TraceSpans::add`]. The finished accumulator plus identity tags
+//! (trace id, serving instance, executed layout epoch) fold into a
+//! [`QueryTrace`], which travels back to the client on the `ResultDone`
+//! frame and through the router unchanged — a cluster query therefore
+//! shows exactly which shard served it and where the time went.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The four fixed query phases, in lifecycle order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Admission until a worker picks the job up.
+    Queue = 0,
+    /// Epoch pin, manifest lookup, and semantic-index scan.
+    Plan = 1,
+    /// Tile decode fan-out and predicate evaluation.
+    Decode = 2,
+    /// Writing the result frames to the client socket.
+    Stream = 3,
+}
+
+impl Phase {
+    /// Stable lower-case name used in logs and `--explain` output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Queue => "queue",
+            Phase::Plan => "plan",
+            Phase::Decode => "decode",
+            Phase::Stream => "stream",
+        }
+    }
+}
+
+/// Lock-free per-query accumulator of phase wall time in microseconds.
+#[derive(Debug, Default)]
+pub struct TraceSpans {
+    micros: [AtomicU64; 4],
+}
+
+impl TraceSpans {
+    /// A fresh shared accumulator.
+    pub fn shared() -> Arc<TraceSpans> {
+        Arc::new(TraceSpans::default())
+    }
+
+    /// Adds an already-measured duration to a phase.
+    pub fn add(&self, phase: Phase, d: Duration) {
+        self.add_micros(phase, d.as_micros() as u64);
+    }
+
+    /// Adds microseconds to a phase.
+    pub fn add_micros(&self, phase: Phase, micros: u64) {
+        self.micros[phase as usize].fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Microseconds accumulated in a phase so far.
+    pub fn get(&self, phase: Phase) -> u64 {
+        self.micros[phase as usize].load(Ordering::Relaxed)
+    }
+
+    /// Opens an RAII span: the guard adds its elapsed wall time to `phase`
+    /// when dropped. Returns an inert guard (no clock reads) while
+    /// instrumentation is disabled.
+    pub fn span(self: &Arc<Self>, phase: Phase) -> PhaseSpan {
+        PhaseSpan {
+            spans: crate::enabled().then(|| Arc::clone(self)),
+            phase,
+            start: Instant::now(),
+        }
+    }
+
+    /// Folds the accumulated phases plus identity tags into the
+    /// wire-portable summary.
+    pub fn finish(&self, trace_id: u64, epoch: u64, total: Duration) -> QueryTrace {
+        QueryTrace {
+            trace_id,
+            instance: String::new(),
+            epoch,
+            queue_micros: self.get(Phase::Queue),
+            plan_micros: self.get(Phase::Plan),
+            decode_micros: self.get(Phase::Decode),
+            stream_micros: self.get(Phase::Stream),
+            total_micros: total.as_micros() as u64,
+        }
+    }
+}
+
+/// RAII guard for one open phase; adds elapsed wall time on drop.
+pub struct PhaseSpan {
+    spans: Option<Arc<TraceSpans>>,
+    phase: Phase,
+    start: Instant,
+}
+
+impl Drop for PhaseSpan {
+    fn drop(&mut self) {
+        if let Some(spans) = &self.spans {
+            spans.add(self.phase, self.start.elapsed());
+        }
+    }
+}
+
+/// The finished per-query breakdown a server attaches to `ResultDone`.
+///
+/// All durations are microseconds of wall time. `total_micros` is the
+/// server-side admission→completion measurement; the phase fields are a
+/// decomposition of (most of) it — scheduling gaps between phases mean
+/// the phase sum is `<= total` plus the stream time measured after the
+/// total was taken.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueryTrace {
+    /// Process-unique id, client-supplied on the Query frame or assigned
+    /// at admission.
+    pub trace_id: u64,
+    /// The serving node's listen address — identifies the shard that
+    /// executed a routed query.
+    pub instance: String,
+    /// Layout epoch the query executed against.
+    pub epoch: u64,
+    /// Time spent waiting in the submission queue.
+    pub queue_micros: u64,
+    /// Time spent pinning the epoch and scanning the semantic index.
+    pub plan_micros: u64,
+    /// Time spent decoding tiles and evaluating the predicate.
+    pub decode_micros: u64,
+    /// Time spent streaming result frames to the socket.
+    pub stream_micros: u64,
+    /// Admission→completion wall time on the serving node.
+    pub total_micros: u64,
+}
+
+impl QueryTrace {
+    /// Sum of the four phase durations.
+    pub fn phase_sum(&self) -> u64 {
+        self.queue_micros + self.plan_micros + self.decode_micros + self.stream_micros
+    }
+
+    /// Time inside the total not attributed to any phase (scheduling gaps,
+    /// result assembly); saturates at zero when streaming — measured after
+    /// the total — pushes the phase sum past it.
+    pub fn unattributed_micros(&self) -> u64 {
+        (self.total_micros + self.stream_micros).saturating_sub(self.phase_sum())
+    }
+}
+
+/// A process-unique trace id: the process id in the high 32 bits over a
+/// monotonically increasing counter, so ids from different nodes of a
+/// cluster cannot collide in practice.
+pub fn next_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let seq = NEXT.fetch_add(1, Ordering::Relaxed) & 0xffff_ffff;
+    ((std::process::id() as u64) << 32) | seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_into_their_phase() {
+        let _serial = crate::test_serial();
+        let spans = TraceSpans::shared();
+        {
+            let _plan = spans.span(Phase::Plan);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        spans.add(Phase::Queue, Duration::from_micros(150));
+        spans.add_micros(Phase::Queue, 50);
+        assert!(spans.get(Phase::Plan) >= 2_000, "plan span records elapsed");
+        assert_eq!(spans.get(Phase::Queue), 200);
+        assert_eq!(spans.get(Phase::Decode), 0);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _serial = crate::test_serial();
+        let spans = TraceSpans::shared();
+        crate::set_enabled(false);
+        {
+            let _decode = spans.span(Phase::Decode);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        crate::set_enabled(true);
+        assert_eq!(spans.get(Phase::Decode), 0);
+    }
+
+    #[test]
+    fn finish_folds_phases_and_tags() {
+        let spans = TraceSpans::shared();
+        spans.add_micros(Phase::Queue, 10);
+        spans.add_micros(Phase::Plan, 20);
+        spans.add_micros(Phase::Decode, 30);
+        let trace = spans.finish(42, 7, Duration::from_micros(100));
+        assert_eq!(trace.trace_id, 42);
+        assert_eq!(trace.epoch, 7);
+        assert_eq!(trace.queue_micros, 10);
+        assert_eq!(trace.total_micros, 100);
+        assert_eq!(trace.phase_sum(), 60);
+        assert_eq!(trace.unattributed_micros(), 40);
+    }
+
+    #[test]
+    fn unattributed_time_saturates_at_zero() {
+        let trace = QueryTrace {
+            queue_micros: 50,
+            plan_micros: 50,
+            decode_micros: 50,
+            stream_micros: 500,
+            total_micros: 100,
+            ..QueryTrace::default()
+        };
+        assert_eq!(trace.unattributed_micros(), 0);
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_tagged_with_the_process() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, b);
+        assert_eq!(a >> 32, std::process::id() as u64);
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        assert_eq!(Phase::Queue.name(), "queue");
+        assert_eq!(Phase::Plan.name(), "plan");
+        assert_eq!(Phase::Decode.name(), "decode");
+        assert_eq!(Phase::Stream.name(), "stream");
+    }
+}

@@ -32,7 +32,7 @@
 //!   │                                     │   cap reached → Error{id, TooManyInflight}
 //!   │ ◄─────────────────────────────────  │  ResultHeader{id, matched, n, plan}
 //!   │ ◄─────────────────────────────────  │  Region{id, …}   × n
-//!   │ ◄─────────────────────────────────  │  ResultDone{id, summary}
+//!   │ ◄─────────────────────────────────  │  ResultDone{id, summary, trace}
 //!   │ StatsRequest / Goodbye / Shutdown   │
 //! ```
 //!
@@ -75,6 +75,7 @@ pub use message::{
     encode_region, ErrorCode, Message, ReplicatedDetection, ReplicationRecord, ResultSummary,
     MAGIC, VERSION,
 };
+pub use tasm_obs::QueryTrace;
 pub use wire::{
     frame, read_frame, read_frame_deadline, write_frame, ProtoError, Reader, Writer, MAX_FRAME_LEN,
 };

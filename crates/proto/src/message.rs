@@ -3,6 +3,7 @@
 use crate::wire::{read_frame, write_frame, ProtoError, Reader, Writer};
 use std::io::{Read, Write};
 use tasm_core::{LabelPredicate, PlanStats, Query, QueryMode, RegionPixels, SharedScanStats};
+use tasm_obs::QueryTrace;
 use tasm_service::{LatencyHistogram, ServiceStats, LATENCY_BUCKETS};
 use tasm_video::{Frame, Plane, Rect};
 
@@ -234,6 +235,10 @@ pub enum Message {
         /// The full spatiotemporal query (predicate ∧ ROI/stride/limit ∧
         /// aggregate mode).
         query: Query,
+        /// Client-supplied distributed trace id. `None` lets the server
+        /// assign one at admission; either way the id comes back on the
+        /// [`Message::ResultDone`] trace.
+        trace_id: Option<u64>,
     },
     /// Server → client: the query matched; `regions` region frames follow.
     ResultHeader {
@@ -270,6 +275,11 @@ pub enum Message {
         id: u64,
         /// What serving the query cost.
         summary: ResultSummary,
+        /// Per-phase execution trace of the query on the node that served
+        /// it, tagged with the serving instance and executed epoch. The
+        /// router relays it unchanged, so a routed query's trace names the
+        /// shard that ran it.
+        trace: Option<QueryTrace>,
     },
     /// Client → server: report aggregate service statistics.
     StatsRequest,
@@ -369,11 +379,23 @@ impl Message {
                 w.u16(*version);
                 w.u32(*max_inflight);
             }
-            Message::Query { id, video, query } => {
+            Message::Query {
+                id,
+                video,
+                query,
+                trace_id,
+            } => {
                 w.u8(tag::QUERY);
                 w.u64(*id);
                 w.str(video);
                 encode_query(&mut w, query);
+                match trace_id {
+                    Some(trace_id) => {
+                        w.u8(1);
+                        w.u64(*trace_id);
+                    }
+                    None => w.u8(0),
+                }
             }
             Message::ResultHeader {
                 id,
@@ -390,7 +412,7 @@ impl Message {
                 w.u64(*epoch);
             }
             Message::Region { id, region } => encode_region_payload(&mut w, *id, region),
-            Message::ResultDone { id, summary } => {
+            Message::ResultDone { id, summary, trace } => {
                 w.u8(tag::RESULT_DONE);
                 w.u64(*id);
                 w.u64(summary.samples_decoded);
@@ -401,6 +423,13 @@ impl Message {
                 w.u64(summary.shared.joined);
                 w.u64(summary.lookup_micros);
                 w.u64(summary.exec_micros);
+                match trace {
+                    Some(trace) => {
+                        w.u8(1);
+                        encode_trace(&mut w, trace);
+                    }
+                    None => w.u8(0),
+                }
             }
             Message::StatsRequest => w.u8(tag::STATS_REQUEST),
             Message::StatsReply { stats } => {
@@ -475,6 +504,11 @@ impl Message {
                 id: r.u64()?,
                 video: r.str()?,
                 query: decode_query(&mut r)?,
+                trace_id: match r.u8()? {
+                    0 => None,
+                    1 => Some(r.u64()?),
+                    _ => return Err(ProtoError::Malformed("trace id presence flag")),
+                },
             },
             tag::RESULT_HEADER => Message::ResultHeader {
                 id: r.u64()?,
@@ -515,6 +549,11 @@ impl Message {
                     },
                     lookup_micros: r.u64()?,
                     exec_micros: r.u64()?,
+                },
+                trace: match r.u8()? {
+                    0 => None,
+                    1 => Some(decode_trace(&mut r)?),
+                    _ => return Err(ProtoError::Malformed("trace presence flag")),
                 },
             },
             tag::STATS_REQUEST => Message::StatsRequest,
@@ -832,6 +871,30 @@ fn decode_query(r: &mut Reader<'_>) -> Result<Query, ProtoError> {
         _ => return Err(ProtoError::Malformed("as-of presence flag")),
     }
     Ok(query)
+}
+
+fn encode_trace(w: &mut Writer, t: &QueryTrace) {
+    w.u64(t.trace_id);
+    w.str(&t.instance);
+    w.u64(t.epoch);
+    w.u64(t.queue_micros);
+    w.u64(t.plan_micros);
+    w.u64(t.decode_micros);
+    w.u64(t.stream_micros);
+    w.u64(t.total_micros);
+}
+
+fn decode_trace(r: &mut Reader<'_>) -> Result<QueryTrace, ProtoError> {
+    Ok(QueryTrace {
+        trace_id: r.u64()?,
+        instance: r.str()?,
+        epoch: r.u64()?,
+        queue_micros: r.u64()?,
+        plan_micros: r.u64()?,
+        decode_micros: r.u64()?,
+        stream_micros: r.u64()?,
+        total_micros: r.u64()?,
+    })
 }
 
 fn encode_plan(w: &mut Writer, p: &PlanStats) {

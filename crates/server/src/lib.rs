@@ -126,6 +126,10 @@ pub struct ServerReport {
 pub(crate) struct ServerShared {
     pub service: QueryService,
     pub cfg: ServerConfig,
+    /// The bound address as a string; stamped into every query trace as
+    /// the serving instance so `--explain` output names which process (and
+    /// in a cluster, which shard) executed the query.
+    pub instance: String,
     shutdown: AtomicBool,
     shutdown_requested: Mutex<bool>,
     shutdown_cv: Condvar,
@@ -165,8 +169,19 @@ pub(crate) struct SessionGuard {
 
 impl Drop for SessionGuard {
     fn drop(&mut self) {
-        self.shared.active_sessions.fetch_sub(1, Ordering::AcqRel);
+        let prev = self.shared.active_sessions.fetch_sub(1, Ordering::AcqRel);
+        sessions_gauge().set(prev.saturating_sub(1) as i64);
     }
+}
+
+/// The gauge mirroring `ServerShared::active_sessions`. Updated at both
+/// the accept loop's reservation and the guard's release, so a scrape sees
+/// the same value admission control acts on.
+pub(crate) fn sessions_gauge() -> Arc<tasm_obs::Gauge> {
+    tasm_obs::gauge(
+        "tasm_sessions_active",
+        "Connections currently holding a server session slot.",
+    )
 }
 
 /// A running TASM server: a listener, its accept thread, and the session
@@ -208,6 +223,7 @@ impl TasmServer {
         let shared = Arc::new(ServerShared {
             service: QueryService::start_with_hook(tasm, service_cfg, hook),
             cfg,
+            instance: local_addr.to_string(),
             shutdown: AtomicBool::new(false),
             shutdown_requested: Mutex::new(false),
             shutdown_cv: Condvar::new(),
@@ -336,9 +352,18 @@ fn accept_loop(
         // the session thread starts so a connect burst cannot overshoot
         // the cap.
         let active = shared.active_sessions.fetch_add(1, Ordering::AcqRel);
+        sessions_gauge().set((active + 1) as i64);
         if active >= shared.cfg.max_connections {
-            shared.active_sessions.fetch_sub(1, Ordering::AcqRel);
+            let prev = shared.active_sessions.fetch_sub(1, Ordering::AcqRel);
+            sessions_gauge().set(prev.saturating_sub(1) as i64);
             shared.connection_rejections.fetch_add(1, Ordering::Relaxed);
+            if tasm_obs::enabled() {
+                tasm_obs::counter(
+                    "tasm_connections_rejected_total",
+                    "Connections refused at the listener for exceeding max_connections.",
+                )
+                .inc();
+            }
             // Detached: refuse() waits (bounded) for the peer to drain the
             // error frame, which must not stall the accept loop. The
             // courtesy pool itself is capped — under a connect flood,

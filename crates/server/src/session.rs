@@ -98,6 +98,11 @@ pub(crate) fn run(shared: &Arc<ServerShared>, stream: TcpStream, _guard: Session
         return;
     }
     shared.count_session();
+    let peer = reader
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
+    tasm_obs::log::debug("session.opened", &[("peer", peer.clone())]);
 
     // Tile bytes from `StageSot` replication records, held until their
     // commit record lands. Session-local: a replication stream is one
@@ -128,8 +133,13 @@ pub(crate) fn run(shared: &Arc<ServerShared>, stream: TcpStream, _guard: Session
             }
         };
         match msg {
-            Message::Query { id, video, query } => {
-                handle_query(shared, &session, id, video, query);
+            Message::Query {
+                id,
+                video,
+                query,
+                trace_id,
+            } => {
+                handle_query(shared, &session, id, video, query, trace_id);
             }
             Message::StatsRequest => {
                 session.send(&Message::StatsReply {
@@ -205,6 +215,8 @@ pub(crate) fn run(shared: &Arc<ServerShared>, stream: TcpStream, _guard: Session
     while *inflight > 0 {
         inflight = session.drained.wait(inflight).expect("inflight lock");
     }
+    drop(inflight);
+    tasm_obs::log::debug("session.closed", &[("peer", peer)]);
 }
 
 /// Poll timeouts a connection may sit silent before its handshake: with
@@ -293,6 +305,7 @@ fn handle_query(
     id: u64,
     video: String,
     query: tasm_core::Query,
+    trace_id: Option<u64>,
 ) {
     if shared.is_shutting_down() {
         session.send(&Message::Error {
@@ -313,13 +326,21 @@ fn handle_query(
         });
         return;
     }
-    let handle = match shared.service.try_submit(QueryRequest::new(video, query)) {
+    let request = QueryRequest::new(video, query).with_trace_id(trace_id);
+    let handle = match shared.service.try_submit(request) {
         Ok(handle) => handle,
         Err(e) => {
             if matches!(e, ServiceError::QueueFull) {
                 shared
                     .busy_rejections
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if tasm_obs::enabled() {
+                    tasm_obs::counter(
+                        "tasm_queries_busy_rejected_total",
+                        "Queries refused with a BUSY frame because the service queue was full.",
+                    )
+                    .inc();
+                }
             }
             session.send(&Message::Error {
                 id: Some(id),
@@ -335,6 +356,7 @@ fn handle_query(
     // visible in benches/remote.rs as part of the wire overhead.
     *session.inflight.lock().expect("inflight lock") += 1;
     let waiter = Arc::clone(session);
+    let instance = shared.instance.clone();
     let spawned = std::thread::Builder::new()
         .name("tasm-session-waiter".to_string())
         .spawn(move || {
@@ -342,12 +364,15 @@ fn handle_query(
             match handle.wait() {
                 Ok(outcome) => {
                     let result = &outcome.result;
+                    let mut trace = outcome.trace.clone();
+                    trace.instance = instance;
                     // The whole response is written under one writer lock
                     // so its frames stay contiguous on the wire. The first
                     // write failure (peer gone, or write timeout against a
                     // peer that stopped reading) abandons the rest — the
                     // stream is dead either way.
                     let mut w = session.writer.lock().expect("writer lock");
+                    let stream_start = std::time::Instant::now();
                     let _ = (|| -> std::io::Result<()> {
                         Message::ResultHeader {
                             id,
@@ -360,6 +385,18 @@ fn handle_query(
                         for region in &result.regions {
                             w.write_all(&tasm_proto::encode_region(id, region))?;
                         }
+                        // The stream phase covers the header and region
+                        // frames; ResultDone itself carries the trace, so
+                        // its own (tiny) write cannot be part of it.
+                        let streamed = stream_start.elapsed();
+                        trace.stream_micros = streamed.as_micros() as u64;
+                        if tasm_obs::enabled() {
+                            tasm_obs::histogram(
+                                "tasm_query_stream_seconds",
+                                "Time spent streaming result frames to the client.",
+                            )
+                            .record_micros(trace.stream_micros);
+                        }
                         Message::ResultDone {
                             id,
                             summary: tasm_proto::ResultSummary {
@@ -371,6 +408,7 @@ fn handle_query(
                                 lookup_micros: result.lookup_time.as_micros() as u64,
                                 exec_micros: result.exec_time.as_micros() as u64,
                             },
+                            trace: Some(trace),
                         }
                         .write_to(&mut *w)?;
                         w.flush()

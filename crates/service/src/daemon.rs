@@ -76,18 +76,50 @@ pub(crate) fn process_observations(shared: &Shared, batch: Vec<Observation>) {
                     // re-tile is only reported durable once every backup
                     // acked the new layout epoch.
                     let replicated = match &shared.hook {
-                        Some(hook) => hook.retiled(&obs.video).is_ok(),
+                        Some(hook) => match hook.retiled(&obs.video) {
+                            Ok(()) => true,
+                            Err(e) => {
+                                tasm_obs::log::error(
+                                    "retile.replication_failed",
+                                    &[("video", obs.video.clone()), ("error", e)],
+                                );
+                                false
+                            }
+                        },
                         None => true,
                     };
                     if replicated {
                         shared.stats.retile_ops.fetch_add(1, Ordering::Relaxed);
+                        if tasm_obs::enabled() {
+                            tasm_obs::counter(
+                                "tasm_retile_commits_total",
+                                "Background re-tiles committed (and replicated, when backups are configured).",
+                            )
+                            .inc();
+                        }
+                        tasm_obs::log::debug(
+                            "retile.committed",
+                            &[
+                                ("video", obs.video.clone()),
+                                ("label", obs.label.clone()),
+                                ("bytes", stats.encode.bytes_produced.to_string()),
+                            ],
+                        );
                     } else {
                         shared.stats.retile_errors.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             }
-            Err(_) => {
+            Err(e) => {
                 shared.stats.retile_errors.fetch_add(1, Ordering::Relaxed);
+                tasm_obs::log::error(
+                    "retile.failed",
+                    &[
+                        ("video", obs.video.clone()),
+                        ("label", obs.label.clone()),
+                        ("error", e.to_string()),
+                    ],
+                );
             }
         }
     }

@@ -40,6 +40,10 @@ pub struct ServiceConfig {
     pub retile: RetilePolicy,
     /// How often the retile daemon wakes when idle.
     pub retile_interval: Duration,
+    /// Slow-query log threshold: any completed query whose
+    /// submission→completion time reaches this logs its full trace at
+    /// `warn` through the structured logger (`None` disables the log).
+    pub slow_query: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -49,6 +53,7 @@ impl Default for ServiceConfig {
             queue_depth: 64,
             retile: RetilePolicy::Off,
             retile_interval: Duration::from_millis(20),
+            slow_query: None,
         }
     }
 }
@@ -74,6 +79,10 @@ pub struct QueryRequest {
     pub video: String,
     /// The query to plan and execute.
     pub query: Query,
+    /// Caller-supplied distributed trace id; `None` assigns one at
+    /// admission. Either way the id tags the outcome's
+    /// [`QueryTrace`](tasm_obs::QueryTrace).
+    pub trace_id: Option<u64>,
 }
 
 impl QueryRequest {
@@ -82,7 +91,15 @@ impl QueryRequest {
         QueryRequest {
             video: video.into(),
             query,
+            trace_id: None,
         }
+    }
+
+    /// Tags the request with a caller-chosen trace id (a remote client's,
+    /// relayed by the server).
+    pub fn with_trace_id(mut self, trace_id: Option<u64>) -> Self {
+        self.trace_id = trace_id;
+        self
     }
 
     /// A plain label-predicate scan over a frame window — the shape every
@@ -104,6 +121,9 @@ pub struct QueryOutcome {
     pub queue_time: Duration,
     /// Submission-to-completion wall-clock time.
     pub total_time: Duration,
+    /// Per-phase execution trace (queue/plan/decode filled here; the
+    /// serving layer adds its stream time and instance tag).
+    pub trace: tasm_obs::QueryTrace,
 }
 
 /// Errors surfaced to submitters.
@@ -186,9 +206,19 @@ impl QueryHandle {
 
 struct Job {
     id: u64,
+    /// Trace id resolved at admission: the request's, or a fresh one.
+    trace_id: u64,
     req: QueryRequest,
     tx: mpsc::SyncSender<Result<QueryOutcome, ServiceError>>,
     enqueued: Instant,
+}
+
+/// Queries currently waiting in the submission queue (gauge).
+fn queue_depth_gauge() -> Arc<tasm_obs::Gauge> {
+    tasm_obs::gauge(
+        "tasm_queue_depth",
+        "Queries currently waiting in the submission queue.",
+    )
 }
 
 pub(crate) struct Shared {
@@ -307,8 +337,10 @@ impl QueryService {
             queue = self.shared.not_full.wait(queue).expect("queue lock");
         }
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let trace_id = req.trace_id.unwrap_or_else(tasm_obs::next_trace_id);
         queue.push_back(Job {
             id,
+            trace_id,
             req,
             tx,
             enqueued: Instant::now(),
@@ -318,6 +350,14 @@ impl QueryService {
             .stats
             .queue_peak
             .fetch_max(queue.len() as u64, Ordering::Relaxed);
+        if tasm_obs::enabled() {
+            tasm_obs::counter(
+                "tasm_queries_submitted_total",
+                "Queries accepted into the submission queue.",
+            )
+            .inc();
+            queue_depth_gauge().set(queue.len() as i64);
+        }
         drop(queue);
         self.shared.not_empty.notify_one();
         Ok(QueryHandle { id, rx })
@@ -425,6 +465,7 @@ fn worker_loop(shared: &Shared) {
             let mut queue = shared.queue.lock().expect("queue lock");
             loop {
                 if let Some(job) = queue.pop_front() {
+                    queue_depth_gauge().set(queue.len() as i64);
                     shared.not_full.notify_one();
                     break job;
                 }
@@ -437,10 +478,29 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let queue_time = job.enqueued.elapsed();
-        match shared.tasm.query(&job.req.video, &job.req.query) {
+        let spans = tasm_obs::TraceSpans::shared();
+        spans.add(tasm_obs::Phase::Queue, queue_time);
+        if tasm_obs::enabled() {
+            tasm_obs::histogram(
+                "tasm_queue_wait_seconds",
+                "Time queries spend waiting in the submission queue.",
+            )
+            .record(queue_time);
+        }
+        match shared
+            .tasm
+            .query_traced(&job.req.video, &job.req.query, &spans)
+        {
             Ok(result) => {
                 shared.stats.record_scan(&result);
                 shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                if tasm_obs::enabled() {
+                    tasm_obs::counter(
+                        "tasm_queries_completed_total",
+                        "Queries completed successfully.",
+                    )
+                    .inc();
+                }
                 if shared.cfg.retile != RetilePolicy::Off {
                     let mut backlog = shared.backlog.lock().expect("backlog lock");
                     for label in job.req.query.predicate().labels() {
@@ -457,18 +517,67 @@ fn worker_loop(shared: &Shared) {
                 // fast path still takes exactly two timing syscalls.
                 let total_time = job.enqueued.elapsed();
                 shared.stats.latency.record(total_time);
+                let trace = spans.finish(job.trace_id, result.epoch, total_time);
+                log_if_slow(shared, &job.req.video, &trace, total_time);
                 // A dropped handle is fine: the send just goes nowhere.
                 let _ = job.tx.send(Ok(QueryOutcome {
                     id: job.id,
                     result,
                     queue_time,
                     total_time,
+                    trace,
                 }));
             }
             Err(e) => {
                 shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                if tasm_obs::enabled() {
+                    tasm_obs::counter(
+                        "tasm_queries_failed_total",
+                        "Queries that returned an error.",
+                    )
+                    .inc();
+                }
+                tasm_obs::log::warn(
+                    "query.failed",
+                    &[
+                        ("trace_id", job.trace_id.to_string()),
+                        ("video", job.req.video.clone()),
+                        ("error", e.to_string()),
+                    ],
+                );
                 let _ = job.tx.send(Err(ServiceError::Tasm(e)));
             }
         }
     }
+}
+
+/// Emits the slow-query log line when the configured threshold is met:
+/// the full per-phase trace at `warn`, plus a counter bump.
+fn log_if_slow(shared: &Shared, video: &str, trace: &tasm_obs::QueryTrace, total: Duration) {
+    let Some(threshold) = shared.cfg.slow_query else {
+        return;
+    };
+    if total < threshold {
+        return;
+    }
+    if tasm_obs::enabled() {
+        tasm_obs::counter(
+            "tasm_slow_queries_total",
+            "Completed queries at or above the slow-query threshold.",
+        )
+        .inc();
+    }
+    tasm_obs::log::warn(
+        "slow_query",
+        &[
+            ("trace_id", trace.trace_id.to_string()),
+            ("video", video.to_string()),
+            ("epoch", trace.epoch.to_string()),
+            ("queue_us", trace.queue_micros.to_string()),
+            ("plan_us", trace.plan_micros.to_string()),
+            ("decode_us", trace.decode_micros.to_string()),
+            ("total_us", trace.total_micros.to_string()),
+            ("threshold_ms", threshold.as_millis().to_string()),
+        ],
+    );
 }

@@ -352,6 +352,83 @@ mod tests {
     }
 
     #[test]
+    fn single_bucket_quantiles_all_land_in_that_band() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..37 {
+            h.record(Duration::from_micros(700)); // band [512, 1024)
+        }
+        for q in [0.01, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            let v = h.quantile(q).as_micros() as u64;
+            assert!(
+                (512..=1024).contains(&v),
+                "q={q} must interpolate inside the only populated band, got {v}"
+            );
+        }
+        assert!(h.quantile(0.01) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn racy_snapshot_with_count_below_bucket_sum_stays_in_band() {
+        // The atomic cell's ordering guarantees a snapshot observes
+        // count <= sum(buckets): bucket adds may land that the count does
+        // not yet reflect. Quantiles must then resolve against the buckets
+        // that are there, never read past them.
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_micros(10)); // band [8, 16)
+        h.record(Duration::from_micros(5000)); // band [4096, 8192)
+        h.count -= 1; // simulate the not-yet-counted bucket add
+        assert_eq!(h.count, 1);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 2);
+        // Every quantile of a count-1 histogram resolves inside the first
+        // populated band (interpolation may land on its upper edge).
+        let v = h.quantile(1.0).as_micros() as u64;
+        assert!(
+            (8..=16).contains(&v),
+            "resolved into the first band, got {v}"
+        );
+        assert_eq!(h.quantile(0.5), h.quantile(1.0));
+    }
+
+    #[test]
+    fn merge_of_disjoint_bucket_ranges_keeps_both_tails() {
+        let mut low = LatencyHistogram::default();
+        let mut high = LatencyHistogram::default();
+        for _ in 0..60 {
+            low.record(Duration::from_micros(3)); // band [2, 4)
+        }
+        for _ in 0..40 {
+            high.record(Duration::from_secs(2)); // band [2^20, 2^21) µs
+        }
+        low += high;
+        assert_eq!(low.count, 100);
+        assert_eq!(low.total_micros, 60 * 3 + 40 * 2_000_000);
+        let p50 = low.p50().as_micros() as u64;
+        assert!(
+            (2..4).contains(&p50),
+            "p50 stays in the low band, got {p50}"
+        );
+        let p95 = low.p95().as_micros() as u64;
+        assert!(
+            (1_048_576..2_097_152).contains(&p95),
+            "p95 lands in the seconds band, got {p95}"
+        );
+        // No bucket between the two populated bands was invented.
+        assert_eq!(low.buckets.iter().filter(|&&n| n > 0).count(), 2);
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_changes_nothing() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_micros(77));
+        let before = h;
+        h += LatencyHistogram::default();
+        assert_eq!(h, before);
+        let mut empty = LatencyHistogram::default();
+        empty += before;
+        assert_eq!(empty, before);
+    }
+
+    #[test]
     fn atomic_and_plain_sides_agree() {
         let cell = LatencyCell::default();
         let mut plain = LatencyHistogram::default();

@@ -183,6 +183,7 @@ fn child_shard_server() {
             queue_depth: 32,
             retile: RetilePolicy::Regret,
             retile_interval: Duration::from_millis(1),
+            slow_query: None,
         },
         ServerConfig::default(),
         "127.0.0.1:0",

@@ -208,6 +208,7 @@ fn retile_daemon_mid_workload_keeps_scans_bit_exact() {
             queue_depth: 16,
             retile: RetilePolicy::Regret,
             retile_interval: std::time::Duration::from_millis(1),
+            slow_query: None,
         },
     );
     let handles: Vec<_> = (0..queries)
@@ -312,6 +313,7 @@ fn roi_queries_bit_exact_across_concurrent_retile() {
             queue_depth: 16,
             retile: RetilePolicy::Regret,
             retile_interval: std::time::Duration::from_millis(1),
+            slow_query: None,
         },
     );
     let handles: Vec<_> = (0..queries)

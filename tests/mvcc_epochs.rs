@@ -251,6 +251,7 @@ fn regret_daemon_retiles_while_a_scan_is_held_open() {
             queue_depth: 16,
             retile: RetilePolicy::Regret,
             retile_interval: Duration::from_millis(1),
+            slow_query: None,
         },
     );
     // Enough observations for the regret policy to cross its threshold.

@@ -270,6 +270,7 @@ fn remote_results_stay_epoch_exact_while_daemon_retiles() {
             queue_depth: 32,
             retile: RetilePolicy::Regret,
             retile_interval: std::time::Duration::from_millis(1),
+            slow_query: None,
         },
         ServerConfig::default(),
         "127.0.0.1:0",
@@ -425,6 +426,7 @@ fn per_session_inflight_cap_is_enforced() {
             id,
             video: "v".to_string(),
             query: Query::new(LabelPredicate::label("car")).frames(0..FRAMES),
+            trace_id: None,
         }
         .write_to(&mut stream)
         .expect("pipelined query");
@@ -593,4 +595,60 @@ fn loadgen_drives_the_server_and_reports_latency() {
     // Client-observed latency includes the wire, so its mean can only be
     // at or above the server's submit→complete mean.
     assert!(report.latency.mean() >= stats.latency.mean());
+}
+
+/// Every remote query comes back with a per-phase trace: client-supplied
+/// trace ids are echoed, server-assigned ids are distinct, the instance
+/// tag names the serving address, the epoch matches the result, and the
+/// phase decomposition is bounded by the measured total.
+#[test]
+fn remote_queries_carry_a_consistent_trace() {
+    let video = scene();
+    let server_tasm = tasm("trace");
+    ingest(&server_tasm, &video);
+    let server = TasmServer::bind(
+        server_tasm,
+        ServiceConfig {
+            workers: 2,
+            queue_depth: 16,
+            ..Default::default()
+        },
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let mut conn = Connection::connect(addr).expect("connect");
+    let q = Query::new(LabelPredicate::label("car")).frames(0..FRAMES);
+
+    // Client-supplied trace id round-trips.
+    let tagged = conn
+        .query_traced("v", &q, Some(0xCAFE))
+        .expect("tagged query");
+    let trace = tagged.trace.expect("trace attached");
+    assert_eq!(trace.trace_id, 0xCAFE);
+    assert_eq!(trace.instance, addr.to_string());
+    assert_eq!(trace.epoch, tagged.epoch);
+    // The phase sum is a decomposition of (at most) the measured total:
+    // total covers admission→completion and stream is measured after it.
+    assert!(
+        trace.phase_sum() <= trace.total_micros + trace.stream_micros,
+        "phase sum {} exceeds total {} + stream {}",
+        trace.phase_sum(),
+        trace.total_micros,
+        trace.stream_micros,
+    );
+    // Decode dominates a cold pixel query; the phase must be non-trivial.
+    assert!(trace.decode_micros > 0, "decode phase was never measured");
+
+    // Server-assigned ids are distinct across queries.
+    let a = conn.query_traced("v", &q, None).expect("query a");
+    let b = conn.query_traced("v", &q, None).expect("query b");
+    let (ta, tb) = (a.trace.expect("trace a"), b.trace.expect("trace b"));
+    assert_ne!(ta.trace_id, tb.trace_id);
+    assert_eq!(ta.instance, addr.to_string());
+
+    conn.goodbye().expect("goodbye");
+    server.shutdown();
 }

@@ -179,6 +179,19 @@ fn arb_record(rng: &mut StdRng) -> ReplicationRecord {
     }
 }
 
+fn arb_trace(rng: &mut StdRng) -> tasm_proto::QueryTrace {
+    tasm_proto::QueryTrace {
+        trace_id: rng.gen_range(0u64..u64::MAX),
+        instance: arb_string(rng, 32),
+        epoch: rng.gen_range(0u64..1_000),
+        queue_micros: rng.gen_range(0u64..10_000_000),
+        plan_micros: rng.gen_range(0u64..10_000_000),
+        decode_micros: rng.gen_range(0u64..10_000_000),
+        stream_micros: rng.gen_range(0u64..10_000_000),
+        total_micros: rng.gen_range(0u64..40_000_000),
+    }
+}
+
 /// One arbitrary message, cycling through every variant by case index.
 fn arb_message(rng: &mut StdRng, variant: u32) -> Message {
     match variant % 17 {
@@ -193,6 +206,7 @@ fn arb_message(rng: &mut StdRng, variant: u32) -> Message {
             id: rng.gen_range(0u64..u64::MAX),
             video: arb_label(rng),
             query: arb_query(rng),
+            trace_id: rng.gen_bool(0.5).then(|| rng.gen_range(0u64..u64::MAX)),
         },
         3 => Message::ResultHeader {
             id: rng.gen_range(0u64..u64::MAX),
@@ -219,6 +233,7 @@ fn arb_message(rng: &mut StdRng, variant: u32) -> Message {
                 lookup_micros: rng.gen_range(0u64..10_000_000),
                 exec_micros: rng.gen_range(0u64..10_000_000),
             },
+            trace: rng.gen_bool(0.5).then(|| arb_trace(rng)),
         },
         6 => Message::StatsRequest,
         7 => Message::StatsReply {
@@ -382,11 +397,13 @@ fn query_fields_survive_the_wire() {
         id: 42,
         video: "traffic".to_string(),
         query: query.clone(),
+        trace_id: Some(0xFEED_F00D),
     };
     let Message::Query {
         id,
         video,
         query: decoded,
+        trace_id,
     } = Message::decode_payload(&msg.encode_payload()).expect("decode")
     else {
         panic!("wrong variant");
@@ -394,6 +411,28 @@ fn query_fields_survive_the_wire() {
     assert_eq!(id, 42);
     assert_eq!(video, "traffic");
     assert_eq!(decoded, query);
+    assert_eq!(trace_id, Some(0xFEED_F00D));
+}
+
+/// The per-query trace attached to ResultDone — id, instance tag, epoch,
+/// and every phase duration — survives the wire bit-exactly, with and
+/// without the optional field present.
+#[test]
+fn query_traces_survive_the_wire() {
+    run_cases(CASES, proptest::seed_for("traces"), |rng| {
+        let trace = rng.gen_bool(0.75).then(|| arb_trace(rng));
+        let msg = Message::ResultDone {
+            id: rng.gen_range(0u64..u64::MAX),
+            summary: ResultSummary::default(),
+            trace: trace.clone(),
+        };
+        let Message::ResultDone { trace: decoded, .. } =
+            Message::decode_payload(&msg.encode_payload()).expect("decode")
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(decoded, trace);
+    });
 }
 
 /// Malformed query bodies (empty predicate) are refused, matching the
