@@ -53,7 +53,8 @@ USAGE:
   tasm cluster show --map FILE [--video NAME]
   tasm route   --map FILE [--addr HOST:PORT] [--max-connections N]
                [--max-inflight N] [--shard-timeout-ms N] [--health-ms N]
-               [--fail-threshold N] [--metrics-addr HOST:PORT]
+               [--fail-threshold N] [--route-workers N]
+               [--metrics-addr HOST:PORT]
                [--log-level debug|info|warn|error] [--log-json]
   tasm rebalance --map FILE --video NAME --to NODE [--timeout-ms N]
   tasm client query    --addr HOST:PORT --name NAME --label LABEL
@@ -1147,6 +1148,7 @@ fn route(args: &Args) -> CmdResult {
         shard_io_timeout: Duration::from_millis(args.get_or("shard-timeout-ms", 10_000u64)?),
         health_interval: Duration::from_millis(args.get_or("health-ms", 500u64)?),
         fail_threshold: args.get_or("fail-threshold", 2u32)?,
+        route_workers: args.get_or("route-workers", 8usize)?,
         ..tasm_cluster::RouterConfig::default()
     };
     let router = tasm_cluster::Router::bind(cfg, addr)?;

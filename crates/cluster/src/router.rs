@@ -61,6 +61,10 @@ pub struct RouterConfig {
     pub health_interval: Duration,
     /// Consecutive failures before a node is marked down (promoted past).
     pub fail_threshold: u32,
+    /// Routing worker threads (reactor engine): each owns its own pool of
+    /// shard connections and executes routed queries so the session event
+    /// loop never blocks on shard I/O.
+    pub route_workers: usize,
 }
 
 impl Default for RouterConfig {
@@ -73,8 +77,17 @@ impl Default for RouterConfig {
             shard_io_timeout: Duration::from_secs(10),
             health_interval: Duration::from_millis(500),
             fail_threshold: 2,
+            route_workers: 8,
         }
     }
+}
+
+/// Locks a mutex, recovering from poison: the router's guarded state
+/// (failure counts, shutdown flags, session handles) stays consistent
+/// across a panicked holder, and one dead routing job must not cascade
+/// into a dead router.
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// A point-in-time snapshot of the router's own counters.
@@ -126,7 +139,9 @@ struct RouterShared {
     /// `fail_threshold` is down — and stays down (see module docs).
     failures: Mutex<HashMap<String, u32>>,
     admitting: AtomicBool,
-    shutdown: AtomicBool,
+    /// Shared with the reactor's event loop, which exits once it observes
+    /// the flag and drains its sessions.
+    shutdown: Arc<AtomicBool>,
     shutdown_requested: Mutex<bool>,
     shutdown_cv: Condvar,
     active_sessions: AtomicUsize,
@@ -144,9 +159,7 @@ impl RouterShared {
     }
 
     fn down_set(&self) -> BTreeSet<String> {
-        self.failures
-            .lock()
-            .expect("failures lock")
+        lock_clean(&self.failures)
             .iter()
             .filter(|(_, &n)| n >= self.cfg.fail_threshold)
             .map(|(id, _)| id.clone())
@@ -154,7 +167,7 @@ impl RouterShared {
     }
 
     fn note_success(&self, node: &str) {
-        let mut failures = self.failures.lock().expect("failures lock");
+        let mut failures = lock_clean(&self.failures);
         if let Some(n) = failures.get_mut(node) {
             // Sticky once down; only pre-threshold blips are forgiven.
             if *n < self.cfg.fail_threshold {
@@ -164,7 +177,7 @@ impl RouterShared {
     }
 
     fn note_failure(&self, node: &str) {
-        let mut failures = self.failures.lock().expect("failures lock");
+        let mut failures = lock_clean(&self.failures);
         let n = failures.entry(node.to_string()).or_insert(0);
         if *n < self.cfg.fail_threshold {
             *n += 1;
@@ -195,14 +208,19 @@ impl RouterShared {
     }
 }
 
-/// A running shard router: a listener, its accept thread, session
-/// threads, and the health/map-reload thread.
+/// A running shard router: a listener, its serving threads (one reactor +
+/// a routing worker pool, or accept + per-connection sessions where
+/// readiness polling is unavailable), and the health/map-reload thread.
 pub struct Router {
     shared: Arc<RouterShared>,
     local_addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     health: Option<JoinHandle<()>>,
     sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    reactor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    jobs: Option<Arc<JobQueue>>,
+    waker: Option<tasm_reactor::Waker>,
 }
 
 impl Router {
@@ -212,14 +230,14 @@ impl Router {
         let map = ShardMap::load(&cfg.map_path)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
         let shared = Arc::new(RouterShared {
             cfg,
             map: RwLock::new(map),
             failures: Mutex::new(HashMap::new()),
             admitting: AtomicBool::new(true),
-            shutdown: AtomicBool::new(false),
+            shutdown: Arc::clone(&shutdown),
             shutdown_requested: Mutex::new(false),
             shutdown_cv: Condvar::new(),
             active_sessions: AtomicUsize::new(0),
@@ -231,26 +249,69 @@ impl Router {
             sessions_served: AtomicU64::new(0),
         });
         let sessions = Arc::new(Mutex::new(Vec::new()));
-        let accept = {
-            let shared = Arc::clone(&shared);
-            let sessions = Arc::clone(&sessions);
-            std::thread::Builder::new()
-                .name("tasm-route-accept".to_string())
-                .spawn(move || accept_loop(&shared, &listener, &sessions))?
+        let mut router = Router {
+            shared: Arc::clone(&shared),
+            local_addr,
+            accept: None,
+            health: None,
+            sessions: Arc::clone(&sessions),
+            reactor: None,
+            workers: Vec::new(),
+            jobs: None,
+            waker: None,
         };
+        if tasm_reactor::supported() {
+            let loop_cfg = tasm_reactor::LoopConfig {
+                max_connections: shared.cfg.max_connections,
+                poll_interval: shared.cfg.poll_interval,
+                ..tasm_reactor::LoopConfig::default()
+            };
+            let ctl = tasm_reactor::Ctl::new(listener, loop_cfg, shutdown)?;
+            let waker = ctl.waker();
+            let completions = Arc::new(Mutex::new(Vec::new()));
+            let jobs = Arc::new(JobQueue::new());
+            for i in 0..shared.cfg.route_workers.max(1) {
+                let shared = Arc::clone(&shared);
+                let jobs = Arc::clone(&jobs);
+                let completions = Arc::clone(&completions);
+                let waker = waker.clone();
+                router.workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("tasm-route-worker-{i}"))
+                        .spawn(move || route_worker(&shared, &jobs, &completions, &waker))?,
+                );
+            }
+            let logic = RouterLogic {
+                shared: Arc::clone(&shared),
+                completions,
+                jobs: Arc::clone(&jobs),
+            };
+            router.reactor = Some(
+                std::thread::Builder::new()
+                    .name("tasm-route-reactor".to_string())
+                    .spawn(move || tasm_reactor::run(ctl, logic))?,
+            );
+            router.jobs = Some(jobs);
+            router.waker = Some(waker);
+        } else {
+            listener.set_nonblocking(true)?;
+            let accept = {
+                let shared = Arc::clone(&shared);
+                let sessions = Arc::clone(&sessions);
+                std::thread::Builder::new()
+                    .name("tasm-route-accept".to_string())
+                    .spawn(move || accept_loop(&shared, &listener, &sessions))?
+            };
+            router.accept = Some(accept);
+        }
         let health = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("tasm-route-health".to_string())
                 .spawn(move || health_loop(&shared))?
         };
-        Ok(Router {
-            shared,
-            local_addr,
-            accept: Some(accept),
-            health: Some(health),
-            sessions,
-        })
+        router.health = Some(health);
+        Ok(router)
     }
 
     /// The address the listener actually bound.
@@ -266,17 +327,12 @@ impl Router {
     /// Blocks until a client sends the administrative `ShutdownServer`
     /// frame (the `tasm route` command's idle state).
     pub fn wait_shutdown_requested(&self) {
-        let mut requested = self
-            .shared
-            .shutdown_requested
-            .lock()
-            .expect("shutdown lock");
+        let mut requested = lock_clean(&self.shared.shutdown_requested);
         while !*requested {
-            requested = self
-                .shared
-                .shutdown_cv
-                .wait(requested)
-                .expect("shutdown lock");
+            requested = match self.shared.shutdown_cv.wait(requested) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
         }
     }
 
@@ -309,17 +365,33 @@ impl Router {
         report
     }
 
+    /// Signals shutdown and joins every thread (idempotent). The reactor
+    /// joins before the job queue closes so in-flight routed queries still
+    /// deliver their responses during the session drain.
     fn stop_threads(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
         if let Some(t) = self.accept.take() {
             let _ = t.join();
+        }
+        for s in lock_clean(&self.sessions).drain(..) {
+            let _ = s.join();
+        }
+        if let Some(t) = self.reactor.take() {
+            let _ = t.join();
+        }
+        if let Some(jobs) = self.jobs.take() {
+            jobs.close();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
         }
         if let Some(t) = self.health.take() {
             let _ = t.join();
         }
-        for s in self.sessions.lock().expect("sessions lock").drain(..) {
-            let _ = s.join();
-        }
+        self.waker = None;
     }
 }
 
@@ -553,18 +625,12 @@ fn session(shared: &Arc<RouterShared>, mut stream: TcpStream) {
                     .write_to(&mut stream);
                     continue;
                 }
-                let ok = route_query(
-                    shared,
-                    &mut shards,
-                    &mut stream,
-                    id,
-                    &video,
-                    &query,
-                    trace_id,
-                );
+                let frames = route_query_frames(shared, &mut shards, id, &video, &query, trace_id);
                 shared.inflight.fetch_sub(1, Ordering::AcqRel);
-                if !ok {
-                    return;
+                for frame in frames {
+                    if std::io::Write::write_all(&mut stream, &frame).is_err() {
+                        return;
+                    }
                 }
             }
             Message::StatsRequest => {
@@ -580,7 +646,7 @@ fn session(shared: &Arc<RouterShared>, mut stream: TcpStream) {
             }
             Message::Goodbye => return,
             Message::ShutdownServer => {
-                *shared.shutdown_requested.lock().expect("shutdown lock") = true;
+                *lock_clean(&shared.shutdown_requested) = true;
                 shared.shutdown_cv.notify_all();
                 let _ = Message::Goodbye.write_to(&mut stream);
                 return;
@@ -662,22 +728,20 @@ fn shard_conn<'a>(
     Ok(shards.get_mut(node).expect("just inserted"))
 }
 
-/// Routes one query: replica set in placement order, forwarding the
-/// winning shard's response stream to the client. The shard's execution
-/// trace (instance tag, per-phase breakdown) is relayed unchanged, so the
-/// client sees which shard served it. Returns false when the *client*
-/// socket failed (session must end); shard failures are handled by
-/// failover inside.
-#[allow(clippy::too_many_arguments)]
-fn route_query(
+/// Routes one query: replica set in placement order, relaying the winning
+/// shard's full response — or a typed error after the last replica — as
+/// encoded frames. The shard's execution trace (instance tag, per-phase
+/// breakdown) is relayed unchanged, so the client sees which shard served
+/// it. Shard failures are handled by failover inside; writing the frames
+/// to the client is the caller's (engine-specific) job.
+fn route_query_frames(
     shared: &RouterShared,
     shards: &mut HashMap<String, Connection>,
-    stream: &mut TcpStream,
     id: u64,
     video: &str,
     query: &Query,
     trace_id: Option<u64>,
-) -> bool {
+) -> Vec<Vec<u8>> {
     let placement: Vec<(String, String)> = {
         let map = shared.map.read().expect("map lock");
         let down = shared.down_set();
@@ -687,13 +751,12 @@ fn route_query(
             .collect()
     };
     if placement.is_empty() {
-        return Message::Error {
+        return vec![Message::Error {
             id: Some(id),
             code: ErrorCode::Internal,
             message: format!("no live replica for '{video}'"),
         }
-        .write_to(stream)
-        .is_ok();
+        .encode()];
     }
     let mut last = (ErrorCode::Internal, "all replicas failed".to_string());
     for (attempt, (node, addr)) in placement.iter().enumerate() {
@@ -719,30 +782,31 @@ fn route_query(
                     )
                     .inc();
                 }
-                let header = Message::ResultHeader {
-                    id,
-                    matched: outcome.matched,
-                    regions: outcome.regions.len() as u32,
-                    plan: outcome.plan,
-                    epoch: outcome.epoch,
-                };
-                if header.write_to(stream).is_err() {
-                    return false;
-                }
-                for region in outcome.regions {
-                    if (Message::Region { id, region }).write_to(stream).is_err() {
-                        return false;
+                let mut frames = Vec::with_capacity(outcome.regions.len() + 2);
+                frames.push(
+                    Message::ResultHeader {
+                        id,
+                        matched: outcome.matched,
+                        regions: outcome.regions.len() as u32,
+                        plan: outcome.plan,
+                        epoch: outcome.epoch,
                     }
+                    .encode(),
+                );
+                for region in outcome.regions {
+                    frames.push(Message::Region { id, region }.encode());
                 }
-                return Message::ResultDone {
-                    id,
-                    summary: outcome.summary,
-                    // Relayed verbatim: the trace's instance field keeps
-                    // naming the shard that executed, not the router.
-                    trace: outcome.trace,
-                }
-                .write_to(stream)
-                .is_ok();
+                frames.push(
+                    Message::ResultDone {
+                        id,
+                        summary: outcome.summary,
+                        // Relayed verbatim: the trace's instance field keeps
+                        // naming the shard that executed, not the router.
+                        trace: outcome.trace,
+                    }
+                    .encode(),
+                );
+                return frames;
             }
             Err(ClientError::Rejected { code, message }) => {
                 // The shard is alive and on a frame boundary: its
@@ -760,13 +824,12 @@ fn route_query(
             }
         }
     }
-    Message::Error {
+    vec![Message::Error {
         id: Some(id),
         code: last.0,
         message: last.1,
     }
-    .write_to(stream)
-    .is_ok()
+    .encode()]
 }
 
 /// Fans `StatsRequest` out to every live shard and merges the snapshots.
@@ -800,4 +863,323 @@ fn cluster_stats(shared: &RouterShared, shards: &mut HashMap<String, Connection>
         }
     }
     merged
+}
+
+/// A queue of routing jobs feeding the worker pool. Hand-rolled (mutex +
+/// condvar) so several workers can block on `pop` concurrently — sharing
+/// one `mpsc::Receiver` would serialize pickup behind its lock.
+struct JobQueue {
+    state: Mutex<(std::collections::VecDeque<RouteJob>, bool)>,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    fn new() -> JobQueue {
+        JobQueue {
+            state: Mutex::new((std::collections::VecDeque::new(), false)),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job; false once the queue is closed (shutdown).
+    fn push(&self, job: RouteJob) -> bool {
+        let mut state = lock_clean(&self.state);
+        if state.1 {
+            return false;
+        }
+        state.0.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks for the next job; `None` once closed and empty.
+    fn pop(&self) -> Option<RouteJob> {
+        let mut state = lock_clean(&self.state);
+        loop {
+            if let Some(job) = state.0.pop_front() {
+                return Some(job);
+            }
+            if state.1 {
+                return None;
+            }
+            state = match self.ready.wait(state) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    fn close(&self) {
+        lock_clean(&self.state).1 = true;
+        self.ready.notify_all();
+    }
+}
+
+/// One unit of work for the routing pool — operations that do blocking
+/// shard I/O and therefore must not run on the reactor thread.
+enum RouteJob {
+    Query {
+        token: u64,
+        id: u64,
+        video: String,
+        query: Query,
+        trace_id: Option<u64>,
+    },
+    Stats {
+        token: u64,
+    },
+}
+
+/// A finished routing job: the full response, encoded, ready to stream.
+struct RouteDone {
+    token: u64,
+    frames: Vec<Vec<u8>>,
+}
+
+/// Streams a completed route's frames through the reactor's paced encode
+/// pump (bounded unwritten bytes against a slow-reading client).
+struct Frames(std::collections::VecDeque<Vec<u8>>);
+
+impl tasm_reactor::ResponseSource for Frames {
+    fn next_frame(&mut self, _flushed: bool) -> tasm_reactor::NextFrame {
+        match self.0.pop_front() {
+            Some(frame) => tasm_reactor::NextFrame::Frame(frame),
+            None => tasm_reactor::NextFrame::Done,
+        }
+    }
+}
+
+/// Executes routing jobs against this worker's private pool of shard
+/// connections, pushing completed responses back to the reactor.
+fn route_worker(
+    shared: &Arc<RouterShared>,
+    jobs: &Arc<JobQueue>,
+    completions: &Arc<Mutex<Vec<RouteDone>>>,
+    waker: &tasm_reactor::Waker,
+) {
+    let mut shards: HashMap<String, Connection> = HashMap::new();
+    while let Some(job) = jobs.pop() {
+        let done = match job {
+            RouteJob::Query {
+                token,
+                id,
+                video,
+                query,
+                trace_id,
+            } => {
+                let frames =
+                    route_query_frames(shared, &mut shards, id, &video, &query, trace_id);
+                // The router-wide in-flight slot frees when the route
+                // finishes, session alive or not.
+                shared.inflight.fetch_sub(1, Ordering::AcqRel);
+                RouteDone { token, frames }
+            }
+            RouteJob::Stats { token } => {
+                let merged = cluster_stats(shared, &mut shards);
+                RouteDone {
+                    token,
+                    frames: vec![Message::StatsReply {
+                        stats: Box::new(merged),
+                    }
+                    .encode()],
+                }
+            }
+        };
+        lock_clean(completions).push(done);
+        waker.wake();
+    }
+}
+
+/// The router's reactor [`Logic`](tasm_reactor::Logic): same protocol as
+/// the blocking sessions, with shard I/O handed to the worker pool. A
+/// session pauses while its job is in flight — the router serves one
+/// request per session at a time (it advertises `max_inflight: 1`), so
+/// pausing preserves exactly the blocking engine's ordering.
+struct RouterLogic {
+    shared: Arc<RouterShared>,
+    completions: Arc<Mutex<Vec<RouteDone>>>,
+    jobs: Arc<JobQueue>,
+}
+
+impl RouterLogic {
+    fn send_error(
+        ctl: &mut tasm_reactor::Ctl,
+        token: u64,
+        id: Option<u64>,
+        code: ErrorCode,
+        message: String,
+    ) {
+        ctl.send_frame(token, Message::Error { id, code, message }.encode());
+    }
+
+    /// Hands a job to the pool, pausing the session until its response
+    /// comes back through the completion queue.
+    fn submit(&mut self, ctl: &mut tasm_reactor::Ctl, token: u64, job: RouteJob) {
+        ctl.set_paused(token, true);
+        ctl.inflight_inc(token);
+        if !self.jobs.push(job) {
+            ctl.inflight_dec(token);
+            ctl.set_paused(token, false);
+            Self::send_error(
+                ctl,
+                token,
+                None,
+                ErrorCode::ShuttingDown,
+                "router is draining".to_string(),
+            );
+        }
+    }
+}
+
+impl tasm_reactor::Logic for RouterLogic {
+    fn on_accept(&mut self, _ctl: &mut tasm_reactor::Ctl, _token: u64) {
+        self.shared.active_sessions.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn on_refused(&mut self) {}
+
+    fn refusal_frame(&mut self) -> Vec<u8> {
+        Message::Error {
+            id: None,
+            code: ErrorCode::TooManyConnections,
+            message: "router is at its connection limit".to_string(),
+        }
+        .encode()
+    }
+
+    fn on_frame(&mut self, ctl: &mut tasm_reactor::Ctl, token: u64, payload: Vec<u8>) {
+        let msg = match Message::decode_payload(&payload) {
+            Ok(msg) => msg,
+            Err(_) => {
+                let text = if ctl.handshaken(token) {
+                    "undecodable frame"
+                } else {
+                    "expected client hello"
+                };
+                Self::send_error(ctl, token, None, ErrorCode::Malformed, text.to_string());
+                ctl.begin_drain(token);
+                return;
+            }
+        };
+        if !ctl.handshaken(token) {
+            match msg {
+                Message::ClientHello { version } if version == VERSION => {
+                    ctl.mark_handshaken(token);
+                    self.shared.sessions_served.fetch_add(1, Ordering::Relaxed);
+                    ctl.send_frame(
+                        token,
+                        Message::ServerHello {
+                            version: VERSION,
+                            // The router handles one query per session at
+                            // a time.
+                            max_inflight: 1,
+                        }
+                        .encode(),
+                    );
+                }
+                Message::ClientHello { version } => {
+                    Self::send_error(
+                        ctl,
+                        token,
+                        None,
+                        ErrorCode::VersionMismatch,
+                        format!("router speaks version {VERSION}, client sent {version}"),
+                    );
+                    ctl.begin_drain(token);
+                }
+                _ => {
+                    Self::send_error(
+                        ctl,
+                        token,
+                        None,
+                        ErrorCode::Malformed,
+                        "expected client hello".to_string(),
+                    );
+                    ctl.begin_drain(token);
+                }
+            }
+            return;
+        }
+        match msg {
+            Message::Query {
+                id,
+                video,
+                query,
+                trace_id,
+            } => {
+                if !self.shared.admitting.load(Ordering::SeqCst) {
+                    Self::send_error(
+                        ctl,
+                        token,
+                        Some(id),
+                        ErrorCode::ShuttingDown,
+                        "router is draining".to_string(),
+                    );
+                    return;
+                }
+                if self.shared.inflight.fetch_add(1, Ordering::AcqRel)
+                    >= self.shared.cfg.max_inflight
+                {
+                    self.shared.inflight.fetch_sub(1, Ordering::AcqRel);
+                    self.shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                    Self::send_error(
+                        ctl,
+                        token,
+                        Some(id),
+                        ErrorCode::Busy,
+                        "router in-flight cap reached".to_string(),
+                    );
+                    return;
+                }
+                // The worker decrements the router-wide count; the
+                // submit below tracks the per-session slot.
+                self.submit(
+                    ctl,
+                    token,
+                    RouteJob::Query {
+                        token,
+                        id,
+                        video,
+                        query,
+                        trace_id,
+                    },
+                );
+            }
+            Message::StatsRequest => self.submit(ctl, token, RouteJob::Stats { token }),
+            Message::Goodbye => ctl.begin_drain(token),
+            Message::ShutdownServer => {
+                *lock_clean(&self.shared.shutdown_requested) = true;
+                self.shared.shutdown_cv.notify_all();
+                ctl.send_frame(token, Message::Goodbye.encode());
+                ctl.begin_drain(token);
+            }
+            _ => {
+                Self::send_error(
+                    ctl,
+                    token,
+                    None,
+                    ErrorCode::Malformed,
+                    "unexpected frame".to_string(),
+                );
+                ctl.begin_drain(token);
+            }
+        }
+    }
+
+    fn on_wake(&mut self, ctl: &mut tasm_reactor::Ctl) {
+        let batch: Vec<RouteDone> = lock_clean(&self.completions).drain(..).collect();
+        for done in batch {
+            if !ctl.is_open(done.token) {
+                continue;
+            }
+            ctl.inflight_dec(done.token);
+            ctl.set_paused(done.token, false);
+            ctl.send_response(done.token, Box::new(Frames(done.frames.into())));
+        }
+    }
+
+    fn on_close(&mut self, _token: u64, _handshaken: bool) {
+        self.shared.active_sessions.fetch_sub(1, Ordering::AcqRel);
+    }
 }

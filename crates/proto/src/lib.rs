@@ -69,6 +69,7 @@
 //! corruption behavior for every message type.
 
 mod message;
+pub mod nio;
 mod wire;
 
 pub use message::{

@@ -8,36 +8,42 @@
 //!
 //! ## Architecture
 //!
+//! The default engine ([`ServeEngine::Reactor`]) is a single nonblocking
+//! reactor thread owning every session socket:
+//!
 //! ```text
-//!                 TcpListener (accept thread, non-blocking poll)
-//!                      │ admission: active sessions < max_connections,
-//!                      │ else Error{TooManyConnections} + close
-//!        ┌─────────────┼──────────────┐
-//!        ▼             ▼              ▼
-//!    session 0     session 1      session N-1     (1 thread per connection)
-//!        │ handshake, then per frame:
-//!        │   Query → admission control:
-//!        │     in-flight ≥ cap      → Error{TooManyInflight}
-//!        │     try_submit QueueFull → Error{Busy}     (never blocks the socket)
-//!        │     admitted             → waiter thread streams
-//!        │                            ResultHeader/Region*/ResultDone
-//!        ▼
-//!   QueryService (bounded queue, worker pool, retile daemon,
-//!                 latency histogram in ServiceStats)
+//!   reactor thread (epoll/poll)          QueryService worker pool
+//!   ┌───────────────────────────┐        ┌──────────────────────┐
+//!   │ listener → accept burst   │ submit │ worker 0 … worker N  │
+//!   │   over cap → typed error  ├───────▶│  (fixed, bounded     │
+//!   │ session fds:              │        │   queue, retile      │
+//!   │   FrameReader (resumable  │◀───────┤   daemon)            │
+//!   │     mid-frame, 64 MiB cap)│ wake   └──────────────────────┘
+//!   │   FrameQueue (responses   │ pipe +        admin ops
+//!   │     resume at any byte    │ completions ┌─────────────┐
+//!   │     offset on writable)   │◀────────────┤ admin thread│
+//!   └───────────────────────────┘             └─────────────┘
 //! ```
 //!
-//! Each session reads with a short poll timeout so it revisits the server
-//! shutdown flag between frames; admitted queries execute on waiter
-//! threads so a session can keep up to [`ServerConfig::max_inflight`]
-//! queries in flight while the reader keeps servicing its socket.
+//! Sessions are state machines, not threads: frames assemble
+//! incrementally off readiness events, admitted queries execute on the
+//! service's fixed worker pool, and completed results re-enter the loop
+//! through a wakeup pipe to be streamed out by write-readiness. Total
+//! thread count is O(workers), independent of connection count.
+//!
+//! [`ServeEngine::Threads`] keeps the previous blocking design — one
+//! thread per connection plus one waiter thread per in-flight query — as
+//! a fallback for platforms without readiness polling and as the
+//! comparison baseline in `benches/remote.rs`. Both engines enforce the
+//! same admission control and speak bit-identical wire responses.
 //!
 //! ## Shutdown semantics
 //!
 //! [`TasmServer::shutdown`] (triggered programmatically, or remotely by a
 //! client's `ShutdownServer` frame via [`TasmServer::wait_shutdown_requested`])
-//! is graceful: the accept loop stops, every session finishes the queries
-//! it already admitted and flushes their responses, new queries are
-//! refused with `Error{ShuttingDown}`, and the underlying service drains —
+//! is graceful: accepting stops, every session finishes the queries it
+//! already admitted and flushes their responses, new queries are refused
+//! with `Error{ShuttingDown}`, and the underlying service drains —
 //! [`Shutdown::Drain`](tasm_service::Shutdown) — which also stops the
 //! background retile daemon. The returned [`ServerReport`] carries the
 //! service's [`ShutdownReport`] (completed vs. abandoned counts) plus
@@ -70,16 +76,54 @@
 //! println!("served {} sessions", report.sessions_served);
 //! ```
 
+mod reactor;
 mod session;
 
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
-use tasm_core::Tasm;
+use tasm_core::{Tasm, TasmError};
 use tasm_proto::{ErrorCode, Message};
-use tasm_service::{QueryService, ServiceConfig, ServiceStats, Shutdown, ShutdownReport};
+use tasm_service::{
+    QueryService, ServiceConfig, ServiceError, ServiceStats, Shutdown, ShutdownReport,
+};
+
+/// Locks a mutex, recovering the data from a poisoned lock instead of
+/// panicking. Every structure guarded this way (socket writers, counters,
+/// flags) stays internally consistent across a panic at any point, so the
+/// sensible response to poison is to keep serving — a cascade that turns
+/// one panicked query into a dead session (or server) is strictly worse.
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Maps a service-side failure onto the wire's typed error codes.
+pub(crate) fn error_code(e: &ServiceError) -> ErrorCode {
+    match e {
+        ServiceError::QueueFull => ErrorCode::Busy,
+        ServiceError::ShuttingDown => ErrorCode::ShuttingDown,
+        ServiceError::Tasm(TasmError::UnknownVideo(_)) => ErrorCode::UnknownVideo,
+        ServiceError::Tasm(TasmError::EpochNotLive { .. }) => ErrorCode::EpochNotLive,
+        ServiceError::Tasm(_) | ServiceError::WorkerLost | ServiceError::Panicked => {
+            ErrorCode::Internal
+        }
+    }
+}
+
+/// Which serving engine a [`TasmServer`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeEngine {
+    /// One nonblocking reactor thread for all sessions; queries execute on
+    /// the service's fixed worker pool. Thread count is O(workers). Falls
+    /// back to [`ServeEngine::Threads`] where readiness polling is
+    /// unavailable.
+    Reactor,
+    /// One blocking thread per connection plus one waiter thread per
+    /// in-flight query — the original design, kept as the bench baseline.
+    Threads,
+}
 
 /// Admission-control and polling knobs of the serving layer.
 #[derive(Debug, Clone, Copy)]
@@ -93,6 +137,9 @@ pub struct ServerConfig {
     /// Poll granularity of session reads and the accept loop — the upper
     /// bound on how long shutdown waits for an idle session to notice.
     pub poll_interval: Duration,
+    /// Serving engine. Observable behavior is identical across engines;
+    /// pick [`ServeEngine::Threads`] only for baseline comparisons.
+    pub engine: ServeEngine,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +148,7 @@ impl Default for ServerConfig {
             max_connections: 64,
             max_inflight: 8,
             poll_interval: Duration::from_millis(25),
+            engine: ServeEngine::Reactor,
         }
     }
 }
@@ -122,7 +170,8 @@ pub struct ServerReport {
     pub service: ShutdownReport,
 }
 
-/// State shared by the accept loop, the sessions, and the server handle.
+/// State shared by the serving threads (reactor + admin, or accept +
+/// sessions) and the server handle.
 pub(crate) struct ServerShared {
     pub service: QueryService,
     pub cfg: ServerConfig,
@@ -130,15 +179,17 @@ pub(crate) struct ServerShared {
     /// the serving instance so `--explain` output names which process (and
     /// in a cluster, which shard) executed the query.
     pub instance: String,
-    shutdown: AtomicBool,
+    /// Shared with the reactor's event loop, which exits once it observes
+    /// the flag and drains its sessions.
+    shutdown: Arc<AtomicBool>,
     shutdown_requested: Mutex<bool>,
     shutdown_cv: Condvar,
-    active_sessions: AtomicUsize,
+    pub(crate) active_sessions: AtomicUsize,
     sessions_served: AtomicU64,
     pub busy_rejections: AtomicU64,
-    connection_rejections: AtomicU64,
-    /// Live `refuse()` courtesy threads; bounded so a connect flood cannot
-    /// amplify into unbounded thread creation.
+    pub(crate) connection_rejections: AtomicU64,
+    /// Live `refuse()` courtesy threads (threads engine only); bounded so
+    /// a connect flood cannot amplify into unbounded thread creation.
     refusers: AtomicUsize,
 }
 
@@ -157,7 +208,7 @@ impl ServerShared {
     /// Marks that a client asked the server to shut down and wakes
     /// [`TasmServer::wait_shutdown_requested`].
     pub fn request_shutdown(&self) {
-        *self.shutdown_requested.lock().expect("shutdown lock") = true;
+        *lock_clean(&self.shutdown_requested) = true;
         self.shutdown_cv.notify_all();
     }
 }
@@ -175,8 +226,8 @@ impl Drop for SessionGuard {
 }
 
 /// The gauge mirroring `ServerShared::active_sessions`. Updated at both
-/// the accept loop's reservation and the guard's release, so a scrape sees
-/// the same value admission control acts on.
+/// admission and release, so a scrape sees the same value admission
+/// control acts on.
 pub(crate) fn sessions_gauge() -> Arc<tasm_obs::Gauge> {
     tasm_obs::gauge(
         "tasm_sessions_active",
@@ -184,13 +235,20 @@ pub(crate) fn sessions_gauge() -> Arc<tasm_obs::Gauge> {
     )
 }
 
-/// A running TASM server: a listener, its accept thread, and the session
-/// threads fanned out from it, all over one shared [`QueryService`].
+/// A running TASM server: a listener and its serving threads (reactor +
+/// admin, or accept + per-connection sessions), all over one shared
+/// [`QueryService`].
 pub struct TasmServer {
     shared: Arc<ServerShared>,
     local_addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    reactor: Option<JoinHandle<()>>,
+    admin: Option<JoinHandle<()>>,
+    /// Held so the admin thread's `recv` loop stays alive until shutdown
+    /// explicitly drops it.
+    admin_tx: Option<mpsc::Sender<reactor::AdminJob>>,
+    waker: Option<tasm_reactor::Waker>,
 }
 
 impl TasmServer {
@@ -218,13 +276,13 @@ impl TasmServer {
         hook: Option<Arc<dyn tasm_service::RetileHook>>,
     ) -> std::io::Result<TasmServer> {
         let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
         let shared = Arc::new(ServerShared {
             service: QueryService::start_with_hook(tasm, service_cfg, hook),
             cfg,
             instance: local_addr.to_string(),
-            shutdown: AtomicBool::new(false),
+            shutdown: Arc::clone(&shutdown),
             shutdown_requested: Mutex::new(false),
             shutdown_cv: Condvar::new(),
             active_sessions: AtomicUsize::new(0),
@@ -234,20 +292,61 @@ impl TasmServer {
             refusers: AtomicUsize::new(0),
         });
         let sessions = Arc::new(Mutex::new(Vec::new()));
-        let accept = {
-            let shared = Arc::clone(&shared);
-            let sessions = Arc::clone(&sessions);
-            std::thread::Builder::new()
-                .name("tasm-accept".to_string())
-                .spawn(move || accept_loop(&shared, &listener, &sessions))
-                .expect("spawn accept loop")
-        };
-        Ok(TasmServer {
-            shared,
+        let mut server = TasmServer {
+            shared: Arc::clone(&shared),
             local_addr,
-            accept: Some(accept),
-            sessions,
-        })
+            accept: None,
+            sessions: Arc::clone(&sessions),
+            reactor: None,
+            admin: None,
+            admin_tx: None,
+            waker: None,
+        };
+        // Engine selection happens before the listener is consumed, so a
+        // platform without readiness polling silently gets the blocking
+        // engine rather than a failed bind.
+        if cfg.engine == ServeEngine::Reactor && tasm_reactor::supported() {
+            let loop_cfg = tasm_reactor::LoopConfig {
+                max_connections: cfg.max_connections,
+                poll_interval: cfg.poll_interval,
+                ..tasm_reactor::LoopConfig::default()
+            };
+            let ctl = tasm_reactor::Ctl::new(listener, loop_cfg, shutdown)?;
+            let waker = ctl.waker();
+            let completions = Arc::new(Mutex::new(Vec::new()));
+            let (admin_tx, admin_rx) = mpsc::channel();
+            let admin = {
+                let shared = Arc::clone(&shared);
+                let completions = Arc::clone(&completions);
+                let waker = waker.clone();
+                std::thread::Builder::new()
+                    .name("tasm-admin".to_string())
+                    .spawn(move || reactor::admin_loop(shared, admin_rx, completions, waker))
+                    .expect("spawn admin thread")
+            };
+            let logic =
+                reactor::ServerLogic::new(shared, completions, waker.clone(), admin_tx.clone());
+            let handle = std::thread::Builder::new()
+                .name("tasm-reactor".to_string())
+                .spawn(move || tasm_reactor::run(ctl, logic))
+                .expect("spawn reactor thread");
+            server.reactor = Some(handle);
+            server.admin = Some(admin);
+            server.admin_tx = Some(admin_tx);
+            server.waker = Some(waker);
+        } else {
+            listener.set_nonblocking(true)?;
+            let accept = {
+                let shared = Arc::clone(&shared);
+                let sessions = Arc::clone(&sessions);
+                std::thread::Builder::new()
+                    .name("tasm-accept".to_string())
+                    .spawn(move || accept_loop(&shared, &listener, &sessions))
+                    .expect("spawn accept loop")
+            };
+            server.accept = Some(accept);
+        }
+        Ok(server)
     }
 
     /// The address the listener actually bound.
@@ -264,27 +363,18 @@ impl TasmServer {
     /// True once a client has sent the administrative `ShutdownServer`
     /// frame.
     pub fn shutdown_requested(&self) -> bool {
-        *self
-            .shared
-            .shutdown_requested
-            .lock()
-            .expect("shutdown lock")
+        *lock_clean(&self.shared.shutdown_requested)
     }
 
     /// Blocks until a client requests shutdown (the `tasm serve` command's
     /// idle state).
     pub fn wait_shutdown_requested(&self) {
-        let mut requested = self
-            .shared
-            .shutdown_requested
-            .lock()
-            .expect("shutdown lock");
+        let mut requested = lock_clean(&self.shared.shutdown_requested);
         while !*requested {
-            requested = self
-                .shared
-                .shutdown_cv
-                .wait(requested)
-                .expect("shutdown lock");
+            requested = match self.shared.shutdown_cv.wait(requested) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
         }
     }
 
@@ -304,17 +394,32 @@ impl TasmServer {
         }
     }
 
-    /// Signals shutdown and joins the accept and session threads
-    /// (idempotent).
+    /// Signals shutdown and joins every serving thread (idempotent). The
+    /// reactor is joined before the admin channel closes so in-flight
+    /// admin acks still reach their sessions during the drain; the service
+    /// worker pool outlives this call for the same reason (queries the
+    /// reactor is still waiting on keep executing).
     fn stop_threads(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
         if let Some(t) = self.accept.take() {
             let _ = t.join();
         }
         // The accept loop has exited, so no new sessions can appear.
-        for s in self.sessions.lock().expect("sessions lock").drain(..) {
+        for s in lock_clean(&self.sessions).drain(..) {
             let _ = s.join();
         }
+        if let Some(t) = self.reactor.take() {
+            let _ = t.join();
+        }
+        // Closing the channel ends the admin thread's recv loop.
+        self.admin_tx = None;
+        if let Some(t) = self.admin.take() {
+            let _ = t.join();
+        }
+        self.waker = None;
     }
 }
 
@@ -327,7 +432,7 @@ impl Drop for TasmServer {
 }
 
 /// Accepts connections until shutdown, enforcing the connection cap and
-/// spawning one session thread per accepted socket.
+/// spawning one session thread per accepted socket (threads engine).
 fn accept_loop(
     shared: &Arc<ServerShared>,
     listener: &TcpListener,
@@ -405,7 +510,7 @@ fn accept_loop(
                 continue;
             }
         };
-        let mut sessions = sessions.lock().expect("sessions lock");
+        let mut sessions = lock_clean(sessions);
         // Reap finished sessions so long-running servers don't accumulate
         // handles.
         sessions.retain(|s: &JoinHandle<()>| !s.is_finished());

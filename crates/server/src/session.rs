@@ -1,12 +1,11 @@
 //! Per-connection session threads: handshake, request dispatch, response
 //! streaming, and the per-session half of admission control.
 
-use crate::{ServerShared, SessionGuard};
+use crate::{error_code, lock_clean, ServerShared, SessionGuard};
 use std::io::Write;
 use std::net::TcpStream;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
-use tasm_core::TasmError;
 use tasm_proto::{ErrorCode, Message, ProtoError, VERSION};
 use tasm_service::{QueryRequest, ServiceError};
 
@@ -27,31 +26,39 @@ impl SessionShared {
     /// Writes one message, swallowing transport errors: a peer that
     /// vanished mid-response is that peer's problem, not the session's.
     fn send(&self, msg: &Message) {
-        let mut w = self.writer.lock().expect("writer lock");
+        let mut w = lock_clean(&self.writer);
         let _ = msg.write_to(&mut *w);
     }
 
     fn inflight(&self) -> u32 {
-        *self.inflight.lock().expect("inflight lock")
+        *lock_clean(&self.inflight)
     }
+}
 
-    fn inflight_dec(&self) {
-        let mut n = self.inflight.lock().expect("inflight lock");
-        *n -= 1;
-        if *n == 0 {
-            self.drained.notify_all();
+/// RAII hold on one of the session's in-flight slots: increments at
+/// construction, decrements (and signals the drain condvar) on drop —
+/// including the drop that unwinding a panicked waiter performs, so a
+/// waiter that dies can never strand the teardown's `drained.wait`.
+struct InflightGuard {
+    session: Arc<SessionShared>,
+}
+
+impl InflightGuard {
+    fn new(session: &Arc<SessionShared>) -> InflightGuard {
+        *lock_clean(&session.inflight) += 1;
+        InflightGuard {
+            session: Arc::clone(session),
         }
     }
 }
 
-/// Maps a service-side failure onto the wire's typed error codes.
-fn error_code(e: &ServiceError) -> ErrorCode {
-    match e {
-        ServiceError::QueueFull => ErrorCode::Busy,
-        ServiceError::ShuttingDown => ErrorCode::ShuttingDown,
-        ServiceError::Tasm(TasmError::UnknownVideo(_)) => ErrorCode::UnknownVideo,
-        ServiceError::Tasm(TasmError::EpochNotLive { .. }) => ErrorCode::EpochNotLive,
-        ServiceError::Tasm(_) | ServiceError::WorkerLost => ErrorCode::Internal,
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        let mut n = lock_clean(&self.session.inflight);
+        *n = n.saturating_sub(1);
+        if *n == 0 {
+            self.session.drained.notify_all();
+        }
     }
 }
 
@@ -210,10 +217,14 @@ pub(crate) fn run(shared: &Arc<ServerShared>, stream: TcpStream, _guard: Session
     }
 
     // Drain: admitted queries finish and their responses flush before the
-    // socket closes (the last waiter's decrement signals the condvar).
-    let mut inflight = session.inflight.lock().expect("inflight lock");
+    // socket closes (the last waiter's guard signals the condvar — even a
+    // panicked waiter, whose unwind runs the guard's drop).
+    let mut inflight = lock_clean(&session.inflight);
     while *inflight > 0 {
-        inflight = session.drained.wait(inflight).expect("inflight lock");
+        inflight = match session.drained.wait(inflight) {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
     }
     drop(inflight);
     tasm_obs::log::debug("session.closed", &[("peer", peer)]);
@@ -354,12 +365,17 @@ fn handle_query(
     // per-session cap (`max_inflight`) bounds how many exist at once. The
     // spawn cost sits on the serving path — acceptable at this scale, and
     // visible in benches/remote.rs as part of the wire overhead.
-    *session.inflight.lock().expect("inflight lock") += 1;
+    //
+    // The in-flight slot is held by an RAII guard that travels into the
+    // waiter: whether the waiter finishes, panics, or never spawns (the
+    // failed spawn drops the closure), the slot releases exactly once.
+    let guard = InflightGuard::new(session);
     let waiter = Arc::clone(session);
     let instance = shared.instance.clone();
     let spawned = std::thread::Builder::new()
         .name("tasm-session-waiter".to_string())
         .spawn(move || {
+            let _guard = guard;
             let session = waiter;
             match handle.wait() {
                 Ok(outcome) => {
@@ -422,17 +438,74 @@ fn handle_query(
                     });
                 }
             }
-            session.inflight_dec();
         });
     if spawned.is_err() {
-        // The OS refused a thread. Release the in-flight slot and report a
-        // typed failure instead of panicking the session reader (the
-        // dropped handle lets the query itself finish unobserved).
-        session.inflight_dec();
+        // The OS refused a thread. The dropped closure already released
+        // the in-flight slot (the guard moved into it); report a typed
+        // failure instead of panicking the session reader (the dropped
+        // handle lets the query itself finish unobserved).
         session.send(&Message::Error {
             id: Some(id),
             code: ErrorCode::Internal,
             message: "server could not spawn a response writer".to_string(),
         });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn test_session() -> Arc<SessionShared> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        Arc::new(SessionShared {
+            writer: Mutex::new(server_side),
+            inflight: Mutex::new(0),
+            drained: Condvar::new(),
+        })
+    }
+
+    /// Regression: a waiter that panics must still release its in-flight
+    /// slot (via the guard's unwind drop), or the session teardown's
+    /// `drained.wait` loop waits forever.
+    #[test]
+    fn inflight_guard_releases_on_waiter_panic() {
+        let session = test_session();
+        let waiter_session = Arc::clone(&session);
+        let waiter = std::thread::spawn(move || {
+            let _guard = InflightGuard::new(&waiter_session);
+            panic!("injected waiter panic");
+        });
+        assert!(waiter.join().is_err(), "waiter should have panicked");
+        // The teardown drain loop must complete promptly.
+        let deadline = Duration::from_secs(5);
+        let mut inflight = lock_clean(&session.inflight);
+        while *inflight > 0 {
+            let (guard, timeout) = match session.drained.wait_timeout(inflight, deadline) {
+                Ok(r) => r,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            assert!(!timeout.timed_out(), "drain stalled: in-flight slot leaked");
+            inflight = guard;
+        }
+        assert_eq!(*inflight, 0);
+    }
+
+    /// Regression: a spawn failure path is modeled by dropping the closure
+    /// (and the guard inside it) without running — the slot still frees.
+    #[test]
+    fn inflight_guard_releases_when_closure_dropped_unrun() {
+        let session = test_session();
+        let guard = InflightGuard::new(&session);
+        let closure = move || {
+            let _guard = guard;
+        };
+        assert_eq!(session.inflight(), 1);
+        drop(closure);
+        assert_eq!(session.inflight(), 0);
     }
 }

@@ -44,6 +44,13 @@ pub struct ServiceConfig {
     /// submission→completion time reaches this logs its full trace at
     /// `warn` through the structured logger (`None` disables the log).
     pub slow_query: Option<Duration>,
+    /// Test-only fault injection: a worker panics instead of executing any
+    /// request this hook returns `true` for. Exercises the panic-isolation
+    /// path (worker survives, submitter gets [`ServiceError::Panicked`])
+    /// without needing a corruptible storage backend. A plain `fn` pointer
+    /// so the config stays `Copy`.
+    #[doc(hidden)]
+    pub test_panic_injector: Option<fn(&QueryRequest) -> bool>,
 }
 
 impl Default for ServiceConfig {
@@ -54,6 +61,7 @@ impl Default for ServiceConfig {
             retile: RetilePolicy::Off,
             retile_interval: Duration::from_millis(20),
             slow_query: None,
+            test_panic_injector: None,
         }
     }
 }
@@ -137,6 +145,9 @@ pub enum ServiceError {
     QueueFull,
     /// The worker executing the query disappeared (panic).
     WorkerLost,
+    /// The query panicked mid-execution. The worker caught the unwind and
+    /// keeps serving; only this query failed.
+    Panicked,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -146,6 +157,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::ShuttingDown => write!(f, "query service is shutting down"),
             ServiceError::QueueFull => write!(f, "submission queue is full"),
             ServiceError::WorkerLost => write!(f, "query worker terminated unexpectedly"),
+            ServiceError::Panicked => write!(f, "query execution panicked"),
         }
     }
 }
@@ -204,12 +216,60 @@ impl QueryHandle {
     }
 }
 
+/// How a job's outcome reaches its submitter: a bounded channel behind a
+/// blocking [`QueryHandle`], or a callback invoked on the worker thread —
+/// the completion path reactor-style servers use to get woken instead of
+/// parking a waiter thread per query.
+enum Completion {
+    Channel(mpsc::SyncSender<Result<QueryOutcome, ServiceError>>),
+    Callback(CompletionGuard),
+}
+
+impl Completion {
+    fn deliver(self, result: Result<QueryOutcome, ServiceError>) {
+        match self {
+            Completion::Channel(tx) => {
+                // A dropped handle is fine: the send just goes nowhere.
+                let _ = tx.send(result);
+            }
+            Completion::Callback(mut guard) => {
+                if let Some(f) = guard.0.take() {
+                    f(result);
+                }
+            }
+        }
+    }
+
+    /// Defuses the guard without firing it: the submission was rejected,
+    /// so the caller learns the outcome from the returned error — a
+    /// completion on top of it would be a duplicate response.
+    fn disarm(self) {
+        if let Completion::Callback(mut guard) = self {
+            guard.0.take();
+        }
+    }
+}
+
+/// RAII completion guard: a callback job dropped without delivering —
+/// a worker dying so abruptly the unwind escapes the job, or any future
+/// code path that forgets — fires with [`ServiceError::WorkerLost`], so
+/// no submitter ever waits on a completion that cannot arrive.
+struct CompletionGuard(Option<Box<dyn FnOnce(Result<QueryOutcome, ServiceError>) + Send>>);
+
+impl Drop for CompletionGuard {
+    fn drop(&mut self) {
+        if let Some(f) = self.0.take() {
+            f(Err(ServiceError::WorkerLost));
+        }
+    }
+}
+
 struct Job {
     id: u64,
     /// Trace id resolved at admission: the request's, or a fresh one.
     trace_id: u64,
     req: QueryRequest,
-    tx: mpsc::SyncSender<Result<QueryOutcome, ServiceError>>,
+    done: Completion,
     enqueued: Instant,
 }
 
@@ -312,26 +372,48 @@ impl QueryService {
     /// Submits a query, blocking while the queue is at capacity
     /// (backpressure). Returns a handle resolving to the query's outcome.
     pub fn submit(&self, req: QueryRequest) -> Result<QueryHandle, ServiceError> {
-        self.enqueue(req, true)
+        let (tx, rx) = mpsc::sync_channel(1);
+        let id = self.enqueue(req, true, Completion::Channel(tx))?;
+        Ok(QueryHandle { id, rx })
     }
 
     /// Submits a query, failing with [`ServiceError::QueueFull`] instead of
     /// blocking when the queue is at capacity.
     pub fn try_submit(&self, req: QueryRequest) -> Result<QueryHandle, ServiceError> {
-        self.enqueue(req, false)
+        let (tx, rx) = mpsc::sync_channel(1);
+        let id = self.enqueue(req, false, Completion::Channel(tx))?;
+        Ok(QueryHandle { id, rx })
     }
 
-    fn enqueue(&self, req: QueryRequest, block: bool) -> Result<QueryHandle, ServiceError> {
-        let (tx, rx) = mpsc::sync_channel(1);
+    /// Submits a query without blocking, delivering the outcome through
+    /// `done` (invoked on the worker thread) instead of a handle — the
+    /// completion path for reactor-style callers that must never park.
+    /// The callback fires exactly once: with the outcome, a typed
+    /// execution error, [`ServiceError::ShuttingDown`] when an abort
+    /// shutdown abandons the queued job, or [`ServiceError::WorkerLost`]
+    /// if the job is destroyed without ever executing. Returns the
+    /// service-assigned query id.
+    pub fn try_submit_with(
+        &self,
+        req: QueryRequest,
+        done: impl FnOnce(Result<QueryOutcome, ServiceError>) + Send + 'static,
+    ) -> Result<u64, ServiceError> {
+        let done = Completion::Callback(CompletionGuard(Some(Box::new(done))));
+        self.enqueue(req, false, done)
+    }
+
+    fn enqueue(&self, req: QueryRequest, block: bool, done: Completion) -> Result<u64, ServiceError> {
         let mut queue = self.shared.queue.lock().expect("queue lock");
         loop {
             if self.shared.shutdown.load(Ordering::SeqCst) {
+                done.disarm();
                 return Err(ServiceError::ShuttingDown);
             }
             if queue.len() < self.shared.cfg.queue_depth {
                 break;
             }
             if !block {
+                done.disarm();
                 return Err(ServiceError::QueueFull);
             }
             queue = self.shared.not_full.wait(queue).expect("queue lock");
@@ -342,7 +424,7 @@ impl QueryService {
             id,
             trace_id,
             req,
-            tx,
+            done,
             enqueued: Instant::now(),
         });
         self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
@@ -360,7 +442,7 @@ impl QueryService {
         }
         drop(queue);
         self.shared.not_empty.notify_one();
-        Ok(QueryHandle { id, rx })
+        Ok(id)
     }
 
     /// The shared storage manager.
@@ -422,7 +504,7 @@ impl QueryService {
             };
             abandoned = dropped.len() as u64;
             for job in dropped {
-                let _ = job.tx.send(Err(ServiceError::ShuttingDown));
+                job.done.deliver(Err(ServiceError::ShuttingDown));
             }
         }
         self.shared.not_empty.notify_all();
@@ -487,11 +569,41 @@ fn worker_loop(shared: &Shared) {
             )
             .record(queue_time);
         }
-        match shared
-            .tasm
-            .query_traced(&job.req.video, &job.req.query, &spans)
-        {
-            Ok(result) => {
+        // The unwind boundary: a panic inside query execution (or the
+        // test injector standing in for one) fails this query with a
+        // typed error and leaves the worker alive. `job` stays outside
+        // the closure, so even a panic that somehow escaped would fire
+        // the job's completion guard rather than strand the submitter.
+        let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(inject) = shared.cfg.test_panic_injector {
+                if inject(&job.req) {
+                    panic!("injected test panic");
+                }
+            }
+            shared
+                .tasm
+                .query_traced(&job.req.video, &job.req.query, &spans)
+        }));
+        match executed {
+            Err(_panic) => {
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                if tasm_obs::enabled() {
+                    tasm_obs::counter(
+                        "tasm_queries_failed_total",
+                        "Queries that returned an error.",
+                    )
+                    .inc();
+                }
+                tasm_obs::log::warn(
+                    "query.panicked",
+                    &[
+                        ("trace_id", job.trace_id.to_string()),
+                        ("video", job.req.video.clone()),
+                    ],
+                );
+                job.done.deliver(Err(ServiceError::Panicked));
+            }
+            Ok(Ok(result)) => {
                 shared.stats.record_scan(&result);
                 shared.stats.completed.fetch_add(1, Ordering::Relaxed);
                 if tasm_obs::enabled() {
@@ -519,8 +631,7 @@ fn worker_loop(shared: &Shared) {
                 shared.stats.latency.record(total_time);
                 let trace = spans.finish(job.trace_id, result.epoch, total_time);
                 log_if_slow(shared, &job.req.video, &trace, total_time);
-                // A dropped handle is fine: the send just goes nowhere.
-                let _ = job.tx.send(Ok(QueryOutcome {
+                job.done.deliver(Ok(QueryOutcome {
                     id: job.id,
                     result,
                     queue_time,
@@ -528,7 +639,7 @@ fn worker_loop(shared: &Shared) {
                     trace,
                 }));
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 shared.stats.failed.fetch_add(1, Ordering::Relaxed);
                 if tasm_obs::enabled() {
                     tasm_obs::counter(
@@ -545,7 +656,7 @@ fn worker_loop(shared: &Shared) {
                         ("error", e.to_string()),
                     ],
                 );
-                let _ = job.tx.send(Err(ServiceError::Tasm(e)));
+                job.done.deliver(Err(ServiceError::Tasm(e)));
             }
         }
     }

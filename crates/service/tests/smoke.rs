@@ -283,6 +283,7 @@ fn daemon_crash_is_contained_and_shutdown_drains() {
             retile: RetilePolicy::Regret,
             retile_interval: std::time::Duration::from_millis(2),
             slow_query: None,
+            ..Default::default()
         },
     );
     // The only mutating I/O left comes from daemon re-tiles; die mid-way

@@ -184,6 +184,7 @@ fn child_shard_server() {
             retile: RetilePolicy::Regret,
             retile_interval: Duration::from_millis(1),
             slow_query: None,
+            ..Default::default()
         },
         ServerConfig::default(),
         "127.0.0.1:0",

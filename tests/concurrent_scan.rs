@@ -209,6 +209,7 @@ fn retile_daemon_mid_workload_keeps_scans_bit_exact() {
             retile: RetilePolicy::Regret,
             retile_interval: std::time::Duration::from_millis(1),
             slow_query: None,
+            ..Default::default()
         },
     );
     let handles: Vec<_> = (0..queries)
@@ -314,6 +315,7 @@ fn roi_queries_bit_exact_across_concurrent_retile() {
             retile: RetilePolicy::Regret,
             retile_interval: std::time::Duration::from_millis(1),
             slow_query: None,
+            ..Default::default()
         },
     );
     let handles: Vec<_> = (0..queries)

@@ -606,6 +606,7 @@ fn kill_and_reattach_matches_serially_driven_twin() {
             retile: RetilePolicy::Regret,
             retile_interval: Duration::from_millis(2),
             slow_query: None,
+            ..Default::default()
         },
     );
     // The next mutating I/O comes from the daemon's re-tiles; land the

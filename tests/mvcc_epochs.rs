@@ -252,6 +252,7 @@ fn regret_daemon_retiles_while_a_scan_is_held_open() {
             retile: RetilePolicy::Regret,
             retile_interval: Duration::from_millis(1),
             slow_query: None,
+            ..Default::default()
         },
     );
     // Enough observations for the regret policy to cross its threshold.

@@ -1,0 +1,249 @@
+//! Panic isolation in the serving layer, on both engines.
+//!
+//! The contract under test: a panic inside query execution (injected via
+//! `ServiceConfig::test_panic_injector`) is a *per-query* failure — the
+//! submitting session receives a typed `Internal` error frame and keeps
+//! serving subsequent queries bit-exactly, other sessions are untouched,
+//! no in-flight slot leaks (shutdown drains cleanly instead of hanging on
+//! a stranded counter), and no lock poisoned by the unwinding worker
+//! cascades into later queries. Regression tests for two historical bugs:
+//! the inflight counter leaking when a waiter thread panicked, and
+//! `.expect("writer lock")`-style poison propagation taking a whole
+//! session down after one panicked query.
+
+use std::sync::Arc;
+use tasm_client::{ClientError, Connection};
+use tasm_core::{
+    LabelPredicate, PartitionConfig, Query, StorageConfig, Tasm, TasmConfig,
+};
+use tasm_data::{SceneSpec, SyntheticVideo};
+use tasm_index::MemoryIndex;
+use tasm_proto::ErrorCode;
+use tasm_server::{ServeEngine, ServerConfig, TasmServer};
+use tasm_service::{QueryRequest, ServiceConfig};
+use tasm_suite::assert_regions_identical;
+use tasm_video::FrameSource;
+
+const FRAMES: u32 = 60;
+
+/// Queries for this label panic inside the worker instead of executing.
+const POISON_LABEL: &str = "panic-me";
+
+fn inject(req: &QueryRequest) -> bool {
+    req.query.predicate().labels().contains(&POISON_LABEL)
+}
+
+fn scene() -> SyntheticVideo {
+    SyntheticVideo::new(SceneSpec {
+        width: 256,
+        height: 160,
+        frames: FRAMES,
+        seed: 47,
+        ..SceneSpec::test_scene()
+    })
+}
+
+fn tasm(tag: &str) -> Arc<Tasm> {
+    let dir = std::env::temp_dir().join(format!("tasm-panic-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let cfg = TasmConfig {
+        storage: StorageConfig {
+            gop_len: 10,
+            sot_frames: 10,
+            ..Default::default()
+        },
+        partition: PartitionConfig {
+            min_tile_width: 32,
+            min_tile_height: 32,
+            ..Default::default()
+        },
+        workers: 1,
+        cache_bytes: 64 << 20,
+        ..Default::default()
+    };
+    Arc::new(Tasm::open(dir, Box::new(MemoryIndex::in_memory()), cfg).unwrap())
+}
+
+fn ingest(tasm: &Tasm, video: &SyntheticVideo) {
+    tasm.ingest("v", video, 30).unwrap();
+    for f in 0..video.len() {
+        for (l, b) in video.ground_truth(f) {
+            tasm.add_metadata("v", l, f, b).unwrap();
+        }
+        tasm.mark_processed("v", f).unwrap();
+    }
+}
+
+/// The shared scenario: interleave panicking and healthy queries on one
+/// session, check the panic surfaces as a typed `Internal` rejection and
+/// everything after it still matches the in-process reference, then check
+/// shutdown accounting (no stranded in-flight slot, workers alive).
+fn panicked_query_is_isolated(engine: ServeEngine) {
+    let video = scene();
+    let server_tasm = tasm(match engine {
+        ServeEngine::Reactor => "iso-server-r",
+        ServeEngine::Threads => "iso-server-t",
+    });
+    ingest(&server_tasm, &video);
+    let twin = tasm(match engine {
+        ServeEngine::Reactor => "iso-twin-r",
+        ServeEngine::Threads => "iso-twin-t",
+    });
+    ingest(&twin, &video);
+
+    let server = TasmServer::bind(
+        Arc::clone(&server_tasm),
+        ServiceConfig {
+            workers: 2,
+            queue_depth: 16,
+            test_panic_injector: Some(inject),
+            ..Default::default()
+        },
+        ServerConfig {
+            engine,
+            ..Default::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let mut conn = Connection::connect(addr).expect("connect");
+    let healthy = Query::new(LabelPredicate::label("car")).frames(0..FRAMES);
+    let poisoned = Query::new(LabelPredicate::label(POISON_LABEL)).frames(0..FRAMES);
+
+    // Healthy → panic → healthy, three times over: each panicked query is
+    // rejected with a typed error and the *same session* keeps serving
+    // bit-exact results afterwards.
+    for round in 0..3 {
+        let what = format!("round {round} before panic");
+        let before = conn.query("v", &healthy).expect("healthy query");
+        let reference = twin.query("v", &healthy).expect("twin query");
+        assert_eq!(before.matched, reference.matched, "{what}: matched");
+        let expected: Vec<_> = reference.regions.iter().collect();
+        assert_regions_identical(&expected, &before.regions, &what);
+
+        match conn.query("v", &poisoned) {
+            Err(ClientError::Rejected { code, .. }) => {
+                assert_eq!(
+                    code,
+                    ErrorCode::Internal,
+                    "round {round}: a panicked query fails with a typed Internal error"
+                );
+            }
+            other => panic!("round {round}: expected typed rejection, got {other:?}"),
+        }
+
+        let what = format!("round {round} after panic");
+        let after = conn.query("v", &healthy).expect("session must survive the panic");
+        assert_eq!(after.matched, reference.matched, "{what}: matched");
+        let expected: Vec<_> = reference.regions.iter().collect();
+        assert_regions_identical(&expected, &after.regions, &what);
+    }
+
+    // A *second* session opened after the panics is also unaffected —
+    // nothing process-wide (a poisoned lock, a dead worker) leaked out.
+    let mut conn2 = Connection::connect(addr).expect("second connect");
+    let fresh = conn2.query("v", &healthy).expect("fresh session query");
+    let reference = twin.query("v", &healthy).expect("twin query");
+    assert_eq!(fresh.matched, reference.matched);
+    conn2.goodbye().expect("goodbye");
+    conn.goodbye().expect("goodbye");
+
+    // Shutdown must drain promptly: a leaked inflight slot (the historical
+    // bug) would strand the drain wait. Run it on a watchdog thread so a
+    // regression fails the test instead of hanging the suite.
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let report = server.shutdown();
+        tx.send(()).unwrap();
+        report
+    });
+    rx.recv_timeout(std::time::Duration::from_secs(30))
+        .expect("shutdown must drain; a hang here means an inflight slot leaked");
+    let report = handle.join().unwrap();
+    assert_eq!(report.sessions_served, 2);
+    let stats = report.service.stats;
+    assert_eq!(stats.failed, 3, "exactly the injected panics fail");
+    assert_eq!(stats.completed, 3 * 2 + 1, "every healthy query completes");
+    assert_eq!(report.service.abandoned, 0, "no query abandoned at drain");
+}
+
+#[test]
+fn panicked_query_is_isolated_reactor() {
+    panicked_query_is_isolated(ServeEngine::Reactor);
+}
+
+#[test]
+fn panicked_query_is_isolated_threads() {
+    panicked_query_is_isolated(ServeEngine::Threads);
+}
+
+/// Counts this process's threads via `/proc/self/status` (Linux only —
+/// elsewhere the check is skipped and the test asserts only connectivity).
+fn thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// The reactor's headline scaling property: session count does not show up
+/// in the thread count. With dozens of idle-but-connected sessions the
+/// process grows O(workers) threads, not O(connections) — the regression
+/// this guards against is the thread-per-connection engine sneaking back
+/// in as the default.
+#[test]
+fn reactor_threads_scale_with_workers_not_connections() {
+    let video = scene();
+    let server_tasm = tasm("threads");
+    ingest(&server_tasm, &video);
+
+    let server = TasmServer::bind(
+        Arc::clone(&server_tasm),
+        ServiceConfig {
+            workers: 2,
+            queue_depth: 32,
+            ..Default::default()
+        },
+        ServerConfig {
+            engine: ServeEngine::Reactor,
+            max_connections: 256,
+            ..Default::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let baseline = thread_count();
+    const SESSIONS: usize = 64;
+    let mut conns: Vec<Connection> = (0..SESSIONS)
+        .map(|_| Connection::connect(addr).expect("connect"))
+        .collect();
+    // Every session works once, proving all 64 are live multiplexed
+    // sessions rather than queued accepts.
+    let q = Query::new(LabelPredicate::label("car"))
+        .frames(0..FRAMES)
+        .mode(tasm_core::QueryMode::Count);
+    for conn in &mut conns {
+        conn.query("v", &q).expect("query on each session");
+    }
+
+    if let (Some(before), Some(now)) = (baseline, thread_count()) {
+        let grown = now.saturating_sub(before);
+        assert!(
+            grown < SESSIONS / 2,
+            "64 sessions must not add O(connections) threads \
+             (baseline {before}, now {now}: +{grown})"
+        );
+    }
+
+    for conn in conns {
+        conn.goodbye().expect("goodbye");
+    }
+    let report = server.shutdown();
+    assert_eq!(report.sessions_served as usize, SESSIONS);
+    assert_eq!(report.service.stats.failed, 0);
+}

@@ -271,6 +271,7 @@ fn remote_results_stay_epoch_exact_while_daemon_retiles() {
             retile: RetilePolicy::Regret,
             retile_interval: std::time::Duration::from_millis(1),
             slow_query: None,
+            ..Default::default()
         },
         ServerConfig::default(),
         "127.0.0.1:0",
